@@ -1,0 +1,181 @@
+// ATAX kernel (Fig. 4c): y = A^T (A x). Two kernels: tmp = A x (row per
+// thread, strided) and y = A^T tmp (column per thread, coalesced).
+#include "apps/polybench.h"
+
+namespace apps {
+
+namespace {
+
+jetsim::Cost tmp_iter_cost() {  // row walk: strided A, broadcast x
+  return gmem_cost(jetsim::Access::Strided, 4) +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+jetsim::Cost y_iter_cost() {  // column walk: coalesced A, broadcast tmp
+  return gmem_cost(jetsim::Access::Coalesced, 4) +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+void tmp_element(jetsim::KernelCtx& ctx, int i, int n, const float* a,
+                 const float* x, float* tmp) {
+  ctx.charge(gmem_cost(jetsim::Access::Coalesced, 4));
+  if (ctx.model_only()) {
+    ctx.charge(tmp_iter_cost() * n);
+    return;
+  }
+  float acc = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    ctx.charge(tmp_iter_cost());
+    acc += a[i * n + j] * x[j];
+  }
+  tmp[i] = acc;
+}
+
+void y_element(jetsim::KernelCtx& ctx, int j, int n, const float* a,
+               const float* tmp, float* y) {
+  ctx.charge(gmem_cost(jetsim::Access::Coalesced, 4));
+  if (ctx.model_only()) {
+    ctx.charge(y_iter_cost() * n);
+    return;
+  }
+  float acc = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    ctx.charge(y_iter_cost());
+    acc += a[i * n + j] * tmp[i];
+  }
+  y[j] = acc;
+}
+
+}  // namespace
+
+RunResult run_atax(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  const std::size_t mat_bytes = static_cast<std::size_t>(n) * n * sizeof(float);
+  const std::size_t vec_bytes = static_cast<std::size_t>(n) * sizeof(float);
+
+  auto tmp_kernel = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                       bool ompi) {
+    if (ompi) devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    std::size_t count = static_cast<std::size_t>(n) * n;
+    const float* a = args.pointer<float>(1, count);
+    const float* x = args.pointer<float>(2, static_cast<std::size_t>(n));
+    float* tmp = args.pointer<float>(3, static_cast<std::size_t>(n));
+    if (ompi) {
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (!team.valid) return;
+      devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+      for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+        tmp_element(ctx, static_cast<int>(i), n, a, x, tmp);
+    } else {
+      int i = linear_gid(ctx);
+      if (i < n) tmp_element(ctx, i, n, a, x, tmp);
+    }
+  };
+  auto y_kernel = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                     bool ompi) {
+    if (ompi) devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    std::size_t count = static_cast<std::size_t>(n) * n;
+    const float* a = args.pointer<float>(1, count);
+    const float* tmp = args.pointer<float>(2, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(3, static_cast<std::size_t>(n));
+    if (ompi) {
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (!team.valid) return;
+      devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+      for (long long j = mine.lb; mine.valid && j < mine.ub; ++j)
+        y_element(ctx, static_cast<int>(j), n, a, tmp, y);
+    } else {
+      int j = linear_gid(ctx);
+      if (j < n) y_element(ctx, j, n, a, tmp, y);
+    }
+  };
+
+  bool ompi = v == Variant::Ompi;
+  h.add_kernel(ompi ? "_kernelFunc0_" : "atax_kernel1", 4,
+               [tmp_kernel, ompi](jetsim::KernelCtx& c,
+                                  const cudadrv::ArgPack& a) {
+                 tmp_kernel(c, a, ompi);
+               });
+  h.add_kernel(ompi ? "_kernelFunc1_" : "atax_kernel2", 4,
+               [y_kernel, ompi](jetsim::KernelCtx& c,
+                                const cudadrv::ArgPack& a) {
+                 y_kernel(c, a, ompi);
+               });
+  h.install();
+
+  std::vector<float> a, x(static_cast<std::size_t>(n)),
+      tmp(static_cast<std::size_t>(n), 0.0f),
+      y(static_cast<std::size_t>(n), 0.0f);
+  fill_matrix(a, n, n, 201);
+  fill_vector(x, 202);
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  if (v == Variant::Cuda) {
+    cudadrv::CUdeviceptr da = h.dev_alloc(mat_bytes),
+                         dx = h.dev_alloc(vec_bytes),
+                         dtmp = h.dev_alloc(vec_bytes),
+                         dy = h.dev_alloc(vec_bytes);
+    h.mark_start();
+    h.to_device(da, a.data(), mat_bytes);
+    h.to_device(dx, x.data(), vec_bytes);
+    h.launch("atax_kernel1", blocks, 1, 32, 8, {&np, &da, &dx, &dtmp});
+    h.launch("atax_kernel2", blocks, 1, 32, 8, {&np, &da, &dtmp, &dy});
+    h.from_device(y.data(), dy, vec_bytes);
+  } else {
+    std::vector<hostrt::MapItem> data_maps = {
+        {a.data(), mat_bytes, hostrt::MapType::To},
+        {tmp.data(), vec_bytes, hostrt::MapType::Alloc},
+    };
+    h.mark_start();
+    h.target_data_begin(data_maps);
+    h.target("_kernelFunc0_", blocks, 1, 32, 8,
+             {{a.data(), mat_bytes, hostrt::MapType::To},
+              {x.data(), vec_bytes, hostrt::MapType::To},
+              {tmp.data(), vec_bytes, hostrt::MapType::Alloc}},
+             {hostrt::KernelArg::of(np), hostrt::KernelArg::mapped(a.data()),
+              hostrt::KernelArg::mapped(x.data()),
+              hostrt::KernelArg::mapped(tmp.data())});
+    h.target("_kernelFunc1_", blocks, 1, 32, 8,
+             {{a.data(), mat_bytes, hostrt::MapType::To},
+              {tmp.data(), vec_bytes, hostrt::MapType::Alloc},
+              {y.data(), vec_bytes, hostrt::MapType::From}},
+             {hostrt::KernelArg::of(np), hostrt::KernelArg::mapped(a.data()),
+              hostrt::KernelArg::mapped(tmp.data()),
+              hostrt::KernelArg::mapped(y.data())});
+    h.target_data_end(data_maps);
+  }
+
+  if (options.verify) {
+    std::vector<float> tmp_ref(static_cast<std::size_t>(n), 0.0f),
+        y_ref(static_cast<std::size_t>(n), 0.0f);
+    for (int i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      for (int j = 0; j < n; ++j)
+        acc += a[static_cast<std::size_t>(i) * n + j] *
+               x[static_cast<std::size_t>(j)];
+      tmp_ref[static_cast<std::size_t>(i)] = acc;
+    }
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int i = 0; i < n; ++i)
+        acc += a[static_cast<std::size_t>(i) * n + j] *
+               tmp_ref[static_cast<std::size_t>(i)];
+      y_ref[static_cast<std::size_t>(j)] = acc;
+    }
+    verified = nearly_equal(y, y_ref);
+  }
+  return h.finish(verified);
+}
+
+}  // namespace apps

@@ -1,0 +1,199 @@
+#include "apps/common.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace apps {
+
+const char* to_string(Variant v) {
+  return v == Variant::Cuda ? "CUDA" : "OMPi CUDADEV";
+}
+
+namespace {
+void check(const char* op, cudadrv::CUresult r) {
+  if (r != cudadrv::CUDA_SUCCESS)
+    throw std::runtime_error(std::string(op) + ": " +
+                             cudadrv::cuResultName(r));
+}
+}  // namespace
+
+AppHarness::AppHarness(Variant variant, const RunOptions& options)
+    : variant_(variant), options_(options) {
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  module_path_ = variant_ == Variant::Cuda ? "app_kernels.cubin"
+                                           : "app__kernelFuncs_.cubin";
+  image_.path = module_path_;
+  image_.kind = cudadrv::BinaryKind::Cubin;
+  image_.code_size = 24 * 1024;
+}
+
+AppHarness::~AppHarness() {
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+}
+
+void AppHarness::add_kernel(const std::string& name, int param_count,
+                            cudadrv::SimKernelEntry entry) {
+  cudadrv::KernelImage k;
+  k.name = name;
+  k.param_count = param_count;
+  k.entry = std::move(entry);
+  image_.add_kernel(std::move(k));
+}
+
+void AppHarness::install() {
+  cudadrv::BinaryRegistry::instance().install(image_);
+  installed_ = true;
+  if (variant_ == Variant::Cuda) {
+    check("cuInit", cudadrv::cuInit(0));
+    check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, 0));
+  } else {
+    // The runtime discovers the device; initialization stays lazy until
+    // the first offload, as in the paper.
+    hostrt::Runtime::instance();
+  }
+  cudadrv::cuSimSetModelOnly(model_only());
+  // Fig. 4 kernels keep no cross-block state, so model-only sweeps may
+  // sample large grids.
+  cudadrv::cuSimSetBlockSampling(true);
+  if (options_.calibration != 1.0) {
+    for (const auto& [name, k] : image_.kernels)
+      device().timing().set_calibration(name, options_.calibration);
+  }
+}
+
+jetsim::Device& AppHarness::device() { return cudadrv::cuSimDevice(0); }
+
+double AppHarness::now() const {
+  return cudadrv::cuSimDevice(0).now();
+}
+
+RunResult AppHarness::finish(bool verified) {
+  RunResult r;
+  r.seconds = now() - start_;
+  r.verified = verified;
+  r.launches = device().stats().launches;
+  return r;
+}
+
+// --- Variant::Cuda path ---------------------------------------------------
+
+cudadrv::CUdeviceptr AppHarness::dev_alloc(std::size_t bytes) {
+  cudadrv::CUdeviceptr p = 0;
+  check("cuMemAlloc", cudadrv::cuMemAlloc(&p, bytes));
+  return p;
+}
+
+void AppHarness::to_device(cudadrv::CUdeviceptr dst, const void* src,
+                           std::size_t bytes) {
+  check("cuMemcpyHtoD", cudadrv::cuMemcpyHtoD(dst, src, bytes));
+}
+
+void AppHarness::from_device(void* dst, cudadrv::CUdeviceptr src,
+                             std::size_t bytes) {
+  check("cuMemcpyDtoH", cudadrv::cuMemcpyDtoH(dst, src, bytes));
+}
+
+void AppHarness::launch(const std::string& kernel, unsigned gx, unsigned gy,
+                        unsigned bx, unsigned by,
+                        std::vector<void*> params) {
+  launch3d(kernel, gx, gy, 1, bx, by, 1, std::move(params));
+}
+
+void AppHarness::launch3d(const std::string& kernel, unsigned gx, unsigned gy,
+                          unsigned gz, unsigned bx, unsigned by, unsigned bz,
+                          std::vector<void*> params) {
+  if (!module_) {
+    check("cuModuleLoad",
+          cudadrv::cuModuleLoad(&module_, module_path_.c_str()));
+  }
+  cudadrv::CUfunction fn;
+  auto it = functions_.find(kernel);
+  if (it != functions_.end()) {
+    fn = it->second;
+  } else {
+    check("cuModuleGetFunction",
+          cudadrv::cuModuleGetFunction(&fn, module_, kernel.c_str()));
+    functions_[kernel] = fn;
+  }
+  check("cuLaunchKernel",
+        cudadrv::cuLaunchKernel(fn, gx, gy, gz, bx, by, bz, 0, nullptr,
+                                params.data(), nullptr));
+}
+
+// --- Variant::Ompi path -------------------------------------------------------
+
+void AppHarness::target(const std::string& kernel, unsigned teams_x,
+                        unsigned teams_y, unsigned threads_x,
+                        unsigned threads_y,
+                        const std::vector<hostrt::MapItem>& maps,
+                        std::vector<hostrt::KernelArg> args) {
+  hostrt::KernelLaunchSpec spec;
+  spec.module_path = module_path_;
+  spec.kernel_name = kernel;
+  spec.geometry.teams_x = teams_x;
+  spec.geometry.teams_y = teams_y;
+  spec.geometry.threads_x = threads_x;
+  spec.geometry.threads_y = threads_y;
+  spec.args = std::move(args);
+  hostrt::Runtime::instance().target(0, spec, maps);
+}
+
+void AppHarness::target_data_begin(const std::vector<hostrt::MapItem>& maps) {
+  hostrt::Runtime::instance().target_data_begin(0, maps);
+}
+
+void AppHarness::target_data_end(const std::vector<hostrt::MapItem>& maps) {
+  hostrt::Runtime::instance().target_data_end(0, maps);
+}
+
+// --- cost helpers -------------------------------------------------------------
+
+jetsim::Cost gmem_cost(jetsim::Access a, std::size_t bytes) {
+  static const jetsim::CostModel costs;
+  jetsim::Cost c;
+  c.issue_cycles = costs.gmem_issue;
+  c.dram_bytes = costs.dram_bytes_for(a, bytes, 32);
+  return c;
+}
+
+jetsim::Cost flops_cost(double n) {
+  jetsim::Cost c;
+  c.issue_cycles = n;
+  return c;
+}
+
+jetsim::Cost loop_cost() {
+  jetsim::Cost c;
+  c.issue_cycles = 3;  // cmp + branch + index update
+  return c;
+}
+
+// --- data ------------------------------------------------------------------------
+
+void fill_matrix(std::vector<float>& m, std::size_t rows, std::size_t cols,
+                 uint32_t seed) {
+  m.resize(rows * cols);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (auto& v : m) v = dist(rng);
+}
+
+void fill_vector(std::vector<float>& v, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  for (auto& x : v) x = dist(rng);
+}
+
+bool nearly_equal(const std::vector<float>& a, const std::vector<float>& b,
+                  float tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    float denom = std::max(1.0f, std::fabs(b[i]));
+    if (std::fabs(a[i] - b[i]) / denom > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace apps

@@ -1,0 +1,120 @@
+// Shared harness for the Fig. 4 workloads (paper §5). Every application
+// comes in two variants:
+//  - Variant::Cuda  — the hand-written CUDA version of the Unibench /
+//    Polybench-ACC suite, driven directly through the cudadrv API;
+//  - Variant::Ompi  — the OMPi-compiled OpenMP version: the materialized
+//    output of the combined-construct transformation, launched through
+//    the cudadev host module (hostrt) and using the device library's
+//    two-phase chunk distribution.
+//
+// Both variants execute the same arithmetic (verifiable against a CPU
+// reference) and charge the timing model identically per iteration; the
+// differences that remain — launch path, runtime calls, transfers — are
+// exactly the effects the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+#include "sim/gspan.h"
+
+namespace apps {
+
+enum class Variant { Cuda, Ompi };
+
+const char* to_string(Variant v);
+
+struct RunOptions {
+  bool model_only = true;   // charge analytically, skip the data math
+  bool verify = false;      // run real math and compare with a reference
+  double calibration = 1.0; // multiplicative adjustment on OMPi kernels
+};
+
+struct RunResult {
+  double seconds = 0;      // modeled time: transfers + kernel executions
+  bool verified = true;    // false only when verify=true and mismatched
+  uint64_t launches = 0;
+};
+
+/// Per-run environment: resets the simulated board, registers the run's
+/// kernels and provides buffer/timing helpers.
+class AppHarness {
+ public:
+  explicit AppHarness(Variant variant, const RunOptions& options);
+  ~AppHarness();
+
+  Variant variant() const { return variant_; }
+  const RunOptions& options() const { return options_; }
+  bool model_only() const { return options_.model_only && !options_.verify; }
+
+  /// Registers one kernel into the run's binary image.
+  void add_kernel(const std::string& name, int param_count,
+                  cudadrv::SimKernelEntry entry);
+  /// Finalizes the image; must be called once before launches.
+  void install();
+
+  // --- Variant::Cuda path ----------------------------------------------
+  cudadrv::CUdeviceptr dev_alloc(std::size_t bytes);
+  void to_device(cudadrv::CUdeviceptr dst, const void* src,
+                 std::size_t bytes);
+  void from_device(void* dst, cudadrv::CUdeviceptr src, std::size_t bytes);
+  void launch(const std::string& kernel, unsigned gx, unsigned gy,
+              unsigned bx, unsigned by, std::vector<void*> params);
+  void launch3d(const std::string& kernel, unsigned gx, unsigned gy,
+                unsigned gz, unsigned bx, unsigned by, unsigned bz,
+                std::vector<void*> params);
+
+  // --- Variant::Ompi path -------------------------------------------------
+  /// One `#pragma omp target ... map(...)` construct: maps, launches
+  /// through the cudadev module, unmaps.
+  void target(const std::string& kernel, unsigned teams_x, unsigned teams_y,
+              unsigned threads_x, unsigned threads_y,
+              const std::vector<hostrt::MapItem>& maps,
+              std::vector<hostrt::KernelArg> args);
+  void target_data_begin(const std::vector<hostrt::MapItem>& maps);
+  void target_data_end(const std::vector<hostrt::MapItem>& maps);
+
+  // --- timing -------------------------------------------------------------
+  double now() const;
+  void mark_start() { start_ = now(); }
+  RunResult finish(bool verified);
+
+  jetsim::Device& device();
+
+ private:
+  Variant variant_;
+  RunOptions options_;
+  std::string module_path_;
+  cudadrv::ModuleImage image_;
+  bool installed_ = false;
+  cudadrv::CUmodule module_ = nullptr;
+  cudadrv::CUcontext context_ = nullptr;  // Cuda variant only
+  std::map<std::string, cudadrv::CUfunction> functions_;
+  double start_ = 0;
+};
+
+// --- cost helpers -----------------------------------------------------------
+
+/// Per-access DRAM+issue cost of one global access with the pattern.
+jetsim::Cost gmem_cost(jetsim::Access a, std::size_t bytes = 4);
+/// Issue cost of n fused multiply-adds / simple ALU ops.
+jetsim::Cost flops_cost(double n);
+/// Loop bookkeeping (compare + branch + index increment) per iteration.
+jetsim::Cost loop_cost();
+
+/// Deterministic data initialization shared by variants and references.
+void fill_matrix(std::vector<float>& m, std::size_t rows, std::size_t cols,
+                 uint32_t seed);
+void fill_vector(std::vector<float>& v, uint32_t seed);
+
+/// Max relative error comparison for verification.
+bool nearly_equal(const std::vector<float>& a, const std::vector<float>& b,
+                  float tol = 1e-3f);
+
+}  // namespace apps

@@ -1,0 +1,254 @@
+// Gram-Schmidt QR decomposition (Fig. 4f): the classical column-by-column
+// solver. Each step k launches three kernels (Polybench-ACC structure):
+//   kernel1: r[k][k] = ||a[:,k]||            (single active thread)
+//   kernel2: q[:,k]  = a[:,k] / r[k][k]      (thread per row)
+//   kernel3: for j > k: r[k][j] = q_k . a_j; a_j -= q_k * r[k][j]
+// 256x1 thread blocks as in the paper; the serial norm kernel and the
+// 3n kernel launches are what make this the slowest Fig. 4 application.
+#include "apps/polybench.h"
+
+#include <cmath>
+
+namespace apps {
+
+namespace {
+
+jetsim::Cost norm_iter_cost() {  // single thread: every load is a sector
+  return gmem_cost(jetsim::Access::Strided, 4) + flops_cost(2) + loop_cost();
+}
+
+jetsim::Cost qcol_cost() {  // column access: lanes stride by n
+  return gmem_cost(jetsim::Access::Strided, 4) * 2 +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1 + 20);
+}
+
+jetsim::Cost update_iter_cost() {  // pass 1 dot + pass 2 update, per i
+  return gmem_cost(jetsim::Access::Coalesced, 4) * 3 +
+         gmem_cost(jetsim::Access::Broadcast, 4) * 2 + flops_cost(2) +
+         loop_cost() * 2;
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+void norm_kernel_body(jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+  int n = args.value<int>(0);
+  int k = args.value<int>(1);
+  std::size_t count = static_cast<std::size_t>(n) * n;
+  const float* a = args.pointer<float>(2, count);
+  float* r = args.pointer<float>(3, count);
+  if (linear_gid(ctx) != 0) return;  // the sequential part of the solver
+  ctx.charge(gmem_cost(jetsim::Access::Strided, 4) + flops_cost(20));
+  if (ctx.model_only()) {
+    ctx.charge(norm_iter_cost() * n);
+    return;
+  }
+  float nrm = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    ctx.charge(norm_iter_cost());
+    float v = a[static_cast<std::size_t>(i) * n + k];
+    nrm += v * v;
+  }
+  r[static_cast<std::size_t>(k) * n + k] = std::sqrt(nrm);
+}
+
+void qcol_kernel_body(jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                      bool ompi) {
+  int n = args.value<int>(0);
+  int k = args.value<int>(1);
+  std::size_t count = static_cast<std::size_t>(n) * n;
+  const float* a = args.pointer<float>(2, count);
+  const float* r = args.pointer<float>(3, count);
+  float* q = args.pointer<float>(4, count);
+  auto element = [&](int i) {
+    ctx.charge(qcol_cost());
+    if (ctx.model_only()) return;
+    q[static_cast<std::size_t>(i) * n + k] =
+        a[static_cast<std::size_t>(i) * n + k] /
+        r[static_cast<std::size_t>(k) * n + k];
+  };
+  if (ompi) {
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+      element(static_cast<int>(i));
+  } else {
+    int i = linear_gid(ctx);
+    if (i < n) element(i);
+  }
+}
+
+void update_kernel_body(jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                        bool ompi) {
+  int n = args.value<int>(0);
+  int k = args.value<int>(1);
+  std::size_t count = static_cast<std::size_t>(n) * n;
+  float* a = args.pointer<float>(2, count);
+  float* r = args.pointer<float>(3, count);
+  const float* q = args.pointer<float>(4, count);
+  auto column = [&](int j) {
+    ctx.charge(gmem_cost(jetsim::Access::Coalesced, 4) * 2);
+    if (ctx.model_only()) {
+      ctx.charge(update_iter_cost() * n);
+      return;
+    }
+    float dot = 0.0f;
+    for (int i = 0; i < n; ++i) {
+      ctx.charge(update_iter_cost() * 0.5);
+      dot += q[static_cast<std::size_t>(i) * n + k] *
+             a[static_cast<std::size_t>(i) * n + j];
+    }
+    r[static_cast<std::size_t>(k) * n + j] = dot;
+    for (int i = 0; i < n; ++i) {
+      ctx.charge(update_iter_cost() * 0.5);
+      a[static_cast<std::size_t>(i) * n + j] -=
+          q[static_cast<std::size_t>(i) * n + k] * dot;
+    }
+  };
+  // Columns j in (k, n).
+  long long ncols = n - k - 1;
+  if (ncols <= 0) return;
+  if (ompi) {
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, ncols);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long c = mine.lb; mine.valid && c < mine.ub; ++c)
+      column(k + 1 + static_cast<int>(c));
+  } else {
+    int c = linear_gid(ctx);
+    if (c < ncols) column(k + 1 + c);
+  }
+}
+
+void reference(int n, std::vector<float>& a, std::vector<float>& r,
+               std::vector<float>& q) {
+  for (int k = 0; k < n; ++k) {
+    float nrm = 0.0f;
+    for (int i = 0; i < n; ++i) {
+      float v = a[static_cast<std::size_t>(i) * n + k];
+      nrm += v * v;
+    }
+    float rkk = std::sqrt(nrm);
+    r[static_cast<std::size_t>(k) * n + k] = rkk;
+    for (int i = 0; i < n; ++i)
+      q[static_cast<std::size_t>(i) * n + k] =
+          a[static_cast<std::size_t>(i) * n + k] / rkk;
+    for (int j = k + 1; j < n; ++j) {
+      float dot = 0.0f;
+      for (int i = 0; i < n; ++i)
+        dot += q[static_cast<std::size_t>(i) * n + k] *
+               a[static_cast<std::size_t>(i) * n + j];
+      r[static_cast<std::size_t>(k) * n + j] = dot;
+      for (int i = 0; i < n; ++i)
+        a[static_cast<std::size_t>(i) * n + j] -=
+            q[static_cast<std::size_t>(i) * n + k] * dot;
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_gramschmidt(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  const std::size_t bytes = static_cast<std::size_t>(n) * n * sizeof(float);
+  const bool ompi = v == Variant::Ompi;
+
+  h.add_kernel(ompi ? "_kernelFunc0_" : "gramschmidt_kernel1", 4,
+               [](jetsim::KernelCtx& c, const cudadrv::ArgPack& a) {
+                 if (devrt::reserved_shmem() <= c.shmem_size())
+                   devrt::combined_init(c);
+                 norm_kernel_body(c, a);
+               });
+  h.add_kernel(ompi ? "_kernelFunc1_" : "gramschmidt_kernel2", 5,
+               [ompi](jetsim::KernelCtx& c, const cudadrv::ArgPack& a) {
+                 if (ompi) devrt::combined_init(c);
+                 qcol_kernel_body(c, a, ompi);
+               });
+  h.add_kernel(ompi ? "_kernelFunc2_" : "gramschmidt_kernel3", 5,
+               [ompi](jetsim::KernelCtx& c, const cudadrv::ArgPack& a) {
+                 if (ompi) devrt::combined_init(c);
+                 update_kernel_body(c, a, ompi);
+               });
+  h.install();
+
+  std::vector<float> a, r(static_cast<std::size_t>(n) * n, 0.0f),
+      q(static_cast<std::size_t>(n) * n, 0.0f);
+  fill_matrix(a, n, n, 501);
+  // Shift away from zero so columns are far from linearly dependent.
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += (i % 7 == 0) ? 2.0f : 0.0f;
+  std::vector<float> a_ref = a;
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  if (!ompi) {
+    cudadrv::CUdeviceptr da = h.dev_alloc(bytes), dr = h.dev_alloc(bytes),
+                         dq = h.dev_alloc(bytes);
+    h.mark_start();
+    h.to_device(da, a.data(), bytes);
+    for (int k = 0; k < n; ++k) {
+      int kp = k;
+      h.launch("gramschmidt_kernel1", 1, 1, 256, 1, {&np, &kp, &da, &dr});
+      h.launch("gramschmidt_kernel2", blocks, 1, 256, 1,
+               {&np, &kp, &da, &dr, &dq});
+      h.launch("gramschmidt_kernel3", blocks, 1, 256, 1,
+               {&np, &kp, &da, &dr, &dq});
+    }
+    h.from_device(a.data(), da, bytes);
+    h.from_device(r.data(), dr, bytes);
+    h.from_device(q.data(), dq, bytes);
+  } else {
+    // The OpenMP version keeps all three matrices resident for the whole
+    // factorization (target data) and offloads 3n target regions.
+    std::vector<hostrt::MapItem> data_maps = {
+        {a.data(), bytes, hostrt::MapType::ToFrom},
+        {r.data(), bytes, hostrt::MapType::From},
+        {q.data(), bytes, hostrt::MapType::From},
+    };
+    h.mark_start();
+    h.target_data_begin(data_maps);
+    for (int k = 0; k < n; ++k) {
+      int kp = k;
+      h.target("_kernelFunc0_", 1, 1, 256, 1, data_maps,
+               {hostrt::KernelArg::of(np), hostrt::KernelArg::of(kp),
+                hostrt::KernelArg::mapped(a.data()),
+                hostrt::KernelArg::mapped(r.data())});
+      h.target("_kernelFunc1_", blocks, 1, 256, 1, data_maps,
+               {hostrt::KernelArg::of(np), hostrt::KernelArg::of(kp),
+                hostrt::KernelArg::mapped(a.data()),
+                hostrt::KernelArg::mapped(r.data()),
+                hostrt::KernelArg::mapped(q.data())});
+      h.target("_kernelFunc2_", blocks, 1, 256, 1, data_maps,
+               {hostrt::KernelArg::of(np), hostrt::KernelArg::of(kp),
+                hostrt::KernelArg::mapped(a.data()),
+                hostrt::KernelArg::mapped(r.data()),
+                hostrt::KernelArg::mapped(q.data())});
+    }
+    h.target_data_end(data_maps);
+  }
+
+  if (options.verify) {
+    std::vector<float> r_ref(static_cast<std::size_t>(n) * n, 0.0f),
+        q_ref(static_cast<std::size_t>(n) * n, 0.0f);
+    reference(n, a_ref, r_ref, q_ref);
+    verified = nearly_equal(q, q_ref, 1e-2f) && nearly_equal(a, a_ref, 1e-2f);
+  }
+  return h.finish(verified);
+}
+
+const std::vector<AppDesc>& fig4_apps() {
+  static const std::vector<AppDesc> apps = {
+      {"3dconv", &run_3dconv, {32, 64, 128, 256, 384}},
+      {"bicg", &run_bicg, {512, 1024, 2048, 4096, 8192}},
+      {"atax", &run_atax, {512, 1024, 2048, 4096, 8192}},
+      {"mvt", &run_mvt, {512, 1024, 2048, 4096, 8192}},
+      {"gemm", &run_gemm, {128, 256, 512, 1024, 2048}},
+      {"gramschmidt", &run_gramschmidt, {128, 256, 512, 1024, 2048}},
+  };
+  return apps;
+}
+
+}  // namespace apps

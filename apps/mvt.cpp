@@ -1,0 +1,167 @@
+// MVT kernel (Fig. 4d): x1 += A y1 and x2 += A^T y2; two independent
+// matrix-vector products, one thread per output element.
+#include "apps/polybench.h"
+
+namespace apps {
+
+namespace {
+
+jetsim::Cost row_iter_cost() {  // x1: each lane walks its own row
+  return gmem_cost(jetsim::Access::Strided, 4) +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+jetsim::Cost col_iter_cost() {  // x2: A^T walk, lanes touch adjacent cols
+  return gmem_cost(jetsim::Access::Coalesced, 4) +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+void x1_element(jetsim::KernelCtx& ctx, int i, int n, const float* a,
+                const float* y1, float* x1) {
+  ctx.charge(gmem_cost(jetsim::Access::Coalesced, 4) * 2);
+  if (ctx.model_only()) {
+    ctx.charge(row_iter_cost() * n);
+    return;
+  }
+  float acc = x1[i];
+  for (int j = 0; j < n; ++j) {
+    ctx.charge(row_iter_cost());
+    acc += a[i * n + j] * y1[j];
+  }
+  x1[i] = acc;
+}
+
+void x2_element(jetsim::KernelCtx& ctx, int i, int n, const float* a,
+                const float* y2, float* x2) {
+  ctx.charge(gmem_cost(jetsim::Access::Coalesced, 4) * 2);
+  if (ctx.model_only()) {
+    ctx.charge(col_iter_cost() * n);
+    return;
+  }
+  float acc = x2[i];
+  for (int j = 0; j < n; ++j) {
+    ctx.charge(col_iter_cost());
+    acc += a[j * n + i] * y2[j];
+  }
+  x2[i] = acc;
+}
+
+}  // namespace
+
+RunResult run_mvt(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  const std::size_t mat_bytes = static_cast<std::size_t>(n) * n * sizeof(float);
+  const std::size_t vec_bytes = static_cast<std::size_t>(n) * sizeof(float);
+  const bool ompi = v == Variant::Ompi;
+
+  auto make_kernel = [ompi](bool transposed) {
+    return [ompi, transposed](jetsim::KernelCtx& ctx,
+                              const cudadrv::ArgPack& args) {
+      if (ompi) devrt::combined_init(ctx);
+      int n = args.value<int>(0);
+      std::size_t count = static_cast<std::size_t>(n) * n;
+      const float* a = args.pointer<float>(1, count);
+      const float* y = args.pointer<float>(2, static_cast<std::size_t>(n));
+      float* x = args.pointer<float>(3, static_cast<std::size_t>(n));
+      auto element = [&](int i) {
+        if (transposed)
+          x2_element(ctx, i, n, a, y, x);
+        else
+          x1_element(ctx, i, n, a, y, x);
+      };
+      if (ompi) {
+        devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+        if (!team.valid) return;
+        devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+        for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+          element(static_cast<int>(i));
+      } else {
+        int i = linear_gid(ctx);
+        if (i < n) element(i);
+      }
+    };
+  };
+
+  h.add_kernel(ompi ? "_kernelFunc0_" : "mvt_kernel1", 4,
+               make_kernel(false));
+  h.add_kernel(ompi ? "_kernelFunc1_" : "mvt_kernel2", 4, make_kernel(true));
+  h.install();
+
+  std::vector<float> a, x1(static_cast<std::size_t>(n)),
+      x2(static_cast<std::size_t>(n)), y1(static_cast<std::size_t>(n)),
+      y2(static_cast<std::size_t>(n));
+  fill_matrix(a, n, n, 301);
+  fill_vector(x1, 302);
+  fill_vector(x2, 303);
+  fill_vector(y1, 304);
+  fill_vector(y2, 305);
+  std::vector<float> x1_ref = x1, x2_ref = x2;
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  if (v == Variant::Cuda) {
+    cudadrv::CUdeviceptr da = h.dev_alloc(mat_bytes),
+                         dx1 = h.dev_alloc(vec_bytes),
+                         dx2 = h.dev_alloc(vec_bytes),
+                         dy1 = h.dev_alloc(vec_bytes),
+                         dy2 = h.dev_alloc(vec_bytes);
+    h.mark_start();
+    h.to_device(da, a.data(), mat_bytes);
+    h.to_device(dx1, x1.data(), vec_bytes);
+    h.to_device(dx2, x2.data(), vec_bytes);
+    h.to_device(dy1, y1.data(), vec_bytes);
+    h.to_device(dy2, y2.data(), vec_bytes);
+    h.launch("mvt_kernel1", blocks, 1, 32, 8, {&np, &da, &dy1, &dx1});
+    h.launch("mvt_kernel2", blocks, 1, 32, 8, {&np, &da, &dy2, &dx2});
+    h.from_device(x1.data(), dx1, vec_bytes);
+    h.from_device(x2.data(), dx2, vec_bytes);
+  } else {
+    std::vector<hostrt::MapItem> data_maps = {
+        {a.data(), mat_bytes, hostrt::MapType::To},
+    };
+    h.mark_start();
+    h.target_data_begin(data_maps);
+    h.target("_kernelFunc0_", blocks, 1, 32, 8,
+             {{a.data(), mat_bytes, hostrt::MapType::To},
+              {y1.data(), vec_bytes, hostrt::MapType::To},
+              {x1.data(), vec_bytes, hostrt::MapType::ToFrom}},
+             {hostrt::KernelArg::of(np), hostrt::KernelArg::mapped(a.data()),
+              hostrt::KernelArg::mapped(y1.data()),
+              hostrt::KernelArg::mapped(x1.data())});
+    h.target("_kernelFunc1_", blocks, 1, 32, 8,
+             {{a.data(), mat_bytes, hostrt::MapType::To},
+              {y2.data(), vec_bytes, hostrt::MapType::To},
+              {x2.data(), vec_bytes, hostrt::MapType::ToFrom}},
+             {hostrt::KernelArg::of(np), hostrt::KernelArg::mapped(a.data()),
+              hostrt::KernelArg::mapped(y2.data()),
+              hostrt::KernelArg::mapped(x2.data())});
+    h.target_data_end(data_maps);
+  }
+
+  if (options.verify) {
+    for (int i = 0; i < n; ++i) {
+      float acc1 = x1_ref[static_cast<std::size_t>(i)];
+      float acc2 = x2_ref[static_cast<std::size_t>(i)];
+      for (int j = 0; j < n; ++j) {
+        acc1 += a[static_cast<std::size_t>(i) * n + j] *
+                y1[static_cast<std::size_t>(j)];
+        acc2 += a[static_cast<std::size_t>(j) * n + i] *
+                y2[static_cast<std::size_t>(j)];
+      }
+      x1_ref[static_cast<std::size_t>(i)] = acc1;
+      x2_ref[static_cast<std::size_t>(i)] = acc2;
+    }
+    verified = nearly_equal(x1, x1_ref) && nearly_equal(x2, x2_ref);
+  }
+  return h.finish(verified);
+}
+
+}  // namespace apps

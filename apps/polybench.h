@@ -1,0 +1,37 @@
+// The six Fig. 4 applications of the paper (from the Unibench remake of
+// Polybench-ACC): one stencil, four kernels, one solver. Each runs in
+// both variants (pure CUDA and OMPi CUDADEV) on the simulated board and
+// reports the modeled execution time including memory operations.
+//
+//   app          sizes in the paper          geometry
+//   3dconv       32..384   (cube side)       2 x 4 x 32 threads
+//   bicg         512..8192                   32 x 8
+//   atax         512..8192                   32 x 8
+//   mvt          512..8192                   32 x 8
+//   gemm         128..2048                   32 x 8
+//   gramschmidt  128..2048                   256 x 1
+#pragma once
+
+#include "apps/common.h"
+
+namespace apps {
+
+RunResult run_3dconv(Variant v, int n, const RunOptions& options);
+RunResult run_bicg(Variant v, int n, const RunOptions& options);
+RunResult run_atax(Variant v, int n, const RunOptions& options);
+RunResult run_mvt(Variant v, int n, const RunOptions& options);
+RunResult run_gemm(Variant v, int n, const RunOptions& options);
+RunResult run_gramschmidt(Variant v, int n, const RunOptions& options);
+
+using AppFn = RunResult (*)(Variant, int, const RunOptions&);
+
+struct AppDesc {
+  const char* name;
+  AppFn fn;
+  std::vector<int> paper_sizes;  // the x-axis of the Fig. 4 plot
+};
+
+/// All Fig. 4 applications with the problem sizes the paper sweeps.
+const std::vector<AppDesc>& fig4_apps();
+
+}  // namespace apps

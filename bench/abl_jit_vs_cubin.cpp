@@ -1,0 +1,77 @@
+// Ablation A1 — kernel binary modes (paper §3.3): PTX with runtime JIT
+// (cold and warm disk cache) versus cubin. Prints the modeled
+// first-offload latency per mode and kernel-file size; cubin avoids JIT
+// entirely, which is why OMPi uses it by default.
+#include <cstdio>
+
+#include "cudadrv/cuda.h"
+
+namespace {
+
+using namespace cudadrv;
+
+void install(const char* path, BinaryKind kind, std::size_t code_size) {
+  ModuleImage img;
+  img.path = path;
+  img.kind = kind;
+  img.code_size = code_size;
+  KernelImage k;
+  k.name = "k";
+  k.param_count = 0;
+  k.entry = [](jetsim::KernelCtx& ctx, const ArgPack&) {
+    ctx.charge_flops(100);
+  };
+  img.add_kernel(std::move(k));
+  BinaryRegistry::instance().install(std::move(img));
+}
+
+double time_first_offload(const char* path) {
+  CUmodule mod;
+  CUfunction fn;
+  double t0 = cuSimDevice().now();
+  cuModuleLoad(&mod, path);
+  cuModuleGetFunction(&fn, mod, "k");
+  cuLaunchKernel(fn, 1, 1, 1, 128, 1, 1, 0, nullptr, nullptr, nullptr);
+  return cuSimDevice().now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A1 — kernel binary mode vs first-offload latency "
+              "(modeled ms)\n");
+  std::printf("%12s  %12s  %12s  %12s\n", "kernel KB", "cubin",
+              "ptx (cold)", "ptx (warm)");
+
+  for (std::size_t kb : {4, 16, 64, 256}) {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+    cuInit(0);
+    CUcontext ctx;
+    cuCtxCreate(&ctx, 0, 0);
+
+    // Cubins carry SASS and are roughly 3x the PTX size for the same
+    // kernel (paper: ptx "tends to produce lighter kernel binaries").
+    install("k.ptx", BinaryKind::Ptx, kb * 1024);
+    install("k.cubin", BinaryKind::Cubin, 3 * kb * 1024);
+
+    double cubin_ms = time_first_offload("k.cubin") * 1e3;
+    double cold_ms = time_first_offload("k.ptx") * 1e3;
+    cuSimReset();  // drop contexts/modules but rebuild; keep… cache gone
+    BinaryRegistry::instance().clear();
+    cuInit(0);
+    cuCtxCreate(&ctx, 0, 0);
+    install("k.ptx", BinaryKind::Ptx, kb * 1024);
+    time_first_offload("k.ptx");                       // populate cache
+    cuSimClearJitCache();
+    time_first_offload("k.ptx");                       // cold again
+    double warm_ms = time_first_offload("k.ptx") * 1e3;  // module cache? no:
+    // each cuModuleLoad call goes through the registry again, so this
+    // measures the warm-disk-cache JIT path.
+    std::printf("%12zu  %12.3f  %12.3f  %12.3f\n", kb, cubin_ms, cold_ms,
+                warm_ms);
+  }
+  std::printf("\ncubin mode (OMPi default) pays a size-proportional load "
+              "but never compiles at runtime.\n");
+  return 0;
+}

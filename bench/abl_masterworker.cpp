@@ -1,0 +1,95 @@
+// Ablation A3 — combined-construct lowering vs the master/worker scheme
+// for the same parallel loop (paper §3.1 vs §3.2). Combined kernels use
+// every launched thread directly; the master/worker scheme masks 31
+// lanes, runs sequential master code, and pays the B1/B2 barrier
+// protocol per region — which is why the combined construct is "the
+// recommended way to target loops to gpus".
+#include <cstdio>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+double run_combined(long long n, int regions) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  cfg.shared_mem = devrt::reserved_shmem();
+  cfg.kernel_name = "combined";
+  cfg.model_only = true;
+  double total = 0;
+  for (int r = 0; r < regions; ++r) {
+    auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+      devrt::combined_init(ctx);
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (!team.valid) return;
+      devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+      for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+        ctx.charge_cycles(4);
+    });
+    total += acc.time_s;
+  }
+  return total * 1e3;
+}
+
+struct RegionArgs {
+  long long n;
+};
+
+void region_fn(KernelCtx& ctx, void* vp) {
+  auto* a = static_cast<RegionArgs*>(vp);
+  devrt::Chunk mine = devrt::get_static_chunk(ctx, 0, a->n);
+  for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+    ctx.charge_cycles(4);
+}
+
+double run_masterworker(long long n, int regions) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(devrt::kMWBlockThreads)};
+  cfg.shared_mem = devrt::reserved_shmem();
+  cfg.kernel_name = "masterworker";
+  cfg.model_only = true;
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    devrt::target_init(ctx);
+    if (devrt::in_masterwarp(ctx)) {
+      if (!devrt::is_masterthr(ctx)) return;
+      RegionArgs args{n};
+      for (int r = 0; r < regions; ++r) {
+        ctx.charge_cycles(200);  // sequential master code between regions
+        devrt::register_parallel(ctx, &region_fn, &args, 96);
+      }
+      devrt::exit_target(ctx);
+    } else {
+      devrt::workerfunc(ctx);
+    }
+  });
+  return acc.time_s * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A3 — combined construct vs master/worker scheme "
+              "(modeled ms)\n");
+  std::printf("%12s  %10s  %12s  %14s  %10s\n", "iterations", "regions",
+              "combined", "master/worker", "MW/comb");
+  for (long long n : {1024LL, 16384LL, 262144LL}) {
+    for (int regions : {1, 8, 64}) {
+      double comb = run_combined(n, regions);
+      double mw = run_masterworker(n, regions);
+      std::printf("%12lld  %10d  %12.4f  %14.4f  %10.2f\n", n, regions, comb,
+                  mw, mw / comb);
+    }
+  }
+  std::printf("\nThe master/worker scheme amortizes its barrier protocol "
+              "over large loops but loses 25%% of the launched threads "
+              "(the masked master warp) and serializes master code.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Shared driver for the Fig. 4 benchmark binaries: runs one application
+// over the paper's problem-size sweep in both variants and prints the
+// series the paper plots (execution time in seconds per size).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/polybench.h"
+
+namespace bench {
+
+struct Fig4Options {
+  std::vector<int> sizes;   // empty: the paper's sweep
+  bool verify_smallest = true;
+  bool csv = false;         // machine-readable series for plotting
+  /// OMPi-side calibration per size (empty: none). Used by fig4e to
+  /// reproduce the paper's unexplained gemm@2048 observation.
+  std::vector<std::pair<int, double>> ompi_calibration;
+};
+
+inline Fig4Options parse_args(int argc, char** argv) {
+  Fig4Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sizes") == 0 && i + 1 < argc) {
+      char* tok = std::strtok(argv[++i], ",");
+      while (tok) {
+        opt.sizes.push_back(std::atoi(tok));
+        tok = std::strtok(nullptr, ",");
+      }
+    } else if (std::strcmp(argv[i], "--no-verify") == 0) {
+      opt.verify_smallest = false;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      opt.csv = true;
+      opt.verify_smallest = false;
+    }
+  }
+  return opt;
+}
+
+inline double ompi_calibration_for(const Fig4Options& opt, int n) {
+  for (auto [size, factor] : opt.ompi_calibration)
+    if (size == n) return factor;
+  return 1.0;
+}
+
+/// Runs the figure and prints its table. Returns nonzero on a
+/// verification failure.
+inline int run_fig4(const char* figure_id, const apps::AppDesc& app,
+                    const Fig4Options& opt) {
+  std::vector<int> sizes = opt.sizes.empty() ? app.paper_sizes : opt.sizes;
+
+  if (opt.csv) {
+    std::printf("figure,app,size,cuda_s,ompi_s\n");
+  } else {
+    std::printf("Fig. %s — %s: execution time (seconds)\n", figure_id,
+                app.name);
+    std::printf("%8s  %12s  %14s  %10s\n", "size", "CUDA", "OMPi CUDADEV",
+                "OMPi/CUDA");
+  }
+
+  int failures = 0;
+  bool verified_once = false;
+  for (int n : sizes) {
+    apps::RunOptions cuda_opt;  // model-only sweep
+    apps::RunOptions ompi_opt;
+    ompi_opt.calibration = ompi_calibration_for(opt, n);
+
+    apps::RunResult cuda = app.fn(apps::Variant::Cuda, n, cuda_opt);
+    apps::RunResult ompi = app.fn(apps::Variant::Ompi, n, ompi_opt);
+    if (opt.csv) {
+      std::printf("%s,%s,%d,%.6f,%.6f\n", figure_id, app.name, n,
+                  cuda.seconds, ompi.seconds);
+      continue;
+    }
+    std::printf("%8d  %12.4f  %14.4f  %10.3f%s\n", n, cuda.seconds,
+                ompi.seconds, ompi.seconds / cuda.seconds,
+                ompi_opt.calibration != 1.0 ? "  (*)" : "");
+
+    if (opt.verify_smallest && !verified_once) {
+      verified_once = true;
+      apps::RunOptions v;
+      v.model_only = false;
+      v.verify = true;
+      apps::RunResult rc = app.fn(apps::Variant::Cuda, n, v);
+      apps::RunResult ro = app.fn(apps::Variant::Ompi, n, v);
+      if (!rc.verified || !ro.verified) {
+        std::printf("  !! verification FAILED at n=%d (CUDA=%s OMPi=%s)\n",
+                    n, rc.verified ? "ok" : "bad", ro.verified ? "ok" : "bad");
+        ++failures;
+      } else {
+        std::printf("  (results verified against the sequential reference "
+                    "at n=%d)\n", n);
+      }
+    }
+  }
+  if (!opt.csv) {
+    if (!opt.ompi_calibration.empty())
+      std::printf("  (*) calibrated reproduction of the paper's unexplained "
+                  "OMPi slowdown; see EXPERIMENTS.md\n");
+    std::printf("\n");
+  }
+  return failures;
+}
+
+inline const apps::AppDesc& find_app(const char* name) {
+  for (const apps::AppDesc& a : apps::fig4_apps())
+    if (std::strcmp(a.name, name) == 0) return a;
+  std::fprintf(stderr, "unknown app %s\n", name);
+  std::exit(2);
+}
+
+}  // namespace bench

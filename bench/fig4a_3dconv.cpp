@@ -1,0 +1,7 @@
+// Regenerates Fig. 4a of the paper: 3dconv, CUDA vs OMPi CUDADEV.
+#include "bench/fig4_common.h"
+
+int main(int argc, char** argv) {
+  bench::Fig4Options opt = bench::parse_args(argc, argv);
+  return bench::run_fig4("4a", bench::find_app("3dconv"), opt);
+}

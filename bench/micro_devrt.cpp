@@ -1,0 +1,148 @@
+// Micro M1 — host-side wall-clock cost of the device-runtime primitives
+// as implemented by this library (google-benchmark). These measure the
+// simulator implementation itself: how expensive it is to simulate one
+// lock round, one barrier generation, one chunk computation, etc.
+#include <benchmark/benchmark.h>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig combined_cfg(unsigned threads) {
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {threads};
+  cfg.shared_mem = devrt::reserved_shmem();
+  return cfg;
+}
+
+void BM_LaunchEmptyBlock(benchmark::State& state) {
+  jetsim::Device dev;
+  auto cfg = combined_cfg(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    dev.launch(cfg, [](KernelCtx& ctx) { devrt::combined_init(ctx); });
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LaunchEmptyBlock)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ChunkCalculation(benchmark::State& state) {
+  jetsim::Device dev;
+  auto cfg = combined_cfg(128);
+  for (auto _ : state) {
+    dev.launch(cfg, [](KernelCtx& ctx) {
+      devrt::combined_init(ctx);
+      for (int r = 0; r < 100; ++r) {
+        devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, 1 << 20);
+        devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+        benchmark::DoNotOptimize(mine);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 100);
+}
+BENCHMARK(BM_ChunkCalculation);
+
+void BM_DynamicChunkContention(benchmark::State& state) {
+  jetsim::Device dev;
+  auto cfg = combined_cfg(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    dev.launch(cfg, [](KernelCtx& ctx) {
+      devrt::combined_init(ctx);
+      devrt::ws_loop_init(ctx, 0, 4096);
+      for (;;) {
+        devrt::Chunk c = devrt::get_dynamic_chunk(ctx, 16);
+        if (!c.valid) break;
+      }
+      devrt::ws_loop_end(ctx, false);
+    });
+  }
+}
+BENCHMARK(BM_DynamicChunkContention)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_BarrierRound(benchmark::State& state) {
+  jetsim::Device dev;
+  auto cfg = combined_cfg(128);
+  for (auto _ : state) {
+    dev.launch(cfg, [](KernelCtx& ctx) {
+      devrt::combined_init(ctx);
+      for (int r = 0; r < 10; ++r) devrt::barrier(ctx);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_BarrierRound);
+
+void BM_CriticalContention(benchmark::State& state) {
+  jetsim::Device dev;
+  auto cfg = combined_cfg(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    devrt::reset_globals();
+    dev.launch(cfg, [](KernelCtx& ctx) {
+      devrt::combined_init(ctx);
+      devrt::critical_enter(ctx, "bench");
+      devrt::critical_exit(ctx, "bench");
+    });
+  }
+}
+BENCHMARK(BM_CriticalContention)->Arg(32)->Arg(128);
+
+void BM_ShmemPushPop(benchmark::State& state) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(devrt::kMWBlockThreads)};
+  cfg.shared_mem = devrt::reserved_shmem();
+  for (auto _ : state) {
+    dev.launch(cfg, [](KernelCtx& ctx) {
+      devrt::target_init(ctx);
+      if (devrt::in_masterwarp(ctx)) {
+        if (!devrt::is_masterthr(ctx)) return;
+        for (int r = 0; r < 100; ++r) {
+          double v = r;
+          auto* p = devrt::push_shmem(ctx, &v, sizeof v);
+          benchmark::DoNotOptimize(p);
+          devrt::pop_shmem(ctx, &v, sizeof v);
+        }
+        devrt::exit_target(ctx);
+      } else {
+        devrt::workerfunc(ctx);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ShmemPushPop);
+
+void BM_RegisterParallelRoundTrip(benchmark::State& state) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(devrt::kMWBlockThreads)};
+  cfg.shared_mem = devrt::reserved_shmem();
+  const int regions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    dev.launch(cfg, [&](KernelCtx& ctx) {
+      devrt::target_init(ctx);
+      if (devrt::in_masterwarp(ctx)) {
+        if (!devrt::is_masterthr(ctx)) return;
+        for (int r = 0; r < regions; ++r)
+          devrt::register_parallel(
+              ctx, [](KernelCtx&, void*) {}, nullptr, 96);
+        devrt::exit_target(ctx);
+      } else {
+        devrt::workerfunc(ctx);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * regions);
+}
+BENCHMARK(BM_RegisterParallelRoundTrip)->Arg(1)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Micro M2 — host-runtime operation costs (google-benchmark): data
+// environment map/lookup/unmap with reference counting, transfer-path
+// throughput and the end-to-end offload path of the cudadev module.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+void install_noop_kernel() {
+  cudadrv::ModuleImage img;
+  img.path = "bench_kernels.cubin";
+  cudadrv::KernelImage k;
+  k.name = "noop";
+  k.param_count = 1;
+  k.entry = [](jetsim::KernelCtx&, const cudadrv::ArgPack&) {};
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+void BM_MapUnmapRoundTrip(benchmark::State& state) {
+  Runtime::reset();
+  install_noop_kernel();
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  std::vector<float> buf(static_cast<std::size_t>(state.range(0)));
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::ToFrom};
+  for (auto _ : state) {
+    rt.env(0).map(item);
+    rt.env(0).unmap(item);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(item.size) * 2);
+}
+BENCHMARK(BM_MapUnmapRoundTrip)->Arg(1024)->Arg(256 * 1024);
+
+void BM_PresentLookup(benchmark::State& state) {
+  Runtime::reset();
+  install_noop_kernel();
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  // Populate the table with many ranges, then look up interior pointers.
+  const int ranges = static_cast<int>(state.range(0));
+  std::vector<std::vector<float>> bufs(static_cast<std::size_t>(ranges));
+  for (auto& b : bufs) {
+    b.resize(64);
+    rt.env(0).map({b.data(), 64 * sizeof(float), MapType::Alloc});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.env(0).lookup(&bufs[i % bufs.size()][13]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PresentLookup)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_RefcountedInnerMap(benchmark::State& state) {
+  // The target-data pattern: the outer region holds the mapping, inner
+  // constructs only touch the reference count.
+  Runtime::reset();
+  install_noop_kernel();
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  std::vector<float> buf(4096);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::ToFrom};
+  rt.env(0).map(item);
+  for (auto _ : state) {
+    rt.env(0).map(item);
+    rt.env(0).unmap(item);
+  }
+  rt.env(0).unmap(item);
+}
+BENCHMARK(BM_RefcountedInnerMap);
+
+void BM_FullTargetConstruct(benchmark::State& state) {
+  Runtime::reset();
+  install_noop_kernel();
+  Runtime& rt = Runtime::instance();
+  std::vector<float> buf(static_cast<std::size_t>(state.range(0)));
+  std::vector<MapItem> maps = {
+      {buf.data(), buf.size() * sizeof(float), MapType::ToFrom}};
+  KernelLaunchSpec spec;
+  spec.module_path = "bench_kernels.cubin";
+  spec.kernel_name = "noop";
+  spec.geometry.teams_x = 1;
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(buf.data())};
+  for (auto _ : state) {
+    rt.target(0, spec, maps);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullTargetConstruct)->Arg(1024)->Arg(1 << 20);
+
+void BM_ModeledMemcpyThroughput(benchmark::State& state) {
+  cudadrv::cuSimReset();
+  cudadrv::BinaryRegistry::instance().clear();
+  cudadrv::cuInit(0);
+  cudadrv::CUcontext ctx;
+  cudadrv::cuCtxCreate(&ctx, 0, 0);
+  std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<char> host(bytes, 1);
+  cudadrv::CUdeviceptr dptr;
+  cudadrv::cuMemAlloc(&dptr, bytes);
+  for (auto _ : state) {
+    cudadrv::cuMemcpyHtoD(dptr, host.data(), bytes);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ModeledMemcpyThroughput)->Arg(4096)->Arg(1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Regenerates the Fig. 4 plots of the paper from the bench binaries.
+
+Usage:
+    for b in build/bench/fig4*; do $b --csv; done > fig4.csv
+    python3 bench/plot_fig4.py fig4.csv          # writes fig4.png
+
+Requires matplotlib; without it, prints the parsed series instead.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path):
+    series = defaultdict(list)  # (figure, app) -> [(size, cuda, ompi)]
+    with open(path) as f:
+        for row in csv.reader(f):
+            if len(row) != 5 or row[0] == "figure":
+                continue
+            fig, app, size, cuda_s, ompi_s = row
+            series[(fig, app)].append((int(size), float(cuda_s),
+                                       float(ompi_s)))
+    for key in series:
+        series[key].sort()
+    return series
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    series = load(sys.argv[1])
+    if not series:
+        print("no data rows found")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for (fig, app), rows in sorted(series.items()):
+            print(f"Fig. {fig} — {app}")
+            for size, cuda_s, ompi_s in rows:
+                print(f"  {size:6d}  CUDA {cuda_s:.4f}s  OMPi {ompi_s:.4f}s")
+        print("\n(matplotlib not available; printed the series instead)")
+        return 0
+
+    keys = sorted(series.keys())
+    fig, axes = plt.subplots(2, 3, figsize=(15, 8))
+    for ax, key in zip(axes.flat, keys):
+        rows = series[key]
+        sizes = [r[0] for r in rows]
+        ax.plot(sizes, [r[1] for r in rows], "o-", label="CUDA")
+        ax.plot(sizes, [r[2] for r in rows], "s--", label="OMPi CUDADEV")
+        ax.set_title(f"Fig. {key[0]}: {key[1]}")
+        ax.set_xlabel("Problem size")
+        ax.set_ylabel("Execution time (s)")
+        ax.legend()
+    fig.tight_layout()
+    fig.savefig("fig4.png", dpi=120)
+    print("wrote fig4.png")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

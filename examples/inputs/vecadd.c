@@ -1,0 +1,15 @@
+float a[256];
+float b[256];
+float c[256];
+
+int main(void)
+{
+  int n = 256;
+  for (int i = 0; i < n; i++) { a[i] = i; b[i] = 2 * i; }
+  #pragma omp target teams distribute parallel for \
+          map(to: a[0:n], b[0:n]) map(from: c[0:n])
+  for (int i = 0; i < n; i++)
+    c[i] = a[i] + b[i];
+  printf("c[100] = %.1f\n", c[100]);
+  return 0;
+}

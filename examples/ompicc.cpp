@@ -1,0 +1,108 @@
+// ompicc — the command-line driver of the translator (the front half of
+// Fig. 2 in the paper). Translates an OpenMP C file, writes the host
+// file and the per-kernel CUDA C files, and can run the program on the
+// simulated board.
+//
+//   ompicc file.c                 translate, write file_ompi.c + kernels
+//   ompicc file.c --run           translate and execute main()
+//   ompicc file.c --ptx           ptx mode (runtime JIT) instead of cubin
+//   ompicc file.c --emit-host     print the generated host file
+//   ompicc file.c --emit-kernels  print the generated kernel files
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "hostrt/runtime.h"
+#include "kernelvm/interp.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ompicc <file.c> [--run] [--ptx] [--emit-host] "
+               "[--emit-kernels] [--no-write]\n");
+  return 2;
+}
+
+std::string stem_of(const std::string& path) {
+  std::string base = path;
+  if (auto slash = base.find_last_of('/'); slash != std::string::npos)
+    base = base.substr(slash + 1);
+  if (auto dot = base.find_last_of('.'); dot != std::string::npos)
+    base = base.substr(0, dot);
+  return base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  bool run = false, emit_host = false, emit_kernels = false, write = true;
+  ompi::CompileOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--run") == 0) run = true;
+    else if (std::strcmp(argv[i], "--ptx") == 0) options.ptx_mode = true;
+    else if (std::strcmp(argv[i], "--emit-host") == 0) emit_host = true;
+    else if (std::strcmp(argv[i], "--emit-kernels") == 0) emit_kernels = true;
+    else if (std::strcmp(argv[i], "--no-write") == 0) write = false;
+    else if (argv[i][0] == '-') return usage();
+    else if (!input.empty()) return usage();
+    else input = argv[i];
+  }
+  if (input.empty()) return usage();
+
+  std::ifstream in(input);
+  if (!in) {
+    std::fprintf(stderr, "ompicc: cannot open %s\n", input.c_str());
+    return 1;
+  }
+  std::ostringstream src;
+  src << in.rdbuf();
+  options.unit_name = stem_of(input);
+
+  ompi::Arena arena;
+  ompi::CompileOutput out = ompi::compile(src.str(), options, arena);
+  if (!out.ok) {
+    std::fprintf(stderr, "%s", out.diagnostics.c_str());
+    return 1;
+  }
+  if (!out.diagnostics.empty())
+    std::fprintf(stderr, "%s", out.diagnostics.c_str());
+
+  std::fprintf(stderr, "ompicc: %zu kernel(s) from unit '%s' (%s mode)\n",
+               out.kernels.size(), options.unit_name.c_str(),
+               options.ptx_mode ? "ptx" : "cubin");
+
+  if (write) {
+    std::string host_name = options.unit_name + "_ompi.c";
+    std::ofstream(host_name) << out.host_code;
+    std::fprintf(stderr, "ompicc: wrote %s\n", host_name.c_str());
+    for (const ompi::KernelFileText& f : out.kernel_files) {
+      std::ofstream(f.filename) << f.code;
+      std::fprintf(stderr, "ompicc: wrote %s\n", f.filename.c_str());
+    }
+  }
+  if (emit_host) std::fputs(out.host_code.c_str(), stdout);
+  if (emit_kernels)
+    for (const ompi::KernelFileText& f : out.kernel_files) {
+      std::printf("/* ==== %s ==== */\n", f.filename.c_str());
+      std::fputs(f.code.c_str(), stdout);
+    }
+
+  if (run) {
+    hostrt::Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    try {
+      kernelvm::Interp::Options vm_opts;
+      vm_opts.echo_stdout = true;
+      kernelvm::Interp vm(out, vm_opts);
+      return static_cast<int>(vm.call_host("main").as_int());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ompicc: runtime error: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: the paper's Fig. 1 SAXPY, end to end.
+//
+// An OpenMP C program with a target construct is translated by the OMPi
+// compiler (outlining + master/worker lowering), its kernel binary is
+// registered with the simulated CUDA driver, and the program runs with
+// the kernel offloaded to the simulated Jetson Nano GPU.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "hostrt/runtime.h"
+#include "kernelvm/interp.h"
+
+namespace {
+
+const char* kProgram = R"(
+float x[10000];
+float y[10000];
+
+/* Host function that performs SAXPY on the device (paper Fig. 1) */
+void saxpy_device(float a, int size)
+{
+  #pragma omp target map(to: a, size, x[0:size]) map(tofrom: y[0:size])
+  {
+    #pragma omp parallel for
+    for (int i = 0; i < size; i++)
+      y[i] = a * x[i] + y[i];
+  }
+}
+
+int main(void)
+{
+  int n = 10000;
+  for (int i = 0; i < n; i++) { x[i] = i; y[i] = 1.0f; }
+
+  double t0 = omp_get_wtime();
+  saxpy_device(2.0f, n);
+  double elapsed = omp_get_wtime() - t0;
+
+  printf("y[0]    = %.1f\n", y[0]);
+  printf("y[9999] = %.1f\n", y[9999]);
+  printf("offload took %.3f ms (modeled board time)\n", elapsed * 1000.0);
+  return 0;
+}
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("== ompicc quickstart: SAXPY offloading on the simulated "
+              "Jetson Nano ==\n\n");
+
+  // 1. Translate (source -> host AST + kernel files).
+  ompi::Arena arena;
+  ompi::CompileOptions options;
+  options.unit_name = "quickstart";
+  ompi::CompileOutput out = ompi::compile(kProgram, options, arena);
+  if (!out.ok) {
+    std::fprintf(stderr, "compilation failed:\n%s", out.diagnostics.c_str());
+    return 1;
+  }
+  std::printf("translated %zu target construct(s); kernel file: %s\n",
+              out.kernels.size(), out.kernel_files[0].filename.c_str());
+  std::printf("kernel scheme: %s\n\n",
+              out.kernels[0].combined ? "combined construct"
+                                      : "master/worker (Fig. 3b)");
+
+  // 2. Run: the interpreter registers the kernel binaries and executes
+  //    main(); target constructs offload through the cudadev module.
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  kernelvm::Interp vm(out);
+  long long rc = vm.call_host("main").as_int();
+  std::printf("%s", vm.stdout_text().c_str());
+
+  // 3. Show what happened on the board.
+  std::printf("\nboard: %s\n",
+              hostrt::Runtime::instance().device_info(0).c_str());
+  const jetsim::DeviceStats& st = cudadrv::cuSimDevice(0).stats();
+  std::printf("kernel launches: %llu, GPU threads simulated: %llu\n",
+              static_cast<unsigned long long>(st.launches),
+              static_cast<unsigned long long>(st.threads_run));
+  return static_cast<int>(rc);
+}

@@ -1,0 +1,54 @@
+// Bump-pointer arena used by the translator AST. AST nodes live for the
+// whole compilation of a translation unit, so per-node ownership would be
+// pure overhead; the arena frees everything at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ompi {
+
+class Arena {
+ public:
+  explicit Arena(size_t chunk_size = 64 * 1024) : chunk_size_(chunk_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates and constructs a T. T must be trivially destructible or its
+  /// destructor side-effect free: destructors are never run.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  void* allocate(size_t size, size_t align) {
+    size_t p = (offset_ + align - 1) & ~(align - 1);
+    if (chunks_.empty() || p + size > chunk_size_) {
+      size_t cap = size > chunk_size_ ? size : chunk_size_;
+      chunks_.push_back(std::make_unique<std::byte[]>(cap));
+      offset_ = 0;
+      p = 0;
+      caps_.push_back(cap);
+    }
+    offset_ = p + size;
+    bytes_used_ += size;
+    return chunks_.back().get() + p;
+  }
+
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  size_t chunk_size_;
+  size_t offset_ = 0;
+  size_t bytes_used_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<size_t> caps_;
+};
+
+}  // namespace ompi

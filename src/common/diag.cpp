@@ -1,0 +1,50 @@
+#include "common/diag.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ompi {
+
+std::ostream& operator<<(std::ostream& os, const SourceLoc& loc) {
+  if (!loc.valid()) return os << "<unknown>";
+  return os << loc.line << ":" << loc.col;
+}
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << loc << ": " << to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagEngine::report(Severity sev, SourceLoc loc, std::string msg) {
+  if (sev == Severity::Error) ++errors_;
+  diags_.push_back(Diagnostic{sev, loc, std::move(msg)});
+}
+
+void DiagEngine::clear() {
+  diags_.clear();
+  errors_ = 0;
+}
+
+std::string DiagEngine::render_all() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ompi

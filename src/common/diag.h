@@ -1,0 +1,67 @@
+// Diagnostics: source locations and an error/warning sink shared by the
+// OMPi translator front end and the runtime configuration parsers.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompi {
+
+/// A position inside a translation unit. Lines and columns are 1-based;
+/// an invalid location has line == 0.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  constexpr bool valid() const { return line != 0; }
+  constexpr bool operator==(const SourceLoc&) const = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const SourceLoc& loc);
+
+enum class Severity { Note, Warning, Error };
+
+std::string_view to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  /// Renders as "file-less" diagnostic text: "<line>:<col>: error: msg".
+  std::string render() const;
+};
+
+/// Collects diagnostics produced while processing one translation unit.
+/// The translator never throws for user-program errors; it reports here
+/// and callers query error_count() to decide whether to continue.
+class DiagEngine {
+ public:
+  void report(Severity sev, SourceLoc loc, std::string msg);
+  void error(SourceLoc loc, std::string msg) {
+    report(Severity::Error, loc, std::move(msg));
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    report(Severity::Warning, loc, std::move(msg));
+  }
+  void note(SourceLoc loc, std::string msg) {
+    report(Severity::Note, loc, std::move(msg));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  size_t error_count() const { return errors_; }
+  bool ok() const { return errors_ == 0; }
+  void clear();
+
+  /// All diagnostics rendered one per line (test- and CLI-friendly).
+  std::string render_all() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  size_t errors_ = 0;
+};
+
+}  // namespace ompi

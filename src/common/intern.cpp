@@ -1,0 +1,11 @@
+#include "common/intern.h"
+
+namespace ompi {
+
+std::string_view StringInterner::intern(std::string_view s) {
+  auto [it, inserted] = pool_.emplace(s);
+  (void)inserted;
+  return std::string_view(*it);
+}
+
+}  // namespace ompi

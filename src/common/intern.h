@@ -1,0 +1,22 @@
+// String interner: identifiers in the translator are compared by pointer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ompi {
+
+class StringInterner {
+ public:
+  /// Returns a stable string_view whose data outlives the interner entry;
+  /// the same contents always return the same data pointer.
+  std::string_view intern(std::string_view s);
+
+  size_t size() const { return pool_.size(); }
+
+ private:
+  std::unordered_set<std::string> pool_;
+};
+
+}  // namespace ompi

@@ -1,0 +1,23 @@
+// Small string helpers shared across the translator and the benches.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ompi {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string s, std::string_view from,
+                        std::string_view to);
+
+/// Renders an indentation prefix of `n` levels (2 spaces per level), used
+/// by the CUDA C code generator.
+std::string indent(int n);
+
+}  // namespace ompi

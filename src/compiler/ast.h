@@ -1,0 +1,314 @@
+// Abstract syntax tree of the translator. Nodes are arena-allocated and
+// live as long as the TranslationUnit; transformations build new subtrees
+// in the same arena ("most of its transformations operate directly on
+// the ast", paper §3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/diag.h"
+
+namespace ompi {
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+struct Type {
+  enum class Kind { Void, Char, Short, Int, Long, LongLong, Float, Double,
+                    Ptr, Array };
+  Kind kind = Kind::Int;
+  bool is_unsigned = false;
+  bool is_const = false;
+  const Type* elem = nullptr;  // Ptr/Array element type
+  long long array_size = 0;    // Array only; 0 = unsized (param decay)
+
+  bool is_integer() const {
+    return kind == Kind::Char || kind == Kind::Short || kind == Kind::Int ||
+           kind == Kind::Long || kind == Kind::LongLong;
+  }
+  bool is_floating() const {
+    return kind == Kind::Float || kind == Kind::Double;
+  }
+  bool is_pointerish() const {
+    return kind == Kind::Ptr || kind == Kind::Array;
+  }
+};
+
+/// Renders a type as C source (declarator-aware rendering lives in the
+/// code generators; this is the simple prefix form).
+std::string type_to_string(const Type& t);
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+struct Expr;
+struct VarDecl;
+struct FuncDecl;
+
+enum class UnOp { Plus, Neg, Not, BitNot, Deref, AddrOf, PreInc, PreDec,
+                  PostInc, PostDec };
+enum class BinOp { Add, Sub, Mul, Div, Rem, Shl, Shr, Lt, Gt, Le, Ge, Eq, Ne,
+                   BitAnd, BitXor, BitOr, LogAnd, LogOr };
+
+struct Expr {
+  enum class Kind { IntLit, FloatLit, StrLit, Ident, Unary, Binary, Assign,
+                    Cond, Call, Index, Cast, Sizeof, Paren };
+  Kind kind;
+  SourceLoc loc;
+
+  // literals
+  long long int_value = 0;
+  double float_value = 0;
+  std::string text;  // identifier name / string literal payload
+
+  // operators
+  UnOp un_op{};
+  BinOp bin_op{};
+  BinOp assign_op{};       // Assign: Add for +=, etc.
+  bool plain_assign = true;  // Assign: true for '='
+
+  Expr* lhs = nullptr;     // also: operand of Unary/Paren/Cast, callee base
+  Expr* rhs = nullptr;
+  Expr* cond = nullptr;    // Cond: condition
+
+  std::vector<Expr*> args;  // Call arguments
+  std::string callee;       // Call: function name
+
+  const Type* cast_type = nullptr;   // Cast / Sizeof(type)
+
+  /// Resolved by semantic analysis: the declaration an Ident refers to
+  /// (null for builtins and enums-to-be).
+  const VarDecl* decl = nullptr;
+};
+
+// ---------------------------------------------------------------------
+// OpenMP constructs
+// ---------------------------------------------------------------------
+
+enum class OmpDir {
+  Target, TargetData, TargetEnterData, TargetExitData, TargetUpdate,
+  Teams, Distribute, Parallel, For, Sections, Section, Single, Barrier,
+  Critical,
+  // combined forms the translator recognizes as single constructs
+  ParallelFor, TeamsDistribute, TargetTeams, TeamsDistributeParallelFor,
+  TargetTeamsDistributeParallelFor, DistributeParallelFor,
+  DeclareTarget, EndDeclareTarget,
+};
+
+std::string_view omp_dir_name(OmpDir d);
+
+enum class OmpMapType { Alloc, To, From, ToFrom };
+enum class OmpSchedule { Static, Dynamic, Guided };
+
+/// One item of a map/to/from clause: variable with optional array
+/// section `name[lb:len]`.
+struct OmpMapItem {
+  std::string name;
+  Expr* section_lb = nullptr;   // null: whole object
+  Expr* section_len = nullptr;
+  OmpMapType map_type = OmpMapType::ToFrom;
+};
+
+struct OmpClause {
+  enum class Kind { Map, NumTeams, NumThreads, ThreadLimit, Schedule,
+                    Collapse, Nowait, Private, Firstprivate, Shared,
+                    Reduction, If, Device, To, From, Name };
+  Kind kind;
+  SourceLoc loc;
+  std::vector<OmpMapItem> items;  // Map/To/From
+  std::vector<std::string> vars;  // Private/Firstprivate/Shared/Reduction
+  Expr* arg = nullptr;            // NumTeams/NumThreads/ThreadLimit/If/...
+  OmpSchedule schedule = OmpSchedule::Static;
+  Expr* schedule_chunk = nullptr;
+  long long collapse_n = 1;
+  std::string reduction_op;       // "+", "*", "max", ...
+  std::string name;               // critical name
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+struct Stmt {
+  enum class Kind { Compound, Decl, ExprStmt, If, For, While, DoWhile,
+                    Return, Break, Continue, Empty, Omp };
+  Kind kind;
+  SourceLoc loc;
+
+  std::vector<Stmt*> body;     // Compound
+  VarDecl* decl = nullptr;     // Decl
+
+  Expr* expr = nullptr;        // ExprStmt / Return value / If-While cond
+  Stmt* then_stmt = nullptr;   // If / loop body
+  Stmt* else_stmt = nullptr;   // If
+
+  // For
+  Stmt* for_init = nullptr;    // Decl or ExprStmt or Empty
+  Expr* for_cond = nullptr;
+  Expr* for_step = nullptr;
+
+  // Omp
+  OmpDir omp_dir{};
+  std::vector<OmpClause> omp_clauses;
+  Stmt* omp_body = nullptr;    // null for standalone directives
+  // Set by the GPU transformation when this target node's body has been
+  // outlined into kernels()[kernel_index]; the body pointer is cleared.
+  int kernel_index = -1;
+
+  const OmpClause* find_clause(OmpClause::Kind k) const {
+    for (const auto& c : omp_clauses)
+      if (c.kind == k) return &c;
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+struct VarDecl {
+  SourceLoc loc;
+  const Type* type = nullptr;
+  std::string name;
+  Expr* init = nullptr;
+  bool is_param = false;
+};
+
+struct FuncDecl {
+  SourceLoc loc;
+  const Type* return_type = nullptr;
+  std::string name;
+  std::vector<VarDecl*> params;
+  Stmt* body = nullptr;  // null for prototypes
+  bool declare_target = false;  // inside declare target region
+};
+
+struct TranslationUnit {
+  std::vector<VarDecl*> globals;
+  std::vector<FuncDecl*> functions;
+  Arena* arena = nullptr;
+
+  FuncDecl* find_function(std::string_view name) const {
+    for (FuncDecl* f : functions)
+      if (f->name == name) return f;
+    return nullptr;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Factory helpers used by the parser and by transformations
+// ---------------------------------------------------------------------
+
+class AstBuilder {
+ public:
+  explicit AstBuilder(Arena& arena) : arena_(&arena) {}
+
+  const Type* type(Type t) { return arena_->make<Type>(t); }
+  const Type* basic(Type::Kind k, bool is_unsigned = false) {
+    Type t;
+    t.kind = k;
+    t.is_unsigned = is_unsigned;
+    return type(t);
+  }
+  const Type* ptr_to(const Type* elem) {
+    Type t;
+    t.kind = Type::Kind::Ptr;
+    t.elem = elem;
+    return type(t);
+  }
+  const Type* array_of(const Type* elem, long long n) {
+    Type t;
+    t.kind = Type::Kind::Array;
+    t.elem = elem;
+    t.array_size = n;
+    return type(t);
+  }
+
+  Expr* int_lit(long long v) {
+    Expr* e = expr(Expr::Kind::IntLit);
+    e->int_value = v;
+    return e;
+  }
+  Expr* ident(std::string name) {
+    Expr* e = expr(Expr::Kind::Ident);
+    e->text = std::move(name);
+    return e;
+  }
+  Expr* call(std::string callee, std::vector<Expr*> args) {
+    Expr* e = expr(Expr::Kind::Call);
+    e->callee = std::move(callee);
+    e->args = std::move(args);
+    return e;
+  }
+  Expr* binary(BinOp op, Expr* l, Expr* r) {
+    Expr* e = expr(Expr::Kind::Binary);
+    e->bin_op = op;
+    e->lhs = l;
+    e->rhs = r;
+    return e;
+  }
+  Expr* assign(Expr* l, Expr* r) {
+    Expr* e = expr(Expr::Kind::Assign);
+    e->plain_assign = true;
+    e->lhs = l;
+    e->rhs = r;
+    return e;
+  }
+  Expr* unary(UnOp op, Expr* operand) {
+    Expr* e = expr(Expr::Kind::Unary);
+    e->un_op = op;
+    e->lhs = operand;
+    return e;
+  }
+  Expr* index(Expr* base, Expr* idx) {
+    Expr* e = expr(Expr::Kind::Index);
+    e->lhs = base;
+    e->rhs = idx;
+    return e;
+  }
+  Expr* expr(Expr::Kind k) {
+    Expr* e = arena_->make<Expr>();
+    e->kind = k;
+    return e;
+  }
+
+  Stmt* stmt(Stmt::Kind k) {
+    Stmt* s = arena_->make<Stmt>();
+    s->kind = k;
+    return s;
+  }
+  Stmt* compound(std::vector<Stmt*> body) {
+    Stmt* s = stmt(Stmt::Kind::Compound);
+    s->body = std::move(body);
+    return s;
+  }
+  Stmt* expr_stmt(Expr* e) {
+    Stmt* s = stmt(Stmt::Kind::ExprStmt);
+    s->expr = e;
+    return s;
+  }
+  Stmt* decl_stmt(VarDecl* d) {
+    Stmt* s = stmt(Stmt::Kind::Decl);
+    s->decl = d;
+    return s;
+  }
+
+  VarDecl* var(const Type* type, std::string name, Expr* init = nullptr) {
+    VarDecl* d = arena_->make<VarDecl>();
+    d->type = type;
+    d->name = std::move(name);
+    d->init = init;
+    return d;
+  }
+
+  Arena& arena() { return *arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace ompi

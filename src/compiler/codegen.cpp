@@ -1,0 +1,494 @@
+#include "compiler/codegen.h"
+
+#include <functional>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace ompi {
+
+namespace {
+
+std::string_view unop_spelling(UnOp op) {
+  switch (op) {
+    case UnOp::Plus: return "+";
+    case UnOp::Neg: return "-";
+    case UnOp::Not: return "!";
+    case UnOp::BitNot: return "~";
+    case UnOp::Deref: return "*";
+    case UnOp::AddrOf: return "&";
+    case UnOp::PreInc: case UnOp::PostInc: return "++";
+    case UnOp::PreDec: case UnOp::PostDec: return "--";
+  }
+  return "?";
+}
+
+std::string_view binop_spelling(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Rem: return "%";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Lt: return "<";
+    case BinOp::Gt: return ">";
+    case BinOp::Le: return "<=";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::BitAnd: return "&";
+    case BinOp::BitXor: return "^";
+    case BinOp::BitOr: return "|";
+    case BinOp::LogAnd: return "&&";
+    case BinOp::LogOr: return "||";
+  }
+  return "?";
+}
+
+std::string escape_c_string(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool needs_parens(const Expr* e) {
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::StrLit:
+    case Expr::Kind::Ident:
+    case Expr::Kind::Call:
+    case Expr::Kind::Index:
+    case Expr::Kind::Paren:
+    case Expr::Kind::Sizeof:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string sub_expr(const Expr* e) {
+  std::string s = expr_to_c(e);
+  return needs_parens(e) ? "(" + s + ")" : s;
+}
+
+}  // namespace
+
+std::string decl_to_c(const Type* t, const std::string& name) {
+  // Peel arrays (suffix) and pointers (prefix) down to the base type.
+  std::string suffix;
+  while (t->kind == Type::Kind::Array) {
+    suffix += "[" +
+              (t->array_size ? std::to_string(t->array_size) : std::string()) +
+              "]";
+    t = t->elem;
+  }
+  std::string stars;
+  while (t->kind == Type::Kind::Ptr) {
+    stars += "*";
+    t = t->elem;
+  }
+  std::string base = type_to_string(*t);
+  if (stars.empty() && name.empty()) return base + suffix;
+  return base + " " + stars + name + suffix;
+}
+
+std::string expr_to_c(const Expr* e) {
+  if (!e) return "";
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+      return e->text.empty() ? std::to_string(e->int_value) : e->text;
+    case Expr::Kind::FloatLit: {
+      if (!e->text.empty()) return e->text;
+      std::ostringstream os;
+      os << e->float_value;
+      return os.str();
+    }
+    case Expr::Kind::StrLit:
+      return "\"" + escape_c_string(e->text) + "\"";
+    case Expr::Kind::Ident:
+      return e->text;
+    case Expr::Kind::Paren:
+      return "(" + expr_to_c(e->lhs) + ")";
+    case Expr::Kind::Unary: {
+      if (e->un_op == UnOp::PostInc || e->un_op == UnOp::PostDec)
+        return sub_expr(e->lhs) + std::string(unop_spelling(e->un_op));
+      return std::string(unop_spelling(e->un_op)) + sub_expr(e->lhs);
+    }
+    case Expr::Kind::Binary:
+      return sub_expr(e->lhs) + " " + std::string(binop_spelling(e->bin_op)) +
+             " " + sub_expr(e->rhs);
+    case Expr::Kind::Assign: {
+      std::string op =
+          e->plain_assign ? "=" : std::string(binop_spelling(e->assign_op)) +
+                                      "=";
+      return expr_to_c(e->lhs) + " " + op + " " + expr_to_c(e->rhs);
+    }
+    case Expr::Kind::Cond:
+      return sub_expr(e->cond) + " ? " + expr_to_c(e->lhs) + " : " +
+             expr_to_c(e->rhs);
+    case Expr::Kind::Call: {
+      std::vector<std::string> args;
+      for (const Expr* a : e->args) args.push_back(expr_to_c(a));
+      return e->callee + "(" + join(args, ", ") + ")";
+    }
+    case Expr::Kind::Index:
+      return sub_expr(e->lhs) + "[" + expr_to_c(e->rhs) + "]";
+    case Expr::Kind::Cast:
+      return "(" + decl_to_c(e->cast_type, "") + ")" + sub_expr(e->lhs);
+    case Expr::Kind::Sizeof:
+      if (e->cast_type) return "sizeof(" + decl_to_c(e->cast_type, "") + ")";
+      return "sizeof(" + expr_to_c(e->lhs) + ")";
+  }
+  return "";
+}
+
+std::string stmt_to_c(const Stmt* s, int n) {
+  if (!s) return "";
+  std::string pad = indent(n);
+  std::ostringstream os;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      os << pad << "{\n";
+      for (const Stmt* c : s->body) os << stmt_to_c(c, n + 1);
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::Decl: {
+      os << pad << decl_to_c(s->decl->type, s->decl->name);
+      if (s->decl->init) os << " = " << expr_to_c(s->decl->init);
+      os << ";\n";
+      break;
+    }
+    case Stmt::Kind::ExprStmt:
+      os << pad << expr_to_c(s->expr) << ";\n";
+      break;
+    case Stmt::Kind::If:
+      os << pad << "if (" << expr_to_c(s->expr) << ")\n";
+      os << stmt_to_c(s->then_stmt, s->then_stmt->kind == Stmt::Kind::Compound
+                                        ? n
+                                        : n + 1);
+      if (s->else_stmt) {
+        os << pad << "else\n";
+        os << stmt_to_c(s->else_stmt,
+                        s->else_stmt->kind == Stmt::Kind::Compound ? n
+                                                                   : n + 1);
+      }
+      break;
+    case Stmt::Kind::For: {
+      std::string init;
+      if (s->for_init && s->for_init->kind == Stmt::Kind::Decl) {
+        init = decl_to_c(s->for_init->decl->type, s->for_init->decl->name);
+        if (s->for_init->decl->init)
+          init += " = " + expr_to_c(s->for_init->decl->init);
+      } else if (s->for_init && s->for_init->kind == Stmt::Kind::ExprStmt) {
+        init = expr_to_c(s->for_init->expr);
+      }
+      os << pad << "for (" << init << "; " << expr_to_c(s->for_cond) << "; "
+         << expr_to_c(s->for_step) << ")\n";
+      os << stmt_to_c(s->then_stmt, s->then_stmt->kind == Stmt::Kind::Compound
+                                        ? n
+                                        : n + 1);
+      break;
+    }
+    case Stmt::Kind::While:
+      os << pad << "while (" << expr_to_c(s->expr) << ")\n";
+      os << stmt_to_c(s->then_stmt, s->then_stmt->kind == Stmt::Kind::Compound
+                                        ? n
+                                        : n + 1);
+      break;
+    case Stmt::Kind::DoWhile:
+      os << pad << "do\n"
+         << stmt_to_c(s->then_stmt, n) << pad << "while ("
+         << expr_to_c(s->expr) << ");\n";
+      break;
+    case Stmt::Kind::Return:
+      os << pad << "return";
+      if (s->expr) os << " " << expr_to_c(s->expr);
+      os << ";\n";
+      break;
+    case Stmt::Kind::Break:
+      os << pad << "break;\n";
+      break;
+    case Stmt::Kind::Continue:
+      os << pad << "continue;\n";
+      break;
+    case Stmt::Kind::Empty:
+      os << pad << ";\n";
+      break;
+    case Stmt::Kind::Omp:
+      // Untransformed host-side directive: re-emit as a pragma comment
+      // followed by the body (host code generation rewrites the
+      // interesting ones separately).
+      os << pad << "/* #pragma omp " << omp_dir_name(s->omp_dir) << " */\n";
+      if (s->omp_body) os << stmt_to_c(s->omp_body, n);
+      break;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string function_signature(const FuncDecl& fn, const char* qualifier) {
+  std::vector<std::string> params;
+  for (const VarDecl* p : fn.params) params.push_back(decl_to_c(p->type,
+                                                                p->name));
+  std::string q = qualifier && *qualifier ? std::string(qualifier) + " "
+                                          : std::string();
+  return q + type_to_string(*fn.return_type) + " " + fn.name + "(" +
+         (params.empty() ? "void" : join(params, ", ")) + ")";
+}
+
+}  // namespace
+
+std::string generate_kernel_file(const KernelInfo& k,
+                                 const std::string& unit_name) {
+  std::ostringstream os;
+  os << "/* Kernel file generated by ompicc from unit '" << unit_name
+     << "'.\n"
+     << " * Construct at line " << k.loc.line << "; scheme: "
+     << (k.combined ? "combined (teams distribute parallel for)"
+                    : "master/worker")
+     << ".\n */\n";
+  os << "#include \"cudadev_device.h\"\n\n";
+
+  // Call-graph functions reachable from the kernel body, callees first
+  // (paper: "inject all the necessary function prototypes and
+  // definitions").
+  for (const FuncDecl* fn : k.called) {
+    os << function_signature(*fn, "__device__") << "\n";
+    os << stmt_to_c(fn->body, 0) << "\n";
+  }
+
+  // Outlined parallel-region thread functions (Fig. 3b).
+  for (const FuncDecl* fn : k.thr_funcs) {
+    os << function_signature(*fn, "__device__") << "\n";
+    os << stmt_to_c(fn->body, 0) << "\n";
+  }
+
+  os << "extern \"C\" " << function_signature(*k.fn, "__global__") << "\n";
+  os << stmt_to_c(k.fn->body, 0);
+  return os.str();
+}
+
+std::string generate_host_file(const TranslationUnit& unit,
+                               const std::vector<KernelInfo>& kernels,
+                               const std::string& unit_name, bool ptx_mode) {
+  std::ostringstream os;
+  os << "/* Host file generated by ompicc from unit '" << unit_name
+     << "'. */\n";
+  os << "#include <ort.h>\n\n";
+
+  for (const VarDecl* g : unit.globals) {
+    os << decl_to_c(g->type, g->name);
+    if (g->init) os << " = " << expr_to_c(g->init);
+    os << ";\n";
+  }
+  if (!unit.globals.empty()) os << "\n";
+
+  // Emits the host side of one offload: the construct's data environment
+  // plus the three-phase launch entry.
+  auto emit_target = [&](std::ostream& o, const Stmt* s, int n) {
+    const KernelInfo& k = kernels[static_cast<size_t>(s->kernel_index)];
+    std::string pad = indent(n);
+    o << pad << "{ /* #pragma omp " << omp_dir_name(s->omp_dir)
+      << " -> " << k.name << " */\n";
+    std::string pad1 = indent(n + 1);
+    o << pad1 << "ort_map_item_t __maps[] = {\n";
+    for (const KernelParam& p : k.params) {
+      if (!p.is_pointer) continue;
+      std::string base = p.map.section_lb
+                             ? "&" + p.name + "[" + expr_to_c(p.map.section_lb)
+                                   + "]"
+                             : (p.host_type->is_pointerish()
+                                    ? p.name
+                                    : "&" + p.name);
+      std::string len =
+          p.map.section_len
+              ? "(" + expr_to_c(p.map.section_len) + ") * sizeof(*" + p.name +
+                    ")"
+              : "sizeof(" + p.name + ")";
+      const char* mt = p.map.map_type == OmpMapType::To       ? "ORT_MAP_TO"
+                       : p.map.map_type == OmpMapType::From   ? "ORT_MAP_FROM"
+                       : p.map.map_type == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
+                                                             : "ORT_MAP_TOFROM";
+      o << indent(n + 2) << "{ " << base << ", " << len << ", " << mt
+        << " },\n";
+    }
+    o << pad1 << "};\n";
+    std::string teams = k.num_teams ? expr_to_c(k.num_teams) : "0";
+    std::string threads = k.num_threads ? expr_to_c(k.num_threads) : "0";
+    std::string dev = k.device ? expr_to_c(k.device) : "-1";
+    o << pad1 << "void *__args[] = {";
+    std::vector<std::string> args;
+    for (const KernelParam& p : k.params)
+      args.push_back(p.is_pointer ? "ort_devaddr(" + p.name + ")"
+                                  : "&" + p.name);
+    o << join(args, ", ") << "};\n";
+    o << pad1 << "ort_offload(" << dev << ", \"" << unit_name << "_"
+      << k.name << (ptx_mode ? ".ptx" : ".cubin") << "\", \"" << k.name
+      << "\", " << teams << ", " << threads << ", __maps, "
+      << "sizeof(__maps)/sizeof(__maps[0]), __args, " << k.params.size()
+      << ");\n";
+    o << pad << "}\n";
+  };
+
+  // Statement printer that rewrites transformed target nodes.
+  std::function<void(std::ostream&, const Stmt*, int)> emit_stmt =
+      [&](std::ostream& o, const Stmt* s, int n) {
+        if (!s) return;
+        if (s->kind == Stmt::Kind::Omp && s->kernel_index >= 0) {
+          emit_target(o, s, n);
+          return;
+        }
+        if (s->kind == Stmt::Kind::Compound) {
+          o << indent(n) << "{\n";
+          for (const Stmt* c : s->body) emit_stmt(o, c, n + 1);
+          o << indent(n) << "}\n";
+          return;
+        }
+        if (s->kind == Stmt::Kind::Omp) {
+          // Data directives become runtime calls; other host OpenMP is
+          // left to the (separate) host transformation of OMPi.
+          auto emit_items = [&](std::ostream& oo, int nn) {
+            oo << indent(nn) << "ort_map_item_t __maps[] = {\n";
+            for (const OmpClause& c : s->omp_clauses) {
+              if (c.kind != OmpClause::Kind::Map &&
+                  c.kind != OmpClause::Kind::To &&
+                  c.kind != OmpClause::Kind::From)
+                continue;
+              for (const OmpMapItem& m : c.items) {
+                std::string base =
+                    m.section_lb ? "&" + m.name + "[" +
+                                       expr_to_c(m.section_lb) + "]"
+                                 : "&" + m.name;
+                std::string len =
+                    m.section_len ? "(" + expr_to_c(m.section_len) +
+                                        ") * sizeof(*" + m.name + ")"
+                                  : "sizeof(" + m.name + ")";
+                const char* mt =
+                    m.map_type == OmpMapType::To      ? "ORT_MAP_TO"
+                    : m.map_type == OmpMapType::From  ? "ORT_MAP_FROM"
+                    : m.map_type == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
+                                                      : "ORT_MAP_TOFROM";
+                oo << indent(nn + 1) << "{ " << base << ", " << len << ", "
+                   << mt << " },\n";
+              }
+            }
+            oo << indent(nn) << "};\n";
+            oo << indent(nn)
+               << "size_t __nmaps = sizeof(__maps)/sizeof(__maps[0]);\n";
+          };
+          std::string pad = indent(n);
+          switch (s->omp_dir) {
+            case OmpDir::TargetData:
+              o << pad << "{ /* #pragma omp target data */\n";
+              emit_items(o, n + 1);
+              o << indent(n + 1) << "ort_target_data_begin(-1, __maps, "
+                << "__nmaps);\n";
+              if (s->omp_body) emit_stmt(o, s->omp_body, n + 1);
+              o << indent(n + 1) << "ort_target_data_end(-1, __maps, "
+                << "__nmaps);\n";
+              o << pad << "}\n";
+              return;
+            case OmpDir::TargetEnterData:
+            case OmpDir::TargetExitData:
+              o << pad << "{ /* #pragma omp target "
+                << (s->omp_dir == OmpDir::TargetEnterData ? "enter" : "exit")
+                << " data */\n";
+              emit_items(o, n + 1);
+              o << indent(n + 1)
+                << (s->omp_dir == OmpDir::TargetEnterData
+                        ? "ort_target_enter_data"
+                        : "ort_target_exit_data")
+                << "(-1, __maps, __nmaps);\n";
+              o << pad << "}\n";
+              return;
+            case OmpDir::TargetUpdate:
+              o << pad << "{ /* #pragma omp target update */\n";
+              emit_items(o, n + 1);
+              o << indent(n + 1) << "ort_target_update(-1, __maps, "
+                << "__nmaps);\n";
+              o << pad << "}\n";
+              return;
+            default:
+              o << pad << "/* #pragma omp " << omp_dir_name(s->omp_dir)
+                << " (host-side; handled by the host transformation) */\n";
+              if (s->omp_body) emit_stmt(o, s->omp_body, n);
+              return;
+          }
+        }
+        if (s->kind == Stmt::Kind::If) {
+          o << indent(n) << "if (" << expr_to_c(s->expr) << ")\n";
+          emit_stmt(o, s->then_stmt, n + 1);
+          if (s->else_stmt) {
+            o << indent(n) << "else\n";
+            emit_stmt(o, s->else_stmt, n + 1);
+          }
+          return;
+        }
+        if (s->kind == Stmt::Kind::For || s->kind == Stmt::Kind::While ||
+            s->kind == Stmt::Kind::DoWhile) {
+          // Loops may contain targets; fall back to the plain printer
+          // only when no transformed node hides inside.
+          std::function<bool(const Stmt*)> has_target = [&](const Stmt* x) {
+            if (!x) return false;
+            if (x->kind == Stmt::Kind::Omp && x->kernel_index >= 0)
+              return true;
+            if (x->kind == Stmt::Kind::Compound) {
+              for (const Stmt* c : x->body)
+                if (has_target(c)) return true;
+            }
+            return has_target(x->then_stmt) || has_target(x->else_stmt) ||
+                   (x->kind == Stmt::Kind::Omp && has_target(x->omp_body));
+          };
+          if (s->kind == Stmt::Kind::For) {
+            std::string init;
+            if (s->for_init && s->for_init->kind == Stmt::Kind::Decl) {
+              init =
+                  decl_to_c(s->for_init->decl->type, s->for_init->decl->name);
+              if (s->for_init->decl->init)
+                init += " = " + expr_to_c(s->for_init->decl->init);
+            } else if (s->for_init &&
+                       s->for_init->kind == Stmt::Kind::ExprStmt) {
+              init = expr_to_c(s->for_init->expr);
+            }
+            o << indent(n) << "for (" << init << "; "
+              << expr_to_c(s->for_cond) << "; " << expr_to_c(s->for_step)
+              << ")\n";
+          } else if (s->kind == Stmt::Kind::While) {
+            o << indent(n) << "while (" << expr_to_c(s->expr) << ")\n";
+          } else {
+            o << indent(n) << "do\n";
+          }
+          emit_stmt(o, s->then_stmt, n + 1);
+          if (s->kind == Stmt::Kind::DoWhile)
+            o << indent(n) << "while (" << expr_to_c(s->expr) << ");\n";
+          return;
+        }
+        o << stmt_to_c(s, n);
+      };
+
+  for (const FuncDecl* fn : unit.functions) {
+    if (!fn->body) {
+      os << function_signature(*fn, "") << ";\n";
+      continue;
+    }
+    os << function_signature(*fn, "") << "\n";
+    std::ostringstream body;
+    emit_stmt(body, fn->body, 0);
+    os << body.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ompi

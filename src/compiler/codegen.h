@@ -1,0 +1,37 @@
+// Code generation: CUDA C kernel files (one per outlined kernel, paper
+// §3.3) and the transformed host C file with runtime calls in place of
+// the target constructs (paper §3, Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/ast.h"
+#include "compiler/transform.h"
+
+namespace ompi {
+
+/// Renders an expression as C source.
+std::string expr_to_c(const Expr* e);
+
+/// Renders a statement as C source at the given indent level.
+std::string stmt_to_c(const Stmt* s, int indent);
+
+/// Renders a declaration `type name` with C declarator syntax
+/// (e.g. "float *x", "void *vars[4]").
+std::string decl_to_c(const Type* t, const std::string& name);
+
+/// The CUDA C kernel file for one outlined kernel: device library
+/// include, call-graph function definitions, thread functions and the
+/// __global__ kernel entry.
+std::string generate_kernel_file(const KernelInfo& k,
+                                 const std::string& unit_name);
+
+/// The transformed host C file: original host code with each target
+/// construct replaced by data movements and offload runtime calls.
+std::string generate_host_file(const TranslationUnit& unit,
+                               const std::vector<KernelInfo>& kernels,
+                               const std::string& unit_name,
+                               bool ptx_mode);
+
+}  // namespace ompi

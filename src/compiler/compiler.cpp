@@ -1,0 +1,51 @@
+#include "compiler/compiler.h"
+
+#include "compiler/codegen.h"
+#include "compiler/lexer.h"
+#include "compiler/parser.h"
+#include "compiler/sema.h"
+
+namespace ompi {
+
+CompileOutput compile(std::string_view source, const CompileOptions& options,
+                      Arena& arena) {
+  CompileOutput out;
+  out.options = options;
+
+  DiagEngine diags;
+  TranslationUnit* unit = parse_source(source, arena, diags);
+  if (!diags.ok()) {
+    out.diagnostics = diags.render_all();
+    return out;
+  }
+
+  Sema sema(*unit, diags);
+  sema.resolve();
+  if (!diags.ok()) {
+    out.diagnostics = diags.render_all();
+    return out;
+  }
+
+  GpuTransform transform(*unit, sema, diags);
+  transform.run();
+  if (!diags.ok()) {
+    out.diagnostics = diags.render_all();
+    return out;
+  }
+
+  out.unit = unit;
+  out.kernels = std::move(transform.kernels());
+  out.host_code = generate_host_file(*unit, out.kernels, options.unit_name,
+                                     options.ptx_mode);
+  for (const KernelInfo& k : out.kernels) {
+    KernelFileText f;
+    f.filename = options.unit_name + "_" + k.name + ".cu";
+    f.code = generate_kernel_file(k, options.unit_name);
+    out.kernel_files.push_back(std::move(f));
+  }
+  out.diagnostics = diags.render_all();  // warnings, if any
+  out.ok = true;
+  return out;
+}
+
+}  // namespace ompi

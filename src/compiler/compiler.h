@@ -1,0 +1,53 @@
+// The ompicc driver: source in, transformed host AST + kernel metadata +
+// generated host/kernel file texts out (the full compilation chain of
+// Fig. 2 minus the external system compilers, which the kernelvm and the
+// simulated nvcc replace).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/diag.h"
+#include "compiler/ast.h"
+#include "compiler/transform.h"
+
+namespace ompi {
+
+struct CompileOptions {
+  std::string unit_name = "app";
+  /// false: cubin mode (OMPi's default, paper §3.3); true: ptx mode with
+  /// runtime JIT.
+  bool ptx_mode = false;
+};
+
+struct KernelFileText {
+  std::string filename;  // e.g. "app__kernelFunc0_.cu"
+  std::string code;      // generated CUDA C
+};
+
+struct CompileOutput {
+  bool ok = false;
+  std::string diagnostics;      // rendered diagnostics (empty when ok)
+  TranslationUnit* unit = nullptr;  // transformed host AST (arena-owned)
+  std::vector<KernelInfo> kernels;
+  std::string host_code;        // generated host C file
+  std::vector<KernelFileText> kernel_files;  // one per kernel (paper §3.3)
+  CompileOptions options;
+
+  /// Binary path the runtime loads for kernel `i` (what nvcc would have
+  /// produced from kernel_files[i]).
+  std::string module_path(int i) const {
+    return options.unit_name + "_" + kernels[static_cast<size_t>(i)].name +
+           (options.ptx_mode ? ".ptx" : ".cubin");
+  }
+};
+
+/// Runs the whole translator: lex, parse, resolve, GPU-transform,
+/// generate code. The arena must outlive the returned output.
+CompileOutput compile(std::string_view source, const CompileOptions& options,
+                      Arena& arena);
+
+}  // namespace ompi

@@ -1,0 +1,383 @@
+#include "compiler/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace ompi {
+
+std::string_view tok_name(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::StrLit: return "string literal";
+    case Tok::CharLit: return "character literal";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwChar: return "'char'";
+    case Tok::KwShort: return "'short'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwLong: return "'long'";
+    case Tok::KwFloat: return "'float'";
+    case Tok::KwDouble: return "'double'";
+    case Tok::KwUnsigned: return "'unsigned'";
+    case Tok::KwSigned: return "'signed'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwStatic: return "'static'";
+    case Tok::KwExtern: return "'extern'";
+    case Tok::KwStruct: return "'struct'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwSizeof: return "'sizeof'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Dot: return "'.'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Question: return "'?'";
+    case Tok::Colon: return "':'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::PlusPlus: return "'++'";
+    case Tok::MinusMinus: return "'--'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Not: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Lt: return "'<'";
+    case Tok::Gt: return "'>'";
+    case Tok::Le: return "'<='";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+    case Tok::Assign: return "'='";
+    case Tok::PlusAssign: return "'+='";
+    case Tok::MinusAssign: return "'-='";
+    case Tok::StarAssign: return "'*='";
+    case Tok::SlashAssign: return "'/='";
+    case Tok::PercentAssign: return "'%='";
+    case Tok::AmpAssign: return "'&='";
+    case Tok::PipeAssign: return "'|='";
+    case Tok::CaretAssign: return "'^='";
+    case Tok::ShlAssign: return "'<<='";
+    case Tok::ShrAssign: return "'>>='";
+    case Tok::Pragma: return "pragma";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> kw = {
+      {"void", Tok::KwVoid},     {"char", Tok::KwChar},
+      {"short", Tok::KwShort},   {"int", Tok::KwInt},
+      {"long", Tok::KwLong},     {"float", Tok::KwFloat},
+      {"double", Tok::KwDouble}, {"unsigned", Tok::KwUnsigned},
+      {"signed", Tok::KwSigned}, {"const", Tok::KwConst},
+      {"static", Tok::KwStatic}, {"extern", Tok::KwExtern},
+      {"struct", Tok::KwStruct}, {"if", Tok::KwIf},
+      {"else", Tok::KwElse},     {"for", Tok::KwFor},
+      {"while", Tok::KwWhile},   {"do", Tok::KwDo},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue}, {"sizeof", Tok::KwSizeof},
+  };
+  return kw;
+}
+}  // namespace
+
+Lexer::Lexer(std::string_view source, DiagEngine& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (at_end() || src_[pos_] != c) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skip_trivia() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) {
+        diags_.error(start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind, SourceLoc loc, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  t.text = std::move(text);
+  return t;
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    bool end = t.is(Tok::End);
+    out.push_back(std::move(t));
+    if (end) break;
+  }
+  return out;
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  SourceLoc loc = here();
+  if (at_end()) return make(Tok::End, loc);
+
+  char c = peek();
+  if (c == '#') return lex_pragma(loc);
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lex_number(loc);
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+    return lex_ident_or_keyword(loc);
+  if (c == '"') return lex_string(loc);
+  if (c == '\'') return lex_char(loc);
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::LParen, loc);
+    case ')': return make(Tok::RParen, loc);
+    case '{': return make(Tok::LBrace, loc);
+    case '}': return make(Tok::RBrace, loc);
+    case '[': return make(Tok::LBracket, loc);
+    case ']': return make(Tok::RBracket, loc);
+    case ';': return make(Tok::Semi, loc);
+    case ',': return make(Tok::Comma, loc);
+    case '.': return make(Tok::Dot, loc);
+    case '?': return make(Tok::Question, loc);
+    case ':': return make(Tok::Colon, loc);
+    case '~': return make(Tok::Tilde, loc);
+    case '+':
+      if (match('+')) return make(Tok::PlusPlus, loc);
+      if (match('=')) return make(Tok::PlusAssign, loc);
+      return make(Tok::Plus, loc);
+    case '-':
+      if (match('-')) return make(Tok::MinusMinus, loc);
+      if (match('=')) return make(Tok::MinusAssign, loc);
+      if (match('>')) return make(Tok::Arrow, loc);
+      return make(Tok::Minus, loc);
+    case '*':
+      if (match('=')) return make(Tok::StarAssign, loc);
+      return make(Tok::Star, loc);
+    case '/':
+      if (match('=')) return make(Tok::SlashAssign, loc);
+      return make(Tok::Slash, loc);
+    case '%':
+      if (match('=')) return make(Tok::PercentAssign, loc);
+      return make(Tok::Percent, loc);
+    case '&':
+      if (match('&')) return make(Tok::AmpAmp, loc);
+      if (match('=')) return make(Tok::AmpAssign, loc);
+      return make(Tok::Amp, loc);
+    case '|':
+      if (match('|')) return make(Tok::PipePipe, loc);
+      if (match('=')) return make(Tok::PipeAssign, loc);
+      return make(Tok::Pipe, loc);
+    case '^':
+      if (match('=')) return make(Tok::CaretAssign, loc);
+      return make(Tok::Caret, loc);
+    case '!':
+      if (match('=')) return make(Tok::NotEq, loc);
+      return make(Tok::Not, loc);
+    case '<':
+      if (match('<'))
+        return match('=') ? make(Tok::ShlAssign, loc) : make(Tok::Shl, loc);
+      if (match('=')) return make(Tok::Le, loc);
+      return make(Tok::Lt, loc);
+    case '>':
+      if (match('>'))
+        return match('=') ? make(Tok::ShrAssign, loc) : make(Tok::Shr, loc);
+      if (match('=')) return make(Tok::Ge, loc);
+      return make(Tok::Gt, loc);
+    case '=':
+      if (match('=')) return make(Tok::EqEq, loc);
+      return make(Tok::Assign, loc);
+  }
+  diags_.error(loc, std::string("unexpected character '") + c + "'");
+  return next();
+}
+
+Token Lexer::lex_number(SourceLoc loc) {
+  std::string text;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text += advance();
+    text += advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      text += advance();
+    Token t = make(Tok::IntLit, loc, text);
+    t.int_value = std::strtoll(text.c_str(), nullptr, 16);
+    return t;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  if (peek() == '.' ) {
+    is_float = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    is_float = true;
+    text += advance();
+    if (peek() == '+' || peek() == '-') text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+  }
+  // suffixes (f, F, l, L, u, U) — recorded but not semantically split
+  while (std::isalpha(static_cast<unsigned char>(peek()))) {
+    char s = peek();
+    if (s == 'f' || s == 'F') is_float = true;
+    if (s != 'f' && s != 'F' && s != 'l' && s != 'L' && s != 'u' && s != 'U')
+      break;
+    text += advance();
+  }
+  Token t = make(is_float ? Tok::FloatLit : Tok::IntLit, loc, text);
+  if (is_float)
+    t.float_value = std::strtod(text.c_str(), nullptr);
+  else
+    t.int_value = std::strtoll(text.c_str(), nullptr, 0);
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword(SourceLoc loc) {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    text += advance();
+  auto it = keywords().find(text);
+  if (it != keywords().end()) return make(it->second, loc, text);
+  return make(Tok::Ident, loc, std::move(text));
+}
+
+Token Lexer::lex_string(SourceLoc loc) {
+  advance();  // opening quote
+  std::string text;
+  while (!at_end() && peek() != '"') {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      char e = advance();
+      switch (e) {
+        case 'n': text += '\n'; break;
+        case 't': text += '\t'; break;
+        case '\\': text += '\\'; break;
+        case '"': text += '"'; break;
+        case '0': text += '\0'; break;
+        default: text += e; break;
+      }
+    } else {
+      text += c;
+    }
+  }
+  if (at_end()) {
+    diags_.error(loc, "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  return make(Tok::StrLit, loc, std::move(text));
+}
+
+Token Lexer::lex_char(SourceLoc loc) {
+  advance();  // opening quote
+  long long value = 0;
+  if (!at_end()) {
+    char c = advance();
+    if (c == '\\' && !at_end()) {
+      char e = advance();
+      switch (e) {
+        case 'n': value = '\n'; break;
+        case 't': value = '\t'; break;
+        case '0': value = '\0'; break;
+        default: value = e; break;
+      }
+    } else {
+      value = c;
+    }
+  }
+  if (!match('\'')) diags_.error(loc, "unterminated character literal");
+  Token t = make(Tok::CharLit, loc);
+  t.int_value = value;
+  return t;
+}
+
+Token Lexer::lex_pragma(SourceLoc loc) {
+  // Consume "#" and expect "pragma"; payload runs to end of line with
+  // backslash continuations folded in.
+  advance();
+  std::string word;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) word += advance();
+  if (word != "pragma") {
+    diags_.error(loc, "unsupported preprocessor directive '#" + word +
+                          "' (the translator expects preprocessed input)");
+    while (!at_end() && peek() != '\n') advance();
+    return next();
+  }
+  std::string payload;
+  while (!at_end() && peek() != '\n') {
+    if (peek() == '\\' && (peek(1) == '\n' ||
+                           (peek(1) == '\r' && peek(2) == '\n'))) {
+      advance();  // backslash
+      while (!at_end() && peek() != '\n') advance();
+      if (!at_end()) advance();  // the newline itself
+      payload += ' ';
+      continue;
+    }
+    payload += advance();
+  }
+  return make(Tok::Pragma, loc, std::string(trim(payload)));
+}
+
+}  // namespace ompi

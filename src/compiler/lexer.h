@@ -1,0 +1,45 @@
+// Hand-written lexer for the C subset the translator accepts. Pragma
+// lines (`#pragma ...`) become single Pragma tokens whose text payload
+// is re-lexed by the OpenMP pragma parser.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diag.h"
+#include "compiler/token.h"
+
+namespace ompi {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagEngine& diags);
+
+  /// Lexes the whole input; the final token is always Tok::End.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  Token make(Tok kind, SourceLoc loc, std::string text = {});
+  Token lex_number(SourceLoc loc);
+  Token lex_ident_or_keyword(SourceLoc loc);
+  Token lex_string(SourceLoc loc);
+  Token lex_char(SourceLoc loc);
+  Token lex_pragma(SourceLoc loc);
+  void skip_trivia();
+
+  char peek(int ahead = 0) const;
+  char advance();
+  bool match(char c);
+  bool at_end() const { return pos_ >= src_.size(); }
+  SourceLoc here() const { return {line_, col_}; }
+
+  std::string_view src_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace ompi

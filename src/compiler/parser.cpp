@@ -1,0 +1,962 @@
+#include "compiler/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "compiler/lexer.h"
+
+namespace ompi {
+
+namespace {
+
+/// Exception used internally for parse-error recovery; never escapes
+/// the parser.
+struct ParseError {};
+
+/// Spelling of an identifier-or-keyword token (pragma payloads reuse
+/// keywords like `for` and `if` as plain words).
+std::string word_of(const Token& t) {
+  if (t.is(Tok::Ident)) return t.text;
+  switch (t.kind) {
+    case Tok::KwFor: return "for";
+    case Tok::KwIf: return "if";
+    default: return {};
+  }
+}
+
+int binop_prec(Tok t) {
+  switch (t) {
+    case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+    case Tok::Plus: case Tok::Minus: return 9;
+    case Tok::Shl: case Tok::Shr: return 8;
+    case Tok::Lt: case Tok::Gt: case Tok::Le: case Tok::Ge: return 7;
+    case Tok::EqEq: case Tok::NotEq: return 6;
+    case Tok::Amp: return 5;
+    case Tok::Caret: return 4;
+    case Tok::Pipe: return 3;
+    case Tok::AmpAmp: return 2;
+    case Tok::PipePipe: return 1;
+    default: return -1;
+  }
+}
+
+BinOp binop_of(Tok t) {
+  switch (t) {
+    case Tok::Star: return BinOp::Mul;
+    case Tok::Slash: return BinOp::Div;
+    case Tok::Percent: return BinOp::Rem;
+    case Tok::Plus: return BinOp::Add;
+    case Tok::Minus: return BinOp::Sub;
+    case Tok::Shl: return BinOp::Shl;
+    case Tok::Shr: return BinOp::Shr;
+    case Tok::Lt: return BinOp::Lt;
+    case Tok::Gt: return BinOp::Gt;
+    case Tok::Le: return BinOp::Le;
+    case Tok::Ge: return BinOp::Ge;
+    case Tok::EqEq: return BinOp::Eq;
+    case Tok::NotEq: return BinOp::Ne;
+    case Tok::Amp: return BinOp::BitAnd;
+    case Tok::Caret: return BinOp::BitXor;
+    case Tok::Pipe: return BinOp::BitOr;
+    case Tok::AmpAmp: return BinOp::LogAnd;
+    case Tok::PipePipe: return BinOp::LogOr;
+    default: return BinOp::Add;
+  }
+}
+
+}  // namespace
+
+std::string type_to_string(const Type& t) {
+  switch (t.kind) {
+    case Type::Kind::Void: return "void";
+    case Type::Kind::Char: return t.is_unsigned ? "unsigned char" : "char";
+    case Type::Kind::Short: return t.is_unsigned ? "unsigned short" : "short";
+    case Type::Kind::Int: return t.is_unsigned ? "unsigned int" : "int";
+    case Type::Kind::Long: return t.is_unsigned ? "unsigned long" : "long";
+    case Type::Kind::LongLong:
+      return t.is_unsigned ? "unsigned long long" : "long long";
+    case Type::Kind::Float: return "float";
+    case Type::Kind::Double: return "double";
+    case Type::Kind::Ptr: return type_to_string(*t.elem) + " *";
+    case Type::Kind::Array:
+      return type_to_string(*t.elem) + " [" +
+             (t.array_size ? std::to_string(t.array_size) : std::string()) +
+             "]";
+  }
+  return "?";
+}
+
+std::string_view omp_dir_name(OmpDir d) {
+  switch (d) {
+    case OmpDir::Target: return "target";
+    case OmpDir::TargetData: return "target data";
+    case OmpDir::TargetEnterData: return "target enter data";
+    case OmpDir::TargetExitData: return "target exit data";
+    case OmpDir::TargetUpdate: return "target update";
+    case OmpDir::Teams: return "teams";
+    case OmpDir::Distribute: return "distribute";
+    case OmpDir::Parallel: return "parallel";
+    case OmpDir::For: return "for";
+    case OmpDir::Sections: return "sections";
+    case OmpDir::Section: return "section";
+    case OmpDir::Single: return "single";
+    case OmpDir::Barrier: return "barrier";
+    case OmpDir::Critical: return "critical";
+    case OmpDir::ParallelFor: return "parallel for";
+    case OmpDir::TeamsDistribute: return "teams distribute";
+    case OmpDir::TargetTeams: return "target teams";
+    case OmpDir::TeamsDistributeParallelFor:
+      return "teams distribute parallel for";
+    case OmpDir::TargetTeamsDistributeParallelFor:
+      return "target teams distribute parallel for";
+    case OmpDir::DistributeParallelFor: return "distribute parallel for";
+    case OmpDir::DeclareTarget: return "declare target";
+    case OmpDir::EndDeclareTarget: return "end declare target";
+  }
+  return "?";
+}
+
+Parser::Parser(std::vector<Token> tokens, Arena& arena, DiagEngine& diags)
+    : tokens_(std::move(tokens)), b_(arena), diags_(diags) {}
+
+const Token& Parser::peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  if (p >= tokens_.size()) p = tokens_.size() - 1;  // End token
+  return tokens_[p];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::accept(Tok t) {
+  if (!check(t)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok t, const char* what) {
+  if (!check(t)) {
+    diags_.error(peek().loc, std::string("expected ") +
+                                 std::string(tok_name(t)) + " " + what +
+                                 ", got " + std::string(tok_name(peek().kind)));
+    throw ParseError{};
+  }
+  return advance();
+}
+
+void Parser::error_here(const std::string& msg) {
+  diags_.error(peek().loc, msg);
+  throw ParseError{};
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+/// Evaluates an integer constant expression (literals and + - * / % on
+/// them); returns false if the expression is not constant.
+bool fold_const_int(const Expr* e, long long* out) {
+  if (!e) return false;
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+      *out = e->int_value;
+      return true;
+    case Expr::Kind::Paren:
+      return fold_const_int(e->lhs, out);
+    case Expr::Kind::Unary: {
+      long long v;
+      if (e->un_op != UnOp::Neg && e->un_op != UnOp::Plus) return false;
+      if (!fold_const_int(e->lhs, &v)) return false;
+      *out = e->un_op == UnOp::Neg ? -v : v;
+      return true;
+    }
+    case Expr::Kind::Binary: {
+      long long a, b;
+      if (!fold_const_int(e->lhs, &a) || !fold_const_int(e->rhs, &b))
+        return false;
+      switch (e->bin_op) {
+        case BinOp::Add: *out = a + b; return true;
+        case BinOp::Sub: *out = a - b; return true;
+        case BinOp::Mul: *out = a * b; return true;
+        case BinOp::Div:
+          if (b == 0) return false;
+          *out = a / b;
+          return true;
+        case BinOp::Rem:
+          if (b == 0) return false;
+          *out = a % b;
+          return true;
+        default:
+          return false;
+      }
+    }
+    default:
+      return false;
+  }
+}
+
+namespace {
+bool token_starts_type(Tok t) {
+  switch (t) {
+    case Tok::KwVoid: case Tok::KwChar: case Tok::KwShort: case Tok::KwInt:
+    case Tok::KwLong: case Tok::KwFloat: case Tok::KwDouble:
+    case Tok::KwUnsigned: case Tok::KwSigned: case Tok::KwConst:
+    case Tok::KwStatic: case Tok::KwExtern:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+bool Parser::looks_like_type() const { return token_starts_type(peek().kind); }
+
+bool Parser::looks_like_type_cast() const {
+  return check(Tok::LParen) && token_starts_type(peek(1).kind);
+}
+
+const Type* Parser::parse_type_specifiers() {
+  bool is_unsigned = false, is_const = false, saw_any = false;
+  int longs = 0;
+  Type::Kind kind = Type::Kind::Int;
+  bool kind_set = false;
+  for (;;) {
+    switch (peek().kind) {
+      case Tok::KwConst: is_const = true; advance(); continue;
+      case Tok::KwStatic: case Tok::KwExtern: advance(); continue;
+      case Tok::KwUnsigned: is_unsigned = true; saw_any = true; advance();
+        continue;
+      case Tok::KwSigned: saw_any = true; advance(); continue;
+      case Tok::KwVoid: kind = Type::Kind::Void; kind_set = true; advance();
+        break;
+      case Tok::KwChar: kind = Type::Kind::Char; kind_set = true; advance();
+        break;
+      case Tok::KwShort: kind = Type::Kind::Short; kind_set = true; advance();
+        break;
+      case Tok::KwInt: kind = Type::Kind::Int; kind_set = true; advance();
+        break;
+      case Tok::KwLong: ++longs; saw_any = true; advance(); continue;
+      case Tok::KwFloat: kind = Type::Kind::Float; kind_set = true; advance();
+        break;
+      case Tok::KwDouble: kind = Type::Kind::Double; kind_set = true;
+        advance(); break;
+      default:
+        if (!saw_any && !kind_set) error_here("expected a type");
+        goto done;
+    }
+    saw_any = true;
+    if (kind_set && longs == 0 && kind != Type::Kind::Int) break;
+  }
+done:
+  if (longs == 1) kind = Type::Kind::Long;
+  if (longs >= 2) kind = Type::Kind::LongLong;
+  Type t;
+  t.kind = kind;
+  t.is_unsigned = is_unsigned;
+  t.is_const = is_const;
+  return b_.type(t);
+}
+
+const Type* Parser::parse_declarator(const Type* base, std::string* name) {
+  const Type* t = base;
+  while (accept(Tok::Star)) {
+    if (accept(Tok::KwConst)) { /* const pointer — ignored */ }
+    t = b_.ptr_to(t);
+  }
+  if (check(Tok::Ident)) {
+    *name = advance().text;
+  } else {
+    name->clear();  // abstract declarator (e.g. in casts)
+  }
+  // Array suffixes, innermost last: `float x[2][3]` = array 2 of array 3.
+  std::vector<long long> dims;
+  while (accept(Tok::LBracket)) {
+    if (accept(Tok::RBracket)) {
+      dims.push_back(0);
+    } else {
+      Expr* n = parse_conditional();
+      long long folded = 0;
+      if (!fold_const_int(n, &folded))
+        error_here("array dimension must be an integer constant expression");
+      dims.push_back(folded);
+      expect(Tok::RBracket, "after array dimension");
+    }
+  }
+  for (auto it = dims.rbegin(); it != dims.rend(); ++it)
+    t = b_.array_of(t, *it);
+  return t;
+}
+
+VarDecl* Parser::parse_param() {
+  const Type* base = parse_type_specifiers();
+  std::string name;
+  const Type* t = parse_declarator(base, &name);
+  // Array parameters decay to pointers.
+  if (t->kind == Type::Kind::Array) t = b_.ptr_to(t->elem);
+  VarDecl* d = b_.var(t, name);
+  d->is_param = true;
+  d->loc = peek().loc;
+  return d;
+}
+
+void Parser::parse_top_level(TranslationUnit* unit) {
+  if (check(Tok::Pragma)) {
+    const Token& pt = advance();
+    Stmt* omp = parse_pragma_text(pt.text, pt.loc);
+    if (!omp) return;
+    if (omp->omp_dir == OmpDir::DeclareTarget) {
+      in_declare_target_ = true;
+    } else if (omp->omp_dir == OmpDir::EndDeclareTarget) {
+      in_declare_target_ = false;
+    } else {
+      diags_.error(pt.loc, "this OpenMP directive cannot appear at file "
+                           "scope");
+    }
+    return;
+  }
+
+  const Type* base = parse_type_specifiers();
+  std::string name;
+  const Type* t = parse_declarator(base, &name);
+  if (name.empty()) error_here("expected a declarator name at file scope");
+
+  if (check(Tok::LParen)) {
+    // Function definition or prototype.
+    advance();
+    FuncDecl* fn = b_.arena().make<FuncDecl>();
+    fn->return_type = t;
+    fn->name = name;
+    fn->declare_target = in_declare_target_;
+    if (!check(Tok::RParen)) {
+      if (check(Tok::KwVoid) && peek(1).is(Tok::RParen)) {
+        advance();  // (void)
+      } else {
+        do {
+          fn->params.push_back(parse_param());
+        } while (accept(Tok::Comma));
+      }
+    }
+    expect(Tok::RParen, "after parameter list");
+    if (accept(Tok::Semi)) {
+      unit->functions.push_back(fn);
+      return;
+    }
+    fn->body = parse_compound();
+    unit->functions.push_back(fn);
+    return;
+  }
+
+  // Global variable.
+  VarDecl* d = b_.var(t, name);
+  if (accept(Tok::Assign)) d->init = parse_assignment();
+  expect(Tok::Semi, "after global variable");
+  unit->globals.push_back(d);
+}
+
+TranslationUnit* Parser::parse_unit() {
+  auto* unit = b_.arena().make<TranslationUnit>();
+  unit->arena = &b_.arena();
+  while (!check(Tok::End)) {
+    size_t before = pos_;
+    try {
+      parse_top_level(unit);
+    } catch (const ParseError&) {
+      // Recover: skip to the next ';' or '}' at any nesting.
+      while (!check(Tok::End) && !accept(Tok::Semi) && !accept(Tok::RBrace))
+        advance();
+    }
+    if (pos_ == before) advance();  // guarantee progress
+  }
+  return unit;
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+Stmt* Parser::parse_compound() {
+  const Token& open = expect(Tok::LBrace, "to open a block");
+  std::vector<Stmt*> body;
+  while (!check(Tok::RBrace) && !check(Tok::End)) body.push_back(parse_stmt());
+  expect(Tok::RBrace, "to close the block");
+  Stmt* s = b_.compound(std::move(body));
+  s->loc = open.loc;
+  return s;
+}
+
+Stmt* Parser::parse_stmt() {
+  switch (peek().kind) {
+    case Tok::LBrace: return parse_compound();
+    case Tok::KwIf: return parse_if();
+    case Tok::KwFor: return parse_for();
+    case Tok::KwWhile: return parse_while();
+    case Tok::KwDo: return parse_do_while();
+    case Tok::KwReturn: {
+      Stmt* s = b_.stmt(Stmt::Kind::Return);
+      s->loc = advance().loc;
+      if (!check(Tok::Semi)) s->expr = parse_expr();
+      expect(Tok::Semi, "after return");
+      return s;
+    }
+    case Tok::KwBreak: {
+      Stmt* s = b_.stmt(Stmt::Kind::Break);
+      s->loc = advance().loc;
+      expect(Tok::Semi, "after break");
+      return s;
+    }
+    case Tok::KwContinue: {
+      Stmt* s = b_.stmt(Stmt::Kind::Continue);
+      s->loc = advance().loc;
+      expect(Tok::Semi, "after continue");
+      return s;
+    }
+    case Tok::Semi: {
+      Stmt* s = b_.stmt(Stmt::Kind::Empty);
+      s->loc = advance().loc;
+      return s;
+    }
+    case Tok::Pragma: {
+      const Token& pt = advance();
+      Stmt* omp = parse_pragma_text(pt.text, pt.loc);
+      if (!omp) return b_.stmt(Stmt::Kind::Empty);
+      if (omp_directive_has_body(omp->omp_dir)) omp->omp_body = parse_stmt();
+      return omp;
+    }
+    default:
+      if (looks_like_type()) return parse_decl_stmt();
+      Stmt* s = b_.expr_stmt(parse_expr());
+      s->loc = s->expr->loc;
+      expect(Tok::Semi, "after expression");
+      return s;
+  }
+}
+
+Stmt* Parser::parse_decl_stmt() {
+  SourceLoc loc = peek().loc;
+  const Type* base = parse_type_specifiers();
+  std::string name;
+  const Type* t = parse_declarator(base, &name);
+  if (name.empty()) error_here("expected a variable name");
+  VarDecl* d = b_.var(t, name);
+  d->loc = loc;
+  if (accept(Tok::Assign)) d->init = parse_assignment();
+  expect(Tok::Semi, "after declaration");
+  Stmt* s = b_.decl_stmt(d);
+  s->loc = loc;
+  return s;
+}
+
+Stmt* Parser::parse_if() {
+  Stmt* s = b_.stmt(Stmt::Kind::If);
+  s->loc = advance().loc;
+  expect(Tok::LParen, "after if");
+  s->expr = parse_expr();
+  expect(Tok::RParen, "after if condition");
+  s->then_stmt = parse_stmt();
+  if (accept(Tok::KwElse)) s->else_stmt = parse_stmt();
+  return s;
+}
+
+Stmt* Parser::parse_for() {
+  Stmt* s = b_.stmt(Stmt::Kind::For);
+  s->loc = advance().loc;
+  expect(Tok::LParen, "after for");
+  if (accept(Tok::Semi)) {
+    s->for_init = b_.stmt(Stmt::Kind::Empty);
+  } else if (looks_like_type()) {
+    s->for_init = parse_decl_stmt();
+  } else {
+    s->for_init = b_.expr_stmt(parse_expr());
+    expect(Tok::Semi, "after for initializer");
+  }
+  if (!check(Tok::Semi)) s->for_cond = parse_expr();
+  expect(Tok::Semi, "after for condition");
+  if (!check(Tok::RParen)) s->for_step = parse_expr();
+  expect(Tok::RParen, "after for step");
+  s->then_stmt = parse_stmt();
+  return s;
+}
+
+Stmt* Parser::parse_while() {
+  Stmt* s = b_.stmt(Stmt::Kind::While);
+  s->loc = advance().loc;
+  expect(Tok::LParen, "after while");
+  s->expr = parse_expr();
+  expect(Tok::RParen, "after while condition");
+  s->then_stmt = parse_stmt();
+  return s;
+}
+
+Stmt* Parser::parse_do_while() {
+  Stmt* s = b_.stmt(Stmt::Kind::DoWhile);
+  s->loc = advance().loc;
+  s->then_stmt = parse_stmt();
+  if (!accept(Tok::KwWhile)) error_here("expected 'while' after do body");
+  expect(Tok::LParen, "after while");
+  s->expr = parse_expr();
+  expect(Tok::RParen, "after do-while condition");
+  expect(Tok::Semi, "after do-while");
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+Expr* Parser::parse_expr() { return parse_assignment(); }
+
+Expr* Parser::parse_assignment() {
+  Expr* lhs = parse_conditional();
+  Tok t = peek().kind;
+  BinOp op;
+  bool plain = false;
+  switch (t) {
+    case Tok::Assign: plain = true; op = BinOp::Add; break;
+    case Tok::PlusAssign: op = BinOp::Add; break;
+    case Tok::MinusAssign: op = BinOp::Sub; break;
+    case Tok::StarAssign: op = BinOp::Mul; break;
+    case Tok::SlashAssign: op = BinOp::Div; break;
+    case Tok::PercentAssign: op = BinOp::Rem; break;
+    case Tok::AmpAssign: op = BinOp::BitAnd; break;
+    case Tok::PipeAssign: op = BinOp::BitOr; break;
+    case Tok::CaretAssign: op = BinOp::BitXor; break;
+    case Tok::ShlAssign: op = BinOp::Shl; break;
+    case Tok::ShrAssign: op = BinOp::Shr; break;
+    default: return lhs;
+  }
+  SourceLoc loc = advance().loc;
+  Expr* rhs = parse_assignment();
+  Expr* e = b_.expr(Expr::Kind::Assign);
+  e->loc = loc;
+  e->plain_assign = plain;
+  e->assign_op = op;
+  e->lhs = lhs;
+  e->rhs = rhs;
+  return e;
+}
+
+Expr* Parser::parse_conditional() {
+  Expr* c = parse_binary(1);
+  if (!accept(Tok::Question)) return c;
+  Expr* e = b_.expr(Expr::Kind::Cond);
+  e->cond = c;
+  e->lhs = parse_assignment();
+  expect(Tok::Colon, "in conditional expression");
+  e->rhs = parse_conditional();
+  return e;
+}
+
+Expr* Parser::parse_binary(int min_prec) {
+  Expr* lhs = parse_unary();
+  for (;;) {
+    int prec = binop_prec(peek().kind);
+    if (prec < min_prec) return lhs;
+    Tok op_tok = advance().kind;
+    Expr* rhs = parse_binary(prec + 1);
+    lhs = b_.binary(binop_of(op_tok), lhs, rhs);
+  }
+}
+
+Expr* Parser::parse_unary() {
+  SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case Tok::Plus: advance(); return b_.unary(UnOp::Plus, parse_unary());
+    case Tok::Minus: advance(); return b_.unary(UnOp::Neg, parse_unary());
+    case Tok::Not: advance(); return b_.unary(UnOp::Not, parse_unary());
+    case Tok::Tilde: advance(); return b_.unary(UnOp::BitNot, parse_unary());
+    case Tok::Star: advance(); return b_.unary(UnOp::Deref, parse_unary());
+    case Tok::Amp: advance(); return b_.unary(UnOp::AddrOf, parse_unary());
+    case Tok::PlusPlus: advance();
+      return b_.unary(UnOp::PreInc, parse_unary());
+    case Tok::MinusMinus: advance();
+      return b_.unary(UnOp::PreDec, parse_unary());
+    case Tok::KwSizeof: {
+      advance();
+      Expr* e = b_.expr(Expr::Kind::Sizeof);
+      e->loc = loc;
+      expect(Tok::LParen, "after sizeof");
+      if (looks_like_type()) {
+        const Type* base = parse_type_specifiers();
+        std::string ignored;
+        e->cast_type = parse_declarator(base, &ignored);
+      } else {
+        e->lhs = parse_expr();
+      }
+      expect(Tok::RParen, "after sizeof operand");
+      return e;
+    }
+    case Tok::LParen:
+      // Cast or parenthesized expression.
+      if (looks_like_type_cast()) {
+        advance();
+        const Type* base = parse_type_specifiers();
+        std::string ignored;
+        const Type* t = parse_declarator(base, &ignored);
+        expect(Tok::RParen, "after cast type");
+        Expr* e = b_.expr(Expr::Kind::Cast);
+        e->loc = loc;
+        e->cast_type = t;
+        e->lhs = parse_unary();
+        return e;
+      }
+      return parse_postfix();
+    default:
+      return parse_postfix();
+  }
+}
+
+Expr* Parser::parse_postfix() {
+  Expr* e = parse_primary();
+  for (;;) {
+    if (accept(Tok::LBracket)) {
+      Expr* idx = parse_expr();
+      expect(Tok::RBracket, "after index");
+      e = b_.index(e, idx);
+    } else if (check(Tok::PlusPlus)) {
+      advance();
+      e = b_.unary(UnOp::PostInc, e);
+    } else if (check(Tok::MinusMinus)) {
+      advance();
+      e = b_.unary(UnOp::PostDec, e);
+    } else {
+      return e;
+    }
+  }
+}
+
+Expr* Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLit: {
+      advance();
+      Expr* e = b_.int_lit(t.int_value);
+      e->loc = t.loc;
+      e->text = t.text;
+      return e;
+    }
+    case Tok::CharLit: {
+      advance();
+      Expr* e = b_.int_lit(t.int_value);
+      e->loc = t.loc;
+      return e;
+    }
+    case Tok::FloatLit: {
+      advance();
+      Expr* e = b_.expr(Expr::Kind::FloatLit);
+      e->loc = t.loc;
+      e->float_value = t.float_value;
+      e->text = t.text;
+      return e;
+    }
+    case Tok::StrLit: {
+      advance();
+      Expr* e = b_.expr(Expr::Kind::StrLit);
+      e->loc = t.loc;
+      e->text = t.text;
+      return e;
+    }
+    case Tok::Ident: {
+      advance();
+      if (accept(Tok::LParen)) {
+        Expr* e = b_.expr(Expr::Kind::Call);
+        e->loc = t.loc;
+        e->callee = t.text;
+        if (!check(Tok::RParen)) {
+          do {
+            e->args.push_back(parse_assignment());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        return e;
+      }
+      Expr* e = b_.ident(t.text);
+      e->loc = t.loc;
+      return e;
+    }
+    case Tok::LParen: {
+      advance();
+      Expr* inner = parse_expr();
+      expect(Tok::RParen, "after parenthesized expression");
+      Expr* e = b_.expr(Expr::Kind::Paren);
+      e->loc = t.loc;
+      e->lhs = inner;
+      return e;
+    }
+    default:
+      error_here("expected an expression, got " +
+                 std::string(tok_name(t.kind)));
+  }
+}
+
+// ---------------------------------------------------------------------
+// OpenMP pragma parsing
+// ---------------------------------------------------------------------
+
+Stmt* Parser::parse_pragma_text(std::string_view payload, SourceLoc loc) {
+  Lexer lex(payload, diags_);
+  Parser sub(lex.lex_all(), b_.arena(), diags_);
+  sub.pragma_mode_ = true;
+  try {
+    return sub.parse_omp_pragma(Token{Tok::Pragma, loc, std::string(payload),
+                                      0, 0});
+  } catch (const ParseError&) {
+    return nullptr;
+  }
+}
+
+Stmt* Parser::parse_omp_pragma(const Token& pragma_tok) {
+  // Payload must start with "omp".
+  if (!(check(Tok::Ident) && peek().text == "omp")) {
+    diags_.warning(pragma_tok.loc, "ignoring non-OpenMP pragma");
+    return nullptr;
+  }
+  advance();
+
+  std::vector<std::string> words;
+  OmpDir dir = parse_omp_directive(words);
+
+  Stmt* s = b_.stmt(Stmt::Kind::Omp);
+  s->loc = pragma_tok.loc;
+  s->omp_dir = dir;
+
+  // critical may carry a parenthesized name.
+  if (dir == OmpDir::Critical && accept(Tok::LParen)) {
+    OmpClause c;
+    c.kind = OmpClause::Kind::Name;
+    c.name = expect(Tok::Ident, "as critical section name").text;
+    expect(Tok::RParen, "after critical name");
+    s->omp_clauses.push_back(std::move(c));
+  }
+
+  while (!check(Tok::End)) {
+    accept(Tok::Comma);  // clauses may be comma separated
+    if (check(Tok::End)) break;
+    s->omp_clauses.push_back(parse_omp_clause());
+  }
+  return s;
+}
+
+OmpDir Parser::parse_omp_directive(std::vector<std::string>& words) {
+  // Greedily read directive words; stop when a clause begins (a word
+  // followed by '(' that is a known clause name, or a known clause word).
+  static const std::map<std::vector<std::string>, OmpDir> table = {
+      {{"target"}, OmpDir::Target},
+      {{"target", "data"}, OmpDir::TargetData},
+      {{"target", "enter", "data"}, OmpDir::TargetEnterData},
+      {{"target", "exit", "data"}, OmpDir::TargetExitData},
+      {{"target", "update"}, OmpDir::TargetUpdate},
+      {{"target", "teams"}, OmpDir::TargetTeams},
+      {{"target", "teams", "distribute", "parallel", "for"},
+       OmpDir::TargetTeamsDistributeParallelFor},
+      {{"teams"}, OmpDir::Teams},
+      {{"teams", "distribute"}, OmpDir::TeamsDistribute},
+      {{"teams", "distribute", "parallel", "for"},
+       OmpDir::TeamsDistributeParallelFor},
+      {{"distribute"}, OmpDir::Distribute},
+      {{"distribute", "parallel", "for"}, OmpDir::DistributeParallelFor},
+      {{"parallel"}, OmpDir::Parallel},
+      {{"parallel", "for"}, OmpDir::ParallelFor},
+      {{"for"}, OmpDir::For},
+      {{"sections"}, OmpDir::Sections},
+      {{"section"}, OmpDir::Section},
+      {{"single"}, OmpDir::Single},
+      {{"barrier"}, OmpDir::Barrier},
+      {{"critical"}, OmpDir::Critical},
+      {{"declare", "target"}, OmpDir::DeclareTarget},
+      {{"end", "declare", "target"}, OmpDir::EndDeclareTarget},
+  };
+  static const std::vector<std::string> clause_words = {
+      "map", "num_teams", "num_threads", "thread_limit", "schedule",
+      "collapse", "nowait", "private", "firstprivate", "shared", "reduction",
+      "if", "device", "to", "from"};
+
+  while (true) {
+    std::string w = word_of(peek());
+    if (w.empty()) break;
+    bool is_clause =
+        std::find(clause_words.begin(), clause_words.end(), w) !=
+        clause_words.end();
+    // Directive words are never followed by '('; clause words are
+    // (except nowait). `to`/`from` double as clause names for update.
+    if (is_clause && (peek(1).is(Tok::LParen) || w == "nowait")) break;
+    // Try extending the directive; if no directive has this prefix, stop.
+    std::vector<std::string> extended = words;
+    extended.push_back(w);
+    bool is_prefix = false;
+    for (const auto& [seq, dir] : table) {
+      if (seq.size() >= extended.size() &&
+          std::equal(extended.begin(), extended.end(), seq.begin())) {
+        is_prefix = true;
+        break;
+      }
+    }
+    if (!is_prefix) break;
+    words = std::move(extended);
+    advance();
+  }
+
+  auto it = table.find(words);
+  if (it == table.end())
+    error_here("unknown or unsupported OpenMP directive");
+  return it->second;
+}
+
+OmpMapItem Parser::parse_omp_map_item(OmpMapType type) {
+  OmpMapItem item;
+  item.map_type = type;
+  item.name = expect(Tok::Ident, "as map item").text;
+  if (accept(Tok::LBracket)) {
+    // Array section name[lb:len] (lb may be empty: name[:len]).
+    if (check(Tok::Colon)) {
+      item.section_lb = b_.int_lit(0);
+    } else {
+      item.section_lb = parse_conditional();
+    }
+    expect(Tok::Colon, "in array section");
+    item.section_len = parse_conditional();
+    expect(Tok::RBracket, "after array section");
+  }
+  return item;
+}
+
+OmpClause Parser::parse_omp_clause() {
+  OmpClause c;
+  c.loc = peek().loc;
+  std::string w = word_of(peek());
+  if (w.empty()) error_here("expected an OpenMP clause");
+  advance();
+
+  auto paren_expr = [&]() {
+    expect(Tok::LParen, "after clause name");
+    Expr* e = parse_expr();
+    expect(Tok::RParen, "after clause argument");
+    return e;
+  };
+
+  if (w == "map") {
+    c.kind = OmpClause::Kind::Map;
+    expect(Tok::LParen, "after map");
+    OmpMapType type = OmpMapType::ToFrom;
+    // Optional map-type prefix: to/from/tofrom/alloc followed by ':'.
+    if (check(Tok::Ident) && peek(1).is(Tok::Colon)) {
+      std::string mt = peek().text;
+      if (mt == "to") type = OmpMapType::To;
+      else if (mt == "from") type = OmpMapType::From;
+      else if (mt == "tofrom") type = OmpMapType::ToFrom;
+      else if (mt == "alloc") type = OmpMapType::Alloc;
+      else error_here("unknown map type '" + mt + "'");
+      advance();
+      advance();
+    }
+    do {
+      c.items.push_back(parse_omp_map_item(type));
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "after map items");
+  } else if (w == "to" || w == "from") {
+    c.kind = w == "to" ? OmpClause::Kind::To : OmpClause::Kind::From;
+    expect(Tok::LParen, "after clause name");
+    do {
+      c.items.push_back(parse_omp_map_item(
+          w == "to" ? OmpMapType::To : OmpMapType::From));
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "after items");
+  } else if (w == "num_teams") {
+    c.kind = OmpClause::Kind::NumTeams;
+    c.arg = paren_expr();
+  } else if (w == "num_threads") {
+    c.kind = OmpClause::Kind::NumThreads;
+    c.arg = paren_expr();
+  } else if (w == "thread_limit") {
+    c.kind = OmpClause::Kind::ThreadLimit;
+    c.arg = paren_expr();
+  } else if (w == "device") {
+    c.kind = OmpClause::Kind::Device;
+    c.arg = paren_expr();
+  } else if (w == "if") {
+    c.kind = OmpClause::Kind::If;
+    c.arg = paren_expr();
+  } else if (w == "collapse") {
+    c.kind = OmpClause::Kind::Collapse;
+    Expr* e = paren_expr();
+    if (e->kind != Expr::Kind::IntLit || e->int_value < 1)
+      error_here("collapse argument must be a positive integer literal");
+    c.collapse_n = e->int_value;
+  } else if (w == "nowait") {
+    c.kind = OmpClause::Kind::Nowait;
+  } else if (w == "schedule") {
+    c.kind = OmpClause::Kind::Schedule;
+    expect(Tok::LParen, "after schedule");
+    std::string kind;
+    if (check(Tok::KwStatic)) {  // `static` lexes as a keyword
+      kind = "static";
+      advance();
+    } else {
+      kind = expect(Tok::Ident, "as schedule kind").text;
+    }
+    if (kind == "static") c.schedule = OmpSchedule::Static;
+    else if (kind == "dynamic") c.schedule = OmpSchedule::Dynamic;
+    else if (kind == "guided") c.schedule = OmpSchedule::Guided;
+    else error_here("unknown schedule kind '" + kind + "'");
+    if (accept(Tok::Comma)) c.schedule_chunk = parse_expr();
+    expect(Tok::RParen, "after schedule");
+  } else if (w == "private" || w == "firstprivate" || w == "shared") {
+    c.kind = w == "private" ? OmpClause::Kind::Private
+             : w == "firstprivate" ? OmpClause::Kind::Firstprivate
+                                   : OmpClause::Kind::Shared;
+    expect(Tok::LParen, "after clause name");
+    do {
+      c.vars.push_back(expect(Tok::Ident, "in variable list").text);
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "after variable list");
+  } else if (w == "reduction") {
+    c.kind = OmpClause::Kind::Reduction;
+    expect(Tok::LParen, "after reduction");
+    // operator: + * - max min & | ^ && ||
+    switch (peek().kind) {
+      case Tok::Plus: c.reduction_op = "+"; advance(); break;
+      case Tok::Star: c.reduction_op = "*"; advance(); break;
+      case Tok::Minus: c.reduction_op = "-"; advance(); break;
+      case Tok::Amp: c.reduction_op = "&"; advance(); break;
+      case Tok::Pipe: c.reduction_op = "|"; advance(); break;
+      case Tok::Caret: c.reduction_op = "^"; advance(); break;
+      case Tok::AmpAmp: c.reduction_op = "&&"; advance(); break;
+      case Tok::PipePipe: c.reduction_op = "||"; advance(); break;
+      case Tok::Ident: c.reduction_op = advance().text; break;
+      default: error_here("expected a reduction operator");
+    }
+    expect(Tok::Colon, "after reduction operator");
+    do {
+      c.vars.push_back(expect(Tok::Ident, "in reduction list").text);
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "after reduction list");
+  } else {
+    error_here("unknown OpenMP clause '" + w + "'");
+  }
+  return c;
+}
+
+bool Parser::omp_directive_has_body(OmpDir d) const {
+  switch (d) {
+    case OmpDir::TargetEnterData:
+    case OmpDir::TargetExitData:
+    case OmpDir::TargetUpdate:
+    case OmpDir::Barrier:
+    case OmpDir::DeclareTarget:
+    case OmpDir::EndDeclareTarget:
+      return false;
+    default:
+      return true;
+  }
+}
+
+TranslationUnit* parse_source(std::string_view source, Arena& arena,
+                              DiagEngine& diags) {
+  Lexer lex(source, diags);
+  Parser parser(lex.lex_all(), arena, diags);
+  return parser.parse_unit();
+}
+
+}  // namespace ompi

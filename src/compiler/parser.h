@@ -1,0 +1,86 @@
+// Recursive-descent parser for the C subset plus OpenMP pragmas.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/diag.h"
+#include "compiler/ast.h"
+#include "compiler/token.h"
+
+namespace ompi {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Arena& arena, DiagEngine& diags);
+
+  /// Parses a whole translation unit. On errors, returns what could be
+  /// recovered; check diags.ok().
+  TranslationUnit* parse_unit();
+
+  /// Parses one OpenMP pragma payload (everything after `#pragma`) into
+  /// an Omp statement without a body. Exposed for pragma-level tests.
+  Stmt* parse_pragma_text(std::string_view payload, SourceLoc loc);
+
+ private:
+  // --- token plumbing -------------------------------------------------
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok t) const { return peek().is(t); }
+  bool accept(Tok t);
+  const Token& expect(Tok t, const char* what);
+  [[noreturn]] void error_here(const std::string& msg);
+
+  // --- declarations ------------------------------------------------------
+  bool looks_like_type() const;
+  bool looks_like_type_cast() const;
+  const Type* parse_type_specifiers();
+  const Type* parse_declarator(const Type* base, std::string* name);
+  VarDecl* parse_param();
+  void parse_top_level(TranslationUnit* unit);
+
+  // --- statements ----------------------------------------------------------
+  Stmt* parse_stmt();
+  Stmt* parse_compound();
+  Stmt* parse_if();
+  Stmt* parse_for();
+  Stmt* parse_while();
+  Stmt* parse_do_while();
+  Stmt* parse_decl_stmt();
+
+  // --- expressions -----------------------------------------------------------
+  Expr* parse_expr();           // comma-free full expression
+  Expr* parse_assignment();
+  Expr* parse_conditional();
+  Expr* parse_binary(int min_prec);
+  Expr* parse_unary();
+  Expr* parse_postfix();
+  Expr* parse_primary();
+
+  // --- OpenMP ------------------------------------------------------------------
+  Stmt* parse_omp_pragma(const Token& pragma_tok);
+  OmpDir parse_omp_directive(std::vector<std::string>& words);
+  OmpClause parse_omp_clause();
+  OmpMapItem parse_omp_map_item(OmpMapType type);
+  bool omp_directive_has_body(OmpDir d) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  AstBuilder b_;
+  DiagEngine& diags_;
+  bool in_declare_target_ = false;
+
+  // Pragma payloads are parsed by a nested Parser over re-lexed tokens;
+  // this flag suppresses body parsing there.
+  bool pragma_mode_ = false;
+};
+
+/// Evaluates an integer constant expression; false when non-constant.
+bool fold_const_int(const Expr* e, long long* out);
+
+/// Convenience: lex + parse a source string.
+TranslationUnit* parse_source(std::string_view source, Arena& arena,
+                              DiagEngine& diags);
+
+}  // namespace ompi

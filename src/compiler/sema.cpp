@@ -1,0 +1,302 @@
+#include "compiler/sema.h"
+
+#include <algorithm>
+
+namespace ompi {
+
+bool is_builtin_function(std::string_view name) {
+  static const std::set<std::string_view> builtins = {
+      // OpenMP API (host and device sides)
+      "omp_get_thread_num", "omp_get_num_threads", "omp_get_team_num",
+      "omp_get_num_teams", "omp_get_num_devices", "omp_get_default_device",
+      "omp_set_default_device", "omp_is_initial_device",
+      "omp_get_initial_device", "omp_get_wtime",
+      // libc subset usable in kernels and host code
+      "printf", "sqrt", "sqrtf", "fabs", "fabsf", "exp", "expf", "log",
+      "logf", "sin", "cos", "pow", "powf", "abs", "malloc", "free",
+      // cudadev device library (generated code calls these)
+      "cudadev_combined_init", "cudadev_target_init",
+      "cudadev_in_masterwarp", "cudadev_is_masterthr",
+      "cudadev_register_parallel", "cudadev_workerfunc",
+      "cudadev_exit_target", "cudadev_push_shmem", "cudadev_pop_shmem",
+      "cudadev_getaddr", "cudadev_get_distribute_chunk2",
+      "cudadev_get_static_chunk2", "cudadev_get_static_chunk_k2",
+      "cudadev_ws_loop_init", "cudadev_get_dynamic_chunk2",
+      "cudadev_get_guided_chunk2", "cudadev_ws_loop_end",
+      "cudadev_sections_begin", "cudadev_sections_next",
+      "cudadev_sections_end", "cudadev_single_begin", "cudadev_single_end",
+      "cudadev_barrier", "cudadev_critical_enter", "cudadev_critical_exit",
+      "cudadev_atomic_add_int", "cudadev_atomic_add_float",
+      "cudadev_atomic_add_double",
+  };
+  return builtins.contains(name);
+}
+
+Sema::Sema(TranslationUnit& unit, DiagEngine& diags)
+    : unit_(unit), diags_(diags) {}
+
+const VarDecl* Sema::lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+    for (auto vit = it->vars.rbegin(); vit != it->vars.rend(); ++vit)
+      if ((*vit)->name == name) return *vit;
+  return nullptr;
+}
+
+void Sema::resolve() {
+  scopes_.clear();
+  push_scope();
+  for (const VarDecl* g : unit_.globals) declare(g);
+  for (FuncDecl* fn : unit_.functions)
+    if (fn->body) resolve_function(*fn);
+  pop_scope();
+}
+
+void Sema::resolve_function(FuncDecl& fn) {
+  push_scope();
+  for (const VarDecl* p : fn.params) declare(p);
+  resolve_stmt(fn.body);
+  pop_scope();
+}
+
+void Sema::resolve_stmt(Stmt* s) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      push_scope();
+      for (Stmt* c : s->body) resolve_stmt(c);
+      pop_scope();
+      break;
+    case Stmt::Kind::Decl:
+      resolve_expr(s->decl->init);
+      declare(s->decl);
+      break;
+    case Stmt::Kind::ExprStmt:
+    case Stmt::Kind::Return:
+      resolve_expr(s->expr);
+      break;
+    case Stmt::Kind::If:
+      resolve_expr(s->expr);
+      resolve_stmt(s->then_stmt);
+      resolve_stmt(s->else_stmt);
+      break;
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      resolve_expr(s->expr);
+      resolve_stmt(s->then_stmt);
+      break;
+    case Stmt::Kind::For:
+      push_scope();  // the for-init declaration scopes over the loop
+      resolve_stmt(s->for_init);
+      resolve_expr(s->for_cond);
+      resolve_expr(s->for_step);
+      resolve_stmt(s->then_stmt);
+      pop_scope();
+      break;
+    case Stmt::Kind::Omp:
+      for (OmpClause& c : s->omp_clauses) {
+        resolve_expr(c.arg);
+        resolve_expr(c.schedule_chunk);
+        for (OmpMapItem& item : c.items) {
+          resolve_expr(item.section_lb);
+          resolve_expr(item.section_len);
+          if (!lookup(item.name))
+            diags_.error(c.loc, "map item '" + item.name +
+                                    "' does not name a visible variable");
+        }
+        for (const std::string& v : c.vars) {
+          if (!lookup(v))
+            diags_.error(c.loc, "clause variable '" + v +
+                                    "' does not name a visible variable");
+        }
+      }
+      resolve_stmt(s->omp_body);
+      break;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Empty:
+      break;
+  }
+}
+
+void Sema::resolve_expr(Expr* e) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::Ident: {
+      const VarDecl* d = lookup(e->text);
+      if (!d) {
+        diags_.error(e->loc, "use of undeclared identifier '" + e->text + "'");
+      }
+      e->decl = d;
+      break;
+    }
+    case Expr::Kind::Call: {
+      const FuncDecl* fn = unit_.find_function(e->callee);
+      if (!fn && !is_builtin_function(e->callee))
+        diags_.error(e->loc, "call to unknown function '" + e->callee + "'");
+      for (Expr* a : e->args) resolve_expr(a);
+      break;
+    }
+    default:
+      resolve_expr(e->lhs);
+      resolve_expr(e->rhs);
+      resolve_expr(e->cond);
+      for (Expr* a : e->args) resolve_expr(a);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Capture analysis
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Walks a subtree collecting declared and referenced variables.
+struct CaptureWalker {
+  std::set<const VarDecl*> declared;
+  std::vector<const VarDecl*> used_in_order;
+  std::set<const VarDecl*> used;
+
+  void stmt(const Stmt* s) {
+    if (!s) return;
+    switch (s->kind) {
+      case Stmt::Kind::Compound:
+        for (const Stmt* c : s->body) stmt(c);
+        break;
+      case Stmt::Kind::Decl:
+        expr(s->decl->init);
+        declared.insert(s->decl);
+        break;
+      case Stmt::Kind::ExprStmt:
+      case Stmt::Kind::Return:
+        expr(s->expr);
+        break;
+      case Stmt::Kind::If:
+        expr(s->expr);
+        stmt(s->then_stmt);
+        stmt(s->else_stmt);
+        break;
+      case Stmt::Kind::While:
+      case Stmt::Kind::DoWhile:
+        expr(s->expr);
+        stmt(s->then_stmt);
+        break;
+      case Stmt::Kind::For:
+        stmt(s->for_init);
+        expr(s->for_cond);
+        expr(s->for_step);
+        stmt(s->then_stmt);
+        break;
+      case Stmt::Kind::Omp:
+        for (const OmpClause& c : s->omp_clauses) {
+          expr(c.arg);
+          expr(c.schedule_chunk);
+          for (const OmpMapItem& m : c.items) {
+            expr(m.section_lb);
+            expr(m.section_len);
+          }
+        }
+        stmt(s->omp_body);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void expr(const Expr* e) {
+    if (!e) return;
+    if (e->kind == Expr::Kind::Ident && e->decl) {
+      if (!declared.contains(e->decl) && !used.contains(e->decl)) {
+        used.insert(e->decl);
+        used_in_order.push_back(e->decl);
+      }
+      return;
+    }
+    expr(e->lhs);
+    expr(e->rhs);
+    expr(e->cond);
+    for (const Expr* a : e->args) expr(a);
+  }
+};
+
+}  // namespace
+
+std::vector<const VarDecl*> Sema::captures(const FuncDecl& fn,
+                                           const Stmt* body) {
+  (void)fn;
+  CaptureWalker w;
+  w.stmt(body);
+  return w.used_in_order;
+}
+
+// ---------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------
+
+void Sema::collect_calls_expr(const Expr* e,
+                              std::vector<const FuncDecl*>& out,
+                              std::set<const FuncDecl*>& seen) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::Call) {
+    if (const FuncDecl* fn = unit_.find_function(e->callee)) {
+      if (!seen.contains(fn)) {
+        seen.insert(fn);
+        // Callees first: recurse into the callee body before appending,
+        // so the generated kernel file defines functions before use.
+        if (fn->body) collect_calls(fn->body, out, seen);
+        out.push_back(fn);
+      }
+    }
+  }
+  collect_calls_expr(e->lhs, out, seen);
+  collect_calls_expr(e->rhs, out, seen);
+  collect_calls_expr(e->cond, out, seen);
+  for (const Expr* a : e->args) collect_calls_expr(a, out, seen);
+}
+
+void Sema::collect_calls(const Stmt* s, std::vector<const FuncDecl*>& out,
+                         std::set<const FuncDecl*>& seen) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (const Stmt* c : s->body) collect_calls(c, out, seen);
+      break;
+    case Stmt::Kind::Decl:
+      collect_calls_expr(s->decl->init, out, seen);
+      break;
+    case Stmt::Kind::ExprStmt:
+    case Stmt::Kind::Return:
+      collect_calls_expr(s->expr, out, seen);
+      break;
+    case Stmt::Kind::If:
+      collect_calls_expr(s->expr, out, seen);
+      collect_calls(s->then_stmt, out, seen);
+      collect_calls(s->else_stmt, out, seen);
+      break;
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      collect_calls_expr(s->expr, out, seen);
+      collect_calls(s->then_stmt, out, seen);
+      break;
+    case Stmt::Kind::For:
+      collect_calls(s->for_init, out, seen);
+      collect_calls_expr(s->for_cond, out, seen);
+      collect_calls_expr(s->for_step, out, seen);
+      collect_calls(s->then_stmt, out, seen);
+      break;
+    case Stmt::Kind::Omp:
+      collect_calls(s->omp_body, out, seen);
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<const FuncDecl*> Sema::call_graph(const Stmt* body) {
+  std::vector<const FuncDecl*> out;
+  std::set<const FuncDecl*> seen;
+  collect_calls(body, out, seen);
+  return out;
+}
+
+}  // namespace ompi

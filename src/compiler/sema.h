@@ -1,0 +1,59 @@
+// Semantic analysis: scope-aware symbol resolution, capture analysis for
+// outlining target/parallel bodies, and call-graph discovery for kernel
+// file generation (paper §3).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+#include "compiler/ast.h"
+
+namespace ompi {
+
+/// Functions the translator knows without declarations: the OpenMP API,
+/// libc math/io used in kernels, and the cudadev device library.
+bool is_builtin_function(std::string_view name);
+
+class Sema {
+ public:
+  Sema(TranslationUnit& unit, DiagEngine& diags);
+
+  /// Resolves every identifier to its declaration and reports undeclared
+  /// names and calls to unknown functions.
+  void resolve();
+
+  /// Variables referenced inside `body` but declared outside of it.
+  /// `fn` provides the enclosing parameter scope. Order of first use.
+  std::vector<const VarDecl*> captures(const FuncDecl& fn, const Stmt* body);
+
+  /// All user-defined functions transitively called from `body`, in
+  /// dependency order (callees before callers). These are the functions
+  /// the translator injects into the generated kernel file.
+  std::vector<const FuncDecl*> call_graph(const Stmt* body);
+
+ private:
+  struct Scope {
+    std::vector<const VarDecl*> vars;
+  };
+
+  void resolve_function(FuncDecl& fn);
+  void resolve_stmt(Stmt* s);
+  void resolve_expr(Expr* e);
+  const VarDecl* lookup(const std::string& name) const;
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  void declare(const VarDecl* d) { scopes_.back().vars.push_back(d); }
+
+  void collect_calls(const Stmt* s, std::vector<const FuncDecl*>& out,
+                     std::set<const FuncDecl*>& seen);
+  void collect_calls_expr(const Expr* e, std::vector<const FuncDecl*>& out,
+                          std::set<const FuncDecl*>& seen);
+
+  TranslationUnit& unit_;
+  DiagEngine& diags_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace ompi

@@ -1,0 +1,53 @@
+// Token vocabulary of the C-subset front end of the translator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/diag.h"
+
+namespace ompi {
+
+enum class Tok {
+  End,
+  // literals & identifiers
+  Ident,
+  IntLit,
+  FloatLit,
+  StrLit,
+  CharLit,
+  // keywords
+  KwVoid, KwChar, KwShort, KwInt, KwLong, KwFloat, KwDouble,
+  KwUnsigned, KwSigned, KwConst, KwStatic, KwExtern, KwStruct,
+  KwIf, KwElse, KwFor, KwWhile, KwDo, KwReturn, KwBreak, KwContinue,
+  KwSizeof,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Dot, Arrow, Question, Colon,
+  // operators
+  Plus, Minus, Star, Slash, Percent,
+  PlusPlus, MinusMinus,
+  Amp, Pipe, Caret, Tilde, Not,
+  AmpAmp, PipePipe,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, EqEq, NotEq,
+  Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+  AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+  // a whole `#pragma ...` line (text payload carries everything after
+  // the `#pragma`); the parser re-lexes OpenMP pragma payloads
+  Pragma,
+};
+
+std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;     // identifier spelling, literal spelling, pragma body
+  long long int_value = 0;
+  double float_value = 0;
+
+  bool is(Tok t) const { return kind == t; }
+};
+
+}  // namespace ompi

@@ -1,0 +1,922 @@
+#include "compiler/transform.h"
+
+namespace ompi {
+
+namespace {
+
+/// Unwraps a compound statement holding exactly one statement.
+Stmt* unwrap_single(Stmt* s) {
+  while (s && s->kind == Stmt::Kind::Compound && s->body.size() == 1)
+    s = s->body[0];
+  return s;
+}
+
+bool is_unit_increment(const Expr* step, const std::string& var) {
+  if (!step) return false;
+  if (step->kind == Expr::Kind::Unary &&
+      (step->un_op == UnOp::PostInc || step->un_op == UnOp::PreInc))
+    return step->lhs->kind == Expr::Kind::Ident && step->lhs->text == var;
+  if (step->kind == Expr::Kind::Assign && !step->plain_assign &&
+      step->assign_op == BinOp::Add)
+    return step->lhs->kind == Expr::Kind::Ident && step->lhs->text == var &&
+           step->rhs->kind == Expr::Kind::IntLit && step->rhs->int_value == 1;
+  if (step->kind == Expr::Kind::Assign && step->plain_assign &&
+      step->rhs->kind == Expr::Kind::Binary &&
+      step->rhs->bin_op == BinOp::Add)
+    return step->lhs->kind == Expr::Kind::Ident && step->lhs->text == var &&
+           step->rhs->lhs->kind == Expr::Kind::Ident &&
+           step->rhs->lhs->text == var &&
+           step->rhs->rhs->kind == Expr::Kind::IntLit &&
+           step->rhs->rhs->int_value == 1;
+  return false;
+}
+
+const OmpClause* find_clause(const std::vector<OmpClause>& clauses,
+                             OmpClause::Kind k) {
+  for (const OmpClause& c : clauses)
+    if (c.kind == k) return &c;
+  return nullptr;
+}
+
+bool in_string_list(const std::vector<std::string>& list,
+                    const std::string& name) {
+  for (const std::string& s : list)
+    if (s == name) return true;
+  return false;
+}
+
+}  // namespace
+
+GpuTransform::GpuTransform(TranslationUnit& unit, Sema& sema,
+                           DiagEngine& diags)
+    : unit_(unit), sema_(sema), diags_(diags), b_(*unit.arena) {}
+
+std::string GpuTransform::fresh(const char* base) {
+  return std::string(base) + std::to_string(name_counter_++);
+}
+
+void GpuTransform::run() {
+  for (FuncDecl* fn : unit_.functions)
+    if (fn->body) walk_stmt(fn->body, *fn);
+}
+
+void GpuTransform::walk_stmt(Stmt* s, FuncDecl& host_fn) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (Stmt* c : s->body) walk_stmt(c, host_fn);
+      return;
+    case Stmt::Kind::If:
+      walk_stmt(s->then_stmt, host_fn);
+      walk_stmt(s->else_stmt, host_fn);
+      return;
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      walk_stmt(s->then_stmt, host_fn);
+      return;
+    case Stmt::Kind::Omp:
+      switch (s->omp_dir) {
+        case OmpDir::Target:
+        case OmpDir::TargetTeams:
+        case OmpDir::TargetTeamsDistributeParallelFor:
+          transform_target(s, host_fn);
+          return;
+        default:
+          walk_stmt(s->omp_body, host_fn);
+          return;
+      }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parameter construction
+// ---------------------------------------------------------------------
+
+void GpuTransform::build_params(KernelInfo& k, Stmt* target,
+                                const std::vector<const VarDecl*>& captured) {
+  std::vector<const OmpMapItem*> map_items;
+  for (const OmpClause& c : target->omp_clauses)
+    if (c.kind == OmpClause::Kind::Map)
+      for (const OmpMapItem& m : c.items) map_items.push_back(&m);
+
+  auto find_map = [&](const std::string& name) -> const OmpMapItem* {
+    for (const OmpMapItem* m : map_items)
+      if (m->name == name) return m;
+    return nullptr;
+  };
+
+  for (const VarDecl* var : captured) {
+    KernelParam p;
+    p.name = var->name;
+    p.host_type = var->type;
+    p.decl = var;
+    const OmpMapItem* m = find_map(var->name);
+
+    if (var->type->is_pointerish()) {
+      p.is_pointer = true;
+      if (m && (m->section_len || var->type->kind == Type::Kind::Array)) {
+        p.map = *m;
+      } else if (var->type->kind == Type::Kind::Array &&
+                 var->type->array_size > 0) {
+        // Implicit map: the whole array, tofrom (OpenMP default).
+        p.map.name = var->name;
+        p.map.map_type = OmpMapType::ToFrom;
+        p.implicit = true;
+      } else {
+        diags_.error(target->loc,
+                     "pointer '" + var->name +
+                         "' used in a target region needs a map clause "
+                         "with an array section");
+        continue;
+      }
+    } else {
+      // Scalar: to/alloc (or unmapped) travels by value; from/tofrom
+      // must round-trip, so it becomes a one-element mapping.
+      OmpMapType mt = m ? m->map_type : OmpMapType::To;
+      if (mt == OmpMapType::From || mt == OmpMapType::ToFrom) {
+        p.is_pointer = true;
+        p.deref_in_body = true;
+        p.map.name = var->name;
+        p.map.map_type = mt;
+        p.implicit = (m == nullptr);
+      } else {
+        p.is_pointer = false;
+        if (m) p.map = *m;
+      }
+    }
+    k.params.push_back(std::move(p));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Loop normalization
+// ---------------------------------------------------------------------
+
+GpuTransform::NormLoop GpuTransform::normalize_loop(Stmt* for_stmt) {
+  NormLoop out;
+  if (!for_stmt || for_stmt->kind != Stmt::Kind::For) {
+    diags_.error(for_stmt ? for_stmt->loc : SourceLoc{},
+                 "worksharing construct requires an associated for loop");
+    return out;
+  }
+  Stmt* init = for_stmt->for_init;
+  if (init && init->kind == Stmt::Kind::Decl && init->decl->init) {
+    out.var_name = init->decl->name;
+    out.var_type = init->decl->type;
+    out.lb = init->decl->init;
+  } else if (init && init->kind == Stmt::Kind::ExprStmt &&
+             init->expr->kind == Expr::Kind::Assign &&
+             init->expr->plain_assign &&
+             init->expr->lhs->kind == Expr::Kind::Ident) {
+    out.var_name = init->expr->lhs->text;
+    out.var_type = init->expr->lhs->decl ? init->expr->lhs->decl->type
+                                         : b_.basic(Type::Kind::Int);
+    out.lb = init->expr->rhs;
+  } else {
+    diags_.error(for_stmt->loc,
+                 "cannot normalize the initializer of a worksharing loop");
+    return out;
+  }
+  Expr* cond = for_stmt->for_cond;
+  if (!cond || cond->kind != Expr::Kind::Binary ||
+      (cond->bin_op != BinOp::Lt && cond->bin_op != BinOp::Le) ||
+      cond->lhs->kind != Expr::Kind::Ident ||
+      cond->lhs->text != out.var_name) {
+    diags_.error(for_stmt->loc,
+                 "worksharing loop condition must be `i < bound` or "
+                 "`i <= bound`");
+    return out;
+  }
+  out.ub = cond->bin_op == BinOp::Lt
+               ? cond->rhs
+               : b_.binary(BinOp::Add, cond->rhs, b_.int_lit(1));
+  if (!is_unit_increment(for_stmt->for_step, out.var_name)) {
+    diags_.error(for_stmt->loc,
+                 "worksharing loop step must be a unit increment");
+    return out;
+  }
+  out.body = for_stmt->then_stmt;
+  out.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Identifier rewriting
+// ---------------------------------------------------------------------
+
+void GpuTransform::rewrite_idents_expr(Expr* e, const RewriteMap& map) {
+  if (!e) return;
+  if (e->kind == Expr::Kind::Ident) {
+    if (!e->decl) return;
+    auto it = map.find(e->decl);
+    if (it == map.end()) return;
+    const RewriteAction& act = it->second;
+    if (act.kind == RewriteAction::Kind::RenameTo) {
+      e->text = act.name;
+      e->decl = nullptr;
+    } else {
+      // x -> (*<name>); the inner identifier keeps the declaration link
+      // so later passes (capture analysis of nested regions) still see
+      // the variable.
+      Expr* inner = b_.ident(act.name);
+      inner->decl = e->decl;
+      inner->loc = e->loc;
+      Expr* star = b_.unary(UnOp::Deref, inner);
+      e->kind = Expr::Kind::Paren;
+      e->decl = nullptr;
+      e->text.clear();
+      e->lhs = star;
+    }
+    return;
+  }
+  rewrite_idents_expr(e->lhs, map);
+  rewrite_idents_expr(e->rhs, map);
+  rewrite_idents_expr(e->cond, map);
+  for (Expr* a : e->args) rewrite_idents_expr(a, map);
+}
+
+void GpuTransform::rewrite_idents(Stmt* s, const RewriteMap& map) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (Stmt* c : s->body) rewrite_idents(c, map);
+      return;
+    case Stmt::Kind::Decl:
+      rewrite_idents_expr(s->decl->init, map);
+      return;
+    case Stmt::Kind::ExprStmt:
+    case Stmt::Kind::Return:
+      rewrite_idents_expr(s->expr, map);
+      return;
+    case Stmt::Kind::If:
+      rewrite_idents_expr(s->expr, map);
+      rewrite_idents(s->then_stmt, map);
+      rewrite_idents(s->else_stmt, map);
+      return;
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      rewrite_idents_expr(s->expr, map);
+      rewrite_idents(s->then_stmt, map);
+      return;
+    case Stmt::Kind::For:
+      rewrite_idents(s->for_init, map);
+      rewrite_idents_expr(s->for_cond, map);
+      rewrite_idents_expr(s->for_step, map);
+      rewrite_idents(s->then_stmt, map);
+      return;
+    case Stmt::Kind::Omp:
+      for (OmpClause& c : s->omp_clauses) {
+        rewrite_idents_expr(c.arg, map);
+        rewrite_idents_expr(c.schedule_chunk, map);
+      }
+      rewrite_idents(s->omp_body, map);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Target transformation
+// ---------------------------------------------------------------------
+
+void GpuTransform::transform_target(Stmt* target, FuncDecl& host_fn) {
+  KernelInfo k;
+  k.index = static_cast<int>(kernels_.size());
+  k.name = "_kernelFunc" + std::to_string(k.index) + "_";
+  k.loc = target->loc;
+
+  // Combined-form detection: the combined directive itself, or target /
+  // target teams whose only body statement is the matching inner
+  // combined construct (clauses merge onto the target node).
+  Stmt* loop_node = nullptr;
+  if (target->omp_dir == OmpDir::TargetTeamsDistributeParallelFor) {
+    loop_node = target->omp_body;
+  } else {
+    Stmt* inner = unwrap_single(target->omp_body);
+    if (inner && inner->kind == Stmt::Kind::Omp &&
+        ((target->omp_dir == OmpDir::Target &&
+          inner->omp_dir == OmpDir::TeamsDistributeParallelFor) ||
+         (target->omp_dir == OmpDir::TargetTeams &&
+          inner->omp_dir == OmpDir::DistributeParallelFor))) {
+      loop_node = inner->omp_body;
+      for (OmpClause& c : inner->omp_clauses)
+        target->omp_clauses.push_back(c);
+    }
+  }
+  k.combined = loop_node != nullptr;
+
+  auto clause_arg = [&](OmpClause::Kind kind) -> Expr* {
+    const OmpClause* c = target->find_clause(kind);
+    return c ? c->arg : nullptr;
+  };
+  k.num_teams = clause_arg(OmpClause::Kind::NumTeams);
+  k.num_threads = clause_arg(OmpClause::Kind::NumThreads);
+  k.thread_limit = clause_arg(OmpClause::Kind::ThreadLimit);
+  k.device = clause_arg(OmpClause::Kind::Device);
+  if (target->find_clause(OmpClause::Kind::If))
+    diags_.warning(target->loc,
+                   "the if clause on target is ignored: this implementation "
+                   "always offloads (no host-fallback code path)");
+
+  std::vector<const VarDecl*> captured =
+      sema_.captures(host_fn, target->omp_body);
+  build_params(k, target, captured);
+
+  // Device function declaration and the deref rewrite for scalars that
+  // travel as one-element mappings.
+  FuncDecl* fn = b_.arena().make<FuncDecl>();
+  fn->name = k.name;
+  fn->return_type = b_.basic(Type::Kind::Void);
+  fn->loc = target->loc;
+  RewriteMap rewrites;
+  const OmpClause* reduction =
+      find_clause(target->omp_clauses, OmpClause::Kind::Reduction);
+  for (const KernelParam& p : k.params) {
+    const Type* pt;
+    if (p.is_pointer) {
+      pt = p.host_type->is_pointerish() ? b_.ptr_to(p.host_type->elem)
+                                        : b_.ptr_to(p.host_type);
+      bool is_reduction_var =
+          reduction && in_string_list(reduction->vars, p.name);
+      if (p.deref_in_body && !is_reduction_var)
+        rewrites[p.decl] = {RewriteAction::Kind::DerefAs, p.name};
+    } else {
+      pt = p.host_type;
+    }
+    VarDecl* pd = b_.var(pt, p.name);
+    pd->is_param = true;
+    fn->params.push_back(pd);
+  }
+
+  if (k.combined) {
+    rewrite_idents(loop_node, rewrites);
+    Stmt* body = lower_loop(k, loop_node, target->omp_clauses,
+                            /*with_distribute=*/true);
+    std::vector<Stmt*> stmts;
+    stmts.push_back(b_.expr_stmt(b_.call("cudadev_combined_init", {})));
+    stmts.push_back(body);
+    fn->body = b_.compound(std::move(stmts));
+  } else {
+    // Master/worker scheme (Fig. 3b of the paper).
+    Stmt* user_body = target->omp_body;
+    rewrite_idents(user_body, rewrites);
+    Stmt* lowered = lower_device_stmt(k, user_body);
+
+    std::vector<Stmt*> master;
+    Stmt* mask = b_.stmt(Stmt::Kind::If);
+    mask->expr = b_.unary(UnOp::Not, b_.call("cudadev_is_masterthr", {}));
+    mask->then_stmt = b_.stmt(Stmt::Kind::Return);
+    master.push_back(mask);
+    master.push_back(lowered);
+    master.push_back(b_.expr_stmt(b_.call("cudadev_exit_target", {})));
+
+    Stmt* split = b_.stmt(Stmt::Kind::If);
+    split->expr = b_.call("cudadev_in_masterwarp", {});
+    split->then_stmt = b_.compound(std::move(master));
+    split->else_stmt = b_.expr_stmt(b_.call("cudadev_workerfunc", {}));
+
+    std::vector<Stmt*> stmts;
+    stmts.push_back(b_.expr_stmt(b_.call("cudadev_target_init", {})));
+    stmts.push_back(split);
+    fn->body = b_.compound(std::move(stmts));
+  }
+
+  k.fn = fn;
+  {
+    // The call graph walks the already-lowered body; lowering only adds
+    // cudadev builtins, so user functions are preserved.
+    k.called = sema_.call_graph(fn->body);
+  }
+  for (FuncDecl* tf : k.thr_funcs) {
+    for (const FuncDecl* extra : sema_.call_graph(tf->body)) {
+      bool present = false;
+      for (const FuncDecl* have : k.called) present |= (have == extra);
+      if (!present) k.called.push_back(extra);
+    }
+  }
+
+  target->kernel_index = k.index;
+  target->omp_body = nullptr;
+  kernels_.push_back(std::move(k));
+}
+
+// ---------------------------------------------------------------------
+// Worksharing-loop lowering (paper §3.1)
+// ---------------------------------------------------------------------
+
+Stmt* GpuTransform::lower_loop(KernelInfo& k, Stmt* loop,
+                               const std::vector<OmpClause>& clauses,
+                               bool with_distribute) {
+  loop = unwrap_single(loop);
+  const OmpClause* collapse =
+      find_clause(clauses, OmpClause::Kind::Collapse);
+  long long depth = collapse ? collapse->collapse_n : 1;
+  if (depth > 3) {
+    diags_.error(loop ? loop->loc : SourceLoc{},
+                 "collapse depth > 3 is not supported");
+    depth = 3;
+  }
+
+  std::vector<NormLoop> loops;
+  Stmt* cursor = loop;
+  for (long long d = 0; d < depth; ++d) {
+    NormLoop nl = normalize_loop(cursor);
+    if (!nl.ok) return b_.stmt(Stmt::Kind::Empty);
+    loops.push_back(nl);
+    if (d + 1 < depth) {
+      cursor = unwrap_single(nl.body);
+      if (!cursor || cursor->kind != Stmt::Kind::For) {
+        diags_.error(loop->loc,
+                     "collapse requires perfectly nested for loops");
+        return b_.stmt(Stmt::Kind::Empty);
+      }
+    }
+  }
+  Stmt* innermost_body = loops.back().body;
+
+  const Type* ll = b_.basic(Type::Kind::LongLong);
+  std::vector<Stmt*> out;
+
+  // Extent declarations: __nK = ubK - lbK, and the flattened total.
+  std::vector<std::string> extent_names;
+  Expr* total = nullptr;
+  for (size_t d = 0; d < loops.size(); ++d) {
+    std::string n = fresh("__n");
+    extent_names.push_back(n);
+    Expr* extent = b_.binary(BinOp::Sub, loops[d].ub, loops[d].lb);
+    out.push_back(b_.decl_stmt(b_.var(ll, n, extent)));
+    total = total ? b_.binary(BinOp::Mul, total, b_.ident(n))
+                  : static_cast<Expr*>(b_.ident(n));
+  }
+  std::string total_name = fresh("__total");
+  out.push_back(b_.decl_stmt(b_.var(ll, total_name, total)));
+  if (with_distribute) {
+    // The host needs the same count to size the default league; rebuild
+    // the expression from the original bounds (host names match params).
+    Expr* host_total = nullptr;
+    for (const NormLoop& nl : loops) {
+      Expr* extent = b_.binary(BinOp::Sub, nl.ub, nl.lb);
+      host_total = host_total ? b_.binary(BinOp::Mul, host_total, extent)
+                              : extent;
+    }
+    k.total_iters = host_total;
+  }
+
+  // Phase 1: the team's chunk (combined constructs only).
+  std::string lo_name, hi_name;
+  if (with_distribute) {
+    lo_name = fresh("__tlb");
+    hi_name = fresh("__tub");
+    out.push_back(b_.decl_stmt(b_.var(ll, lo_name, b_.int_lit(0))));
+    out.push_back(b_.decl_stmt(b_.var(ll, hi_name, b_.int_lit(0))));
+    out.push_back(b_.expr_stmt(b_.call(
+        "cudadev_get_distribute_chunk2",
+        {b_.int_lit(0), b_.ident(total_name),
+         b_.unary(UnOp::AddrOf, b_.ident(lo_name)),
+         b_.unary(UnOp::AddrOf, b_.ident(hi_name))})));
+  } else {
+    lo_name = fresh("__wlb");
+    hi_name = fresh("__wub");
+    out.push_back(b_.decl_stmt(b_.var(ll, lo_name, b_.int_lit(0))));
+    out.push_back(
+        b_.decl_stmt(b_.var(ll, hi_name, b_.ident(total_name))));
+  }
+
+  // Reduction handling: local accumulators replace the shared variable
+  // inside the loop body; atomics merge them afterwards.
+  const OmpClause* reduction =
+      find_clause(clauses, OmpClause::Kind::Reduction);
+  std::vector<Stmt*> reduction_epilogue;
+  if (reduction) {
+    if (reduction->reduction_op != "+") {
+      diags_.error(reduction->loc,
+                   "only reduction(+) is supported in device regions");
+    }
+    RewriteMap red_map;
+    for (const std::string& var : reduction->vars) {
+      const KernelParam* param = nullptr;
+      for (const KernelParam& p : k.params)
+        if (p.name == var) param = &p;
+      if (!param || !param->is_pointer) {
+        diags_.error(reduction->loc,
+                     "reduction variable '" + var +
+                         "' must be a mapped tofrom/from scalar");
+        continue;
+      }
+      std::string local = "__red_" + var;
+      const Type* vt = param->host_type;
+      out.push_back(b_.decl_stmt(b_.var(vt, local, b_.int_lit(0))));
+      red_map[param->decl] = {RewriteAction::Kind::RenameTo, local};
+      const char* add_fn = vt->kind == Type::Kind::Float
+                               ? "cudadev_atomic_add_float"
+                           : vt->kind == Type::Kind::Double
+                               ? "cudadev_atomic_add_double"
+                               : "cudadev_atomic_add_int";
+      reduction_epilogue.push_back(b_.expr_stmt(
+          b_.call(add_fn, {b_.ident(var), b_.ident(local)})));
+    }
+    rewrite_idents(innermost_body, red_map);
+  }
+
+  // Index reconstruction statements for the flattened iterator.
+  std::string it_name = fresh("__it");
+  auto make_indices = [&]() {
+    std::vector<Stmt*> idx;
+    if (loops.size() == 1) {
+      Expr* v = b_.binary(BinOp::Add, loops[0].lb, b_.ident(it_name));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[0].var_type, loops[0].var_name, v)));
+    } else if (loops.size() == 2) {
+      Expr* i = b_.binary(BinOp::Add, loops[0].lb,
+                          b_.binary(BinOp::Div, b_.ident(it_name),
+                                    b_.ident(extent_names[1])));
+      Expr* j = b_.binary(BinOp::Add, loops[1].lb,
+                          b_.binary(BinOp::Rem, b_.ident(it_name),
+                                    b_.ident(extent_names[1])));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[0].var_type, loops[0].var_name, i)));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[1].var_type, loops[1].var_name, j)));
+    } else {
+      Expr* n23 = b_.binary(BinOp::Mul, b_.ident(extent_names[1]),
+                            b_.ident(extent_names[2]));
+      Expr* i = b_.binary(BinOp::Add, loops[0].lb,
+                          b_.binary(BinOp::Div, b_.ident(it_name), n23));
+      Expr* j = b_.binary(
+          BinOp::Add, loops[1].lb,
+          b_.binary(BinOp::Rem,
+                    b_.binary(BinOp::Div, b_.ident(it_name),
+                              b_.ident(extent_names[2])),
+                    b_.ident(extent_names[1])));
+      Expr* kk = b_.binary(BinOp::Add, loops[2].lb,
+                           b_.binary(BinOp::Rem, b_.ident(it_name),
+                                     b_.ident(extent_names[2])));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[0].var_type, loops[0].var_name, i)));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[1].var_type, loops[1].var_name, j)));
+      idx.push_back(
+          b_.decl_stmt(b_.var(loops[2].var_type, loops[2].var_name, kk)));
+    }
+    return idx;
+  };
+
+  // Builds `for (long long __it = <lbn>; __it < <ubn>; __it++) {idx; body}`
+  auto make_iter_loop = [&](const std::string& lbn, const std::string& ubn) {
+    Stmt* f = b_.stmt(Stmt::Kind::For);
+    f->for_init = b_.decl_stmt(b_.var(ll, it_name, b_.ident(lbn)));
+    f->for_cond = b_.binary(BinOp::Lt, b_.ident(it_name), b_.ident(ubn));
+    f->for_step = b_.unary(UnOp::PostInc, b_.ident(it_name));
+    std::vector<Stmt*> loop_body = make_indices();
+    loop_body.push_back(innermost_body);
+    f->then_stmt = b_.compound(std::move(loop_body));
+    return f;
+  };
+
+  // Phase 2: per-thread chunks following the schedule clause.
+  const OmpClause* sched = find_clause(clauses, OmpClause::Kind::Schedule);
+  OmpSchedule schedule = sched ? sched->schedule : OmpSchedule::Static;
+  Expr* chunk = sched ? sched->schedule_chunk : nullptr;
+
+  std::string mlb = fresh("__mlb"), mub = fresh("__mub");
+  out.push_back(b_.decl_stmt(b_.var(ll, mlb, b_.int_lit(0))));
+  out.push_back(b_.decl_stmt(b_.var(ll, mub, b_.int_lit(0))));
+
+  if (schedule == OmpSchedule::Static && !chunk) {
+    out.push_back(b_.expr_stmt(b_.call(
+        "cudadev_get_static_chunk2",
+        {b_.ident(lo_name), b_.ident(hi_name),
+         b_.unary(UnOp::AddrOf, b_.ident(mlb)),
+         b_.unary(UnOp::AddrOf, b_.ident(mub))})));
+    out.push_back(make_iter_loop(mlb, mub));
+  } else if (schedule == OmpSchedule::Static) {
+    std::string kvar = fresh("__k");
+    out.push_back(b_.decl_stmt(b_.var(ll, kvar, b_.int_lit(0))));
+    Stmt* w = b_.stmt(Stmt::Kind::While);
+    w->expr = b_.call("cudadev_get_static_chunk_k2",
+                      {b_.ident(lo_name), b_.ident(hi_name), chunk,
+                       b_.ident(kvar),
+                       b_.unary(UnOp::AddrOf, b_.ident(mlb)),
+                       b_.unary(UnOp::AddrOf, b_.ident(mub))});
+    std::vector<Stmt*> wb;
+    wb.push_back(make_iter_loop(mlb, mub));
+    wb.push_back(b_.expr_stmt(b_.unary(UnOp::PostInc, b_.ident(kvar))));
+    w->then_stmt = b_.compound(std::move(wb));
+    out.push_back(w);
+  } else {
+    // dynamic / guided share the loop-state protocol.
+    out.push_back(b_.expr_stmt(b_.call(
+        "cudadev_ws_loop_init", {b_.ident(lo_name), b_.ident(hi_name)})));
+    const char* grab = schedule == OmpSchedule::Dynamic
+                           ? "cudadev_get_dynamic_chunk2"
+                           : "cudadev_get_guided_chunk2";
+    Stmt* w = b_.stmt(Stmt::Kind::While);
+    w->expr = b_.call(grab, {chunk ? chunk : b_.int_lit(1),
+                             b_.unary(UnOp::AddrOf, b_.ident(mlb)),
+                             b_.unary(UnOp::AddrOf, b_.ident(mub))});
+    w->then_stmt = make_iter_loop(mlb, mub);
+    out.push_back(w);
+  }
+
+  for (Stmt* s : reduction_epilogue) out.push_back(s);
+
+  // End-of-worksharing synchronization inside parallel regions; combined
+  // kernels end with the kernel itself.
+  if (!with_distribute) {
+    bool nowait = find_clause(clauses, OmpClause::Kind::Nowait) != nullptr;
+    out.push_back(b_.expr_stmt(
+        b_.call("cudadev_ws_loop_end", {b_.int_lit(nowait ? 1 : 0)})));
+  }
+  return b_.compound(std::move(out));
+}
+
+// ---------------------------------------------------------------------
+// Generic device-statement lowering
+// ---------------------------------------------------------------------
+
+Stmt* GpuTransform::lower_device_stmt(KernelInfo& k, Stmt* s) {
+  if (!s) return nullptr;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (Stmt*& c : s->body) c = lower_device_stmt(k, c);
+      return s;
+    case Stmt::Kind::If:
+      s->then_stmt = lower_device_stmt(k, s->then_stmt);
+      s->else_stmt = lower_device_stmt(k, s->else_stmt);
+      return s;
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      s->then_stmt = lower_device_stmt(k, s->then_stmt);
+      return s;
+    case Stmt::Kind::Omp:
+      switch (s->omp_dir) {
+        case OmpDir::Parallel:
+        case OmpDir::ParallelFor:
+          if (in_parallel_region_) {
+            diags_.error(s->loc,
+                         "nested parallel regions are not supported inside "
+                         "target regions");
+            return b_.stmt(Stmt::Kind::Empty);
+          }
+          return lower_parallel_region(k, s);
+        case OmpDir::For:
+          return lower_loop(k, s->omp_body, s->omp_clauses,
+                            /*with_distribute=*/false);
+        case OmpDir::Sections:
+          return lower_sections(k, s);
+        case OmpDir::Single:
+          return lower_single(k, s);
+        case OmpDir::Barrier:
+          return b_.expr_stmt(b_.call("cudadev_barrier", {}));
+        case OmpDir::Critical:
+          return lower_critical(k, s);
+        default:
+          diags_.error(s->loc, "OpenMP '" +
+                                   std::string(omp_dir_name(s->omp_dir)) +
+                                   "' is not supported inside a target "
+                                   "region");
+          return b_.stmt(Stmt::Kind::Empty);
+      }
+    default:
+      return s;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Master/worker parallel-region outlining (paper §3.2, Fig. 3)
+// ---------------------------------------------------------------------
+
+Stmt* GpuTransform::lower_parallel_region(KernelInfo& k, Stmt* parallel) {
+  const bool is_parfor = parallel->omp_dir == OmpDir::ParallelFor;
+  Stmt* region_body = parallel->omp_body;
+
+  const OmpClause* priv =
+      find_clause(parallel->omp_clauses, OmpClause::Kind::Private);
+  const OmpClause* firstpriv =
+      find_clause(parallel->omp_clauses, OmpClause::Kind::Firstprivate);
+  const OmpClause* num_threads =
+      find_clause(parallel->omp_clauses, OmpClause::Kind::NumThreads);
+
+  // Variables the region references from the enclosing (target) scope.
+  FuncDecl dummy;
+  std::vector<const VarDecl*> captured = sema_.captures(dummy, region_body);
+
+  // Build the thread function (thrFuncN in Fig. 3b): one void** of
+  // registered variable addresses.
+  FuncDecl* thr = b_.arena().make<FuncDecl>();
+  thr->name = "_thrFunc" + std::to_string(k.index) + "_" +
+              std::to_string(k.thr_funcs.size()) + "_";
+  thr->return_type = b_.basic(Type::Kind::Void);
+  const Type* voidp = b_.ptr_to(b_.basic(Type::Kind::Void));
+  VarDecl* vars_param = b_.var(b_.ptr_to(voidp), "__vars");
+  vars_param->is_param = true;
+  thr->params.push_back(vars_param);
+
+  std::vector<Stmt*> prologue;   // thrFunc variable bindings
+  std::vector<Stmt*> setup;      // master-side vars array fills
+  std::vector<Stmt*> teardown;   // master-side pops (reverse order)
+  RewriteMap rewrites;
+  std::string vars_name = fresh("__vars");
+  int slot = 0;
+
+  auto vars_slot = [&](int idx) {  // master side: the local array
+    return b_.index(b_.ident(vars_name), b_.int_lit(idx));
+  };
+  auto param_slot = [&](int idx) {  // thrFunc side: the __vars parameter
+    return b_.index(b_.ident("__vars"), b_.int_lit(idx));
+  };
+  auto sizeof_of = [&](const Type* t) {
+    Expr* e = b_.expr(Expr::Kind::Sizeof);
+    e->cast_type = t;
+    return e;
+  };
+
+  for (const VarDecl* var : captured) {
+    if (priv && in_string_list(priv->vars, var->name)) {
+      // private: a fresh uninitialized local in every thread.
+      prologue.push_back(b_.decl_stmt(b_.var(var->type, var->name)));
+      continue;
+    }
+    if (firstpriv && in_string_list(firstpriv->vars, var->name)) {
+      // firstprivate: master pushes the value; threads copy it out.
+      setup.push_back(b_.expr_stmt(b_.assign(
+          vars_slot(slot),
+          b_.call("cudadev_push_shmem",
+                  {b_.unary(UnOp::AddrOf, b_.ident(var->name)),
+                   sizeof_of(var->type)}))));
+      teardown.push_back(b_.expr_stmt(
+          b_.call("cudadev_pop_shmem",
+                  {b_.unary(UnOp::AddrOf, b_.ident(var->name)),
+                   sizeof_of(var->type)})));
+      Expr* cast = b_.expr(Expr::Kind::Cast);
+      cast->cast_type = b_.ptr_to(var->type);
+      cast->lhs = param_slot(slot);
+      prologue.push_back(b_.decl_stmt(
+          b_.var(var->type, var->name, b_.unary(UnOp::Deref, cast))));
+      ++slot;
+      continue;
+    }
+
+    // Shared (the default). Kernel pointer parameters pass through the
+    // vars array untouched; everything else lives on the shared-memory
+    // stack for the duration of the region.
+    const KernelParam* param = nullptr;
+    for (const KernelParam& p : k.params)
+      if (p.decl == var) param = &p;
+
+    if (param && param->is_pointer) {
+      // Mapped pointers (and deref'd scalar mappings, which are already
+      // pointers inside the kernel) pass straight through the vars array.
+      setup.push_back(
+          b_.expr_stmt(b_.assign(vars_slot(slot), b_.ident(var->name))));
+      Expr* cast = b_.expr(Expr::Kind::Cast);
+      cast->cast_type = b_.ptr_to(param->host_type->is_pointerish()
+                                      ? param->host_type->elem
+                                      : param->host_type);
+      cast->lhs = param_slot(slot);
+      prologue.push_back(b_.decl_stmt(b_.var(cast->cast_type,
+                                             var->name, cast)));
+    } else {
+      // Shared scalar (master local or by-value param): Fig. 3b's
+      // cudadev_push_shmem / cudadev_pop_shmem pair.
+      const Type* vt = var->type;
+      setup.push_back(b_.expr_stmt(b_.assign(
+          vars_slot(slot),
+          b_.call("cudadev_push_shmem",
+                  {b_.unary(UnOp::AddrOf, b_.ident(var->name)),
+                   sizeof_of(vt)}))));
+      teardown.push_back(b_.expr_stmt(
+          b_.call("cudadev_pop_shmem",
+                  {b_.unary(UnOp::AddrOf, b_.ident(var->name)),
+                   sizeof_of(vt)})));
+      std::string ptr_name = "__p_" + var->name;
+      Expr* cast = b_.expr(Expr::Kind::Cast);
+      cast->cast_type = b_.ptr_to(vt);
+      cast->lhs = param_slot(slot);
+      prologue.push_back(b_.decl_stmt(b_.var(cast->cast_type,
+                                             ptr_name, cast)));
+      rewrites[var] = {RewriteAction::Kind::DerefAs, ptr_name};
+    }
+    ++slot;
+  }
+
+  // The region body, rewritten and lowered (worksharing, barriers, ...).
+  rewrite_idents(region_body, rewrites);
+  in_parallel_region_ = true;
+  Stmt* lowered_body =
+      is_parfor ? lower_loop(k, region_body, parallel->omp_clauses,
+                             /*with_distribute=*/false)
+                : lower_device_stmt(k, region_body);
+  in_parallel_region_ = false;
+
+  std::vector<Stmt*> thr_body;
+  for (Stmt* p : prologue) thr_body.push_back(p);
+  thr_body.push_back(lowered_body);
+  thr->body = b_.compound(std::move(thr_body));
+  k.thr_funcs.push_back(thr);
+
+  // Master-side replacement (Fig. 3b lines 10-24).
+  std::vector<Stmt*> master;
+  master.push_back(b_.decl_stmt(
+      b_.var(b_.array_of(voidp, slot > 0 ? slot : 1), vars_name)));
+  for (Stmt* s : setup) master.push_back(s);
+  master.push_back(b_.expr_stmt(b_.call(
+      "cudadev_register_parallel",
+      {b_.ident(thr->name), b_.ident(vars_name),
+       num_threads ? num_threads->arg : b_.int_lit(0)})));
+  for (auto it = teardown.rbegin(); it != teardown.rend(); ++it)
+    master.push_back(*it);
+  return b_.compound(std::move(master));
+}
+
+// ---------------------------------------------------------------------
+// sections / single / critical
+// ---------------------------------------------------------------------
+
+Stmt* GpuTransform::lower_sections(KernelInfo& k, Stmt* sections) {
+  // Each `#pragma omp section` child (or plain statement) is one section.
+  std::vector<Stmt*> section_bodies;
+  Stmt* body = sections->omp_body;
+  if (body && body->kind == Stmt::Kind::Compound) {
+    for (Stmt* c : body->body) {
+      if (c->kind == Stmt::Kind::Omp && c->omp_dir == OmpDir::Section)
+        section_bodies.push_back(lower_device_stmt(k, c->omp_body));
+      else
+        section_bodies.push_back(lower_device_stmt(k, c));
+    }
+  } else if (body) {
+    section_bodies.push_back(lower_device_stmt(k, body));
+  }
+  int n = static_cast<int>(section_bodies.size());
+  bool nowait =
+      find_clause(sections->omp_clauses, OmpClause::Kind::Nowait) != nullptr;
+
+  std::vector<Stmt*> out;
+  out.push_back(b_.expr_stmt(
+      b_.call("cudadev_sections_begin", {b_.int_lit(n)})));
+  std::string s_name = fresh("__s");
+  out.push_back(
+      b_.decl_stmt(b_.var(b_.basic(Type::Kind::Int), s_name, b_.int_lit(0))));
+
+  // while (1) { __s = next(); if (__s < 0) break; if-chain }
+  Stmt* w = b_.stmt(Stmt::Kind::While);
+  w->expr = b_.int_lit(1);
+  std::vector<Stmt*> wb;
+  wb.push_back(b_.expr_stmt(
+      b_.assign(b_.ident(s_name), b_.call("cudadev_sections_next", {}))));
+  Stmt* stop = b_.stmt(Stmt::Kind::If);
+  stop->expr = b_.binary(BinOp::Lt, b_.ident(s_name), b_.int_lit(0));
+  stop->then_stmt = b_.stmt(Stmt::Kind::Break);
+  wb.push_back(stop);
+  Stmt* chain = nullptr;
+  for (int i = n - 1; i >= 0; --i) {
+    Stmt* branch = b_.stmt(Stmt::Kind::If);
+    branch->expr = b_.binary(BinOp::Eq, b_.ident(s_name), b_.int_lit(i));
+    branch->then_stmt = section_bodies[static_cast<size_t>(i)];
+    branch->else_stmt = chain;
+    chain = branch;
+  }
+  if (chain) wb.push_back(chain);
+  w->then_stmt = b_.compound(std::move(wb));
+  out.push_back(w);
+  out.push_back(b_.expr_stmt(
+      b_.call("cudadev_sections_end", {b_.int_lit(nowait ? 1 : 0)})));
+  return b_.compound(std::move(out));
+}
+
+Stmt* GpuTransform::lower_single(KernelInfo& k, Stmt* single) {
+  bool nowait =
+      find_clause(single->omp_clauses, OmpClause::Kind::Nowait) != nullptr;
+  std::vector<Stmt*> out;
+  Stmt* gate = b_.stmt(Stmt::Kind::If);
+  gate->expr = b_.call("cudadev_single_begin", {});
+  gate->then_stmt = lower_device_stmt(k, single->omp_body);
+  out.push_back(gate);
+  out.push_back(b_.expr_stmt(
+      b_.call("cudadev_single_end", {b_.int_lit(nowait ? 1 : 0)})));
+  return b_.compound(std::move(out));
+}
+
+Stmt* GpuTransform::lower_critical(KernelInfo& k, Stmt* critical) {
+  const OmpClause* name =
+      find_clause(critical->omp_clauses, OmpClause::Kind::Name);
+  Expr* name_lit = b_.expr(Expr::Kind::StrLit);
+  name_lit->text = name ? name->name : "";
+  Expr* name_lit2 = b_.expr(Expr::Kind::StrLit);
+  name_lit2->text = name_lit->text;
+
+  std::vector<Stmt*> out;
+  out.push_back(
+      b_.expr_stmt(b_.call("cudadev_critical_enter", {name_lit})));
+  out.push_back(lower_device_stmt(k, critical->omp_body));
+  out.push_back(
+      b_.expr_stmt(b_.call("cudadev_critical_exit", {name_lit2})));
+  return b_.compound(std::move(out));
+}
+
+}  // namespace ompi

@@ -1,0 +1,117 @@
+// The GPU transformation set of the translator (paper §3): outlines
+// every target-family construct into a kernel function, lowers combined
+// constructs to the two-phase chunk distribution, lowers standalone
+// parallel regions to the master/worker scheme, and rewrites in-kernel
+// OpenMP constructs (for/sections/single/barrier/critical) into cudadev
+// device-library calls.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/diag.h"
+#include "compiler/ast.h"
+#include "compiler/sema.h"
+
+namespace ompi {
+
+/// One kernel parameter, in launch order.
+struct KernelParam {
+  std::string name;
+  const Type* host_type = nullptr;  // type at the host declaration
+  bool is_pointer = false;          // device pointer vs scalar by value
+  bool deref_in_body = false;       // scalar passed as 1-element mapping
+  OmpMapItem map;                   // map type + optional array section
+  bool implicit = false;            // not named in any map clause
+  const VarDecl* decl = nullptr;
+};
+
+/// Everything the translator knows about one outlined kernel.
+struct KernelInfo {
+  int index = 0;
+  std::string name;           // "_kernelFunc0_"
+  bool combined = false;      // combined construct vs master/worker scheme
+  SourceLoc loc;
+
+  FuncDecl* fn = nullptr;               // device kernel AST
+  std::vector<FuncDecl*> thr_funcs;     // outlined parallel-region bodies
+  std::vector<const FuncDecl*> called;  // call-graph functions to embed
+
+  std::vector<KernelParam> params;
+
+  // Host-evaluated launch geometry (null = translator default).
+  Expr* num_teams = nullptr;
+  Expr* num_threads = nullptr;
+  Expr* thread_limit = nullptr;
+  Expr* device = nullptr;
+
+  // Combined constructs: total iteration count of the (collapsed) loop,
+  // evaluated on the host to derive the default team count.
+  Expr* total_iters = nullptr;
+};
+
+/// How outlined-body references to one captured variable are rewritten.
+struct RewriteAction {
+  enum class Kind { DerefAs, RenameTo };
+  Kind kind = Kind::RenameTo;
+  std::string name;
+};
+using RewriteMap = std::map<const VarDecl*, RewriteAction>;
+
+/// Runs the GPU transformation set over a resolved translation unit.
+/// Target nodes in the host AST are replaced in place: their bodies move
+/// into kernel functions and the node is annotated with kernel_index.
+class GpuTransform {
+ public:
+  GpuTransform(TranslationUnit& unit, Sema& sema, DiagEngine& diags);
+
+  void run();
+
+  std::vector<KernelInfo>& kernels() { return kernels_; }
+  const std::vector<KernelInfo>& kernels() const { return kernels_; }
+
+ private:
+  void walk_stmt(Stmt* s, FuncDecl& host_fn);
+  void transform_target(Stmt* target, FuncDecl& host_fn);
+
+  void build_params(KernelInfo& k, Stmt* target,
+                    const std::vector<const VarDecl*>& captured);
+
+  // Lowerings. `clauses` are the construct's clauses (already merged for
+  // combined forms).
+  Stmt* lower_loop(KernelInfo& k, Stmt* loop,
+                   const std::vector<OmpClause>& clauses,
+                   bool with_distribute);
+  Stmt* lower_device_stmt(KernelInfo& k, Stmt* s);
+  Stmt* lower_parallel_region(KernelInfo& k, Stmt* parallel_node);
+  Stmt* lower_sections(KernelInfo& k, Stmt* sections_node);
+  Stmt* lower_single(KernelInfo& k, Stmt* single_node);
+  Stmt* lower_critical(KernelInfo& k, Stmt* critical_node);
+
+  struct NormLoop {
+    bool ok = false;
+    std::string var_name;
+    const Type* var_type = nullptr;
+    Expr* lb = nullptr;
+    Expr* ub = nullptr;  // exclusive
+    Stmt* body = nullptr;
+  };
+  NormLoop normalize_loop(Stmt* for_stmt);
+
+  void rewrite_idents(Stmt* s, const RewriteMap& map);
+  void rewrite_idents_expr(Expr* e, const RewriteMap& map);
+
+  std::string fresh(const char* base);
+
+  TranslationUnit& unit_;
+  Sema& sema_;
+  DiagEngine& diags_;
+  AstBuilder b_;
+  std::vector<KernelInfo> kernels_;
+  int name_counter_ = 0;
+  bool in_parallel_region_ = false;
+};
+
+}  // namespace ompi

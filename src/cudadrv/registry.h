@@ -1,0 +1,109 @@
+// The simulated "kernel binary" filesystem. In the real system, OMPi
+// writes each target region to an independent CUDA C kernel file and
+// invokes nvcc to produce either a PTX or a cubin image (paper §3.3);
+// the runtime later locates and loads these binaries. Here a ModuleImage
+// plays the role of one such binary: it carries the executable kernel
+// entries (C++ callables or interpreted device ASTs) plus the metadata
+// (kind, code size) that drives load/JIT cost modeling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/device.h"
+#include "sim/kernel_ctx.h"
+
+namespace cudadrv {
+
+using CUdeviceptr = uint64_t;
+
+/// Typed view of the `void** kernelParams` array handed to cuLaunchKernel,
+/// with device-pointer translation against the owning simulator.
+class ArgPack {
+ public:
+  ArgPack(jetsim::Device& dev, void* const* params, int count)
+      : dev_(&dev), params_(params), count_(count) {}
+
+  int count() const { return count_; }
+
+  /// Reads parameter i as a plain value (int, float, size, ...).
+  template <typename T>
+  T value(int i) const {
+    check(i);
+    return *static_cast<const T*>(params_[i]);
+  }
+
+  /// Raw bytes of parameter i (for interpreters that marshal by size).
+  const void* raw(int i) const {
+    check(i);
+    return params_[i];
+  }
+
+  /// Reads parameter i as a CUdeviceptr and translates it to a typed
+  /// host-side pointer, validating that `elems` elements are in bounds.
+  template <typename T>
+  T* pointer(int i, std::size_t elems = 1) const {
+    check(i);
+    auto addr = *static_cast<const CUdeviceptr*>(params_[i]);
+    return dev_->ptr<T>(addr, elems);
+  }
+
+  jetsim::Device& device() const { return *dev_; }
+
+ private:
+  void check(int i) const {
+    if (i < 0 || i >= count_)
+      throw jetsim::SimError("kernel parameter index out of range");
+  }
+  jetsim::Device* dev_;
+  void* const* params_;
+  int count_;
+};
+
+/// Executable kernel body: one invocation per GPU thread.
+using SimKernelEntry = std::function<void(jetsim::KernelCtx&, const ArgPack&)>;
+
+enum class BinaryKind { Ptx, Cubin };
+
+struct KernelImage {
+  std::string name;
+  SimKernelEntry entry;
+  int param_count = 0;
+  std::size_t static_shared_mem = 0;  // __shared__ declarations in the kernel
+  int reg_count = 32;
+};
+
+/// One compiled kernel file, as produced by the (simulated) nvcc step of
+/// the OMPi compilation chain (Fig. 2 of the paper).
+struct ModuleImage {
+  std::string path;            // e.g. "quickstart_kernels.cubin"
+  BinaryKind kind = BinaryKind::Cubin;
+  std::size_t code_size = 16 * 1024;  // bytes, drives load/JIT cost
+  std::map<std::string, KernelImage> kernels;
+
+  ModuleImage& add_kernel(KernelImage k) {
+    kernels[k.name] = std::move(k);
+    return *this;
+  }
+};
+
+/// Global registry standing in for the directory of kernel binaries that
+/// ompicc places next to the host executable.
+class BinaryRegistry {
+ public:
+  static BinaryRegistry& instance();
+
+  void install(ModuleImage img);
+  const ModuleImage* find(const std::string& path) const;
+  bool erase(const std::string& path);
+  void clear();
+  std::size_t size() const { return images_.size(); }
+
+ private:
+  std::map<std::string, ModuleImage> images_;
+};
+
+}  // namespace cudadrv

@@ -1,0 +1,430 @@
+#include "devrt/devrt.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "sim/block.h"
+#include "sim/types.h"
+
+namespace devrt {
+
+namespace {
+
+// Shared-variable stack capacity per team (after the control block).
+constexpr std::size_t kShmemStackBytes = 3 * 1024;
+
+// Issue-cycle charges for runtime entry points; these are what make the
+// OMPi-compiled variants sit slightly above pure CUDA in the benches.
+constexpr double kCallCost = 6.0;        // call + prologue of a devrt fn
+constexpr double kChunkCalcCost = 12.0;  // bounds arithmetic of a chunk fn
+
+int round_up_warp(int n) { return (n + 31) / 32 * 32; }
+
+int worker_index(const KernelCtx& ctx) {
+  return static_cast<int>(ctx.linear_tid()) - 32;
+}
+
+Mode mode_of(BlockCtl& c) { return static_cast<Mode>(c.mode); }
+
+}  // namespace
+
+std::size_t reserved_shmem() { return sizeof(BlockCtl) + kShmemStackBytes; }
+
+BlockCtl& ctl(KernelCtx& ctx) {
+  if (ctx.shmem_size() < sizeof(BlockCtl))
+    throw jetsim::SimError(
+        "devrt: kernel launched without the reserved shared-memory region "
+        "(did the host runtime forget devrt::reserved_shmem()?)");
+  return *reinterpret_cast<BlockCtl*>(ctx.shmem());
+}
+
+// ---------------------------------------------------------------------
+// Prologues
+// ---------------------------------------------------------------------
+
+void target_init(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  if (ctx.block_dim().count() != static_cast<unsigned>(kMWBlockThreads))
+    throw jetsim::SimError(
+        "devrt: master/worker kernels must launch with 128 threads");
+  // Zero-initialized shared memory is the valid initial state (Seq mode);
+  // nothing to publish here.
+  (void)ctl(ctx);
+}
+
+void combined_init(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  c.mode = static_cast<int>(Mode::Combined);  // benign concurrent store
+}
+
+// ---------------------------------------------------------------------
+// Master/worker scheme
+// ---------------------------------------------------------------------
+
+bool in_masterwarp(const KernelCtx& ctx) { return ctx.warp_id() == 0; }
+bool is_masterthr(const KernelCtx& ctx) { return ctx.linear_tid() == 0; }
+
+void register_parallel(KernelCtx& ctx, ThrFunc fn, void* vars,
+                       int num_threads) {
+  ctx.charge_cycles(kCallCost + 8);
+  BlockCtl& c = ctl(ctx);
+  if (!is_masterthr(ctx))
+    throw jetsim::SimError("register_parallel called by a non-master thread");
+  if (num_threads <= 0 || num_threads > kMWWorkers) num_threads = kMWWorkers;
+
+  // Registration phase: publish the outlined thread function.
+  c.thr_func = fn;
+  c.thr_args = vars;
+  c.thr_nthreads = num_threads;
+  c.mode = static_cast<int>(Mode::MWRegion);
+
+  // Wake the workers blocked on B1, then rendezvous with them again at
+  // the end of the region.
+  ctx.named_barrier(kBarrierB1, kMWBlockThreads);
+  ctx.named_barrier(kBarrierB1, kMWBlockThreads);
+  c.mode = static_cast<int>(Mode::Seq);
+  c.thr_func = nullptr;
+  c.thr_args = nullptr;
+  c.thr_nthreads = 0;
+}
+
+void workerfunc(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  const int widx = worker_index(ctx);
+  if (widx < 0)
+    throw jetsim::SimError("workerfunc called from the master warp");
+
+  for (;;) {
+    ctx.named_barrier(kBarrierB1, kMWBlockThreads);
+    if (c.exit_flag) return;
+
+    const int n = c.thr_nthreads;
+    const int rounded = round_up_warp(n);
+    if (widx < n) {
+      c.thr_func(ctx, c.thr_args);
+      // Participants synchronize among themselves (B2), rounded up to a
+      // multiple of the warp size; inactive workers skip it.
+      ctx.named_barrier(kBarrierB2, rounded);
+      ctx.reconverge(rounded);
+    } else if (widx < rounded) {
+      // Idle lanes sharing a warp with participants: hardware keeps them
+      // at the reconvergence point of the divergent branch until their
+      // warp's participants complete the region. Without this, their
+      // early warp-counted arrival at the end-of-region B1 would release
+      // the master while the region is still running.
+      ctx.reconverge(rounded);
+    }
+    ctx.named_barrier(kBarrierB1, kMWBlockThreads);
+  }
+}
+
+void exit_target(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  if (!is_masterthr(ctx))
+    throw jetsim::SimError("exit_target called by a non-master thread");
+  c.exit_flag = 1;
+  ctx.named_barrier(kBarrierB1, kMWBlockThreads);
+}
+
+std::byte* push_shmem(KernelCtx& ctx, const void* var, std::size_t size) {
+  ctx.charge_cycles(kCallCost);
+  ctx.charge_smem(static_cast<double>((size + 3) / 4));
+  BlockCtl& c = ctl(ctx);
+  if (c.shmem_sp == 0) c.shmem_sp = static_cast<int>(sizeof(BlockCtl));
+  if (c.shmem_depth >= static_cast<int>(std::size(c.shmem_frames)))
+    throw jetsim::SimError("devrt: shared-memory stack depth exceeded");
+  c.shmem_frames[c.shmem_depth++] = c.shmem_sp;
+  // Keep entries 8-byte aligned.
+  int sp = (c.shmem_sp + 7) & ~7;
+  if (static_cast<std::size_t>(sp) + size > reserved_shmem())
+    throw jetsim::SimError("devrt: shared-memory stack overflow");
+  std::byte* slot = ctx.shmem() + sp;
+  std::memcpy(slot, var, size);
+  c.shmem_sp = sp + static_cast<int>(size);
+  return slot;
+}
+
+void pop_shmem(KernelCtx& ctx, void* var, std::size_t size) {
+  ctx.charge_cycles(kCallCost);
+  ctx.charge_smem(static_cast<double>((size + 3) / 4));
+  BlockCtl& c = ctl(ctx);
+  if (c.shmem_depth <= 0)
+    throw jetsim::SimError("devrt: shared-memory stack underflow");
+  int data_sp = c.shmem_sp - static_cast<int>(size);
+  if (data_sp < static_cast<int>(sizeof(BlockCtl)))
+    throw jetsim::SimError("devrt: shared-memory pop larger than frame");
+  std::memcpy(var, ctx.shmem() + data_sp, size);
+  c.shmem_sp = c.shmem_frames[--c.shmem_depth];
+}
+
+void* getaddr(void* p) { return p; }
+
+// ---------------------------------------------------------------------
+// OpenMP queries
+// ---------------------------------------------------------------------
+
+int omp_thread_num(KernelCtx& ctx) {
+  ctx.charge_cycles(2);
+  BlockCtl& c = ctl(ctx);
+  switch (mode_of(c)) {
+    case Mode::Seq:
+      return 0;
+    case Mode::MWRegion:
+      return worker_index(ctx);
+    case Mode::Combined:
+      return static_cast<int>(ctx.linear_tid());
+  }
+  return 0;
+}
+
+int omp_num_threads(KernelCtx& ctx) {
+  ctx.charge_cycles(2);
+  BlockCtl& c = ctl(ctx);
+  switch (mode_of(c)) {
+    case Mode::Seq:
+      return 1;
+    case Mode::MWRegion:
+      return c.thr_nthreads;
+    case Mode::Combined:
+      return static_cast<int>(ctx.block_dim().count());
+  }
+  return 1;
+}
+
+int omp_team_num(KernelCtx& ctx) {
+  ctx.charge_cycles(2);
+  return static_cast<int>(ctx.grid_dim().linear(ctx.block_idx()));
+}
+
+int omp_num_teams(KernelCtx& ctx) {
+  ctx.charge_cycles(2);
+  return static_cast<int>(ctx.grid_dim().count());
+}
+
+// ---------------------------------------------------------------------
+// Worksharing
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Static blocking of [lb, ub) into `parts` pieces; piece `id`.
+Chunk static_piece(long long lb, long long ub, long long parts, long long id) {
+  Chunk out;
+  long long n = ub - lb;
+  if (n <= 0 || id >= parts) return out;
+  long long chunk = (n + parts - 1) / parts;
+  out.lb = lb + id * chunk;
+  out.ub = out.lb + chunk < ub ? out.lb + chunk : ub;
+  out.valid = out.lb < out.ub;
+  return out;
+}
+
+}  // namespace
+
+Chunk get_distribute_chunk(KernelCtx& ctx, long long lb, long long ub) {
+  ctx.charge_cycles(kCallCost + kChunkCalcCost);
+  return static_piece(lb, ub, omp_num_teams(ctx), omp_team_num(ctx));
+}
+
+Chunk get_static_chunk(KernelCtx& ctx, long long lb, long long ub) {
+  ctx.charge_cycles(kCallCost + kChunkCalcCost);
+  return static_piece(lb, ub, omp_num_threads(ctx), omp_thread_num(ctx));
+}
+
+Chunk get_static_chunk_k(KernelCtx& ctx, long long lb, long long ub,
+                         long long chunk, long long k) {
+  ctx.charge_cycles(kCallCost + kChunkCalcCost);
+  Chunk out;
+  if (chunk <= 0) throw jetsim::SimError("static schedule chunk must be > 0");
+  long long nthr = omp_num_threads(ctx);
+  long long tid = omp_thread_num(ctx);
+  out.lb = lb + (tid + k * nthr) * chunk;
+  out.ub = out.lb + chunk < ub ? out.lb + chunk : ub;
+  out.valid = out.lb < out.ub;
+  return out;
+}
+
+void ws_loop_init(KernelCtx& ctx, long long lb, long long ub) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  barrier(ctx);  // previous loop's stragglers must be done with the state
+  if (omp_thread_num(ctx) == 0) {
+    c.ws_next = lb;
+    c.ws_ub = ub;
+  }
+  barrier(ctx);
+}
+
+Chunk get_dynamic_chunk(KernelCtx& ctx, long long chunk) {
+  ctx.charge_cycles(kCallCost + kChunkCalcCost);
+  if (chunk <= 0) chunk = 1;
+  BlockCtl& c = ctl(ctx);
+  Chunk out;
+  long long v = ctx.atomic_add(&c.ws_next, chunk);
+  if (v >= c.ws_ub) return out;
+  out.lb = v;
+  out.ub = v + chunk < c.ws_ub ? v + chunk : c.ws_ub;
+  out.valid = true;
+  // Concurrent threads interleave their grabs on hardware; yield so the
+  // cooperative scheduler reproduces that interleaving instead of
+  // letting one fiber drain the loop.
+  ctx.spin_yield();
+  return out;
+}
+
+Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk) {
+  ctx.charge_cycles(kCallCost + kChunkCalcCost);
+  if (min_chunk <= 0) min_chunk = 1;
+  BlockCtl& c = ctl(ctx);
+  long long nthr = omp_num_threads(ctx);
+
+  lock_acquire(ctx, &c.ws_lock);
+  Chunk out;
+  long long remaining = c.ws_ub - c.ws_next;
+  if (remaining > 0) {
+    long long take = remaining / (2 * nthr);
+    if (take < min_chunk) take = min_chunk;
+    if (take > remaining) take = remaining;
+    out.lb = c.ws_next;
+    out.ub = c.ws_next + take;
+    out.valid = true;
+    c.ws_next += take;
+  }
+  lock_release(ctx, &c.ws_lock);
+  if (out.valid) ctx.spin_yield();  // interleave grabs (see dynamic)
+  return out;
+}
+
+void ws_loop_end(KernelCtx& ctx, bool nowait) {
+  ctx.charge_cycles(kCallCost);
+  if (!nowait) barrier(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Sections / single
+// ---------------------------------------------------------------------
+
+void sections_begin(KernelCtx& ctx, int nsections) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  barrier(ctx);
+  if (omp_thread_num(ctx) == 0) {
+    c.sections_remaining = nsections;
+    c.sections_total = nsections;
+    for (int& w : c.sections_claimed_by_warp) w = 0;
+  }
+  barrier(ctx);
+}
+
+int sections_next(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  const int nwarps =
+      static_cast<int>((ctx.block_dim().count() + 31) / 32);
+  const int my_warp = ctx.warp_id();
+
+  // "To avoid warp divergence, each section is assigned to threads from
+  // different warps" (paper §4.2.2): a warp may only claim its k+1-th
+  // section once every warp had a chance to claim its k-th. A stall
+  // detector releases the fairness rule when the other warps are not
+  // executing sections at all.
+  int stall_checks = 0;
+  int last_seen_remaining = -1;
+  for (;;) {
+    lock_acquire(ctx, &c.sections_lock);
+    if (c.sections_remaining <= 0) {
+      lock_release(ctx, &c.sections_lock);
+      return -1;
+    }
+    int claimed_total = c.sections_total - c.sections_remaining;
+    bool fair = c.sections_claimed_by_warp[my_warp] <= claimed_total / nwarps;
+    bool stalled = stall_checks >= 3;
+    if (fair || stalled) {
+      c.sections_remaining -= 1;
+      c.sections_claimed_by_warp[my_warp] += 1;
+      int idx = c.sections_remaining;
+      lock_release(ctx, &c.sections_lock);
+      return idx;
+    }
+    if (c.sections_remaining == last_seen_remaining)
+      ++stall_checks;
+    else
+      stall_checks = 0;
+    last_seen_remaining = c.sections_remaining;
+    lock_release(ctx, &c.sections_lock);
+    ctx.spin_yield();
+  }
+}
+
+void sections_end(KernelCtx& ctx, bool nowait) {
+  ctx.charge_cycles(kCallCost);
+  if (!nowait) barrier(ctx);
+}
+
+bool single_begin(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  return omp_thread_num(ctx) == 0;
+}
+
+void single_end(KernelCtx& ctx, bool nowait) {
+  ctx.charge_cycles(kCallCost);
+  if (!nowait) barrier(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Synchronization
+// ---------------------------------------------------------------------
+
+void barrier(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  switch (mode_of(c)) {
+    case Mode::Seq:
+      return;  // a team of one
+    case Mode::MWRegion:
+      ctx.named_barrier(kBarrierB2, round_up_warp(c.thr_nthreads));
+      return;
+    case Mode::Combined:
+      ctx.syncthreads();
+      return;
+  }
+}
+
+void lock_acquire(KernelCtx& ctx, int* word) {
+  ctx.charge_cycles(kCallCost);
+  // Busy-spin on atomic CAS; the value 1 marks the lock as held
+  // (paper §4.2.2). Divergence cost is reflected by the atomic charge
+  // accumulating on every retry.
+  while (ctx.atomic_cas(word, 0, 1) != 0) ctx.spin_yield();
+}
+
+void lock_release(KernelCtx& ctx, int* word) {
+  ctx.charge_cycles(kCallCost);
+  ctx.atomic_exch(word, 0);
+}
+
+namespace {
+// Named-critical lock words. Node-based map: pointers stay stable.
+std::map<std::string, int>& critical_locks() {
+  static std::map<std::string, int> locks;
+  return locks;
+}
+}  // namespace
+
+void critical_enter(KernelCtx& ctx, const char* name) {
+  int& word = critical_locks()[name ? name : ""];
+  lock_acquire(ctx, &word);
+}
+
+void critical_exit(KernelCtx& ctx, const char* name) {
+  int& word = critical_locks()[name ? name : ""];
+  lock_release(ctx, &word);
+}
+
+void reset_globals() { critical_locks().clear(); }
+
+}  // namespace devrt

@@ -1,0 +1,184 @@
+// Device part of the cudadev module: the runtime library that OMPi links
+// with every generated kernel. It implements the paper's master/worker
+// scheme for standalone parallel regions (§3.2), the two-phase chunk
+// distribution of combined constructs (§3.1) and the worksharing /
+// synchronization support described in §4.2.2.
+//
+// Every entry point takes the executing thread's jetsim::KernelCtx — the
+// stand-in for "running as a CUDA thread" — and charges the timing model
+// for the work the real library would do. Function names follow the
+// paper's cudadev_* vocabulary.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/kernel_ctx.h"
+
+namespace devrt {
+
+using jetsim::KernelCtx;
+
+// Kernels containing standalone parallel regions launch with a fixed
+// shape: 128 threads = 1 master warp + 3 worker warps = 96 workers,
+// matching the 128 CUDA cores of the Nano's single SM (paper §4.2.2).
+inline constexpr int kMWBlockThreads = 128;
+inline constexpr int kMWWorkers = 96;
+inline constexpr int kBarrierB1 = 1;  // master <-> all workers
+inline constexpr int kBarrierB2 = 2;  // participants of a region only
+
+/// Thread function produced by outlining a parallel region's body
+/// (thrFunc0 in Fig. 3b of the paper).
+using ThrFunc = void (*)(KernelCtx&, void* vars);
+
+/// Execution mode of a team (block); drives omp_* queries and barrier
+/// scope selection.
+enum class Mode : int {
+  Seq = 0,       // inside target, outside any parallel region (master only)
+  MWRegion = 1,  // inside a master/worker parallel region
+  Combined = 2,  // combined target teams distribute parallel for kernel
+};
+
+/// Per-team control block living at the base of the block's shared
+/// memory. Zero-initialized shared memory must be a valid initial state.
+struct BlockCtl {
+  int mode = 0;             // Mode
+  int exit_flag = 0;        // set by cudadev_exit_target
+  ThrFunc thr_func = nullptr;
+  void* thr_args = nullptr;
+  int thr_nthreads = 0;     // participants of the open region
+
+  int shmem_sp = 0;         // shared-memory stack pointer (0 = lazy init)
+  int shmem_depth = 0;      // open push frames
+  int shmem_frames[32] = {};  // saved sp per frame (alignment-exact pops)
+
+  // Worksharing state (one active dynamic/guided loop per team).
+  long long ws_next = 0;
+  long long ws_ub = 0;
+  int ws_lock = 0;
+
+  // sections support
+  int sections_remaining = 0;
+  int sections_total = 0;
+  int sections_lock = 0;
+  int sections_claimed_by_warp[32] = {};  // warp-spread assignment rule
+};
+
+/// Shared-memory bytes the device runtime reserves in front of user data:
+/// the control block plus the shared-variable stack.
+std::size_t reserved_shmem();
+
+/// Control block of the calling thread's team.
+BlockCtl& ctl(KernelCtx& ctx);
+
+// --- kernel prologues ---------------------------------------------------
+/// Prologue of a master/worker kernel (all threads call it).
+void target_init(KernelCtx& ctx);
+/// Prologue of a combined-construct kernel (all threads call it).
+void combined_init(KernelCtx& ctx);
+
+// --- master/worker scheme (paper §3.2, Fig. 3) ---------------------------
+bool in_masterwarp(const KernelCtx& ctx);
+bool is_masterthr(const KernelCtx& ctx);
+
+/// Master side of a parallel region: publishes (fn, vars, num_threads),
+/// wakes the workers through B1, and blocks until the region completes.
+/// num_threads <= 0 or > 96 requests all 96 workers.
+void register_parallel(KernelCtx& ctx, ThrFunc fn, void* vars,
+                       int num_threads);
+
+/// Worker service loop: blocks on B1, executes registered regions,
+/// returns when the master signals end-of-target.
+void workerfunc(KernelCtx& ctx);
+
+/// Master side of target termination: wakes and releases all workers.
+void exit_target(KernelCtx& ctx);
+
+/// Pushes a copy of `var` onto the team's shared-memory stack and
+/// returns the device address of the copy (cudadev_push_shmem).
+std::byte* push_shmem(KernelCtx& ctx, const void* var, std::size_t size);
+
+/// Pops the most recent stack entry, copying the (possibly updated)
+/// value back into `var` (cudadev_pop_shmem).
+void pop_shmem(KernelCtx& ctx, void* var, std::size_t size);
+
+/// Device address of a mapped variable. Host and device share physical
+/// memory on the Nano, so this is the identity; it exists because the
+/// generated code calls it (Fig. 3b line 19).
+void* getaddr(void* p);
+
+// --- OpenMP queries (device side) ----------------------------------------
+int omp_thread_num(KernelCtx& ctx);
+int omp_num_threads(KernelCtx& ctx);
+int omp_team_num(KernelCtx& ctx);
+int omp_num_teams(KernelCtx& ctx);
+
+// --- worksharing (paper §3.1, §4.2.2) --------------------------------------
+/// Half-open iteration range handed to one team or one thread.
+struct Chunk {
+  long long lb = 0;
+  long long ub = 0;
+  bool valid = false;
+
+  long long size() const { return ub - lb; }
+};
+
+/// First distribution phase of a combined construct: the chunk destined
+/// for this team (static distribute schedule).
+Chunk get_distribute_chunk(KernelCtx& ctx, long long lb, long long ub);
+
+/// Second phase, static schedule without a chunk size: one contiguous
+/// chunk per participating thread.
+Chunk get_static_chunk(KernelCtx& ctx, long long lb, long long ub);
+
+/// Static schedule with an explicit chunk size: threads walk chunks
+/// round-robin (call repeatedly with k = 0,1,2,... until !valid).
+Chunk get_static_chunk_k(KernelCtx& ctx, long long lb, long long ub,
+                         long long chunk, long long k);
+
+/// Initializes the team's shared loop state for dynamic/guided
+/// scheduling. Contains two region barriers; every participant calls it.
+void ws_loop_init(KernelCtx& ctx, long long lb, long long ub);
+
+/// Grabs the next `chunk`-sized piece of the open dynamic loop.
+Chunk get_dynamic_chunk(KernelCtx& ctx, long long chunk);
+
+/// Grabs the next guided piece: max(remaining/(2*nthr), min_chunk).
+Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk);
+
+/// End-of-worksharing synchronization (no-op when nowait was given).
+void ws_loop_end(KernelCtx& ctx, bool nowait);
+
+// --- sections ---------------------------------------------------------------
+/// Initializes the team's section counter to `nsections`.
+void sections_begin(KernelCtx& ctx, int nsections);
+/// Claims the next unexecuted section index, or -1 when exhausted.
+/// Implemented with the lock + counter protocol of the paper.
+int sections_next(KernelCtx& ctx);
+void sections_end(KernelCtx& ctx, bool nowait);
+
+// --- single -------------------------------------------------------------------
+/// True for the thread that must execute the single region (if-master
+/// logic, paper §4.2.2).
+bool single_begin(KernelCtx& ctx);
+void single_end(KernelCtx& ctx, bool nowait);
+
+// --- synchronization -------------------------------------------------------
+/// OpenMP barrier among the threads of the current parallel region:
+/// B2 with the X = W*ceil(N/W) rounding rule in master/worker mode,
+/// a block-wide barrier in combined mode, a no-op in sequential mode.
+void barrier(KernelCtx& ctx);
+
+/// Busy-spin CAS lock on a global control word (paper §4.2.2).
+void lock_acquire(KernelCtx& ctx, int* word);
+void lock_release(KernelCtx& ctx, int* word);
+
+/// Named critical sections; the compiler emits enter/exit around the
+/// region body. The unnamed critical uses name = "".
+void critical_enter(KernelCtx& ctx, const char* name);
+void critical_exit(KernelCtx& ctx, const char* name);
+
+/// Resets process-global runtime tables (critical-section locks).
+/// Tests call this between scenarios.
+void reset_globals();
+
+}  // namespace devrt

@@ -1,0 +1,175 @@
+#include "hostrt/cudadev_module.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "devrt/devrt.h"
+
+namespace hostrt {
+
+namespace {
+
+[[noreturn]] void fail(const char* op, cudadrv::CUresult r) {
+  std::ostringstream os;
+  os << "cudadev: " << op << " failed: " << cudadrv::cuResultName(r);
+  throw std::runtime_error(os.str());
+}
+
+void check(const char* op, cudadrv::CUresult r) {
+  if (r != cudadrv::CUDA_SUCCESS) fail(op, r);
+}
+
+}  // namespace
+
+CudadevModule::CudadevModule() {
+  // Discovery phase: every device is found at application startup, but
+  // nothing beyond counting happens here (lazy initialization).
+  check("cuInit", cudadrv::cuInit(0));
+  check("cuDeviceGetCount", cudadrv::cuDeviceGetCount(&device_count_));
+}
+
+CudadevModule::~CudadevModule() {
+  if (context_) cudadrv::cuCtxDestroy(context_);
+}
+
+void CudadevModule::initialize() {
+  if (initialized_) return;
+  check("cuDeviceGet", cudadrv::cuDeviceGet(&device_, 0));
+
+  // Capture all hardware characteristics into host-side structures.
+  char name[256];
+  check("cuDeviceGetName",
+        cudadrv::cuDeviceGetName(name, sizeof name, device_));
+  hw_.name = name;
+  cudadrv::cuDeviceGetAttribute(
+      &hw_.cc_major, cudadrv::CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MAJOR,
+      device_);
+  cudadrv::cuDeviceGetAttribute(
+      &hw_.cc_minor, cudadrv::CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MINOR,
+      device_);
+  cudadrv::cuDeviceGetAttribute(&hw_.warp_size,
+                                cudadrv::CU_DEVICE_ATTRIBUTE_WARP_SIZE,
+                                device_);
+  cudadrv::cuDeviceGetAttribute(
+      &hw_.sm_count, cudadrv::CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT,
+      device_);
+  cudadrv::cuDeviceGetAttribute(
+      &hw_.max_threads_per_block,
+      cudadrv::CU_DEVICE_ATTRIBUTE_MAX_THREADS_PER_BLOCK, device_);
+  cudadrv::cuDeviceTotalMem(&hw_.total_mem, device_);
+
+  // A primary context is created once the device is initialized.
+  check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, device_));
+  initialized_ = true;
+}
+
+void CudadevModule::require_initialized() {
+  if (!initialized_)
+    throw std::runtime_error(
+        "cudadev: device operation before lazy initialization");
+}
+
+uint64_t CudadevModule::alloc(std::size_t size) {
+  require_initialized();
+  cudadrv::CUdeviceptr p = 0;
+  cudadrv::CUresult r = cudadrv::cuMemAlloc(&p, size);
+  if (r == cudadrv::CUDA_ERROR_OUT_OF_MEMORY) return 0;
+  check("cuMemAlloc", r);
+  return p;
+}
+
+void CudadevModule::free(uint64_t dev_addr) {
+  require_initialized();
+  check("cuMemFree", cudadrv::cuMemFree(dev_addr));
+}
+
+void CudadevModule::write(uint64_t dev_addr, const void* src,
+                          std::size_t size) {
+  require_initialized();
+  check("cuMemcpyHtoD", cudadrv::cuMemcpyHtoD(dev_addr, src, size));
+}
+
+void CudadevModule::read(void* dst, uint64_t dev_addr, std::size_t size) {
+  require_initialized();
+  check("cuMemcpyDtoH", cudadrv::cuMemcpyDtoH(dst, dev_addr, size));
+}
+
+cudadrv::CUfunction CudadevModule::get_function(
+    const std::string& module_path, const std::string& kernel_name) {
+  std::string key = module_path + "::" + kernel_name;
+  if (auto it = function_cache_.find(key); it != function_cache_.end())
+    return it->second;
+
+  cudadrv::CUmodule mod;
+  if (auto it = module_cache_.find(module_path); it != module_cache_.end()) {
+    mod = it->second;
+  } else {
+    check("cuModuleLoad",
+          cudadrv::cuModuleLoad(&mod, module_path.c_str()));
+    module_cache_[module_path] = mod;
+    ++modules_loaded_;
+  }
+
+  cudadrv::CUfunction fn;
+  check("cuModuleGetFunction",
+        cudadrv::cuModuleGetFunction(&fn, mod, kernel_name.c_str()));
+  function_cache_[key] = fn;
+  return fn;
+}
+
+OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
+                                   DataEnv& env) {
+  require_initialized();
+  OffloadStats stats;
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+
+  // Phase 1 — loading: locate the kernel function inside the kernel file
+  // (JIT compilation and device-library linking happen here in ptx mode).
+  double t0 = sim.now();
+  cudadrv::CUfunction fn = get_function(spec.module_path, spec.kernel_name);
+  stats.load_s = sim.now() - t0;
+
+  // Phase 2 — parameter preparation: resolve every argument, keeping the
+  // mapping between kernel parameters and their host addresses.
+  t0 = sim.now();
+  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  dev_ptrs.reserve(spec.args.size());
+  std::vector<void*> params;
+  params.reserve(spec.args.size());
+  for (const KernelArg& a : spec.args) {
+    if (a.kind == KernelArg::Kind::MappedPtr) {
+      dev_ptrs.push_back(env.lookup(a.host_ptr));
+      params.push_back(&dev_ptrs.back());
+    } else {
+      params.push_back(const_cast<std::byte*>(a.scalar.data()));
+    }
+  }
+  // Host-side marshalling cost, modeled per argument.
+  sim.advance_time(static_cast<double>(spec.args.size()) *
+                   cudadrv::cuSimDriverCosts().param_prep_per_arg_s);
+  stats.prepare_s = sim.now() - t0;
+
+  // Phase 3 — launch: set grid/block dimensions and call cuLaunchKernel.
+  // Every OMPi kernel carries the device library's shared-memory reserve.
+  t0 = sim.now();
+  const LaunchGeometry& g = spec.geometry;
+  unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
+                                          spec.dyn_shared_mem);
+  check("cuLaunchKernel",
+        cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
+                                g.threads_x, g.threads_y, g.threads_z, shared,
+                                nullptr, params.data(), nullptr));
+  stats.exec_s = sim.now() - t0;
+  return stats;
+}
+
+std::string CudadevModule::device_info() {
+  initialize();
+  std::ostringstream os;
+  os << hw_.name << " (sm_" << hw_.cc_major << hw_.cc_minor << ", "
+     << hw_.sm_count << " SM, warp " << hw_.warp_size << ", "
+     << hw_.total_mem / (1024 * 1024) << " MB)";
+  return os.str();
+}
+
+}  // namespace hostrt

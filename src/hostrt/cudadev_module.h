@@ -1,0 +1,67 @@
+// Host part of the cudadev module (paper §4.2.1): drives the Maxwell GPU
+// through the CUDA driver API. Discovery is cheap and happens at
+// construction; full initialization (context creation, hardware property
+// capture) is deferred until the first offload.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/module.h"
+
+namespace hostrt {
+
+class CudadevModule : public DeviceModule {
+ public:
+  CudadevModule();
+  ~CudadevModule() override;
+
+  std::string name() const override { return "cudadev"; }
+  int device_count() const override { return device_count_; }
+
+  void initialize() override;
+  bool initialized() const override { return initialized_; }
+
+  // MapBackend: memory management and transfers via the driver API.
+  uint64_t alloc(std::size_t size) override;
+  void free(uint64_t dev_addr) override;
+  void write(uint64_t dev_addr, const void* src, std::size_t size) override;
+  void read(void* dst, uint64_t dev_addr, std::size_t size) override;
+
+  OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
+
+  std::string device_info() override;
+
+  /// Hardware characteristics captured during lazy initialization.
+  struct HwProps {
+    std::string name;
+    int cc_major = 0, cc_minor = 0;
+    int warp_size = 0;
+    int sm_count = 0;
+    int max_threads_per_block = 0;
+    std::size_t total_mem = 0;
+  };
+  const HwProps& hw() const { return hw_; }
+
+  /// Number of cuModuleLoad calls performed (kernel files are loaded
+  /// once and cached, mirroring the real module).
+  int modules_loaded() const { return modules_loaded_; }
+
+ private:
+  void require_initialized();
+  cudadrv::CUfunction get_function(const std::string& module_path,
+                                   const std::string& kernel_name);
+
+  bool initialized_ = false;
+  int device_count_ = 0;
+  cudadrv::CUdevice device_ = 0;
+  cudadrv::CUcontext context_ = nullptr;
+  HwProps hw_;
+  std::map<std::string, cudadrv::CUmodule> module_cache_;
+  std::map<std::string, cudadrv::CUfunction> function_cache_;
+  int modules_loaded_ = 0;
+};
+
+}  // namespace hostrt

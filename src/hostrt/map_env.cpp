@@ -1,0 +1,127 @@
+#include "hostrt/map_env.h"
+
+#include <sstream>
+
+namespace hostrt {
+
+const char* to_string(MapType t) {
+  switch (t) {
+    case MapType::Alloc: return "alloc";
+    case MapType::To: return "to";
+    case MapType::From: return "from";
+    case MapType::ToFrom: return "tofrom";
+  }
+  return "?";
+}
+
+DataEnv::~DataEnv() {
+  // A destroyed environment releases any leftover device storage but
+  // performs no transfers: the program is past caring.
+  for (auto& [base, m] : table_) backend_->free(m.dev_addr);
+}
+
+const DataEnv::Mapping* DataEnv::find(const void* host,
+                                      std::size_t len) const {
+  auto addr = reinterpret_cast<uintptr_t>(host);
+  auto it = table_.upper_bound(addr);
+  if (it == table_.begin()) return nullptr;
+  --it;
+  const Mapping& m = it->second;
+  if (addr < it->first || addr + len > it->first + m.size) return nullptr;
+  return &m;
+}
+
+uint64_t DataEnv::map(const MapItem& item) {
+  if (!item.host || item.size == 0)
+    throw MapError("map of null or empty range");
+  auto addr = reinterpret_cast<uintptr_t>(item.host);
+
+  if (const Mapping* m = find(item.host, item.size)) {
+    // Present: no allocation, no transfer, one more reference.
+    auto* mm = const_cast<Mapping*>(m);
+    mm->refcount += 1;
+    return lookup(item.host);
+  }
+  // Partial overlaps are a mapping error in OpenMP; catch them early.
+  auto next = table_.lower_bound(addr);
+  if (next != table_.end() && next->first < addr + item.size)
+    throw MapError("map range overlaps an existing mapping");
+  if (next != table_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > addr)
+      throw MapError("map range overlaps an existing mapping");
+  }
+
+  Mapping m;
+  m.size = item.size;
+  m.refcount = 1;
+  m.dev_addr = backend_->alloc(item.size);
+  if (m.dev_addr == 0) throw MapError("device out of memory during map");
+  if (item.type == MapType::To || item.type == MapType::ToFrom)
+    backend_->write(m.dev_addr, item.host, item.size);
+  mapped_bytes_ += item.size;
+  table_.emplace(addr, m);
+  return m.dev_addr;
+}
+
+void DataEnv::unmap(const MapItem& item) {
+  auto addr = reinterpret_cast<uintptr_t>(item.host);
+  auto it = table_.find(addr);
+  if (it == table_.end())
+    throw MapError("unmap of a range that was never mapped at this base");
+  Mapping& m = it->second;
+  m.refcount -= 1;
+  if (m.refcount > 0) return;
+
+  if (item.type == MapType::From || item.type == MapType::ToFrom)
+    backend_->read(const_cast<void*>(item.host), m.dev_addr, m.size);
+  backend_->free(m.dev_addr);
+  mapped_bytes_ -= m.size;
+  table_.erase(it);
+}
+
+void DataEnv::unmap_delete(const void* host) {
+  auto it = table_.find(reinterpret_cast<uintptr_t>(host));
+  if (it == table_.end())
+    throw MapError("delete of a range that was never mapped at this base");
+  backend_->free(it->second.dev_addr);
+  mapped_bytes_ -= it->second.size;
+  table_.erase(it);
+}
+
+uint64_t DataEnv::lookup(const void* host) const {
+  auto addr = reinterpret_cast<uintptr_t>(host);
+  auto it = table_.upper_bound(addr);
+  if (it != table_.begin()) {
+    --it;
+    const Mapping& m = it->second;
+    if (addr >= it->first && addr < it->first + m.size)
+      return m.dev_addr + (addr - it->first);
+  }
+  std::ostringstream os;
+  os << "lookup of unmapped host address " << host;
+  throw MapError(os.str());
+}
+
+bool DataEnv::is_present(const void* host) const {
+  return find(host) != nullptr;
+}
+
+int DataEnv::refcount(const void* host) const {
+  const Mapping* m = find(host);
+  return m ? m->refcount : 0;
+}
+
+void DataEnv::update_to(const void* host, std::size_t size) {
+  if (!find(host, size))
+    throw MapError("target update to(...) of an unmapped range");
+  backend_->write(lookup(host), host, size);
+}
+
+void DataEnv::update_from(void* host, std::size_t size) {
+  if (!find(host, size))
+    throw MapError("target update from(...) of an unmapped range");
+  backend_->read(host, lookup(host), size);
+}
+
+}  // namespace hostrt

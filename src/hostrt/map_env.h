@@ -1,0 +1,101 @@
+// Device data environments: the host-side mapping table that backs the
+// OpenMP map clauses and the target data / target enter data / target
+// exit data / target update directives (paper §2, §4.2.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace hostrt {
+
+/// OpenMP map types.
+enum class MapType { Alloc, To, From, ToFrom };
+
+const char* to_string(MapType t);
+
+/// One item of a map clause: a host address range and its map type.
+struct MapItem {
+  const void* host = nullptr;
+  std::size_t size = 0;
+  MapType type = MapType::ToFrom;
+};
+
+/// Error in the user's mapping discipline (unmapping something never
+/// mapped, updating an absent variable, overlapping ranges).
+class MapError : public std::runtime_error {
+ public:
+  explicit MapError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Transfer/allocation backend the environment drives; implemented by the
+/// device module (cudadev) and by test fakes.
+class MapBackend {
+ public:
+  virtual ~MapBackend() = default;
+  virtual uint64_t alloc(std::size_t size) = 0;
+  virtual void free(uint64_t dev_addr) = 0;
+  virtual void write(uint64_t dev_addr, const void* src, std::size_t size) = 0;
+  virtual void read(void* dst, uint64_t dev_addr, std::size_t size) = 0;
+};
+
+/// The per-device mapping table with OpenMP reference-count semantics:
+///  - mapping an already-present range only increments its count;
+///  - unmapping decrements; the last unmap transfers back (from/tofrom)
+///    and releases the device storage.
+class DataEnv {
+ public:
+  explicit DataEnv(MapBackend& backend) : backend_(&backend) {}
+  ~DataEnv();
+
+  DataEnv(const DataEnv&) = delete;
+  DataEnv& operator=(const DataEnv&) = delete;
+
+  /// Maps one item (enter semantics). Returns the device address
+  /// corresponding to item.host.
+  uint64_t map(const MapItem& item);
+
+  /// Unmaps one item (exit semantics). `item.type` decides the final
+  /// transfer (From/ToFrom copy back on last release).
+  void unmap(const MapItem& item);
+
+  /// Forces a release regardless of reference count (OpenMP `delete`
+  /// map-type modifier on target exit data).
+  void unmap_delete(const void* host);
+
+  /// Device address for a mapped host address (which may point into the
+  /// middle of a mapped range). Throws MapError if absent.
+  uint64_t lookup(const void* host) const;
+
+  /// Presence test used by implicit mapping decisions.
+  bool is_present(const void* host) const;
+
+  /// Reference count of the containing mapping (0 if absent).
+  int refcount(const void* host) const;
+
+  /// target update to(...) — host-to-device refresh; must be present.
+  void update_to(const void* host, std::size_t size);
+  /// target update from(...) — device-to-host refresh; must be present.
+  void update_from(void* host, std::size_t size);
+
+  std::size_t mapped_ranges() const { return table_.size(); }
+  std::size_t mapped_bytes() const { return mapped_bytes_; }
+
+ private:
+  struct Mapping {
+    uint64_t dev_addr = 0;
+    std::size_t size = 0;
+    int refcount = 0;
+  };
+
+  /// Finds the mapping containing [host, host+len); null if none.
+  const Mapping* find(const void* host, std::size_t len = 1) const;
+
+  MapBackend* backend_;
+  std::map<uintptr_t, Mapping> table_;  // keyed by host base address
+  std::size_t mapped_bytes_ = 0;
+};
+
+}  // namespace hostrt

@@ -1,0 +1,85 @@
+// The device-module plugin interface of the OMPi runtime. The runtime is
+// "organized as a collection of modules, each one implementing support
+// for a particular device class" (paper §4.2); this is the fixed host
+// interface every module implements. One module may serve several
+// devices of its class.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hostrt/map_env.h"
+
+namespace hostrt {
+
+/// Grid/block geometry of an offloaded kernel in OpenMP vocabulary.
+struct LaunchGeometry {
+  unsigned teams_x = 1, teams_y = 1, teams_z = 1;       // CUDA grid
+  unsigned threads_x = 1, threads_y = 1, threads_z = 1; // CUDA block
+};
+
+/// One kernel parameter as prepared by the parameter-preparation phase.
+struct KernelArg {
+  enum class Kind { Scalar, MappedPtr };
+  Kind kind = Kind::Scalar;
+  std::vector<std::byte> scalar;  // raw bytes of a firstprivate scalar
+  const void* host_ptr = nullptr; // host address of a mapped variable
+
+  static KernelArg mapped(const void* host) {
+    KernelArg a;
+    a.kind = Kind::MappedPtr;
+    a.host_ptr = host;
+    return a;
+  }
+
+  template <typename T>
+  static KernelArg of(const T& value) {
+    KernelArg a;
+    a.kind = Kind::Scalar;
+    a.scalar.resize(sizeof(T));
+    std::memcpy(a.scalar.data(), &value, sizeof(T));
+    return a;
+  }
+};
+
+/// Everything the generated host code passes to offload one kernel.
+struct KernelLaunchSpec {
+  std::string module_path;   // kernel file holding the outlined function
+  std::string kernel_name;   // e.g. "_kernelFunc0_"
+  LaunchGeometry geometry;
+  std::size_t dyn_shared_mem = 0;  // beyond the device library's reserve
+  std::vector<KernelArg> args;
+};
+
+/// Timing observed for one offload, in modeled seconds.
+struct OffloadStats {
+  double load_s = 0;     // phase 1: locate + load the kernel binary
+  double prepare_s = 0;  // phase 2: parameter preparation
+  double exec_s = 0;     // phase 3: launch + kernel execution
+  double total() const { return load_s + prepare_s + exec_s; }
+};
+
+/// Host part of a device module.
+class DeviceModule : public MapBackend {
+ public:
+  ~DeviceModule() override = default;
+
+  virtual std::string name() const = 0;
+  virtual int device_count() const = 0;
+
+  /// Full initialization of the device: performed lazily by the runtime
+  /// right before the first kernel is offloaded (paper §4.2.1).
+  virtual void initialize() = 0;
+  virtual bool initialized() const = 0;
+
+  /// Three-phase kernel launch: loading, parameter preparation, launch.
+  virtual OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) = 0;
+
+  /// Human-readable description of the managed hardware.
+  virtual std::string device_info() = 0;
+};
+
+}  // namespace hostrt

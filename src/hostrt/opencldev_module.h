@@ -1,0 +1,57 @@
+// Preliminary OpenCL device module. The paper's runtime "is organized as
+// a collection of modules, each one implementing support for a
+// particular device class" and its conclusion notes work "on further
+// extending ompi to target OpenCL devices" through a corresponding
+// OpenCL module; this is that module, at the same preliminary stage:
+// a second implementation of the DeviceModule plugin interface, driving
+// its own simulated accelerator with OpenCL-flavoured semantics
+// (runtime program building instead of binary loading, NDRange launches
+// instead of grids).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hostrt/module.h"
+#include "sim/device.h"
+
+namespace hostrt {
+
+class OpenclDevModule : public DeviceModule {
+ public:
+  OpenclDevModule();
+  ~OpenclDevModule() override;
+
+  std::string name() const override { return "opencldev"; }
+  int device_count() const override { return 1; }
+
+  void initialize() override;
+  bool initialized() const override { return initialized_; }
+
+  uint64_t alloc(std::size_t size) override;        // clCreateBuffer
+  void free(uint64_t dev_addr) override;            // clReleaseMemObject
+  void write(uint64_t dev_addr, const void* src,
+             std::size_t size) override;            // clEnqueueWriteBuffer
+  void read(void* dst, uint64_t dev_addr,
+            std::size_t size) override;             // clEnqueueReadBuffer
+
+  /// NDRange launch: global size = teams x threads per dimension, local
+  /// size = threads. Programs build from "source" on first use
+  /// (clBuildProgram) — OpenCL has no precompiled-binary default.
+  OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
+
+  std::string device_info() override;
+
+  /// Modeled seconds spent in runtime program builds so far.
+  double build_time_s() const { return build_time_s_; }
+  jetsim::Device& sim() { return *sim_; }
+
+ private:
+  bool initialized_ = false;
+  std::unique_ptr<jetsim::Device> sim_;
+  std::map<std::string, bool> built_programs_;
+  double build_time_s_ = 0;
+};
+
+}  // namespace hostrt

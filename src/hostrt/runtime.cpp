@@ -1,0 +1,137 @@
+#include "hostrt/runtime.h"
+
+#include <stdexcept>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/opencldev_module.h"
+
+namespace hostrt {
+
+namespace {
+std::unique_ptr<Runtime> g_runtime;
+bool g_opencl_enabled = false;
+}  // namespace
+
+Runtime& Runtime::instance() {
+  if (!g_runtime) g_runtime = std::make_unique<Runtime>();
+  return *g_runtime;
+}
+
+void Runtime::reset() {
+  g_runtime.reset();
+  cudadrv::cuSimReset();
+}
+
+void Runtime::set_opencl_enabled(bool enabled) {
+  g_opencl_enabled = enabled;
+}
+
+Runtime::Runtime() {
+  // Application startup: discover all devices of every module. Only the
+  // cudadev module exists on the Jetson Nano board.
+  auto cudadev = std::make_unique<CudadevModule>();
+  int n = cudadev->device_count();
+  for (int i = 0; i < n; ++i) {
+    DeviceSlot s;
+    // One module instance per device of the class would also be valid;
+    // the Nano exposes exactly one GPU, so slot 0 owns the module.
+    if (i == 0) {
+      s.module = std::move(cudadev);
+    } else {
+      s.module = std::make_unique<CudadevModule>();
+    }
+    s.env = std::make_unique<DataEnv>(*s.module);
+    slots_.push_back(std::move(s));
+  }
+  if (g_opencl_enabled) {
+    DeviceSlot s;
+    s.module = std::make_unique<OpenclDevModule>();
+    s.env = std::make_unique<DataEnv>(*s.module);
+    slots_.push_back(std::move(s));
+  }
+  device_count_ = static_cast<int>(slots_.size());
+}
+
+Runtime::DeviceSlot& Runtime::slot(int dev) {
+  if (dev < 0 || dev >= device_count_)
+    throw std::runtime_error("invalid device number " + std::to_string(dev));
+  return slots_[static_cast<std::size_t>(dev)];
+}
+
+void Runtime::ensure_ready(int dev) {
+  DeviceSlot& s = slot(dev);
+  if (!s.module->initialized()) s.module->initialize();
+}
+
+void Runtime::set_default_device(int dev) {
+  if (dev < 0 || dev > device_count_)  // the initial device is allowed
+    throw std::runtime_error("invalid default device " + std::to_string(dev));
+  default_device_ = dev;
+}
+
+bool Runtime::device_initialized(int dev) const {
+  return const_cast<Runtime*>(this)->slot(dev).module->initialized();
+}
+
+std::string Runtime::device_info(int dev) {
+  return slot(dev).module->device_info();
+}
+
+DeviceModule& Runtime::module(int dev) { return *slot(dev).module; }
+DataEnv& Runtime::env(int dev) { return *slot(dev).env; }
+
+OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
+                             const std::vector<MapItem>& maps) {
+  // Lazy full initialization: happens right before the first kernel is
+  // offloaded to this device (paper §4.2.1).
+  ensure_ready(dev);
+  DeviceSlot& s = slot(dev);
+
+  for (const MapItem& m : maps) s.env->map(m);
+  OffloadStats stats = s.module->launch(spec, *s.env);
+  for (auto it = maps.rbegin(); it != maps.rend(); ++it) s.env->unmap(*it);
+  return stats;
+}
+
+void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
+  ensure_ready(dev);
+  for (const MapItem& m : maps) slot(dev).env->map(m);
+}
+
+void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
+  for (auto it = maps.rbegin(); it != maps.rend(); ++it)
+    slot(dev).env->unmap(*it);
+}
+
+void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
+  ensure_ready(dev);
+  for (const MapItem& m : maps) slot(dev).env->map(m);
+}
+
+void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
+  for (const MapItem& m : maps) slot(dev).env->unmap(m);
+}
+
+void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
+  ensure_ready(dev);
+  slot(dev).env->update_to(host, size);
+}
+
+void Runtime::target_update_from(int dev, void* host, std::size_t size) {
+  ensure_ready(dev);
+  slot(dev).env->update_from(host, size);
+}
+
+// ---------------------------------------------------------------------
+// Host-side OpenMP API
+// ---------------------------------------------------------------------
+
+int omp_get_num_devices() { return Runtime::instance().num_devices(); }
+int omp_get_default_device() { return Runtime::instance().default_device(); }
+void omp_set_default_device(int dev) {
+  Runtime::instance().set_default_device(dev);
+}
+int omp_get_initial_device() { return Runtime::instance().initial_device(); }
+int omp_is_initial_device() { return 1; }  // host code always answers yes
+
+}  // namespace hostrt

@@ -1,0 +1,82 @@
+// The OMPi host runtime (ORT) facade used by generated host code: device
+// bookkeeping with lazy initialization, the target construct, the data
+// directives and the host-side OpenMP device API.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hostrt/cudadev_module.h"
+#include "hostrt/map_env.h"
+#include "hostrt/module.h"
+
+namespace hostrt {
+
+class Runtime {
+ public:
+  /// The process-wide runtime (generated code calls through this).
+  static Runtime& instance();
+  /// Tears down the runtime and the simulated driver; tests use this to
+  /// start each scenario from a cold board.
+  static void reset();
+  /// Enables the preliminary opencldev module for subsequently created
+  /// runtimes (paper §6: OpenCL support is in progress). The OpenCL
+  /// accelerator appears after the cudadev GPU in the device numbering.
+  static void set_opencl_enabled(bool enabled);
+
+  Runtime();
+  ~Runtime() = default;
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- device bookkeeping -------------------------------------------
+  int num_devices() const { return device_count_; }
+  int default_device() const { return default_device_; }
+  void set_default_device(int dev);
+  /// Host "device" number, as in omp_get_initial_device().
+  int initial_device() const { return device_count_; }
+  bool device_initialized(int dev) const;
+  std::string device_info(int dev);
+
+  DeviceModule& module(int dev);
+  DataEnv& env(int dev);
+
+  // --- the target construct -------------------------------------------
+  /// Executes one `#pragma omp target ... map(...)` region: creates the
+  /// construct's device data environment (enter), offloads the kernel
+  /// and tears the environment down (exit). Initializes the device
+  /// lazily on the first offload.
+  OffloadStats target(int dev, const KernelLaunchSpec& spec,
+                      const std::vector<MapItem>& maps);
+
+  // --- data directives -----------------------------------------------------
+  void target_data_begin(int dev, const std::vector<MapItem>& maps);
+  void target_data_end(int dev, const std::vector<MapItem>& maps);
+  void target_enter_data(int dev, const std::vector<MapItem>& maps);
+  void target_exit_data(int dev, const std::vector<MapItem>& maps);
+  void target_update_to(int dev, const void* host, std::size_t size);
+  void target_update_from(int dev, void* host, std::size_t size);
+
+ private:
+  struct DeviceSlot {
+    std::unique_ptr<DeviceModule> module;
+    std::unique_ptr<DataEnv> env;
+  };
+
+  DeviceSlot& slot(int dev);
+  void ensure_ready(int dev);
+
+  std::vector<DeviceSlot> slots_;
+  int device_count_ = 0;
+  int default_device_ = 0;
+};
+
+// --- host-side OpenMP API (the omp.h surface the paper's users see) -----
+int omp_get_num_devices();
+int omp_get_default_device();
+void omp_set_default_device(int dev);
+int omp_get_initial_device();
+int omp_is_initial_device();
+
+}  // namespace hostrt

@@ -1,0 +1,348 @@
+// Builtin dispatch of the interpreter: the cudadev device library, the
+// OpenMP API and the libc subset usable inside translated programs.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+#include "kernelvm/interp.h"
+
+namespace kernelvm {
+
+namespace {
+
+void store_chunk(const devrt::Chunk& c, const Value& lb_out,
+                 const Value& ub_out) {
+  long long lb = c.valid ? c.lb : 0;
+  long long ub = c.valid ? c.ub : 0;
+  std::memcpy(lb_out.p, &lb, sizeof lb);
+  std::memcpy(ub_out.p, &ub, sizeof ub);
+}
+
+/// Payload carried through devrt::register_parallel: lets the static
+/// trampoline re-enter the interpreter for an AST thread function.
+struct ThrPack {
+  Interp* interp;
+  const FuncDecl* fn;
+  void* user_vars;
+  Value (Interp::*call)(const FuncDecl&, std::vector<Value>,
+                        jetsim::KernelCtx*);
+};
+
+}  // namespace
+
+Value Interp::call_named(const std::string& name, const Expr* call_expr,
+                         std::vector<Value>& argv, Env& env) {
+  // User-defined functions win over builtins (matching C linkage rules).
+  if (const FuncDecl* fn = prog_.unit->find_function(name); fn && fn->body)
+    return call_function(*fn, argv, env.device_ctx());
+  if (const FuncDecl* thr = find_thr_func(name); thr && thr->body)
+    return call_function(*thr, argv, env.device_ctx());
+
+  if (env.device_ctx()) return device_builtin(name, call_expr, argv, env);
+  return host_builtin(name, argv);
+}
+
+// ---------------------------------------------------------------------
+// Device builtins (cudadev library + device-side OpenMP API)
+// ---------------------------------------------------------------------
+
+namespace {
+void thr_trampoline(jetsim::KernelCtx& ctx, void* vp) {
+  auto* pack = static_cast<ThrPack*>(vp);
+  static Type void_t{Type::Kind::Void};
+  std::vector<Value> args = {Value::of_ptr(pack->user_vars, &void_t)};
+  (pack->interp->*(pack->call))(*pack->fn, std::move(args), &ctx);
+}
+}  // namespace
+
+Value Interp::device_builtin(const std::string& name, const Expr* call_expr,
+                             std::vector<Value>& argv, Env& env) {
+  jetsim::KernelCtx* ctx = env.device_ctx();
+  if (!ctx) throw VmError("device builtin '" + name + "' outside a kernel");
+  jetsim::KernelCtx& c = *ctx;
+
+  if (name == "cudadev_register_parallel") {
+    // (thrFunc, vars, num_threads) — the function arrives as a name.
+    const Expr* fn_arg = call_expr->args.at(0);
+    if (fn_arg->kind != Expr::Kind::Ident)
+      throw VmError("register_parallel expects a thread-function name");
+    const FuncDecl* thr = find_thr_func(fn_arg->text);
+    if (!thr) throw VmError("unknown thread function '" + fn_arg->text + "'");
+    Value vars = eval(call_expr->args.at(1), env);
+    Value n = eval(call_expr->args.at(2), env);
+    ThrPack pack{this, thr, vars.p, &Interp::call_function};
+    devrt::register_parallel(c, &thr_trampoline, &pack,
+                             static_cast<int>(n.as_int()));
+    return Value::void_value();
+  }
+
+  if (name == "cudadev_combined_init") {
+    devrt::combined_init(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_target_init") {
+    devrt::target_init(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_in_masterwarp")
+    return Value::of_int(devrt::in_masterwarp(c));
+  if (name == "cudadev_is_masterthr")
+    return Value::of_int(devrt::is_masterthr(c));
+  if (name == "cudadev_workerfunc") {
+    devrt::workerfunc(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_exit_target") {
+    devrt::exit_target(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_push_shmem") {
+    static Type char_t{Type::Kind::Char};
+    return Value::of_ptr(
+        devrt::push_shmem(c, argv.at(0).p,
+                          static_cast<std::size_t>(argv.at(1).as_int())),
+        &char_t);
+  }
+  if (name == "cudadev_pop_shmem") {
+    devrt::pop_shmem(c, argv.at(0).p,
+                     static_cast<std::size_t>(argv.at(1).as_int()));
+    return Value::void_value();
+  }
+  if (name == "cudadev_getaddr") return argv.at(0);
+
+  if (name == "cudadev_get_distribute_chunk2") {
+    devrt::Chunk ch =
+        devrt::get_distribute_chunk(c, argv.at(0).as_int(),
+                                    argv.at(1).as_int());
+    store_chunk(ch, argv.at(2), argv.at(3));
+    return Value::void_value();
+  }
+  if (name == "cudadev_get_static_chunk2") {
+    devrt::Chunk ch = devrt::get_static_chunk(c, argv.at(0).as_int(),
+                                              argv.at(1).as_int());
+    store_chunk(ch, argv.at(2), argv.at(3));
+    return Value::void_value();
+  }
+  if (name == "cudadev_get_static_chunk_k2") {
+    devrt::Chunk ch = devrt::get_static_chunk_k(
+        c, argv.at(0).as_int(), argv.at(1).as_int(), argv.at(2).as_int(),
+        argv.at(3).as_int());
+    store_chunk(ch, argv.at(4), argv.at(5));
+    return Value::of_int(ch.valid);
+  }
+  if (name == "cudadev_ws_loop_init") {
+    devrt::ws_loop_init(c, argv.at(0).as_int(), argv.at(1).as_int());
+    return Value::void_value();
+  }
+  if (name == "cudadev_get_dynamic_chunk2") {
+    devrt::Chunk ch = devrt::get_dynamic_chunk(c, argv.at(0).as_int());
+    store_chunk(ch, argv.at(1), argv.at(2));
+    return Value::of_int(ch.valid);
+  }
+  if (name == "cudadev_get_guided_chunk2") {
+    devrt::Chunk ch = devrt::get_guided_chunk(c, argv.at(0).as_int());
+    store_chunk(ch, argv.at(1), argv.at(2));
+    return Value::of_int(ch.valid);
+  }
+  if (name == "cudadev_ws_loop_end") {
+    devrt::ws_loop_end(c, argv.at(0).as_int() != 0);
+    return Value::void_value();
+  }
+  if (name == "cudadev_sections_begin") {
+    devrt::sections_begin(c, static_cast<int>(argv.at(0).as_int()));
+    return Value::void_value();
+  }
+  if (name == "cudadev_sections_next")
+    return Value::of_int(devrt::sections_next(c));
+  if (name == "cudadev_sections_end") {
+    devrt::sections_end(c, argv.at(0).as_int() != 0);
+    return Value::void_value();
+  }
+  if (name == "cudadev_single_begin")
+    return Value::of_int(devrt::single_begin(c));
+  if (name == "cudadev_single_end") {
+    devrt::single_end(c, argv.at(0).as_int() != 0);
+    return Value::void_value();
+  }
+  if (name == "cudadev_barrier") {
+    devrt::barrier(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_critical_enter") {
+    devrt::critical_enter(c, static_cast<const char*>(argv.at(0).p));
+    return Value::void_value();
+  }
+  if (name == "cudadev_critical_exit") {
+    devrt::critical_exit(c, static_cast<const char*>(argv.at(0).p));
+    return Value::void_value();
+  }
+  if (name == "cudadev_atomic_add_int") {
+    c.atomic_add(static_cast<int*>(argv.at(0).p),
+                 static_cast<int>(argv.at(1).as_int()));
+    return Value::void_value();
+  }
+  if (name == "cudadev_atomic_add_float") {
+    c.atomic_add(static_cast<float*>(argv.at(0).p),
+                 static_cast<float>(argv.at(1).as_float()));
+    return Value::void_value();
+  }
+  if (name == "cudadev_atomic_add_double") {
+    // Emulated CAS loop on hardware; cooperative scheduling makes the
+    // plain update atomic here. Charge the atomic cost.
+    c.charge_cycles(30);
+    double* p = static_cast<double*>(argv.at(0).p);
+    *p += argv.at(1).as_float();
+    return Value::void_value();
+  }
+
+  if (name == "omp_get_thread_num")
+    return Value::of_int(devrt::omp_thread_num(c));
+  if (name == "omp_get_num_threads")
+    return Value::of_int(devrt::omp_num_threads(c));
+  if (name == "omp_get_team_num")
+    return Value::of_int(devrt::omp_team_num(c));
+  if (name == "omp_get_num_teams")
+    return Value::of_int(devrt::omp_num_teams(c));
+  if (name == "omp_is_initial_device") return Value::of_int(0);
+
+  // Shared libc subset falls through to the host implementations.
+  return host_builtin(name, argv);
+}
+
+// ---------------------------------------------------------------------
+// Host builtins
+// ---------------------------------------------------------------------
+
+Value Interp::host_builtin(const std::string& name,
+                           std::vector<Value>& argv) {
+  if (name == "printf") {
+    if (argv.empty() || argv[0].kind != Value::Kind::Ptr)
+      throw VmError("printf needs a format string");
+    std::string text = format_printf(
+        static_cast<const char*>(argv[0].p),
+        std::vector<Value>(argv.begin() + 1, argv.end()));
+    stdout_ += text;
+    if (options_.echo_stdout) std::fputs(text.c_str(), stdout);
+    return Value::of_int(static_cast<long long>(text.size()));
+  }
+  if (name == "malloc") {
+    auto block =
+        std::make_unique<std::byte[]>(
+            static_cast<std::size_t>(argv.at(0).as_int()));
+    void* p = block.get();
+    heap_.push_back(std::move(block));
+    static Type char_t{Type::Kind::Char};
+    return Value::of_ptr(p, &char_t);
+  }
+  if (name == "free") return Value::void_value();  // arena-freed at exit
+
+  if (name == "sqrt" || name == "sqrtf")
+    return Value::of_float(std::sqrt(argv.at(0).as_float()));
+  if (name == "fabs" || name == "fabsf")
+    return Value::of_float(std::fabs(argv.at(0).as_float()));
+  if (name == "exp" || name == "expf")
+    return Value::of_float(std::exp(argv.at(0).as_float()));
+  if (name == "log" || name == "logf")
+    return Value::of_float(std::log(argv.at(0).as_float()));
+  if (name == "sin") return Value::of_float(std::sin(argv.at(0).as_float()));
+  if (name == "cos") return Value::of_float(std::cos(argv.at(0).as_float()));
+  if (name == "pow" || name == "powf")
+    return Value::of_float(
+        std::pow(argv.at(0).as_float(), argv.at(1).as_float()));
+  if (name == "abs")
+    return Value::of_int(std::llabs(argv.at(0).as_int()));
+
+  if (name == "omp_get_wtime") {
+    // Modeled board time: the simulated device clock, which memcpys,
+    // JIT compilations and kernel executions all advance.
+    hostrt::Runtime::instance();  // ensure the driver is initialized
+    return Value::of_float(cudadrv::cuSimDevice(0).now());
+  }
+  if (name == "omp_get_num_devices")
+    return Value::of_int(hostrt::omp_get_num_devices());
+  if (name == "omp_get_default_device")
+    return Value::of_int(hostrt::omp_get_default_device());
+  if (name == "omp_set_default_device") {
+    hostrt::omp_set_default_device(static_cast<int>(argv.at(0).as_int()));
+    return Value::void_value();
+  }
+  if (name == "omp_get_initial_device")
+    return Value::of_int(hostrt::omp_get_initial_device());
+  if (name == "omp_is_initial_device") return Value::of_int(1);
+  if (name == "omp_get_thread_num") return Value::of_int(0);
+  if (name == "omp_get_num_threads") return Value::of_int(1);
+
+  throw VmError("call to unknown function '" + name + "'");
+}
+
+// ---------------------------------------------------------------------
+// printf formatting
+// ---------------------------------------------------------------------
+
+std::string Interp::format_printf(const std::string& fmt,
+                                  const std::vector<Value>& args) const {
+  std::string out;
+  size_t arg = 0;
+  char buf[128];
+  for (size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out += fmt[i];
+      continue;
+    }
+    if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
+      out += '%';
+      ++i;
+      continue;
+    }
+    // Collect the conversion spec: %[-+ 0#]*[0-9]*(\.[0-9]+)?[hl]*<conv>
+    std::string spec = "%";
+    ++i;
+    while (i < fmt.size() && std::strchr("-+ 0#", fmt[i])) spec += fmt[i++];
+    while (i < fmt.size() && isdigit(static_cast<unsigned char>(fmt[i])))
+      spec += fmt[i++];
+    if (i < fmt.size() && fmt[i] == '.') {
+      spec += fmt[i++];
+      while (i < fmt.size() && isdigit(static_cast<unsigned char>(fmt[i])))
+        spec += fmt[i++];
+    }
+    while (i < fmt.size() && (fmt[i] == 'l' || fmt[i] == 'h' ||
+                              fmt[i] == 'z'))
+      ++i;  // length modifiers folded into the widest type
+    if (i >= fmt.size()) break;
+    char conv = fmt[i];
+    if (arg >= args.size())
+      throw VmError("printf: missing argument for conversion");
+    const Value& v = args[arg++];
+    switch (conv) {
+      case 'd': case 'i': case 'u': case 'x': case 'X': case 'o':
+        spec += "ll";
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), v.as_int());
+        out += buf;
+        break;
+      case 'f': case 'e': case 'E': case 'g': case 'G':
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), v.as_float());
+        out += buf;
+        break;
+      case 'c':
+        out += static_cast<char>(v.as_int());
+        break;
+      case 's':
+        out += static_cast<const char*>(v.p);
+        break;
+      case 'p':
+        std::snprintf(buf, sizeof buf, "%p", v.p);
+        out += buf;
+        break;
+      default:
+        throw VmError(std::string("printf: unsupported conversion %") + conv);
+    }
+  }
+  return out;
+}
+
+}  // namespace kernelvm

@@ -1,0 +1,766 @@
+#include "kernelvm/interp.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace kernelvm {
+
+using ompi::BinOp;
+using ompi::OmpClause;
+using ompi::OmpDir;
+using ompi::OmpMapItem;
+using ompi::OmpMapType;
+using ompi::UnOp;
+
+namespace {
+
+const Type* static_type(Type::Kind kind) {
+  static Type char_t{Type::Kind::Char};
+  static Type int_t{Type::Kind::Int};
+  static Type ll_t{Type::Kind::LongLong};
+  static Type double_t{Type::Kind::Double};
+  static Type void_t{Type::Kind::Void};
+  switch (kind) {
+    case Type::Kind::Char: return &char_t;
+    case Type::Kind::Int: return &int_t;
+    case Type::Kind::LongLong: return &ll_t;
+    case Type::Kind::Double: return &double_t;
+    default: return &void_t;
+  }
+}
+
+hostrt::MapType to_hostrt(OmpMapType t) {
+  switch (t) {
+    case OmpMapType::Alloc: return hostrt::MapType::Alloc;
+    case OmpMapType::To: return hostrt::MapType::To;
+    case OmpMapType::From: return hostrt::MapType::From;
+    case OmpMapType::ToFrom: return hostrt::MapType::ToFrom;
+  }
+  return hostrt::MapType::ToFrom;
+}
+
+}  // namespace
+
+struct MapEval {
+  hostrt::MapItem item;
+};
+
+// ---------------------------------------------------------------------
+// Env
+// ---------------------------------------------------------------------
+
+void* Env::declare(const std::string& name, const Type* type) {
+  auto buf = std::make_unique<std::byte[]>(type_size(type));
+  std::memset(buf.get(), 0, type_size(type));
+  void* addr = buf.get();
+  storage_.push_back(std::move(buf));
+  vars_[name] = Binding{type, addr};
+  return addr;
+}
+
+void Env::bind(const std::string& name, const Type* type, void* addr) {
+  vars_[name] = Binding{type, addr};
+}
+
+const Env::Binding* Env::lookup(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) return &it->second;
+  return parent_ ? parent_->lookup(name) : nullptr;
+}
+
+jetsim::KernelCtx* Env::device_ctx() const {
+  if (ctx_) return ctx_;
+  return parent_ ? parent_->device_ctx() : nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Interp lifecycle
+// ---------------------------------------------------------------------
+
+Interp::Interp(const CompileOutput& program, Options options)
+    : prog_(program), options_(options) {
+  if (!prog_.ok) throw VmError("cannot interpret a failed compilation");
+  // Globals get storage and (constant) initializers.
+  for (const VarDecl* g : prog_.unit->globals) {
+    void* addr = globals_.declare(g->name, g->type);
+    if (g->init) {
+      Env tmp(&globals_);
+      store_typed(addr, g->type, eval(g->init, tmp));
+    }
+  }
+}
+
+Interp::~Interp() = default;
+
+void Interp::install_binaries() {
+  if (binaries_installed_) return;
+  for (size_t i = 0; i < prog_.kernels.size(); ++i) {
+    const KernelInfo* k = &prog_.kernels[i];
+    cudadrv::ModuleImage img;
+    img.path = prog_.module_path(static_cast<int>(i));
+    img.kind = prog_.options.ptx_mode ? cudadrv::BinaryKind::Ptx
+                                      : cudadrv::BinaryKind::Cubin;
+    // Binary size model: cubins carry SASS for the whole file, PTX is
+    // closer to the source size.
+    std::size_t src = prog_.kernel_files[i].code.size();
+    img.code_size = prog_.options.ptx_mode ? src + src / 4 : 3 * src;
+
+    cudadrv::KernelImage entry;
+    entry.name = k->name;
+    entry.param_count = static_cast<int>(k->params.size());
+    entry.entry = [this, k](jetsim::KernelCtx& ctx,
+                            const cudadrv::ArgPack& args) {
+      std::vector<const void*> raw(k->params.size());
+      for (size_t j = 0; j < k->params.size(); ++j)
+        raw[j] = args.raw(static_cast<int>(j));
+      // Pre-translate device pointers to host-visible addresses.
+      std::vector<Value> vals(k->params.size());
+      for (size_t j = 0; j < k->params.size(); ++j) {
+        const VarDecl* pd = k->fn->params[j];
+        if (k->params[j].is_pointer) {
+          cudadrv::CUdeviceptr da = 0;
+          std::memcpy(&da, raw[j], sizeof da);
+          void* hp = args.device().translate(da, 1);
+          vals[j] = Value::of_ptr(hp, pd->type->elem);
+        } else {
+          vals[j] = load_typed(raw[j], pd->type);
+        }
+      }
+      Env env(&globals_);
+      env.set_device_ctx(&ctx);
+      for (size_t j = 0; j < k->params.size(); ++j) {
+        const VarDecl* pd = k->fn->params[j];
+        void* cell = env.declare(pd->name, pd->type);
+        store_typed(cell, pd->type, vals[j]);
+      }
+      exec(k->fn->body, env);
+    };
+    img.add_kernel(std::move(entry));
+    cudadrv::BinaryRegistry::instance().install(std::move(img));
+  }
+  binaries_installed_ = true;
+}
+
+Value Interp::call_host(const std::string& name, std::vector<Value> args) {
+  const FuncDecl* fn = prog_.unit->find_function(name);
+  if (!fn || !fn->body)
+    throw VmError("host function '" + name + "' not found");
+  install_binaries();
+  return call_function(*fn, std::move(args), nullptr);
+}
+
+Value Interp::call_function(const FuncDecl& fn, std::vector<Value> args,
+                            jetsim::KernelCtx* ctx) {
+  if (args.size() != fn.params.size())
+    throw VmError("call to '" + fn.name + "' with " +
+                  std::to_string(args.size()) + " args, expected " +
+                  std::to_string(fn.params.size()));
+  Env env(&globals_);
+  if (ctx) env.set_device_ctx(ctx);
+  for (size_t i = 0; i < args.size(); ++i) {
+    void* cell = env.declare(fn.params[i]->name, fn.params[i]->type);
+    store_typed(cell, fn.params[i]->type, args[i]);
+  }
+  Flow flow = exec(fn.body, env);
+  return flow.kind == Flow::Kind::Return ? flow.ret : Value::void_value();
+}
+
+const FuncDecl* Interp::find_thr_func(const std::string& name) const {
+  for (const KernelInfo& k : prog_.kernels)
+    for (const FuncDecl* f : k.thr_funcs)
+      if (f->name == name) return f;
+  return prog_.unit->find_function(name);
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+Interp::Flow Interp::exec(const Stmt* s, Env& env) {
+  if (!s) return {};
+  switch (s->kind) {
+    case Stmt::Kind::Compound: {
+      Env scope(&env);
+      for (const Stmt* c : s->body) {
+        Flow f = exec(c, scope);
+        if (f.kind != Flow::Kind::Normal) return f;
+      }
+      return {};
+    }
+    case Stmt::Kind::Decl: {
+      void* addr = env.declare(s->decl->name, s->decl->type);
+      if (s->decl->init)
+        store_typed(addr, s->decl->type, eval(s->decl->init, env));
+      return {};
+    }
+    case Stmt::Kind::ExprStmt:
+      eval(s->expr, env);
+      return {};
+    case Stmt::Kind::If:
+      if (eval(s->expr, env).truthy()) return exec(s->then_stmt, env);
+      if (s->else_stmt) return exec(s->else_stmt, env);
+      return {};
+    case Stmt::Kind::While:
+      while (eval(s->expr, env).truthy()) {
+        Flow f = exec(s->then_stmt, env);
+        if (f.kind == Flow::Kind::Break) break;
+        if (f.kind == Flow::Kind::Return) return f;
+      }
+      return {};
+    case Stmt::Kind::DoWhile:
+      do {
+        Flow f = exec(s->then_stmt, env);
+        if (f.kind == Flow::Kind::Break) break;
+        if (f.kind == Flow::Kind::Return) return f;
+      } while (eval(s->expr, env).truthy());
+      return {};
+    case Stmt::Kind::For: {
+      Env scope(&env);
+      if (s->for_init) exec(s->for_init, scope);
+      while (!s->for_cond || eval(s->for_cond, scope).truthy()) {
+        Flow f = exec(s->then_stmt, scope);
+        if (f.kind == Flow::Kind::Break) break;
+        if (f.kind == Flow::Kind::Return) return f;
+        if (s->for_step) eval(s->for_step, scope);
+      }
+      return {};
+    }
+    case Stmt::Kind::Return: {
+      Flow f;
+      f.kind = Flow::Kind::Return;
+      if (s->expr) f.ret = eval(s->expr, env);
+      return f;
+    }
+    case Stmt::Kind::Break: return {Flow::Kind::Break, {}};
+    case Stmt::Kind::Continue: return {Flow::Kind::Continue, {}};
+    case Stmt::Kind::Empty: return {};
+    case Stmt::Kind::Omp: return exec_omp(s, env);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// Host OpenMP
+// ---------------------------------------------------------------------
+
+std::vector<MapEval> Interp::eval_maps(const Stmt* s, Env& env) {
+  std::vector<MapEval> out;
+  std::set<std::string> covered;
+
+  auto eval_item = [&](const OmpMapItem& m) -> MapEval {
+    const Env::Binding* b = env.lookup(m.name);
+    if (!b) throw VmError("map item '" + m.name + "' is not in scope");
+    MapEval me;
+    me.item.type = to_hostrt(m.map_type);
+    if (b->type->kind == Type::Kind::Array ||
+        b->type->kind == Type::Kind::Ptr) {
+      const Type* elem = b->type->elem;
+      std::byte* base = b->type->kind == Type::Kind::Array
+                            ? static_cast<std::byte*>(b->addr)
+                            : static_cast<std::byte*>(
+                                  load_typed(b->addr, b->type).p);
+      if (m.section_len) {
+        long long lb = m.section_lb ? eval(m.section_lb, env).as_int() : 0;
+        long long len = eval(m.section_len, env).as_int();
+        me.item.host = base + lb * static_cast<long long>(type_size(elem));
+        me.item.size = static_cast<std::size_t>(len) * type_size(elem);
+      } else if (b->type->kind == Type::Kind::Array) {
+        me.item.host = base;
+        me.item.size = type_size(b->type);
+      } else {
+        throw VmError("mapping pointer '" + m.name +
+                      "' requires an array section");
+      }
+    } else {
+      me.item.host = b->addr;
+      me.item.size = type_size(b->type);
+    }
+    return me;
+  };
+
+  // Kernel parameters first (for target constructs that were outlined).
+  if (s->kernel_index >= 0) {
+    const KernelInfo& k = prog_.kernels[static_cast<size_t>(s->kernel_index)];
+    for (const ompi::KernelParam& p : k.params) {
+      if (!p.is_pointer) continue;
+      out.push_back(eval_item(p.map));
+      covered.insert(p.name);
+    }
+  }
+  // Then explicit clause items not already covered (mapped but unused
+  // inside the region — they still enter the data environment).
+  for (const OmpClause& c : s->omp_clauses) {
+    if (c.kind != OmpClause::Kind::Map) continue;
+    for (const OmpMapItem& m : c.items) {
+      if (covered.contains(m.name)) continue;
+      const Env::Binding* b = env.lookup(m.name);
+      if (!b) continue;
+      bool scalar_to = !b->type->is_pointerish() &&
+                       (m.map_type == OmpMapType::To ||
+                        m.map_type == OmpMapType::Alloc);
+      if (s->kernel_index >= 0 && scalar_to)
+        continue;  // travels by value into the kernel
+      out.push_back(eval_item(m));
+      covered.insert(m.name);
+    }
+  }
+  return out;
+}
+
+void Interp::exec_offload(const Stmt* s, Env& env) {
+  const KernelInfo& k = prog_.kernels[static_cast<size_t>(s->kernel_index)];
+  hostrt::Runtime& rt = hostrt::Runtime::instance();
+
+  int dev = k.device ? static_cast<int>(eval(k.device, env).as_int())
+                     : rt.default_device();
+
+  long long threads = k.num_threads
+                          ? eval(k.num_threads, env).as_int()
+                          : devrt::kMWBlockThreads;
+  if (!k.combined) threads = devrt::kMWBlockThreads;  // fixed MW shape
+  if (k.thread_limit) {
+    long long limit = eval(k.thread_limit, env).as_int();
+    if (threads > limit) threads = limit;
+  }
+  long long teams = 1;
+  if (k.num_teams) {
+    teams = eval(k.num_teams, env).as_int();
+  } else if (k.combined && k.total_iters) {
+    long long total = eval(k.total_iters, env).as_int();
+    teams = (total + threads - 1) / threads;
+    if (teams < 1) teams = 1;
+  }
+
+  hostrt::KernelLaunchSpec spec;
+  spec.module_path = prog_.module_path(k.index);
+  spec.kernel_name = k.name;
+  // OMPi maps the scalar league/team sizes to two dimensions, matching
+  // the CUDA grid/block geometry of the hand-written equivalents.
+  if (threads > 32 && threads % 32 == 0) {
+    spec.geometry.threads_x = 32;
+    spec.geometry.threads_y = static_cast<unsigned>(threads / 32);
+  } else {
+    spec.geometry.threads_x = static_cast<unsigned>(threads);
+  }
+  spec.geometry.teams_x = static_cast<unsigned>(teams);
+
+  std::vector<MapEval> maps = eval_maps(s, env);
+  std::vector<hostrt::MapItem> items;
+  items.reserve(maps.size());
+  for (const MapEval& m : maps) items.push_back(m.item);
+
+  for (const ompi::KernelParam& p : k.params) {
+    const Env::Binding* b = env.lookup(p.name);
+    if (!b) throw VmError("kernel argument '" + p.name + "' not in scope");
+    if (p.is_pointer) {
+      const void* host = nullptr;
+      if (b->type->kind == Type::Kind::Array) {
+        host = b->addr;
+      } else if (b->type->kind == Type::Kind::Ptr) {
+        host = load_typed(b->addr, b->type).p;
+      } else {
+        host = b->addr;  // scalar passed as one-element mapping
+      }
+      // Array sections with a nonzero base: the device argument points
+      // at the section start (the supported subset requires lb == 0 for
+      // indexed accesses to line up; see README limitations).
+      if (p.map.section_lb) {
+        long long lb = eval(p.map.section_lb, env).as_int();
+        host = static_cast<const std::byte*>(host) +
+               lb * static_cast<long long>(
+                        type_size(b->type->is_pointerish()
+                                      ? b->type->elem
+                                      : b->type));
+      }
+      spec.args.push_back(hostrt::KernelArg::mapped(host));
+    } else {
+      hostrt::KernelArg a;
+      a.kind = hostrt::KernelArg::Kind::Scalar;
+      a.scalar.resize(type_size(b->type));
+      std::memcpy(a.scalar.data(), b->addr, a.scalar.size());
+      spec.args.push_back(std::move(a));
+    }
+  }
+
+  rt.target(dev, spec, items);
+}
+
+Interp::Flow Interp::exec_omp(const Stmt* s, Env& env) {
+  hostrt::Runtime& rt = hostrt::Runtime::instance();
+  if (s->kernel_index >= 0) {
+    exec_offload(s, env);
+    return {};
+  }
+  auto device_of = [&]() {
+    const OmpClause* c = s->find_clause(OmpClause::Kind::Device);
+    return c ? static_cast<int>(eval(c->arg, env).as_int())
+             : rt.default_device();
+  };
+  switch (s->omp_dir) {
+    case OmpDir::TargetData: {
+      std::vector<MapEval> maps = eval_maps(s, env);
+      std::vector<hostrt::MapItem> items;
+      for (const MapEval& m : maps) items.push_back(m.item);
+      int dev = device_of();
+      rt.target_data_begin(dev, items);
+      Flow f = exec(s->omp_body, env);
+      rt.target_data_end(dev, items);
+      return f;
+    }
+    case OmpDir::TargetEnterData:
+    case OmpDir::TargetExitData: {
+      std::vector<MapEval> maps = eval_maps(s, env);
+      std::vector<hostrt::MapItem> items;
+      for (const MapEval& m : maps) items.push_back(m.item);
+      if (s->omp_dir == OmpDir::TargetEnterData)
+        rt.target_enter_data(device_of(), items);
+      else
+        rt.target_exit_data(device_of(), items);
+      return {};
+    }
+    case OmpDir::TargetUpdate: {
+      int dev = device_of();
+      for (const OmpClause& c : s->omp_clauses) {
+        if (c.kind != OmpClause::Kind::To && c.kind != OmpClause::Kind::From)
+          continue;
+        for (const OmpMapItem& m : c.items) {
+          // Reuse the map-item evaluator for the address arithmetic.
+          Stmt probe;
+          probe.kind = Stmt::Kind::Omp;
+          probe.kernel_index = -1;
+          OmpClause cc;
+          cc.kind = OmpClause::Kind::Map;
+          cc.items.push_back(m);
+          probe.omp_clauses.push_back(cc);
+          std::vector<MapEval> one = eval_maps(&probe, env);
+          if (one.empty()) continue;
+          if (c.kind == OmpClause::Kind::To)
+            rt.target_update_to(dev, one[0].item.host, one[0].item.size);
+          else
+            rt.target_update_from(dev, const_cast<void*>(one[0].item.host),
+                                  one[0].item.size);
+        }
+      }
+      return {};
+    }
+    case OmpDir::Barrier:
+      return {};  // host team of one
+    case OmpDir::Sections: {
+      // Host fallback: sections run in order on the single host thread.
+      if (s->omp_body && s->omp_body->kind == Stmt::Kind::Compound) {
+        for (const Stmt* c : s->omp_body->body) {
+          const Stmt* body =
+              (c->kind == Stmt::Kind::Omp && c->omp_dir == OmpDir::Section)
+                  ? c->omp_body
+                  : c;
+          Flow f = exec(body, env);
+          if (f.kind != Flow::Kind::Normal) return f;
+        }
+        return {};
+      }
+      return exec(s->omp_body, env);
+    }
+    default:
+      // parallel / for / single / critical / teams ... on the host:
+      // this reproduction executes host OpenMP sequentially (the paper's
+      // host side is stock OMPi; our focus is the device path).
+      return exec(s->omp_body, env);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+Interp::LValue Interp::eval_lvalue(const Expr* e, Env& env) {
+  switch (e->kind) {
+    case Expr::Kind::Ident: {
+      const Env::Binding* b = env.lookup(e->text);
+      if (!b) throw VmError("use of unknown variable '" + e->text + "'");
+      return {b->addr, b->type};
+    }
+    case Expr::Kind::Paren:
+      return eval_lvalue(e->lhs, env);
+    case Expr::Kind::Unary:
+      if (e->un_op == UnOp::Deref) {
+        Value v = eval(e->lhs, env);
+        if (v.kind != Value::Kind::Ptr || !v.p)
+          throw VmError("dereference of a non-pointer or null value");
+        return {v.p, v.pointee};
+      }
+      break;
+    case Expr::Kind::Index: {
+      Value base = eval(e->lhs, env);
+      if (base.kind != Value::Kind::Ptr || !base.p)
+        throw VmError("indexing a non-pointer value");
+      long long idx = eval(e->rhs, env).as_int();
+      std::byte* addr = static_cast<std::byte*>(base.p) +
+                        idx * static_cast<long long>(type_size(base.pointee));
+      return {addr, base.pointee};
+    }
+    default:
+      break;
+  }
+  throw VmError("expression is not assignable");
+}
+
+Value Interp::eval(const Expr* e, Env& env) {
+  if (!e) return Value::void_value();
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+      return Value::of_int(e->int_value);
+    case Expr::Kind::FloatLit:
+      return Value::of_float(e->float_value);
+    case Expr::Kind::StrLit:
+      return Value::of_ptr(const_cast<char*>(e->text.c_str()),
+                           static_type(Type::Kind::Char));
+    case Expr::Kind::Paren:
+      return eval(e->lhs, env);
+    case Expr::Kind::Ident: {
+      const Env::Binding* b = env.lookup(e->text);
+      if (!b) throw VmError("use of unknown variable '" + e->text + "'");
+      return load_typed(b->addr, b->type);
+    }
+    case Expr::Kind::Sizeof: {
+      if (e->cast_type) return Value::of_int(
+          static_cast<long long>(type_size(e->cast_type)));
+      if (e->lhs && e->lhs->kind == Expr::Kind::Ident) {
+        const Env::Binding* b = env.lookup(e->lhs->text);
+        if (b) return Value::of_int(
+            static_cast<long long>(type_size(b->type)));
+      }
+      throw VmError("sizeof of this expression form is not supported");
+    }
+    case Expr::Kind::Cast: {
+      Value v = eval(e->lhs, env);
+      const Type* t = e->cast_type;
+      if (t->kind == Type::Kind::Ptr) {
+        void* p = v.kind == Value::Kind::Ptr
+                      ? v.p
+                      : reinterpret_cast<void*>(
+                            static_cast<uintptr_t>(v.as_int()));
+        return Value::of_ptr(p, t->elem);
+      }
+      if (t->is_floating())
+        return Value::of_float(t->kind == Type::Kind::Float
+                                   ? static_cast<float>(v.as_float())
+                                   : v.as_float());
+      // Integer casts truncate through storage.
+      std::byte buf[8];
+      store_typed(buf, t, v);
+      return load_typed(buf, t);
+    }
+    case Expr::Kind::Unary: {
+      switch (e->un_op) {
+        case UnOp::Plus: return eval(e->lhs, env);
+        case UnOp::Neg: {
+          Value v = eval(e->lhs, env);
+          return v.kind == Value::Kind::Float ? Value::of_float(-v.f)
+                                              : Value::of_int(-v.as_int());
+        }
+        case UnOp::Not:
+          return Value::of_int(!eval(e->lhs, env).truthy());
+        case UnOp::BitNot:
+          return Value::of_int(~eval(e->lhs, env).as_int());
+        case UnOp::AddrOf: {
+          LValue lv = eval_lvalue(e->lhs, env);
+          return Value::of_ptr(lv.addr, lv.type);
+        }
+        case UnOp::Deref: {
+          LValue lv = eval_lvalue(e, env);
+          return load_typed(lv.addr, lv.type);
+        }
+        case UnOp::PreInc:
+        case UnOp::PreDec:
+        case UnOp::PostInc:
+        case UnOp::PostDec: {
+          LValue lv = eval_lvalue(e->lhs, env);
+          Value old = load_typed(lv.addr, lv.type);
+          long long delta =
+              (e->un_op == UnOp::PreInc || e->un_op == UnOp::PostInc) ? 1 : -1;
+          Value next;
+          if (lv.type->kind == Type::Kind::Ptr) {
+            next = Value::of_ptr(
+                static_cast<std::byte*>(old.p) +
+                    delta * static_cast<long long>(type_size(old.pointee)),
+                old.pointee);
+          } else if (lv.type->is_floating()) {
+            next = Value::of_float(old.as_float() + delta);
+          } else {
+            next = Value::of_int(old.as_int() + delta);
+          }
+          store_typed(lv.addr, lv.type, next);
+          bool post =
+              e->un_op == UnOp::PostInc || e->un_op == UnOp::PostDec;
+          return post ? old : next;
+        }
+      }
+      break;
+    }
+    case Expr::Kind::Binary: {
+      if (e->bin_op == BinOp::LogAnd)
+        return Value::of_int(eval(e->lhs, env).truthy() &&
+                             eval(e->rhs, env).truthy());
+      if (e->bin_op == BinOp::LogOr)
+        return Value::of_int(eval(e->lhs, env).truthy() ||
+                             eval(e->rhs, env).truthy());
+      Value l = eval(e->lhs, env);
+      Value r = eval(e->rhs, env);
+      // Pointer arithmetic and comparison.
+      if (l.kind == Value::Kind::Ptr || r.kind == Value::Kind::Ptr) {
+        switch (e->bin_op) {
+          case BinOp::Add: {
+            Value& ptr = l.kind == Value::Kind::Ptr ? l : r;
+            Value& off = l.kind == Value::Kind::Ptr ? r : l;
+            return Value::of_ptr(
+                static_cast<std::byte*>(ptr.p) +
+                    off.as_int() *
+                        static_cast<long long>(type_size(ptr.pointee)),
+                ptr.pointee);
+          }
+          case BinOp::Sub:
+            if (r.kind == Value::Kind::Ptr)
+              return Value::of_int(
+                  (static_cast<std::byte*>(l.p) -
+                   static_cast<std::byte*>(r.p)) /
+                  static_cast<long long>(type_size(l.pointee)));
+            return Value::of_ptr(
+                static_cast<std::byte*>(l.p) -
+                    r.as_int() *
+                        static_cast<long long>(type_size(l.pointee)),
+                l.pointee);
+          case BinOp::Eq: return Value::of_int(l.p == r.p);
+          case BinOp::Ne: return Value::of_int(l.p != r.p);
+          case BinOp::Lt: return Value::of_int(l.p < r.p);
+          case BinOp::Gt: return Value::of_int(l.p > r.p);
+          case BinOp::Le: return Value::of_int(l.p <= r.p);
+          case BinOp::Ge: return Value::of_int(l.p >= r.p);
+          default:
+            throw VmError("invalid pointer arithmetic");
+        }
+      }
+      bool fp = l.kind == Value::Kind::Float || r.kind == Value::Kind::Float;
+      if (fp) {
+        double a = l.as_float(), b = r.as_float();
+        switch (e->bin_op) {
+          case BinOp::Add: return Value::of_float(a + b);
+          case BinOp::Sub: return Value::of_float(a - b);
+          case BinOp::Mul: return Value::of_float(a * b);
+          case BinOp::Div: return Value::of_float(a / b);
+          case BinOp::Lt: return Value::of_int(a < b);
+          case BinOp::Gt: return Value::of_int(a > b);
+          case BinOp::Le: return Value::of_int(a <= b);
+          case BinOp::Ge: return Value::of_int(a >= b);
+          case BinOp::Eq: return Value::of_int(a == b);
+          case BinOp::Ne: return Value::of_int(a != b);
+          default: throw VmError("invalid floating-point operation");
+        }
+      }
+      long long a = l.as_int(), b = r.as_int();
+      switch (e->bin_op) {
+        case BinOp::Add: return Value::of_int(a + b);
+        case BinOp::Sub: return Value::of_int(a - b);
+        case BinOp::Mul: return Value::of_int(a * b);
+        case BinOp::Div:
+          if (b == 0) throw VmError("integer division by zero");
+          return Value::of_int(a / b);
+        case BinOp::Rem:
+          if (b == 0) throw VmError("integer remainder by zero");
+          return Value::of_int(a % b);
+        case BinOp::Shl: return Value::of_int(a << b);
+        case BinOp::Shr: return Value::of_int(a >> b);
+        case BinOp::Lt: return Value::of_int(a < b);
+        case BinOp::Gt: return Value::of_int(a > b);
+        case BinOp::Le: return Value::of_int(a <= b);
+        case BinOp::Ge: return Value::of_int(a >= b);
+        case BinOp::Eq: return Value::of_int(a == b);
+        case BinOp::Ne: return Value::of_int(a != b);
+        case BinOp::BitAnd: return Value::of_int(a & b);
+        case BinOp::BitXor: return Value::of_int(a ^ b);
+        case BinOp::BitOr: return Value::of_int(a | b);
+        default: break;
+      }
+      throw VmError("unsupported binary operation");
+    }
+    case Expr::Kind::Assign: {
+      LValue lv = eval_lvalue(e->lhs, env);
+      Value rhs = eval(e->rhs, env);
+      if (!e->plain_assign) {
+        Value cur = load_typed(lv.addr, lv.type);
+        Expr tmp;  // reuse the binary evaluator through a synthetic node
+        tmp.kind = Expr::Kind::Binary;
+        tmp.bin_op = e->assign_op;
+        // Evaluate directly instead of rebuilding AST nodes:
+        if (lv.type->kind == Type::Kind::Ptr) {
+          long long off = rhs.as_int() *
+                          static_cast<long long>(type_size(cur.pointee));
+          std::byte* p = static_cast<std::byte*>(cur.p);
+          rhs = Value::of_ptr(e->assign_op == BinOp::Add ? p + off : p - off,
+                              cur.pointee);
+        } else if (lv.type->is_floating() ||
+                   rhs.kind == Value::Kind::Float) {
+          double a = cur.as_float(), b = rhs.as_float();
+          double out = 0;
+          switch (e->assign_op) {
+            case BinOp::Add: out = a + b; break;
+            case BinOp::Sub: out = a - b; break;
+            case BinOp::Mul: out = a * b; break;
+            case BinOp::Div: out = a / b; break;
+            default: throw VmError("invalid compound assignment");
+          }
+          rhs = Value::of_float(out);
+        } else {
+          long long a = cur.as_int(), b = rhs.as_int();
+          long long out = 0;
+          switch (e->assign_op) {
+            case BinOp::Add: out = a + b; break;
+            case BinOp::Sub: out = a - b; break;
+            case BinOp::Mul: out = a * b; break;
+            case BinOp::Div:
+              if (b == 0) throw VmError("integer division by zero");
+              out = a / b;
+              break;
+            case BinOp::Rem:
+              if (b == 0) throw VmError("integer remainder by zero");
+              out = a % b;
+              break;
+            case BinOp::Shl: out = a << b; break;
+            case BinOp::Shr: out = a >> b; break;
+            case BinOp::BitAnd: out = a & b; break;
+            case BinOp::BitOr: out = a | b; break;
+            case BinOp::BitXor: out = a ^ b; break;
+            default: throw VmError("invalid compound assignment");
+          }
+          rhs = Value::of_int(out);
+        }
+      }
+      store_typed(lv.addr, lv.type, rhs);
+      return load_typed(lv.addr, lv.type);
+    }
+    case Expr::Kind::Index: {
+      LValue lv = eval_lvalue(e, env);
+      return load_typed(lv.addr, lv.type);
+    }
+    case Expr::Kind::Cond:
+      return eval(e->cond, env).truthy() ? eval(e->lhs, env)
+                                         : eval(e->rhs, env);
+    case Expr::Kind::Call: {
+      std::vector<Value> argv;
+      // register_parallel needs the *name* of its thread function; it
+      // receives the raw call expression instead of evaluated args.
+      if (e->callee == "cudadev_register_parallel")
+        return device_builtin(e->callee, e, argv, env);
+      argv.reserve(e->args.size());
+      for (const Expr* a : e->args) argv.push_back(eval(a, env));
+      return call_named(e->callee, e, argv, env);
+    }
+  }
+  throw VmError("unsupported expression");
+}
+
+}  // namespace kernelvm

@@ -1,0 +1,116 @@
+// The kernelvm interpreter: executes a compiled translation unit. Host
+// statements run against the hostrt runtime (target constructs offload
+// for real); device ASTs run per GPU thread on the jetsim simulator
+// through the cudadev device library. Together with the translator this
+// replaces the "system compiler + nvcc + hardware" tail of the paper's
+// compilation chain (Fig. 2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "kernelvm/value.h"
+#include "sim/kernel_ctx.h"
+
+namespace kernelvm {
+
+using ompi::CompileOutput;
+using ompi::Expr;
+using ompi::FuncDecl;
+using ompi::KernelInfo;
+using ompi::Stmt;
+using ompi::VarDecl;
+
+/// Lexical environment: name -> typed storage. Device environments root
+/// at the executing GPU thread's KernelCtx.
+class Env {
+ public:
+  explicit Env(Env* parent = nullptr) : parent_(parent) {}
+
+  /// Allocates storage for a new variable in this scope.
+  void* declare(const std::string& name, const Type* type);
+  /// Binds a name to existing storage (used for kernel parameters).
+  void bind(const std::string& name, const Type* type, void* addr);
+
+  struct Binding {
+    const Type* type = nullptr;
+    void* addr = nullptr;
+  };
+  const Binding* lookup(const std::string& name) const;
+
+  void set_device_ctx(jetsim::KernelCtx* ctx) { ctx_ = ctx; }
+  jetsim::KernelCtx* device_ctx() const;
+
+ private:
+  Env* parent_;
+  std::map<std::string, Binding> vars_;
+  std::vector<std::unique_ptr<std::byte[]>> storage_;
+  jetsim::KernelCtx* ctx_ = nullptr;
+};
+
+class Interp {
+ public:
+  struct Options {
+    bool echo_stdout = false;  // also write printf output to stdout
+  };
+
+  explicit Interp(const CompileOutput& program, Options options);
+  explicit Interp(const CompileOutput& program)
+      : Interp(program, Options()) {}
+  ~Interp();
+
+  /// Registers the unit's kernel binaries with the simulated driver
+  /// (what the nvcc step of the compilation chain produces on disk).
+  void install_binaries();
+
+  /// Calls a host function by name. The hostrt runtime must be usable
+  /// (it is created on demand).
+  Value call_host(const std::string& name, std::vector<Value> args = {});
+
+  /// Everything printf produced so far.
+  const std::string& stdout_text() const { return stdout_; }
+  void clear_stdout() { stdout_.clear(); }
+
+ private:
+  friend struct ThrTrampoline;
+  struct Flow {
+    enum class Kind { Normal, Break, Continue, Return } kind = Kind::Normal;
+    Value ret;
+  };
+  struct LValue {
+    void* addr = nullptr;
+    const Type* type = nullptr;
+  };
+
+  Value call_function(const FuncDecl& fn, std::vector<Value> args,
+                      jetsim::KernelCtx* ctx);
+  Flow exec(const Stmt* s, Env& env);
+  Value eval(const Expr* e, Env& env);
+  LValue eval_lvalue(const Expr* e, Env& env);
+  Value call_named(const std::string& name, const Expr* call_expr,
+                   std::vector<Value>& argv, Env& env);
+  Value device_builtin(const std::string& name, const Expr* call_expr,
+                       std::vector<Value>& argv, Env& env);
+  Value host_builtin(const std::string& name, std::vector<Value>& argv);
+
+  // Host OpenMP execution.
+  Flow exec_omp(const Stmt* s, Env& env);
+  void exec_offload(const Stmt* s, Env& env);
+  std::vector<struct MapEval> eval_maps(const Stmt* s, Env& env);
+
+  const FuncDecl* find_thr_func(const std::string& name) const;
+  std::string format_printf(const std::string& fmt,
+                            const std::vector<Value>& args) const;
+
+  const CompileOutput& prog_;
+  Options options_;
+  Env globals_;
+  std::string stdout_;
+  std::vector<std::unique_ptr<std::byte[]>> heap_;  // malloc'd blocks
+  bool binaries_installed_ = false;
+};
+
+}  // namespace kernelvm

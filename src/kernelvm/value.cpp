@@ -1,0 +1,124 @@
+#include "kernelvm/value.h"
+
+namespace kernelvm {
+
+std::size_t type_size(const Type* t) {
+  switch (t->kind) {
+    case Type::Kind::Void: return 1;
+    case Type::Kind::Char: return 1;
+    case Type::Kind::Short: return 2;
+    case Type::Kind::Int: return 4;
+    case Type::Kind::Long: return 8;
+    case Type::Kind::LongLong: return 8;
+    case Type::Kind::Float: return 4;
+    case Type::Kind::Double: return 8;
+    case Type::Kind::Ptr: return sizeof(void*);
+    case Type::Kind::Array:
+      return static_cast<std::size_t>(t->array_size) * type_size(t->elem);
+  }
+  return 1;
+}
+
+Value load_typed(const void* addr, const Type* t) {
+  switch (t->kind) {
+    case Type::Kind::Char: {
+      signed char v;
+      std::memcpy(&v, addr, 1);
+      return Value::of_int(t->is_unsigned
+                               ? static_cast<unsigned char>(v)
+                               : v);
+    }
+    case Type::Kind::Short: {
+      short v;
+      std::memcpy(&v, addr, 2);
+      return Value::of_int(t->is_unsigned
+                               ? static_cast<unsigned short>(v)
+                               : v);
+    }
+    case Type::Kind::Int: {
+      int v;
+      std::memcpy(&v, addr, 4);
+      return Value::of_int(t->is_unsigned
+                               ? static_cast<long long>(
+                                     static_cast<unsigned>(v))
+                               : v);
+    }
+    case Type::Kind::Long:
+    case Type::Kind::LongLong: {
+      long long v;
+      std::memcpy(&v, addr, 8);
+      return Value::of_int(v);
+    }
+    case Type::Kind::Float: {
+      float v;
+      std::memcpy(&v, addr, 4);
+      return Value::of_float(v);
+    }
+    case Type::Kind::Double: {
+      double v;
+      std::memcpy(&v, addr, 8);
+      return Value::of_float(v);
+    }
+    case Type::Kind::Ptr: {
+      void* v;
+      std::memcpy(&v, addr, sizeof v);
+      return Value::of_ptr(v, t->elem);
+    }
+    case Type::Kind::Array:
+      // Arrays decay to a pointer to their first element.
+      return Value::of_ptr(const_cast<void*>(addr), t->elem);
+    case Type::Kind::Void:
+      break;
+  }
+  throw VmError("load from value of unsupported type");
+}
+
+void store_typed(void* addr, const Type* t, const Value& v) {
+  switch (t->kind) {
+    case Type::Kind::Char: {
+      char x = static_cast<char>(v.as_int());
+      std::memcpy(addr, &x, 1);
+      return;
+    }
+    case Type::Kind::Short: {
+      short x = static_cast<short>(v.as_int());
+      std::memcpy(addr, &x, 2);
+      return;
+    }
+    case Type::Kind::Int: {
+      int x = static_cast<int>(v.as_int());
+      std::memcpy(addr, &x, 4);
+      return;
+    }
+    case Type::Kind::Long:
+    case Type::Kind::LongLong: {
+      long long x = v.as_int();
+      std::memcpy(addr, &x, 8);
+      return;
+    }
+    case Type::Kind::Float: {
+      float x = static_cast<float>(v.as_float());
+      std::memcpy(addr, &x, 4);
+      return;
+    }
+    case Type::Kind::Double: {
+      double x = v.as_float();
+      std::memcpy(addr, &x, 8);
+      return;
+    }
+    case Type::Kind::Ptr: {
+      void* x = v.kind == Value::Kind::Ptr
+                    ? v.p
+                    : reinterpret_cast<void*>(
+                          static_cast<uintptr_t>(v.as_int()));
+      std::memcpy(addr, &x, sizeof x);
+      return;
+    }
+    case Type::Kind::Array:
+    case Type::Kind::Void:
+      break;
+  }
+  throw VmError("store into value of unsupported type");
+}
+
+}  // namespace kernelvm

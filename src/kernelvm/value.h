@@ -1,0 +1,89 @@
+// Runtime values and typed storage for the kernel/host interpreter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "compiler/ast.h"
+
+namespace kernelvm {
+
+using ompi::Type;
+
+/// Interpreter fault (type errors, null derefs, missing symbols). These
+/// indicate bugs in translated programs; they abort the enclosing run.
+class VmError : public std::runtime_error {
+ public:
+  explicit VmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Size in bytes of a value of type `t`, matching the host ABI the
+/// simulator shares with the interpreter.
+std::size_t type_size(const Type* t);
+
+struct Value {
+  enum class Kind { Void, Int, Float, Ptr };
+  Kind kind = Kind::Void;
+  long long i = 0;
+  double f = 0;
+  void* p = nullptr;
+  const Type* pointee = nullptr;
+
+  static Value of_int(long long v) {
+    Value x;
+    x.kind = Kind::Int;
+    x.i = v;
+    return x;
+  }
+  static Value of_float(double v) {
+    Value x;
+    x.kind = Kind::Float;
+    x.f = v;
+    return x;
+  }
+  static Value of_ptr(void* ptr, const Type* pointee) {
+    Value x;
+    x.kind = Kind::Ptr;
+    x.p = ptr;
+    x.pointee = pointee;
+    return x;
+  }
+  static Value void_value() { return Value{}; }
+
+  long long as_int() const {
+    switch (kind) {
+      case Kind::Int: return i;
+      case Kind::Float: return static_cast<long long>(f);
+      case Kind::Ptr: return static_cast<long long>(
+          reinterpret_cast<uintptr_t>(p));
+      case Kind::Void: throw VmError("void value used as integer");
+    }
+    return 0;
+  }
+  double as_float() const {
+    switch (kind) {
+      case Kind::Int: return static_cast<double>(i);
+      case Kind::Float: return f;
+      default: throw VmError("non-arithmetic value used as float");
+    }
+  }
+  bool truthy() const {
+    switch (kind) {
+      case Kind::Int: return i != 0;
+      case Kind::Float: return f != 0;
+      case Kind::Ptr: return p != nullptr;
+      case Kind::Void: return false;
+    }
+    return false;
+  }
+};
+
+/// Reads a value of type `t` from raw storage.
+Value load_typed(const void* addr, const Type* t);
+/// Converts and writes `v` into raw storage of type `t`.
+void store_typed(void* addr, const Type* t, const Value& v);
+
+}  // namespace kernelvm

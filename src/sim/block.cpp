@@ -1,0 +1,313 @@
+#include "sim/block.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/device.h"
+
+namespace jetsim {
+
+// ---------------------------------------------------------------------
+// KernelCtx
+// ---------------------------------------------------------------------
+
+KernelCtx::KernelCtx(BlockExec& block, Dim3 tid, unsigned linear_tid)
+    : block_(block), thread_idx_(tid), linear_tid_(linear_tid) {}
+
+const Dim3& KernelCtx::block_idx() const { return block_.block_idx(); }
+const Dim3& KernelCtx::block_dim() const { return block_.block_dim(); }
+const Dim3& KernelCtx::grid_dim() const { return block_.grid_dim(); }
+bool KernelCtx::model_only() const { return block_.model_only(); }
+
+void KernelCtx::charge_flops(double n) {
+  charge_cycles(n * block_.costs().alu);
+}
+
+void KernelCtx::charge_gmem(Access a, std::size_t bytes_per_access,
+                            double accesses) {
+  const CostModel& c = block_.costs();
+  charge_cycles(c.gmem_issue * accesses);
+  dram_bytes_ += c.dram_bytes_for(a, bytes_per_access, warp_size()) * accesses;
+}
+
+void KernelCtx::charge_smem(double accesses) {
+  charge_cycles(block_.costs().smem_issue * accesses);
+}
+
+void KernelCtx::align_cycles(double cycles) {
+  timeline_cycles_ = std::max(timeline_cycles_, cycles);
+}
+
+void KernelCtx::syncthreads() { block_.syncthreads(*this); }
+
+void KernelCtx::named_barrier(int id, int nthreads) {
+  block_.named_barrier(*this, id, nthreads);
+}
+
+void KernelCtx::reconverge(int nthreads) { block_.reconverge(*this, nthreads); }
+
+void KernelCtx::spin_yield() { block_.spin_yield(*this); }
+
+int KernelCtx::atomic_cas(int* addr, int compare, int val) {
+  charge_cycles(block_.costs().atomic);
+  int old = *addr;
+  if (old == compare) *addr = val;
+  return old;
+}
+
+int KernelCtx::atomic_add(int* addr, int val) {
+  charge_cycles(block_.costs().atomic);
+  int old = *addr;
+  *addr = old + val;
+  return old;
+}
+
+unsigned KernelCtx::atomic_add(unsigned* addr, unsigned val) {
+  charge_cycles(block_.costs().atomic);
+  unsigned old = *addr;
+  *addr = old + val;
+  return old;
+}
+
+long long KernelCtx::atomic_add(long long* addr, long long val) {
+  charge_cycles(block_.costs().atomic);
+  long long old = *addr;
+  *addr = old + val;
+  return old;
+}
+
+float KernelCtx::atomic_add(float* addr, float val) {
+  charge_cycles(block_.costs().atomic);
+  float old = *addr;
+  *addr = old + val;
+  return old;
+}
+
+int KernelCtx::atomic_exch(int* addr, int val) {
+  charge_cycles(block_.costs().atomic);
+  int old = *addr;
+  *addr = val;
+  return old;
+}
+
+int KernelCtx::atomic_max(int* addr, int val) {
+  charge_cycles(block_.costs().atomic);
+  int old = *addr;
+  *addr = std::max(old, val);
+  return old;
+}
+
+std::byte* KernelCtx::shmem() const { return block_.shmem(); }
+std::size_t KernelCtx::shmem_size() const { return block_.shmem_size(); }
+
+// ---------------------------------------------------------------------
+// BlockExec
+// ---------------------------------------------------------------------
+
+BlockExec::BlockExec(Device& device, const LaunchConfig& cfg, Dim3 block_idx,
+                     const KernelFn& fn, StackPool& stacks)
+    : device_(device), cfg_(cfg), block_idx_(block_idx), fn_(&fn) {
+  shmem_.assign(cfg.shared_mem, std::byte{0});
+  named_.resize(static_cast<size_t>(device.props().max_named_barriers));
+
+  const Dim3 bd = cfg_.block;
+  unsigned linear = 0;
+  for (unsigned z = 0; z < bd.z; ++z)
+    for (unsigned y = 0; y < bd.y; ++y)
+      for (unsigned x = 0; x < bd.x; ++x) {
+        threads_.emplace_back(*this, Dim3{x, y, z}, linear, stacks,
+                              [this, linear] {
+                                (*fn_)(threads_[linear].ctx);
+                              });
+        ++linear;
+      }
+}
+
+const CostModel& BlockExec::costs() const {
+  return device_.timing().costs();
+}
+
+unsigned BlockExec::alive_count() const {
+  unsigned n = 0;
+  for (const auto& t : threads_)
+    if (t.fiber.state() != Fiber::State::Done) ++n;
+  return n;
+}
+
+BlockAccount BlockExec::run() {
+  schedule();
+
+  BlockAccount acc;
+  acc.threads = static_cast<unsigned>(threads_.size());
+  for (const auto& t : threads_) {
+    acc.critical_path_cycles =
+        std::max(acc.critical_path_cycles, t.ctx.timeline_cycles());
+    acc.total_issue_cycles += t.ctx.issue_cycles();
+    acc.dram_bytes += t.ctx.dram_bytes();
+  }
+  return acc;
+}
+
+void BlockExec::schedule() {
+  while (true) {
+    bool progressed = false;
+    bool any_alive = false;
+    for (auto& t : threads_) {
+      if (t.fiber.state() == Fiber::State::Ready) {
+        t.fiber.resume();
+        progressed = true;
+      }
+      if (t.fiber.state() != Fiber::State::Done) any_alive = true;
+    }
+    // End of pass: lanes of counted warps have had their chance to join
+    // the open generation — perform any deferred barrier releases. All
+    // releases are pass-end so that the lanes of one warp always rejoin
+    // subsequent barriers within a single pass (warp convergence).
+    for (auto& b : named_)
+      if (b.release_pending) release_named(b);
+    if (reconv_.release_pending) release_reconv();
+    maybe_release_sync();
+
+    if (!any_alive) return;
+    if (!progressed) {
+      bool ready = std::any_of(threads_.begin(), threads_.end(), [](auto& t) {
+        return t.fiber.state() == Fiber::State::Ready;
+      });
+      if (!ready) report_deadlock();
+    }
+  }
+}
+
+void BlockExec::report_deadlock() const {
+  std::ostringstream os;
+  os << "jetsim deadlock in block (" << block_idx_.x << "," << block_idx_.y
+     << "," << block_idx_.z << ") of kernel '" << cfg_.kernel_name << "': ";
+  os << alive_count() << " live thread(s), none runnable.";
+  if (!sync_.waiting.empty())
+    os << " __syncthreads waiters: " << sync_.waiting.size() << "/"
+       << alive_count() << ".";
+  for (size_t id = 0; id < named_.size(); ++id) {
+    const auto& b = named_[id];
+    if (!b.waiting.empty())
+      os << " bar[" << id << "]: " << b.arrived_warps.size() * 32
+         << " arrived of " << b.required_threads << " required.";
+  }
+  throw SimError(os.str());
+}
+
+void BlockExec::syncthreads(KernelCtx& t) {
+  t.charge_cycles(costs().barrier);
+  sync_.waiting.push_back(t.linear_tid());
+  Fiber* f = &threads_[t.linear_tid()].fiber;
+  f->set_state(Fiber::State::Blocked);
+  f->suspend();
+}
+
+void BlockExec::maybe_release_sync() {
+  if (sync_.waiting.empty()) return;
+  if (sync_.waiting.size() < alive_count()) return;
+
+  double max_cycles = 0;
+  for (unsigned tid : sync_.waiting)
+    max_cycles = std::max(max_cycles, threads_[tid].ctx.timeline_cycles());
+  for (unsigned tid : sync_.waiting) {
+    threads_[tid].ctx.align_cycles(max_cycles);
+    threads_[tid].fiber.set_state(Fiber::State::Ready);
+  }
+  sync_.waiting.clear();
+  ++sync_.generation;
+}
+
+void BlockExec::named_barrier(KernelCtx& t, int id, int nthreads) {
+  const DeviceProps& p = device_.props();
+  if (id < 0 || id >= p.max_named_barriers)
+    throw SimError("named barrier id out of range: " + std::to_string(id));
+  if (nthreads <= 0 || nthreads % p.warp_size != 0)
+    throw SimError(
+        "bar.sync thread count must be a positive multiple of the warp "
+        "size, got " +
+        std::to_string(nthreads));
+  if (nthreads > static_cast<int>(cfg_.block.count()))
+    throw SimError("bar.sync count exceeds block size");
+
+  NamedBarrier& b = named_[static_cast<size_t>(id)];
+  if (b.required_threads == 0) {
+    b.required_threads = nthreads;
+  } else if (b.required_threads != nthreads) {
+    throw SimError("bar.sync count mismatch on barrier " + std::to_string(id) +
+                   ": generation opened with " +
+                   std::to_string(b.required_threads) + ", got " +
+                   std::to_string(nthreads));
+  }
+
+  t.charge_cycles(costs().barrier);
+  b.arrived_warps.insert(t.warp_id());
+  b.waiting.push_back(t.linear_tid());
+
+  if (static_cast<int>(b.arrived_warps.size()) * p.warp_size >=
+      b.required_threads) {
+    b.release_pending = true;  // released at the end of the scheduler pass
+  }
+  Fiber* f = &threads_[t.linear_tid()].fiber;
+  f->set_state(Fiber::State::Blocked);
+  f->suspend();
+}
+
+void BlockExec::release_named(NamedBarrier& b) {
+  double max_cycles = 0;
+  for (unsigned tid : b.waiting)
+    max_cycles = std::max(max_cycles, threads_[tid].ctx.timeline_cycles());
+  for (unsigned tid : b.waiting) {
+    threads_[tid].ctx.align_cycles(max_cycles);
+    threads_[tid].fiber.set_state(Fiber::State::Ready);
+  }
+  b.waiting.clear();
+  b.arrived_warps.clear();
+  b.required_threads = 0;
+  b.release_pending = false;
+  ++b.generation;
+}
+
+void BlockExec::reconverge(KernelCtx& t, int nthreads) {
+  if (nthreads <= 0 || nthreads > static_cast<int>(cfg_.block.count()))
+    throw SimError("reconverge count out of range: " +
+                   std::to_string(nthreads));
+  ReconvBarrier& b = reconv_;
+  if (b.required == 0) {
+    b.required = nthreads;
+  } else if (b.required != nthreads) {
+    throw SimError("reconverge count mismatch: generation opened with " +
+                   std::to_string(b.required) + ", got " +
+                   std::to_string(nthreads));
+  }
+  t.charge_cycles(costs().barrier);
+  b.waiting.push_back(t.linear_tid());
+  if (static_cast<int>(b.waiting.size()) >= b.required)
+    b.release_pending = true;  // released at the end of the scheduler pass
+  Fiber* f = &threads_[t.linear_tid()].fiber;
+  f->set_state(Fiber::State::Blocked);
+  f->suspend();
+}
+
+void BlockExec::release_reconv() {
+  ReconvBarrier& b = reconv_;
+  double max_cycles = 0;
+  for (unsigned tid : b.waiting)
+    max_cycles = std::max(max_cycles, threads_[tid].ctx.timeline_cycles());
+  for (unsigned tid : b.waiting) {
+    threads_[tid].ctx.align_cycles(max_cycles);
+    threads_[tid].fiber.set_state(Fiber::State::Ready);
+  }
+  b.waiting.clear();
+  b.required = 0;
+  b.release_pending = false;
+  ++b.generation;
+}
+
+void BlockExec::spin_yield(KernelCtx& t) {
+  Fiber* f = &threads_[t.linear_tid()].fiber;
+  f->set_state(Fiber::State::Ready);
+  f->suspend();
+}
+
+}  // namespace jetsim

@@ -1,0 +1,110 @@
+// BlockExec: runs one CUDA block as a set of cooperative fibers with
+// warp-aware named barriers, __syncthreads, shared memory and deadlock
+// detection. Blocks of a launch run sequentially (the Nano has a single
+// SM); concurrency effects enter through the timing model instead.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/fiber.h"
+#include "sim/kernel_ctx.h"
+#include "sim/timing.h"
+#include "sim/types.h"
+
+namespace jetsim {
+
+class Device;
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_mem = 0;   // dynamic shared memory per block
+  std::string kernel_name = "kernel";
+  bool model_only = false;
+  /// In model-only mode, launches whose grids exceed the sampling
+  /// threshold may simulate a stratified subset of blocks and scale the
+  /// timing accounts (valid only for kernels without cross-block state;
+  /// see Device::launch). Ignored when model_only is false.
+  bool allow_block_sampling = false;
+};
+
+class BlockExec {
+ public:
+  BlockExec(Device& device, const LaunchConfig& cfg, Dim3 block_idx,
+            const KernelFn& fn, StackPool& stacks);
+
+  /// Runs every thread of the block to completion and returns the
+  /// accounting summary. Throws SimError on deadlock or barrier misuse.
+  BlockAccount run();
+
+  // --- called from KernelCtx ------------------------------------------
+  void syncthreads(KernelCtx& t);
+  void named_barrier(KernelCtx& t, int id, int nthreads);
+  void reconverge(KernelCtx& t, int nthreads);
+  void spin_yield(KernelCtx& t);
+
+  const Dim3& block_idx() const { return block_idx_; }
+  const Dim3& block_dim() const { return cfg_.block; }
+  const Dim3& grid_dim() const { return cfg_.grid; }
+  bool model_only() const { return cfg_.model_only; }
+  std::byte* shmem() { return shmem_.data(); }
+  std::size_t shmem_size() const { return shmem_.size(); }
+  Device& device() { return device_; }
+  const CostModel& costs() const;
+
+ private:
+  struct Thread {
+    Thread(BlockExec& block, Dim3 tid, unsigned linear, StackPool& stacks,
+           Fiber::Entry entry)
+        : ctx(block, tid, linear), fiber(stacks, std::move(entry)) {}
+    KernelCtx ctx;
+    Fiber fiber;
+  };
+
+  struct NamedBarrier {
+    std::set<int> arrived_warps;
+    std::vector<unsigned> waiting;  // linear thread ids blocked here
+    int required_threads = 0;       // nthreads of the open generation
+    uint64_t generation = 0;
+    // The count condition is met, but release is deferred to the end of
+    // the scheduler pass so that the remaining lanes of already-counted
+    // warps can join this generation (hardware warps arrive atomically;
+    // our fibers arrive lane by lane).
+    bool release_pending = false;
+  };
+
+  struct SyncBarrier {
+    std::vector<unsigned> waiting;
+    uint64_t generation = 0;
+  };
+
+  struct ReconvBarrier {
+    std::vector<unsigned> waiting;
+    int required = 0;
+    uint64_t generation = 0;
+    bool release_pending = false;
+  };
+
+  void schedule();
+  void release_named(NamedBarrier& b);
+  void release_reconv();
+  void maybe_release_sync();
+  unsigned alive_count() const;
+  [[noreturn]] void report_deadlock() const;
+
+  Device& device_;
+  const LaunchConfig& cfg_;
+  Dim3 block_idx_;
+  const KernelFn* fn_ = nullptr;
+  std::deque<Thread> threads_;  // stable addresses, in-place construction
+  std::vector<std::byte> shmem_;
+  std::vector<NamedBarrier> named_;
+  SyncBarrier sync_;
+  ReconvBarrier reconv_;
+};
+
+}  // namespace jetsim

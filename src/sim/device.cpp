@@ -1,0 +1,110 @@
+#include "sim/device.h"
+
+#include <cstring>
+#include <string>
+
+namespace jetsim {
+
+Device::Device(DeviceProps props, CostModel costs)
+    : timing_(props, costs) {}
+
+uint64_t Device::malloc(std::size_t size) {
+  if (size == 0) size = 1;
+  if (allocated_ + size > props().total_global_mem) return 0;
+  Allocation a;
+  a.data = std::make_unique<std::byte[]>(size);
+  a.size = size;
+  auto addr = reinterpret_cast<uint64_t>(a.data.get());
+  allocated_ += size;
+  ++stats_.mallocs;
+  allocs_.emplace(addr, std::move(a));
+  return addr;
+}
+
+void Device::free(uint64_t addr) {
+  auto it = allocs_.find(addr);
+  if (it == allocs_.end())
+    throw SimError("device free of unknown address " + std::to_string(addr));
+  allocated_ -= it->second.size;
+  ++stats_.frees;
+  allocs_.erase(it);
+}
+
+void* Device::translate(uint64_t addr, std::size_t len) {
+  // Find the allocation whose range contains [addr, addr+len).
+  auto it = allocs_.upper_bound(addr);
+  if (it == allocs_.begin())
+    throw SimError("device access to unmapped address " + std::to_string(addr));
+  --it;
+  uint64_t base = it->first;
+  const Allocation& a = it->second;
+  if (addr < base || addr + len > base + a.size)
+    throw SimError("device access out of bounds: addr=" + std::to_string(addr) +
+                   " len=" + std::to_string(len) +
+                   " alloc_size=" + std::to_string(a.size));
+  return a.data.get() + (addr - base);
+}
+
+const void* Device::translate(uint64_t addr, std::size_t len) const {
+  return const_cast<Device*>(this)->translate(addr, len);
+}
+
+LaunchAccount Device::launch(const LaunchConfig& cfg, const KernelFn& fn) {
+  const DeviceProps& p = props();
+  if (cfg.block.count() == 0 || cfg.grid.count() == 0)
+    throw SimError("kernel launch with empty grid or block");
+  if (cfg.block.count() > static_cast<unsigned>(p.max_threads_per_block))
+    throw SimError("block size " + std::to_string(cfg.block.count()) +
+                   " exceeds device limit " +
+                   std::to_string(p.max_threads_per_block));
+  if (cfg.shared_mem > p.shared_mem_per_block)
+    throw SimError("shared memory request exceeds per-block limit");
+
+  LaunchAccount acc;
+  acc.kernel_name = cfg.kernel_name;
+  acc.threads_per_block = cfg.block.count();
+  acc.shared_mem_per_block = cfg.shared_mem;
+
+  const Dim3 g = cfg.grid;
+  const unsigned nblocks = g.count();
+
+  // Model-only launches over large uniform grids simulate a stratified
+  // sample of blocks and scale the accounts; valid because model-only
+  // kernels have no cross-block state (DESIGN.md §5). Both the first and
+  // the last block are always in the sample so boundary guards are seen.
+  constexpr unsigned kSampleThreshold = 512;
+  constexpr unsigned kSampleCount = 256;
+  const bool sampled = cfg.model_only && cfg.allow_block_sampling &&
+                       nblocks > kSampleThreshold;
+
+  auto run_block = [&](unsigned linear) {
+    Dim3 idx{linear % g.x, (linear / g.x) % g.y, linear / (g.x * g.y)};
+    BlockExec block(*this, cfg, idx, fn, stacks_);
+    timing_.add_block(acc, block.run());
+    ++stats_.blocks_run;
+    stats_.threads_run += cfg.block.count();
+  };
+
+  if (sampled) {
+    for (unsigned s = 0; s < kSampleCount; ++s) {
+      unsigned linear = static_cast<unsigned>(
+          (static_cast<uint64_t>(s) * (nblocks - 1)) / (kSampleCount - 1));
+      run_block(linear);
+    }
+    double scale = static_cast<double>(nblocks) / kSampleCount;
+    acc.total_issue_cycles *= scale;
+    acc.total_dram_bytes *= scale;
+    acc.sum_wave_critical_cycles *= scale;
+    acc.blocks = nblocks;
+  } else {
+    for (unsigned linear = 0; linear < nblocks; ++linear) run_block(linear);
+  }
+
+  timing_.finalize(acc);
+  clock_s_ += acc.time_s;
+  ++stats_.launches;
+  launch_log_.push_back(acc);
+  return acc;
+}
+
+}  // namespace jetsim

@@ -1,0 +1,83 @@
+// The simulated GPU: global-memory management, kernel dispatch and the
+// modeled device clock. One Device instance stands in for the Jetson
+// Nano's Maxwell GPU; the cudadrv facade layers the CUDA driver API on
+// top of it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/block.h"
+#include "sim/device_props.h"
+#include "sim/fiber.h"
+#include "sim/kernel_ctx.h"
+#include "sim/timing.h"
+#include "sim/types.h"
+
+namespace jetsim {
+
+struct DeviceStats {
+  uint64_t launches = 0;
+  uint64_t mallocs = 0;
+  uint64_t frees = 0;
+  uint64_t blocks_run = 0;
+  uint64_t threads_run = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProps props = {}, CostModel costs = {});
+
+  // --- memory ---------------------------------------------------------
+  /// Allocates `size` bytes of device global memory; returns the device
+  /// address (0 on out-of-memory, mirroring CUDA_ERROR_OUT_OF_MEMORY at
+  /// the driver layer).
+  uint64_t malloc(std::size_t size);
+  void free(uint64_t addr);
+
+  /// Translates a device address range to host-accessible storage,
+  /// validating bounds. Throws SimError on any out-of-range access.
+  void* translate(uint64_t addr, std::size_t len);
+  const void* translate(uint64_t addr, std::size_t len) const;
+
+  template <typename T>
+  T* ptr(uint64_t addr, std::size_t count = 1) {
+    return static_cast<T*>(translate(addr, count * sizeof(T)));
+  }
+
+  std::size_t bytes_allocated() const { return allocated_; }
+
+  // --- execution --------------------------------------------------------
+  /// Dispatches a kernel over the whole grid, runs every block, folds the
+  /// timing model and advances the device clock by the modeled time.
+  LaunchAccount launch(const LaunchConfig& cfg, const KernelFn& fn);
+
+  // --- modeled time -----------------------------------------------------
+  double now() const { return clock_s_; }
+  void advance_time(double seconds) { clock_s_ += seconds; }
+
+  TimingModel& timing() { return timing_; }
+  const TimingModel& timing() const { return timing_; }
+  const DeviceProps& props() const { return timing_.props(); }
+  const DeviceStats& stats() const { return stats_; }
+  const std::vector<LaunchAccount>& launch_log() const { return launch_log_; }
+  void clear_launch_log() { launch_log_.clear(); }
+
+ private:
+  struct Allocation {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  TimingModel timing_;
+  StackPool stacks_;
+  std::map<uint64_t, Allocation> allocs_;  // keyed by base device address
+  std::size_t allocated_ = 0;
+  double clock_s_ = 0;
+  DeviceStats stats_;
+  std::vector<LaunchAccount> launch_log_;
+};
+
+}  // namespace jetsim

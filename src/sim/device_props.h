@@ -1,0 +1,35 @@
+// Hardware description of the simulated device. Defaults model the
+// Jetson Nano 2GB used in the paper: quad-core A57 host plus one Maxwell
+// SM with 128 CUDA cores, compute capability 5.3 (paper §4).
+#pragma once
+
+#include <cstddef>
+
+namespace jetsim {
+
+struct DeviceProps {
+  const char* name = "Simulated NVIDIA Jetson Nano 2GB (Maxwell, sm_53)";
+  int cc_major = 5;
+  int cc_minor = 3;
+  int sm_count = 1;
+  int cores_per_sm = 128;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_resident_threads_per_sm = 2048;
+  int max_resident_blocks_per_sm = 32;
+  int max_named_barriers = 16;       // PTX bar.sync ids 0..15
+  std::size_t shared_mem_per_block = 48 * 1024;
+  std::size_t shared_mem_per_sm = 64 * 1024;
+  std::size_t l2_bytes = 256 * 1024;
+  std::size_t total_global_mem = std::size_t(2) << 30;  // 2GB board
+  double clock_hz = 921.6e6;          // Maxwell GPU clock on the Nano
+  double dram_bandwidth = 25.6e9;     // LPDDR4, shared with the host CPU
+  double dram_efficiency = 0.70;      // achievable fraction of peak
+
+  /// Sustainable DRAM bytes per GPU clock cycle.
+  double bytes_per_cycle() const {
+    return dram_bandwidth * dram_efficiency / clock_hz;
+  }
+};
+
+}  // namespace jetsim

@@ -1,0 +1,73 @@
+#include "sim/fiber.h"
+
+#include <utility>
+
+#include "sim/types.h"
+
+namespace jetsim {
+
+namespace {
+thread_local Fiber* tl_current = nullptr;
+}  // namespace
+
+std::unique_ptr<std::byte[]> StackPool::acquire() {
+  if (!free_.empty()) {
+    auto s = std::move(free_.back());
+    free_.pop_back();
+    return s;
+  }
+  return std::make_unique<std::byte[]>(stack_size_);
+}
+
+void StackPool::release(std::unique_ptr<std::byte[]> stack) {
+  free_.push_back(std::move(stack));
+}
+
+Fiber::Fiber(StackPool& pool, Entry entry)
+    : pool_(pool), stack_(pool.acquire()), entry_(std::move(entry)) {}
+
+Fiber::~Fiber() {
+  if (stack_) pool_.release(std::move(stack_));
+}
+
+Fiber* Fiber::current() { return tl_current; }
+
+void Fiber::trampoline() {
+  Fiber* self = tl_current;
+  try {
+    self->entry_();
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = State::Done;
+  // Returning lets ucontext continue at uc_link (the scheduler context).
+}
+
+void Fiber::resume() {
+  if (state_ != State::Ready)
+    throw SimError("Fiber::resume on a non-ready fiber");
+  if (!started_) {
+    getcontext(&ctx_);
+    ctx_.uc_stack.ss_sp = stack_.get();
+    ctx_.uc_stack.ss_size = pool_.stack_size();
+    ctx_.uc_link = &sched_ctx_;
+    makecontext(&ctx_, &Fiber::trampoline, 0);
+    started_ = true;
+  }
+  Fiber* prev = tl_current;
+  tl_current = this;
+  swapcontext(&sched_ctx_, &ctx_);
+  tl_current = prev;
+  if (pending_exception_) {
+    auto e = std::exchange(pending_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+void Fiber::suspend() {
+  if (tl_current != this)
+    throw SimError("Fiber::suspend called from outside the fiber");
+  swapcontext(&ctx_, &sched_ctx_);
+}
+
+}  // namespace jetsim

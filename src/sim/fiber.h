@@ -1,0 +1,75 @@
+// Cooperative stackful fibers built on ucontext. Each simulated GPU
+// thread is one fiber; a block's fibers are multiplexed by BlockExec.
+// Fibers switch only at synchronization points (barriers, spin yields),
+// so straight-line kernel code runs at native speed.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace jetsim {
+
+/// Reusable fiber stack storage. Blocks run sequentially, so a pool the
+/// size of one block's thread count serves an entire launch.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_size = 256 * 1024)
+      : stack_size_(stack_size) {}
+
+  std::unique_ptr<std::byte[]> acquire();
+  void release(std::unique_ptr<std::byte[]> stack);
+  std::size_t stack_size() const { return stack_size_; }
+
+ private:
+  std::size_t stack_size_;
+  std::vector<std::unique_ptr<std::byte[]>> free_;
+};
+
+class Fiber {
+ public:
+  enum class State { Ready, Blocked, Done };
+
+  using Entry = std::function<void()>;
+
+  Fiber(StackPool& pool, Entry entry);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the scheduler into this fiber until it yields, blocks
+  /// or finishes. Must only be called when state() == Ready. An exception
+  /// escaping the fiber body is captured and rethrown here, in the
+  /// scheduler's context (unwinding through a ucontext frame is UB).
+  void resume();
+
+  /// Switches from inside the fiber back to the scheduler. The new state
+  /// must have been set by the caller (Ready for a spin-yield, Blocked
+  /// for a barrier wait).
+  void suspend();
+
+  State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+
+  /// The fiber currently executing, or nullptr when in the scheduler.
+  static Fiber* current();
+
+ private:
+  static void trampoline();
+
+  StackPool& pool_;
+  std::unique_ptr<std::byte[]> stack_;
+  ucontext_t ctx_{};
+  ucontext_t sched_ctx_{};
+  Entry entry_;
+  State state_ = State::Ready;
+  bool started_ = false;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace jetsim

@@ -1,0 +1,52 @@
+// Charged global-memory accessors used by kernel bodies: every element
+// access both performs the real load/store and charges the timing model
+// according to the declared access pattern.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "sim/kernel_ctx.h"
+#include "sim/types.h"
+
+namespace jetsim {
+
+template <typename T>
+class GSpan {
+ public:
+  GSpan(KernelCtx& ctx, T* data, std::size_t size,
+        Access pattern = Access::Coalesced)
+      : ctx_(&ctx), data_(data), size_(size), pattern_(pattern) {}
+
+  T read(std::size_t i) const {
+    assert(i < size_);
+    ctx_->charge_gmem(pattern_, sizeof(T));
+    return data_[i];
+  }
+
+  void write(std::size_t i, T v) const {
+    assert(i < size_);
+    ctx_->charge_gmem(pattern_, sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Reads without charging DRAM traffic (known cache hit), still paying
+  /// the issue cost.
+  T read_cached(std::size_t i) const {
+    assert(i < size_);
+    ctx_->charge_gmem(Access::CacheResident, sizeof(T));
+    return data_[i];
+  }
+
+  T* raw() const { return data_; }
+  std::size_t size() const { return size_; }
+  Access pattern() const { return pattern_; }
+
+ private:
+  KernelCtx* ctx_;
+  T* data_;
+  std::size_t size_;
+  Access pattern_;
+};
+
+}  // namespace jetsim

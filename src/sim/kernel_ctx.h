@@ -1,0 +1,107 @@
+// Per-GPU-thread view handed to every kernel body: indices, cost
+// charging, synchronization primitives and atomics. This is the surface
+// that both hand-written "pure CUDA" kernels and the cudadev device
+// runtime program against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.h"
+
+namespace jetsim {
+
+class BlockExec;
+class CostModel;
+
+class KernelCtx {
+ public:
+  KernelCtx(BlockExec& block, Dim3 tid, unsigned linear_tid);
+
+  // --- geometry (CUDA built-ins) -----------------------------------
+  const Dim3& thread_idx() const { return thread_idx_; }
+  const Dim3& block_idx() const;
+  const Dim3& block_dim() const;
+  const Dim3& grid_dim() const;
+  unsigned linear_tid() const { return linear_tid_; }
+  int lane() const { return static_cast<int>(linear_tid_ % 32u); }
+  int warp_id() const { return static_cast<int>(linear_tid_ / 32u); }
+  int warp_size() const { return 32; }
+
+  /// True when the launch runs in model-only mode: kernels skip the data
+  /// math and charge analytically (see DESIGN.md §5). Control flow and
+  /// all runtime machinery still execute for real.
+  bool model_only() const;
+
+  // --- cost charging ------------------------------------------------
+  // Two clocks per thread: `issue_cycles` counts work the thread really
+  // issues (throughput demand); `timeline_cycles` is its position in
+  // time, which barriers align to the slowest participant (critical
+  // path). Stall time never counts as issued work.
+  void charge(const Cost& c) {
+    issue_cycles_ += c.issue_cycles;
+    timeline_cycles_ += c.issue_cycles;
+    dram_bytes_ += c.dram_bytes;
+  }
+  void charge_cycles(double cycles) {
+    issue_cycles_ += cycles;
+    timeline_cycles_ += cycles;
+  }
+  void charge_flops(double n);
+  void charge_gmem(Access a, std::size_t bytes_per_access, double accesses = 1);
+  void charge_smem(double accesses = 1);
+
+  double issue_cycles() const { return issue_cycles_; }
+  double timeline_cycles() const { return timeline_cycles_; }
+  double dram_bytes() const { return dram_bytes_; }
+  void align_cycles(double cycles);  // barrier release raises the timeline
+
+  // --- synchronization ----------------------------------------------
+  /// CUDA __syncthreads(): all live threads of the block converge.
+  void syncthreads();
+
+  /// PTX bar.sync id, nthreads. `nthreads` must be a positive multiple
+  /// of the warp size (the paper's X = W * ceil(N/W) rule); arrival is
+  /// counted per warp exactly like the hardware barrier.
+  void named_barrier(int id, int nthreads);
+
+  /// Thread-exact rendezvous emulating the SIMT reconvergence stack:
+  /// blocks until exactly `nthreads` threads have called it. Unlike
+  /// named_barrier (which counts warps, like PTX bar.sync), this counts
+  /// individual threads; runtimes use it to keep idle lanes of a
+  /// divergent warp from running ahead of their warp's active lanes.
+  void reconverge(int nthreads);
+
+  /// Cooperative yield used inside spin loops (lock acquisition).
+  void spin_yield();
+
+  // --- atomics (global or shared address space) ----------------------
+  int atomic_cas(int* addr, int compare, int val);
+  int atomic_add(int* addr, int val);
+  unsigned atomic_add(unsigned* addr, unsigned val);
+  long long atomic_add(long long* addr, long long val);
+  float atomic_add(float* addr, float val);
+  int atomic_exch(int* addr, int val);
+  int atomic_max(int* addr, int val);
+
+  // --- shared memory --------------------------------------------------
+  /// Base of this block's shared memory (static + dynamic region).
+  std::byte* shmem() const;
+  std::size_t shmem_size() const;
+
+  BlockExec& block() { return block_; }
+
+ private:
+  BlockExec& block_;
+  Dim3 thread_idx_;
+  unsigned linear_tid_;
+  double issue_cycles_ = 0;
+  double timeline_cycles_ = 0;
+  double dram_bytes_ = 0;
+};
+
+/// Kernel body type: executed once per GPU thread.
+using KernelFn = std::function<void(KernelCtx&)>;
+
+}  // namespace jetsim

@@ -1,0 +1,73 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jetsim {
+
+int TimingModel::occupancy_blocks(unsigned threads_per_block,
+                                  std::size_t shared_mem_per_block) const {
+  if (threads_per_block == 0) return 1;
+  int by_threads =
+      props_.max_resident_threads_per_sm / static_cast<int>(threads_per_block);
+  int by_blocks = props_.max_resident_blocks_per_sm;
+  int by_smem = props_.max_resident_blocks_per_sm;
+  if (shared_mem_per_block > 0) {
+    by_smem = static_cast<int>(props_.shared_mem_per_sm / shared_mem_per_block);
+  }
+  int occ = std::min({by_threads, by_blocks, by_smem});
+  return std::max(occ, 1);
+}
+
+void TimingModel::add_block(LaunchAccount& acc, const BlockAccount& blk) const {
+  acc.total_issue_cycles += blk.total_issue_cycles;
+  acc.total_dram_bytes += blk.dram_bytes;
+  acc.sum_wave_critical_cycles += blk.critical_path_cycles;
+  acc.max_block_critical_cycles =
+      std::max(acc.max_block_critical_cycles, blk.critical_path_cycles);
+  acc.blocks += 1;
+}
+
+void TimingModel::finalize(LaunchAccount& acc) const {
+  acc.occupancy_blocks =
+      occupancy_blocks(acc.threads_per_block, acc.shared_mem_per_block);
+  acc.waves = acc.blocks == 0
+                  ? 0
+                  : (static_cast<int>(acc.blocks) + acc.occupancy_blocks - 1) /
+                        acc.occupancy_blocks;
+
+  // Compute limit: all issue demand funneled through the SM's cores, but a
+  // wave can never retire faster than its critical path. Blocks within one
+  // launch are homogeneous, so sum_wave_critical/occupancy approximates the
+  // sum over waves of the in-wave critical path.
+  double throughput_cycles = acc.total_issue_cycles / props_.cores_per_sm /
+                             props_.sm_count;
+  // Average per-wave critical path for homogeneous grids; never below the
+  // slowest single block (heterogeneous grids, serialized kernels).
+  double critical_cycles =
+      acc.blocks == 0 ? 0
+                      : acc.sum_wave_critical_cycles * acc.waves / acc.blocks;
+  critical_cycles = std::max(critical_cycles, acc.max_block_critical_cycles);
+  double compute_cycles = std::max(throughput_cycles, critical_cycles);
+  acc.compute_s = cycles_to_seconds(compute_cycles);
+
+  acc.memory_s = acc.total_dram_bytes /
+                 (props_.dram_bandwidth * props_.dram_efficiency);
+
+  acc.time_s = std::max(acc.compute_s, acc.memory_s);
+
+  double factor = calibration(acc.kernel_name);
+  acc.time_s *= factor;
+}
+
+void TimingModel::set_calibration(const std::string& kernel_tag,
+                                  double factor) {
+  calibration_[kernel_tag] = factor;
+}
+
+double TimingModel::calibration(const std::string& kernel_tag) const {
+  auto it = calibration_.find(kernel_tag);
+  return it == calibration_.end() ? 1.0 : it->second;
+}
+
+}  // namespace jetsim

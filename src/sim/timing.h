@@ -1,0 +1,125 @@
+// Cost table and kernel-level timing aggregation (DESIGN.md §5).
+//
+// The model is a per-block roofline: each fiber accumulates issue cycles
+// and DRAM bytes; a block is limited either by its critical path (the
+// slowest fiber, which captures master/worker serialization) or by core
+// throughput. The kernel is limited either by compute across occupancy
+// waves or by memory bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "sim/device_props.h"
+#include "sim/types.h"
+
+namespace jetsim {
+
+/// Per-operation charge table, in GPU cycles per thread (issue side) and
+/// bytes (memory side). Values are amortized per-thread costs assuming
+/// full-warp execution; divergence is charged explicitly by callers.
+struct CostModel {
+  double alu = 1.0;              // int/fp add, mul, fma
+  double complex_op = 20.0;      // div, sqrt, transcendental
+  double gmem_issue = 4.0;       // issue+AGU cost of any global access
+  double smem_issue = 2.0;       // shared memory access
+  double atomic = 30.0;          // global atomic (CAS/add/exch)
+  double barrier = 32.0;         // bar.sync convergence cost
+  double branch = 1.0;           // compare + branch
+  double call = 4.0;             // device function call overhead
+  double sector_bytes = 32.0;    // DRAM sector pulled by a strided lane
+
+  /// DRAM bytes charged to one thread for one `bytes`-wide access.
+  double dram_bytes_for(Access a, std::size_t bytes, int warp_size) const {
+    switch (a) {
+      case Access::Coalesced:
+        return static_cast<double>(bytes);
+      case Access::Broadcast:
+        return static_cast<double>(bytes) / warp_size;
+      case Access::Strided:
+        return sector_bytes;
+      case Access::CacheResident:
+        return 0.0;
+    }
+    return static_cast<double>(bytes);
+  }
+};
+
+/// Driver-level overheads (charged by cudadrv, not by kernels).
+struct DriverCosts {
+  double launch_overhead_s = 10e-6;      // cuLaunchKernel + dispatch
+  double param_prep_per_arg_s = 0.15e-6; // host-side parameter marshalling
+  double memcpy_overhead_s = 4e-6;       // per cuMemcpy call
+  double memcpy_bandwidth = 12.8e9;      // HtoD/DtoH staging on shared DRAM
+  double module_load_cubin_s_per_kb = 3e-6;
+  double jit_compile_s_per_kb = 450e-6;  // PTX JIT at first load
+  double jit_cache_hit_s_per_kb = 8e-6;  // warm JIT disk cache
+};
+
+/// Aggregated accounting for one block after it retires.
+struct BlockAccount {
+  double critical_path_cycles = 0;  // max over fibers
+  double total_issue_cycles = 0;    // sum over fibers
+  double dram_bytes = 0;            // sum over fibers
+  unsigned threads = 0;
+};
+
+/// Aggregated accounting and derived time for one kernel launch.
+struct LaunchAccount {
+  std::string kernel_name;
+  unsigned blocks = 0;
+  unsigned threads_per_block = 0;
+  std::size_t shared_mem_per_block = 0;
+  double total_issue_cycles = 0;
+  double total_dram_bytes = 0;
+  double sum_wave_critical_cycles = 0;
+  double max_block_critical_cycles = 0;
+  int occupancy_blocks = 0;   // resident blocks per wave
+  int waves = 0;
+  double compute_s = 0;
+  double memory_s = 0;
+  double time_s = 0;          // final modeled kernel time (excl. launch ovh)
+};
+
+/// Turns per-block accounts into a kernel time; also owns the calibration
+/// table used to reproduce effects the paper observed but did not explain
+/// (see EXPERIMENTS.md, gemm@2048).
+class TimingModel {
+ public:
+  TimingModel(const DeviceProps& props, const CostModel& costs)
+      : props_(props), costs_(costs) {}
+
+  const DeviceProps& props() const { return props_; }
+  const CostModel& costs() const { return costs_; }
+
+  /// Resident blocks per wave given block resource demands.
+  int occupancy_blocks(unsigned threads_per_block,
+                       std::size_t shared_mem_per_block) const;
+
+  /// Folds one retired block into the running launch account.
+  void add_block(LaunchAccount& acc, const BlockAccount& blk) const;
+
+  /// Computes the wave structure and final kernel time.
+  void finalize(LaunchAccount& acc) const;
+
+  /// Registers a multiplicative adjustment for (kernel_tag) applied at
+  /// finalize time. Used by the calibration layer; empty by default.
+  void set_calibration(const std::string& kernel_tag, double factor);
+  double calibration(const std::string& kernel_tag) const;
+
+  double cycles_to_seconds(double cycles) const {
+    return cycles / props_.clock_hz;
+  }
+
+ private:
+  DeviceProps props_;
+  CostModel costs_;
+  std::map<std::string, double> calibration_;
+  // finalize() folds per-wave critical paths; because blocks retire one by
+  // one we approximate "max critical path within each wave" by averaging
+  // block critical paths into waves (blocks of one launch are homogeneous
+  // in all workloads we model).
+};
+
+}  // namespace jetsim

@@ -1,0 +1,65 @@
+// Basic geometry and accounting types for the jetsim SIMT simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jetsim {
+
+/// CUDA-style 3-component extent/index.
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(unsigned x_, unsigned y_ = 1, unsigned z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  constexpr unsigned count() const { return x * y * z; }
+  constexpr bool operator==(const Dim3&) const = default;
+
+  /// Linearizes an index within this extent (x fastest, like CUDA).
+  constexpr unsigned linear(const Dim3& idx) const {
+    return idx.x + x * (idx.y + y * idx.z);
+  }
+};
+
+/// Accounting unit charged by kernels and runtime entry points.
+/// `issue_cycles` models per-thread instruction issue demand; `dram_bytes`
+/// models traffic that must reach LPDDR4 (i.e. post-cache).
+struct Cost {
+  double issue_cycles = 0;
+  double dram_bytes = 0;
+
+  Cost& operator+=(const Cost& o) {
+    issue_cycles += o.issue_cycles;
+    dram_bytes += o.dram_bytes;
+    return *this;
+  }
+  friend Cost operator*(Cost c, double k) {
+    c.issue_cycles *= k;
+    c.dram_bytes *= k;
+    return c;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+};
+
+/// Access-pattern hint used by the global-memory accessors to decide DRAM
+/// traffic per warp access (see DESIGN.md §5).
+enum class Access : uint8_t {
+  Coalesced,    // consecutive lanes touch consecutive words: bytes/lane
+  Broadcast,    // all lanes read the same word: bytes/warp_size
+  Strided,      // each lane pulls its own 32B sector
+  CacheResident // expected L1/L2 hit: no DRAM traffic
+};
+
+/// Fatal simulator misuse (deadlock, bad barrier count, OOB device access).
+/// These indicate bugs in generated code or the runtime, never user data,
+/// so an exception that aborts the launch is the right behaviour.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace jetsim

@@ -1,0 +1,49 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace ompi {
+namespace {
+
+TEST(Arena, AllocatesAndConstructs) {
+  Arena arena;
+  int* a = arena.make<int>(41);
+  EXPECT_EQ(*a, 41);
+  *a = 42;
+  EXPECT_EQ(*a, 42);
+}
+
+TEST(Arena, AlignmentRespected) {
+  Arena arena;
+  arena.allocate(1, 1);
+  void* p = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  arena.allocate(3, 1);
+  void* q = arena.allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 16, 0u);
+}
+
+TEST(Arena, GrowsAcrossChunks) {
+  Arena arena(/*chunk_size=*/128);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 200; ++i) ptrs.push_back(arena.make<int>(i));
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(*ptrs[i], i);
+  EXPECT_GE(arena.bytes_used(), 200 * sizeof(int));
+}
+
+TEST(Arena, OversizedAllocationGetsOwnChunk) {
+  Arena arena(/*chunk_size=*/64);
+  void* big = arena.allocate(1024, 8);
+  ASSERT_NE(big, nullptr);
+  // The big chunk must remain intact while small allocations continue.
+  std::memset(big, 0xAB, 1024);
+  int* small = arena.make<int>(7);
+  EXPECT_EQ(*small, 7);
+  EXPECT_EQ(static_cast<unsigned char*>(big)[1023], 0xAB);
+}
+
+}  // namespace
+}  // namespace ompi

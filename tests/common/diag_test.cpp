@@ -1,0 +1,45 @@
+#include "common/diag.h"
+
+#include <gtest/gtest.h>
+
+namespace ompi {
+namespace {
+
+TEST(Diag, CountsErrorsOnly) {
+  DiagEngine de;
+  de.warning({1, 2}, "w");
+  de.note({1, 3}, "n");
+  EXPECT_TRUE(de.ok());
+  de.error({2, 1}, "boom");
+  EXPECT_FALSE(de.ok());
+  EXPECT_EQ(de.error_count(), 1u);
+  EXPECT_EQ(de.diagnostics().size(), 3u);
+}
+
+TEST(Diag, RendersLocation) {
+  Diagnostic d{Severity::Error, {12, 7}, "unexpected token"};
+  EXPECT_EQ(d.render(), "12:7: error: unexpected token");
+}
+
+TEST(Diag, RendersUnknownLocation) {
+  Diagnostic d{Severity::Warning, {}, "something"};
+  EXPECT_EQ(d.render(), "<unknown>: warning: something");
+}
+
+TEST(Diag, RenderAllOnePerLine) {
+  DiagEngine de;
+  de.error({1, 1}, "a");
+  de.warning({2, 2}, "b");
+  EXPECT_EQ(de.render_all(), "1:1: error: a\n2:2: warning: b\n");
+}
+
+TEST(Diag, ClearResets) {
+  DiagEngine de;
+  de.error({1, 1}, "a");
+  de.clear();
+  EXPECT_TRUE(de.ok());
+  EXPECT_TRUE(de.diagnostics().empty());
+}
+
+}  // namespace
+}  // namespace ompi

@@ -1,0 +1,69 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/intern.h"
+
+namespace ompi {
+namespace {
+
+TEST(StrUtil, SplitBasic) {
+  auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(StrUtil, SplitEmptyFields) {
+  auto v = split(",x,", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "");
+  EXPECT_EQ(v[1], "x");
+  EXPECT_EQ(v[2], "");
+}
+
+TEST(StrUtil, TrimWhitespace) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("target teams", "target"));
+  EXPECT_FALSE(starts_with("tar", "target"));
+}
+
+TEST(StrUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StrUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "yy"), "ayybyyc");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(StrUtil, Indent) {
+  EXPECT_EQ(indent(0), "");
+  EXPECT_EQ(indent(2), "    ");
+}
+
+TEST(Intern, SamePointerForSameContents) {
+  StringInterner in;
+  auto a = in.intern("hello");
+  std::string h = "hel";
+  h += "lo";
+  auto b = in.intern(h);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Intern, DistinctStringsDiffer) {
+  StringInterner in;
+  auto a = in.intern("x");
+  auto b = in.intern("y");
+  EXPECT_NE(a.data(), b.data());
+}
+
+}  // namespace
+}  // namespace ompi

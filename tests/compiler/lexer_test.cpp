@@ -1,0 +1,123 @@
+#include "compiler/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ompi {
+namespace {
+
+std::vector<Token> lex(std::string_view src, DiagEngine& d) {
+  Lexer lx(src, d);
+  return lx.lex_all();
+}
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagEngine d;
+  auto toks = lex(src, d);
+  EXPECT_TRUE(d.ok()) << d.render_all();
+  return toks;
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto t = lex_ok("int foo while whilex");
+  ASSERT_EQ(t.size(), 5u);  // incl. End
+  EXPECT_EQ(t[0].kind, Tok::KwInt);
+  EXPECT_EQ(t[1].kind, Tok::Ident);
+  EXPECT_EQ(t[1].text, "foo");
+  EXPECT_EQ(t[2].kind, Tok::KwWhile);
+  EXPECT_EQ(t[3].kind, Tok::Ident);
+  EXPECT_EQ(t[3].text, "whilex");
+}
+
+TEST(Lexer, IntegerAndFloatLiterals) {
+  auto t = lex_ok("42 3.5 1e3 2.5f 7L");
+  EXPECT_EQ(t[0].kind, Tok::IntLit);
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(t[1].float_value, 3.5);
+  EXPECT_EQ(t[2].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(t[2].float_value, 1000.0);
+  EXPECT_EQ(t[3].kind, Tok::FloatLit);
+  EXPECT_EQ(t[4].kind, Tok::IntLit);
+  EXPECT_EQ(t[4].int_value, 7);
+}
+
+TEST(Lexer, HexLiterals) {
+  auto t = lex_ok("0x1F 0xff");
+  EXPECT_EQ(t[0].kind, Tok::IntLit);
+  EXPECT_EQ(t[0].int_value, 31);
+  EXPECT_EQ(t[1].int_value, 255);
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto t = lex_ok("a<<=b >>= ++ -- <= >= == != && || -> +=");
+  EXPECT_EQ(t[1].kind, Tok::ShlAssign);
+  EXPECT_EQ(t[3].kind, Tok::ShrAssign);
+  EXPECT_EQ(t[4].kind, Tok::PlusPlus);
+  EXPECT_EQ(t[5].kind, Tok::MinusMinus);
+  EXPECT_EQ(t[6].kind, Tok::Le);
+  EXPECT_EQ(t[7].kind, Tok::Ge);
+  EXPECT_EQ(t[8].kind, Tok::EqEq);
+  EXPECT_EQ(t[9].kind, Tok::NotEq);
+  EXPECT_EQ(t[10].kind, Tok::AmpAmp);
+  EXPECT_EQ(t[11].kind, Tok::PipePipe);
+  EXPECT_EQ(t[12].kind, Tok::Arrow);
+  EXPECT_EQ(t[13].kind, Tok::PlusAssign);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto t = lex_ok("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(Lexer, StringEscapes) {
+  auto t = lex_ok("\"x[0] = %d\\n\"");
+  EXPECT_EQ(t[0].kind, Tok::StrLit);
+  EXPECT_EQ(t[0].text, "x[0] = %d\n");
+}
+
+TEST(Lexer, CharLiterals) {
+  auto t = lex_ok("'a' '\\n'");
+  EXPECT_EQ(t[0].int_value, 'a');
+  EXPECT_EQ(t[1].int_value, '\n');
+}
+
+TEST(Lexer, PragmaBecomesOneToken) {
+  auto t = lex_ok("int x;\n#pragma omp target map(tofrom: x)\nx = 1;");
+  size_t pragma_idx = 0;
+  for (size_t i = 0; i < t.size(); ++i)
+    if (t[i].kind == Tok::Pragma) pragma_idx = i;
+  ASSERT_GT(pragma_idx, 0u);
+  EXPECT_EQ(t[pragma_idx].text, "omp target map(tofrom: x)");
+}
+
+TEST(Lexer, PragmaLineContinuation) {
+  auto t = lex_ok("#pragma omp target map(to: a) \\\n  map(from: b)\nint x;");
+  ASSERT_EQ(t[0].kind, Tok::Pragma);
+  EXPECT_NE(t[0].text.find("map(from: b)"), std::string::npos);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto t = lex_ok("a\nb\n  c");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[1].loc.line, 2u);
+  EXPECT_EQ(t[2].loc.line, 3u);
+  EXPECT_EQ(t[2].loc.col, 3u);
+}
+
+TEST(Lexer, RejectsNonPragmaPreprocessor) {
+  DiagEngine d;
+  lex("#include <stdio.h>\nint x;", d);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(Lexer, UnterminatedStringReported) {
+  DiagEngine d;
+  lex("\"abc", d);
+  EXPECT_FALSE(d.ok());
+}
+
+}  // namespace
+}  // namespace ompi

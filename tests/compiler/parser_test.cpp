@@ -1,0 +1,247 @@
+#include "compiler/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+
+namespace ompi {
+namespace {
+
+struct Parsed {
+  Arena arena;
+  DiagEngine diags;
+  TranslationUnit* unit = nullptr;
+};
+
+std::unique_ptr<Parsed> parse(std::string_view src) {
+  auto p = std::make_unique<Parsed>();
+  p->unit = parse_source(src, p->arena, p->diags);
+  return p;
+}
+
+TEST(Parser, FunctionWithParams) {
+  auto p = parse("void saxpy(float a, float x[], float *y, int n) { }");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  ASSERT_EQ(p->unit->functions.size(), 1u);
+  const FuncDecl* fn = p->unit->functions[0];
+  EXPECT_EQ(fn->name, "saxpy");
+  ASSERT_EQ(fn->params.size(), 4u);
+  EXPECT_EQ(fn->params[0]->type->kind, Type::Kind::Float);
+  // Array parameters decay to pointers.
+  EXPECT_EQ(fn->params[1]->type->kind, Type::Kind::Ptr);
+  EXPECT_EQ(fn->params[2]->type->kind, Type::Kind::Ptr);
+  EXPECT_EQ(fn->params[3]->type->kind, Type::Kind::Int);
+}
+
+TEST(Parser, GlobalsAndArrays) {
+  auto p = parse("int n = 10;\nfloat grid[4][8];\nunsigned long big;");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  ASSERT_EQ(p->unit->globals.size(), 3u);
+  EXPECT_EQ(p->unit->globals[0]->init->int_value, 10);
+  const Type* g = p->unit->globals[1]->type;
+  ASSERT_EQ(g->kind, Type::Kind::Array);
+  EXPECT_EQ(g->array_size, 4);
+  EXPECT_EQ(g->elem->kind, Type::Kind::Array);
+  EXPECT_EQ(g->elem->array_size, 8);
+  EXPECT_TRUE(p->unit->globals[2]->type->is_unsigned);
+  EXPECT_EQ(p->unit->globals[2]->type->kind, Type::Kind::Long);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto p = parse("int f(void) { return 1 + 2 * 3 < 4 && 5 | 6; }");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* ret = p->unit->functions[0]->body->body[0];
+  // Top level must be &&.
+  ASSERT_EQ(ret->expr->kind, Expr::Kind::Binary);
+  EXPECT_EQ(ret->expr->bin_op, BinOp::LogAnd);
+  // Left of && is (1 + 2*3) < 4.
+  EXPECT_EQ(ret->expr->lhs->bin_op, BinOp::Lt);
+  EXPECT_EQ(ret->expr->lhs->lhs->bin_op, BinOp::Add);
+  EXPECT_EQ(ret->expr->lhs->lhs->rhs->bin_op, BinOp::Mul);
+  // Right of && is 5 | 6.
+  EXPECT_EQ(ret->expr->rhs->bin_op, BinOp::BitOr);
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto p = parse(R"(
+    int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) {
+        if (i % 2 == 0) continue;
+        s += i;
+        if (s > 100) break;
+      }
+      while (s > 0) s--;
+      do { s++; } while (s < 3);
+      return s;
+    })");
+  EXPECT_TRUE(p->diags.ok()) << p->diags.render_all();
+}
+
+TEST(Parser, CastsSizeofConditional) {
+  auto p = parse(
+      "int f(float x) { int a = (int)x; long b = sizeof(double); "
+      "return a > 0 ? a : (int)b; }");
+  EXPECT_TRUE(p->diags.ok()) << p->diags.render_all();
+}
+
+TEST(Parser, TargetPragmaWithMapClauses) {
+  auto p = parse(R"(
+    void f(float x[], float y[], int n) {
+      float a = 2.0f;
+      #pragma omp target map(to: a, n, x[0:n]) map(tofrom: y[0:n])
+      {
+        int i = 0;
+        i = i + 1;
+      }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* body = p->unit->functions[0]->body;
+  const Stmt* omp = body->body[1];
+  ASSERT_EQ(omp->kind, Stmt::Kind::Omp);
+  EXPECT_EQ(omp->omp_dir, OmpDir::Target);
+  ASSERT_EQ(omp->omp_clauses.size(), 2u);
+  const OmpClause& m0 = omp->omp_clauses[0];
+  ASSERT_EQ(m0.items.size(), 3u);
+  EXPECT_EQ(m0.items[0].name, "a");
+  EXPECT_EQ(m0.items[0].map_type, OmpMapType::To);
+  EXPECT_EQ(m0.items[2].name, "x");
+  ASSERT_NE(m0.items[2].section_len, nullptr);
+  const OmpClause& m1 = omp->omp_clauses[1];
+  EXPECT_EQ(m1.items[0].map_type, OmpMapType::ToFrom);
+  ASSERT_NE(omp->omp_body, nullptr);
+}
+
+TEST(Parser, CombinedConstructRecognized) {
+  auto p = parse(R"(
+    void f(float y[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) num_teams(8) num_threads(256) collapse(1)
+      for (int i = 0; i < n; i++)
+        y[i] = 0;
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  EXPECT_EQ(omp->omp_dir, OmpDir::TargetTeamsDistributeParallelFor);
+  EXPECT_NE(omp->find_clause(OmpClause::Kind::NumTeams), nullptr);
+  EXPECT_NE(omp->find_clause(OmpClause::Kind::NumThreads), nullptr);
+  EXPECT_EQ(omp->find_clause(OmpClause::Kind::Collapse)->collapse_n, 1);
+  ASSERT_NE(omp->omp_body, nullptr);
+  EXPECT_EQ(omp->omp_body->kind, Stmt::Kind::For);
+}
+
+TEST(Parser, ScheduleClauseVariants) {
+  auto p = parse(R"(
+    void f(int n, float y[]) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) schedule(dynamic, 4)
+      for (int i = 0; i < n; i++) y[i] = 1;
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const OmpClause* s = p->unit->functions[0]->body->body[0]->find_clause(
+      OmpClause::Kind::Schedule);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->schedule, OmpSchedule::Dynamic);
+  ASSERT_NE(s->schedule_chunk, nullptr);
+  EXPECT_EQ(s->schedule_chunk->int_value, 4);
+}
+
+TEST(Parser, StandaloneDirectivesTakeNoBody) {
+  auto p = parse(R"(
+    void f(int n, float x[]) {
+      #pragma omp target enter data map(to: x[0:n])
+      #pragma omp target update from(x[0:n])
+      #pragma omp target exit data map(from: x[0:n])
+      n = n + 1;
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const auto& body = p->unit->functions[0]->body->body;
+  ASSERT_EQ(body.size(), 4u);
+  EXPECT_EQ(body[0]->omp_dir, OmpDir::TargetEnterData);
+  EXPECT_EQ(body[0]->omp_body, nullptr);
+  EXPECT_EQ(body[1]->omp_dir, OmpDir::TargetUpdate);
+  EXPECT_EQ(body[2]->omp_dir, OmpDir::TargetExitData);
+}
+
+TEST(Parser, ParallelInsideTarget) {
+  auto p = parse(R"(
+    void f(int x[]) {
+      #pragma omp target map(tofrom: x[0:96])
+      {
+        int i = 2;
+        #pragma omp parallel num_threads(96)
+        {
+          x[omp_get_thread_num()] = i + 1;
+        }
+      }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* target = p->unit->functions[0]->body->body[0];
+  const Stmt* par = target->omp_body->body[1];
+  ASSERT_EQ(par->kind, Stmt::Kind::Omp);
+  EXPECT_EQ(par->omp_dir, OmpDir::Parallel);
+  EXPECT_NE(par->find_clause(OmpClause::Kind::NumThreads), nullptr);
+}
+
+TEST(Parser, CriticalWithName) {
+  auto p = parse(R"(
+    void f(int x[]) {
+      #pragma omp target map(tofrom: x[0:4])
+      {
+        #pragma omp parallel
+        {
+          #pragma omp critical (upd)
+          { x[0] = x[0] + 1; }
+        }
+      }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+}
+
+TEST(Parser, DeclareTargetMarksFunctions) {
+  auto p = parse(R"(
+    #pragma omp declare target
+    int square(int v) { return v * v; }
+    #pragma omp end declare target
+    int other(int v) { return v; }
+  )");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  EXPECT_TRUE(p->unit->find_function("square")->declare_target);
+  EXPECT_FALSE(p->unit->find_function("other")->declare_target);
+}
+
+TEST(Parser, ReductionClause) {
+  auto p = parse(R"(
+    void f(float x[], int n, float s) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s) reduction(+: s)
+      for (int i = 0; i < n; i++) s += x[i];
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const OmpClause* r = p->unit->functions[0]->body->body[0]->find_clause(
+      OmpClause::Kind::Reduction);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->reduction_op, "+");
+  ASSERT_EQ(r->vars.size(), 1u);
+  EXPECT_EQ(r->vars[0], "s");
+}
+
+TEST(Parser, ErrorsRecoverAndReport) {
+  auto p = parse("int f() { int x = ; } int g(void) { return 1; }");
+  EXPECT_FALSE(p->diags.ok());
+  // g must survive the error in f.
+  EXPECT_NE(p->unit->find_function("g"), nullptr);
+}
+
+TEST(Parser, UnknownDirectiveReported) {
+  auto p = parse("void f(void) {\n#pragma omp teleport\n}");
+  EXPECT_FALSE(p->diags.ok());
+}
+
+TEST(Parser, UnknownClauseReported) {
+  auto p = parse("void f(void) {\n#pragma omp target gadget(3)\n{ }\n}");
+  EXPECT_FALSE(p->diags.ok());
+}
+
+}  // namespace
+}  // namespace ompi

@@ -1,0 +1,319 @@
+// GPU transformation set: outlining, parameter derivation, combined
+// construct lowering and the master/worker scheme (paper §3.1, §3.2).
+#include "compiler/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/str_util.h"
+#include "compiler/compiler.h"
+
+namespace ompi {
+namespace {
+
+struct Compiled {
+  Arena arena;
+  CompileOutput out;
+};
+
+std::unique_ptr<Compiled> compile_src(std::string_view src,
+                                      CompileOptions opts = {}) {
+  auto c = std::make_unique<Compiled>();
+  c->out = compile(src, opts, c->arena);
+  return c;
+}
+
+constexpr const char* kSaxpySrc = R"(
+void saxpy_device(float a, float x[], float y[], int size)
+{
+  #pragma omp target map(to: a, size, x[0:size]) map(tofrom: y[0:size])
+  {
+    #pragma omp parallel for
+    for (int i = 0; i < size; i++)
+      y[i] = a * x[i] + y[i];
+  }
+}
+)";
+
+constexpr const char* kCombinedSrc = R"(
+void scale(float y[], int n, float f)
+{
+  #pragma omp target teams distribute parallel for \
+          map(tofrom: y[0:n]) num_teams(8) num_threads(128)
+  for (int i = 0; i < n; i++)
+    y[i] = y[i] * f;
+}
+)";
+
+TEST(Transform, OutlinesOneKernelAndClearsHostBody) {
+  auto c = compile_src(kSaxpySrc);
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  ASSERT_EQ(c->out.kernels.size(), 1u);
+  const KernelInfo& k = c->out.kernels[0];
+  EXPECT_EQ(k.name, "_kernelFunc0_");
+  EXPECT_FALSE(k.combined);  // target + inner parallel for: master/worker
+
+  // The host AST node is annotated and its body moved away.
+  const Stmt* target = c->out.unit->functions[0]->body->body[0];
+  EXPECT_EQ(target->kernel_index, 0);
+  EXPECT_EQ(target->omp_body, nullptr);
+}
+
+TEST(Transform, KernelParamsFollowMapClauses) {
+  auto c = compile_src(kSaxpySrc);
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  const KernelInfo& k = c->out.kernels[0];
+  // Captured in order of first use: i is local; size, y, a, x are used.
+  ASSERT_EQ(k.params.size(), 4u);
+  std::map<std::string, const KernelParam*> by_name;
+  for (const KernelParam& p : k.params) by_name[p.name] = &p;
+  ASSERT_TRUE(by_name.count("a"));
+  ASSERT_TRUE(by_name.count("size"));
+  ASSERT_TRUE(by_name.count("x"));
+  ASSERT_TRUE(by_name.count("y"));
+  EXPECT_FALSE(by_name["a"]->is_pointer);  // scalar to: by value
+  EXPECT_FALSE(by_name["size"]->is_pointer);
+  EXPECT_TRUE(by_name["x"]->is_pointer);
+  EXPECT_TRUE(by_name["y"]->is_pointer);
+  EXPECT_EQ(by_name["y"]->map.map_type, OmpMapType::ToFrom);
+}
+
+TEST(Transform, ScalarToFromBecomesPointerParam) {
+  auto c = compile_src(R"(
+    void f(int n) {
+      int total = 0;
+      #pragma omp target map(tofrom: total) map(to: n)
+      {
+        total = n * 2;
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  const KernelInfo& k = c->out.kernels[0];
+  const KernelParam* total = nullptr;
+  for (const KernelParam& p : k.params)
+    if (p.name == "total") total = &p;
+  ASSERT_NE(total, nullptr);
+  EXPECT_TRUE(total->is_pointer);
+  EXPECT_TRUE(total->deref_in_body);
+}
+
+TEST(Transform, UnmappedPointerIsAnError) {
+  auto c = compile_src(R"(
+    void f(float *p) {
+      #pragma omp target
+      { p[0] = 1; }
+    })");
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("map"), std::string::npos);
+}
+
+TEST(Transform, CombinedConstructLowersToChunkCalls) {
+  auto c = compile_src(kCombinedSrc);
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  const KernelInfo& k = c->out.kernels[0];
+  EXPECT_TRUE(k.combined);
+  ASSERT_NE(k.num_teams, nullptr);
+  ASSERT_NE(k.num_threads, nullptr);
+  EXPECT_TRUE(k.thr_funcs.empty()) << "combined constructs skip the "
+                                      "master/worker scheme entirely";
+  // The generated kernel body calls the two-phase distribution.
+  std::string code = c->out.kernel_files[0].code;
+  EXPECT_NE(code.find("cudadev_combined_init"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_get_distribute_chunk2"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_get_static_chunk2"), std::string::npos);
+}
+
+TEST(Transform, SplitTargetTeamsFormsMergeIntoCombined) {
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      #pragma omp target map(tofrom: y[0:n])
+      {
+        #pragma omp teams distribute parallel for num_teams(4)
+        for (int i = 0; i < n; i++) y[i] = 1;
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_TRUE(c->out.kernels[0].combined);
+  EXPECT_NE(c->out.kernels[0].num_teams, nullptr);
+}
+
+TEST(Transform, MasterWorkerSchemeGenerated) {
+  auto c = compile_src(kSaxpySrc);
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  // Fig. 3b structure: master warp split, worker loop, exit.
+  EXPECT_NE(code.find("cudadev_in_masterwarp"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_is_masterthr"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_workerfunc"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_exit_target"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_register_parallel"), std::string::npos);
+  // The parallel for was outlined into a thread function.
+  ASSERT_EQ(c->out.kernels[0].thr_funcs.size(), 1u);
+  EXPECT_NE(code.find("_thrFunc0_0_"), std::string::npos);
+}
+
+TEST(Transform, SharedScalarUsesShmemStack) {
+  auto c = compile_src(R"(
+    void f(int x[]) {
+      #pragma omp target map(tofrom: x[0:96])
+      {
+        int i = 2;
+        #pragma omp parallel num_threads(96)
+        {
+          x[omp_get_thread_num()] = i + 1;
+        }
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  // Fig. 3b lines 17 and 23.
+  EXPECT_NE(code.find("cudadev_push_shmem(&i, sizeof(int))"),
+            std::string::npos);
+  EXPECT_NE(code.find("cudadev_pop_shmem(&i, sizeof(int))"),
+            std::string::npos);
+  EXPECT_NE(code.find("cudadev_register_parallel(_thrFunc0_0_"),
+            std::string::npos);
+}
+
+TEST(Transform, CollapseFlattensIterationSpace) {
+  auto c = compile_src(R"(
+    void f(float a[], int n, int m) {
+      #pragma omp target teams distribute parallel for collapse(2) \
+              map(tofrom: a[0:n]) num_threads(64)
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++)
+          a[i] = a[i] + j;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  // Reconstruction of i and j from the flattened iterator.
+  EXPECT_NE(code.find("/"), std::string::npos);
+  EXPECT_NE(code.find("%"), std::string::npos);
+  ASSERT_NE(c->out.kernels[0].total_iters, nullptr);
+}
+
+TEST(Transform, SchedulesLowerToMatchingRuntimeCalls) {
+  auto base = std::string(R"(
+    void f(float y[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) SCHED
+      for (int i = 0; i < n; i++) y[i] = 1;
+    })");
+  {
+    auto c = compile_src(
+        replace_all(base, "SCHED", "schedule(dynamic, 4)"));
+    ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+    EXPECT_NE(c->out.kernel_files[0].code.find("cudadev_get_dynamic_chunk2"),
+              std::string::npos);
+  }
+  {
+    auto c = compile_src(replace_all(base, "SCHED", "schedule(guided)"));
+    ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+    EXPECT_NE(c->out.kernel_files[0].code.find("cudadev_get_guided_chunk2"),
+              std::string::npos);
+  }
+  {
+    auto c = compile_src(replace_all(base, "SCHED", "schedule(static, 8)"));
+    ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+    EXPECT_NE(c->out.kernel_files[0].code.find("cudadev_get_static_chunk_k2"),
+              std::string::npos);
+  }
+}
+
+TEST(Transform, CallGraphInjectedIntoKernelFile) {
+  auto c = compile_src(R"(
+    int square(int v) { return v * v; }
+    int cube(int v) { return v * square(v); }
+    void f(int y[], int n) {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] = cube(i);
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  const KernelInfo& k = c->out.kernels[0];
+  ASSERT_EQ(k.called.size(), 2u);
+  // Callees before callers, so the file compiles without prototypes.
+  EXPECT_EQ(k.called[0]->name, "square");
+  EXPECT_EQ(k.called[1]->name, "cube");
+  std::string code = c->out.kernel_files[0].code;
+  size_t sq = code.find("__device__ int square");
+  size_t cb = code.find("__device__ int cube");
+  ASSERT_NE(sq, std::string::npos);
+  ASSERT_NE(cb, std::string::npos);
+  EXPECT_LT(sq, cb);
+}
+
+TEST(Transform, SectionsSingleBarrierCriticalLowered) {
+  auto c = compile_src(R"(
+    void f(int x[]) {
+      #pragma omp target map(tofrom: x[0:8])
+      {
+        #pragma omp parallel num_threads(8)
+        {
+          #pragma omp sections
+          {
+            #pragma omp section
+            { x[0] = 1; }
+            #pragma omp section
+            { x[1] = 2; }
+          }
+          #pragma omp barrier
+          #pragma omp single
+          { x[2] = 3; }
+          #pragma omp critical (upd)
+          { x[3] = x[3] + 1; }
+        }
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  EXPECT_NE(code.find("cudadev_sections_begin(2)"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_sections_next"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_barrier"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_single_begin"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_critical_enter(\"upd\")"), std::string::npos);
+}
+
+TEST(Transform, TwoTargetsMakeTwoKernels) {
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++) y[i] = 1;
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++) y[i] = y[i] + 1;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  ASSERT_EQ(c->out.kernels.size(), 2u);
+  EXPECT_EQ(c->out.kernels[1].name, "_kernelFunc1_");
+  EXPECT_EQ(c->out.kernel_files.size(), 2u);
+}
+
+TEST(Transform, NestedParallelRejected) {
+  auto c = compile_src(R"(
+    void f(int x[]) {
+      #pragma omp target map(tofrom: x[0:8])
+      {
+        #pragma omp parallel
+        {
+          #pragma omp parallel
+          { x[0] = 1; }
+        }
+      }
+    })");
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("nested parallel"), std::string::npos);
+}
+
+TEST(Transform, NonCanonicalLoopRejected) {
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i += 2) y[i] = 1;
+    })");
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("unit increment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ompi

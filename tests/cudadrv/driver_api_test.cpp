@@ -1,0 +1,192 @@
+// Driver-API facade behaviour: init, discovery, contexts, memory, launch,
+// events. Each test starts from a pristine driver.
+#include "cudadrv/cuda.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace cudadrv {
+namespace {
+
+class DriverApi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+  }
+  void TearDown() override { cuSimReset(); }
+};
+
+TEST_F(DriverApi, CallsBeforeInitFail) {
+  int n = 0;
+  EXPECT_EQ(cuDeviceGetCount(&n), CUDA_ERROR_NOT_INITIALIZED);
+  CUdeviceptr p = 0;
+  EXPECT_EQ(cuMemAlloc(&p, 16), CUDA_ERROR_NOT_INITIALIZED);
+}
+
+TEST_F(DriverApi, InitAndDiscoverSingleMaxwellDevice) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  int n = 0;
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  EXPECT_EQ(n, 1);
+
+  CUdevice dev = -1;
+  ASSERT_EQ(cuDeviceGet(&dev, 0), CUDA_SUCCESS);
+  char name[128];
+  ASSERT_EQ(cuDeviceGetName(name, sizeof name, dev), CUDA_SUCCESS);
+  EXPECT_NE(std::strstr(name, "Jetson Nano"), nullptr);
+
+  int major = 0, minor = 0, warp = 0, sms = 0;
+  cuDeviceGetAttribute(&major, CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MAJOR,
+                       dev);
+  cuDeviceGetAttribute(&minor, CU_DEVICE_ATTRIBUTE_COMPUTE_CAPABILITY_MINOR,
+                       dev);
+  cuDeviceGetAttribute(&warp, CU_DEVICE_ATTRIBUTE_WARP_SIZE, dev);
+  cuDeviceGetAttribute(&sms, CU_DEVICE_ATTRIBUTE_MULTIPROCESSOR_COUNT, dev);
+  EXPECT_EQ(major, 5);
+  EXPECT_EQ(minor, 3);
+  EXPECT_EQ(warp, 32);
+  EXPECT_EQ(sms, 1);
+
+  std::size_t total = 0;
+  ASSERT_EQ(cuDeviceTotalMem(&total, dev), CUDA_SUCCESS);
+  EXPECT_EQ(total, std::size_t(2) << 30);  // the 2GB board
+}
+
+TEST_F(DriverApi, InvalidDeviceOrdinalRejected) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUdevice dev;
+  EXPECT_EQ(cuDeviceGet(&dev, 5), CUDA_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(cuDeviceGet(&dev, -1), CUDA_ERROR_INVALID_DEVICE);
+}
+
+TEST_F(DriverApi, ContextLifecycle) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx = nullptr;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUcontext cur = nullptr;
+  ASSERT_EQ(cuCtxGetCurrent(&cur), CUDA_SUCCESS);
+  EXPECT_EQ(cur, ctx);
+  EXPECT_EQ(cuCtxSynchronize(), CUDA_SUCCESS);
+  ASSERT_EQ(cuCtxDestroy(ctx), CUDA_SUCCESS);
+  EXPECT_EQ(cuCtxSynchronize(), CUDA_ERROR_INVALID_CONTEXT);
+  EXPECT_EQ(cuCtxDestroy(ctx), CUDA_ERROR_INVALID_CONTEXT);
+}
+
+TEST_F(DriverApi, MemoryWithoutContextFails) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUdeviceptr p = 0;
+  EXPECT_EQ(cuMemAlloc(&p, 64), CUDA_ERROR_INVALID_CONTEXT);
+}
+
+TEST_F(DriverApi, AllocTransferFreeRoundTrip) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+
+  std::vector<float> host(256);
+  for (int i = 0; i < 256; ++i) host[i] = static_cast<float>(i) * 0.5f;
+
+  CUdeviceptr dptr = 0;
+  ASSERT_EQ(cuMemAlloc(&dptr, 256 * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(dptr, host.data(), 256 * sizeof(float)),
+            CUDA_SUCCESS);
+
+  std::vector<float> back(256, 0.0f);
+  ASSERT_EQ(cuMemcpyDtoH(back.data(), dptr, 256 * sizeof(float)),
+            CUDA_SUCCESS);
+  EXPECT_EQ(back, host);
+
+  ASSERT_EQ(cuMemFree(dptr), CUDA_SUCCESS);
+  EXPECT_EQ(cuMemFree(dptr), CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(DriverApi, DtoDAndMemset) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUdeviceptr a = 0, b = 0;
+  ASSERT_EQ(cuMemAlloc(&a, 64), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemAlloc(&b, 64), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemsetD8(a, 0x5A, 64), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyDtoD(b, a, 64), CUDA_SUCCESS);
+  unsigned char host[64];
+  ASSERT_EQ(cuMemcpyDtoH(host, b, 64), CUDA_SUCCESS);
+  for (unsigned char c : host) EXPECT_EQ(c, 0x5A);
+}
+
+TEST_F(DriverApi, OversizedCopyRejected) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUdeviceptr a = 0;
+  ASSERT_EQ(cuMemAlloc(&a, 16), CUDA_SUCCESS);
+  char buf[32] = {};
+  EXPECT_EQ(cuMemcpyHtoD(a, buf, 32), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemcpyDtoH(buf, a, 32), CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(DriverApi, MemGetInfoTracksAllocations) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  std::size_t free0 = 0, total = 0;
+  ASSERT_EQ(cuMemGetInfo(&free0, &total), CUDA_SUCCESS);
+  CUdeviceptr p = 0;
+  ASSERT_EQ(cuMemAlloc(&p, 1 << 20), CUDA_SUCCESS);
+  std::size_t free1 = 0;
+  ASSERT_EQ(cuMemGetInfo(&free1, &total), CUDA_SUCCESS);
+  EXPECT_EQ(free0 - free1, std::size_t(1) << 20);
+}
+
+TEST_F(DriverApi, MemcpyAdvancesModeledClock) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUdeviceptr p = 0;
+  ASSERT_EQ(cuMemAlloc(&p, 1 << 20), CUDA_SUCCESS);
+  std::vector<char> buf(1 << 20, 1);
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(cuMemcpyHtoD(p, buf.data(), buf.size()), CUDA_SUCCESS);
+  double dt = cuSimDevice().now() - t0;
+  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  double expect = c.memcpy_overhead_s + buf.size() / c.memcpy_bandwidth;
+  EXPECT_NEAR(dt, expect, expect * 1e-9);
+}
+
+TEST_F(DriverApi, EventsMeasureModeledTime) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUevent start, stop;
+  ASSERT_EQ(cuEventCreate(&start, 0), CUDA_SUCCESS);
+  ASSERT_EQ(cuEventCreate(&stop, 0), CUDA_SUCCESS);
+  ASSERT_EQ(cuEventRecord(start, nullptr), CUDA_SUCCESS);
+  cuSimDevice().advance_time(2.5e-3);
+  ASSERT_EQ(cuEventRecord(stop, nullptr), CUDA_SUCCESS);
+  float ms = 0;
+  ASSERT_EQ(cuEventElapsedTime(&ms, start, stop), CUDA_SUCCESS);
+  EXPECT_NEAR(ms, 2.5f, 1e-4f);
+}
+
+TEST_F(DriverApi, ElapsedTimeRequiresRecordedEvents) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUevent a, b;
+  ASSERT_EQ(cuEventCreate(&a, 0), CUDA_SUCCESS);
+  ASSERT_EQ(cuEventCreate(&b, 0), CUDA_SUCCESS);
+  float ms;
+  EXPECT_EQ(cuEventElapsedTime(&ms, a, b), CUDA_ERROR_INVALID_HANDLE);
+}
+
+TEST_F(DriverApi, ErrorNamesAreStable) {
+  EXPECT_STREQ(cuResultName(CUDA_SUCCESS), "CUDA_SUCCESS");
+  EXPECT_STREQ(cuResultName(CUDA_ERROR_FILE_NOT_FOUND),
+               "CUDA_ERROR_FILE_NOT_FOUND");
+}
+
+}  // namespace
+}  // namespace cudadrv

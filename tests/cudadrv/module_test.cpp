@@ -1,0 +1,225 @@
+// Module loading (PTX JIT + disk cache vs cubin, paper §3.3) and kernel
+// launch through cuLaunchKernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudadrv/cuda.h"
+
+namespace cudadrv {
+namespace {
+
+class ModuleApi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+    ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+    ASSERT_EQ(cuCtxCreate(&ctx_, 0, 0), CUDA_SUCCESS);
+  }
+  void TearDown() override {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+  }
+
+  /// Installs a SAXPY kernel image under `path`.
+  void install_saxpy(const std::string& path, BinaryKind kind,
+                     std::size_t code_size = 8 * 1024) {
+    ModuleImage img;
+    img.path = path;
+    img.kind = kind;
+    img.code_size = code_size;
+    KernelImage k;
+    k.name = "saxpy";
+    k.param_count = 4;
+    k.entry = [](jetsim::KernelCtx& c, const ArgPack& args) {
+      float a = args.value<float>(0);
+      int n = args.value<int>(3);
+      int i = static_cast<int>(c.block_idx().x * c.block_dim().x +
+                               c.thread_idx().x);
+      if (i >= n) return;
+      float* x = args.pointer<float>(1, static_cast<std::size_t>(n));
+      float* y = args.pointer<float>(2, static_cast<std::size_t>(n));
+      c.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      c.charge_flops(2);
+      y[i] = a * x[i] + y[i];
+    };
+    img.add_kernel(std::move(k));
+    BinaryRegistry::instance().install(std::move(img));
+  }
+
+  CUcontext ctx_ = nullptr;
+};
+
+TEST_F(ModuleApi, LoadMissingFileFails) {
+  CUmodule mod;
+  EXPECT_EQ(cuModuleLoad(&mod, "nope.cubin"), CUDA_ERROR_FILE_NOT_FOUND);
+}
+
+TEST_F(ModuleApi, GetFunctionByName) {
+  install_saxpy("saxpy_kernels.cubin", BinaryKind::Cubin);
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "saxpy_kernels.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  EXPECT_EQ(cuModuleGetFunction(&fn, mod, "saxpy"), CUDA_SUCCESS);
+  EXPECT_EQ(cuModuleGetFunction(&fn, mod, "missing"), CUDA_ERROR_NOT_FOUND);
+  EXPECT_EQ(cuModuleUnload(mod), CUDA_SUCCESS);
+  EXPECT_EQ(cuModuleUnload(mod), CUDA_ERROR_INVALID_HANDLE);
+}
+
+TEST_F(ModuleApi, SaxpyEndToEnd) {
+  install_saxpy("saxpy_kernels.cubin", BinaryKind::Cubin);
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "saxpy_kernels.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  ASSERT_EQ(cuModuleGetFunction(&fn, mod, "saxpy"), CUDA_SUCCESS);
+
+  const int n = 1000;
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i);
+    y[i] = 1.0f;
+  }
+  CUdeviceptr dx, dy;
+  ASSERT_EQ(cuMemAlloc(&dx, n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemAlloc(&dy, n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(dx, x.data(), n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(dy, y.data(), n * sizeof(float)), CUDA_SUCCESS);
+
+  float a = 2.0f;
+  int np = n;
+  void* params[] = {&a, &dx, &dy, &np};
+  unsigned blocks = (n + 127) / 128;
+  ASSERT_EQ(cuLaunchKernel(fn, blocks, 1, 1, 128, 1, 1, 0, nullptr, params,
+                           nullptr),
+            CUDA_SUCCESS);
+
+  ASSERT_EQ(cuMemcpyDtoH(y.data(), dy, n * sizeof(float)), CUDA_SUCCESS);
+  for (int i = 0; i < n; ++i)
+    ASSERT_FLOAT_EQ(y[i], 2.0f * i + 1.0f) << "i=" << i;
+}
+
+TEST_F(ModuleApi, PtxJitIsExpensiveOnceThenCached) {
+  install_saxpy("saxpy_kernels.ptx", BinaryKind::Ptx, 16 * 1024);
+  const jetsim::DriverCosts& c = cuSimDriverCosts();
+
+  CUmodule mod;
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(cuModuleLoad(&mod, "saxpy_kernels.ptx"), CUDA_SUCCESS);
+  double cold = cuSimDevice().now() - t0;
+  EXPECT_NEAR(cold, 16.0 * c.jit_compile_s_per_kb, 1e-12);
+
+  t0 = cuSimDevice().now();
+  CUmodule mod2;
+  ASSERT_EQ(cuModuleLoad(&mod2, "saxpy_kernels.ptx"), CUDA_SUCCESS);
+  double warm = cuSimDevice().now() - t0;
+  EXPECT_NEAR(warm, 16.0 * c.jit_cache_hit_s_per_kb, 1e-12);
+  EXPECT_LT(warm, cold / 10);
+}
+
+TEST_F(ModuleApi, JitCacheCanBeCleared) {
+  install_saxpy("k.ptx", BinaryKind::Ptx, 8 * 1024);
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "k.ptx"), CUDA_SUCCESS);
+  cuSimClearJitCache();
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(cuModuleLoad(&mod, "k.ptx"), CUDA_SUCCESS);
+  double dt = cuSimDevice().now() - t0;
+  EXPECT_NEAR(dt, 8.0 * cuSimDriverCosts().jit_compile_s_per_kb, 1e-12);
+}
+
+TEST_F(ModuleApi, CubinLoadsFasterThanColdJit) {
+  install_saxpy("a.ptx", BinaryKind::Ptx, 8 * 1024);
+  install_saxpy("a.cubin", BinaryKind::Cubin, 24 * 1024);  // cubins are larger
+
+  CUmodule mod;
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(cuModuleLoad(&mod, "a.cubin"), CUDA_SUCCESS);
+  double cubin_t = cuSimDevice().now() - t0;
+
+  t0 = cuSimDevice().now();
+  ASSERT_EQ(cuModuleLoad(&mod, "a.ptx"), CUDA_SUCCESS);
+  double jit_t = cuSimDevice().now() - t0;
+  EXPECT_LT(cubin_t, jit_t);
+}
+
+TEST_F(ModuleApi, LaunchValidatesGeometry) {
+  install_saxpy("s.cubin", BinaryKind::Cubin);
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "s.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  ASSERT_EQ(cuModuleGetFunction(&fn, mod, "saxpy"), CUDA_SUCCESS);
+  float a = 1.0f;
+  CUdeviceptr dx = 0, dy = 0;
+  int n = 0;
+  void* params[] = {&a, &dx, &dy, &n};
+  EXPECT_EQ(
+      cuLaunchKernel(fn, 0, 1, 1, 128, 1, 1, 0, nullptr, params, nullptr),
+      CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuLaunchKernel(fn, 1, 1, 1, 0, 1, 1, 0, nullptr, params, nullptr),
+            CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuLaunchKernel(nullptr, 1, 1, 1, 1, 1, 1, 0, nullptr, params,
+                           nullptr),
+            CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(ModuleApi, LaunchChargesOverheadAndKernelTime) {
+  install_saxpy("s.cubin", BinaryKind::Cubin);
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "s.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  ASSERT_EQ(cuModuleGetFunction(&fn, mod, "saxpy"), CUDA_SUCCESS);
+
+  const int n = 4096;
+  CUdeviceptr dx, dy;
+  ASSERT_EQ(cuMemAlloc(&dx, n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemAlloc(&dy, n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemsetD8(dx, 0, n * sizeof(float)), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemsetD8(dy, 0, n * sizeof(float)), CUDA_SUCCESS);
+  float a = 1.0f;
+  int np = n;
+  void* params[] = {&a, &dx, &dy, &np};
+
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(
+      cuLaunchKernel(fn, n / 128, 1, 1, 128, 1, 1, 0, nullptr, params,
+                     nullptr),
+      CUDA_SUCCESS);
+  double dt = cuSimDevice().now() - t0;
+  // At least the fixed launch overhead plus some kernel time.
+  EXPECT_GT(dt, cuSimDriverCosts().launch_overhead_s);
+  ASSERT_EQ(cuSimDevice().launch_log().size(), 1u);
+  EXPECT_EQ(cuSimDevice().launch_log()[0].kernel_name, "saxpy");
+}
+
+TEST_F(ModuleApi, ModelOnlyModePropagatesToKernels) {
+  ModuleImage img;
+  img.path = "m.cubin";
+  KernelImage k;
+  k.name = "probe";
+  k.param_count = 1;
+  k.entry = [](jetsim::KernelCtx& c, const ArgPack& args) {
+    *args.pointer<int>(0) = c.model_only() ? 1 : 0;
+  };
+  img.add_kernel(std::move(k));
+  BinaryRegistry::instance().install(std::move(img));
+
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "m.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  ASSERT_EQ(cuModuleGetFunction(&fn, mod, "probe"), CUDA_SUCCESS);
+  CUdeviceptr out;
+  ASSERT_EQ(cuMemAlloc(&out, sizeof(int)), CUDA_SUCCESS);
+  void* params[] = {&out};
+
+  cuSimSetModelOnly(true);
+  ASSERT_EQ(cuLaunchKernel(fn, 1, 1, 1, 1, 1, 1, 0, nullptr, params, nullptr),
+            CUDA_SUCCESS);
+  int flag = 0;
+  ASSERT_EQ(cuMemcpyDtoH(&flag, out, sizeof(int)), CUDA_SUCCESS);
+  EXPECT_EQ(flag, 1);
+  cuSimSetModelOnly(false);
+}
+
+}  // namespace
+}  // namespace cudadrv

@@ -1,0 +1,314 @@
+// The master/worker scheme of paper §3.2: registration of outlined
+// thread functions, B1/B2 protocol, shared-memory stack and the Fig. 3
+// example end to end.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::Dim3;
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig mw_config(unsigned teams = 1) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  cfg.kernel_name = "mw_kernel";
+  return cfg;
+}
+
+/// Runs `master_body` under the full master/worker kernel skeleton that
+/// the compiler generates (Fig. 3b).
+template <typename MasterBody>
+void run_mw(jetsim::Device& dev, MasterBody master_body, unsigned teams = 1) {
+  dev.launch(mw_config(teams), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;  // 31 masked master-warp lanes
+      master_body(ctx);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+}
+
+// --- Fig. 3 of the paper, executed end to end --------------------------
+
+struct Fig3Vars {
+  int* i;
+  int (*x)[96];
+};
+
+void fig3_thrfunc(KernelCtx& ctx, void* vp) {
+  auto* vars = static_cast<Fig3Vars*>(vp);
+  (*vars->x)[omp_thread_num(ctx)] = *vars->i + 1;
+}
+
+TEST(MasterWorker, Fig3ParallelRegionInsideTarget) {
+  jetsim::Device dev;
+  uint64_t dx = dev.malloc(96 * sizeof(int));
+  auto* x = reinterpret_cast<int(*)[96]>(dev.ptr<int>(dx, 96));
+
+  run_mw(dev, [&](KernelCtx& ctx) {
+    int i = 2;
+    Fig3Vars vars;
+    vars.i = reinterpret_cast<int*>(push_shmem(ctx, &i, sizeof i));
+    vars.x = reinterpret_cast<int(*)[96]>(getaddr(x));
+    register_parallel(ctx, fig3_thrfunc, &vars, 96);
+    pop_shmem(ctx, &i, sizeof i);
+  });
+
+  EXPECT_EQ((*x)[0], 3);
+  EXPECT_EQ((*x)[95], 3);
+  for (int t = 0; t < 96; ++t) EXPECT_EQ((*x)[t], 3) << "t=" << t;
+  dev.free(dx);
+}
+
+// --- participation subsets ------------------------------------------------
+
+struct MarkVars {
+  int* hits;  // 96 slots
+};
+
+void mark_thrfunc(KernelCtx& ctx, void* vp) {
+  auto* vars = static_cast<MarkVars*>(vp);
+  vars->hits[omp_thread_num(ctx)] += 1;
+}
+
+class MWSubset : public ::testing::TestWithParam<int> {};
+
+TEST_P(MWSubset, ExactlyRequestedThreadsParticipate) {
+  const int n = GetParam();
+  jetsim::Device dev;
+  std::vector<int> hits(96, 0);
+  run_mw(dev, [&](KernelCtx& ctx) {
+    MarkVars vars{hits.data()};
+    register_parallel(ctx, mark_thrfunc, &vars, n);
+  });
+  for (int t = 0; t < 96; ++t)
+    EXPECT_EQ(hits[t], t < n ? 1 : 0) << "t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MWSubset,
+                         ::testing::Values(1, 2, 31, 32, 33, 40, 64, 95, 96));
+
+TEST(MasterWorker, DefaultNumThreadsIsAllWorkers) {
+  jetsim::Device dev;
+  std::vector<int> hits(96, 0);
+  run_mw(dev, [&](KernelCtx& ctx) {
+    MarkVars vars{hits.data()};
+    register_parallel(ctx, mark_thrfunc, &vars, /*num_threads=*/0);
+  });
+  for (int t = 0; t < 96; ++t) EXPECT_EQ(hits[t], 1);
+}
+
+TEST(MasterWorker, OversizedRequestClampsTo96) {
+  jetsim::Device dev;
+  std::vector<int> hits(96, 0);
+  int seen_nthr = 0;
+  struct V {
+    int* hits;
+    int* nthr;
+  } v{hits.data(), &seen_nthr};
+  run_mw(dev, [&](KernelCtx& ctx) {
+    register_parallel(
+        ctx,
+        [](KernelCtx& c, void* vp) {
+          auto* vv = static_cast<V*>(vp);
+          vv->hits[omp_thread_num(c)] += 1;
+          if (omp_thread_num(c) == 0) *vv->nthr = omp_num_threads(c);
+        },
+        &v, 500);
+  });
+  EXPECT_EQ(seen_nthr, 96);
+  for (int t = 0; t < 96; ++t) EXPECT_EQ(hits[t], 1);
+}
+
+// --- consecutive regions -------------------------------------------------
+
+TEST(MasterWorker, SequentialCodeInterleavesWithRegions) {
+  jetsim::Device dev;
+  std::vector<int> trace;
+  std::vector<int> hits(96, 0);
+  run_mw(dev, [&](KernelCtx& ctx) {
+    trace.push_back(-1);  // sequential, master only
+    MarkVars vars{hits.data()};
+    register_parallel(ctx, mark_thrfunc, &vars, 8);
+    trace.push_back(-2);
+    register_parallel(ctx, mark_thrfunc, &vars, 96);
+    trace.push_back(-3);
+  });
+  EXPECT_EQ(trace, (std::vector<int>{-1, -2, -3}));
+  for (int t = 0; t < 96; ++t) EXPECT_EQ(hits[t], t < 8 ? 2 : 1);
+}
+
+TEST(MasterWorker, ManyRegionsInLoop) {
+  jetsim::Device dev;
+  std::vector<int> hits(96, 0);
+  run_mw(dev, [&](KernelCtx& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      MarkVars vars{hits.data()};
+      register_parallel(ctx, mark_thrfunc, &vars, 96);
+    }
+  });
+  for (int t = 0; t < 96; ++t) EXPECT_EQ(hits[t], 20);
+}
+
+TEST(MasterWorker, EmptyTargetTerminatesWorkers) {
+  jetsim::Device dev;
+  run_mw(dev, [&](KernelCtx&) {});  // no regions at all
+  SUCCEED();  // reaching here means no deadlock
+}
+
+TEST(MasterWorker, MultipleTeamsRunIndependently) {
+  jetsim::Device dev;
+  std::vector<int> per_team(4 * 96, 0);
+  dev.launch(mw_config(4), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      struct V {
+        int* base;
+      } v{per_team.data() + omp_team_num(ctx) * 96};
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            static_cast<V*>(vp)->base[omp_thread_num(c)] += 1;
+          },
+          &v, 96);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  for (int i = 0; i < 4 * 96; ++i) EXPECT_EQ(per_team[i], 1) << i;
+}
+
+// --- mode-dependent queries ----------------------------------------------
+
+TEST(MasterWorker, OmpQueriesPerMode) {
+  jetsim::Device dev;
+  int seq_tid = -1, seq_nthr = -1;
+  int reg_nthr = -1;
+  run_mw(dev, [&](KernelCtx& ctx) {
+    seq_tid = omp_thread_num(ctx);    // sequential part: team of one
+    seq_nthr = omp_num_threads(ctx);
+    struct V {
+      int* nthr;
+    } v{&reg_nthr};
+    register_parallel(
+        ctx,
+        [](KernelCtx& c, void* vp) {
+          if (omp_thread_num(c) == 0)
+            *static_cast<V*>(vp)->nthr = omp_num_threads(c);
+        },
+        &v, 40);
+  });
+  EXPECT_EQ(seq_tid, 0);
+  EXPECT_EQ(seq_nthr, 1);
+  EXPECT_EQ(reg_nthr, 40);
+}
+
+// --- shared-memory stack ----------------------------------------------------
+
+TEST(ShmemStack, PushPopRoundTrip) {
+  jetsim::Device dev;
+  run_mw(dev, [&](KernelCtx& ctx) {
+    double d = 3.25;
+    int i = 7;
+    auto* dp = reinterpret_cast<double*>(push_shmem(ctx, &d, sizeof d));
+    auto* ip = reinterpret_cast<int*>(push_shmem(ctx, &i, sizeof i));
+    EXPECT_EQ(*dp, 3.25);
+    EXPECT_EQ(*ip, 7);
+    *dp = 6.5;  // region modifies the shared copy
+    *ip = 9;
+    pop_shmem(ctx, &i, sizeof i);
+    pop_shmem(ctx, &d, sizeof d);
+    EXPECT_EQ(i, 9);  // pop copies the updated value back
+    EXPECT_EQ(d, 6.5);
+  });
+}
+
+TEST(ShmemStack, PointersAreEightByteAligned) {
+  jetsim::Device dev;
+  run_mw(dev, [&](KernelCtx& ctx) {
+    char c = 'x';
+    push_shmem(ctx, &c, 1);
+    double d = 1.0;
+    auto* dp = push_shmem(ctx, &d, sizeof d);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(dp) % 8, 0u);
+    pop_shmem(ctx, &d, sizeof d);
+    pop_shmem(ctx, &c, 1);
+  });
+}
+
+TEST(ShmemStack, OverflowDetected) {
+  jetsim::Device dev;
+  std::vector<char> big(8 * 1024, 0);
+  EXPECT_THROW(run_mw(dev,
+                      [&](KernelCtx& ctx) {
+                        push_shmem(ctx, big.data(), big.size());
+                      }),
+               jetsim::SimError);
+}
+
+TEST(ShmemStack, UnderflowDetected) {
+  jetsim::Device dev;
+  EXPECT_THROW(run_mw(dev,
+                      [&](KernelCtx& ctx) {
+                        int i = 0;
+                        pop_shmem(ctx, &i, sizeof i);
+                      }),
+               jetsim::SimError);
+}
+
+TEST(ShmemStack, BalancedReuseAcrossRegions) {
+  jetsim::Device dev;
+  run_mw(dev, [&](KernelCtx& ctx) {
+    for (int r = 0; r < 200; ++r) {
+      long v = r;
+      auto* p = push_shmem(ctx, &v, sizeof v);
+      EXPECT_EQ(*reinterpret_cast<long*>(p), r);
+      pop_shmem(ctx, &v, sizeof v);
+    }
+  });
+}
+
+// --- misuse diagnostics ------------------------------------------------------
+
+TEST(MasterWorker, WorkerfuncFromMasterWarpThrows) {
+  jetsim::Device dev;
+  EXPECT_THROW(dev.launch(mw_config(),
+                          [&](KernelCtx& ctx) {
+                            target_init(ctx);
+                            workerfunc(ctx);  // every thread, incl. master
+                          }),
+               jetsim::SimError);
+}
+
+TEST(MasterWorker, WrongBlockShapeThrows) {
+  jetsim::Device dev;
+  LaunchConfig cfg = mw_config();
+  cfg.block = {64};
+  EXPECT_THROW(dev.launch(cfg, [&](KernelCtx& ctx) { target_init(ctx); }),
+               jetsim::SimError);
+}
+
+TEST(MasterWorker, MissingReservedShmemThrows) {
+  jetsim::Device dev;
+  LaunchConfig cfg = mw_config();
+  cfg.shared_mem = 0;
+  EXPECT_THROW(dev.launch(cfg, [&](KernelCtx& ctx) { target_init(ctx); }),
+               jetsim::SimError);
+}
+
+}  // namespace
+}  // namespace devrt

@@ -1,0 +1,186 @@
+// Stress and property tests for the master/worker protocol: long
+// pseudo-random sequences of regions with varying participant counts,
+// worksharing inside regions, and interleaved shmem-stack traffic. Any
+// protocol desynchronization shows up as a simulator deadlock.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig mw_config(unsigned teams = 1) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  cfg.kernel_name = "mw_stress";
+  return cfg;
+}
+
+/// Deterministic pseudo-random participant counts (no libc rand: runs
+/// must be reproducible inside the simulator).
+int lcg_next(unsigned& state) {
+  state = state * 1664525u + 1013904223u;
+  return static_cast<int>(state >> 16);
+}
+
+struct StressVars {
+  int* hits;        // 96 counters
+  long long* sum;   // accumulated thread ids
+  int n;            // participants of this region
+};
+
+void stress_region(KernelCtx& ctx, void* vp) {
+  auto* v = static_cast<StressVars*>(vp);
+  int tid = omp_thread_num(ctx);
+  v->hits[tid] += 1;
+  // Worksharing inside the region: cover [0, 4 * n) exactly once.
+  Chunk mine = get_static_chunk(ctx, 0, 4LL * v->n);
+  long long local = 0;
+  for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) local += 1;
+  barrier(ctx);
+  ctx.atomic_add(v->sum, local);
+}
+
+TEST(ProtocolStress, FiftyRegionsWithVaryingParticipants) {
+  jetsim::Device dev;
+  std::vector<int> hits(96, 0);
+  std::vector<int> expected(96, 0);
+  long long covered = 0, expected_covered = 0;
+  unsigned rng = 12345;
+
+  dev.launch(mw_config(), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      for (int round = 0; round < 50; ++round) {
+        int n = 1 + lcg_next(rng) % 96;
+        for (int t = 0; t < n; ++t) expected[t] += 1;
+        expected_covered += 4LL * n;
+        StressVars v{hits.data(), &covered, n};
+        register_parallel(ctx, &stress_region, &v, n);
+      }
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+
+  EXPECT_EQ(hits, expected);
+  EXPECT_EQ(covered, expected_covered);
+}
+
+TEST(ProtocolStress, ShmemStackSurvivesDeepRegionNestingSequence) {
+  // Push several shared scalars per region, regions back to back; the
+  // stack must return to its base each time (exact pops).
+  jetsim::Device dev;
+  int failures = 0;
+  dev.launch(mw_config(), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      for (int round = 0; round < 40; ++round) {
+        double d = round;
+        int i = round * 3;
+        char c = static_cast<char>(round);
+        auto* dp = push_shmem(ctx, &d, sizeof d);
+        auto* ip = push_shmem(ctx, &i, sizeof i);
+        auto* cp = push_shmem(ctx, &c, sizeof c);
+        if (*reinterpret_cast<double*>(dp) != round) ++failures;
+        if (*reinterpret_cast<int*>(ip) != round * 3) ++failures;
+        if (*reinterpret_cast<char*>(cp) != static_cast<char>(round))
+          ++failures;
+        pop_shmem(ctx, &c, sizeof c);
+        pop_shmem(ctx, &i, sizeof i);
+        pop_shmem(ctx, &d, sizeof d);
+      }
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+struct PingPongVars {
+  int* token;
+  int n;
+};
+
+void pingpong_region(KernelCtx& ctx, void* vp) {
+  auto* v = static_cast<PingPongVars*>(vp);
+  // Every participant increments under the critical lock, with barriers
+  // forcing full-region convergence in between.
+  critical_enter(ctx, "pp");
+  *v->token += 1;
+  critical_exit(ctx, "pp");
+  barrier(ctx);
+  if (omp_thread_num(ctx) == 0 && *v->token != v->n) *v->token = -999999;
+  barrier(ctx);
+}
+
+TEST(ProtocolStress, CriticalPlusBarrierConvergencePerRegion) {
+  jetsim::Device dev;
+  reset_globals();
+  int total = 0;
+  unsigned rng = 777;
+  int expected_total = 0;
+  dev.launch(mw_config(), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      for (int round = 0; round < 25; ++round) {
+        int n = 1 + lcg_next(rng) % 96;
+        int token = 0;
+        PingPongVars v{&token, n};
+        register_parallel(ctx, &pingpong_region, &v, n);
+        if (token == n) total += token;
+        expected_total += n;
+      }
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(total, expected_total);
+}
+
+TEST(ProtocolStress, ManyTeamsManyRegions) {
+  // 4 teams x 20 regions each; per-team shmem state must not leak
+  // across blocks.
+  jetsim::Device dev;
+  std::vector<long long> per_team(4, 0);
+  dev.launch(mw_config(4), [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      int team = omp_team_num(ctx);
+      for (int round = 0; round < 20; ++round) {
+        struct V {
+          long long* sum;
+        } v{&per_team[static_cast<std::size_t>(team)]};
+        register_parallel(
+            ctx,
+            [](KernelCtx& c, void* vp) {
+              auto* vv = static_cast<V*>(vp);
+              c.atomic_add(vv->sum, static_cast<long long>(1));
+            },
+            &v, 96);
+      }
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  for (long long s : per_team) EXPECT_EQ(s, 20 * 96);
+}
+
+}  // namespace
+}  // namespace devrt

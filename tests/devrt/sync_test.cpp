@@ -1,0 +1,270 @@
+// Synchronization features of the device library (paper §4.2.2):
+// sections, single, critical/locks and the region barrier with the
+// warp-multiple rounding rule.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig combined_config(unsigned teams, unsigned threads) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {threads};
+  cfg.shared_mem = reserved_shmem();
+  return cfg;
+}
+
+class SyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_globals(); }
+};
+
+// --- sections ----------------------------------------------------------
+
+TEST_F(SyncTest, EachSectionExecutedExactlyOnce) {
+  jetsim::Device dev;
+  std::vector<int> executed(10, 0);
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    sections_begin(ctx, 10);
+    for (;;) {
+      int s = sections_next(ctx);
+      if (s < 0) break;
+      executed[s] += 1;
+    }
+    sections_end(ctx, false);
+  });
+  for (int s = 0; s < 10; ++s) EXPECT_EQ(executed[s], 1) << "s=" << s;
+}
+
+TEST_F(SyncTest, MoreSectionsThanThreads) {
+  jetsim::Device dev;
+  std::vector<int> executed(100, 0);
+  dev.launch(combined_config(1, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    sections_begin(ctx, 100);
+    for (;;) {
+      int s = sections_next(ctx);
+      if (s < 0) break;
+      executed[s] += 1;
+    }
+    sections_end(ctx, false);
+  });
+  for (int s = 0; s < 100; ++s) EXPECT_EQ(executed[s], 1);
+}
+
+TEST_F(SyncTest, SectionsSpreadAcrossWarps) {
+  // With 4 warps and 4 sections, no warp should execute two sections
+  // while another executes none (the paper's divergence-avoidance rule).
+  jetsim::Device dev;
+  std::vector<int> warp_of_section(4, -1);
+  dev.launch(combined_config(1, 128), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    sections_begin(ctx, 4);
+    for (;;) {
+      int s = sections_next(ctx);
+      if (s < 0) break;
+      warp_of_section[s] = ctx.warp_id();
+    }
+    sections_end(ctx, false);
+  });
+  std::set<int> warps(warp_of_section.begin(), warp_of_section.end());
+  EXPECT_EQ(warps.size(), 4u) << "sections should land on distinct warps";
+}
+
+TEST_F(SyncTest, BackToBackSectionsBlocks) {
+  jetsim::Device dev;
+  std::vector<int> first(5, 0), second(7, 0);
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    sections_begin(ctx, 5);
+    for (;;) {
+      int s = sections_next(ctx);
+      if (s < 0) break;
+      first[s] += 1;
+    }
+    sections_end(ctx, false);
+    sections_begin(ctx, 7);
+    for (;;) {
+      int s = sections_next(ctx);
+      if (s < 0) break;
+      second[s] += 1;
+    }
+    sections_end(ctx, false);
+  });
+  for (int v : first) EXPECT_EQ(v, 1);
+  for (int v : second) EXPECT_EQ(v, 1);
+}
+
+// --- single ------------------------------------------------------------------
+
+TEST_F(SyncTest, SingleExecutedByExactlyOneThread) {
+  jetsim::Device dev;
+  int executions = 0;
+  dev.launch(combined_config(1, 96), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    if (single_begin(ctx)) ++executions;
+    single_end(ctx, false);
+  });
+  EXPECT_EQ(executions, 1);
+}
+
+TEST_F(SyncTest, SingleResultVisibleToAllAfterBarrier) {
+  jetsim::Device dev;
+  int payload = 0;
+  int wrong_observations = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    if (single_begin(ctx)) payload = 99;
+    single_end(ctx, false);
+    if (payload != 99) ++wrong_observations;
+  });
+  EXPECT_EQ(wrong_observations, 0);
+}
+
+// --- critical / locks -----------------------------------------------------------
+
+TEST_F(SyncTest, CriticalProvidesMutualExclusion) {
+  jetsim::Device dev;
+  long counter = 0;
+  dev.launch(combined_config(2, 128), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    for (int round = 0; round < 3; ++round) {
+      critical_enter(ctx, "upd");
+      counter += 1;  // plain increment; the lock serializes
+      critical_exit(ctx, "upd");
+    }
+  });
+  EXPECT_EQ(counter, 2 * 128 * 3);
+}
+
+TEST_F(SyncTest, DistinctCriticalNamesAreIndependentLocks) {
+  jetsim::Device dev;
+  int a = 0, b = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    if (ctx.linear_tid() % 2 == 0) {
+      critical_enter(ctx, "a");
+      a += 1;
+      critical_exit(ctx, "a");
+    } else {
+      critical_enter(ctx, "b");
+      b += 1;
+      critical_exit(ctx, "b");
+    }
+  });
+  EXPECT_EQ(a, 32);
+  EXPECT_EQ(b, 32);
+}
+
+TEST_F(SyncTest, UnnamedCriticalUsesSharedLock) {
+  jetsim::Device dev;
+  int counter = 0;
+  dev.launch(combined_config(1, 96), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    critical_enter(ctx, nullptr);
+    counter += 1;
+    critical_exit(ctx, nullptr);
+  });
+  EXPECT_EQ(counter, 96);
+}
+
+TEST_F(SyncTest, RawLockWords) {
+  jetsim::Device dev;
+  uint64_t dword = dev.malloc(sizeof(int));
+  int* word = dev.ptr<int>(dword);
+  *word = 0;
+  int counter = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    lock_acquire(ctx, word);
+    counter += 1;
+    lock_release(ctx, word);
+  });
+  EXPECT_EQ(counter, 64);
+  EXPECT_EQ(*word, 0) << "lock must end released";
+  dev.free(dword);
+}
+
+// --- region barrier ---------------------------------------------------------------
+
+TEST_F(SyncTest, BarrierInCombinedModeSyncsWholeBlock) {
+  jetsim::Device dev;
+  std::vector<int> stage(64, 0);
+  int violations = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    stage[ctx.linear_tid()] = 1;
+    barrier(ctx);
+    for (int i = 0; i < 64; ++i)
+      if (stage[i] != 1) ++violations;
+  });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(SyncTest, BarrierInsideMWRegionSyncsParticipantsOnly) {
+  // 40 participants: the barrier must complete although 56 workers and
+  // the master never call it (X = 64 counted warps rule).
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  std::vector<int> before(40, 0);
+  int violations = 0;
+  struct V {
+    std::vector<int>* before;
+    int* violations;
+  } v{&before, &violations};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* vv = static_cast<V*>(vp);
+            (*vv->before)[omp_thread_num(c)] = 1;
+            barrier(c);
+            for (int i = 0; i < 40; ++i)
+              if ((*vv->before)[i] != 1) ++(*vv->violations);
+          },
+          &v, 40);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(SyncTest, BarrierInSeqModeIsNoOp) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      barrier(ctx);  // sequential part: team of one, must not hang
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace devrt

@@ -1,0 +1,275 @@
+// Worksharing support (paper §3.1, §4.2.2): the two-phase chunk
+// distribution of combined constructs and the static/dynamic/guided
+// schedules. The central property: every schedule covers the iteration
+// space exactly once, for any (teams, threads, size) combination.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig combined_config(unsigned teams, unsigned threads) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {threads};
+  cfg.shared_mem = reserved_shmem();
+  cfg.kernel_name = "combined_kernel";
+  return cfg;
+}
+
+// --- two-phase distribution (distribute + static for) ------------------
+
+using Shape = std::tuple<unsigned, unsigned, long long>;  // teams, thr, n
+
+class TwoPhase : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(TwoPhase, CoversIterationSpaceExactlyOnce) {
+  auto [teams, threads, n] = GetParam();
+  jetsim::Device dev;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  dev.launch(combined_config(teams, threads), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    Chunk team = get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    Chunk mine = get_static_chunk(ctx, team.lb, team.ub);
+    if (!mine.valid) return;
+    for (long long i = mine.lb; i < mine.ub; ++i) visits[i] += 1;
+  });
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TwoPhase,
+    ::testing::Values(Shape{1, 32, 1000}, Shape{4, 64, 1000},
+                      Shape{8, 128, 128}, Shape{8, 128, 8192},
+                      Shape{3, 96, 17},   // n < teams*threads
+                      Shape{5, 32, 5},    // n == teams
+                      Shape{2, 256, 3},   // n < teams
+                      Shape{7, 32, 4099}  // prime size
+                      ));
+
+TEST(TwoPhase, EmptyRangeYieldsNoChunks) {
+  jetsim::Device dev;
+  int valid_count = 0;
+  dev.launch(combined_config(2, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    Chunk team = get_distribute_chunk(ctx, 10, 10);
+    if (team.valid) ++valid_count;
+  });
+  EXPECT_EQ(valid_count, 0);
+}
+
+TEST(TwoPhase, NonZeroLowerBound) {
+  jetsim::Device dev;
+  std::vector<int> visits(100, 0);
+  dev.launch(combined_config(4, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    Chunk team = get_distribute_chunk(ctx, 40, 140);
+    if (!team.valid) return;
+    Chunk mine = get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+      visits[i - 40] += 1;
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(visits[i], 1);
+}
+
+TEST(TwoPhase, DistributeChunksAreContiguousAndOrdered) {
+  jetsim::Device dev;
+  std::vector<std::pair<long long, long long>> chunks(6, {-1, -1});
+  dev.launch(combined_config(6, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    if (ctx.linear_tid() != 0) return;
+    Chunk team = get_distribute_chunk(ctx, 0, 600);
+    chunks[omp_team_num(ctx)] = {team.lb, team.ub};
+  });
+  long long expect_lb = 0;
+  for (auto [lb, ub] : chunks) {
+    EXPECT_EQ(lb, expect_lb);
+    expect_lb = ub;
+  }
+  EXPECT_EQ(expect_lb, 600);
+}
+
+// --- chunked static schedule ------------------------------------------
+
+class StaticChunked
+    : public ::testing::TestWithParam<std::tuple<long long, long long>> {};
+
+TEST_P(StaticChunked, RoundRobinCoverage) {
+  auto [n, chunk] = GetParam();
+  jetsim::Device dev;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    for (long long k = 0;; ++k) {
+      Chunk c = get_static_chunk_k(ctx, 0, n, chunk, k);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+  });
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, StaticChunked,
+                         ::testing::Values(std::tuple{1000LL, 1LL},
+                                           std::tuple{1000LL, 7LL},
+                                           std::tuple{1000LL, 64LL},
+                                           std::tuple{63LL, 16LL},
+                                           std::tuple{4097LL, 32LL}));
+
+TEST(StaticChunked, ChunkZeroRejected) {
+  jetsim::Device dev;
+  EXPECT_THROW(dev.launch(combined_config(1, 32),
+                          [&](KernelCtx& ctx) {
+                            combined_init(ctx);
+                            get_static_chunk_k(ctx, 0, 10, 0, 0);
+                          }),
+               jetsim::SimError);
+}
+
+// --- dynamic schedule ------------------------------------------------------
+
+class DynamicSchedule
+    : public ::testing::TestWithParam<std::tuple<long long, long long>> {};
+
+TEST_P(DynamicSchedule, CoversIterationSpaceExactlyOnce) {
+  auto [n, chunk] = GetParam();
+  jetsim::Device dev;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  dev.launch(combined_config(1, 96), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, n);
+    for (;;) {
+      Chunk c = get_dynamic_chunk(ctx, chunk);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+    ws_loop_end(ctx, /*nowait=*/false);
+  });
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DynamicSchedule,
+                         ::testing::Values(std::tuple{500LL, 1LL},
+                                           std::tuple{500LL, 13LL},
+                                           std::tuple{500LL, 500LL},
+                                           std::tuple{500LL, 9999LL},
+                                           std::tuple{95LL, 2LL}));
+
+TEST(DynamicSchedule, BackToBackLoopsReinitializeCleanly) {
+  jetsim::Device dev;
+  std::vector<int> first(200, 0), second(100, 0);
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, 200);
+    for (;;) {
+      Chunk c = get_dynamic_chunk(ctx, 7);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) first[i] += 1;
+    }
+    ws_loop_end(ctx, false);
+    ws_loop_init(ctx, 0, 100);
+    for (;;) {
+      Chunk c = get_dynamic_chunk(ctx, 3);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) second[i] += 1;
+    }
+    ws_loop_end(ctx, false);
+  });
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(first[i], 1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(second[i], 1);
+}
+
+// --- guided schedule -----------------------------------------------------
+
+class GuidedSchedule
+    : public ::testing::TestWithParam<std::tuple<long long, long long>> {};
+
+TEST_P(GuidedSchedule, CoversIterationSpaceExactlyOnce) {
+  auto [n, min_chunk] = GetParam();
+  jetsim::Device dev;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  dev.launch(combined_config(1, 96), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, n);
+    for (;;) {
+      Chunk c = get_guided_chunk(ctx, min_chunk);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+    ws_loop_end(ctx, false);
+  });
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GuidedSchedule,
+                         ::testing::Values(std::tuple{1000LL, 1LL},
+                                           std::tuple{1000LL, 16LL},
+                                           std::tuple{77LL, 1LL},
+                                           std::tuple{10000LL, 4LL}));
+
+TEST(GuidedSchedule, ChunksShrinkMonotonically) {
+  jetsim::Device dev;
+  std::vector<long long> sizes;
+  dev.launch(combined_config(1, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, 10000);
+    if (ctx.linear_tid() == 0) {
+      // Single consumer: chunk sizes must be non-increasing.
+      for (;;) {
+        Chunk c = get_guided_chunk(ctx, 1);
+        if (!c.valid) break;
+        sizes.push_back(c.size());
+      }
+    }
+    ws_loop_end(ctx, false);
+  });
+  ASSERT_GT(sizes.size(), 3u);
+  for (size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_LE(sizes[i], sizes[i - 1]) << "i=" << i;
+  EXPECT_GT(sizes.front(), sizes.back());
+}
+
+// --- master/worker regions can workshare too ------------------------------
+
+TEST(Worksharing, StaticChunkInsideMWRegion) {
+  jetsim::Device dev;
+  std::vector<int> visits(480, 0);
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  struct V {
+    std::vector<int>* visits;
+  } v{&visits};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* vv = static_cast<V*>(vp);
+            Chunk mine = get_static_chunk(c, 0, 480);
+            for (long long i = mine.lb; mine.valid && i < mine.ub; ++i)
+              (*vv->visits)[i] += 1;
+          },
+          &v, 96);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  for (int i = 0; i < 480; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+}  // namespace
+}  // namespace devrt

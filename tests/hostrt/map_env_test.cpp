@@ -1,0 +1,269 @@
+// Device data-environment semantics: reference counting, transfer
+// direction per map type, presence, updates and error detection.
+#include "hostrt/map_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace hostrt {
+namespace {
+
+/// Host-memory backend that records every transfer for assertions.
+class FakeBackend : public MapBackend {
+ public:
+  uint64_t alloc(std::size_t size) override {
+    if (fail_alloc) return 0;
+    auto buf = std::make_unique<std::byte[]>(size);
+    uint64_t addr = next_addr_;
+    next_addr_ += size + 64;
+    storage_[addr] = {std::move(buf), size};
+    ++allocs;
+    return addr;
+  }
+  void free(uint64_t dev_addr) override {
+    ASSERT_TRUE(storage_.count(dev_addr)) << "free of unknown device addr";
+    storage_.erase(dev_addr);
+    ++frees;
+  }
+  void write(uint64_t dev_addr, const void* src, std::size_t size) override {
+    auto [base, slot] = locate(dev_addr, size);
+    std::memcpy(slot, src, size);
+    writes += 1;
+    bytes_written += size;
+  }
+  void read(void* dst, uint64_t dev_addr, std::size_t size) override {
+    auto [base, slot] = locate(dev_addr, size);
+    std::memcpy(dst, slot, size);
+    reads += 1;
+  }
+
+  std::pair<uint64_t, std::byte*> locate(uint64_t addr, std::size_t size) {
+    auto it = storage_.upper_bound(addr);
+    EXPECT_NE(it, storage_.begin());
+    --it;
+    EXPECT_LE(addr + size, it->first + it->second.size);
+    return {it->first, it->second.data.get() + (addr - it->first)};
+  }
+
+  struct Slot {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+  std::map<uint64_t, Slot> storage_;
+  uint64_t next_addr_ = 0x1000;
+  int allocs = 0, frees = 0, writes = 0, reads = 0;
+  std::size_t bytes_written = 0;
+  bool fail_alloc = false;
+};
+
+TEST(DataEnv, MapToTransfersOnce) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<int> host(10, 7);
+  MapItem item{host.data(), 10 * sizeof(int), MapType::To};
+  uint64_t d = env.map(item);
+  EXPECT_NE(d, 0u);
+  EXPECT_EQ(be.writes, 1);
+  EXPECT_EQ(be.allocs, 1);
+  env.unmap(item);  // map type `to`: no copy back
+  EXPECT_EQ(be.reads, 0);
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(DataEnv, MapAllocNeverTransfers) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x = 5;
+  MapItem item{&x, sizeof x, MapType::Alloc};
+  env.map(item);
+  env.unmap(item);
+  EXPECT_EQ(be.writes, 0);
+  EXPECT_EQ(be.reads, 0);
+}
+
+TEST(DataEnv, MapFromCopiesBackOnLastUnmap) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x = 1;
+  MapItem item{&x, sizeof x, MapType::From};
+  uint64_t d = env.map(item);
+  EXPECT_EQ(be.writes, 0);  // `from` does not copy in
+  int newval = 42;          // simulate a kernel writing to device memory
+  be.write(d, &newval, sizeof newval);
+  be.writes = 0;
+  env.unmap(item);
+  EXPECT_EQ(x, 42);
+}
+
+TEST(DataEnv, ToFromRoundTrips) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> y(4, 1.0f);
+  MapItem item{y.data(), 4 * sizeof(float), MapType::ToFrom};
+  uint64_t d = env.map(item);
+  float vals[4] = {9, 8, 7, 6};
+  be.write(d, vals, sizeof vals);
+  env.unmap(item);
+  EXPECT_EQ(y[0], 9.0f);
+  EXPECT_EQ(y[3], 6.0f);
+}
+
+TEST(DataEnv, RefcountSuppressesInnerTransfers) {
+  // The target data pattern: an outer region keeps the variable mapped;
+  // inner target constructs must neither re-allocate nor re-transfer.
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<int> a(100, 3);
+  MapItem outer{a.data(), 100 * sizeof(int), MapType::ToFrom};
+  env.map(outer);
+  EXPECT_EQ(be.allocs, 1);
+  EXPECT_EQ(be.writes, 1);
+
+  for (int k = 0; k < 5; ++k) {
+    env.map(outer);  // inner target construct enter
+    EXPECT_EQ(be.allocs, 1) << "inner map must not reallocate";
+    EXPECT_EQ(be.writes, 1) << "inner map must not retransfer";
+    env.unmap(outer);
+    EXPECT_EQ(be.reads, 0) << "inner unmap must not copy back";
+    EXPECT_EQ(be.frees, 0);
+  }
+  env.unmap(outer);
+  EXPECT_EQ(be.reads, 1);
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(DataEnv, RefcountValue) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x = 0;
+  MapItem item{&x, sizeof x, MapType::To};
+  EXPECT_EQ(env.refcount(&x), 0);
+  env.map(item);
+  env.map(item);
+  env.map(item);
+  EXPECT_EQ(env.refcount(&x), 3);
+  env.unmap(item);
+  EXPECT_EQ(env.refcount(&x), 2);
+}
+
+TEST(DataEnv, LookupInteriorPointer) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<double> v(16);
+  MapItem item{v.data(), 16 * sizeof(double), MapType::Alloc};
+  uint64_t base = env.map(item);
+  EXPECT_EQ(env.lookup(&v[5]), base + 5 * sizeof(double));
+}
+
+TEST(DataEnv, LookupUnmappedThrows) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x;
+  EXPECT_THROW(env.lookup(&x), MapError);
+}
+
+TEST(DataEnv, PresenceTracking) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<char> buf(64);
+  EXPECT_FALSE(env.is_present(buf.data()));
+  MapItem item{buf.data(), 64, MapType::Alloc};
+  env.map(item);
+  EXPECT_TRUE(env.is_present(buf.data()));
+  EXPECT_TRUE(env.is_present(buf.data() + 63));
+  env.unmap(item);
+  EXPECT_FALSE(env.is_present(buf.data()));
+}
+
+TEST(DataEnv, OverlappingMapRejected) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<char> buf(100);
+  env.map({buf.data() + 20, 40, MapType::Alloc});
+  EXPECT_THROW(env.map({buf.data(), 30, MapType::Alloc}), MapError);
+  EXPECT_THROW(env.map({buf.data() + 50, 30, MapType::Alloc}), MapError);
+  // Disjoint is fine.
+  env.map({buf.data() + 60, 40, MapType::Alloc});
+}
+
+TEST(DataEnv, UnmapOfUnmappedThrows) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x;
+  EXPECT_THROW(env.unmap({&x, sizeof x, MapType::To}), MapError);
+}
+
+TEST(DataEnv, UpdateToAndFrom) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x = 1;
+  MapItem item{&x, sizeof x, MapType::To};
+  uint64_t d = env.map(item);
+
+  x = 5;
+  env.update_to(&x, sizeof x);  // refresh device copy
+  int dev_val = 0;
+  be.read(&dev_val, d, sizeof dev_val);
+  EXPECT_EQ(dev_val, 5);
+
+  int nine = 9;
+  be.write(d, &nine, sizeof nine);
+  env.update_from(&x, sizeof x);  // refresh host copy
+  EXPECT_EQ(x, 9);
+}
+
+TEST(DataEnv, UpdateOfUnmappedThrows) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x;
+  EXPECT_THROW(env.update_to(&x, sizeof x), MapError);
+  EXPECT_THROW(env.update_from(&x, sizeof x), MapError);
+}
+
+TEST(DataEnv, UnmapDeleteIgnoresRefcount) {
+  FakeBackend be;
+  DataEnv env(be);
+  int x = 0;
+  MapItem item{&x, sizeof x, MapType::To};
+  env.map(item);
+  env.map(item);
+  env.unmap_delete(&x);
+  EXPECT_FALSE(env.is_present(&x));
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(DataEnv, OutOfMemorySurfacesAsMapError) {
+  FakeBackend be;
+  be.fail_alloc = true;
+  DataEnv env(be);
+  int x;
+  EXPECT_THROW(env.map({&x, sizeof x, MapType::To}), MapError);
+}
+
+TEST(DataEnv, MappedBytesAccounting) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<char> a(100), b(50);
+  env.map({a.data(), 100, MapType::Alloc});
+  env.map({b.data(), 50, MapType::Alloc});
+  EXPECT_EQ(env.mapped_bytes(), 150u);
+  EXPECT_EQ(env.mapped_ranges(), 2u);
+  env.unmap({a.data(), 100, MapType::Alloc});
+  EXPECT_EQ(env.mapped_bytes(), 50u);
+}
+
+TEST(DataEnv, DestructorReleasesLeftovers) {
+  FakeBackend be;
+  {
+    DataEnv env(be);
+    std::vector<char> a(10);
+    env.map({a.data(), 10, MapType::To});
+  }
+  EXPECT_EQ(be.frees, 1);
+}
+
+}  // namespace
+}  // namespace hostrt

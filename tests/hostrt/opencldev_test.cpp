@@ -1,0 +1,144 @@
+// The preliminary opencldev module: a second implementation of the
+// DeviceModule plugin interface (paper §4.2 architecture, §6 outlook).
+#include "hostrt/opencldev_module.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace hostrt {
+namespace {
+
+void install_scale_kernel() {
+  cudadrv::ModuleImage img;
+  img.path = "scale_kernels.cl";
+  img.code_size = 4 * 1024;
+  cudadrv::KernelImage k;
+  k.name = "scale";
+  k.param_count = 3;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    float f = args.value<float>(1);
+    float* v = args.pointer<float>(2, static_cast<std::size_t>(n));
+    int gid = static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                               ctx.linear_tid());
+    if (gid < n) v[gid] *= f;
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+class OpenclDev : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_scale_kernel();
+  }
+  void TearDown() override {
+    Runtime::set_opencl_enabled(false);
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+
+  KernelLaunchSpec scale_spec(int n, float f, float* v) {
+    KernelLaunchSpec spec;
+    spec.module_path = "scale_kernels.cl";
+    spec.kernel_name = "scale";
+    spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+    spec.geometry.threads_x = 128;
+    spec.args = {KernelArg::of(n), KernelArg::of(f),
+                 KernelArg::mapped(v)};
+    return spec;
+  }
+};
+
+TEST_F(OpenclDev, StandaloneModuleRunsAKernel) {
+  OpenclDevModule mod;
+  EXPECT_FALSE(mod.initialized());
+  mod.initialize();
+  DataEnv env(mod);
+
+  const int n = 1000;
+  std::vector<float> v(n, 2.0f);
+  MapItem item{v.data(), n * sizeof(float), MapType::ToFrom};
+  env.map(item);
+  OffloadStats stats = mod.launch(scale_spec(n, 3.0f, v.data()), env);
+  env.unmap(item);
+
+  for (int i = 0; i < n; ++i) ASSERT_FLOAT_EQ(v[i], 6.0f) << i;
+  EXPECT_GT(stats.load_s, 0.0) << "first launch builds the program";
+  EXPECT_GT(stats.exec_s, 0.0);
+}
+
+TEST_F(OpenclDev, ProgramBuildsOnceThenIsCached) {
+  OpenclDevModule mod;
+  mod.initialize();
+  DataEnv env(mod);
+  const int n = 64;
+  std::vector<float> v(n, 1.0f);
+  MapItem item{v.data(), n * sizeof(float), MapType::ToFrom};
+  env.map(item);
+  OffloadStats first = mod.launch(scale_spec(n, 2.0f, v.data()), env);
+  OffloadStats second = mod.launch(scale_spec(n, 2.0f, v.data()), env);
+  env.unmap(item);
+  EXPECT_GT(first.load_s, 0.0);
+  EXPECT_EQ(second.load_s, 0.0);
+  EXPECT_GT(mod.build_time_s(), 0.0);
+  EXPECT_FLOAT_EQ(v[0], 4.0f);
+}
+
+TEST_F(OpenclDev, RegistersAsSecondRuntimeDevice) {
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  ASSERT_EQ(rt.num_devices(), 2);
+  EXPECT_EQ(rt.module(0).name(), "cudadev");
+  EXPECT_EQ(rt.module(1).name(), "opencldev");
+  EXPECT_NE(rt.device_info(1).find("OpenCL"), std::string::npos);
+  EXPECT_EQ(omp_get_num_devices(), 2);
+  EXPECT_EQ(omp_get_initial_device(), 2);
+}
+
+TEST_F(OpenclDev, TargetConstructOnTheOpenclDevice) {
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  const int n = 256;
+  std::vector<float> v(n, 5.0f);
+  std::vector<MapItem> maps = {{v.data(), n * sizeof(float),
+                                MapType::ToFrom}};
+  rt.target(1, scale_spec(n, 2.0f, v.data()), maps);
+  EXPECT_FLOAT_EQ(v[0], 10.0f);
+  EXPECT_FLOAT_EQ(v[n - 1], 10.0f);
+  EXPECT_TRUE(rt.device_initialized(1));
+}
+
+TEST_F(OpenclDev, BothDevicesHoldIndependentDataEnvironments) {
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  std::vector<float> v(16, 0.0f);
+  MapItem item{v.data(), sizeof(float) * 16, MapType::To};
+  rt.target_enter_data(0, {item});
+  EXPECT_TRUE(rt.env(0).is_present(v.data()));
+  EXPECT_FALSE(rt.env(1).is_present(v.data()));
+  rt.target_enter_data(1, {item});
+  EXPECT_TRUE(rt.env(1).is_present(v.data()));
+  rt.target_exit_data(0, {item});
+  rt.target_exit_data(1, {item});
+}
+
+TEST_F(OpenclDev, MissingProgramReported) {
+  OpenclDevModule mod;
+  mod.initialize();
+  DataEnv env(mod);
+  KernelLaunchSpec spec;
+  spec.module_path = "nope.cl";
+  spec.kernel_name = "scale";
+  EXPECT_THROW(mod.launch(spec, env), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hostrt

@@ -1,0 +1,223 @@
+// Runtime orchestration: lazy device initialization, the three-phase
+// launch through the cudadev module and full target constructs against
+// registered kernel binaries.
+#include "hostrt/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+
+namespace hostrt {
+namespace {
+
+/// Registers the kernel file an OMPi compilation of SAXPY would produce:
+/// one combined-construct kernel in a cubin.
+void install_saxpy_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "saxpy_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+  cudadrv::KernelImage k;
+  k.name = "_kernelFunc0_";
+  k.param_count = 4;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    float a = args.value<float>(0);
+    int n = args.value<int>(3);
+    float* x = args.pointer<float>(1, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(2, static_cast<std::size_t>(n));
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(2);
+      y[i] = a * x[i] + y[i];
+    }
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_saxpy_binary();
+  }
+  void TearDown() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+
+  KernelLaunchSpec saxpy_spec(float a, float* x, float* y, int n) {
+    KernelLaunchSpec spec;
+    spec.module_path = "saxpy_kernels.cubin";
+    spec.kernel_name = "_kernelFunc0_";
+    spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+    spec.geometry.threads_x = 128;
+    spec.args = {KernelArg::of(a), KernelArg::mapped(x), KernelArg::mapped(y),
+                 KernelArg::of(n)};
+    return spec;
+  }
+};
+
+TEST_F(RuntimeTest, DiscoversOneDeviceWithoutInitializing) {
+  Runtime& rt = Runtime::instance();
+  EXPECT_EQ(rt.num_devices(), 1);
+  EXPECT_FALSE(rt.device_initialized(0)) << "initialization must be lazy";
+}
+
+TEST_F(RuntimeTest, HostOpenMPApi) {
+  EXPECT_EQ(omp_get_num_devices(), 1);
+  EXPECT_EQ(omp_get_default_device(), 0);
+  EXPECT_EQ(omp_get_initial_device(), 1);
+  EXPECT_EQ(omp_is_initial_device(), 1);
+  omp_set_default_device(0);
+  EXPECT_EQ(omp_get_default_device(), 0);
+}
+
+TEST_F(RuntimeTest, InvalidDefaultDeviceRejected) {
+  EXPECT_THROW(omp_set_default_device(7), std::runtime_error);
+}
+
+TEST_F(RuntimeTest, TargetConstructSaxpyEndToEnd) {
+  const int n = 1000;
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i);
+    y[i] = 1.0f;
+  }
+
+  Runtime& rt = Runtime::instance();
+  // The generated host code for Fig. 1 of the paper:
+  //   #pragma omp target map(to: a,size,x[0:size]) map(tofrom: y[0:size])
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  OffloadStats stats =
+      rt.target(0, saxpy_spec(2.0f, x.data(), y.data(), n), maps);
+
+  for (int i = 0; i < n; ++i)
+    ASSERT_FLOAT_EQ(y[i], 2.0f * i + 1.0f) << "i=" << i;
+  EXPECT_TRUE(rt.device_initialized(0)) << "first offload initializes";
+  EXPECT_GT(stats.exec_s, 0.0);
+  EXPECT_GT(stats.load_s, 0.0);  // first launch loads the kernel file
+}
+
+TEST_F(RuntimeTest, SecondLaunchSkipsModuleLoad) {
+  const int n = 256;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  Runtime& rt = Runtime::instance();
+  rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  OffloadStats second =
+      rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  auto& mod = dynamic_cast<CudadevModule&>(rt.module(0));
+  EXPECT_EQ(mod.modules_loaded(), 1);
+  EXPECT_EQ(second.load_s, 0.0);
+  EXPECT_EQ(y[0], 2.0f);  // two accumulations
+}
+
+TEST_F(RuntimeTest, TargetDataKeepsArraysResidentAcrossTargets) {
+  const int n = 512;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> data_maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  Runtime& rt = Runtime::instance();
+  rt.target_data_begin(0, data_maps);
+
+  // Inner targets map the same ranges: refcounts suppress all traffic.
+  for (int k = 0; k < 3; ++k)
+    rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), data_maps);
+
+  // y still holds stale host values until the data region ends.
+  EXPECT_EQ(y[0], 0.0f);
+  rt.target_data_end(0, data_maps);
+  EXPECT_EQ(y[0], 3.0f);  // three accumulated SAXPYs arrived with the end
+}
+
+TEST_F(RuntimeTest, EnterExitDataAndUpdate) {
+  const int n = 128;
+  std::vector<float> x(n, 2.0f), y(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::To},
+  };
+  rt.target_enter_data(0, maps);
+
+  rt.target(0, saxpy_spec(3.0f, x.data(), y.data(), n), maps);
+  rt.target_update_from(0, y.data(), n * sizeof(float));
+  EXPECT_EQ(y[0], 6.0f);
+
+  // Refresh x on the device and run again.
+  for (auto& v : x) v = 10.0f;
+  rt.target_update_to(0, x.data(), n * sizeof(float));
+  rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  rt.target_update_from(0, y.data(), n * sizeof(float));
+  EXPECT_EQ(y[0], 16.0f);
+
+  std::vector<MapItem> exit_maps = {
+      {x.data(), n * sizeof(float), MapType::From},
+      {y.data(), n * sizeof(float), MapType::From},
+  };
+  rt.target_exit_data(0, exit_maps);
+  EXPECT_FALSE(rt.env(0).is_present(x.data()));
+}
+
+TEST_F(RuntimeTest, DeviceInfoDescribesTheBoard) {
+  std::string info = Runtime::instance().device_info(0);
+  EXPECT_NE(info.find("Jetson Nano"), std::string::npos);
+  EXPECT_NE(info.find("sm_53"), std::string::npos);
+}
+
+TEST_F(RuntimeTest, HardwarePropsCapturedAtInitialization) {
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  auto& mod = dynamic_cast<CudadevModule&>(rt.module(0));
+  EXPECT_EQ(mod.hw().cc_major, 5);
+  EXPECT_EQ(mod.hw().cc_minor, 3);
+  EXPECT_EQ(mod.hw().warp_size, 32);
+  EXPECT_EQ(mod.hw().sm_count, 1);
+}
+
+TEST_F(RuntimeTest, MissingKernelBinarySurfacesDriverError) {
+  const int n = 16;
+  std::vector<float> x(n, 0), y(n, 0);
+  KernelLaunchSpec spec = saxpy_spec(1.0f, x.data(), y.data(), n);
+  spec.module_path = "not_there.cubin";
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  EXPECT_THROW(Runtime::instance().target(0, spec, maps), std::runtime_error);
+}
+
+TEST_F(RuntimeTest, ScalarArgumentsArriveByValue) {
+  // a and n reach the kernel as copies: mutating them afterwards on the
+  // host must not affect the launch that already happened.
+  const int n = 64;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  float a = 4.0f;
+  KernelLaunchSpec spec = saxpy_spec(a, x.data(), y.data(), n);
+  a = -999.0f;  // too late to matter
+  Runtime::instance().target(0, spec, maps);
+  EXPECT_EQ(y[0], 4.0f);
+}
+
+}  // namespace
+}  // namespace hostrt

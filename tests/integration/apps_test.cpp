@@ -1,0 +1,125 @@
+// Integration of the Fig. 4 application library: correctness of both
+// variants against sequential references, and the core accounting
+// property — the model-only path charges exactly what real execution
+// charges.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/polybench.h"
+
+namespace apps {
+namespace {
+
+using Param = std::tuple<const char*, int>;
+
+class AppCorrectness : public ::testing::TestWithParam<Param> {};
+
+const AppDesc& app_by_name(const char* name) {
+  for (const AppDesc& a : fig4_apps())
+    if (std::string(a.name) == name) return a;
+  throw std::logic_error("unknown app");
+}
+
+TEST_P(AppCorrectness, CudaVariantMatchesReference) {
+  auto [name, n] = GetParam();
+  RunOptions opt;
+  opt.model_only = false;
+  opt.verify = true;
+  RunResult r = app_by_name(name).fn(Variant::Cuda, n, opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST_P(AppCorrectness, OmpiVariantMatchesReference) {
+  auto [name, n] = GetParam();
+  RunOptions opt;
+  opt.model_only = false;
+  opt.verify = true;
+  RunResult r = app_by_name(name).fn(Variant::Ompi, n, opt);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST_P(AppCorrectness, ModelOnlyChargesExactlyLikeRealExecution) {
+  auto [name, n] = GetParam();
+  RunOptions model;  // defaults: model_only, no verify
+  RunOptions real;
+  real.model_only = false;
+  const AppDesc& app = app_by_name(name);
+  for (Variant v : {Variant::Cuda, Variant::Ompi}) {
+    RunResult m = app.fn(v, n, model);
+    RunResult r = app.fn(v, n, real);
+    EXPECT_NEAR(m.seconds, r.seconds, r.seconds * 1e-9)
+        << name << " variant " << to_string(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSizes, AppCorrectness,
+    ::testing::Values(Param{"3dconv", 16}, Param{"3dconv", 33},
+                      Param{"bicg", 64}, Param{"bicg", 100},
+                      Param{"atax", 64}, Param{"atax", 77},
+                      Param{"mvt", 64}, Param{"mvt", 130},
+                      Param{"gemm", 32}, Param{"gemm", 48},
+                      Param{"gramschmidt", 16}, Param{"gramschmidt", 24}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(AppScaling, TimesGrowMonotonicallyWithProblemSize) {
+  for (const AppDesc& app : fig4_apps()) {
+    double prev = 0;
+    for (int n : {32, 64, 128}) {
+      RunOptions opt;
+      RunResult r = app.fn(Variant::Cuda, n, opt);
+      EXPECT_GT(r.seconds, prev) << app.name << " n=" << n;
+      prev = r.seconds;
+    }
+  }
+}
+
+TEST(AppScaling, OmpiNeverFasterThanCuda) {
+  // The OMPi path adds runtime-call and launch-path overhead; it may tie
+  // (within rounding) but must not win.
+  for (const AppDesc& app : fig4_apps()) {
+    int n = app.paper_sizes[1];
+    RunOptions opt;
+    RunResult cuda = app.fn(Variant::Cuda, n, opt);
+    RunResult ompi = app.fn(Variant::Ompi, n, opt);
+    EXPECT_GE(ompi.seconds, cuda.seconds * 0.999)
+        << app.name << " n=" << n;
+  }
+}
+
+TEST(AppScaling, CalibrationScalesOmpiKernelTime) {
+  RunOptions plain;
+  RunOptions calibrated;
+  calibrated.calibration = 1.18;
+  RunResult base = run_gemm(Variant::Ompi, 128, plain);
+  RunResult cal = run_gemm(Variant::Ompi, 128, calibrated);
+  EXPECT_GT(cal.seconds, base.seconds * 1.05);
+  EXPECT_LT(cal.seconds, base.seconds * 1.19);
+}
+
+TEST(AppScaling, SampledAndFullSimulationAgree) {
+  // gemm at n=512 uses 1024 blocks: above the sampling threshold. Run it
+  // once with sampling (default harness behaviour) and once fully, and
+  // compare the modeled times.
+  RunOptions opt;
+  RunResult sampled = run_gemm(Variant::Cuda, 512, opt);
+  RunOptions full;
+  full.model_only = false;  // real execution never samples
+  RunResult exact = run_gemm(Variant::Cuda, 512, full);
+  EXPECT_NEAR(sampled.seconds, exact.seconds, exact.seconds * 0.02);
+}
+
+TEST(AppScaling, GramschmidtLaunchCountIsThreePerStep) {
+  RunOptions opt;
+  RunResult r = run_gramschmidt(Variant::Cuda, 64, opt);
+  EXPECT_EQ(r.launches, 3u * 64u);
+}
+
+}  // namespace
+}  // namespace apps

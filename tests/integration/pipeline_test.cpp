@@ -1,0 +1,158 @@
+// Full-pipeline integration: the generated host/kernel file texts stay
+// consistent with what actually executes, ptx/cubin parity, and
+// cross-layer behaviours that no single module test covers.
+#include <gtest/gtest.h>
+
+#include "hostrt/runtime.h"
+#include "kernelvm/interp.h"
+
+namespace {
+
+struct Program {
+  ompi::Arena arena;
+  ompi::CompileOutput out;
+  std::unique_ptr<kernelvm::Interp> vm;
+};
+
+std::unique_ptr<Program> make_vm(std::string_view src,
+                                 ompi::CompileOptions opts = {}) {
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  auto p = std::make_unique<Program>();
+  p->out = ompi::compile(src, opts, p->arena);
+  EXPECT_TRUE(p->out.ok) << p->out.diagnostics;
+  if (p->out.ok) p->vm = std::make_unique<kernelvm::Interp>(p->out);
+  return p;
+}
+
+constexpr const char* kVecAdd = R"(
+float a[512];
+float b[512];
+float c[512];
+int main(void)
+{
+  int n = 512;
+  for (int i = 0; i < n; i++) { a[i] = i; b[i] = 2 * i; }
+  #pragma omp target teams distribute parallel for \
+          map(to: a[0:n], b[0:n]) map(from: c[0:n])
+  for (int i = 0; i < n; i++)
+    c[i] = a[i] + b[i];
+  for (int i = 0; i < n; i++)
+    if (c[i] != 3.0f * i) return i + 1;
+  return 0;
+})";
+
+TEST(Pipeline, PtxAndCubinModesComputeIdenticalResults) {
+  for (bool ptx : {false, true}) {
+    ompi::CompileOptions opts;
+    opts.ptx_mode = ptx;
+    auto p = make_vm(kVecAdd, opts);
+    ASSERT_TRUE(p->vm);
+    EXPECT_EQ(p->vm->call_host("main").as_int(), 0) << "ptx=" << ptx;
+  }
+}
+
+TEST(Pipeline, PtxModeIsSlowerOnFirstRunOnly) {
+  ompi::CompileOptions cubin_opts;
+  auto pc = make_vm(kVecAdd, cubin_opts);
+  pc->vm->call_host("main");
+  double cubin_time = cudadrv::cuSimDevice(0).now();
+
+  ompi::CompileOptions ptx_opts;
+  ptx_opts.ptx_mode = true;
+  auto pp = make_vm(kVecAdd, ptx_opts);
+  pp->vm->call_host("main");
+  double ptx_time = cudadrv::cuSimDevice(0).now();
+
+  EXPECT_GT(ptx_time, cubin_time);
+}
+
+TEST(Pipeline, GeneratedTextsNameEverythingTheRuntimeLoads) {
+  auto p = make_vm(kVecAdd);
+  ASSERT_TRUE(p->vm);
+  ASSERT_EQ(p->out.kernels.size(), 1u);
+  const std::string module_path = p->out.module_path(0);
+  // The host file references the module path and kernel symbol that the
+  // interpreter registers and the runtime loads.
+  EXPECT_NE(p->out.host_code.find(module_path), std::string::npos);
+  EXPECT_NE(p->out.host_code.find(p->out.kernels[0].name),
+            std::string::npos);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  EXPECT_NE(cudadrv::BinaryRegistry::instance().find(module_path), nullptr);
+}
+
+TEST(Pipeline, TwoProgramsShareTheBoardSequentially) {
+  // Two translation units compiled separately but registered under
+  // different unit names can run in the same process back to back.
+  ompi::Arena arena_a, arena_b;
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+
+  ompi::CompileOptions oa;
+  oa.unit_name = "prog_a";
+  ompi::CompileOutput a = ompi::compile(R"(
+    int buf[64];
+    int main(void) {
+      #pragma omp target teams distribute parallel for map(tofrom: buf[0:64])
+      for (int i = 0; i < 64; i++) buf[i] = i;
+      return buf[63];
+    })", oa, arena_a);
+  ompi::CompileOptions ob;
+  ob.unit_name = "prog_b";
+  ompi::CompileOutput b = ompi::compile(R"(
+    int buf[64];
+    int main(void) {
+      #pragma omp target teams distribute parallel for map(tofrom: buf[0:64])
+      for (int i = 0; i < 64; i++) buf[i] = 2 * i;
+      return buf[63];
+    })", ob, arena_b);
+  ASSERT_TRUE(a.ok && b.ok);
+
+  kernelvm::Interp va(a), vb(b);
+  EXPECT_EQ(va.call_host("main").as_int(), 63);
+  EXPECT_EQ(vb.call_host("main").as_int(), 126);
+  EXPECT_EQ(va.call_host("main").as_int(), 63);  // interleaved reuse
+}
+
+TEST(Pipeline, DeviceClauseSelectsTheOnlyGpu) {
+  auto p = make_vm(R"(
+    int flag[1];
+    int main(void) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: flag[0:1]) device(0)
+      for (int i = 0; i < 1; i++) flag[i] = 7;
+      return flag[0];
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 7);
+}
+
+TEST(Pipeline, LargeProgramManyKernels) {
+  // Eight distinct target constructs in one unit: each gets its own
+  // kernel file (paper §3.3) and its own module load.
+  std::string src = "float v[256];\nint main(void) {\n";
+  for (int k = 0; k < 8; ++k) {
+    src += "  #pragma omp target teams distribute parallel for "
+           "map(tofrom: v[0:256])\n";
+    src += "  for (int i = 0; i < 256; i++) v[i] = v[i] + 1.0f;\n";
+  }
+  src += "  return (int)v[0];\n}\n";
+  auto p = make_vm(src);
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->out.kernels.size(), 8u);
+  EXPECT_EQ(p->out.kernel_files.size(), 8u);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 8);
+  auto& mod = dynamic_cast<hostrt::CudadevModule&>(
+      hostrt::Runtime::instance().module(0));
+  EXPECT_EQ(mod.modules_loaded(), 8);
+}
+
+TEST(Pipeline, BoardMemoryIsReleasedAfterEachConstruct) {
+  auto p = make_vm(kVecAdd);
+  ASSERT_TRUE(p->vm);
+  p->vm->call_host("main");
+  EXPECT_EQ(cudadrv::cuSimDevice(0).bytes_allocated(), 0u)
+      << "construct-scoped mappings must free their device storage";
+}
+
+}  // namespace

@@ -1,0 +1,458 @@
+// The full pipeline of the paper, end to end: OpenMP C source ->
+// translator (outlining + lowering) -> kernel binaries -> offload through
+// the cudadev host module -> execution on the simulated Maxwell GPU by
+// the device runtime.
+#include <gtest/gtest.h>
+
+#include "hostrt/runtime.h"
+#include "kernelvm/interp.h"
+
+namespace kernelvm {
+namespace {
+
+struct Program {
+  ompi::Arena arena;
+  ompi::CompileOutput out;
+  std::unique_ptr<Interp> vm;
+};
+
+std::unique_ptr<Program> make_vm(std::string_view src,
+                                 ompi::CompileOptions opts = {}) {
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  auto p = std::make_unique<Program>();
+  p->out = ompi::compile(src, opts, p->arena);
+  EXPECT_TRUE(p->out.ok) << p->out.diagnostics;
+  if (p->out.ok) p->vm = std::make_unique<Interp>(p->out);
+  return p;
+}
+
+// --- Fig. 1 of the paper: SAXPY via target + parallel for ----------------
+
+TEST(EndToEnd, PaperFig1SaxpyMasterWorker) {
+  auto p = make_vm(R"(
+    float x[1000];
+    float y[1000];
+
+    void saxpy_device(float a, int size)
+    {
+      #pragma omp target map(to: a, size, x[0:size]) map(tofrom: y[0:size])
+      {
+        #pragma omp parallel for
+        for (int i = 0; i < size; i++)
+          y[i] = a * x[i] + y[i];
+      }
+    }
+
+    int main(void)
+    {
+      for (int i = 0; i < 1000; i++) { x[i] = i; y[i] = 1.0f; }
+      saxpy_device(2.0f, 1000);
+      for (int i = 0; i < 1000; i++)
+        if (y[i] != 2.0f * i + 1.0f) return i + 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  // The offload really went through the runtime and the simulator.
+  EXPECT_TRUE(hostrt::Runtime::instance().device_initialized(0));
+  EXPECT_GE(cudadrv::cuSimDevice(0).stats().launches, 1u);
+  EXPECT_EQ(cudadrv::cuSimDevice(0).stats().threads_run, 128u)
+      << "master/worker kernels launch with the fixed 128-thread shape";
+}
+
+// --- Fig. 3a of the paper, verbatim --------------------------------------
+
+TEST(EndToEnd, PaperFig3ParallelInsideTarget) {
+  auto p = make_vm(R"(
+    int x[96];
+    int main(void)
+    {
+      #pragma omp target map(tofrom: x[0:96])
+      {
+        int i = 2;
+        #pragma omp parallel num_threads(96)
+        {
+          x[omp_get_thread_num()] = i + 1;
+        }
+        printf(" x[0] = %d\n", x[0]);
+        printf("x[95] = %d\n", x[95]);
+      }
+      return x[0] + x[95];
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 6);
+  EXPECT_EQ(p->vm->stdout_text(), " x[0] = 3\nx[95] = 3\n");
+}
+
+// --- combined construct --------------------------------------------------
+
+TEST(EndToEnd, CombinedConstructVectorScale) {
+  auto p = make_vm(R"(
+    float y[4096];
+    int main(void)
+    {
+      int n = 4096;
+      for (int i = 0; i < n; i++) y[i] = i;
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) num_teams(16) num_threads(256)
+      for (int i = 0; i < n; i++)
+        y[i] = y[i] * 3.0f;
+      for (int i = 0; i < n; i++)
+        if (y[i] != 3.0f * i) return 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  const auto& log = cudadrv::cuSimDevice(0).launch_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].blocks, 16u);
+  EXPECT_EQ(log[0].threads_per_block, 256u);
+}
+
+TEST(EndToEnd, CombinedDefaultGeometryCoversIterations) {
+  auto p = make_vm(R"(
+    int hits[5000];
+    int main(void)
+    {
+      int n = 5000;
+      #pragma omp target teams distribute parallel for map(tofrom: hits[0:n])
+      for (int i = 0; i < n; i++)
+        hits[i] = hits[i] + 1;
+      for (int i = 0; i < n; i++)
+        if (hits[i] != 1) return i + 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+TEST(EndToEnd, Collapse2MatrixAddressing) {
+  auto p = make_vm(R"(
+    float a[64 * 48];
+    int main(void)
+    {
+      int n = 64;
+      int m = 48;
+      #pragma omp target teams distribute parallel for collapse(2) \
+              map(tofrom: a[0:n*m]) num_threads(64)
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++)
+          a[i * m + j] = i * 1000 + j;
+      for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++)
+          if (a[i * m + j] != i * 1000 + j) return 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+// --- schedules -----------------------------------------------------------
+
+class ScheduleE2E : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScheduleE2E, EveryIterationExactlyOnce) {
+  std::string src = R"(
+    int hits[777];
+    int main(void)
+    {
+      int n = 777;
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: hits[0:n]) num_teams(2) num_threads(96) SCHED
+      for (int i = 0; i < n; i++)
+        hits[i] = hits[i] + 1;
+      for (int i = 0; i < n; i++)
+        if (hits[i] != 1) return i + 1;
+      return 0;
+    })";
+  size_t pos = src.find("SCHED");
+  src.replace(pos, 5, GetParam());
+  auto p = make_vm(src);
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ScheduleE2E,
+                         ::testing::Values("", "schedule(static, 5)",
+                                           "schedule(dynamic, 3)",
+                                           "schedule(guided)"));
+
+// --- data directives ----------------------------------------------------
+
+TEST(EndToEnd, TargetDataAvoidsIntermediateTransfers) {
+  auto p = make_vm(R"(
+    float v[256];
+    int main(void)
+    {
+      int n = 256;
+      for (int i = 0; i < n; i++) v[i] = 1.0f;
+      #pragma omp target data map(tofrom: v[0:n])
+      {
+        #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+        for (int i = 0; i < n; i++) v[i] = v[i] + 1.0f;
+        #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+        for (int i = 0; i < n; i++) v[i] = v[i] * 2.0f;
+      }
+      if (v[0] != 4.0f) return 1;
+      if (v[255] != 4.0f) return 2;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  EXPECT_EQ(hostrt::Runtime::instance().env(0).mapped_ranges(), 0u);
+}
+
+TEST(EndToEnd, EnterExitDataWithUpdate) {
+  auto p = make_vm(R"(
+    float v[64];
+    int main(void)
+    {
+      int n = 64;
+      for (int i = 0; i < n; i++) v[i] = 5.0f;
+      #pragma omp target enter data map(to: v[0:n])
+
+      #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+      for (int i = 0; i < n; i++) v[i] = v[i] + 1.0f;
+
+      #pragma omp target update from(v[0:n])
+      if (v[10] != 6.0f) return 1;
+
+      for (int i = 0; i < n; i++) v[i] = 100.0f;
+      #pragma omp target update to(v[0:n])
+      #pragma omp target teams distribute parallel for map(tofrom: v[0:n])
+      for (int i = 0; i < n; i++) v[i] = v[i] + 1.0f;
+
+      #pragma omp target exit data map(from: v[0:n])
+      if (v[10] != 101.0f) return 2;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+// --- scalar tofrom / reduction ------------------------------------------
+
+TEST(EndToEnd, ScalarToFromRoundTrips) {
+  auto p = make_vm(R"(
+    int main(void)
+    {
+      int total = 7;
+      int n = 3;
+      #pragma omp target map(tofrom: total) map(to: n)
+      {
+        total = total + n * 10;
+      }
+      return total;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 37);
+}
+
+TEST(EndToEnd, ReductionSum) {
+  auto p = make_vm(R"(
+    float x[2048];
+    int main(void)
+    {
+      int n = 2048;
+      for (int i = 0; i < n; i++) x[i] = 0.5f;
+      float s = 0.0f;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s) reduction(+: s) \
+              num_teams(4) num_threads(128)
+      for (int i = 0; i < n; i++)
+        s += x[i];
+      return (int)s;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 1024);
+}
+
+// --- in-kernel worksharing & synchronization ------------------------------
+
+TEST(EndToEnd, SectionsSingleCriticalInsideTarget) {
+  auto p = make_vm(R"(
+    int out[4];
+    int counter = 0;
+    int main(void)
+    {
+      #pragma omp target map(tofrom: out[0:4]) map(tofrom: counter)
+      {
+        #pragma omp parallel num_threads(32)
+        {
+          #pragma omp sections
+          {
+            #pragma omp section
+            { out[0] = 10; }
+            #pragma omp section
+            { out[1] = 20; }
+            #pragma omp section
+            { out[2] = 30; }
+          }
+          #pragma omp single
+          { out[3] = 40; }
+          #pragma omp critical
+          { counter = counter + 1; }
+        }
+      }
+      if (out[0] != 10 || out[1] != 20 || out[2] != 30 || out[3] != 40)
+        return 1;
+      return counter;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 32);
+}
+
+TEST(EndToEnd, BarrierOrdersPhasesInsideRegion) {
+  auto p = make_vm(R"(
+    int stage[64];
+    int errors = 0;
+    int main(void)
+    {
+      #pragma omp target map(tofrom: stage[0:64]) map(tofrom: errors)
+      {
+        #pragma omp parallel num_threads(64)
+        {
+          stage[omp_get_thread_num()] = 1;
+          #pragma omp barrier
+          int ok = 1;
+          for (int i = 0; i < 64; i++)
+            if (stage[i] != 1) ok = 0;
+          if (!ok) {
+            #pragma omp critical
+            { errors = errors + 1; }
+          }
+        }
+      }
+      return errors;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+TEST(EndToEnd, WorksharingForInsideParallelRegion) {
+  auto p = make_vm(R"(
+    int hits[480];
+    int main(void)
+    {
+      int n = 480;
+      #pragma omp target map(tofrom: hits[0:n], n)
+      {
+        #pragma omp parallel num_threads(96)
+        {
+          #pragma omp for schedule(dynamic, 7)
+          for (int i = 0; i < n; i++)
+            hits[i] = hits[i] + 1;
+        }
+      }
+      for (int i = 0; i < n; i++)
+        if (hits[i] != 1) return i + 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+// --- declare target functions ---------------------------------------------
+
+TEST(EndToEnd, DeclareTargetFunctionCalledInKernel) {
+  auto p = make_vm(R"(
+    #pragma omp declare target
+    int square(int v) { return v * v; }
+    #pragma omp end declare target
+
+    int y[128];
+    int main(void)
+    {
+      int n = 128;
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] = square(i);
+      for (int i = 0; i < n; i++)
+        if (y[i] != i * i) return 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+// --- ptx vs cubin mode ----------------------------------------------------
+
+TEST(EndToEnd, PtxModePaysJitOnFirstLaunchOnly) {
+  // The same kernel offloaded twice: in ptx mode the first offload pays
+  // JIT compilation at module load, the second reuses the loaded module.
+  const char* src = R"(
+    float y[256];
+    void step(void)
+    {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:256])
+      for (int i = 0; i < 256; i++) y[i] = y[i] + 1.0f;
+    }
+    double run_once(void)
+    {
+      double t0 = omp_get_wtime();
+      step();
+      return omp_get_wtime() - t0;
+    })";
+
+  auto time_pair = [&](bool ptx) {
+    ompi::CompileOptions opts;
+    opts.ptx_mode = ptx;
+    auto p = make_vm(src, opts);
+    double first = p->vm->call_host("run_once").as_float();
+    double second = p->vm->call_host("run_once").as_float();
+    return std::pair{first, second};
+  };
+
+  auto [ptx_first, ptx_second] = time_pair(true);
+  auto [cub_first, cub_second] = time_pair(false);
+  EXPECT_GT(ptx_first, ptx_second * 5)
+      << "first ptx launch must carry the JIT cost";
+  EXPECT_GT(ptx_first, cub_first)
+      << "cold JIT is slower than a cubin load";
+  EXPECT_NEAR(ptx_second, cub_second, cub_second * 0.5)
+      << "steady-state launches are mode-independent";
+}
+
+// --- multiple kernels / module caching --------------------------------------
+
+TEST(EndToEnd, KernelFilesLoadOnce) {
+  auto p = make_vm(R"(
+    float y[64];
+    void step(void)
+    {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:64])
+      for (int i = 0; i < 64; i++) y[i] = y[i] + 1.0f;
+    }
+    int main(void)
+    {
+      for (int r = 0; r < 10; r++) step();
+      return (int)y[0];
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 10);
+  auto& mod = dynamic_cast<hostrt::CudadevModule&>(
+      hostrt::Runtime::instance().module(0));
+  EXPECT_EQ(mod.modules_loaded(), 1);
+  EXPECT_EQ(cudadrv::cuSimDevice(0).stats().launches, 10u);
+}
+
+TEST(EndToEnd, ModeledTimeAdvancesWithWork) {
+  auto p = make_vm(R"(
+    float y[8192];
+    double elapsed = 0;
+    int main(void)
+    {
+      int n = 8192;
+      double t0 = omp_get_wtime();
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++) y[i] = y[i] * 2.0f + 1.0f;
+      elapsed = omp_get_wtime() - t0;
+      return elapsed > 0.0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace kernelvm

@@ -1,0 +1,174 @@
+// Interpreter semantics on plain (host-only) C programs.
+#include "kernelvm/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "hostrt/runtime.h"
+
+namespace kernelvm {
+namespace {
+
+struct Program {
+  ompi::Arena arena;
+  ompi::CompileOutput out;
+  std::unique_ptr<Interp> vm;
+};
+
+std::unique_ptr<Program> make_vm(std::string_view src) {
+  hostrt::Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  auto p = std::make_unique<Program>();
+  p->out = ompi::compile(src, {}, p->arena);
+  EXPECT_TRUE(p->out.ok) << p->out.diagnostics;
+  if (p->out.ok) p->vm = std::make_unique<Interp>(p->out);
+  return p;
+}
+
+long long run_int(std::string_view src, const std::string& fn = "main") {
+  auto p = make_vm(src);
+  return p->vm->call_host(fn).as_int();
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_EQ(run_int("int main(void) { return 2 + 3 * 4; }"), 14);
+  EXPECT_EQ(run_int("int main(void) { return (2 + 3) * 4; }"), 20);
+  EXPECT_EQ(run_int("int main(void) { return 17 % 5 + 17 / 5; }"), 5);
+  EXPECT_EQ(run_int("int main(void) { return 1 << 4 | 3; }"), 19);
+}
+
+TEST(Interp, FloatsAndCasts) {
+  EXPECT_EQ(run_int("int main(void) { double d = 2.5; return (int)(d * 2.0); }"),
+            5);
+  EXPECT_EQ(run_int("int main(void) { float f = 7.9f; return (int)f; }"), 7);
+  EXPECT_EQ(run_int("int main(void) { int i = 3; double d = i / 2.0; "
+                    "return d == 1.5; }"),
+            1);
+}
+
+TEST(Interp, IntegerTruncationThroughTypes) {
+  EXPECT_EQ(run_int("int main(void) { char c = 300; return c; }"), 44);
+  EXPECT_EQ(run_int("int main(void) { unsigned char c = 255; c++; "
+                    "return c; }"),
+            0);
+}
+
+TEST(Interp, ControlFlow) {
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      int s = 0;
+      for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 8) break;
+        s += i;
+      }
+      return s;
+    })"),
+            0 + 1 + 2 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      int n = 0;
+      while (n < 5) n++;
+      do { n++; } while (n < 3);
+      return n;
+    })"),
+            6);
+}
+
+TEST(Interp, PointersAndArrays) {
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      int a[5];
+      for (int i = 0; i < 5; i++) a[i] = i * i;
+      int *p = a;
+      p++;
+      return *p + a[4];
+    })"),
+            1 + 16);
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      int x = 3;
+      int *p = &x;
+      *p = 42;
+      return x;
+    })"),
+            42);
+}
+
+TEST(Interp, FunctionsAndRecursion) {
+  EXPECT_EQ(run_int(R"(
+    int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+    int main(void) { return fib(12); })"),
+            144);
+}
+
+TEST(Interp, GlobalsPersistAcrossCalls) {
+  auto p = make_vm(R"(
+    int counter = 10;
+    int bump(void) { counter += 1; return counter; }
+  )");
+  EXPECT_EQ(p->vm->call_host("bump").as_int(), 11);
+  EXPECT_EQ(p->vm->call_host("bump").as_int(), 12);
+}
+
+TEST(Interp, PrintfFormatting) {
+  auto p = make_vm(R"(
+    int main(void) {
+      printf("i=%d f=%.2f s=%s c=%c%%\n", 42, 3.14159, "hi", 'x');
+      return 0;
+    })");
+  p->vm->call_host("main");
+  EXPECT_EQ(p->vm->stdout_text(), "i=42 f=3.14 s=hi c=x%\n");
+}
+
+TEST(Interp, MathBuiltins) {
+  EXPECT_EQ(run_int("int main(void) { return (int)sqrt(144.0); }"), 12);
+  EXPECT_EQ(run_int("int main(void) { return (int)fabs(-3.5 * 2.0); }"), 7);
+  EXPECT_EQ(run_int("int main(void) { return (int)pow(2.0, 10.0); }"), 1024);
+}
+
+TEST(Interp, MallocBackedBuffers) {
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      int *buf = (int*)malloc(16 * sizeof(int));
+      for (int i = 0; i < 16; i++) buf[i] = i;
+      int s = 0;
+      for (int i = 0; i < 16; i++) s += buf[i];
+      free(buf);
+      return s;
+    })"),
+            120);
+}
+
+TEST(Interp, CompoundAssignmentOnFloats) {
+  EXPECT_EQ(run_int(R"(
+    int main(void) {
+      float acc = 1.0f;
+      acc *= 8.0f;
+      acc /= 2.0f;
+      acc -= 1.0f;
+      return (int)acc;
+    })"),
+            3);
+}
+
+TEST(Interp, HostOpenMPApi) {
+  EXPECT_EQ(run_int("int main(void) { return omp_get_num_devices(); }"), 1);
+  EXPECT_EQ(run_int("int main(void) { return omp_is_initial_device(); }"), 1);
+  EXPECT_EQ(run_int("int main(void) { return omp_get_thread_num(); }"), 0);
+}
+
+TEST(Interp, DivisionByZeroFaults) {
+  auto p = make_vm("int main(void) { int z = 0; return 1 / z; }");
+  EXPECT_THROW(p->vm->call_host("main"), VmError);
+}
+
+TEST(Interp, UnknownFunctionFaults) {
+  auto p = make_vm(R"(
+    void other(void) { }
+    int main(void) { return 0; }
+  )");
+  EXPECT_THROW(p->vm->call_host("missing"), VmError);
+}
+
+}  // namespace
+}  // namespace kernelvm

@@ -1,0 +1,279 @@
+// Synchronization semantics: __syncthreads, named PTX-style barriers
+// (warp-counted arrival, the paper's X = W*ceil(N/W) rounding rule),
+// producer/consumer handoff as used by the master/worker scheme, and
+// deadlock detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/device.h"
+
+namespace jetsim {
+namespace {
+
+TEST(SyncThreads, AllThreadsObserveWritesBeforeBarrier) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  std::vector<int> stage(128, 0);
+  bool ok = true;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    stage[ctx.linear_tid()] = 1;
+    ctx.syncthreads();
+    for (int i = 0; i < 128; ++i)
+      if (stage[i] != 1) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(SyncThreads, ReusableAcrossPhases) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  std::vector<int> counter(1, 0);
+  bool ok = true;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    for (int phase = 0; phase < 5; ++phase) {
+      if (ctx.linear_tid() == 0) counter[0] = phase;
+      ctx.syncthreads();
+      if (counter[0] != phase) ok = false;
+      ctx.syncthreads();
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(SyncThreads, ReleasedWhenRemainingThreadsExit) {
+  // Half of the threads return early; __syncthreads must then complete
+  // with the live threads only (the deactivated master-warp lanes in the
+  // paper's scheme rely on this).
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  int reached = 0;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.linear_tid() % 2 == 0) return;  // 32 threads exit immediately
+    ctx.syncthreads();
+    ++reached;
+  });
+  EXPECT_EQ(reached, 32);
+}
+
+TEST(SyncThreads, AlignsTimelineNotIssue) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.linear_tid() == 0) ctx.charge_flops(10000);
+    ctx.syncthreads();
+    ctx.charge_flops(1);
+  });
+  // Everyone waited for the slow thread: the critical path includes the
+  // 10000 cycles, but the other 31 threads' stall is not issued work.
+  EXPECT_GE(acc.sum_wave_critical_cycles, 10000.0);
+  EXPECT_LT(acc.total_issue_cycles, 2 * 10000.0);
+}
+
+TEST(NamedBarrier, WarpCountedArrival) {
+  // One active lane in warp 0 plus 96 worker threads: bar.sync with 128
+  // counts 4 warps even though warp 0 contributes a single calling lane.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  int master_progress = 0;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.warp_id() == 0) {
+      if (ctx.lane() != 0) return;  // deactivate 31 lanes of master warp
+      ctx.named_barrier(1, 128);
+      master_progress = 1;
+    } else {
+      ctx.named_barrier(1, 128);
+    }
+  });
+  EXPECT_EQ(master_progress, 1);
+}
+
+TEST(NamedBarrier, SubsetSynchronizationIndependentOfInactive) {
+  // 40 participating threads, rounded to X = 32*ceil(40/32) = 64. The
+  // other threads never call the barrier and proceed untouched.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  int participants = 0, bystanders = 0;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.linear_tid() < 40) {
+      ctx.named_barrier(3, 64);  // paper's rounding rule
+      ++participants;
+    } else {
+      ++bystanders;
+    }
+  });
+  EXPECT_EQ(participants, 40);
+  EXPECT_EQ(bystanders, 88);
+}
+
+TEST(NamedBarrier, RejectsNonWarpMultipleCount) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  EXPECT_THROW(
+      dev.launch(cfg, [&](KernelCtx& ctx) { ctx.named_barrier(0, 40); }),
+      SimError);
+}
+
+TEST(NamedBarrier, RejectsOutOfRangeId) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  EXPECT_THROW(
+      dev.launch(cfg, [&](KernelCtx& ctx) { ctx.named_barrier(16, 32); }),
+      SimError);
+  EXPECT_THROW(
+      dev.launch(cfg, [&](KernelCtx& ctx) { ctx.named_barrier(-1, 32); }),
+      SimError);
+}
+
+TEST(NamedBarrier, RejectsCountAboveBlockSize) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  EXPECT_THROW(
+      dev.launch(cfg, [&](KernelCtx& ctx) { ctx.named_barrier(0, 128); }),
+      SimError);
+}
+
+TEST(NamedBarrier, MismatchedCountsInOneGenerationThrow) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  EXPECT_THROW(dev.launch(cfg,
+                          [&](KernelCtx& ctx) {
+                            if (ctx.linear_tid() == 0)
+                              ctx.named_barrier(2, 128);
+                            else
+                              ctx.named_barrier(2, 64);
+                          }),
+               SimError);
+}
+
+TEST(NamedBarrier, ProducerConsumerHandoff) {
+  // The paper's B1 protocol: workers block first, the master publishes
+  // work then arrives, workers wake and observe the published data.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  cfg.shared_mem = sizeof(int);
+  int observed_sum = 0;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    int* work = reinterpret_cast<int*>(ctx.shmem());
+    if (ctx.linear_tid() == 0) {
+      *work = 42;               // registration phase
+      ctx.named_barrier(1, 128);  // wake workers
+    } else if (ctx.warp_id() == 0) {
+      return;  // masked master-warp lanes
+    } else {
+      ctx.named_barrier(1, 128);  // wait for work
+      observed_sum += *work;
+    }
+  });
+  EXPECT_EQ(observed_sum, 42 * 96);
+}
+
+TEST(NamedBarrier, TwoBarriersOperateIndependently) {
+  // B1 synchronizes everyone, B2 only the 64 participating threads —
+  // exactly the paper's two-barrier region protocol.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  int phase2_entries = 0;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    ctx.named_barrier(1, 128);
+    if (ctx.linear_tid() < 64) {
+      ctx.named_barrier(2, 64);
+      ++phase2_entries;
+    }
+    ctx.named_barrier(1, 128);
+  });
+  EXPECT_EQ(phase2_entries, 64);
+}
+
+TEST(NamedBarrier, RepeatedGenerationsInLoop) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {96};
+  std::vector<int> log;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    for (int round = 0; round < 10; ++round) {
+      if (ctx.linear_tid() == 0) log.push_back(round);
+      ctx.named_barrier(0, 96);
+    }
+  });
+  ASSERT_EQ(log.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(Deadlock, DetectedWhenBarrierCanNeverFill) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  // Only one warp calls a 128-thread barrier; the rest exit.
+  EXPECT_THROW(dev.launch(cfg,
+                          [&](KernelCtx& ctx) {
+                            if (ctx.warp_id() == 0) ctx.named_barrier(5, 128);
+                          }),
+               SimError);
+}
+
+TEST(Deadlock, MessageNamesKernelAndBarrierState) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  cfg.kernel_name = "krn_probe";
+  try {
+    dev.launch(cfg, [&](KernelCtx& ctx) {
+      if (ctx.linear_tid() == 0) ctx.named_barrier(7, 64);
+    });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("krn_probe"), std::string::npos);
+    EXPECT_NE(msg.find("bar[7]"), std::string::npos);
+  }
+}
+
+TEST(SpinLock, FairnessUnderContention) {
+  // Every thread must eventually acquire the lock exactly 3 times.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  int lock = 0;
+  std::vector<int> acquisitions(64, 0);
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    for (int round = 0; round < 3; ++round) {
+      while (ctx.atomic_cas(&lock, 0, 1) != 0) ctx.spin_yield();
+      acquisitions[ctx.linear_tid()]++;
+      ctx.atomic_exch(&lock, 0);
+      ctx.spin_yield();
+    }
+  });
+  for (int t = 0; t < 64; ++t) EXPECT_EQ(acquisitions[t], 3) << "t=" << t;
+}
+
+}  // namespace
+}  // namespace jetsim

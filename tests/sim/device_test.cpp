@@ -1,0 +1,241 @@
+#include "sim/device.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/gspan.h"
+
+namespace jetsim {
+namespace {
+
+TEST(Device, MallocTranslateFree) {
+  Device dev;
+  uint64_t a = dev.malloc(64);
+  ASSERT_NE(a, 0u);
+  int* p = dev.ptr<int>(a, 16);
+  p[0] = 7;
+  p[15] = 9;
+  EXPECT_EQ(dev.ptr<int>(a, 16)[15], 9);
+  EXPECT_EQ(dev.bytes_allocated(), 64u);
+  dev.free(a);
+  EXPECT_EQ(dev.bytes_allocated(), 0u);
+}
+
+TEST(Device, TranslateRejectsOutOfBounds) {
+  Device dev;
+  uint64_t a = dev.malloc(16);
+  EXPECT_THROW(dev.translate(a, 17), SimError);
+  EXPECT_THROW(dev.translate(a + 8, 16), SimError);
+  EXPECT_THROW(dev.translate(12345, 1), SimError);
+  dev.free(a);
+}
+
+TEST(Device, TranslateInteriorPointer) {
+  Device dev;
+  uint64_t a = dev.malloc(100);
+  void* mid = dev.translate(a + 40, 60);
+  EXPECT_EQ(static_cast<std::byte*>(mid),
+            static_cast<std::byte*>(dev.translate(a, 1)) + 40);
+  dev.free(a);
+}
+
+TEST(Device, FreeUnknownAddressThrows) {
+  Device dev;
+  EXPECT_THROW(dev.free(42), SimError);
+}
+
+TEST(Device, OutOfMemoryReturnsZero) {
+  DeviceProps props;
+  props.total_global_mem = 1024;
+  Device dev(props);
+  EXPECT_EQ(dev.malloc(2048), 0u);
+  uint64_t a = dev.malloc(1024);
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(dev.malloc(1), 0u);
+  dev.free(a);
+  EXPECT_NE(dev.malloc(512), 0u);
+}
+
+TEST(Launch, EveryThreadRunsWithCorrectIndices) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {3, 2};
+  cfg.block = {8, 4};
+  uint64_t buf = dev.malloc(3 * 2 * 8 * 4 * sizeof(int));
+  int* out = dev.ptr<int>(buf, 3 * 2 * 8 * 4);
+
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    unsigned gx = ctx.block_idx().x * ctx.block_dim().x + ctx.thread_idx().x;
+    unsigned gy = ctx.block_idx().y * ctx.block_dim().y + ctx.thread_idx().y;
+    out[gy * 24 + gx] = static_cast<int>(gy * 24 + gx);
+  });
+
+  for (int i = 0; i < 3 * 2 * 8 * 4; ++i) EXPECT_EQ(out[i], i) << "i=" << i;
+  EXPECT_EQ(dev.stats().blocks_run, 6u);
+  EXPECT_EQ(dev.stats().threads_run, 6u * 32u);
+  dev.free(buf);
+}
+
+TEST(Launch, LinearTidAndWarpDecomposition) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32, 4};  // 128 threads = 4 warps
+  std::vector<int> warp_of(128, -1);
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    warp_of[ctx.linear_tid()] = ctx.warp_id();
+    EXPECT_EQ(ctx.lane(), static_cast<int>(ctx.linear_tid() % 32));
+  });
+  for (int t = 0; t < 128; ++t) EXPECT_EQ(warp_of[t], t / 32);
+}
+
+TEST(Launch, RejectsOversizedBlock) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {2048};
+  EXPECT_THROW(dev.launch(cfg, [](KernelCtx&) {}), SimError);
+}
+
+TEST(Launch, RejectsOversizedSharedMem) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  cfg.shared_mem = 1 << 20;
+  EXPECT_THROW(dev.launch(cfg, [](KernelCtx&) {}), SimError);
+}
+
+TEST(Launch, AtomicAddAcrossBlockIsExact) {
+  Device dev;
+  uint64_t buf = dev.malloc(sizeof(int));
+  int* counter = dev.ptr<int>(buf);
+  *counter = 0;
+  LaunchConfig cfg;
+  cfg.grid = {4};
+  cfg.block = {128};
+  dev.launch(cfg, [&](KernelCtx& ctx) { ctx.atomic_add(counter, 1); });
+  EXPECT_EQ(*counter, 4 * 128);
+  dev.free(buf);
+}
+
+TEST(Launch, AtomicCasImplementsSpinLock) {
+  Device dev;
+  uint64_t buf = dev.malloc(2 * sizeof(int));
+  int* mem = dev.ptr<int>(buf, 2);
+  mem[0] = 0;  // lock word
+  mem[1] = 0;  // protected counter
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {96};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    while (ctx.atomic_cas(&mem[0], 0, 1) != 0) ctx.spin_yield();
+    mem[1] += 1;  // non-atomic on purpose: the lock serializes
+    ctx.atomic_exch(&mem[0], 0);
+  });
+  EXPECT_EQ(mem[1], 96);
+  dev.free(buf);
+}
+
+TEST(Launch, SharedMemoryVisibleAcrossThreadsOfBlock) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {2};
+  cfg.block = {64};
+  cfg.shared_mem = 64 * sizeof(int);
+  std::vector<int> result(2, 0);
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    int* sh = reinterpret_cast<int*>(ctx.shmem());
+    sh[ctx.linear_tid()] = static_cast<int>(ctx.linear_tid());
+    ctx.syncthreads();
+    if (ctx.linear_tid() == 0) {
+      int sum = 0;
+      for (int i = 0; i < 64; ++i) sum += sh[i];
+      result[ctx.block_idx().x] = sum;
+    }
+  });
+  EXPECT_EQ(result[0], 63 * 64 / 2);
+  EXPECT_EQ(result[1], 63 * 64 / 2);
+}
+
+TEST(Launch, SharedMemoryZeroInitializedPerBlock) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {3};
+  cfg.block = {32};
+  cfg.shared_mem = 128;
+  bool all_zero = true;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.linear_tid() == 0) {
+      for (std::size_t i = 0; i < ctx.shmem_size(); ++i)
+        if (ctx.shmem()[i] != std::byte{0}) all_zero = false;
+      // Dirty it; the next block must still see zeros.
+      ctx.shmem()[0] = std::byte{0xFF};
+    }
+  });
+  EXPECT_TRUE(all_zero);
+}
+
+TEST(Launch, GSpanChargesAndAccesses) {
+  Device dev;
+  uint64_t buf = dev.malloc(128 * sizeof(float));
+  float* data = dev.ptr<float>(buf, 128);
+  for (int i = 0; i < 128; ++i) data[i] = static_cast<float>(i);
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    GSpan<float> x(ctx, data, 128, Access::Coalesced);
+    float v = x.read(ctx.linear_tid());
+    x.write(ctx.linear_tid(), v * 2.0f);
+  });
+  EXPECT_FLOAT_EQ(data[100], 200.0f);
+  // 128 threads x 2 coalesced accesses x 4 bytes.
+  EXPECT_DOUBLE_EQ(acc.total_dram_bytes, 128.0 * 2 * 4);
+  dev.free(buf);
+}
+
+TEST(Launch, ModelOnlyFlagIsVisible) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  cfg.model_only = true;
+  bool seen = false;
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    if (ctx.linear_tid() == 0) seen = ctx.model_only();
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(Launch, DeviceClockAdvancesMonotonically) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  double t0 = dev.now();
+  dev.launch(cfg, [](KernelCtx& ctx) { ctx.charge_flops(1000); });
+  double t1 = dev.now();
+  EXPECT_GT(t1, t0);
+  dev.advance_time(1e-3);
+  EXPECT_DOUBLE_EQ(dev.now(), t1 + 1e-3);
+}
+
+TEST(Launch, ThreeDimensionalGridAndBlock) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {2, 2, 2};
+  cfg.block = {2, 4, 4};  // 32 threads
+  std::vector<int> hits(cfg.grid.count() * cfg.block.count(), 0);
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    unsigned bid = ctx.grid_dim().linear(ctx.block_idx());
+    unsigned tid = ctx.block_dim().linear(ctx.thread_idx());
+    hits[bid * 32 + tid]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace jetsim

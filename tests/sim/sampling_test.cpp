@@ -1,0 +1,88 @@
+// Block-sampling behaviour of model-only launches (DESIGN.md §5).
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+
+namespace jetsim {
+namespace {
+
+LaunchConfig big_grid(bool model_only, bool sampling) {
+  LaunchConfig cfg;
+  cfg.grid = {4096};
+  cfg.block = {128};
+  cfg.model_only = model_only;
+  cfg.allow_block_sampling = sampling;
+  return cfg;
+}
+
+TEST(Sampling, UniformGridScalesAccountsAccurately) {
+  Device dev;
+  auto charge = [](KernelCtx& ctx) {
+    ctx.charge_flops(50);
+    ctx.charge_gmem(Access::Coalesced, 4, 10);
+  };
+  auto sampled = dev.launch(big_grid(true, true), charge);
+  auto full = dev.launch(big_grid(true, false), charge);
+  EXPECT_EQ(sampled.blocks, full.blocks);
+  EXPECT_NEAR(sampled.total_issue_cycles, full.total_issue_cycles,
+              full.total_issue_cycles * 0.01);
+  EXPECT_NEAR(sampled.total_dram_bytes, full.total_dram_bytes,
+              full.total_dram_bytes * 0.01);
+  EXPECT_NEAR(sampled.time_s, full.time_s, full.time_s * 0.01);
+}
+
+TEST(Sampling, BoundaryGuardedGridStaysAccurate) {
+  // Work only below a cutoff crossing the grid: the stratified sample
+  // must see both full and empty regions.
+  Device dev;
+  const unsigned cutoff = 4096 * 128 * 3 / 5;
+  auto charge = [&](KernelCtx& ctx) {
+    unsigned gid = ctx.block_idx().x * 128 + ctx.linear_tid();
+    if (gid < cutoff) ctx.charge_flops(100);
+  };
+  auto sampled = dev.launch(big_grid(true, true), charge);
+  auto full = dev.launch(big_grid(true, false), charge);
+  EXPECT_NEAR(sampled.total_issue_cycles, full.total_issue_cycles,
+              full.total_issue_cycles * 0.02);
+}
+
+TEST(Sampling, DisabledWithoutOptIn) {
+  Device dev;
+  int blocks_run_before = static_cast<int>(dev.stats().blocks_run);
+  dev.launch(big_grid(true, false), [](KernelCtx&) {});
+  EXPECT_EQ(dev.stats().blocks_run - blocks_run_before, 4096u);
+}
+
+TEST(Sampling, NeverAppliesToRealExecution) {
+  Device dev;
+  uint64_t before = dev.stats().blocks_run;
+  dev.launch(big_grid(false, true), [](KernelCtx&) {});
+  EXPECT_EQ(dev.stats().blocks_run - before, 4096u)
+      << "real (data-touching) runs must simulate every block";
+}
+
+TEST(Sampling, SmallGridsAlwaysRunFully) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {64};
+  cfg.block = {128};
+  cfg.model_only = true;
+  cfg.allow_block_sampling = true;
+  uint64_t before = dev.stats().blocks_run;
+  dev.launch(cfg, [](KernelCtx&) {});
+  EXPECT_EQ(dev.stats().blocks_run - before, 64u);
+}
+
+TEST(Sampling, FirstAndLastBlockAlwaysSimulated) {
+  Device dev;
+  bool saw_first = false, saw_last = false;
+  dev.launch(big_grid(true, true), [&](KernelCtx& ctx) {
+    if (ctx.block_idx().x == 0) saw_first = true;
+    if (ctx.block_idx().x == 4095) saw_last = true;
+  });
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_last);
+}
+
+}  // namespace
+}  // namespace jetsim

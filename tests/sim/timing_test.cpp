@@ -1,0 +1,171 @@
+// Timing-model behaviour: roofline selection, occupancy waves,
+// calibration hooks and the cost table.
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+#include "sim/timing.h"
+
+namespace jetsim {
+namespace {
+
+TEST(CostTable, DramBytesPerAccessPattern) {
+  CostModel c;
+  EXPECT_DOUBLE_EQ(c.dram_bytes_for(Access::Coalesced, 4, 32), 4.0);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_for(Access::Broadcast, 4, 32), 4.0 / 32);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_for(Access::Strided, 4, 32), 32.0);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_for(Access::CacheResident, 4, 32), 0.0);
+}
+
+TEST(Occupancy, LimitedByResidentThreads) {
+  TimingModel tm{DeviceProps{}, CostModel{}};
+  // 2048 resident threads / 256 per block = 8 blocks.
+  EXPECT_EQ(tm.occupancy_blocks(256, 0), 8);
+  EXPECT_EQ(tm.occupancy_blocks(1024, 0), 2);
+}
+
+TEST(Occupancy, LimitedByBlockCap) {
+  TimingModel tm{DeviceProps{}, CostModel{}};
+  // Tiny blocks: capped at 32 resident blocks, not 2048/32=64.
+  EXPECT_EQ(tm.occupancy_blocks(32, 0), 32);
+}
+
+TEST(Occupancy, LimitedBySharedMemory) {
+  TimingModel tm{DeviceProps{}, CostModel{}};
+  // 64KB SM shared memory / 24KB per block = 2 resident blocks.
+  EXPECT_EQ(tm.occupancy_blocks(64, 24 * 1024), 2);
+}
+
+TEST(Occupancy, NeverBelowOne) {
+  TimingModel tm{DeviceProps{}, CostModel{}};
+  EXPECT_EQ(tm.occupancy_blocks(64, 60 * 1024), 1);
+}
+
+TEST(Roofline, ComputeBoundKernelUsesIssueCycles) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {8};
+  cfg.block = {128};
+  auto acc = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_flops(1e6);  // no memory traffic at all
+  });
+  EXPECT_GT(acc.compute_s, 0);
+  EXPECT_DOUBLE_EQ(acc.memory_s, 0);
+  EXPECT_DOUBLE_EQ(acc.time_s, acc.compute_s);
+  // 8*128 threads * 1e6 cycles / 128 cores = 8e6 cycles.
+  double expect_s = 8e6 / dev.props().clock_hz;
+  EXPECT_NEAR(acc.compute_s, expect_s, expect_s * 0.01);
+}
+
+TEST(Roofline, MemoryBoundKernelUsesBandwidth) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {64};
+  cfg.block = {128};
+  auto acc = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 1000);  // 4KB per thread
+  });
+  double bytes = 64.0 * 128 * 4000;
+  double expect_s =
+      bytes / (dev.props().dram_bandwidth * dev.props().dram_efficiency);
+  EXPECT_NEAR(acc.memory_s, expect_s, expect_s * 0.01);
+  EXPECT_GE(acc.time_s, acc.memory_s);
+}
+
+TEST(Roofline, SerializedBlockLimitedByCriticalPath) {
+  // One thread does all the work: the block cannot finish faster than
+  // that thread even though 127 others idle.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {128};
+  auto acc = dev.launch(cfg, [](KernelCtx& ctx) {
+    if (ctx.linear_tid() == 0) ctx.charge_flops(1e6);
+  });
+  double critical_s = 1e6 / dev.props().clock_hz;
+  EXPECT_NEAR(acc.time_s, critical_s, critical_s * 0.01);
+}
+
+TEST(Roofline, WaveCountFollowsOccupancy) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {20};
+  cfg.block = {256};  // occupancy 8 -> 3 waves
+  auto acc = dev.launch(cfg, [](KernelCtx& ctx) { ctx.charge_flops(10); });
+  EXPECT_EQ(acc.occupancy_blocks, 8);
+  EXPECT_EQ(acc.waves, 3);
+}
+
+TEST(Calibration, AppliesMultiplicativeFactorByKernelTag) {
+  Device dev;
+  dev.timing().set_calibration("krn_gemm_2048", 1.18);
+  LaunchConfig cfg;
+  cfg.grid = {4};
+  cfg.block = {128};
+  cfg.kernel_name = "krn_plain";
+  auto base = dev.launch(cfg, [](KernelCtx& ctx) { ctx.charge_flops(1e5); });
+  cfg.kernel_name = "krn_gemm_2048";
+  auto cal = dev.launch(cfg, [](KernelCtx& ctx) { ctx.charge_flops(1e5); });
+  EXPECT_NEAR(cal.time_s / base.time_s, 1.18, 1e-9);
+}
+
+TEST(Calibration, DefaultFactorIsOne) {
+  TimingModel tm{DeviceProps{}, CostModel{}};
+  EXPECT_DOUBLE_EQ(tm.calibration("anything"), 1.0);
+}
+
+TEST(Timing, BarrierWaitersInheritSlowestArrival) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {64};
+  auto acc = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_flops(static_cast<double>(ctx.linear_tid()) * 100);
+    ctx.syncthreads();
+  });
+  // The block's critical path follows the slowest arrival, but stall
+  // time never counts as issued work: the issue total stays the sum of
+  // the real charges (0+100+...+6300).
+  EXPECT_GE(acc.sum_wave_critical_cycles, 6300.0);
+  EXPECT_LT(acc.total_issue_cycles, 64 * 3200.0 + 64 * 100.0);
+  EXPECT_GE(acc.total_issue_cycles, 63 * 64 / 2 * 100.0);
+}
+
+TEST(Timing, LaunchLogRecordsEachKernel) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {32};
+  cfg.kernel_name = "a";
+  dev.launch(cfg, [](KernelCtx&) {});
+  cfg.kernel_name = "b";
+  dev.launch(cfg, [](KernelCtx&) {});
+  ASSERT_EQ(dev.launch_log().size(), 2u);
+  EXPECT_EQ(dev.launch_log()[0].kernel_name, "a");
+  EXPECT_EQ(dev.launch_log()[1].kernel_name, "b");
+  dev.clear_launch_log();
+  EXPECT_TRUE(dev.launch_log().empty());
+}
+
+class RooflineCrossover : public ::testing::TestWithParam<double> {};
+
+TEST_P(RooflineCrossover, MaxOfComputeAndMemory) {
+  // Sweep arithmetic intensity; modeled time must always equal
+  // max(compute_s, memory_s) and transition smoothly across the ridge.
+  double flops_per_byte = GetParam();
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {16};
+  cfg.block = {128};
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 100);
+    ctx.charge_flops(100 * 4 * flops_per_byte);
+  });
+  EXPECT_DOUBLE_EQ(acc.time_s, std::max(acc.compute_s, acc.memory_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, RooflineCrossover,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0, 8.0,
+                                           64.0));
+
+}  // namespace
+}  // namespace jetsim
