@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/apps/atax.cpp" "apps/CMakeFiles/ompi_apps.dir/atax.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/atax.cpp.o.d"
+  "/root/repo/apps/bicg.cpp" "apps/CMakeFiles/ompi_apps.dir/bicg.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/bicg.cpp.o.d"
+  "/root/repo/apps/common.cpp" "apps/CMakeFiles/ompi_apps.dir/common.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/common.cpp.o.d"
+  "/root/repo/apps/conv3d.cpp" "apps/CMakeFiles/ompi_apps.dir/conv3d.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/conv3d.cpp.o.d"
+  "/root/repo/apps/gemm.cpp" "apps/CMakeFiles/ompi_apps.dir/gemm.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/gemm.cpp.o.d"
+  "/root/repo/apps/gramschmidt.cpp" "apps/CMakeFiles/ompi_apps.dir/gramschmidt.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/gramschmidt.cpp.o.d"
+  "/root/repo/apps/mvt.cpp" "apps/CMakeFiles/ompi_apps.dir/mvt.cpp.o" "gcc" "apps/CMakeFiles/ompi_apps.dir/mvt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hostrt/CMakeFiles/ompi_hostrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudadrv/CMakeFiles/ompi_cudadrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/devrt/CMakeFiles/ompi_devrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

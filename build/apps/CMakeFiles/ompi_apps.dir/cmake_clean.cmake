@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_apps.dir/atax.cpp.o"
+  "CMakeFiles/ompi_apps.dir/atax.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/bicg.cpp.o"
+  "CMakeFiles/ompi_apps.dir/bicg.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/common.cpp.o"
+  "CMakeFiles/ompi_apps.dir/common.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/conv3d.cpp.o"
+  "CMakeFiles/ompi_apps.dir/conv3d.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/gemm.cpp.o"
+  "CMakeFiles/ompi_apps.dir/gemm.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/gramschmidt.cpp.o"
+  "CMakeFiles/ompi_apps.dir/gramschmidt.cpp.o.d"
+  "CMakeFiles/ompi_apps.dir/mvt.cpp.o"
+  "CMakeFiles/ompi_apps.dir/mvt.cpp.o.d"
+  "libompi_apps.a"
+  "libompi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

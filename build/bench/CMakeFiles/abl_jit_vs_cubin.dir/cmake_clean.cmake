@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_jit_vs_cubin.dir/abl_jit_vs_cubin.cpp.o"
+  "CMakeFiles/abl_jit_vs_cubin.dir/abl_jit_vs_cubin.cpp.o.d"
+  "abl_jit_vs_cubin"
+  "abl_jit_vs_cubin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_jit_vs_cubin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_jit_vs_cubin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_masterworker.dir/abl_masterworker.cpp.o"
+  "CMakeFiles/abl_masterworker.dir/abl_masterworker.cpp.o.d"
+  "abl_masterworker"
+  "abl_masterworker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_masterworker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_schedules.dir/abl_schedules.cpp.o"
+  "CMakeFiles/abl_schedules.dir/abl_schedules.cpp.o.d"
+  "abl_schedules"
+  "abl_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_3dconv.dir/fig4a_3dconv.cpp.o"
+  "CMakeFiles/fig4a_3dconv.dir/fig4a_3dconv.cpp.o.d"
+  "fig4a_3dconv"
+  "fig4a_3dconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_3dconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_bicg.dir/fig4b_bicg.cpp.o"
+  "CMakeFiles/fig4b_bicg.dir/fig4b_bicg.cpp.o.d"
+  "fig4b_bicg"
+  "fig4b_bicg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_bicg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_atax.dir/fig4c_atax.cpp.o"
+  "CMakeFiles/fig4c_atax.dir/fig4c_atax.cpp.o.d"
+  "fig4c_atax"
+  "fig4c_atax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_atax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

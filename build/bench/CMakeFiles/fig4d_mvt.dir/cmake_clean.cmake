@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_mvt.dir/fig4d_mvt.cpp.o"
+  "CMakeFiles/fig4d_mvt.dir/fig4d_mvt.cpp.o.d"
+  "fig4d_mvt"
+  "fig4d_mvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_mvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_gemm.dir/fig4e_gemm.cpp.o"
+  "CMakeFiles/fig4e_gemm.dir/fig4e_gemm.cpp.o.d"
+  "fig4e_gemm"
+  "fig4e_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

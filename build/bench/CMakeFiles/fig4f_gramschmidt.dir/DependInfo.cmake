@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4f_gramschmidt.cpp" "bench/CMakeFiles/fig4f_gramschmidt.dir/fig4f_gramschmidt.cpp.o" "gcc" "bench/CMakeFiles/fig4f_gramschmidt.dir/fig4f_gramschmidt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/apps/CMakeFiles/ompi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostrt/CMakeFiles/ompi_hostrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudadrv/CMakeFiles/ompi_cudadrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/devrt/CMakeFiles/ompi_devrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4f_gramschmidt.dir/fig4f_gramschmidt.cpp.o"
+  "CMakeFiles/fig4f_gramschmidt.dir/fig4f_gramschmidt.cpp.o.d"
+  "fig4f_gramschmidt"
+  "fig4f_gramschmidt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4f_gramschmidt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

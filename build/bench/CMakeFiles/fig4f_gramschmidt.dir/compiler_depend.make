@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4f_gramschmidt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_devrt.dir/micro_devrt.cpp.o"
+  "CMakeFiles/micro_devrt.dir/micro_devrt.cpp.o.d"
+  "micro_devrt"
+  "micro_devrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_devrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

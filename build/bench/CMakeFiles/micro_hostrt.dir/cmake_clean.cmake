@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hostrt.dir/micro_hostrt.cpp.o"
+  "CMakeFiles/micro_hostrt.dir/micro_hostrt.cpp.o.d"
+  "micro_hostrt"
+  "micro_hostrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hostrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masterworker_tour.dir/masterworker_tour.cpp.o"
+  "CMakeFiles/masterworker_tour.dir/masterworker_tour.cpp.o.d"
+  "masterworker_tour"
+  "masterworker_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masterworker_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompicc.dir/ompicc.cpp.o"
+  "CMakeFiles/ompicc.dir/ompicc.cpp.o.d"
+  "ompicc"
+  "ompicc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

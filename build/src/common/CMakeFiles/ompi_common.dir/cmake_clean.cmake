@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_common.dir/diag.cpp.o"
+  "CMakeFiles/ompi_common.dir/diag.cpp.o.d"
+  "CMakeFiles/ompi_common.dir/intern.cpp.o"
+  "CMakeFiles/ompi_common.dir/intern.cpp.o.d"
+  "CMakeFiles/ompi_common.dir/str_util.cpp.o"
+  "CMakeFiles/ompi_common.dir/str_util.cpp.o.d"
+  "libompi_common.a"
+  "libompi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

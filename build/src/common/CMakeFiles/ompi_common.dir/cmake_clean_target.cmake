@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libompi_common.a"
+)

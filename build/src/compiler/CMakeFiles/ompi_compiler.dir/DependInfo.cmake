@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/codegen.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/codegen.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/compiler.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/compiler.cpp.o.d"
+  "/root/repo/src/compiler/lexer.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/lexer.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/lexer.cpp.o.d"
+  "/root/repo/src/compiler/parser.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/parser.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/parser.cpp.o.d"
+  "/root/repo/src/compiler/sema.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/sema.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/sema.cpp.o.d"
+  "/root/repo/src/compiler/transform.cpp" "src/compiler/CMakeFiles/ompi_compiler.dir/transform.cpp.o" "gcc" "src/compiler/CMakeFiles/ompi_compiler.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

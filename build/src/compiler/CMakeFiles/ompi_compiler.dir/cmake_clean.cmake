@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_compiler.dir/codegen.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/codegen.cpp.o.d"
+  "CMakeFiles/ompi_compiler.dir/compiler.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/compiler.cpp.o.d"
+  "CMakeFiles/ompi_compiler.dir/lexer.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/lexer.cpp.o.d"
+  "CMakeFiles/ompi_compiler.dir/parser.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/parser.cpp.o.d"
+  "CMakeFiles/ompi_compiler.dir/sema.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/sema.cpp.o.d"
+  "CMakeFiles/ompi_compiler.dir/transform.cpp.o"
+  "CMakeFiles/ompi_compiler.dir/transform.cpp.o.d"
+  "libompi_compiler.a"
+  "libompi_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

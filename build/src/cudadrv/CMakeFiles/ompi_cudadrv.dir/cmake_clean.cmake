@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_cudadrv.dir/cuda.cpp.o"
+  "CMakeFiles/ompi_cudadrv.dir/cuda.cpp.o.d"
+  "libompi_cudadrv.a"
+  "libompi_cudadrv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_cudadrv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

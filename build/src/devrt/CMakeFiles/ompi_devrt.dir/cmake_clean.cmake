@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_devrt.dir/devrt.cpp.o"
+  "CMakeFiles/ompi_devrt.dir/devrt.cpp.o.d"
+  "libompi_devrt.a"
+  "libompi_devrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_devrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_hostrt.dir/cudadev_module.cpp.o"
+  "CMakeFiles/ompi_hostrt.dir/cudadev_module.cpp.o.d"
+  "CMakeFiles/ompi_hostrt.dir/map_env.cpp.o"
+  "CMakeFiles/ompi_hostrt.dir/map_env.cpp.o.d"
+  "CMakeFiles/ompi_hostrt.dir/opencldev_module.cpp.o"
+  "CMakeFiles/ompi_hostrt.dir/opencldev_module.cpp.o.d"
+  "CMakeFiles/ompi_hostrt.dir/runtime.cpp.o"
+  "CMakeFiles/ompi_hostrt.dir/runtime.cpp.o.d"
+  "libompi_hostrt.a"
+  "libompi_hostrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_hostrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_kernelvm.dir/builtins.cpp.o"
+  "CMakeFiles/ompi_kernelvm.dir/builtins.cpp.o.d"
+  "CMakeFiles/ompi_kernelvm.dir/interp.cpp.o"
+  "CMakeFiles/ompi_kernelvm.dir/interp.cpp.o.d"
+  "CMakeFiles/ompi_kernelvm.dir/value.cpp.o"
+  "CMakeFiles/ompi_kernelvm.dir/value.cpp.o.d"
+  "libompi_kernelvm.a"
+  "libompi_kernelvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_kernelvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block.cpp" "src/sim/CMakeFiles/ompi_sim.dir/block.cpp.o" "gcc" "src/sim/CMakeFiles/ompi_sim.dir/block.cpp.o.d"
+  "/root/repo/src/sim/device.cpp" "src/sim/CMakeFiles/ompi_sim.dir/device.cpp.o" "gcc" "src/sim/CMakeFiles/ompi_sim.dir/device.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/ompi_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/ompi_sim.dir/fiber.cpp.o.d"
+  "/root/repo/src/sim/timing.cpp" "src/sim/CMakeFiles/ompi_sim.dir/timing.cpp.o" "gcc" "src/sim/CMakeFiles/ompi_sim.dir/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompi_sim.dir/block.cpp.o"
+  "CMakeFiles/ompi_sim.dir/block.cpp.o.d"
+  "CMakeFiles/ompi_sim.dir/device.cpp.o"
+  "CMakeFiles/ompi_sim.dir/device.cpp.o.d"
+  "CMakeFiles/ompi_sim.dir/fiber.cpp.o"
+  "CMakeFiles/ompi_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/ompi_sim.dir/timing.cpp.o"
+  "CMakeFiles/ompi_sim.dir/timing.cpp.o.d"
+  "libompi_sim.a"
+  "libompi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libompi_sim.a"
+)

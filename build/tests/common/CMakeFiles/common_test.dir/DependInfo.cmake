@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/arena_test.cpp" "tests/common/CMakeFiles/common_test.dir/arena_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/arena_test.cpp.o.d"
+  "/root/repo/tests/common/diag_test.cpp" "tests/common/CMakeFiles/common_test.dir/diag_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/diag_test.cpp.o.d"
+  "/root/repo/tests/common/str_util_test.cpp" "tests/common/CMakeFiles/common_test.dir/str_util_test.cpp.o" "gcc" "tests/common/CMakeFiles/common_test.dir/str_util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

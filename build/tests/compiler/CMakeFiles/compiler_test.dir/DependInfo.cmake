@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compiler/codegen_test.cpp" "tests/compiler/CMakeFiles/compiler_test.dir/codegen_test.cpp.o" "gcc" "tests/compiler/CMakeFiles/compiler_test.dir/codegen_test.cpp.o.d"
+  "/root/repo/tests/compiler/lexer_test.cpp" "tests/compiler/CMakeFiles/compiler_test.dir/lexer_test.cpp.o" "gcc" "tests/compiler/CMakeFiles/compiler_test.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/compiler/parser_test.cpp" "tests/compiler/CMakeFiles/compiler_test.dir/parser_test.cpp.o" "gcc" "tests/compiler/CMakeFiles/compiler_test.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/compiler/transform_test.cpp" "tests/compiler/CMakeFiles/compiler_test.dir/transform_test.cpp.o" "gcc" "tests/compiler/CMakeFiles/compiler_test.dir/transform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/ompi_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

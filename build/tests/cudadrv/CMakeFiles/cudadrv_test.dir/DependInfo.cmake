@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cudadrv/driver_api_test.cpp" "tests/cudadrv/CMakeFiles/cudadrv_test.dir/driver_api_test.cpp.o" "gcc" "tests/cudadrv/CMakeFiles/cudadrv_test.dir/driver_api_test.cpp.o.d"
+  "/root/repo/tests/cudadrv/module_test.cpp" "tests/cudadrv/CMakeFiles/cudadrv_test.dir/module_test.cpp.o" "gcc" "tests/cudadrv/CMakeFiles/cudadrv_test.dir/module_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cudadrv/CMakeFiles/ompi_cudadrv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudadrv_test.dir/driver_api_test.cpp.o"
+  "CMakeFiles/cudadrv_test.dir/driver_api_test.cpp.o.d"
+  "CMakeFiles/cudadrv_test.dir/module_test.cpp.o"
+  "CMakeFiles/cudadrv_test.dir/module_test.cpp.o.d"
+  "cudadrv_test"
+  "cudadrv_test.pdb"
+  "cudadrv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudadrv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

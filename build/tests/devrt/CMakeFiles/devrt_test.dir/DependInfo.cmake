@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/devrt/masterworker_test.cpp" "tests/devrt/CMakeFiles/devrt_test.dir/masterworker_test.cpp.o" "gcc" "tests/devrt/CMakeFiles/devrt_test.dir/masterworker_test.cpp.o.d"
+  "/root/repo/tests/devrt/protocol_stress_test.cpp" "tests/devrt/CMakeFiles/devrt_test.dir/protocol_stress_test.cpp.o" "gcc" "tests/devrt/CMakeFiles/devrt_test.dir/protocol_stress_test.cpp.o.d"
+  "/root/repo/tests/devrt/sync_test.cpp" "tests/devrt/CMakeFiles/devrt_test.dir/sync_test.cpp.o" "gcc" "tests/devrt/CMakeFiles/devrt_test.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/devrt/worksharing_test.cpp" "tests/devrt/CMakeFiles/devrt_test.dir/worksharing_test.cpp.o" "gcc" "tests/devrt/CMakeFiles/devrt_test.dir/worksharing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devrt/CMakeFiles/ompi_devrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

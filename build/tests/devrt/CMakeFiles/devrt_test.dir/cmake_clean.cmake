@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devrt_test.dir/masterworker_test.cpp.o"
+  "CMakeFiles/devrt_test.dir/masterworker_test.cpp.o.d"
+  "CMakeFiles/devrt_test.dir/protocol_stress_test.cpp.o"
+  "CMakeFiles/devrt_test.dir/protocol_stress_test.cpp.o.d"
+  "CMakeFiles/devrt_test.dir/sync_test.cpp.o"
+  "CMakeFiles/devrt_test.dir/sync_test.cpp.o.d"
+  "CMakeFiles/devrt_test.dir/worksharing_test.cpp.o"
+  "CMakeFiles/devrt_test.dir/worksharing_test.cpp.o.d"
+  "devrt_test"
+  "devrt_test.pdb"
+  "devrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostrt_test.dir/map_env_test.cpp.o"
+  "CMakeFiles/hostrt_test.dir/map_env_test.cpp.o.d"
+  "CMakeFiles/hostrt_test.dir/opencldev_test.cpp.o"
+  "CMakeFiles/hostrt_test.dir/opencldev_test.cpp.o.d"
+  "CMakeFiles/hostrt_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/hostrt_test.dir/runtime_test.cpp.o.d"
+  "hostrt_test"
+  "hostrt_test.pdb"
+  "hostrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelvm_test.dir/data_sharing_test.cpp.o"
+  "CMakeFiles/kernelvm_test.dir/data_sharing_test.cpp.o.d"
+  "CMakeFiles/kernelvm_test.dir/end_to_end_test.cpp.o"
+  "CMakeFiles/kernelvm_test.dir/end_to_end_test.cpp.o.d"
+  "CMakeFiles/kernelvm_test.dir/interp_test.cpp.o"
+  "CMakeFiles/kernelvm_test.dir/interp_test.cpp.o.d"
+  "kernelvm_test"
+  "kernelvm_test.pdb"
+  "kernelvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/barrier_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/barrier_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/barrier_test.cpp.o.d"
+  "/root/repo/tests/sim/device_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/device_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/device_test.cpp.o.d"
+  "/root/repo/tests/sim/fiber_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/fiber_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/fiber_test.cpp.o.d"
+  "/root/repo/tests/sim/sampling_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/sampling_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/sampling_test.cpp.o.d"
+  "/root/repo/tests/sim/timing_test.cpp" "tests/sim/CMakeFiles/sim_test.dir/timing_test.cpp.o" "gcc" "tests/sim/CMakeFiles/sim_test.dir/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ompi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ompi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
