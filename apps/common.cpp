@@ -1,6 +1,7 @@
 #include "apps/common.h"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace apps {
@@ -137,7 +138,15 @@ void AppHarness::target(const std::string& kernel, unsigned teams_x,
   spec.geometry.threads_x = threads_x;
   spec.geometry.threads_y = threads_y;
   spec.args = std::move(args);
-  hostrt::Runtime::instance().target(0, spec, maps);
+  hostrt::OffloadStats stats = hostrt::Runtime::instance().target(0, spec, maps);
+  if (options_.verbose) {
+    std::printf(
+        "[offload] %-24s stream=%d total=%.3gs (load=%.3g prep=%.3g "
+        "exec=%.3g) queued=%.3g h2d=%.3g d2h=%.3g\n",
+        kernel.c_str(), stats.stream, stats.total(), stats.load_s,
+        stats.prepare_s, stats.exec_s, stats.queued_s, stats.h2d_s,
+        stats.d2h_s);
+  }
 }
 
 void AppHarness::target_data_begin(const std::vector<hostrt::MapItem>& maps) {

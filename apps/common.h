@@ -34,6 +34,7 @@ struct RunOptions {
   bool model_only = true;   // charge analytically, skip the data math
   bool verify = false;      // run real math and compare with a reference
   double calibration = 1.0; // multiplicative adjustment on OMPi kernels
+  bool verbose = false;     // print per-offload phase/stream stats
 };
 
 struct RunResult {

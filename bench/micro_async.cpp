@@ -1,0 +1,117 @@
+// Micro A1 — asynchronous offload engine: a chain of independent
+// ATAX/BICG-style matrix-vector offloads issued through `target nowait`
+// (the OffloadQueue's stream pool) versus the synchronous path. With
+// independent data environments the queue pipelines each task's H2D
+// copies against the previous task's kernel, so the modeled end-to-end
+// time approaches max(copy engine, SM engine) instead of their sum.
+#include <cstdio>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+constexpr int kTasks = 8;
+constexpr int kN = 1024;  // matrix dimension (one kN x kN operand per task)
+
+/// One combined-construct kernel shaped like the inner product pass of
+/// ATAX/BICG: every row reads kN floats of the matrix plus the vector
+/// and accumulates a dot product.
+void install_atax_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "async_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+  cudadrv::KernelImage k;
+  k.name = "_ataxKernel_";
+  k.param_count = 4;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2 * n);
+      ctx.charge_flops(2.0 * n);
+    }
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+struct TaskBuffers {
+  std::vector<float> a, x, y;
+};
+
+KernelLaunchSpec atax_spec(TaskBuffers& b) {
+  KernelLaunchSpec spec;
+  spec.module_path = "async_kernels.cubin";
+  spec.kernel_name = "_ataxKernel_";
+  spec.geometry.teams_x = static_cast<unsigned>((kN + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(b.a.data()), KernelArg::mapped(b.x.data()),
+               KernelArg::mapped(b.y.data()), KernelArg::of(kN)};
+  return spec;
+}
+
+std::vector<MapItem> atax_maps(TaskBuffers& b) {
+  return {
+      {b.a.data(), b.a.size() * sizeof(float), MapType::To},
+      {b.x.data(), b.x.size() * sizeof(float), MapType::To},
+      {b.y.data(), b.y.size() * sizeof(float), MapType::From},
+  };
+}
+
+double run_chain(bool use_nowait) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_atax_binary();
+  cudadrv::cuSimSetBlockSampling(true);
+
+  std::vector<TaskBuffers> tasks(kTasks);
+  for (TaskBuffers& b : tasks) {
+    b.a.assign(static_cast<std::size_t>(kN) * kN, 1.0f);
+    b.x.assign(kN, 1.0f);
+    b.y.assign(kN, 0.0f);
+  }
+
+  Runtime& rt = Runtime::instance();
+  double t0 = cudadrv::cuSimDevice(0).now();
+  for (TaskBuffers& b : tasks) {
+    if (use_nowait)
+      rt.target_nowait(0, atax_spec(b), atax_maps(b));
+    else
+      rt.target(0, atax_spec(b), atax_maps(b));
+  }
+  rt.sync(0);
+  double elapsed = cudadrv::cuSimDevice(0).now() - t0;
+
+  if (use_nowait) {
+    const OffloadQueue* q = rt.queue(0);
+    std::printf("  %-6s %-8s %10s %10s %10s %10s\n", "task", "stream",
+                "queued", "h2d", "exec", "d2h");
+    for (const TaskRecord& r : q->records())
+      std::printf("  %-6zu %-8d %10.3g %10.3g %10.3g %10.3g\n", r.id,
+                  r.stream, r.stats.queued_s, r.stats.h2d_s, r.stats.exec_s,
+                  r.stats.d2h_s);
+  }
+  return elapsed;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("micro_async: %d independent ATAX-style offloads (%dx%d)\n\n",
+              kTasks, kN, kN);
+  double sync_s = run_chain(false);
+  double async_s = run_chain(true);
+  std::printf("\n  synchronous      : %10.6f s\n", sync_s);
+  std::printf("  target nowait    : %10.6f s\n", async_s);
+  std::printf("  modeled speedup  : %10.2fx\n", sync_s / async_s);
+  Runtime::reset();
+  return async_s < sync_s ? 0 : 1;
+}

@@ -92,7 +92,7 @@ struct Expr {
 enum class OmpDir {
   Target, TargetData, TargetEnterData, TargetExitData, TargetUpdate,
   Teams, Distribute, Parallel, For, Sections, Section, Single, Barrier,
-  Critical,
+  Critical, Taskwait,
   // combined forms the translator recognizes as single constructs
   ParallelFor, TeamsDistribute, TargetTeams, TeamsDistributeParallelFor,
   TargetTeamsDistributeParallelFor, DistributeParallelFor,
@@ -103,6 +103,7 @@ std::string_view omp_dir_name(OmpDir d);
 
 enum class OmpMapType { Alloc, To, From, ToFrom };
 enum class OmpSchedule { Static, Dynamic, Guided };
+enum class OmpDependKind { In, Out, Inout };
 
 /// One item of a map/to/from clause: variable with optional array
 /// section `name[lb:len]`.
@@ -116,11 +117,13 @@ struct OmpMapItem {
 struct OmpClause {
   enum class Kind { Map, NumTeams, NumThreads, ThreadLimit, Schedule,
                     Collapse, Nowait, Private, Firstprivate, Shared,
-                    Reduction, If, Device, To, From, Name };
+                    Reduction, If, Device, To, From, Name, Depend };
   Kind kind;
   SourceLoc loc;
   std::vector<OmpMapItem> items;  // Map/To/From
-  std::vector<std::string> vars;  // Private/Firstprivate/Shared/Reduction
+  std::vector<std::string> vars;  // Private/Firstprivate/Shared/Reduction/
+                                  // Depend
+  OmpDependKind depend_kind = OmpDependKind::Inout;  // Depend
   Expr* arg = nullptr;            // NumTeams/NumThreads/ThreadLimit/If/...
   OmpSchedule schedule = OmpSchedule::Static;
   Expr* schedule_chunk = nullptr;
@@ -154,6 +157,7 @@ struct Stmt {
   // Omp
   OmpDir omp_dir{};
   std::vector<OmpClause> omp_clauses;
+  bool omp_nowait = false;     // the directive carries a nowait clause
   Stmt* omp_body = nullptr;    // null for standalone directives
   // Set by the GPU transformation when this target node's body has been
   // outlined into kernels()[kernel_index]; the body pointer is cleared.

@@ -334,11 +334,36 @@ std::string generate_host_file(const TranslationUnit& unit,
       args.push_back(p.is_pointer ? "ort_devaddr(" + p.name + ")"
                                   : "&" + p.name);
     o << join(args, ", ") << "};\n";
-    o << pad1 << "ort_offload(" << dev << ", \"" << unit_name << "_"
-      << k.name << (ptx_mode ? ".ptx" : ".cubin") << "\", \"" << k.name
-      << "\", " << teams << ", " << threads << ", __maps, "
-      << "sizeof(__maps)/sizeof(__maps[0]), __args, " << k.params.size()
-      << ");\n";
+    if (s->omp_nowait) {
+      // Asynchronous lowering: the construct's depend clauses become an
+      // explicit edge list that the runtime resolves against its
+      // per-device dependence table.
+      std::size_t ndeps = 0;
+      for (const OmpClause& c : s->omp_clauses) {
+        if (c.kind != OmpClause::Kind::Depend) continue;
+        if (ndeps == 0) o << pad1 << "ort_dep_item_t __deps[] = {\n";
+        const char* dk = c.depend_kind == OmpDependKind::In    ? "ORT_DEP_IN"
+                         : c.depend_kind == OmpDependKind::Out ? "ORT_DEP_OUT"
+                                                               : "ORT_DEP_INOUT";
+        for (const std::string& v : c.vars) {
+          o << indent(n + 2) << "{ &" << v << ", " << dk << " },\n";
+          ++ndeps;
+        }
+      }
+      if (ndeps > 0) o << pad1 << "};\n";
+      o << pad1 << "ort_offload_nowait(" << dev << ", \"" << unit_name << "_"
+        << k.name << (ptx_mode ? ".ptx" : ".cubin") << "\", \"" << k.name
+        << "\", " << teams << ", " << threads << ", __maps, "
+        << "sizeof(__maps)/sizeof(__maps[0]), __args, " << k.params.size()
+        << ", " << (ndeps > 0 ? "__deps" : "(ort_dep_item_t *)0") << ", "
+        << ndeps << ");\n";
+    } else {
+      o << pad1 << "ort_offload(" << dev << ", \"" << unit_name << "_"
+        << k.name << (ptx_mode ? ".ptx" : ".cubin") << "\", \"" << k.name
+        << "\", " << teams << ", " << threads << ", __maps, "
+        << "sizeof(__maps)/sizeof(__maps[0]), __args, " << k.params.size()
+        << ");\n";
+    }
     o << pad << "}\n";
   };
 
@@ -419,6 +444,10 @@ std::string generate_host_file(const TranslationUnit& unit,
               o << indent(n + 1) << "ort_target_update(-1, __maps, "
                 << "__nmaps);\n";
               o << pad << "}\n";
+              return;
+            case OmpDir::Taskwait:
+              // Drains every queued nowait offload (Runtime::sync).
+              o << pad << "ort_taskwait(-1); /* #pragma omp taskwait */\n";
               return;
             default:
               o << pad << "/* #pragma omp " << omp_dir_name(s->omp_dir)

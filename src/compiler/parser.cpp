@@ -102,6 +102,7 @@ std::string_view omp_dir_name(OmpDir d) {
     case OmpDir::Single: return "single";
     case OmpDir::Barrier: return "barrier";
     case OmpDir::Critical: return "critical";
+    case OmpDir::Taskwait: return "taskwait";
     case OmpDir::ParallelFor: return "parallel for";
     case OmpDir::TeamsDistribute: return "teams distribute";
     case OmpDir::TargetTeams: return "target teams";
@@ -736,6 +737,53 @@ Stmt* Parser::parse_omp_pragma(const Token& pragma_tok) {
     if (check(Tok::End)) break;
     s->omp_clauses.push_back(parse_omp_clause());
   }
+
+  // Clause applicability. `nowait` makes the construct asynchronous (the
+  // worksharing lowerings and the target offload queue consume it);
+  // `depend` orders target tasks and taskwait. On anything else the
+  // clause would be silently meaningless, so reject it.
+  auto accepts_nowait = [](OmpDir d) {
+    switch (d) {
+      case OmpDir::For:
+      case OmpDir::Sections:
+      case OmpDir::Single:
+      case OmpDir::Target:
+      case OmpDir::TargetTeams:
+      case OmpDir::TargetTeamsDistributeParallelFor:
+      case OmpDir::TargetEnterData:
+      case OmpDir::TargetExitData:
+      case OmpDir::TargetUpdate:
+        return true;
+      default:
+        return false;
+    }
+  };
+  auto accepts_depend = [](OmpDir d) {
+    switch (d) {
+      case OmpDir::Target:
+      case OmpDir::TargetTeams:
+      case OmpDir::TargetTeamsDistributeParallelFor:
+      case OmpDir::TargetEnterData:
+      case OmpDir::TargetExitData:
+      case OmpDir::TargetUpdate:
+      case OmpDir::Taskwait:
+        return true;
+      default:
+        return false;
+    }
+  };
+  for (const OmpClause& c : s->omp_clauses) {
+    if (c.kind == OmpClause::Kind::Nowait) {
+      if (accepts_nowait(dir))
+        s->omp_nowait = true;
+      else
+        diags_.error(c.loc, "'nowait' is not valid on '#pragma omp " +
+                                std::string(omp_dir_name(dir)) + "'");
+    } else if (c.kind == OmpClause::Kind::Depend && !accepts_depend(dir)) {
+      diags_.error(c.loc, "'depend' is not valid on '#pragma omp " +
+                              std::string(omp_dir_name(dir)) + "'");
+    }
+  }
   return s;
 }
 
@@ -765,13 +813,14 @@ OmpDir Parser::parse_omp_directive(std::vector<std::string>& words) {
       {{"single"}, OmpDir::Single},
       {{"barrier"}, OmpDir::Barrier},
       {{"critical"}, OmpDir::Critical},
+      {{"taskwait"}, OmpDir::Taskwait},
       {{"declare", "target"}, OmpDir::DeclareTarget},
       {{"end", "declare", "target"}, OmpDir::EndDeclareTarget},
   };
   static const std::vector<std::string> clause_words = {
       "map", "num_teams", "num_threads", "thread_limit", "schedule",
       "collapse", "nowait", "private", "firstprivate", "shared", "reduction",
-      "if", "device", "to", "from"};
+      "if", "device", "to", "from", "depend"};
 
   while (true) {
     std::string w = word_of(peek());
@@ -886,6 +935,19 @@ OmpClause Parser::parse_omp_clause() {
     c.collapse_n = e->int_value;
   } else if (w == "nowait") {
     c.kind = OmpClause::Kind::Nowait;
+  } else if (w == "depend") {
+    c.kind = OmpClause::Kind::Depend;
+    expect(Tok::LParen, "after depend");
+    std::string dk = expect(Tok::Ident, "as depend kind").text;
+    if (dk == "in") c.depend_kind = OmpDependKind::In;
+    else if (dk == "out") c.depend_kind = OmpDependKind::Out;
+    else if (dk == "inout") c.depend_kind = OmpDependKind::Inout;
+    else error_here("unknown depend kind '" + dk + "'");
+    expect(Tok::Colon, "after depend kind");
+    do {
+      c.vars.push_back(expect(Tok::Ident, "in depend list").text);
+    } while (accept(Tok::Comma));
+    expect(Tok::RParen, "after depend list");
   } else if (w == "schedule") {
     c.kind = OmpClause::Kind::Schedule;
     expect(Tok::LParen, "after schedule");
@@ -944,6 +1006,7 @@ bool Parser::omp_directive_has_body(OmpDir d) const {
     case OmpDir::TargetExitData:
     case OmpDir::TargetUpdate:
     case OmpDir::Barrier:
+    case OmpDir::Taskwait:
     case OmpDir::DeclareTarget:
     case OmpDir::EndDeclareTarget:
       return false;

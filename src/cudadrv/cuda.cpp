@@ -30,6 +30,9 @@ struct CUmod_st {
 
 struct CUstream_st {
   CUdevice device = 0;
+  bool alive = true;
+  double ready = 0;           // completion time of the last queued op
+  std::vector<StreamOp> ops;  // modeled work queue, enqueue order
 };
 
 struct CUevent_st {
@@ -55,6 +58,7 @@ struct DriverState {
   jetsim::DriverCosts costs;
   bool model_only = false;
   bool block_sampling = false;
+  uint64_t epoch = 0;  // bumped by cuSimReset; see cuSimEpoch()
 };
 
 DriverState& state() {
@@ -239,8 +243,13 @@ CUresult cuCtxGetCurrent(CUcontext* ctx) {
 }
 
 CUresult cuCtxSynchronize() {
-  // Kernels execute synchronously in the simulator; nothing pending.
-  return require_ctx();
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  // Default-stream work is host-synchronous; pending modeled work lives
+  // only on explicit streams, so drain every stream of this device.
+  CUdevice dev = state().current->device;
+  for (const auto& st : state().streams)
+    if (st->alive && st->device == dev) dev_of_current().sync_to(st->ready);
+  return CUDA_SUCCESS;
 }
 
 // ---------------------------------------------------------------------
@@ -331,12 +340,35 @@ CUresult cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
 }
 
 namespace {
+double copy_seconds(std::size_t bytes) {
+  DriverState& s = state();
+  return s.costs.memcpy_overhead_s +
+         static_cast<double>(bytes) / s.costs.memcpy_bandwidth;
+}
+
 CUresult checked_copy(void* dst, const void* src, std::size_t bytes) {
   std::memcpy(dst, src, bytes);
-  DriverState& s = state();
+  // Synchronous copies occupy the copy engine and block the host until
+  // done; with no asynchronous work in flight this degenerates to the
+  // plain clock advance the seed model used.
   jetsim::Device& dev = dev_of_current();
-  dev.advance_time(s.costs.memcpy_overhead_s +
-                   static_cast<double>(bytes) / s.costs.memcpy_bandwidth);
+  dev.sync_to(dev.schedule_copy(dev.now(), copy_seconds(bytes)));
+  return CUDA_SUCCESS;
+}
+
+bool valid_stream(CUstream stream) { return stream && stream->alive; }
+
+// Moves the data immediately (the simulator is sequentially consistent)
+// and charges the modeled cost to the copy engine on the stream timeline.
+CUresult stream_copy(void* dst, const void* src, std::size_t bytes,
+                     CUstream stream, StreamOp::Kind kind) {
+  std::memcpy(dst, src, bytes);
+  jetsim::Device& dev =
+      *state().devices[static_cast<std::size_t>(stream->device)];
+  double seconds = copy_seconds(bytes);
+  double end = dev.schedule_copy(stream->ready, seconds);
+  stream->ops.push_back({kind, end - seconds, end, bytes, {}});
+  stream->ready = end;
   return CUDA_SUCCESS;
 }
 }  // namespace
@@ -382,6 +414,38 @@ CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, std::size_t bytes) {
   return CUDA_SUCCESS;
 }
 
+CUresult cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
+                           std::size_t bytes, CUstream stream) {
+  if (!src) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!stream) return cuMemcpyHtoD(dst, src, bytes);  // legacy default stream
+  if (!stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  try {
+    jetsim::Device& dev =
+        *state().devices[static_cast<std::size_t>(stream->device)];
+    return stream_copy(dev.translate(dst, bytes), src, bytes, stream,
+                       StreamOp::Kind::H2D);
+  } catch (const jetsim::SimError&) {
+    return CUDA_ERROR_INVALID_VALUE;
+  }
+}
+
+CUresult cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t bytes,
+                           CUstream stream) {
+  if (!dst) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!stream) return cuMemcpyDtoH(dst, src, bytes);  // legacy default stream
+  if (!stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  try {
+    jetsim::Device& dev =
+        *state().devices[static_cast<std::size_t>(stream->device)];
+    return stream_copy(dst, dev.translate(src, bytes), bytes, stream,
+                       StreamOp::Kind::D2H);
+  } catch (const jetsim::SimError&) {
+    return CUDA_ERROR_INVALID_VALUE;
+  }
+}
+
 // ---------------------------------------------------------------------
 // Launch
 // ---------------------------------------------------------------------
@@ -389,13 +453,14 @@ CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, std::size_t bytes) {
 CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
                         unsigned grid_z, unsigned block_x, unsigned block_y,
                         unsigned block_z, unsigned shared_mem_bytes,
-                        CUstream /*stream*/, void** kernel_params,
+                        CUstream stream, void** kernel_params,
                         void** extra) {
   if (!fn || extra != nullptr) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (grid_x == 0 || grid_y == 0 || grid_z == 0 || block_x == 0 ||
       block_y == 0 || block_z == 0)
     return CUDA_ERROR_INVALID_VALUE;
+  if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
 
   DriverState& s = state();
   jetsim::Device& dev = dev_of_current();
@@ -404,8 +469,8 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
   // Phase overheads of a launch: dispatch plus parameter marshalling
   // (the paper's "parameter preparation phase" lives in the host runtime;
   // this is the driver-side share).
-  dev.advance_time(s.costs.launch_overhead_s +
-                   image.param_count * s.costs.param_prep_per_arg_s);
+  double overhead = s.costs.launch_overhead_s +
+                    image.param_count * s.costs.param_prep_per_arg_s;
 
   jetsim::LaunchConfig cfg;
   cfg.grid = {grid_x, grid_y, grid_z};
@@ -416,8 +481,22 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
   cfg.allow_block_sampling = s.block_sampling;
 
   ArgPack args(dev, kernel_params, image.param_count);
+  auto body = [&](jetsim::KernelCtx& ctx) { image.entry(ctx, args); };
   try {
-    dev.launch(cfg, [&](jetsim::KernelCtx& ctx) { image.entry(ctx, args); });
+    if (stream) {
+      // Asynchronous launch: the kernel (and its launch overhead) occupy
+      // the SM engine after the stream's prior work; the host returns at
+      // the current clock.
+      double start = 0;
+      double end = dev.schedule_launch(cfg, body, stream->ready, overhead,
+                                       &start);
+      stream->ops.push_back(
+          {StreamOp::Kind::Kernel, start, end, 0, image.name});
+      stream->ready = end;
+    } else {
+      dev.advance_time(overhead);
+      dev.launch(cfg, body);
+    }
   } catch (const jetsim::SimError&) {
     throw;  // device fault: surface loudly, as a real launch failure would
   }
@@ -439,11 +518,52 @@ CUresult cuStreamCreate(CUstream* stream, unsigned /*flags*/) {
 }
 
 CUresult cuStreamDestroy(CUstream stream) {
-  if (!stream) return CUDA_ERROR_INVALID_HANDLE;
+  if (!stream || !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  // Destruction drains the stream: the host waits for pending modeled
+  // work so no timeline survives the handle.
+  DriverState& s = state();
+  if (stream->device < static_cast<int>(s.devices.size()))
+    s.devices[static_cast<std::size_t>(stream->device)]->sync_to(
+        stream->ready);
+  stream->alive = false;
   return CUDA_SUCCESS;
 }
 
-CUresult cuStreamSynchronize(CUstream /*stream*/) { return require_ctx(); }
+CUresult cuStreamSynchronize(CUstream stream) {
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!stream) {
+    // Legacy default stream: wait for everything queued on the current
+    // context's device.
+    CUdevice dev = state().current->device;
+    for (const auto& st : state().streams)
+      if (st->alive && st->device == dev) dev_of_current().sync_to(st->ready);
+    return CUDA_SUCCESS;
+  }
+  if (!stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  state()
+      .devices[static_cast<std::size_t>(stream->device)]
+      ->sync_to(stream->ready);
+  return CUDA_SUCCESS;
+}
+
+CUresult cuStreamWaitEvent(CUstream stream, CUevent event,
+                           unsigned /*flags*/) {
+  if (!event) return CUDA_ERROR_INVALID_HANDLE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!stream) {
+    // Work on the default stream is host-synchronous: waiting means
+    // advancing the host clock past the event.
+    if (event->recorded) dev_of_current().sync_to(event->when);
+    return CUDA_SUCCESS;
+  }
+  if (!stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  if (event->recorded && event->when > stream->ready) {
+    stream->ops.push_back(
+        {StreamOp::Kind::Wait, stream->ready, event->when, 0, {}});
+    stream->ready = event->when;
+  }
+  return CUDA_SUCCESS;
+}
 
 CUresult cuEventCreate(CUevent* event, unsigned /*flags*/) {
   if (!event) return CUDA_ERROR_INVALID_VALUE;
@@ -459,16 +579,19 @@ CUresult cuEventDestroy(CUevent event) {
   return CUDA_SUCCESS;
 }
 
-CUresult cuEventRecord(CUevent event, CUstream /*stream*/) {
+CUresult cuEventRecord(CUevent event, CUstream stream) {
   if (!event) return CUDA_ERROR_INVALID_HANDLE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
-  event->when = dev_of_current().now();
+  if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  event->when = stream ? stream->ready : dev_of_current().now();
   event->recorded = true;
   return CUDA_SUCCESS;
 }
 
 CUresult cuEventSynchronize(CUevent event) {
   if (!event) return CUDA_ERROR_INVALID_HANDLE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (event->recorded) dev_of_current().sync_to(event->when);
   return CUDA_SUCCESS;
 }
 
@@ -499,6 +622,18 @@ jetsim::DriverCosts& cuSimDriverCosts() { return state().costs; }
 
 void cuSimClearJitCache() { state().jit_cache.clear(); }
 
+double cuSimStreamReady(CUstream stream) {
+  if (!valid_stream(stream))
+    throw jetsim::SimError("cuSimStreamReady: invalid stream");
+  return stream->ready;
+}
+
+const std::vector<StreamOp>& cuSimStreamOps(CUstream stream) {
+  if (!valid_stream(stream))
+    throw jetsim::SimError("cuSimStreamOps: invalid stream");
+  return stream->ops;
+}
+
 void cuSimReset() {
   DriverState& s = state();
   s.contexts.clear();
@@ -512,6 +647,9 @@ void cuSimReset() {
   s.model_only = false;
   s.block_sampling = false;
   s.costs = jetsim::DriverCosts{};
+  ++s.epoch;
 }
+
+uint64_t cuSimEpoch() { return state().epoch; }
 
 }  // namespace cudadrv

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cudadrv/registry.h"
 #include "sim/device.h"
@@ -91,6 +93,15 @@ CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t bytes);
 CUresult cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, std::size_t bytes);
 CUresult cuMemsetD8(CUdeviceptr dst, unsigned char value, std::size_t bytes);
 
+/// Asynchronous transfers: the data moves immediately (the simulator is
+/// single-threaded and sequentially consistent), but the modeled cost is
+/// charged to the DMA copy engine on `stream`'s timeline instead of the
+/// host clock. A null stream falls back to the legacy synchronous copy.
+CUresult cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
+                           std::size_t bytes, CUstream stream);
+CUresult cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t bytes,
+                           CUstream stream);
+
 // --- launch ---------------------------------------------------------------
 CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
                         unsigned grid_z, unsigned block_x, unsigned block_y,
@@ -99,10 +110,18 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
 
 // --- streams & events ------------------------------------------------------
 CUresult cuStreamCreate(CUstream* stream, unsigned flags);
+/// Drains the stream's pending modeled work, then destroys the handle.
 CUresult cuStreamDestroy(CUstream stream);
+/// Advances the host clock past the completion of all work queued on the
+/// stream (all streams of the current context when `stream` is null).
 CUresult cuStreamSynchronize(CUstream stream);
+/// Orders all subsequently queued work on `stream` after `event`'s
+/// recorded timestamp (cross-stream dependence edge).
+CUresult cuStreamWaitEvent(CUstream stream, CUevent event, unsigned flags);
 CUresult cuEventCreate(CUevent* event, unsigned flags);
 CUresult cuEventDestroy(CUevent event);
+/// Stamps the completion time of the work queued on `stream` so far (the
+/// host clock for the null stream).
 CUresult cuEventRecord(CUevent event, CUstream stream);
 CUresult cuEventSynchronize(CUevent event);
 /// Modeled milliseconds between two recorded events.
@@ -123,8 +142,25 @@ void cuSimSetBlockSampling(bool enabled);
 jetsim::DriverCosts& cuSimDriverCosts();
 /// Clears the simulated JIT disk cache (e.g. to model a cold boot).
 void cuSimClearJitCache();
+/// One modeled operation on a stream's work queue.
+struct StreamOp {
+  enum class Kind { H2D, D2H, Kernel, Wait };
+  Kind kind = Kind::Kernel;
+  double start_s = 0;  // when the op began occupying its engine
+  double end_s = 0;    // when it completed
+  std::size_t bytes = 0;     // transfers only
+  std::string kernel;        // kernels only
+};
+/// Completion time of the work queued on `stream` so far.
+double cuSimStreamReady(CUstream stream);
+/// The stream's work queue in enqueue order (cleared on cuSimReset).
+const std::vector<StreamOp>& cuSimStreamOps(CUstream stream);
 /// Tears down all driver state: contexts, modules, devices, JIT cache.
 /// Used by tests and by applications that want a pristine board.
 void cuSimReset();
+/// Incremented by every cuSimReset. Holders of driver handles (streams,
+/// contexts) compare epochs to detect that a reset already destroyed
+/// their handles, instead of dereferencing them.
+uint64_t cuSimEpoch();
 
 }  // namespace cudadrv

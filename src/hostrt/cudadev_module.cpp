@@ -29,7 +29,9 @@ CudadevModule::CudadevModule() {
 }
 
 CudadevModule::~CudadevModule() {
-  if (context_) cudadrv::cuCtxDestroy(context_);
+  // Skip the driver call if a reset already destroyed the context handle.
+  if (context_ && cudadrv::cuSimEpoch() == epoch_)
+    cudadrv::cuCtxDestroy(context_);
 }
 
 void CudadevModule::initialize() {
@@ -60,6 +62,7 @@ void CudadevModule::initialize() {
 
   // A primary context is created once the device is initialized.
   check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, device_));
+  epoch_ = cudadrv::cuSimEpoch();
   initialized_ = true;
 }
 
@@ -86,11 +89,21 @@ void CudadevModule::free(uint64_t dev_addr) {
 void CudadevModule::write(uint64_t dev_addr, const void* src,
                           std::size_t size) {
   require_initialized();
+  if (bound_stream_) {
+    check("cuMemcpyHtoDAsync",
+          cudadrv::cuMemcpyHtoDAsync(dev_addr, src, size, bound_stream_));
+    return;
+  }
   check("cuMemcpyHtoD", cudadrv::cuMemcpyHtoD(dev_addr, src, size));
 }
 
 void CudadevModule::read(void* dst, uint64_t dev_addr, std::size_t size) {
   require_initialized();
+  if (bound_stream_) {
+    check("cuMemcpyDtoHAsync",
+          cudadrv::cuMemcpyDtoHAsync(dst, dev_addr, size, bound_stream_));
+    return;
+  }
   check("cuMemcpyDtoH", cudadrv::cuMemcpyDtoH(dst, dev_addr, size));
 }
 
@@ -160,6 +173,53 @@ OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
                                 g.threads_x, g.threads_y, g.threads_z, shared,
                                 nullptr, params.data(), nullptr));
   stats.exec_s = sim.now() - t0;
+  return stats;
+}
+
+double CudadevModule::load(const std::string& module_path,
+                           const std::string& kernel_name) {
+  require_initialized();
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+  double t0 = sim.now();
+  get_function(module_path, kernel_name);
+  return sim.now() - t0;
+}
+
+OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
+                                         DataEnv& env,
+                                         cudadrv::CUstream stream) {
+  require_initialized();
+  OffloadStats stats;
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+
+  cudadrv::CUfunction fn = get_function(spec.module_path, spec.kernel_name);
+
+  // Parameter preparation is host work at enqueue time: it advances the
+  // host clock and may overlap transfers already queued on the engines.
+  double t0 = sim.now();
+  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  dev_ptrs.reserve(spec.args.size());
+  std::vector<void*> params;
+  params.reserve(spec.args.size());
+  for (const KernelArg& a : spec.args) {
+    if (a.kind == KernelArg::Kind::MappedPtr) {
+      dev_ptrs.push_back(env.lookup(a.host_ptr));
+      params.push_back(&dev_ptrs.back());
+    } else {
+      params.push_back(const_cast<std::byte*>(a.scalar.data()));
+    }
+  }
+  sim.advance_time(static_cast<double>(spec.args.size()) *
+                   cudadrv::cuSimDriverCosts().param_prep_per_arg_s);
+  stats.prepare_s = sim.now() - t0;
+
+  const LaunchGeometry& g = spec.geometry;
+  unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
+                                          spec.dyn_shared_mem);
+  check("cuLaunchKernel",
+        cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
+                                g.threads_x, g.threads_y, g.threads_z, shared,
+                                stream, params.data(), nullptr));
   return stats;
 }
 

@@ -32,6 +32,24 @@ class CudadevModule : public DeviceModule {
 
   OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
 
+  // --- asynchronous path (driven by the OffloadQueue) -------------------
+  /// Phase 1 alone: ensures the kernel's module is loaded (host-
+  /// synchronous); returns the modeled seconds spent.
+  double load(const std::string& module_path, const std::string& kernel_name);
+  /// Phases 2+3 on a stream: parameter preparation stays host-side, the
+  /// kernel itself is queued on `stream`'s timeline. load_s is zero (the
+  /// queue performs the load phase up front); exec_s is filled by the
+  /// caller from the stream's work log.
+  OffloadStats launch_async(const KernelLaunchSpec& spec, DataEnv& env,
+                            cudadrv::CUstream stream);
+  /// While a stream is bound, MapBackend write/read issue asynchronous
+  /// copies on it (the OffloadQueue binds the task's stream around
+  /// map/unmap so transfers land on the task's timeline).
+  void bind_stream(cudadrv::CUstream stream) { bound_stream_ = stream; }
+  cudadrv::CUstream bound_stream() const { return bound_stream_; }
+
+  cudadrv::CUdevice device() const { return device_; }
+
   std::string device_info() override;
 
   /// Hardware characteristics captured during lazy initialization.
@@ -55,6 +73,7 @@ class CudadevModule : public DeviceModule {
                                    const std::string& kernel_name);
 
   bool initialized_ = false;
+  uint64_t epoch_ = 0;  // driver epoch the context belongs to
   int device_count_ = 0;
   cudadrv::CUdevice device_ = 0;
   cudadrv::CUcontext context_ = nullptr;
@@ -62,6 +81,7 @@ class CudadevModule : public DeviceModule {
   std::map<std::string, cudadrv::CUmodule> module_cache_;
   std::map<std::string, cudadrv::CUfunction> function_cache_;
   int modules_loaded_ = 0;
+  cudadrv::CUstream bound_stream_ = nullptr;
 };
 
 }  // namespace hostrt

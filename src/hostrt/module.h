@@ -59,6 +59,14 @@ struct OffloadStats {
   double load_s = 0;     // phase 1: locate + load the kernel binary
   double prepare_s = 0;  // phase 2: parameter preparation
   double exec_s = 0;     // phase 3: launch + kernel execution
+  // Queue observability, filled by the OffloadQueue; all zero / -1 for
+  // offloads that never went through it.
+  double queued_s = 0;   // enqueue to first engine op (dependence waits)
+  double h2d_s = 0;      // host-to-device transfers on the copy engine
+  double d2h_s = 0;      // device-to-host transfers on the copy engine
+  int stream = -1;       // stream-pool slot the task ran on
+  /// The three-phase launch time. Transfers and queueing are reported
+  /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }
 };
 

@@ -1,0 +1,190 @@
+#include "hostrt/offload_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hostrt {
+
+namespace {
+
+void check(const char* op, cudadrv::CUresult r) {
+  if (r != cudadrv::CUDA_SUCCESS)
+    throw std::runtime_error(std::string("offload queue: ") + op +
+                             " failed: " + cudadrv::cuResultName(r));
+}
+
+}  // namespace
+
+OffloadQueue::OffloadQueue(CudadevModule& module, DataEnv& env, int streams)
+    : module_(&module), env_(&env), epoch_(cudadrv::cuSimEpoch()) {
+  if (!module.initialized())
+    throw std::runtime_error("offload queue over an uninitialized device");
+  if (streams < 1) streams = 1;
+  streams_.reserve(static_cast<std::size_t>(streams));
+  for (int i = 0; i < streams; ++i) {
+    cudadrv::CUstream st = nullptr;
+    check("cuStreamCreate", cudadrv::cuStreamCreate(&st, 0));
+    streams_.push_back(st);
+  }
+}
+
+OffloadQueue::~OffloadQueue() {
+  // cuStreamDestroy drains each stream's pending modeled work, so no
+  // timeline survives the queue (cold-board resets stay cold). If a
+  // driver reset already destroyed the handles, there is nothing left to
+  // drain — and the pointers must not be touched.
+  if (cudadrv::cuSimEpoch() != epoch_) return;
+  for (cudadrv::CUstream st : streams_) cudadrv::cuStreamDestroy(st);
+}
+
+int OffloadQueue::pick_stream() const {
+  int best = 0;
+  double best_ready = cudadrv::cuSimStreamReady(streams_[0]);
+  for (int i = 1; i < stream_count(); ++i) {
+    double ready = cudadrv::cuSimStreamReady(streams_[static_cast<std::size_t>(i)]);
+    if (ready < best_ready) {
+      best = i;
+      best_ready = ready;
+    }
+  }
+  return best;
+}
+
+TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
+                             const std::vector<MapItem>& maps,
+                             const std::vector<DependItem>& depends) {
+  jetsim::Device& dev = cudadrv::cuSimDevice(module_->device());
+
+  TaskRecord r;
+  r.id = records_.size();
+  r.kernel = spec.kernel_name;
+  r.queued_at = dev.now();
+
+  // Phase 1 — loading stays host-synchronous (JIT / module caching is
+  // host work and a process-wide side effect).
+  r.stats.load_s = module_->load(spec.module_path, spec.kernel_name);
+
+  r.stream = pick_stream();
+  cudadrv::CUstream st = streams_[static_cast<std::size_t>(r.stream)];
+
+  // Resolve explicit dependence edges against the table: in waits on the
+  // last writer; out/inout additionally wait on every reader since.
+  std::vector<cudadrv::CUevent> waits;
+  for (const DependItem& d : depends) {
+    auto it = table_.find(d.addr);
+    if (it == table_.end()) continue;
+    if (it->second.last_writer) waits.push_back(it->second.last_writer);
+    if (d.kind != DependKind::In)
+      for (cudadrv::CUevent ev : it->second.readers) waits.push_back(ev);
+  }
+  for (cudadrv::CUevent ev : waits)
+    check("cuStreamWaitEvent", cudadrv::cuStreamWaitEvent(st, ev, 0));
+  r.ready_at = cudadrv::cuSimStreamReady(st);
+
+  std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
+
+  // H2D + kernel + D2H all land on the task's stream: map/unmap transfer
+  // through the bound stream, the kernel through cuLaunchKernel(st).
+  module_->bind_stream(st);
+  for (const MapItem& m : maps) env_->map(m);
+  module_->bind_stream(nullptr);
+
+  OffloadStats launch_stats = module_->launch_async(spec, *env_, st);
+  r.stats.prepare_s = launch_stats.prepare_s;
+
+  module_->bind_stream(st);
+  for (auto it = maps.rbegin(); it != maps.rend(); ++it) env_->unmap(*it);
+  module_->bind_stream(nullptr);
+
+  // The task's completion event: recorded after the last queued op, it
+  // is what later tasks (and quiesce) wait on.
+  cudadrv::CUevent done = nullptr;
+  check("cuEventCreate", cudadrv::cuEventCreate(&done, 0));
+  check("cuEventRecord", cudadrv::cuEventRecord(done, st));
+
+  // Fold the stream's work log into the record.
+  const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
+  bool first = true;
+  for (std::size_t i = ops_before; i < ops.size(); ++i) {
+    const cudadrv::StreamOp& op = ops[i];
+    if (op.kind == cudadrv::StreamOp::Kind::Wait) continue;
+    if (first) {
+      r.start_s = op.start_s;
+      first = false;
+    }
+    double dur = op.end_s - op.start_s;
+    switch (op.kind) {
+      case cudadrv::StreamOp::Kind::H2D:
+        r.stats.h2d_s += dur;
+        break;
+      case cudadrv::StreamOp::Kind::D2H:
+        r.stats.d2h_s += dur;
+        break;
+      case cudadrv::StreamOp::Kind::Kernel:
+        r.exec_start_s = op.start_s;
+        r.exec_end_s = op.end_s;
+        r.stats.exec_s = dur;
+        break;
+      case cudadrv::StreamOp::Kind::Wait:
+        break;
+    }
+  }
+  r.end_s = cudadrv::cuSimStreamReady(st);
+  r.stats.queued_s = std::max(0.0, r.start_s - r.queued_at);
+  r.stats.stream = r.stream;
+
+  // Record the task's accesses for later edges and quiesce(): map items,
+  // mapped kernel arguments and explicit depend items. Anything the
+  // kernel may write replaces the writer event and clears the readers.
+  std::map<const void*, bool> accesses;  // addr -> writes
+  for (const MapItem& m : maps)
+    accesses[m.host] |= m.type != MapType::To;
+  for (const KernelArg& a : spec.args)
+    if (a.kind == KernelArg::Kind::MappedPtr)
+      accesses[a.host_ptr] |= true;  // conservatively read-write
+  for (const DependItem& d : depends)
+    accesses[d.addr] |= d.kind != DependKind::In;
+  for (const auto& [addr, writes] : accesses) {
+    Access& acc = table_[addr];
+    if (writes) {
+      acc.last_writer = done;
+      acc.readers.clear();
+    } else {
+      acc.readers.push_back(done);
+    }
+  }
+
+  records_.push_back(std::move(r));
+  return records_.back().id;
+}
+
+void OffloadQueue::sync() {
+  for (cudadrv::CUstream st : streams_)
+    check("cuStreamSynchronize", cudadrv::cuStreamSynchronize(st));
+}
+
+void OffloadQueue::quiesce(const void* host) {
+  auto it = table_.find(host);
+  if (it == table_.end()) return;
+  if (it->second.last_writer)
+    check("cuEventSynchronize",
+          cudadrv::cuEventSynchronize(it->second.last_writer));
+  for (cudadrv::CUevent ev : it->second.readers)
+    check("cuEventSynchronize", cudadrv::cuEventSynchronize(ev));
+}
+
+const TaskRecord& OffloadQueue::record(TaskId id) const {
+  if (id >= records_.size())
+    throw std::out_of_range("offload queue: unknown task id");
+  return records_[id];
+}
+
+std::size_t OffloadQueue::in_flight() const {
+  jetsim::Device& dev = cudadrv::cuSimDevice(module_->device());
+  std::size_t n = 0;
+  for (const TaskRecord& r : records_)
+    if (r.end_s > dev.now()) ++n;
+  return n;
+}
+
+}  // namespace hostrt

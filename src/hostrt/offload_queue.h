@@ -1,0 +1,114 @@
+// The asynchronous offload engine: turns `target nowait` regions into
+// tasks. Each task carries `depend(in/out/inout:)` edges that are
+// resolved against a per-device dependence table, is dispatched onto a
+// pool of CUDA streams, and pipelines its H2D copies, kernel execution
+// and D2H copies on the simulated copy/SM engines so independent regions
+// overlap in modeled time. A `taskwait` (sync) folds the stream
+// timelines back into the host clock.
+//
+// Execution model: the simulator is single-threaded, so the data side of
+// every operation runs eagerly in enqueue (program) order — which is
+// sequentially consistent. What the queue schedules is modeled *time*:
+// cross-task ordering is expressed with events (cuEventRecord on the
+// producer's stream, cuStreamWaitEvent on the consumer's), and overlap
+// or serialization shows up in the task records.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/cudadev_module.h"
+#include "hostrt/map_env.h"
+#include "hostrt/module.h"
+
+namespace hostrt {
+
+/// OpenMP depend clause kinds.
+enum class DependKind { In, Out, Inout };
+
+/// One item of a depend clause: a host address and the access direction.
+struct DependItem {
+  const void* addr = nullptr;
+  DependKind kind = DependKind::Inout;
+
+  static DependItem in(const void* a) { return {a, DependKind::In}; }
+  static DependItem out(const void* a) { return {a, DependKind::Out}; }
+  static DependItem inout(const void* a) { return {a, DependKind::Inout}; }
+};
+
+using TaskId = std::size_t;
+
+/// Everything observed about one queued offload, in modeled seconds.
+struct TaskRecord {
+  TaskId id = 0;
+  std::string kernel;
+  int stream = -1;        // stream-pool slot the task ran on
+  double queued_at = 0;   // host clock when the task was enqueued
+  double ready_at = 0;    // dependence edges satisfied on the stream
+  double start_s = 0;     // first engine op (H2D or kernel) began
+  double exec_start_s = 0;  // kernel began occupying the SM engine
+  double exec_end_s = 0;    // kernel left the SM engine
+  double end_s = 0;       // last op (D2H) completed: the task is done
+  OffloadStats stats;
+};
+
+/// Per-device task queue over a fixed pool of CUDA streams.
+class OffloadQueue {
+ public:
+  static constexpr int kDefaultStreams = 4;
+
+  /// The queue drives `module`'s device; the module must already be
+  /// initialized (the runtime creates the queue lazily with the device).
+  OffloadQueue(CudadevModule& module, DataEnv& env,
+               int streams = kDefaultStreams);
+  /// Drains and destroys the stream pool (every stream is synchronized
+  /// before its handle dies, so no timeline leaks past the queue).
+  ~OffloadQueue();
+
+  OffloadQueue(const OffloadQueue&) = delete;
+  OffloadQueue& operator=(const OffloadQueue&) = delete;
+
+  /// Enqueues one target region as a task. Dependence edges are the
+  /// explicit `depends` items resolved against the table; the task's own
+  /// accesses (map items, mapped kernel arguments and depend items) are
+  /// recorded for later tasks and for quiesce().
+  TaskId enqueue(const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
+                 const std::vector<DependItem>& depends = {});
+
+  /// taskwait: advances the host clock past the completion of every
+  /// queued task.
+  void sync();
+
+  /// Serializes a host-side access to `host` (target exit data, target
+  /// update, unmap copy-back): advances the host clock past every queued
+  /// task that touched the address.
+  void quiesce(const void* host);
+
+  const TaskRecord& record(TaskId id) const;
+  const std::vector<TaskRecord>& records() const { return records_; }
+  int stream_count() const { return static_cast<int>(streams_.size()); }
+  /// Tasks enqueued and not yet folded into the host clock by sync().
+  std::size_t in_flight() const;
+
+ private:
+  // Per-address access history: the completion event of the last task
+  // that wrote the address, and of every task that read it since.
+  struct Access {
+    cudadrv::CUevent last_writer = nullptr;
+    std::vector<cudadrv::CUevent> readers;
+  };
+
+  int pick_stream() const;  // least-loaded: earliest-ready stream
+
+  CudadevModule* module_;
+  DataEnv* env_;
+  uint64_t epoch_ = 0;  // driver epoch the stream pool belongs to
+  std::vector<cudadrv::CUstream> streams_;
+  std::map<const void*, Access> table_;
+  std::vector<TaskRecord> records_;
+};
+
+}  // namespace hostrt

@@ -8,17 +8,32 @@
 namespace hostrt {
 
 namespace {
-std::unique_ptr<Runtime> g_runtime;
+std::unique_ptr<Runtime>& runtime_holder() {
+  // Touch the driver's state first: function-local statics die in
+  // reverse construction order, and the runtime's teardown (stream-pool
+  // drain, context destruction) calls back into the driver — so the
+  // driver state must be constructed before, and outlive, this holder.
+  cudadrv::cuSimDriverCosts();
+  static std::unique_ptr<Runtime> p;
+  return p;
+}
 bool g_opencl_enabled = false;
 }  // namespace
 
 Runtime& Runtime::instance() {
-  if (!g_runtime) g_runtime = std::make_unique<Runtime>();
-  return *g_runtime;
+  std::unique_ptr<Runtime>& r = runtime_holder();
+  if (!r) r = std::make_unique<Runtime>();
+  return *r;
 }
 
 void Runtime::reset() {
-  g_runtime.reset();
+  // Drain in-flight streams while the driver is still alive: destroying
+  // queues synchronizes and frees their stream pools, so no modeled
+  // timeline or handle can leak into the next scenario's cold board.
+  std::unique_ptr<Runtime>& r = runtime_holder();
+  if (r)
+    for (DeviceSlot& s : r->slots_) s.queue.reset();
+  r.reset();
   cudadrv::cuSimReset();
 }
 
@@ -61,6 +76,12 @@ Runtime::DeviceSlot& Runtime::slot(int dev) {
 void Runtime::ensure_ready(int dev) {
   DeviceSlot& s = slot(dev);
   if (!s.module->initialized()) s.module->initialize();
+  if (!s.queue) {
+    // The offload queue exists once the device does; only the cudadev
+    // module has a stream-capable driver behind it.
+    if (auto* cuda = dynamic_cast<CudadevModule*>(s.module.get()))
+      s.queue = std::make_unique<OffloadQueue>(*cuda, *s.env);
+  }
 }
 
 void Runtime::set_default_device(int dev) {
@@ -87,11 +108,39 @@ OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
   ensure_ready(dev);
   DeviceSlot& s = slot(dev);
 
+  if (s.queue) {
+    // Thin synchronous wrapper over the queue: enqueue, wait, report.
+    TaskId id = s.queue->enqueue(spec, maps);
+    s.queue->sync();
+    return s.queue->record(id).stats;
+  }
+
   for (const MapItem& m : maps) s.env->map(m);
   OffloadStats stats = s.module->launch(spec, *s.env);
   for (auto it = maps.rbegin(); it != maps.rend(); ++it) s.env->unmap(*it);
   return stats;
 }
+
+TaskId Runtime::target_nowait(int dev, const KernelLaunchSpec& spec,
+                              const std::vector<MapItem>& maps,
+                              const std::vector<DependItem>& depends) {
+  ensure_ready(dev);
+  DeviceSlot& s = slot(dev);
+  if (!s.queue)
+    throw std::runtime_error("target nowait on a device without a queue");
+  return s.queue->enqueue(spec, maps, depends);
+}
+
+void Runtime::sync(int dev) {
+  if (dev >= 0) {
+    if (OffloadQueue* q = slot(dev).queue.get()) q->sync();
+    return;
+  }
+  for (DeviceSlot& s : slots_)
+    if (s.queue) s.queue->sync();
+}
+
+OffloadQueue* Runtime::queue(int dev) { return slot(dev).queue.get(); }
 
 void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
   ensure_ready(dev);
@@ -99,8 +148,13 @@ void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
-  for (auto it = maps.rbegin(); it != maps.rend(); ++it)
-    slot(dev).env->unmap(*it);
+  DeviceSlot& s = slot(dev);
+  for (auto it = maps.rbegin(); it != maps.rend(); ++it) {
+    // A copy-back (and release) must not race a queued task still using
+    // the buffer: serialize via the dependence table first.
+    if (s.queue) s.queue->quiesce(it->host);
+    s.env->unmap(*it);
+  }
 }
 
 void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
@@ -109,17 +163,27 @@ void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
-  for (const MapItem& m : maps) slot(dev).env->unmap(m);
+  DeviceSlot& s = slot(dev);
+  for (const MapItem& m : maps) {
+    // The exit-data copy-back races any queued kernel that still touches
+    // the buffer; the dependence table serializes them.
+    if (s.queue) s.queue->quiesce(m.host);
+    s.env->unmap(m);
+  }
 }
 
 void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
   ensure_ready(dev);
-  slot(dev).env->update_to(host, size);
+  DeviceSlot& s = slot(dev);
+  if (s.queue) s.queue->quiesce(host);
+  s.env->update_to(host, size);
 }
 
 void Runtime::target_update_from(int dev, void* host, std::size_t size) {
   ensure_ready(dev);
-  slot(dev).env->update_from(host, size);
+  DeviceSlot& s = slot(dev);
+  if (s.queue) s.queue->quiesce(host);
+  s.env->update_from(host, size);
 }
 
 // ---------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "hostrt/cudadev_module.h"
 #include "hostrt/map_env.h"
 #include "hostrt/module.h"
+#include "hostrt/offload_queue.h"
 
 namespace hostrt {
 
@@ -46,9 +47,26 @@ class Runtime {
   /// Executes one `#pragma omp target ... map(...)` region: creates the
   /// construct's device data environment (enter), offloads the kernel
   /// and tears the environment down (exit). Initializes the device
-  /// lazily on the first offload.
+  /// lazily on the first offload. A thin synchronous wrapper over the
+  /// offload queue: enqueue, then wait for the task.
   OffloadStats target(int dev, const KernelLaunchSpec& spec,
                       const std::vector<MapItem>& maps);
+
+  /// `target nowait`: enqueues the region as a task and returns without
+  /// advancing the host clock past it. `depends` carries the region's
+  /// depend clauses; ordering against other queued tasks is resolved by
+  /// the device's dependence table.
+  TaskId target_nowait(int dev, const KernelLaunchSpec& spec,
+                       const std::vector<MapItem>& maps,
+                       const std::vector<DependItem>& depends = {});
+
+  /// `taskwait` hook: waits (in modeled time) for every task queued on
+  /// the device; -1 waits on all devices.
+  void sync(int dev = -1);
+
+  /// The device's offload queue; null for modules without async support
+  /// (opencldev) or before the device's lazy initialization.
+  OffloadQueue* queue(int dev);
 
   // --- data directives -----------------------------------------------------
   void target_data_begin(int dev, const std::vector<MapItem>& maps);
@@ -62,6 +80,9 @@ class Runtime {
   struct DeviceSlot {
     std::unique_ptr<DeviceModule> module;
     std::unique_ptr<DataEnv> env;
+    // Declared last: destroyed first, so the queue drains its streams
+    // while the module (and its driver context) is still alive.
+    std::unique_ptr<OffloadQueue> queue;
   };
 
   DeviceSlot& slot(int dev);

@@ -387,6 +387,28 @@ void Interp::exec_offload(const Stmt* s, Env& env) {
     }
   }
 
+  if (s->omp_nowait) {
+    // target nowait: the construct becomes a task on the device's
+    // offload queue; depend clauses resolve to host addresses here.
+    std::vector<hostrt::DependItem> depends;
+    for (const OmpClause& c : s->omp_clauses) {
+      if (c.kind != OmpClause::Kind::Depend) continue;
+      hostrt::DependKind dk =
+          c.depend_kind == ompi::OmpDependKind::In    ? hostrt::DependKind::In
+          : c.depend_kind == ompi::OmpDependKind::Out ? hostrt::DependKind::Out
+                                                      : hostrt::DependKind::Inout;
+      for (const std::string& v : c.vars) {
+        const Env::Binding* b = env.lookup(v);
+        if (!b) throw VmError("depend item '" + v + "' not in scope");
+        const void* host = b->addr;
+        if (b->type->kind == Type::Kind::Ptr)
+          host = load_typed(b->addr, b->type).p;
+        depends.push_back({host, dk});
+      }
+    }
+    rt.target_nowait(dev, spec, items, depends);
+    return;
+  }
   rt.target(dev, spec, items);
 }
 
@@ -450,6 +472,10 @@ Interp::Flow Interp::exec_omp(const Stmt* s, Env& env) {
     }
     case OmpDir::Barrier:
       return {};  // host team of one
+    case OmpDir::Taskwait:
+      // Drains every queued `target nowait` task on every device.
+      rt.sync(-1);
+      return {};
     case OmpDir::Sections: {
       // Host fallback: sections run in order on the single host thread.
       if (s->omp_body && s->omp_body->kind == Stmt::Kind::Compound) {

@@ -50,6 +50,51 @@ const void* Device::translate(uint64_t addr, std::size_t len) const {
 }
 
 LaunchAccount Device::launch(const LaunchConfig& cfg, const KernelFn& fn) {
+  LaunchAccount acc = run_grid(cfg, fn);
+  // A synchronous launch occupies the SM engine from "now": with no
+  // asynchronous work pending this is the seed behavior clock += time.
+  double start = std::max(clock_s_, compute_free_s_);
+  clock_s_ = start + acc.time_s;
+  compute_free_s_ = clock_s_;
+  return acc;
+}
+
+double Device::schedule_copy(double ready_s, double seconds) {
+  // Intervals wholly in the past can never constrain new work (the host
+  // clock only moves forward); drop them so long synchronous runs stay
+  // O(pending async ops).
+  std::size_t dead = 0;
+  while (dead < copy_busy_.size() && copy_busy_[dead].second <= clock_s_)
+    ++dead;
+  if (dead > 0)
+    copy_busy_.erase(copy_busy_.begin(),
+                     copy_busy_.begin() + static_cast<std::ptrdiff_t>(dead));
+
+  // First-fit into the engine's idle gaps at or after the ready time: a
+  // transfer whose stream is still busy must not stall later independent
+  // transfers (hardware DMA channels reorder around blocked submissions).
+  double start = std::max(ready_s, clock_s_);
+  auto it = copy_busy_.begin();
+  for (; it != copy_busy_.end(); ++it) {
+    if (start + seconds <= it->first) break;  // fits in the gap before *it
+    if (it->second > start) start = it->second;
+  }
+  copy_busy_.insert(it, {start, start + seconds});
+  copy_free_s_ = std::max(copy_free_s_, start + seconds);
+  return start + seconds;
+}
+
+double Device::schedule_launch(const LaunchConfig& cfg, const KernelFn& fn,
+                               double ready_s, double overhead_s,
+                               double* start_s) {
+  LaunchAccount acc = run_grid(cfg, fn);
+  double start = std::max({ready_s, clock_s_, compute_free_s_});
+  if (start_s) *start_s = start;
+  compute_free_s_ = start + overhead_s + acc.time_s;
+  return compute_free_s_;
+}
+
+LaunchAccount Device::run_grid(const LaunchConfig& cfg, const KernelFn& fn) {
   const DeviceProps& p = props();
   if (cfg.block.count() == 0 || cfg.grid.count() == 0)
     throw SimError("kernel launch with empty grid or block");
@@ -101,7 +146,6 @@ LaunchAccount Device::launch(const LaunchConfig& cfg, const KernelFn& fn) {
   }
 
   timing_.finalize(acc);
-  clock_s_ += acc.time_s;
   ++stats_.launches;
   launch_log_.push_back(acc);
   return acc;

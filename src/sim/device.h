@@ -54,9 +54,34 @@ class Device {
   /// timing model and advances the device clock by the modeled time.
   LaunchAccount launch(const LaunchConfig& cfg, const KernelFn& fn);
 
+  // --- asynchronous engines ---------------------------------------------
+  // The board has two engines that can run concurrently: the DMA copy
+  // engine and the SM (compute) engine. Asynchronous work occupies an
+  // engine starting no earlier than `ready_s` (and never before the host
+  // clock or the engine's previous work); the host clock does not move
+  // until a synchronization point folds a timeline back via sync_to().
+
+  /// Occupies the copy engine for `seconds`; returns the completion time.
+  double schedule_copy(double ready_s, double seconds);
+  /// Runs a kernel like launch() but charges the SM engine instead of the
+  /// host clock: execution may start no earlier than `ready_s`, and
+  /// `overhead_s` (launch + parameter-prep cost) precedes it on the
+  /// engine. Returns the completion time; `start_s`, when given, receives
+  /// the time the overhead began occupying the engine.
+  double schedule_launch(const LaunchConfig& cfg, const KernelFn& fn,
+                         double ready_s, double overhead_s,
+                         double* start_s = nullptr);
+
   // --- modeled time -----------------------------------------------------
   double now() const { return clock_s_; }
   void advance_time(double seconds) { clock_s_ += seconds; }
+  /// Advances the host clock to `t` if it is in the future (a stream or
+  /// event synchronization point).
+  void sync_to(double t) {
+    if (t > clock_s_) clock_s_ = t;
+  }
+  double copy_engine_free() const { return copy_free_s_; }
+  double compute_engine_free() const { return compute_free_s_; }
 
   TimingModel& timing() { return timing_; }
   const TimingModel& timing() const { return timing_; }
@@ -76,8 +101,17 @@ class Device {
   std::map<uint64_t, Allocation> allocs_;  // keyed by base device address
   std::size_t allocated_ = 0;
   double clock_s_ = 0;
+  double copy_free_s_ = 0;     // copy engine busy until this time
+  double compute_free_s_ = 0;  // SM engine busy until this time
+  // Busy intervals of the DMA engine, sorted and non-overlapping. The
+  // engine pulls ready work from per-stream channels, so a transfer
+  // blocked on a kernel does not stall later independent transfers:
+  // schedule_copy() backfills into gaps.
+  std::vector<std::pair<double, double>> copy_busy_;
   DeviceStats stats_;
   std::vector<LaunchAccount> launch_log_;
+
+  LaunchAccount run_grid(const LaunchConfig& cfg, const KernelFn& fn);
 };
 
 }  // namespace jetsim

@@ -243,5 +243,101 @@ TEST(Parser, UnknownClauseReported) {
   EXPECT_FALSE(p->diags.ok());
 }
 
+TEST(Parser, TargetNowaitAndDependClauses) {
+  auto p = parse(R"(
+    void f(float x[], float y[], int n) {
+      #pragma omp target nowait depend(out: y) map(to: x[0:n]) \
+              map(tofrom: y[0:n])
+      {
+        int i = 0;
+        i = i + 1;
+      }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  ASSERT_EQ(omp->kind, Stmt::Kind::Omp);
+  EXPECT_EQ(omp->omp_dir, OmpDir::Target);
+  EXPECT_TRUE(omp->omp_nowait) << "nowait must attach to the ast node";
+  const OmpClause* dep = omp->find_clause(OmpClause::Kind::Depend);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_EQ(dep->depend_kind, OmpDependKind::Out);
+  ASSERT_EQ(dep->vars.size(), 1u);
+  EXPECT_EQ(dep->vars[0], "y");
+}
+
+TEST(Parser, DependKindsParsed) {
+  auto p = parse(R"(
+    void f(float a[], float b[], float c[]) {
+      #pragma omp target nowait depend(in: a, b) depend(inout: c) \
+              map(to: a[0:8]) map(tofrom: c[0:8])
+      { int i = 0; i = i + 1; }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  const OmpClause* in = omp->find_clause(OmpClause::Kind::Depend);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->depend_kind, OmpDependKind::In);
+  ASSERT_EQ(in->vars.size(), 2u);
+  EXPECT_EQ(in->vars[1], "b");
+  int depend_clauses = 0;
+  for (const OmpClause& c : omp->omp_clauses)
+    if (c.kind == OmpClause::Kind::Depend) ++depend_clauses;
+  EXPECT_EQ(depend_clauses, 2);
+}
+
+TEST(Parser, TaskwaitDirective) {
+  auto p = parse(R"(
+    void f(void) {
+      #pragma omp taskwait
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  ASSERT_EQ(omp->kind, Stmt::Kind::Omp);
+  EXPECT_EQ(omp->omp_dir, OmpDir::Taskwait);
+  EXPECT_EQ(omp->omp_body, nullptr) << "taskwait is standalone";
+}
+
+TEST(Parser, TaskwaitWithDepend) {
+  auto p = parse(R"(
+    void f(float y[]) {
+      #pragma omp taskwait depend(in: y)
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  EXPECT_EQ(omp->omp_dir, OmpDir::Taskwait);
+  EXPECT_NE(omp->find_clause(OmpClause::Kind::Depend), nullptr);
+}
+
+TEST(Parser, NowaitRejectedOnDirectivesThatDontAcceptIt) {
+  // The seed silently dropped nowait; it must now be either attached to
+  // the node or diagnosed.
+  auto p = parse(R"(
+    void f(void) {
+      #pragma omp parallel nowait
+      { int i = 0; i = i + 1; }
+    })");
+  EXPECT_FALSE(p->diags.ok()) << "'nowait' on parallel must be diagnosed";
+}
+
+TEST(Parser, DependRejectedOnDirectivesThatDontAcceptIt) {
+  auto p = parse(R"(
+    void f(float y[], int n) {
+      #pragma omp teams depend(out: y)
+      { int i = 0; i = i + 1; }
+    })");
+  EXPECT_FALSE(p->diags.ok()) << "'depend' on teams must be diagnosed";
+}
+
+TEST(Parser, NowaitAcceptedOnWorksharingLoop) {
+  auto p = parse(R"(
+    void f(int n) {
+      #pragma omp for nowait
+      for (int i = 0; i < n; i++) { }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* omp = p->unit->functions[0]->body->body[0];
+  EXPECT_TRUE(omp->omp_nowait);
+}
+
 }  // namespace
 }  // namespace ompi

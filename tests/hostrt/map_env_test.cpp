@@ -8,6 +8,9 @@
 #include <map>
 #include <vector>
 
+#include "cudadrv/cuda.h"
+#include "hostrt/cudadev_module.h"
+
 namespace hostrt {
 namespace {
 
@@ -263,6 +266,80 @@ TEST(DataEnv, DestructorReleasesLeftovers) {
     env.map({a.data(), 10, MapType::To});
   }
   EXPECT_EQ(be.frees, 1);
+}
+
+// --- refcounting under asynchronous release ---------------------------------
+// When the cudadev module has a stream bound (the OffloadQueue binds the
+// task's stream around map/unmap), transfers land on the stream's
+// timeline instead of blocking the host clock — but the reference
+// counting rules must not change.
+
+TEST(DataEnvAsync, ReleaseTransfersLandOnBoundStream) {
+  cudadrv::cuSimReset();
+  CudadevModule mod;
+  mod.initialize();
+  {
+    DataEnv env(mod);
+    cudadrv::CUstream st = nullptr;
+    ASSERT_EQ(cudadrv::cuStreamCreate(&st, 0), cudadrv::CUDA_SUCCESS);
+
+    std::vector<float> y(1024, 1.0f);
+    MapItem item{y.data(), y.size() * sizeof(float), MapType::ToFrom};
+    mod.bind_stream(st);
+    env.map(item);
+    mod.bind_stream(nullptr);
+
+    const auto& ops = cudadrv::cuSimStreamOps(st);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].kind, cudadrv::StreamOp::Kind::H2D);
+    EXPECT_LT(cudadrv::cuSimDevice(0).now(), cudadrv::cuSimStreamReady(st))
+        << "async H2D must not block the host clock";
+
+    mod.bind_stream(st);
+    env.unmap(item);
+    mod.bind_stream(nullptr);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[1].kind, cudadrv::StreamOp::Kind::D2H);
+
+    cudadrv::cuStreamDestroy(st);
+  }
+  cudadrv::cuSimReset();
+}
+
+TEST(DataEnvAsync, RefcountHoldsAsyncCopyBackUntilLastRelease) {
+  // An inner unmap of a buffer still referenced by an outer mapping (a
+  // queued task's data environment) must neither copy back nor free,
+  // even when the release path is asynchronous.
+  cudadrv::cuSimReset();
+  CudadevModule mod;
+  mod.initialize();
+  {
+    DataEnv env(mod);
+    cudadrv::CUstream st = nullptr;
+    ASSERT_EQ(cudadrv::cuStreamCreate(&st, 0), cudadrv::CUDA_SUCCESS);
+
+    std::vector<float> y(256, 2.0f);
+    MapItem item{y.data(), y.size() * sizeof(float), MapType::ToFrom};
+    mod.bind_stream(st);
+    env.map(item);   // outer region holds the buffer
+    env.map(item);   // inner (queued task) reference
+    env.unmap(item); // inner release: refcount 2 -> 1
+    mod.bind_stream(nullptr);
+
+    const auto& ops = cudadrv::cuSimStreamOps(st);
+    ASSERT_EQ(ops.size(), 1u) << "inner async release must not copy back";
+    EXPECT_EQ(env.refcount(y.data()), 1);
+
+    mod.bind_stream(st);
+    env.unmap(item); // last release: the D2H rides the stream
+    mod.bind_stream(nullptr);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[1].kind, cudadrv::StreamOp::Kind::D2H);
+    EXPECT_EQ(env.refcount(y.data()), 0);
+
+    cudadrv::cuStreamDestroy(st);
+  }
+  cudadrv::cuSimReset();
 }
 
 }  // namespace

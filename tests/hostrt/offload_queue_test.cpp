@@ -1,0 +1,390 @@
+// The asynchronous offload engine: stream-pool dispatch, transfer /
+// compute overlap, depend() edge resolution against the dependence
+// table, taskwait draining and the serialization of host-side accesses
+// (target exit data) against queued kernels.
+#include "hostrt/offload_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace hostrt {
+namespace {
+
+/// One binary with two kernels: a SAXPY writer (cheap) and an
+/// ATAX-style matrix-vector pass (transfer- and compute-heavy, the
+/// shape the async engine is built to pipeline).
+void install_async_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "async_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+
+  cudadrv::KernelImage saxpy;
+  saxpy.name = "_saxpy_";
+  saxpy.param_count = 4;
+  saxpy.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    float a = args.value<float>(0);
+    int n = args.value<int>(3);
+    float* x = args.pointer<float>(1, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(2, static_cast<std::size_t>(n));
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(2);
+      y[i] = a * x[i] + y[i];
+    }
+  };
+  img.add_kernel(std::move(saxpy));
+
+  cudadrv::KernelImage atax;
+  atax.name = "_atax_";
+  atax.param_count = 4;
+  atax.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2 * n);
+      ctx.charge_flops(2.0 * n);
+    }
+  };
+  img.add_kernel(std::move(atax));
+
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+KernelLaunchSpec saxpy_spec(float a, float* x, float* y, int n) {
+  KernelLaunchSpec spec;
+  spec.module_path = "async_kernels.cubin";
+  spec.kernel_name = "_saxpy_";
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::of(a), KernelArg::mapped(x), KernelArg::mapped(y),
+               KernelArg::of(n)};
+  return spec;
+}
+
+KernelLaunchSpec atax_spec(float* a, float* x, float* y, int n) {
+  KernelLaunchSpec spec;
+  spec.module_path = "async_kernels.cubin";
+  spec.kernel_name = "_atax_";
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(a), KernelArg::mapped(x),
+               KernelArg::mapped(y), KernelArg::of(n)};
+  return spec;
+}
+
+class OffloadQueueTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_board(); }
+  void TearDown() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+
+  static void reset_board() {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_async_binary();
+    cudadrv::cuSimSetBlockSampling(true);
+  }
+
+  static double now() { return cudadrv::cuSimDevice(0).now(); }
+};
+
+struct AtaxTask {
+  std::vector<float> a, x, y;
+  explicit AtaxTask(int n)
+      : a(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 1.0f),
+        x(static_cast<std::size_t>(n), 1.0f),
+        y(static_cast<std::size_t>(n), 0.0f) {}
+
+  std::vector<MapItem> maps() {
+    return {
+        {a.data(), a.size() * sizeof(float), MapType::To},
+        {x.data(), x.size() * sizeof(float), MapType::To},
+        {y.data(), y.size() * sizeof(float), MapType::From},
+    };
+  }
+};
+
+TEST_F(OffloadQueueTest, IndependentNowaitTasksOverlap) {
+  // The acceptance shape of the async engine: a chain of independent
+  // ATAX-style offloads must pipeline to >= 1.3x over the synchronous
+  // path (H2D of task i+1 overlaps the kernel of task i).
+  constexpr int kTasks = 4;
+  constexpr int kN = 1024;
+  Runtime& rt = Runtime::instance();
+
+  std::vector<AtaxTask> tasks;
+  for (int i = 0; i < kTasks; ++i) tasks.emplace_back(kN);
+  double t0 = now();
+  for (AtaxTask& t : tasks)
+    rt.target(0, atax_spec(t.a.data(), t.x.data(), t.y.data(), kN), t.maps());
+  double sync_s = now() - t0;
+
+  reset_board();
+  Runtime& rt2 = Runtime::instance();
+  std::vector<AtaxTask> tasks2;
+  for (int i = 0; i < kTasks; ++i) tasks2.emplace_back(kN);
+  t0 = now();
+  for (AtaxTask& t : tasks2)
+    rt2.target_nowait(0, atax_spec(t.a.data(), t.x.data(), t.y.data(), kN),
+                      t.maps());
+  rt2.sync(0);
+  double async_s = now() - t0;
+
+  EXPECT_LT(async_s, sync_s);
+  EXPECT_GE(sync_s / async_s, 1.3)
+      << "sync=" << sync_s << " async=" << async_s;
+
+  // The pool actually spread the tasks across streams.
+  const OffloadQueue* q = rt2.queue(0);
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->records().size(), static_cast<std::size_t>(kTasks));
+  bool multiple_streams = false;
+  for (const TaskRecord& r : q->records())
+    if (r.stream != q->records()[0].stream) multiple_streams = true;
+  EXPECT_TRUE(multiple_streams);
+}
+
+TEST_F(OffloadQueueTest, DependChainExecutesInProgramOrder) {
+  // depend(out: y) -> depend(in: y): the consumer's kernel must not
+  // begin before the producer's kernel has finished, even though they
+  // run on different streams.
+  const int n = 4096;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f), z(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+
+  std::vector<MapItem> maps_a = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId a = rt.target_nowait(0, saxpy_spec(2.0f, x.data(), y.data(), n),
+                              maps_a, {DependItem::out(y.data())});
+
+  std::vector<MapItem> maps_b = {
+      {y.data(), n * sizeof(float), MapType::To},
+      {z.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId b = rt.target_nowait(0, saxpy_spec(1.0f, y.data(), z.data(), n),
+                              maps_b, {DependItem::in(y.data())});
+  rt.sync(0);
+
+  const OffloadQueue& q = *rt.queue(0);
+  const TaskRecord& ra = q.record(a);
+  const TaskRecord& rb = q.record(b);
+  EXPECT_NE(ra.stream, rb.stream) << "pool should spread independent slots";
+  EXPECT_GE(rb.exec_start_s, ra.exec_end_s)
+      << "consumer kernel overlapped its producer";
+  EXPECT_GE(rb.ready_at, ra.end_s) << "depend edge did not reach the stream";
+
+  // The data side is program-ordered as well: z = 1*(2*x+y) element-wise.
+  for (int i = 0; i < n; i += 997) ASSERT_FLOAT_EQ(z[i], 2.0f);
+}
+
+TEST_F(OffloadQueueTest, AntiDependenceWaitsOnReaders) {
+  // depend(in: x) then depend(out: x): the writer must wait for the
+  // reader (write-after-read), which means waiting on reader events,
+  // not just the last writer.
+  const int n = 4096;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f), y2(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+
+  std::vector<MapItem> maps_r = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId reader = rt.target_nowait(0, saxpy_spec(1.0f, x.data(), y.data(), n),
+                                   maps_r, {DependItem::in(x.data())});
+
+  std::vector<MapItem> maps_w = {
+      {x.data(), n * sizeof(float), MapType::ToFrom},
+      {y2.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId writer = rt.target_nowait(0, saxpy_spec(0.0f, y2.data(), x.data(), n),
+                                   maps_w, {DependItem::out(x.data())});
+  rt.sync(0);
+
+  const OffloadQueue& q = *rt.queue(0);
+  EXPECT_GE(q.record(writer).start_s, q.record(reader).end_s)
+      << "anti-dependence (WAR) was not serialized";
+}
+
+TEST_F(OffloadQueueTest, IndependentReadersOverlap) {
+  // Two depend(in:) tasks on the same address have no edge between
+  // them: the second must not wait for the first.
+  constexpr int kN = 1024;
+  AtaxTask t1(kN), t2(kN);
+  Runtime& rt = Runtime::instance();
+
+  TaskId r1 =
+      rt.target_nowait(0, atax_spec(t1.a.data(), t1.x.data(), t1.y.data(), kN),
+                       t1.maps(), {DependItem::in(t1.x.data())});
+  TaskId r2 =
+      rt.target_nowait(0, atax_spec(t2.a.data(), t2.x.data(), t2.y.data(), kN),
+                       t2.maps(), {DependItem::in(t1.x.data())});
+  rt.sync(0);
+
+  const OffloadQueue& q = *rt.queue(0);
+  EXPECT_LT(q.record(r2).start_s, q.record(r1).end_s)
+      << "sibling readers must overlap";
+}
+
+TEST_F(OffloadQueueTest, SyncDrainsQueueAndAdvancesClock) {
+  const int n = 32 * 1024;
+  std::vector<float> x(n, 1.0f), ya(n, 0.0f), yb(n, 0.0f), yc(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+  for (std::vector<float>* y : {&ya, &yb, &yc}) {
+    std::vector<MapItem> maps = {
+        {x.data(), n * sizeof(float), MapType::To},
+        {y->data(), n * sizeof(float), MapType::ToFrom},
+    };
+    rt.target_nowait(0, saxpy_spec(3.0f, x.data(), y->data(), n), maps);
+  }
+  const OffloadQueue& q = *rt.queue(0);
+  EXPECT_GT(q.in_flight(), 0u) << "nowait must leave tasks in flight";
+
+  rt.sync(0);
+  EXPECT_EQ(q.in_flight(), 0u);
+  for (const TaskRecord& r : q.records()) EXPECT_LE(r.end_s, now());
+}
+
+TEST_F(OffloadQueueTest, StatsReportQueueAndTransferPhases) {
+  const int n = 16 * 1024;
+  std::vector<float> x(n, 1.0f), y(n, 2.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId id = rt.target_nowait(0, saxpy_spec(1.0f, x.data(), y.data(), n),
+                               maps);
+  rt.sync(0);
+
+  const OffloadStats& s = rt.queue(0)->record(id).stats;
+  EXPECT_GE(s.stream, 0);
+  EXPECT_GT(s.h2d_s, 0.0);
+  EXPECT_GT(s.d2h_s, 0.0);
+  EXPECT_GE(s.queued_s, 0.0);
+  EXPECT_GT(s.load_s, 0.0) << "first offload loads the kernel file";
+  EXPECT_GT(s.exec_s, 0.0);
+  // Backward compatibility: total() is the three original phases only.
+  EXPECT_DOUBLE_EQ(s.total(), s.load_s + s.prepare_s + s.exec_s);
+}
+
+TEST_F(OffloadQueueTest, SynchronousTargetThroughQueueKeepsSemantics) {
+  // Runtime::target is a thin synchronous wrapper over the queue:
+  // results, stats and the drained clock must look synchronous.
+  const int n = 1000;
+  std::vector<float> x(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    x[i] = static_cast<float>(i);
+    y[i] = 1.0f;
+  }
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  OffloadStats stats = rt.target(0, saxpy_spec(2.0f, x.data(), y.data(), n),
+                                 maps);
+  for (int i = 0; i < n; ++i) ASSERT_FLOAT_EQ(y[i], 2.0f * i + 1.0f);
+  EXPECT_EQ(rt.queue(0)->in_flight(), 0u) << "target must drain its task";
+  EXPECT_GT(stats.exec_s, 0.0);
+  EXPECT_GE(stats.stream, 0);
+}
+
+TEST_F(OffloadQueueTest, ExitDataCopyBackSerializesWithQueuedKernel) {
+  // `target exit data` copy-back racing a queued kernel that writes the
+  // buffer: the dependence table must serialize the host access past the
+  // task's completion.
+  const int n = 8192;
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  Runtime& rt = Runtime::instance();
+
+  rt.target_enter_data(0, {{x.data(), n * sizeof(float), MapType::To},
+                           {y.data(), n * sizeof(float), MapType::To}});
+  TaskId id = rt.target_nowait(0, saxpy_spec(5.0f, x.data(), y.data(), n), {});
+  // The copy-back must not happen "before" (in modeled time) the queued
+  // kernel that produces y has finished.
+  rt.target_exit_data(0, {{y.data(), n * sizeof(float), MapType::From},
+                          {x.data(), n * sizeof(float), MapType::To}});
+
+  const TaskRecord& r = rt.queue(0)->record(id);
+  EXPECT_GE(now(), r.exec_end_s)
+      << "host copy-back raced the queued kernel";
+  for (int i = 0; i < n; i += 511) ASSERT_FLOAT_EQ(y[i], 6.0f);
+}
+
+TEST_F(OffloadQueueTest, TargetUpdateFromQuiescesQueuedWriter) {
+  const int n = 8192;
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  Runtime& rt = Runtime::instance();
+  rt.target_enter_data(0, {{x.data(), n * sizeof(float), MapType::To},
+                           {y.data(), n * sizeof(float), MapType::To}});
+  TaskId id = rt.target_nowait(0, saxpy_spec(2.0f, x.data(), y.data(), n), {});
+  rt.target_update_from(0, y.data(), n * sizeof(float));
+  EXPECT_GE(now(), rt.queue(0)->record(id).exec_end_s);
+  for (int i = 0; i < n; i += 255) ASSERT_FLOAT_EQ(y[i], 3.0f);
+  rt.sync(0);
+  rt.target_exit_data(0, {{y.data(), n * sizeof(float), MapType::Alloc},
+                          {x.data(), n * sizeof(float), MapType::Alloc}});
+}
+
+TEST_F(OffloadQueueTest, ResetWithInFlightTasksTearsDownCleanly) {
+  const int n = 16 * 1024;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  rt.target_nowait(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  ASSERT_GT(rt.queue(0)->in_flight(), 0u);
+
+  // Drains in-flight streams, then tears the driver down.
+  Runtime::reset();
+
+  // The board comes back cold and fully usable.
+  install_async_binary();
+  Runtime& fresh = Runtime::instance();
+  std::vector<float> y2(n, 1.0f);
+  std::vector<MapItem> maps2 = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y2.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  OffloadStats stats =
+      fresh.target(0, saxpy_spec(1.0f, x.data(), y2.data(), n), maps2);
+  EXPECT_GT(stats.exec_s, 0.0);
+  for (int i = 0; i < n; i += 127) ASSERT_FLOAT_EQ(y2[i], 2.0f);
+}
+
+TEST_F(OffloadQueueTest, NowaitWithoutDependsStillQuiescesByAccess) {
+  // Even without explicit depend clauses, the queue records the task's
+  // accesses from its map set, so a later host access serializes.
+  const int n = 8192;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  TaskId id = rt.target_nowait(0, saxpy_spec(4.0f, x.data(), y.data(), n),
+                               maps);
+  rt.queue(0)->quiesce(y.data());
+  EXPECT_GE(now(), rt.queue(0)->record(id).end_s);
+}
+
+}  // namespace
+}  // namespace hostrt
