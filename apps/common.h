@@ -35,12 +35,18 @@ struct RunOptions {
   bool verify = false;      // run real math and compare with a reference
   double calibration = 1.0; // multiplicative adjustment on OMPi kernels
   bool verbose = false;     // print per-offload phase/stream stats
+  int repeats = 1;          // Ompi variant: rerun the offload section
+                            // (map + kernels + unmap) this many times —
+                            // models an iterative timestep loop, where
+                            // warm iterations hit the block cache
 };
 
 struct RunResult {
   double seconds = 0;      // modeled time: transfers + kernel executions
   bool verified = true;    // false only when verify=true and mismatched
   uint64_t launches = 0;
+  double first_iter_s = 0; // repeats>1: the cold iteration's modeled time
+  double warm_iter_s = 0;  // repeats>1: mean of the remaining iterations
 };
 
 /// Per-run environment: resets the simulated board, registers the run's

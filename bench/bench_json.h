@@ -1,0 +1,41 @@
+// Machine-readable benchmark output: each micro benchmark writes a
+// BENCH_<name>.json file next to its stdout report, so CI can track the
+// modeled-performance trajectory across PRs without scraping text.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bench {
+
+/// Writes BENCH_<name>.json in the working directory:
+///   {"name": ..., "config": {k: v, ...}, "metrics": {k: number, ...}}
+/// Returns false (after a stderr note) if the file cannot be written —
+/// benchmarks still report on stdout in that case.
+inline bool write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& config,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"config\": {", name.c_str());
+  for (std::size_t i = 0; i < config.size(); ++i)
+    std::fprintf(f, "%s\"%s\": \"%s\"", i ? ", " : "",
+                 config[i].first.c_str(), config[i].second.c_str());
+  std::fprintf(f, "},\n  \"metrics\": {");
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    std::fprintf(f, "%s\"%s\": %.9g", i ? ", " : "",
+                 metrics[i].first.c_str(), metrics[i].second);
+  std::fprintf(f, "}\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench

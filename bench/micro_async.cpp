@@ -5,8 +5,10 @@
 // copies against the previous task's kernel, so the modeled end-to-end
 // time approaches max(copy engine, SM engine) instead of their sum.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "cudadrv/cuda.h"
 #include "devrt/devrt.h"
 #include "hostrt/runtime.h"
@@ -112,6 +114,12 @@ int main() {
   std::printf("\n  synchronous      : %10.6f s\n", sync_s);
   std::printf("  target nowait    : %10.6f s\n", async_s);
   std::printf("  modeled speedup  : %10.2fx\n", sync_s / async_s);
+  bench::write_bench_json("micro_async",
+                          {{"tasks", std::to_string(kTasks)},
+                           {"n", std::to_string(kN)}},
+                          {{"sync_s", sync_s},
+                           {"async_s", async_s},
+                           {"speedup", sync_s / async_s}});
   Runtime::reset();
   return async_s < sync_s ? 0 : 1;
 }

@@ -1,6 +1,8 @@
 #include "cudadrv/cuda.h"
 
+#include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -38,6 +40,7 @@ struct CUstream_st {
 struct CUevent_st {
   double when = 0;
   bool recorded = false;
+  CUdevice device = 0;  // device whose clock `when` refers to
 };
 
 // ---------------------------------------------------------------------
@@ -46,6 +49,14 @@ struct CUevent_st {
 
 namespace {
 
+// One page-locked host allocation made through cuMemAllocHost. The
+// driver owns the storage; the registry is keyed by address so transfer
+// paths can classify an arbitrary host pointer as pinned or pageable.
+struct PinnedAlloc {
+  std::unique_ptr<std::byte[]> storage;
+  std::size_t size = 0;
+};
+
 struct DriverState {
   bool initialized = false;
   std::vector<std::unique_ptr<jetsim::Device>> devices;
@@ -53,6 +64,7 @@ struct DriverState {
   std::vector<std::unique_ptr<CUmod_st>> modules;
   std::vector<std::unique_ptr<CUstream_st>> streams;
   std::vector<std::unique_ptr<CUevent_st>> events;
+  std::map<std::uintptr_t, PinnedAlloc> pinned;  // keyed by base address
   CUcontext current = nullptr;
   std::set<std::string> jit_cache;  // simulated on-disk JIT cache
   jetsim::DriverCosts costs;
@@ -96,6 +108,7 @@ const char* cuResultName(CUresult r) {
     case CUDA_ERROR_NOT_FOUND: return "CUDA_ERROR_NOT_FOUND";
     case CUDA_ERROR_INVALID_DEVICE: return "CUDA_ERROR_INVALID_DEVICE";
     case CUDA_ERROR_FILE_NOT_FOUND: return "CUDA_ERROR_FILE_NOT_FOUND";
+    case CUDA_ERROR_NOT_READY: return "CUDA_ERROR_NOT_READY";
     case CUDA_ERROR_LAUNCH_FAILED: return "CUDA_ERROR_LAUNCH_FAILED";
   }
   return "CUDA_ERROR_UNKNOWN";
@@ -314,7 +327,11 @@ CUresult cuModuleUnload(CUmodule module) {
 CUresult cuMemAlloc(CUdeviceptr* dptr, std::size_t bytes) {
   if (!dptr || bytes == 0) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
-  uint64_t addr = dev_of_current().malloc(bytes);
+  jetsim::Device& dev = dev_of_current();
+  // Each trap into the driver's kernel allocator costs host time, even
+  // when the allocation fails — the lock is taken either way.
+  dev.advance_time(state().costs.alloc_overhead_s);
+  uint64_t addr = dev.malloc(bytes);
   if (addr == 0) return CUDA_ERROR_OUT_OF_MEMORY;
   *dptr = addr;
   return CUDA_SUCCESS;
@@ -323,10 +340,36 @@ CUresult cuMemAlloc(CUdeviceptr* dptr, std::size_t bytes) {
 CUresult cuMemFree(CUdeviceptr dptr) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   try {
-    dev_of_current().free(dptr);
+    jetsim::Device& dev = dev_of_current();
+    dev.free(dptr);
+    dev.advance_time(state().costs.free_overhead_s);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
+  return CUDA_SUCCESS;
+}
+
+CUresult cuMemAllocHost(void** pp, std::size_t bytes) {
+  if (!pp || bytes == 0) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  PinnedAlloc alloc;
+  alloc.storage = std::make_unique<std::byte[]>(bytes);
+  alloc.size = bytes;
+  void* p = alloc.storage.get();
+  state().pinned.emplace(reinterpret_cast<std::uintptr_t>(p),
+                         std::move(alloc));
+  // Pinning pages is an order of magnitude slower than cuMemAlloc.
+  dev_of_current().advance_time(state().costs.pinned_alloc_overhead_s);
+  *pp = p;
+  return CUDA_SUCCESS;
+}
+
+CUresult cuMemFreeHost(void* p) {
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
+  if (it == state().pinned.end()) return CUDA_ERROR_INVALID_VALUE;
+  state().pinned.erase(it);
+  dev_of_current().advance_time(state().costs.pinned_free_overhead_s);
   return CUDA_SUCCESS;
 }
 
@@ -340,19 +383,34 @@ CUresult cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
 }
 
 namespace {
-double copy_seconds(std::size_t bytes) {
-  DriverState& s = state();
-  return s.costs.memcpy_overhead_s +
-         static_cast<double>(bytes) / s.costs.memcpy_bandwidth;
+bool pinned_range(const void* p, std::size_t bytes) {
+  if (!p) return false;
+  auto& pinned = state().pinned;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = pinned.upper_bound(addr);
+  if (it == pinned.begin()) return false;
+  --it;
+  return addr >= it->first && addr + bytes <= it->first + it->second.size;
 }
 
-CUresult checked_copy(void* dst, const void* src, std::size_t bytes) {
+// `host_ptr` is the host-side endpoint of the transfer (null for DtoD):
+// a pinned host buffer skips the driver's internal staging pass and gets
+// the DMA engine's full rate.
+double copy_seconds(std::size_t bytes, const void* host_ptr) {
+  DriverState& s = state();
+  double bw = pinned_range(host_ptr, bytes) ? s.costs.memcpy_pinned_bandwidth
+                                            : s.costs.memcpy_bandwidth;
+  return s.costs.memcpy_overhead_s + static_cast<double>(bytes) / bw;
+}
+
+CUresult checked_copy(void* dst, const void* src, std::size_t bytes,
+                      const void* host_ptr) {
   std::memcpy(dst, src, bytes);
   // Synchronous copies occupy the copy engine and block the host until
   // done; with no asynchronous work in flight this degenerates to the
   // plain clock advance the seed model used.
   jetsim::Device& dev = dev_of_current();
-  dev.sync_to(dev.schedule_copy(dev.now(), copy_seconds(bytes)));
+  dev.sync_to(dev.schedule_copy(dev.now(), copy_seconds(bytes, host_ptr)));
   return CUDA_SUCCESS;
 }
 
@@ -361,11 +419,12 @@ bool valid_stream(CUstream stream) { return stream && stream->alive; }
 // Moves the data immediately (the simulator is sequentially consistent)
 // and charges the modeled cost to the copy engine on the stream timeline.
 CUresult stream_copy(void* dst, const void* src, std::size_t bytes,
-                     CUstream stream, StreamOp::Kind kind) {
+                     CUstream stream, StreamOp::Kind kind,
+                     const void* host_ptr) {
   std::memcpy(dst, src, bytes);
   jetsim::Device& dev =
       *state().devices[static_cast<std::size_t>(stream->device)];
-  double seconds = copy_seconds(bytes);
+  double seconds = copy_seconds(bytes, host_ptr);
   double end = dev.schedule_copy(stream->ready, seconds);
   stream->ops.push_back({kind, end - seconds, end, bytes, {}});
   stream->ready = end;
@@ -377,7 +436,8 @@ CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, std::size_t bytes) {
   if (!src) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   try {
-    return checked_copy(dev_of_current().translate(dst, bytes), src, bytes);
+    return checked_copy(dev_of_current().translate(dst, bytes), src, bytes,
+                        src);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -387,7 +447,8 @@ CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t bytes) {
   if (!dst) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   try {
-    return checked_copy(dst, dev_of_current().translate(src, bytes), bytes);
+    return checked_copy(dst, dev_of_current().translate(src, bytes), bytes,
+                        dst);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -398,7 +459,7 @@ CUresult cuMemcpyDtoD(CUdeviceptr dst, CUdeviceptr src, std::size_t bytes) {
   try {
     jetsim::Device& dev = dev_of_current();
     return checked_copy(dev.translate(dst, bytes), dev.translate(src, bytes),
-                        bytes);
+                        bytes, nullptr);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -424,7 +485,7 @@ CUresult cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
     jetsim::Device& dev =
         *state().devices[static_cast<std::size_t>(stream->device)];
     return stream_copy(dev.translate(dst, bytes), src, bytes, stream,
-                       StreamOp::Kind::H2D);
+                       StreamOp::Kind::H2D, src);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -440,7 +501,7 @@ CUresult cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t bytes,
     jetsim::Device& dev =
         *state().devices[static_cast<std::size_t>(stream->device)];
     return stream_copy(dst, dev.translate(src, bytes), bytes, stream,
-                       StreamOp::Kind::D2H);
+                       StreamOp::Kind::D2H, dst);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -584,6 +645,7 @@ CUresult cuEventRecord(CUevent event, CUstream stream) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
   event->when = stream ? stream->ready : dev_of_current().now();
+  event->device = stream ? stream->device : state().current->device;
   event->recorded = true;
   return CUDA_SUCCESS;
 }
@@ -593,6 +655,17 @@ CUresult cuEventSynchronize(CUevent event) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (event->recorded) dev_of_current().sync_to(event->when);
   return CUDA_SUCCESS;
+}
+
+CUresult cuEventQuery(CUevent event) {
+  if (!event) return CUDA_ERROR_INVALID_HANDLE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!event->recorded) return CUDA_SUCCESS;  // matches the real driver
+  if (event->device >= static_cast<int>(state().devices.size()))
+    return CUDA_ERROR_INVALID_HANDLE;
+  jetsim::Device& dev =
+      *state().devices[static_cast<std::size_t>(event->device)];
+  return event->when <= dev.now() ? CUDA_SUCCESS : CUDA_ERROR_NOT_READY;
 }
 
 CUresult cuEventElapsedTime(float* ms, CUevent start, CUevent end) {
@@ -620,6 +693,10 @@ void cuSimSetBlockSampling(bool enabled) {
 
 jetsim::DriverCosts& cuSimDriverCosts() { return state().costs; }
 
+bool cuSimIsPinned(const void* p, std::size_t bytes) {
+  return pinned_range(p, bytes);
+}
+
 void cuSimClearJitCache() { state().jit_cache.clear(); }
 
 double cuSimStreamReady(CUstream stream) {
@@ -641,6 +718,7 @@ void cuSimReset() {
   s.streams.clear();
   s.events.clear();
   s.devices.clear();
+  s.pinned.clear();
   s.jit_cache.clear();
   s.current = nullptr;
   s.initialized = false;

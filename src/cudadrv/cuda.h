@@ -31,6 +31,7 @@ enum CUresult {
   CUDA_ERROR_NOT_FOUND = 500,
   CUDA_ERROR_INVALID_DEVICE = 101,
   CUDA_ERROR_FILE_NOT_FOUND = 301,
+  CUDA_ERROR_NOT_READY = 600,
   CUDA_ERROR_LAUNCH_FAILED = 719,
 };
 
@@ -87,6 +88,12 @@ CUresult cuModuleUnload(CUmodule module);
 // --- memory -------------------------------------------------------------
 CUresult cuMemAlloc(CUdeviceptr* dptr, std::size_t bytes);
 CUresult cuMemFree(CUdeviceptr dptr);
+/// Page-locked host memory. Allocation is expensive (the driver pins the
+/// pages), but transfers whose host side lies inside a pinned allocation
+/// bypass the driver's bounce buffer and run at the DMA engine's rate
+/// (`DriverCosts::memcpy_pinned_bandwidth`).
+CUresult cuMemAllocHost(void** pp, std::size_t bytes);
+CUresult cuMemFreeHost(void* p);
 CUresult cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes);
 CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, std::size_t bytes);
 CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t bytes);
@@ -124,6 +131,10 @@ CUresult cuEventDestroy(CUevent event);
 /// host clock for the null stream).
 CUresult cuEventRecord(CUevent event, CUstream stream);
 CUresult cuEventSynchronize(CUevent event);
+/// Non-blocking completion probe: CUDA_SUCCESS if the event's recorded
+/// work has finished by the current host clock (or the event was never
+/// recorded, matching the real driver), CUDA_ERROR_NOT_READY otherwise.
+CUresult cuEventQuery(CUevent event);
 /// Modeled milliseconds between two recorded events.
 CUresult cuEventElapsedTime(float* ms, CUevent start, CUevent end);
 
@@ -140,6 +151,9 @@ bool cuSimModelOnly();
 void cuSimSetBlockSampling(bool enabled);
 /// Driver-level cost knobs (launch overhead, memcpy bandwidth, JIT).
 jetsim::DriverCosts& cuSimDriverCosts();
+/// True when [p, p+bytes) lies entirely inside one cuMemAllocHost
+/// allocation (used by transfer-cost modeling and by tests).
+bool cuSimIsPinned(const void* p, std::size_t bytes);
 /// Clears the simulated JIT disk cache (e.g. to model a cold boot).
 void cuSimClearJitCache();
 /// One modeled operation on a stream's work queue.

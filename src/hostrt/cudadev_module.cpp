@@ -1,5 +1,7 @@
 #include "hostrt/cudadev_module.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -21,7 +23,7 @@ void check(const char* op, cudadrv::CUresult r) {
 
 }  // namespace
 
-CudadevModule::CudadevModule() {
+CudadevModule::CudadevModule() : allocator_(driver_ops()) {
   // Discovery phase: every device is found at application startup, but
   // nothing beyond counting happens here (lazy initialization).
   check("cuInit", cudadrv::cuInit(0));
@@ -29,9 +31,49 @@ CudadevModule::CudadevModule() {
 }
 
 CudadevModule::~CudadevModule() {
-  // Skip the driver call if a reset already destroyed the context handle.
-  if (context_ && cudadrv::cuSimEpoch() == epoch_)
+  // Skip the driver calls if a reset already destroyed the handles (the
+  // reset reclaimed device and pinned memory wholesale).
+  if (context_ && cudadrv::cuSimEpoch() == epoch_) {
+    release_cached();
     cudadrv::cuCtxDestroy(context_);
+  } else {
+    allocator_.abandon();
+  }
+}
+
+uint64_t CudadevModule::raw_alloc(std::size_t size) {
+  cudadrv::CUdeviceptr p = 0;
+  cudadrv::CUresult r = cudadrv::cuMemAlloc(&p, size);
+  if (r == cudadrv::CUDA_ERROR_OUT_OF_MEMORY) return 0;
+  check("cuMemAlloc", r);
+  return p;
+}
+
+AllocatorOps CudadevModule::driver_ops() {
+  AllocatorOps ops;
+  ops.raw_alloc = [this](std::size_t size) { return raw_alloc(size); };
+  // Teardown frees are best-effort: during shutdown the context may
+  // already be gone, and device memory goes with it.
+  ops.raw_free = [](uint64_t addr) { cudadrv::cuMemFree(addr); };
+  ops.fence = [this]() -> uint64_t {
+    if (!bound_stream_) return 0;  // synchronous work has completed
+    cudadrv::CUevent ev = nullptr;
+    check("cuEventCreate", cudadrv::cuEventCreate(&ev, 0));
+    check("cuEventRecord", cudadrv::cuEventRecord(ev, bound_stream_));
+    return reinterpret_cast<uint64_t>(ev);
+  };
+  ops.fence_done = [](uint64_t f) {
+    return cudadrv::cuEventQuery(reinterpret_cast<cudadrv::CUevent>(f)) ==
+           cudadrv::CUDA_SUCCESS;
+  };
+  ops.fence_wait = [](uint64_t f) {
+    check("cuEventSynchronize",
+          cudadrv::cuEventSynchronize(reinterpret_cast<cudadrv::CUevent>(f)));
+  };
+  ops.stream_id = [this]() {
+    return reinterpret_cast<uint64_t>(bound_stream_);
+  };
+  return ops;
 }
 
 void CudadevModule::initialize() {
@@ -63,6 +105,18 @@ void CudadevModule::initialize() {
   // A primary context is created once the device is initialized.
   check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, device_));
   epoch_ = cudadrv::cuSimEpoch();
+
+  // Data-environment tuning knobs, read once per initialization.
+  if (const char* v = std::getenv("OMPI_ALLOC_CACHE")) {
+    std::string s = v;
+    allocator_.set_enabled(!(s == "0" || s == "off" || s == "false"));
+  }
+  if (const char* v = std::getenv("OMPI_COALESCE_MAX")) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(v, &end, 10);
+    if (end && *end == '\0' && end != v)
+      coalesce_max_ = static_cast<std::size_t>(n);
+  }
   initialized_ = true;
 }
 
@@ -74,16 +128,57 @@ void CudadevModule::require_initialized() {
 
 uint64_t CudadevModule::alloc(std::size_t size) {
   require_initialized();
-  cudadrv::CUdeviceptr p = 0;
-  cudadrv::CUresult r = cudadrv::cuMemAlloc(&p, size);
-  if (r == cudadrv::CUDA_ERROR_OUT_OF_MEMORY) return 0;
-  check("cuMemAlloc", r);
-  return p;
+  return allocator_.alloc(size);
 }
 
 void CudadevModule::free(uint64_t dev_addr) {
   require_initialized();
-  check("cuMemFree", cudadrv::cuMemFree(dev_addr));
+  allocator_.free(dev_addr);
+}
+
+bool CudadevModule::alloc_group(const std::vector<std::size_t>& sizes,
+                                std::vector<uint64_t>* addrs) {
+  require_initialized();
+  addrs->assign(sizes.size(), 0);
+
+  // Small items share one contiguous slab: that makes their transfers
+  // device-adjacent, which is what lets write/read_segments merge them.
+  // Large items allocate alone so their lifetime is not tied to the
+  // batch's and their transfers (which per-copy overhead cannot
+  // dominate) skip the staging pass.
+  std::vector<std::size_t> small_idx;
+  std::vector<std::size_t> small_sizes;
+  if (allocator_.enabled() && coalesce_max_ > 0) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      if (sizes[i] <= coalesce_max_) {
+        small_idx.push_back(i);
+        small_sizes.push_back(sizes[i]);
+      }
+    }
+  }
+
+  auto rollback = [&]() {
+    for (uint64_t a : *addrs)
+      if (a) allocator_.free(a);
+    addrs->assign(sizes.size(), 0);
+    return false;
+  };
+
+  if (small_idx.size() >= 2) {
+    std::vector<uint64_t> got;
+    if (allocator_.alloc_group(small_sizes, &got) == 0) return rollback();
+    for (std::size_t k = 0; k < small_idx.size(); ++k)
+      (*addrs)[small_idx[k]] = got[k];
+  } else {
+    small_idx.clear();  // too few to slab: allocate them individually
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if ((*addrs)[i]) continue;
+    uint64_t a = allocator_.alloc(sizes[i]);
+    if (a == 0) return rollback();
+    (*addrs)[i] = a;
+  }
+  return true;
 }
 
 void CudadevModule::write(uint64_t dev_addr, const void* src,
@@ -105,6 +200,133 @@ void CudadevModule::read(void* dst, uint64_t dev_addr, std::size_t size) {
     return;
   }
   check("cuMemcpyDtoH", cudadrv::cuMemcpyDtoH(dst, dev_addr, size));
+}
+
+std::byte* CudadevModule::staging(std::size_t bytes) {
+  if (staging_size_ >= bytes) return static_cast<std::byte*>(staging_);
+  if (staging_) {
+    cudadrv::cuMemFreeHost(staging_);
+    staging_ = nullptr;
+    staging_size_ = 0;
+  }
+  // Round like a device block so repeated growth converges quickly.
+  std::size_t rounded = DeviceAllocator::round_size(bytes);
+  void* p = nullptr;
+  if (cudadrv::cuMemAllocHost(&p, rounded) != cudadrv::CUDA_SUCCESS)
+    return nullptr;
+  staging_ = p;
+  staging_size_ = rounded;
+  return static_cast<std::byte*>(p);
+}
+
+namespace {
+// End of the maximal coalescable run starting at `i`: ascending,
+// non-overlapping segments inside one raw device allocation, each small
+// enough that the per-transfer overhead dominates its cost.
+std::size_t run_end(const std::vector<Segment>& segs, std::size_t i,
+                    const DeviceAllocator& alloc, std::size_t max_item) {
+  uint64_t region = alloc.region_of(segs[i].dev);
+  if (region == 0 || segs[i].size > max_item) return i + 1;
+  std::size_t j = i + 1;
+  while (j < segs.size() && segs[j].size <= max_item &&
+         segs[j].dev >= segs[j - 1].dev + segs[j - 1].size &&
+         alloc.region_of(segs[j].dev) == region)
+    ++j;
+  return j;
+}
+}  // namespace
+
+void CudadevModule::write_segments(const std::vector<Segment>& segs) {
+  require_initialized();
+  std::size_t i = 0;
+  while (i < segs.size()) {
+    std::size_t j = coalesce_max_ > 0
+                        ? run_end(segs, i, allocator_, coalesce_max_)
+                        : i + 1;
+    uint64_t first = segs[i].dev;
+    std::size_t span =
+        static_cast<std::size_t>(segs[j - 1].dev + segs[j - 1].size - first);
+    std::byte* buf = j - i >= 2 ? staging(span) : nullptr;
+    if (!buf) {
+      for (std::size_t k = i; k < j; ++k)
+        write(segs[k].dev, segs[k].host, segs[k].size);
+      i = j;
+      continue;
+    }
+    // Pack the items into the pinned staging buffer at their device
+    // offsets (alignment gaps carry stale staging bytes into slab
+    // padding, which nothing reads), charge the host-side pack, then
+    // issue one spanning transfer at the pinned rate.
+    std::size_t payload = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      std::memcpy(buf + (segs[k].dev - first), segs[k].host, segs[k].size);
+      payload += segs[k].size;
+    }
+    cudadrv::cuSimDevice(device_).advance_time(
+        static_cast<double>(payload) /
+        cudadrv::cuSimDriverCosts().host_memcpy_bandwidth);
+    write(first, buf, span);
+    bytes_staged_ += payload;
+    ++coalesced_transfers_;
+    i = j;
+  }
+}
+
+void CudadevModule::read_segments(const std::vector<Segment>& segs) {
+  require_initialized();
+  std::size_t i = 0;
+  while (i < segs.size()) {
+    std::size_t j = coalesce_max_ > 0
+                        ? run_end(segs, i, allocator_, coalesce_max_)
+                        : i + 1;
+    uint64_t first = segs[i].dev;
+    std::size_t span =
+        static_cast<std::size_t>(segs[j - 1].dev + segs[j - 1].size - first);
+    std::byte* buf = j - i >= 2 ? staging(span) : nullptr;
+    if (!buf) {
+      for (std::size_t k = i; k < j; ++k)
+        read(segs[k].host, segs[k].dev, segs[k].size);
+      i = j;
+      continue;
+    }
+    // One spanning transfer into pinned staging, then scatter to the
+    // hosts and charge the host-side unpack.
+    read(buf, first, span);
+    std::size_t payload = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      std::memcpy(segs[k].host, buf + (segs[k].dev - first), segs[k].size);
+      payload += segs[k].size;
+    }
+    cudadrv::cuSimDevice(device_).advance_time(
+        static_cast<double>(payload) /
+        cudadrv::cuSimDriverCosts().host_memcpy_bandwidth);
+    bytes_staged_ += payload;
+    ++coalesced_transfers_;
+    i = j;
+  }
+}
+
+void CudadevModule::release_cached() {
+  allocator_.release_cached();
+  if (staging_) {
+    cudadrv::cuMemFreeHost(staging_);
+    staging_ = nullptr;
+    staging_size_ = 0;
+  }
+}
+
+void CudadevModule::set_alloc_cache_enabled(bool enabled) {
+  allocator_.set_enabled(enabled);
+}
+
+DeviceModule::AllocCounters CudadevModule::alloc_counters() const {
+  const DeviceAllocator::Stats& s = allocator_.stats();
+  AllocCounters c;
+  c.cache_hits = s.cache_hits;
+  c.cache_misses = s.cache_misses;
+  c.coalesced_transfers = coalesced_transfers_;
+  c.bytes_staged = bytes_staged_;
+  return c;
 }
 
 cudadrv::CUfunction CudadevModule::get_function(

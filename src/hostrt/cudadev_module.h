@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "cudadrv/cuda.h"
+#include "hostrt/device_allocator.h"
 #include "hostrt/module.h"
 
 namespace hostrt {
@@ -25,10 +27,17 @@ class CudadevModule : public DeviceModule {
   bool initialized() const override { return initialized_; }
 
   // MapBackend: memory management and transfers via the driver API.
+  // alloc/free go through the caching DeviceAllocator; the batch entry
+  // points additionally group-allocate small map items into one slab and
+  // coalesce their transfers through the pinned staging pool.
   uint64_t alloc(std::size_t size) override;
   void free(uint64_t dev_addr) override;
   void write(uint64_t dev_addr, const void* src, std::size_t size) override;
   void read(void* dst, uint64_t dev_addr, std::size_t size) override;
+  bool alloc_group(const std::vector<std::size_t>& sizes,
+                   std::vector<uint64_t>* addrs) override;
+  void write_segments(const std::vector<Segment>& segs) override;
+  void read_segments(const std::vector<Segment>& segs) override;
 
   OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
 
@@ -67,10 +76,34 @@ class CudadevModule : public DeviceModule {
   /// once and cached, mirroring the real module).
   int modules_loaded() const { return modules_loaded_; }
 
+  // --- caching allocator & transfer coalescer ---------------------------
+  /// The caching device allocator (for stats and explicit trims).
+  DeviceAllocator& allocator() { return allocator_; }
+  const DeviceAllocator& allocator() const { return allocator_; }
+  /// Returns every cached device block and the pinned staging pool to
+  /// the driver (e.g. before measuring the board's free memory).
+  void release_cached();
+  /// Enables/disables block caching (OMPI_ALLOC_CACHE; default on).
+  void set_alloc_cache_enabled(bool enabled);
+  /// Maximum per-item size eligible for slab grouping and transfer
+  /// coalescing, in bytes; 0 disables coalescing (OMPI_COALESCE_MAX).
+  void set_coalesce_max(std::size_t bytes) { coalesce_max_ = bytes; }
+  std::size_t coalesce_max() const { return coalesce_max_; }
+
+  AllocCounters alloc_counters() const override;
+
+  /// Past ~32 KB per item the bandwidth lost to the host pack/unpack
+  /// pass outweighs the saved per-transfer overheads (DESIGN.md §5c).
+  static constexpr std::size_t kDefaultCoalesceMax = 32 * 1024;
+
  private:
   void require_initialized();
   cudadrv::CUfunction get_function(const std::string& module_path,
                                    const std::string& kernel_name);
+  AllocatorOps driver_ops();
+  /// Pinned staging buffer of at least `bytes` (grows, never shrinks).
+  std::byte* staging(std::size_t bytes);
+  uint64_t raw_alloc(std::size_t size);
 
   bool initialized_ = false;
   uint64_t epoch_ = 0;  // driver epoch the context belongs to
@@ -82,6 +115,13 @@ class CudadevModule : public DeviceModule {
   std::map<std::string, cudadrv::CUfunction> function_cache_;
   int modules_loaded_ = 0;
   cudadrv::CUstream bound_stream_ = nullptr;
+
+  DeviceAllocator allocator_;
+  std::size_t coalesce_max_ = kDefaultCoalesceMax;
+  void* staging_ = nullptr;        // pinned; grows to the largest span
+  std::size_t staging_size_ = 0;
+  uint64_t coalesced_transfers_ = 0;
+  std::size_t bytes_staged_ = 0;
 };
 
 }  // namespace hostrt

@@ -1,0 +1,206 @@
+#include "hostrt/device_allocator.h"
+
+#include <utility>
+
+namespace hostrt {
+
+DeviceAllocator::DeviceAllocator(AllocatorOps ops) : ops_(std::move(ops)) {}
+
+DeviceAllocator::~DeviceAllocator() { release_cached(); }
+
+std::size_t DeviceAllocator::round_size(std::size_t bytes) {
+  if (bytes <= kMinBlock) return kMinBlock;
+  if (bytes <= kSmallLimit) {
+    std::size_t r = kMinBlock;
+    while (r < bytes) r <<= 1;
+    return r;
+  }
+  return (bytes + kSmallLimit - 1) / kSmallLimit * kSmallLimit;
+}
+
+void DeviceAllocator::set_enabled(bool enabled) {
+  if (enabled_ && !enabled) release_cached();
+  enabled_ = enabled;
+}
+
+void DeviceAllocator::note_high_water() {
+  std::size_t held = stats_.live_bytes + stats_.cached_bytes;
+  if (held > stats_.high_water_bytes) stats_.high_water_bytes = held;
+}
+
+uint64_t DeviceAllocator::take_cached(std::size_t rounded, bool force) {
+  auto it = cache_.find(rounded);
+  if (it == cache_.end()) return 0;
+  std::vector<CachedBlock>& list = it->second;
+  uint64_t me = ops_.stream_id ? ops_.stream_id() : 0;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    CachedBlock& b = list[i];
+    bool safe = b.fence == 0 || b.stream == me ||
+                (ops_.fence_done && ops_.fence_done(b.fence));
+    if (!safe) {
+      if (!force) continue;  // skip: never serialize the pipeline
+      if (ops_.fence_wait) ops_.fence_wait(b.fence);
+      ++stats_.forced_waits;
+    }
+    uint64_t addr = b.addr;
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+    if (list.empty()) cache_.erase(it);
+    stats_.cached_bytes -= rounded;
+    return addr;
+  }
+  return 0;
+}
+
+uint64_t DeviceAllocator::raw_alloc_with_pressure(std::size_t rounded) {
+  ++stats_.raw_allocs;
+  uint64_t addr = ops_.raw_alloc(rounded);
+  if (addr) return addr;
+  // Pressure path: a same-class block with a pending fence is cheaper
+  // than dumping the whole cache, so wait on one if it exists.
+  if (uint64_t reused = take_cached(rounded, /*force=*/true)) return reused;
+  if (stats_.cached_bytes > 0) {
+    ++stats_.trims;
+    release_cached();
+    ++stats_.raw_allocs;
+    addr = ops_.raw_alloc(rounded);
+  }
+  return addr;
+}
+
+uint64_t DeviceAllocator::alloc(std::size_t bytes) {
+  if (bytes == 0) return 0;
+  std::size_t rounded = round_size(bytes);
+  if (!enabled_) {
+    ++stats_.raw_allocs;
+    ++stats_.cache_misses;
+    uint64_t addr = ops_.raw_alloc(rounded);
+    if (!addr) return 0;
+    live_.emplace(addr, LiveBlock{rounded, 0});
+    stats_.live_bytes += rounded;
+    note_high_water();
+    return addr;
+  }
+  uint64_t addr = take_cached(rounded, /*force=*/false);
+  if (addr) {
+    ++stats_.cache_hits;
+  } else {
+    ++stats_.cache_misses;
+    addr = raw_alloc_with_pressure(rounded);
+    if (!addr) return 0;
+  }
+  live_.emplace(addr, LiveBlock{rounded, 0});
+  stats_.live_bytes += rounded;
+  note_high_water();
+  return addr;
+}
+
+uint64_t DeviceAllocator::alloc_group(const std::vector<std::size_t>& sizes,
+                                      std::vector<uint64_t>* addrs) {
+  addrs->clear();
+  if (sizes.empty()) return 0;
+  std::size_t total = 0;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(sizes.size());
+  for (std::size_t sz : sizes) {
+    offsets.push_back(total);
+    total += (sz + kGroupAlign - 1) / kGroupAlign * kGroupAlign;
+  }
+  std::size_t rounded = round_size(total);
+
+  uint64_t base = 0;
+  if (enabled_) base = take_cached(rounded, /*force=*/false);
+  if (base) {
+    ++stats_.cache_hits;
+  } else {
+    ++stats_.cache_misses;
+    base = raw_alloc_with_pressure(rounded);
+    if (!base) return 0;
+  }
+  slabs_.emplace(base, Slab{rounded, static_cast<int>(sizes.size())});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    live_.emplace(base + offsets[i], LiveBlock{0, base});
+    addrs->push_back(base + offsets[i]);
+  }
+  stats_.live_bytes += rounded;
+  note_high_water();
+  return base;
+}
+
+uint64_t DeviceAllocator::region_of(uint64_t addr) const {
+  auto it = live_.find(addr);
+  if (it == live_.end()) return 0;
+  return it->second.slab ? it->second.slab : addr;
+}
+
+void DeviceAllocator::insert_cached(uint64_t addr, std::size_t rounded) {
+  CachedBlock b;
+  b.addr = addr;
+  b.size = rounded;
+  b.fence = ops_.fence ? ops_.fence() : 0;
+  b.stream = ops_.stream_id ? ops_.stream_id() : 0;
+  cache_[rounded].push_back(b);
+  stats_.cached_bytes += rounded;
+}
+
+void DeviceAllocator::free(uint64_t addr) {
+  auto it = live_.find(addr);
+  if (it == live_.end()) {
+    // Not ours (mapped before the allocator was installed, or a direct
+    // driver allocation): pass straight through.
+    ops_.raw_free(addr);
+    ++stats_.raw_frees;
+    return;
+  }
+  LiveBlock lb = it->second;
+  live_.erase(it);
+  if (lb.slab) {
+    // Group member: the slab returns to the cache as one unit when the
+    // last member goes (members unmap together in offload batches).
+    auto sit = slabs_.find(lb.slab);
+    if (--sit->second.live == 0) {
+      std::size_t rounded = sit->second.rounded;
+      slabs_.erase(sit);
+      stats_.live_bytes -= rounded;
+      if (enabled_) {
+        insert_cached(lb.slab, rounded);
+      } else {
+        ops_.raw_free(lb.slab);
+        ++stats_.raw_frees;
+      }
+    }
+    return;
+  }
+  stats_.live_bytes -= lb.rounded;
+  if (enabled_) {
+    insert_cached(addr, lb.rounded);
+  } else {
+    ops_.raw_free(addr);
+    ++stats_.raw_frees;
+  }
+}
+
+void DeviceAllocator::release_cached() {
+  for (auto& [size, list] : cache_) {
+    for (CachedBlock& b : list) {
+      // Freeing a block the device may still touch is a use-after-free:
+      // drain the pending fence before handing it back.
+      if (b.fence && ops_.fence_done && !ops_.fence_done(b.fence) &&
+          ops_.fence_wait)
+        ops_.fence_wait(b.fence);
+      ops_.raw_free(b.addr);
+      ++stats_.raw_frees;
+    }
+  }
+  cache_.clear();
+  stats_.cached_bytes = 0;
+}
+
+void DeviceAllocator::abandon() {
+  cache_.clear();
+  live_.clear();
+  slabs_.clear();
+  stats_.cached_bytes = 0;
+  stats_.live_bytes = 0;
+}
+
+}  // namespace hostrt

@@ -1,0 +1,140 @@
+// Caching device-memory allocator for the offload hot path (DESIGN.md
+// §5c). Raw cuMemAlloc/cuMemFree trap into the driver on every map item,
+// so iterative offload workloads pay the allocator twice per buffer per
+// timestep. This allocator keeps freed blocks in size-binned free lists
+// and hands them back without touching the driver — the shape of
+// PyTorch's CUDA caching allocator, scaled down to the Nano:
+//
+//  - requests < 1 MB round up to the next power of two (min 256 B);
+//    larger requests round to 1 MB multiples and are cached exact-fit;
+//  - a *group* allocation carves one contiguous slab for a whole map
+//    batch, so the transfer coalescer can merge the batch's copies;
+//    the slab returns to the cache as a unit when its last member frees;
+//  - stream safety: a freed block may still be read or written by work
+//    queued on a stream. Each free captures a completion fence; a cached
+//    block is reused only when its fence has completed or the requester
+//    is on the same stream. Pending blocks are *skipped*, not waited on,
+//    so caching never serializes an async pipeline; a blocking wait is
+//    used only under memory pressure, before falling back to trimming
+//    the whole cache (`release_cached`).
+//
+// The allocator is driver-agnostic: it talks to the device through an
+// `AllocatorOps` hook table, so unit tests exercise OOM and fence paths
+// with fakes and CudadevModule binds it to the real driver facade.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace hostrt {
+
+/// Driver hooks the allocator operates through. `fence` captures a
+/// completion marker for all work queued so far on the caller's current
+/// stream (0 = nothing pending, safe immediately).
+struct AllocatorOps {
+  std::function<uint64_t(std::size_t)> raw_alloc;  // 0 on OOM
+  std::function<void(uint64_t)> raw_free;
+  std::function<uint64_t()> fence;             // 0 = none pending
+  std::function<bool(uint64_t)> fence_done;    // has it completed?
+  std::function<void(uint64_t)> fence_wait;    // block the host on it
+  std::function<uint64_t()> stream_id;         // 0 = synchronous/default
+};
+
+class DeviceAllocator {
+ public:
+  struct Stats {
+    uint64_t cache_hits = 0;     // allocs served from the cache
+    uint64_t cache_misses = 0;   // allocs that went to the driver
+    uint64_t raw_allocs = 0;     // driver alloc calls (incl. failures)
+    uint64_t raw_frees = 0;      // driver free calls
+    uint64_t forced_waits = 0;   // pressure reuses that blocked on a fence
+    uint64_t trims = 0;          // release_cached() calls under pressure
+    std::size_t live_bytes = 0;    // handed out, not yet freed (rounded)
+    std::size_t cached_bytes = 0;  // held in free lists (rounded)
+    std::size_t high_water_bytes = 0;  // max of live+cached ever held
+  };
+
+  explicit DeviceAllocator(AllocatorOps ops);
+  ~DeviceAllocator();
+
+  DeviceAllocator(const DeviceAllocator&) = delete;
+  DeviceAllocator& operator=(const DeviceAllocator&) = delete;
+
+  /// When disabled, alloc/free pass straight through to the driver (the
+  /// seed behavior); the cache is flushed on the transition.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  /// Allocates `bytes` (rounded to its size class). Returns 0 on OOM
+  /// after trimming the cache.
+  uint64_t alloc(std::size_t bytes);
+
+  /// Returns a block to the cache (or the driver when disabled). The
+  /// current fence is captured so the block is not handed to another
+  /// stream while queued work may still touch it.
+  void free(uint64_t addr);
+
+  /// Carves one contiguous slab holding every size, each member aligned
+  /// to kGroupAlign. Fills `addrs` (same order) and returns the slab
+  /// base, or 0 on OOM. Members are freed individually through free();
+  /// the slab returns to the cache as a unit when the last member goes.
+  uint64_t alloc_group(const std::vector<std::size_t>& sizes,
+                       std::vector<uint64_t>* addrs);
+
+  /// Base address of the raw allocation containing `addr` (addr itself
+  /// for standalone blocks; 0 if unknown). Segments sharing a region are
+  /// device-contiguous and safe to cover with one transfer.
+  uint64_t region_of(uint64_t addr) const;
+
+  /// Returns every cached block to the driver (waiting on pending
+  /// fences first). Live blocks are untouched.
+  void release_cached();
+
+  /// Drops all bookkeeping without driver calls — for use after a
+  /// simulator reset already reclaimed device memory wholesale.
+  void abandon();
+
+  const Stats& stats() const { return stats_; }
+
+  /// Size class of a request: pow2 up to 1 MB, then 1 MB multiples.
+  static std::size_t round_size(std::size_t bytes);
+
+  static constexpr std::size_t kMinBlock = 256;
+  static constexpr std::size_t kSmallLimit = 1u << 20;  // 1 MB
+  static constexpr std::size_t kGroupAlign = 256;
+
+ private:
+  struct CachedBlock {
+    uint64_t addr = 0;
+    std::size_t size = 0;    // rounded size == raw allocation size
+    uint64_t fence = 0;      // 0 = safe now
+    uint64_t stream = 0;     // stream it was freed from
+  };
+  struct LiveBlock {
+    std::size_t rounded = 0;
+    uint64_t slab = 0;       // slab base for group members, else 0
+  };
+  struct Slab {
+    std::size_t rounded = 0;  // rounded size of the whole slab
+    int live = 0;             // members still allocated
+  };
+
+  /// Takes an eligible cached block of exactly `rounded` bytes;
+  /// `force` waits on a pending fence instead of skipping the block.
+  uint64_t take_cached(std::size_t rounded, bool force);
+  uint64_t raw_alloc_with_pressure(std::size_t rounded);
+  void insert_cached(uint64_t addr, std::size_t rounded);
+  void note_high_water();
+
+  AllocatorOps ops_;
+  bool enabled_ = true;
+  std::map<std::size_t, std::vector<CachedBlock>> cache_;
+  std::map<uint64_t, LiveBlock> live_;
+  std::map<uint64_t, Slab> slabs_;
+  Stats stats_;
+};
+
+}  // namespace hostrt

@@ -80,6 +80,94 @@ void DataEnv::unmap(const MapItem& item) {
   table_.erase(it);
 }
 
+std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
+  // Pass 1 — classify. Fresh items enter the table as placeholders
+  // (dev_addr 0) so a duplicate later in the batch sees them as present,
+  // exactly as it would when mapping sequentially.
+  std::vector<std::size_t> fresh;
+  std::vector<std::size_t> sizes;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const MapItem& item = items[i];
+    if (!item.host || item.size == 0)
+      throw MapError("map of null or empty range");
+    auto addr = reinterpret_cast<uintptr_t>(item.host);
+    if (const Mapping* m = find(item.host, item.size)) {
+      const_cast<Mapping*>(m)->refcount += 1;
+      continue;
+    }
+    auto next = table_.lower_bound(addr);
+    if (next != table_.end() && next->first < addr + item.size)
+      throw MapError("map range overlaps an existing mapping");
+    if (next != table_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second.size > addr)
+        throw MapError("map range overlaps an existing mapping");
+    }
+    Mapping m;
+    m.size = item.size;
+    m.refcount = 1;
+    table_.emplace(addr, m);
+    mapped_bytes_ += item.size;
+    fresh.push_back(i);
+    sizes.push_back(item.size);
+  }
+
+  // Pass 2 — one group allocation for all fresh storage, then the
+  // to-transfers as a single segment batch the backend may coalesce.
+  if (!fresh.empty()) {
+    std::vector<uint64_t> addrs;
+    if (!backend_->alloc_group(sizes, &addrs)) {
+      for (std::size_t i : fresh) {
+        auto it = table_.find(reinterpret_cast<uintptr_t>(items[i].host));
+        mapped_bytes_ -= it->second.size;
+        table_.erase(it);
+      }
+      throw MapError("device out of memory during map");
+    }
+    std::vector<Segment> segs;
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      const MapItem& item = items[fresh[k]];
+      table_.find(reinterpret_cast<uintptr_t>(item.host))->second.dev_addr =
+          addrs[k];
+      if (item.type == MapType::To || item.type == MapType::ToFrom)
+        segs.push_back({addrs[k], const_cast<void*>(item.host), item.size});
+    }
+    if (!segs.empty()) backend_->write_segments(segs);
+  }
+
+  std::vector<uint64_t> result;
+  result.reserve(items.size());
+  for (const MapItem& item : items) result.push_back(lookup(item.host));
+  return result;
+}
+
+void DataEnv::unmap_batch(const std::vector<MapItem>& items) {
+  // All copy-backs are issued (as one coalescable batch) before any
+  // storage is released: a pooled block must not be reusable while a
+  // read of it is still outstanding.
+  std::vector<Segment> segs;
+  std::vector<uintptr_t> dead;
+  for (const MapItem& item : items) {
+    auto addr = reinterpret_cast<uintptr_t>(item.host);
+    auto it = table_.find(addr);
+    if (it == table_.end() || it->second.refcount <= 0)
+      throw MapError("unmap of a range that was never mapped at this base");
+    Mapping& m = it->second;
+    m.refcount -= 1;
+    if (m.refcount > 0) continue;
+    if (item.type == MapType::From || item.type == MapType::ToFrom)
+      segs.push_back({m.dev_addr, const_cast<void*>(item.host), m.size});
+    dead.push_back(addr);
+  }
+  if (!segs.empty()) backend_->read_segments(segs);
+  for (uintptr_t addr : dead) {
+    auto it = table_.find(addr);
+    backend_->free(it->second.dev_addr);
+    mapped_bytes_ -= it->second.size;
+    table_.erase(it);
+  }
+}
+
 void DataEnv::unmap_delete(const void* host) {
   auto it = table_.find(reinterpret_cast<uintptr_t>(host));
   if (it == table_.end())

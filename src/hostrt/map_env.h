@@ -8,6 +8,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace hostrt {
 
@@ -30,8 +31,20 @@ class MapError : public std::runtime_error {
   explicit MapError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// One transfer of a batch: a device range and its host counterpart
+/// (source for writes, destination for reads).
+struct Segment {
+  uint64_t dev = 0;
+  void* host = nullptr;
+  std::size_t size = 0;
+};
+
 /// Transfer/allocation backend the environment drives; implemented by the
 /// device module (cudadev) and by test fakes.
+///
+/// The batch entry points let a backend optimize a whole map clause at
+/// once (group allocation into one slab, transfer coalescing); the
+/// defaults degrade to per-item loops so existing fakes keep working.
 class MapBackend {
  public:
   virtual ~MapBackend() = default;
@@ -39,6 +52,31 @@ class MapBackend {
   virtual void free(uint64_t dev_addr) = 0;
   virtual void write(uint64_t dev_addr, const void* src, std::size_t size) = 0;
   virtual void read(void* dst, uint64_t dev_addr, std::size_t size) = 0;
+
+  /// Allocates every size of one map batch; fills `addrs` in order.
+  /// Returns false on OOM (partial allocations are rolled back).
+  virtual bool alloc_group(const std::vector<std::size_t>& sizes,
+                           std::vector<uint64_t>* addrs) {
+    addrs->clear();
+    for (std::size_t sz : sizes) {
+      uint64_t a = alloc(sz);
+      if (a == 0) {
+        for (uint64_t prev : *addrs) free(prev);
+        addrs->clear();
+        return false;
+      }
+      addrs->push_back(a);
+    }
+    return true;
+  }
+  /// All host-to-device transfers of one batch, in order.
+  virtual void write_segments(const std::vector<Segment>& segs) {
+    for (const Segment& s : segs) write(s.dev, s.host, s.size);
+  }
+  /// All device-to-host transfers of one batch, in order.
+  virtual void read_segments(const std::vector<Segment>& segs) {
+    for (const Segment& s : segs) read(s.host, s.dev, s.size);
+  }
 };
 
 /// The per-device mapping table with OpenMP reference-count semantics:
@@ -60,6 +98,17 @@ class DataEnv {
   /// Unmaps one item (exit semantics). `item.type` decides the final
   /// transfer (From/ToFrom copy back on last release).
   void unmap(const MapItem& item);
+
+  /// Maps a whole map clause at once: new items are group-allocated and
+  /// their to-transfers handed to the backend as one segment batch, so
+  /// the backend can coalesce them. Semantically identical to mapping
+  /// the items one by one; returns the device addresses in item order.
+  std::vector<uint64_t> map_batch(const std::vector<MapItem>& items);
+
+  /// Unmaps a whole map clause: copy-backs of last-release from/tofrom
+  /// items are issued as one segment batch before any storage is
+  /// released. Semantically identical to unmapping one by one.
+  void unmap_batch(const std::vector<MapItem>& items);
 
   /// Forces a release regardless of reference count (OpenMP `delete`
   /// map-type modifier on target exit data).

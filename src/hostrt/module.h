@@ -65,6 +65,12 @@ struct OffloadStats {
   double h2d_s = 0;      // host-to-device transfers on the copy engine
   double d2h_s = 0;      // device-to-host transfers on the copy engine
   int stream = -1;       // stream-pool slot the task ran on
+  // Data-environment accounting for this offload (caching allocator and
+  // transfer coalescer; zero when the module has neither).
+  uint64_t alloc_cache_hits = 0;    // device blocks served from the cache
+  uint64_t alloc_cache_misses = 0;  // device blocks that hit the driver
+  uint64_t coalesced_transfers = 0; // merged H2D/D2H transfers issued
+  std::size_t bytes_staged = 0;     // payload routed via pinned staging
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }
@@ -77,6 +83,18 @@ class DeviceModule : public MapBackend {
 
   virtual std::string name() const = 0;
   virtual int device_count() const = 0;
+
+  /// Monotonic data-environment counters, sampled by the OffloadQueue
+  /// before/after each task's map phases to fill the per-offload
+  /// OffloadStats fields. Modules without a caching allocator report
+  /// zeros.
+  struct AllocCounters {
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t coalesced_transfers = 0;
+    std::size_t bytes_staged = 0;
+  };
+  virtual AllocCounters alloc_counters() const { return {}; }
 
   /// Full initialization of the device: performed lazily by the runtime
   /// right before the first kernel is offloaded (paper §4.2.1).

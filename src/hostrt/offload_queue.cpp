@@ -82,18 +82,21 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   r.ready_at = cudadrv::cuSimStreamReady(st);
 
   std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
+  DeviceModule::AllocCounters alloc_before = module_->alloc_counters();
 
   // H2D + kernel + D2H all land on the task's stream: map/unmap transfer
   // through the bound stream, the kernel through cuLaunchKernel(st).
+  // The whole map clause goes through the batch entry points so the
+  // module can group-allocate the items and coalesce their transfers.
   module_->bind_stream(st);
-  for (const MapItem& m : maps) env_->map(m);
+  env_->map_batch(maps);
   module_->bind_stream(nullptr);
 
   OffloadStats launch_stats = module_->launch_async(spec, *env_, st);
   r.stats.prepare_s = launch_stats.prepare_s;
 
   module_->bind_stream(st);
-  for (auto it = maps.rbegin(); it != maps.rend(); ++it) env_->unmap(*it);
+  env_->unmap_batch({maps.rbegin(), maps.rend()});
   module_->bind_stream(nullptr);
 
   // The task's completion event: recorded after the last queued op, it
@@ -132,6 +135,16 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   r.end_s = cudadrv::cuSimStreamReady(st);
   r.stats.queued_s = std::max(0.0, r.start_s - r.queued_at);
   r.stats.stream = r.stream;
+
+  // Data-environment accounting for this task: the module's monotonic
+  // counters, diffed across the map/unmap phases.
+  DeviceModule::AllocCounters alloc_after = module_->alloc_counters();
+  r.stats.alloc_cache_hits = alloc_after.cache_hits - alloc_before.cache_hits;
+  r.stats.alloc_cache_misses =
+      alloc_after.cache_misses - alloc_before.cache_misses;
+  r.stats.coalesced_transfers =
+      alloc_after.coalesced_transfers - alloc_before.coalesced_transfers;
+  r.stats.bytes_staged = alloc_after.bytes_staged - alloc_before.bytes_staged;
 
   // Record the task's accesses for later edges and quiesce(): map items,
   // mapped kernel arguments and explicit depend items. Anything the

@@ -1,5 +1,6 @@
 #include "hostrt/runtime.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "cudadrv/cuda.h"
@@ -42,6 +43,14 @@ void Runtime::set_opencl_enabled(bool enabled) {
 }
 
 Runtime::Runtime() {
+  // Stream-pool width for the offload queues; out-of-range or malformed
+  // values fall back to the default rather than failing startup.
+  if (const char* v = std::getenv("OMPI_NUM_STREAMS")) {
+    char* end = nullptr;
+    long n = std::strtol(v, &end, 10);
+    if (end && *end == '\0' && end != v && n >= 1 && n <= kMaxStreams)
+      num_streams_ = static_cast<int>(n);
+  }
   // Application startup: discover all devices of every module. Only the
   // cudadev module exists on the Jetson Nano board.
   auto cudadev = std::make_unique<CudadevModule>();
@@ -80,8 +89,16 @@ void Runtime::ensure_ready(int dev) {
     // The offload queue exists once the device does; only the cudadev
     // module has a stream-capable driver behind it.
     if (auto* cuda = dynamic_cast<CudadevModule*>(s.module.get()))
-      s.queue = std::make_unique<OffloadQueue>(*cuda, *s.env);
+      s.queue = std::make_unique<OffloadQueue>(*cuda, *s.env, num_streams_);
   }
+}
+
+void Runtime::set_num_streams(int n) {
+  if (n < 1 || n > kMaxStreams)
+    throw std::invalid_argument("num_streams must be in [1, " +
+                                std::to_string(kMaxStreams) + "], got " +
+                                std::to_string(n));
+  num_streams_ = n;
 }
 
 void Runtime::set_default_device(int dev) {
@@ -144,32 +161,32 @@ OffloadQueue* Runtime::queue(int dev) { return slot(dev).queue.get(); }
 
 void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
   ensure_ready(dev);
-  for (const MapItem& m : maps) slot(dev).env->map(m);
+  slot(dev).env->map_batch(maps);
 }
 
 void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
   DeviceSlot& s = slot(dev);
-  for (auto it = maps.rbegin(); it != maps.rend(); ++it) {
-    // A copy-back (and release) must not race a queued task still using
-    // the buffer: serialize via the dependence table first.
-    if (s.queue) s.queue->quiesce(it->host);
-    s.env->unmap(*it);
-  }
+  // A copy-back (and release into the block cache) must not race a
+  // queued task still using a buffer: drain every in-flight writer AND
+  // reader of each item via the dependence table before the batch's
+  // reads and frees. Without this, a pooled block whose readers are
+  // still queued could be handed to the next allocation.
+  if (s.queue)
+    for (const MapItem& m : maps) s.queue->quiesce(m.host);
+  s.env->unmap_batch({maps.rbegin(), maps.rend()});
 }
 
 void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
   ensure_ready(dev);
-  for (const MapItem& m : maps) slot(dev).env->map(m);
+  slot(dev).env->map_batch(maps);
 }
 
 void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
   DeviceSlot& s = slot(dev);
-  for (const MapItem& m : maps) {
-    // The exit-data copy-back races any queued kernel that still touches
-    // the buffer; the dependence table serializes them.
-    if (s.queue) s.queue->quiesce(m.host);
-    s.env->unmap(m);
-  }
+  // Same hazard as target_data_end: quiesce before copy-back + release.
+  if (s.queue)
+    for (const MapItem& m : maps) s.queue->quiesce(m.host);
+  s.env->unmap_batch(maps);
 }
 
 void Runtime::target_update_to(int dev, const void* host, std::size_t size) {

@@ -68,6 +68,14 @@ class Runtime {
   /// (opencldev) or before the device's lazy initialization.
   OffloadQueue* queue(int dev);
 
+  // --- offload-queue configuration ------------------------------------
+  /// Streams per device queue for queues created after this call (the
+  /// OMPI_NUM_STREAMS environment variable seeds the initial value).
+  /// Throws std::invalid_argument outside [1, kMaxStreams].
+  void set_num_streams(int n);
+  int num_streams() const { return num_streams_; }
+  static constexpr int kMaxStreams = 32;
+
   // --- data directives -----------------------------------------------------
   void target_data_begin(int dev, const std::vector<MapItem>& maps);
   void target_data_end(int dev, const std::vector<MapItem>& maps);
@@ -91,6 +99,7 @@ class Runtime {
   std::vector<DeviceSlot> slots_;
   int device_count_ = 0;
   int default_device_ = 0;
+  int num_streams_ = OffloadQueue::kDefaultStreams;
 };
 
 // --- host-side OpenMP API (the omp.h surface the paper's users see) -----

@@ -51,7 +51,24 @@ struct DriverCosts {
   double launch_overhead_s = 10e-6;      // cuLaunchKernel + dispatch
   double param_prep_per_arg_s = 0.15e-6; // host-side parameter marshalling
   double memcpy_overhead_s = 4e-6;       // per cuMemcpy call
-  double memcpy_bandwidth = 12.8e9;      // HtoD/DtoH staging on shared DRAM
+  double memcpy_bandwidth = 12.8e9;      // pageable HtoD/DtoH: the driver
+                                         // stages through an internal
+                                         // pinned bounce buffer, so the
+                                         // effective rate is well below
+                                         // the 25.6 GB/s of the LPDDR4
+  // Transfers whose host side is pinned (cuMemAllocHost) skip the
+  // driver's bounce-buffer pass and approach the DMA engine's rate.
+  double memcpy_pinned_bandwidth = 20.4e9;
+  // Plain host-to-host memcpy (staging-pool pack/unpack): both the read
+  // and the write go through the same shared LPDDR4.
+  double host_memcpy_bandwidth = 16e9;
+  // Device memory management. cuMemAlloc/cuMemFree trap into the driver
+  // and take kernel-allocator locks; cuMemAllocHost additionally pins
+  // pages, which is an order of magnitude more expensive.
+  double alloc_overhead_s = 10e-6;        // per cuMemAlloc
+  double free_overhead_s = 5e-6;          // per cuMemFree
+  double pinned_alloc_overhead_s = 150e-6;  // per cuMemAllocHost
+  double pinned_free_overhead_s = 60e-6;    // per cuMemFreeHost
   double module_load_cubin_s_per_kb = 3e-6;
   double jit_compile_s_per_kb = 450e-6;  // PTX JIT at first load
   double jit_cache_hit_s_per_kb = 8e-6;  // warm JIT disk cache

@@ -182,6 +182,85 @@ TEST_F(DriverApi, ElapsedTimeRequiresRecordedEvents) {
   EXPECT_EQ(cuEventElapsedTime(&ms, a, b), CUDA_ERROR_INVALID_HANDLE);
 }
 
+TEST_F(DriverApi, PinnedHostAllocationRegistersItsRange) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  void* p = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&p, 4096), CUDA_SUCCESS);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(cuSimIsPinned(p, 4096));
+  EXPECT_TRUE(cuSimIsPinned(static_cast<char*>(p) + 100, 1000));
+  EXPECT_FALSE(cuSimIsPinned(p, 4097)) << "range past the allocation end";
+  char stack_buf[16];
+  EXPECT_FALSE(cuSimIsPinned(stack_buf, sizeof stack_buf));
+  ASSERT_EQ(cuMemFreeHost(p), CUDA_SUCCESS);
+  EXPECT_FALSE(cuSimIsPinned(p, 1)) << "freed memory is no longer pinned";
+  EXPECT_EQ(cuMemFreeHost(p), CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(DriverApi, PinnedTransferUsesTheFasterBandwidth) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  constexpr std::size_t kBytes = 1 << 20;
+  CUdeviceptr d = 0;
+  ASSERT_EQ(cuMemAlloc(&d, kBytes), CUDA_SUCCESS);
+  void* pinned = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&pinned, kBytes), CUDA_SUCCESS);
+
+  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  double t0 = cuSimDevice().now();
+  ASSERT_EQ(cuMemcpyHtoD(d, pinned, kBytes), CUDA_SUCCESS);
+  double pinned_dt = cuSimDevice().now() - t0;
+  double expect = c.memcpy_overhead_s + kBytes / c.memcpy_pinned_bandwidth;
+  EXPECT_NEAR(pinned_dt, expect, expect * 1e-9);
+
+  std::vector<char> pageable(kBytes, 1);
+  t0 = cuSimDevice().now();
+  ASSERT_EQ(cuMemcpyHtoD(d, pageable.data(), kBytes), CUDA_SUCCESS);
+  double pageable_dt = cuSimDevice().now() - t0;
+  EXPECT_LT(pinned_dt, pageable_dt);
+}
+
+TEST_F(DriverApi, AllocAndFreeChargeDriverOverhead) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  double t0 = cuSimDevice().now();
+  CUdeviceptr p = 0;
+  ASSERT_EQ(cuMemAlloc(&p, 4096), CUDA_SUCCESS);
+  EXPECT_NEAR(cuSimDevice().now() - t0, c.alloc_overhead_s,
+              c.alloc_overhead_s * 1e-9);
+  t0 = cuSimDevice().now();
+  ASSERT_EQ(cuMemFree(p), CUDA_SUCCESS);
+  EXPECT_NEAR(cuSimDevice().now() - t0, c.free_overhead_s,
+              c.free_overhead_s * 1e-9);
+}
+
+TEST_F(DriverApi, EventQueryReportsPendingStreamWork) {
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx;
+  ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
+  CUevent ev;
+  ASSERT_EQ(cuEventCreate(&ev, 0), CUDA_SUCCESS);
+  // An unrecorded event queries complete, matching the real driver.
+  EXPECT_EQ(cuEventQuery(ev), CUDA_SUCCESS);
+
+  CUstream s;
+  ASSERT_EQ(cuStreamCreate(&s, 0), CUDA_SUCCESS);
+  CUdeviceptr d = 0;
+  ASSERT_EQ(cuMemAlloc(&d, 1 << 22), CUDA_SUCCESS);
+  std::vector<char> buf(1 << 22, 1);
+  ASSERT_EQ(cuMemcpyHtoDAsync(d, buf.data(), buf.size(), s), CUDA_SUCCESS);
+  ASSERT_EQ(cuEventRecord(ev, s), CUDA_SUCCESS);
+  EXPECT_EQ(cuEventQuery(ev), CUDA_ERROR_NOT_READY)
+      << "the stream's queued copy has not completed in modeled time";
+  ASSERT_EQ(cuStreamSynchronize(s), CUDA_SUCCESS);
+  EXPECT_EQ(cuEventQuery(ev), CUDA_SUCCESS);
+}
+
 TEST_F(DriverApi, ErrorNamesAreStable) {
   EXPECT_STREQ(cuResultName(CUDA_SUCCESS), "CUDA_SUCCESS");
   EXPECT_STREQ(cuResultName(CUDA_ERROR_FILE_NOT_FOUND),

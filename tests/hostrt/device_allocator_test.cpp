@@ -1,0 +1,362 @@
+// The caching device allocator (DESIGN.md §5c): size-class rounding,
+// free-list reuse, stream-fence safety, slab group allocations, memory
+// pressure (forced waits and trims) — against a fake driver — plus the
+// allocator wired into the real runtime: warm offloads, Present
+// refcounts and the cross-stream reuse hazard around queued copy-backs.
+#include "hostrt/device_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace hostrt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Fake driver: capacity-limited address space with explicit fences.
+// ---------------------------------------------------------------------
+
+struct FakeDriver {
+  std::size_t capacity = static_cast<std::size_t>(-1);
+  std::size_t allocated = 0;
+  uint64_t next_addr = 0x10000;
+  std::map<uint64_t, std::size_t> blocks;
+  int allocs = 0, frees = 0, waits = 0;
+
+  uint64_t current_stream = 0;  // what stream_id() reports
+  uint64_t current_fence = 0;   // what fence() captures (0 = idle)
+  std::set<uint64_t> completed; // fences that have completed
+
+  AllocatorOps ops() {
+    AllocatorOps o;
+    o.raw_alloc = [this](std::size_t s) -> uint64_t {
+      ++allocs;
+      if (allocated + s > capacity) return 0;
+      allocated += s;
+      uint64_t a = next_addr;
+      next_addr += s + 4096;
+      blocks[a] = s;
+      return a;
+    };
+    o.raw_free = [this](uint64_t a) {
+      ++frees;
+      allocated -= blocks.at(a);
+      blocks.erase(a);
+    };
+    o.fence = [this] { return current_fence; };
+    o.fence_done = [this](uint64_t f) { return completed.count(f) > 0; };
+    o.fence_wait = [this](uint64_t f) {
+      ++waits;
+      completed.insert(f);
+    };
+    o.stream_id = [this] { return current_stream; };
+    return o;
+  }
+};
+
+TEST(DeviceAllocatorUnit, RoundSizeBinsSmallAndLargeRequests) {
+  EXPECT_EQ(DeviceAllocator::round_size(1), 256u);
+  EXPECT_EQ(DeviceAllocator::round_size(256), 256u);
+  EXPECT_EQ(DeviceAllocator::round_size(257), 512u);
+  EXPECT_EQ(DeviceAllocator::round_size(1000), 1024u);
+  EXPECT_EQ(DeviceAllocator::round_size(1u << 20), 1u << 20);
+  EXPECT_EQ(DeviceAllocator::round_size((1u << 20) + 1), 2u << 20);
+  EXPECT_EQ(DeviceAllocator::round_size(5u << 19), 3u << 20);  // 2.5 MB
+}
+
+TEST(DeviceAllocatorUnit, FreeListServesSameSizeClassWithoutTheDriver) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  uint64_t a = da.alloc(1000);  // class 1024
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(fake.allocs, 1);
+  da.free(a);
+  EXPECT_EQ(fake.frees, 0) << "free must cache, not trap into the driver";
+  uint64_t b = da.alloc(600);  // same class
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(fake.allocs, 1);
+  EXPECT_EQ(da.stats().cache_hits, 1u);
+  EXPECT_EQ(da.stats().cache_misses, 1u);
+}
+
+TEST(DeviceAllocatorUnit, PendingFenceOnAnotherStreamSkipsTheBlock) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  fake.current_stream = 1;
+  fake.current_fence = 42;  // stream 1 has queued work
+  uint64_t a = da.alloc(4096);
+  da.free(a);  // cached with fence 42, stream 1
+
+  fake.current_stream = 2;
+  fake.current_fence = 0;
+  uint64_t b = da.alloc(4096);
+  EXPECT_NE(b, a) << "a pending block must be skipped, not reused";
+  EXPECT_EQ(fake.waits, 0) << "and skipped without blocking";
+  EXPECT_EQ(fake.allocs, 2);
+
+  fake.completed.insert(42);  // stream 1 drained
+  uint64_t c = da.alloc(4096);
+  EXPECT_EQ(c, a) << "a completed fence makes the block reusable";
+  EXPECT_EQ(fake.allocs, 2);
+}
+
+TEST(DeviceAllocatorUnit, SameStreamReusesDespitePendingFence) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  fake.current_stream = 1;
+  fake.current_fence = 7;
+  uint64_t a = da.alloc(8192);
+  da.free(a);
+  // Stream order makes reuse safe on the freeing stream itself.
+  uint64_t b = da.alloc(8192);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(fake.waits, 0);
+  EXPECT_EQ(da.stats().cache_hits, 1u);
+}
+
+TEST(DeviceAllocatorUnit, PressureForcesAWaitOnAPendingBlock) {
+  FakeDriver fake;
+  fake.capacity = 1024;
+  DeviceAllocator da(fake.ops());
+  fake.current_stream = 1;
+  fake.current_fence = 9;
+  uint64_t a = da.alloc(1024);
+  ASSERT_NE(a, 0u);
+  da.free(a);
+
+  fake.current_stream = 2;
+  uint64_t b = da.alloc(1024);  // driver is full: must reuse, blocking
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(fake.waits, 1);
+  EXPECT_EQ(da.stats().forced_waits, 1u);
+}
+
+TEST(DeviceAllocatorUnit, PressureTrimsTheCacheAndRetries) {
+  FakeDriver fake;
+  fake.capacity = 2048;
+  DeviceAllocator da(fake.ops());
+  uint64_t a = da.alloc(1024);
+  da.free(a);  // 1024 cached, fence 0
+  // 2048 does not fit beside the cached 1024 and no 2048-class block is
+  // cached: the allocator must trim everything and retry.
+  uint64_t b = da.alloc(2048);
+  ASSERT_NE(b, 0u);
+  EXPECT_EQ(da.stats().trims, 1u);
+  EXPECT_EQ(da.stats().cached_bytes, 0u);
+  EXPECT_EQ(fake.frees, 1);
+}
+
+TEST(DeviceAllocatorUnit, GroupAllocationCarvesOneAlignedSlab) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  std::vector<uint64_t> addrs;
+  uint64_t base = da.alloc_group({100, 300, 40}, &addrs);
+  ASSERT_NE(base, 0u);
+  ASSERT_EQ(addrs.size(), 3u);
+  EXPECT_EQ(addrs[0], base);
+  EXPECT_EQ(addrs[1], base + 256);   // 100 occupies one 256 B unit
+  EXPECT_EQ(addrs[2], base + 768);   // 300 occupies two
+  EXPECT_EQ(fake.allocs, 1) << "one raw allocation for the whole batch";
+  for (uint64_t a : addrs) EXPECT_EQ(da.region_of(a), base);
+
+  // The slab returns to the cache as a unit on the last member's free
+  // and serves the identical next batch without the driver.
+  for (uint64_t a : addrs) da.free(a);
+  EXPECT_EQ(fake.frees, 0);
+  std::vector<uint64_t> addrs2;
+  uint64_t base2 = da.alloc_group({100, 300, 40}, &addrs2);
+  EXPECT_EQ(base2, base);
+  EXPECT_EQ(fake.allocs, 1);
+  EXPECT_EQ(da.stats().cache_hits, 1u);
+}
+
+TEST(DeviceAllocatorUnit, StatsTrackLiveCachedAndHighWater) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  uint64_t a = da.alloc(1024);
+  uint64_t b = da.alloc(512);
+  EXPECT_EQ(da.stats().live_bytes, 1536u);
+  EXPECT_EQ(da.stats().high_water_bytes, 1536u);
+  da.free(a);
+  EXPECT_EQ(da.stats().live_bytes, 512u);
+  EXPECT_EQ(da.stats().cached_bytes, 1024u);
+  EXPECT_EQ(da.stats().high_water_bytes, 1536u) << "high water is sticky";
+  da.free(b);
+  da.release_cached();
+  EXPECT_EQ(da.stats().cached_bytes, 0u);
+  EXPECT_EQ(fake.allocated, 0u);
+}
+
+TEST(DeviceAllocatorUnit, ReleaseCachedDrainsPendingFencesFirst) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  fake.current_stream = 1;
+  fake.current_fence = 5;
+  da.free(da.alloc(4096));
+  da.release_cached();
+  EXPECT_EQ(fake.waits, 1) << "must not free a block the device may touch";
+  EXPECT_EQ(fake.frees, 1);
+}
+
+TEST(DeviceAllocatorUnit, DisabledAllocatorPassesStraightThrough) {
+  FakeDriver fake;
+  DeviceAllocator da(fake.ops());
+  da.set_enabled(false);
+  uint64_t a = da.alloc(1024);
+  da.free(a);
+  EXPECT_EQ(fake.frees, 1) << "disabled: free goes to the driver";
+  uint64_t b = da.alloc(1024);
+  da.free(b);
+  EXPECT_EQ(fake.allocs, 2);
+  EXPECT_EQ(da.stats().cache_hits, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The allocator behind the real runtime and offload queue.
+// ---------------------------------------------------------------------
+
+void install_alloc_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "alloctest_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+  cudadrv::KernelImage k;
+  k.name = "_vadd_";
+  k.param_count = 4;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    float* x1 = args.pointer<float>(0, static_cast<std::size_t>(n));
+    float* x2 = args.pointer<float>(1, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(2, static_cast<std::size_t>(n));
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(1);
+      y[i] = x1[i] + x2[i];
+    }
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+KernelLaunchSpec vadd_spec(float* x1, float* x2, float* y, int n) {
+  KernelLaunchSpec spec;
+  spec.module_path = "alloctest_kernels.cubin";
+  spec.kernel_name = "_vadd_";
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(x1), KernelArg::mapped(x2),
+               KernelArg::mapped(y), KernelArg::of(n)};
+  return spec;
+}
+
+class DeviceAllocatorRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_alloc_binary();
+    cudadrv::cuSimSetBlockSampling(true);
+  }
+  void TearDown() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+};
+
+TEST_F(DeviceAllocatorRuntimeTest, WarmOffloadHitsCacheAndCoalesces) {
+  constexpr int kN = 2048;  // 8 KB per buffer: slab + coalescing range
+  std::vector<float> x1(kN, 1.0f), x2(kN, 2.0f), y(kN, 0.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x1.data(), kN * sizeof(float), MapType::To},
+      {x2.data(), kN * sizeof(float), MapType::To},
+      {y.data(), kN * sizeof(float), MapType::From},
+  };
+  KernelLaunchSpec spec = vadd_spec(x1.data(), x2.data(), y.data(), kN);
+  OffloadStats cold = rt.target(0, spec, maps);
+  OffloadStats warm = rt.target(0, spec, maps);
+
+  EXPECT_EQ(cold.alloc_cache_hits, 0u);
+  EXPECT_GT(cold.alloc_cache_misses, 0u);
+  EXPECT_GT(cold.coalesced_transfers, 0u)
+      << "the two adjacent To items must merge into one H2D";
+  EXPECT_GT(warm.alloc_cache_hits, 0u) << "identical batch must reuse the slab";
+  EXPECT_EQ(warm.alloc_cache_misses, 0u);
+  EXPECT_GT(warm.coalesced_transfers, 0u);
+  EXPECT_GT(warm.bytes_staged, 0u);
+  for (int i = 0; i < kN; i += 97) ASSERT_FLOAT_EQ(y[i], 3.0f);
+}
+
+TEST_F(DeviceAllocatorRuntimeTest, PresentRefcountNeverTouchesTheAllocator) {
+  constexpr int kN = 4096;
+  std::vector<float> x(kN, 1.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {{x.data(), kN * sizeof(float), MapType::To}};
+
+  rt.target_data_begin(0, maps);
+  auto& mod = dynamic_cast<CudadevModule&>(rt.module(0));
+  DeviceModule::AllocCounters after_first = mod.alloc_counters();
+
+  rt.target_data_begin(0, maps);  // present: refcount only
+  DeviceModule::AllocCounters after_second = mod.alloc_counters();
+  EXPECT_EQ(after_second.cache_hits + after_second.cache_misses,
+            after_first.cache_hits + after_first.cache_misses)
+      << "a present mapping must not allocate";
+
+  rt.target_data_end(0, maps);
+  rt.target_data_end(0, maps);  // final release: block enters the cache
+
+  rt.target_data_begin(0, maps);  // same size class: served by the cache
+  DeviceModule::AllocCounters after_remap = mod.alloc_counters();
+  EXPECT_EQ(after_remap.cache_hits, after_second.cache_hits + 1);
+  rt.target_data_end(0, maps);
+}
+
+TEST_F(DeviceAllocatorRuntimeTest, QueuedCopyBackBlocksCrossStreamReuse) {
+  // Satellite regression: task A's `from` buffer is released into the
+  // cache while A's D2H is still queued on its stream. A concurrent
+  // task B on another stream asking for the same size class must NOT be
+  // handed that block (its H2D would race A's copy-back in modeled
+  // time); without the completion-event check in take_cached this test
+  // fails with B reporting a cache hit.
+  constexpr int kN = 16384;  // 64 KB: standalone blocks, no slab
+  std::vector<float> xa(kN, 1.0f), ya(kN, 0.0f);
+  std::vector<float> xb(kN, 1.0f), yb(kN, 0.0f);
+  Runtime& rt = Runtime::instance();
+
+  TaskId a = rt.target_nowait(0, vadd_spec(xa.data(), xa.data(), ya.data(), kN),
+                              {{xa.data(), kN * sizeof(float), MapType::To},
+                               {ya.data(), kN * sizeof(float), MapType::From}});
+  // A's blocks are cached with pending fences the moment enqueue returns.
+  TaskId b = rt.target_nowait(0, vadd_spec(xb.data(), xb.data(), yb.data(), kN),
+                              {{xb.data(), kN * sizeof(float), MapType::To},
+                               {yb.data(), kN * sizeof(float), MapType::From}});
+  rt.sync(0);
+
+  const OffloadQueue& q = *rt.queue(0);
+  ASSERT_NE(q.record(a).stream, q.record(b).stream)
+      << "precondition: the pool must spread the two tasks";
+  EXPECT_EQ(q.record(b).stats.alloc_cache_hits, 0u)
+      << "B reused a block whose copy-back was still in flight";
+  EXPECT_GT(q.record(b).stats.alloc_cache_misses, 0u);
+
+  // Once the fences have completed, the same request is a cache hit.
+  std::vector<float> xc(kN, 1.0f), yc(kN, 0.0f);
+  OffloadStats c = rt.target(0, vadd_spec(xc.data(), xc.data(), yc.data(), kN),
+                             {{xc.data(), kN * sizeof(float), MapType::To},
+                              {yc.data(), kN * sizeof(float), MapType::From}});
+  EXPECT_GT(c.alloc_cache_hits, 0u)
+      << "completed fences must make the cached blocks reusable";
+}
+
+}  // namespace
+}  // namespace hostrt

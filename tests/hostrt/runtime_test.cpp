@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
 #include <vector>
 
 #include "cudadrv/cuda.h"
@@ -201,6 +203,63 @@ TEST_F(RuntimeTest, MissingKernelBinarySurfacesDriverError) {
       {y.data(), n * sizeof(float), MapType::ToFrom},
   };
   EXPECT_THROW(Runtime::instance().target(0, spec, maps), std::runtime_error);
+}
+
+TEST_F(RuntimeTest, NumStreamsEnvConfiguresTheQueuePool) {
+  setenv("OMPI_NUM_STREAMS", "3", 1);
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_saxpy_binary();
+  const int n = 128;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  Runtime& rt = Runtime::instance();
+  rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  ASSERT_NE(rt.queue(0), nullptr);
+  EXPECT_EQ(rt.queue(0)->stream_count(), 3);
+  unsetenv("OMPI_NUM_STREAMS");
+}
+
+TEST_F(RuntimeTest, MalformedNumStreamsEnvFallsBackToDefault) {
+  const int n = 16;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  for (const char* bad : {"0", "-2", "abc", "4x", "999"}) {
+    setenv("OMPI_NUM_STREAMS", bad, 1);
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_saxpy_binary();
+    Runtime& rt = Runtime::instance();
+    rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+    ASSERT_NE(rt.queue(0), nullptr) << "env=" << bad;
+    EXPECT_EQ(rt.queue(0)->stream_count(), OffloadQueue::kDefaultStreams)
+        << "env=" << bad;
+  }
+  unsetenv("OMPI_NUM_STREAMS");
+}
+
+TEST_F(RuntimeTest, SetNumStreamsValidatesAndAppliesToTheNextQueue) {
+  Runtime& rt = Runtime::instance();
+  EXPECT_THROW(rt.set_num_streams(0), std::invalid_argument);
+  EXPECT_THROW(rt.set_num_streams(Runtime::kMaxStreams + 1),
+               std::invalid_argument);
+  rt.set_num_streams(8);
+  EXPECT_EQ(rt.num_streams(), 8);
+  const int n = 16;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  rt.target(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  ASSERT_NE(rt.queue(0), nullptr);
+  EXPECT_EQ(rt.queue(0)->stream_count(), 8);
 }
 
 TEST_F(RuntimeTest, ScalarArgumentsArriveByValue) {

@@ -151,8 +151,18 @@ TEST(Pipeline, BoardMemoryIsReleasedAfterEachConstruct) {
   auto p = make_vm(kVecAdd);
   ASSERT_TRUE(p->vm);
   p->vm->call_host("main");
+  auto& mod = dynamic_cast<hostrt::CudadevModule&>(
+      hostrt::Runtime::instance().module(0));
+  // Construct-scoped mappings release into the caching allocator, not
+  // back to the driver: the environment must be empty, and everything
+  // the board still holds must be reclaimable by one trim.
+  EXPECT_EQ(hostrt::Runtime::instance().env(0).mapped_bytes(), 0u)
+      << "construct-scoped mappings must leave the data environment";
+  EXPECT_GT(mod.allocator().stats().cached_bytes, 0u)
+      << "released storage should be cached for the next construct";
+  mod.release_cached();
   EXPECT_EQ(cudadrv::cuSimDevice(0).bytes_allocated(), 0u)
-      << "construct-scoped mappings must free their device storage";
+      << "a trim must return all cached storage to the driver";
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+# Tier-1 label audit: every test registered with ctest must carry the
+# `tier1` label, so `ctest -L tier1` and the plain suite are the same
+# set and the verification gate cannot silently skip a test. Run as:
+#   cmake -DCTEST_EXECUTABLE=<ctest> -DBINARY_DIR=<build> -P tier1_audit.cmake
+if(NOT CTEST_EXECUTABLE OR NOT BINARY_DIR)
+  message(FATAL_ERROR "tier1_audit: CTEST_EXECUTABLE and BINARY_DIR required")
+endif()
+
+function(list_tests out)
+  execute_process(
+    COMMAND ${CTEST_EXECUTABLE} -N ${ARGN}
+    WORKING_DIRECTORY ${BINARY_DIR}
+    OUTPUT_VARIABLE listing
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tier1_audit: '${CTEST_EXECUTABLE} -N ${ARGN}' "
+                        "failed with ${rc}")
+  endif()
+  string(REGEX MATCHALL "Test +#[0-9]+: [^\n\r]+" lines "${listing}")
+  set(names "")
+  foreach(line IN LISTS lines)
+    string(REGEX REPLACE "Test +#[0-9]+: +" "" name "${line}")
+    string(STRIP "${name}" name)
+    list(APPEND names "${name}")
+  endforeach()
+  set(${out} "${names}" PARENT_SCOPE)
+endfunction()
+
+list_tests(all_tests)
+list_tests(tier1_tests -L tier1)
+
+list(LENGTH all_tests n_all)
+list(LENGTH tier1_tests n_tier1)
+if(n_all EQUAL 0)
+  message(FATAL_ERROR "tier1_audit: ctest -N listed no tests at all")
+endif()
+
+set(unlabeled "")
+foreach(name IN LISTS all_tests)
+  list(FIND tier1_tests "${name}" idx)
+  if(idx EQUAL -1)
+    list(APPEND unlabeled "${name}")
+  endif()
+endforeach()
+
+if(unlabeled)
+  string(REPLACE ";" "\n  " pretty "${unlabeled}")
+  message(FATAL_ERROR "tier1_audit: tests missing the tier1 label:\n"
+                      "  ${pretty}")
+endif()
+message(STATUS "tier1_audit: all ${n_all} tests carry the tier1 label")
