@@ -1,0 +1,154 @@
+// Validates the BENCH_<name>.json files the micro benchmarks emit: the
+// bench_smoke ctest target runs each benchmark at a tiny size and then
+// this checker over its output, so a malformed report (bad escaping, a
+// NaN metric, a missing section) fails tier 1 instead of silently
+// breaking the CI trajectory plots. The grammar is the fixed shape of
+// bench_json.h — one object with "name" (string), "config" (object of
+// string values) and "metrics" (object of finite numbers) — so a tiny
+// recursive-descent scanner is enough; no JSON library exists in the
+// container and none is needed.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Scanner {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  explicit Scanner(const std::string& text)
+      : p(text.data()), end(text.data() + text.size()) {}
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) error = msg;
+    return false;
+  }
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+  bool expect(char c) {
+    skip_ws();
+    if (p >= end || *p != c)
+      return fail(std::string("expected '") + c + "'");
+    ++p;
+    return true;
+  }
+
+  /// A JSON string without escapes (bench_json.h never emits any);
+  /// a backslash or embedded quote is exactly the corruption to catch.
+  bool string(std::string* out) {
+    if (!expect('"')) return false;
+    const char* start = p;
+    while (p < end && *p != '"') {
+      if (*p == '\\' || *p == '\n')
+        return fail("unsupported escape or newline in string");
+      ++p;
+    }
+    if (p >= end) return fail("unterminated string");
+    if (out) out->assign(start, static_cast<std::size_t>(p - start));
+    ++p;
+    return true;
+  }
+
+  bool number(double* out) {
+    skip_ws();
+    char* num_end = nullptr;
+    double v = std::strtod(p, &num_end);
+    if (num_end == p) return fail("expected a number");
+    if (!std::isfinite(v)) return fail("metric is not finite");
+    p = num_end;
+    if (out) *out = v;
+    return true;
+  }
+
+  /// {"key": <value>, ...} with all-string or all-number values.
+  bool flat_object(bool numeric, int* count) {
+    if (!expect('{')) return false;
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!string(&key)) return false;
+      if (key.empty()) return fail("empty key");
+      if (!expect(':')) return false;
+      if (numeric) {
+        if (!number(nullptr)) return fail("metric '" + key + "' not numeric");
+      } else {
+        if (!string(nullptr)) return fail("config '" + key + "' not a string");
+      }
+      if (count) ++*count;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+};
+
+/// One BENCH_*.json file against the bench_json.h shape. The stem of
+/// the filename must match the embedded "name" field.
+bool check_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "bench_check: cannot open %s\n", path);
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+
+  Scanner s(text);
+  std::string name;
+  int metrics = 0;
+  bool ok = s.expect('{') &&
+            s.string(nullptr) /* "name" */ && s.expect(':') &&
+            s.string(&name) && s.expect(',') &&
+            s.string(nullptr) /* "config" */ && s.expect(':') &&
+            s.flat_object(false, nullptr) && s.expect(',') &&
+            s.string(nullptr) /* "metrics" */ && s.expect(':') &&
+            s.flat_object(true, &metrics) && s.expect('}');
+  if (ok) {
+    s.skip_ws();
+    if (s.p != s.end) ok = s.fail("trailing content after the object");
+  }
+  if (ok && metrics == 0) ok = s.fail("no metrics reported");
+  if (ok) {
+    const char* base = std::strrchr(path, '/');
+    std::string stem = base ? base + 1 : path;
+    if (stem != "BENCH_" + name + ".json")
+      ok = s.fail("embedded name '" + name + "' does not match the filename");
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_check: %s: %s (at byte %td)\n", path,
+                 s.error.c_str(), s.p - text.data());
+    return false;
+  }
+  std::printf("bench_check: %s ok (%s, %d metrics)\n", path, name.c_str(),
+              metrics);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_check BENCH_<name>.json...\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) all_ok &= check_file(argv[i]);
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+// Micro A3 — multi-device work stealing: N independent ATAX-style
+// `target nowait` chains submitted in device(auto) mode against boards
+// with 1, 2 and 4 simulated GPUs. Every chain is aimed at the default
+// device; the work-stealing scheduler spreads them over the pool
+// (earliest-free placement with the drain-point tie-break), so the
+// modeled makespan drops with the device count while the per-task
+// semantics stay those of a single-device run. The scheduler counters
+// (steals, migrations, peer copies) come along in the report; with
+// transient per-task data environments the migration machinery must
+// stay silent — stealing these chains never pays a peer copy.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+constexpr int kChains = 8;
+
+void install_atax_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "steal_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+  cudadrv::KernelImage k;
+  k.name = "_ataxKernel_";
+  k.param_count = 4;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2 * n);
+      ctx.charge_flops(2.0 * n);
+    }
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+struct TaskBuffers {
+  std::vector<float> a, x, y;
+};
+
+KernelLaunchSpec atax_spec(TaskBuffers& b, int n) {
+  KernelLaunchSpec spec;
+  spec.module_path = "steal_kernels.cubin";
+  spec.kernel_name = "_ataxKernel_";
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(b.a.data()), KernelArg::mapped(b.x.data()),
+               KernelArg::mapped(b.y.data()), KernelArg::of(n)};
+  return spec;
+}
+
+std::vector<MapItem> atax_maps(TaskBuffers& b) {
+  return {
+      {b.a.data(), b.a.size() * sizeof(float), MapType::To},
+      {b.x.data(), b.x.size() * sizeof(float), MapType::To},
+      {b.y.data(), b.y.size() * sizeof(float), MapType::From},
+  };
+}
+
+struct RunResult {
+  double elapsed = 0;
+  StealStats stats;
+};
+
+RunResult run(int devices, int n) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_atax_binary();
+  cudadrv::cuSimSetBlockSampling(true);
+  Runtime::set_num_devices(devices);
+  Runtime& rt = Runtime::instance();
+
+  std::vector<TaskBuffers> tasks(kChains);
+  for (TaskBuffers& b : tasks) {
+    b.a.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+               1.0f);
+    b.x.assign(static_cast<std::size_t>(n), 1.0f);
+    b.y.assign(static_cast<std::size_t>(n), 0.0f);
+  }
+
+  WorkStealingScheduler& sched = rt.scheduler();
+  double t0 = sched.host_now();
+  for (TaskBuffers& b : tasks)
+    rt.target_nowait(Runtime::kDeviceAuto, atax_spec(b, n), atax_maps(b));
+  rt.sync();
+
+  RunResult r;
+  r.elapsed = sched.host_now() - t0;
+  r.stats = sched.stats();
+  std::printf("  %d device%-2s: %10.6f s   (%zu tasks, %zu steals, "
+              "%zu migrations, %zu peer copies)\n",
+              devices, devices == 1 ? " " : "s", r.elapsed, r.stats.tasks,
+              r.stats.steals, r.stats.migrations, r.stats.peer_copies);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int n = smoke ? 256 : 1024;
+  std::printf("micro_steal: %d independent ATAX-style chains (%dx%d), "
+              "device(auto)\n\n",
+              kChains, n, n);
+
+  RunResult r1 = run(1, n);
+  RunResult r2 = run(2, n);
+  RunResult r4 = run(4, n);
+  double speedup2 = r1.elapsed / r2.elapsed;
+  double speedup4 = r1.elapsed / r4.elapsed;
+  std::printf("\n  2-device speedup : %10.2fx (target >= 1.70x)\n", speedup2);
+  std::printf("  4-device speedup : %10.2fx\n", speedup4);
+
+  bench::write_bench_json(
+      "micro_steal",
+      {{"chains", std::to_string(kChains)},
+       {"n", std::to_string(n)},
+       {"devices", "1,2,4"}},
+      {{"one_dev_s", r1.elapsed},
+       {"two_dev_s", r2.elapsed},
+       {"four_dev_s", r4.elapsed},
+       {"speedup2", speedup2},
+       {"speedup4", speedup4},
+       {"steals_2dev", static_cast<double>(r2.stats.steals)},
+       {"steals_4dev", static_cast<double>(r4.stats.steals)},
+       {"migrations_2dev", static_cast<double>(r2.stats.migrations)},
+       {"peer_copies_2dev", static_cast<double>(r2.stats.peer_copies)}});
+
+  Runtime::reset();
+  if (smoke) return 0;
+  return speedup2 >= 1.7 && speedup4 >= speedup2 ? 0 : 1;
+}

@@ -128,6 +128,7 @@ struct OmpClause {
   OmpSchedule schedule = OmpSchedule::Static;
   Expr* schedule_chunk = nullptr;
   long long collapse_n = 1;
+  bool device_auto = false;       // device(auto): scheduler-placed
   std::string reduction_op;       // "+", "*", "max", ...
   std::string name;               // critical name
 };

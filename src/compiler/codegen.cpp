@@ -327,7 +327,11 @@ std::string generate_host_file(const TranslationUnit& unit,
     o << pad1 << "};\n";
     std::string teams = k.num_teams ? expr_to_c(k.num_teams) : "0";
     std::string threads = k.num_threads ? expr_to_c(k.num_threads) : "0";
-    std::string dev = k.device ? expr_to_c(k.device) : "-1";
+    // device(auto) hands placement to the runtime's work-stealing
+    // scheduler; ORT_DEV_AUTO is its sentinel device number.
+    std::string dev = k.device_auto ? "ORT_DEV_AUTO"
+                      : k.device    ? expr_to_c(k.device)
+                                    : "-1";
     o << pad1 << "void *__args[] = {";
     std::vector<std::string> args;
     for (const KernelParam& p : k.params)

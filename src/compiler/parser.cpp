@@ -923,7 +923,17 @@ OmpClause Parser::parse_omp_clause() {
     c.arg = paren_expr();
   } else if (w == "device") {
     c.kind = OmpClause::Kind::Device;
-    c.arg = paren_expr();
+    // device(auto) is not an expression: the runtime's work-stealing
+    // scheduler places the region on whichever device is free.
+    if (peek(1).kind == Tok::Ident && peek(1).text == "auto" &&
+        peek(2).kind == Tok::RParen) {
+      expect(Tok::LParen, "after device");
+      advance();  // auto
+      expect(Tok::RParen, "after device(auto");
+      c.device_auto = true;
+    } else {
+      c.arg = paren_expr();
+    }
   } else if (w == "if") {
     c.kind = OmpClause::Kind::If;
     c.arg = paren_expr();

@@ -317,6 +317,8 @@ void GpuTransform::transform_target(Stmt* target, FuncDecl& host_fn) {
   k.num_threads = clause_arg(OmpClause::Kind::NumThreads);
   k.thread_limit = clause_arg(OmpClause::Kind::ThreadLimit);
   k.device = clause_arg(OmpClause::Kind::Device);
+  if (const OmpClause* c = target->find_clause(OmpClause::Kind::Device))
+    k.device_auto = c->device_auto;
   if (target->find_clause(OmpClause::Kind::If))
     diags_.warning(target->loc,
                    "the if clause on target is ignored: this implementation "

@@ -46,6 +46,7 @@ struct KernelInfo {
   Expr* num_threads = nullptr;
   Expr* thread_limit = nullptr;
   Expr* device = nullptr;
+  bool device_auto = false;  // device(auto): scheduler-placed region
 
   // Combined constructs: total iteration count of the (collapsed) loop,
   // evaluated on the host to derive the default team count.

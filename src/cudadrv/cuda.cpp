@@ -1,5 +1,6 @@
 #include "cudadrv/cuda.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -71,6 +72,7 @@ struct DriverState {
   bool model_only = false;
   bool block_sampling = false;
   uint64_t epoch = 0;  // bumped by cuSimReset; see cuSimEpoch()
+  int pending_device_count = 1;  // devices created by the next cuInit
 };
 
 DriverState& state() {
@@ -146,8 +148,11 @@ CUresult cuInit(unsigned flags) {
   if (flags != 0) return CUDA_ERROR_INVALID_VALUE;
   DriverState& s = state();
   if (!s.initialized) {
-    // The board exposes a single Maxwell GPU.
-    s.devices.push_back(std::make_unique<jetsim::Device>());
+    // The board exposes a single Maxwell GPU by default; multi-GPU
+    // simulations configure the count with cuSimSetDeviceCount before
+    // the first cuInit.
+    for (int i = 0; i < s.pending_device_count; ++i)
+      s.devices.push_back(std::make_unique<jetsim::Device>());
     s.initialized = true;
   }
   return CUDA_SUCCESS;
@@ -507,6 +512,43 @@ CUresult cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t bytes,
   }
 }
 
+CUresult cuMemcpyPeerAsync(CUdeviceptr dst, CUdevice dst_dev, CUdeviceptr src,
+                           CUdevice src_dev, std::size_t bytes,
+                           CUstream stream) {
+  if (bytes == 0) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  if (!valid_device(dst_dev) || !valid_device(src_dev))
+    return CUDA_ERROR_INVALID_DEVICE;
+  if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  DriverState& s = state();
+  jetsim::Device& ddev = *s.devices[static_cast<std::size_t>(dst_dev)];
+  jetsim::Device& sdev = *s.devices[static_cast<std::size_t>(src_dev)];
+  try {
+    // Data moves eagerly (sequential consistency); the modeled cost is
+    // the peer model and occupies both DMA engines over one interval.
+    std::memcpy(ddev.translate(dst, bytes), sdev.translate(src, bytes),
+                bytes);
+    double seconds = jetsim::peer_copy_seconds(s.costs, bytes);
+    if (!stream) {
+      jetsim::Device& host = dev_of_current();
+      double end = ddev.schedule_copy(host.now(), seconds);
+      sdev.schedule_copy(end - seconds, seconds);
+      host.sync_to(end);
+      return CUDA_SUCCESS;
+    }
+    double end = ddev.schedule_copy(stream->ready, seconds);
+    // The source engine is busy over (approximately) the same interval;
+    // its busy-list may shift the charge slightly if it was occupied.
+    sdev.schedule_copy(end - seconds, seconds);
+    stream->ops.push_back({StreamOp::Kind::P2P, end - seconds, end, bytes,
+                           {}});
+    stream->ready = end;
+  } catch (const jetsim::SimError&) {
+    return CUDA_ERROR_INVALID_VALUE;
+  }
+  return CUDA_SUCCESS;
+}
+
 // ---------------------------------------------------------------------
 // Launch
 // ---------------------------------------------------------------------
@@ -699,6 +741,16 @@ bool cuSimIsPinned(const void* p, std::size_t bytes) {
 
 void cuSimClearJitCache() { state().jit_cache.clear(); }
 
+void cuSimSetDeviceCount(int n) {
+  state().pending_device_count = std::clamp(n, 1, 16);
+}
+
+int cuSimDeviceCount() {
+  DriverState& s = state();
+  return s.initialized ? static_cast<int>(s.devices.size())
+                       : s.pending_device_count;
+}
+
 double cuSimStreamReady(CUstream stream) {
   if (!valid_stream(stream))
     throw jetsim::SimError("cuSimStreamReady: invalid stream");
@@ -722,6 +774,7 @@ void cuSimReset() {
   s.jit_cache.clear();
   s.current = nullptr;
   s.initialized = false;
+  s.pending_device_count = 1;
   s.model_only = false;
   s.block_sampling = false;
   s.costs = jetsim::DriverCosts{};

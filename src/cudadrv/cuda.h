@@ -108,6 +108,15 @@ CUresult cuMemcpyHtoDAsync(CUdeviceptr dst, const void* src,
                            std::size_t bytes, CUstream stream);
 CUresult cuMemcpyDtoHAsync(void* dst, CUdeviceptr src, std::size_t bytes,
                            CUstream stream);
+/// Device-to-device peer transfer between two devices' global memories
+/// (the facade takes device ordinals where the real API takes contexts).
+/// The modeled cost (`DriverCosts::memcpy_peer_*`) occupies the DMA
+/// engines of both devices; it is charged on `stream`'s timeline (the
+/// stream must belong to the destination device). A null stream performs
+/// the copy host-synchronously.
+CUresult cuMemcpyPeerAsync(CUdeviceptr dst, CUdevice dst_dev, CUdeviceptr src,
+                           CUdevice src_dev, std::size_t bytes,
+                           CUstream stream);
 
 // --- launch ---------------------------------------------------------------
 CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
@@ -156,9 +165,15 @@ jetsim::DriverCosts& cuSimDriverCosts();
 bool cuSimIsPinned(const void* p, std::size_t bytes);
 /// Clears the simulated JIT disk cache (e.g. to model a cold boot).
 void cuSimClearJitCache();
+/// Number of simulated GPUs created by the next (re)initialization of
+/// the driver (cuInit after a cold start or a cuSimReset). The board
+/// default is 1; cuSimReset restores it. Out-of-range values are
+/// clamped to [1, 16]. Has no effect on an already-initialized driver.
+void cuSimSetDeviceCount(int n);
+int cuSimDeviceCount();
 /// One modeled operation on a stream's work queue.
 struct StreamOp {
-  enum class Kind { H2D, D2H, Kernel, Wait };
+  enum class Kind { H2D, D2H, P2P, Kernel, Wait };
   Kind kind = Kind::Kernel;
   double start_s = 0;  // when the op began occupying its engine
   double end_s = 0;    // when it completed

@@ -23,7 +23,8 @@ void check(const char* op, cudadrv::CUresult r) {
 
 }  // namespace
 
-CudadevModule::CudadevModule() : allocator_(driver_ops()) {
+CudadevModule::CudadevModule(int ordinal)
+    : ordinal_(ordinal), allocator_(driver_ops()) {
   // Discovery phase: every device is found at application startup, but
   // nothing beyond counting happens here (lazy initialization).
   check("cuInit", cudadrv::cuInit(0));
@@ -34,6 +35,7 @@ CudadevModule::~CudadevModule() {
   // Skip the driver calls if a reset already destroyed the handles (the
   // reset reclaimed device and pinned memory wholesale).
   if (context_ && cudadrv::cuSimEpoch() == epoch_) {
+    make_current();
     release_cached();
     cudadrv::cuCtxDestroy(context_);
   } else {
@@ -78,7 +80,7 @@ AllocatorOps CudadevModule::driver_ops() {
 
 void CudadevModule::initialize() {
   if (initialized_) return;
-  check("cuDeviceGet", cudadrv::cuDeviceGet(&device_, 0));
+  check("cuDeviceGet", cudadrv::cuDeviceGet(&device_, ordinal_));
 
   // Capture all hardware characteristics into host-side structures.
   char name[256];
@@ -120,10 +122,16 @@ void CudadevModule::initialize() {
   initialized_ = true;
 }
 
+void CudadevModule::make_current() {
+  if (context_ && cudadrv::cuSimEpoch() == epoch_)
+    check("cuCtxSetCurrent", cudadrv::cuCtxSetCurrent(context_));
+}
+
 void CudadevModule::require_initialized() {
   if (!initialized_)
     throw std::runtime_error(
         "cudadev: device operation before lazy initialization");
+  make_current();
 }
 
 uint64_t CudadevModule::alloc(std::size_t size) {

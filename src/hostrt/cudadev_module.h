@@ -17,7 +17,9 @@ namespace hostrt {
 
 class CudadevModule : public DeviceModule {
  public:
-  CudadevModule();
+  /// `ordinal` selects which simulated GPU this module drives; each
+  /// module owns a context for its own device only.
+  explicit CudadevModule(int ordinal = 0);
   ~CudadevModule() override;
 
   std::string name() const override { return "cudadev"; }
@@ -58,6 +60,13 @@ class CudadevModule : public DeviceModule {
   cudadrv::CUstream bound_stream() const { return bound_stream_; }
 
   cudadrv::CUdevice device() const { return device_; }
+
+  /// Restores this module's context as the driver's current context.
+  /// Context-sensitive driver calls (sync copies, event/stream sync,
+  /// pinned allocation) act on the current context's device, so anything
+  /// that interleaves modules must re-establish currency first; every
+  /// device operation on this module does so via require_initialized().
+  void make_current();
 
   std::string device_info() override;
 
@@ -107,6 +116,7 @@ class CudadevModule : public DeviceModule {
 
   bool initialized_ = false;
   uint64_t epoch_ = 0;  // driver epoch the context belongs to
+  int ordinal_ = 0;     // which simulated GPU this module drives
   int device_count_ = 0;
   cudadrv::CUdevice device_ = 0;
   cudadrv::CUcontext context_ = nullptr;

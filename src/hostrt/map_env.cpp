@@ -200,6 +200,77 @@ int DataEnv::refcount(const void* host) const {
   return m ? m->refcount : 0;
 }
 
+bool DataEnv::mapping_info(const void* host, MapItem* out,
+                           int* refcount) const {
+  auto addr = reinterpret_cast<uintptr_t>(host);
+  auto it = table_.upper_bound(addr);
+  if (it == table_.begin()) return false;
+  --it;
+  const Mapping& m = it->second;
+  if (addr < it->first || addr >= it->first + m.size) return false;
+  if (out) {
+    out->host = reinterpret_cast<const void*>(it->first);
+    out->size = m.size;
+  }
+  if (refcount) *refcount = m.refcount;
+  return true;
+}
+
+std::size_t DataEnv::resident_bytes(const std::vector<MapItem>& items) const {
+  // Count each containing mapping once even when several items fall
+  // inside it (the footprint is what would migrate, not the clause).
+  std::size_t total = 0;
+  std::vector<uintptr_t> seen;
+  for (const MapItem& item : items) {
+    MapItem base;
+    if (!mapping_info(item.host, &base, nullptr)) continue;
+    auto key = reinterpret_cast<uintptr_t>(base.host);
+    bool dup = false;
+    for (uintptr_t s : seen) dup = dup || s == key;
+    if (dup) continue;
+    seen.push_back(key);
+    total += base.size;
+  }
+  return total;
+}
+
+uint64_t DataEnv::adopt(const MapItem& item, int refcount) {
+  if (!item.host || item.size == 0 || refcount <= 0)
+    throw MapError("adopt of null, empty or unreferenced range");
+  auto addr = reinterpret_cast<uintptr_t>(item.host);
+  if (find(item.host, item.size))
+    throw MapError("adopt of an already-present range");
+  auto next = table_.lower_bound(addr);
+  if (next != table_.end() && next->first < addr + item.size)
+    throw MapError("adopt range overlaps an existing mapping");
+  if (next != table_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > addr)
+      throw MapError("adopt range overlaps an existing mapping");
+  }
+  Mapping m;
+  m.size = item.size;
+  m.refcount = refcount;
+  m.dev_addr = backend_->alloc(item.size);
+  if (m.dev_addr == 0) throw MapError("device out of memory during adopt");
+  mapped_bytes_ += item.size;
+  table_.emplace(addr, m);
+  return m.dev_addr;
+}
+
+int DataEnv::evict(const void* host) {
+  auto addr = reinterpret_cast<uintptr_t>(host);
+  auto it = table_.upper_bound(addr);
+  if (it == table_.begin()) return 0;
+  --it;
+  if (addr < it->first || addr >= it->first + it->second.size) return 0;
+  int rc = it->second.refcount;
+  backend_->free(it->second.dev_addr);
+  mapped_bytes_ -= it->second.size;
+  table_.erase(it);
+  return rc;
+}
+
 void DataEnv::update_to(const void* host, std::size_t size) {
   if (!find(host, size))
     throw MapError("target update to(...) of an unmapped range");

@@ -132,6 +132,25 @@ class DataEnv {
   std::size_t mapped_ranges() const { return table_.size(); }
   std::size_t mapped_bytes() const { return mapped_bytes_; }
 
+  // --- residency queries & migration (work-stealing scheduler) ----------
+  /// Base, size and refcount of the mapping containing `host`; returns
+  /// false if absent. `out`'s map type is left untouched.
+  bool mapping_info(const void* host, MapItem* out, int* refcount) const;
+
+  /// Total mapped bytes among `items` whose ranges are present here
+  /// (each containing mapping counted once).
+  std::size_t resident_bytes(const std::vector<MapItem>& items) const;
+
+  /// Installs a mapping for `item` with an explicit reference count and
+  /// NO host-to-device transfer — the caller provides the bytes (e.g. a
+  /// peer copy from another device). Returns the device address.
+  uint64_t adopt(const MapItem& item, int refcount);
+
+  /// Removes the mapping containing `host` and frees its storage with NO
+  /// copy-back (the bytes live on elsewhere). Returns the refcount the
+  /// mapping held, 0 if absent.
+  int evict(const void* host);
+
  private:
   struct Mapping {
     uint64_t dev_addr = 0;

@@ -13,12 +13,22 @@ void check(const char* op, cudadrv::CUresult r) {
                              " failed: " + cudadrv::cuResultName(r));
 }
 
+TaskId& task_id_counter() {
+  static TaskId next = 0;
+  return next;
+}
+
 }  // namespace
+
+TaskId allocate_task_id() { return task_id_counter()++; }
+void reset_task_ids() { task_id_counter() = 0; }
 
 OffloadQueue::OffloadQueue(CudadevModule& module, DataEnv& env, int streams)
     : module_(&module), env_(&env), epoch_(cudadrv::cuSimEpoch()) {
   if (!module.initialized())
     throw std::runtime_error("offload queue over an uninitialized device");
+  // Streams bind to the current context's device at creation.
+  module.make_current();
   if (streams < 1) streams = 1;
   streams_.reserve(static_cast<std::size_t>(streams));
   for (int i = 0; i < streams; ++i) {
@@ -34,6 +44,7 @@ OffloadQueue::~OffloadQueue() {
   // driver reset already destroyed the handles, there is nothing left to
   // drain — and the pointers must not be touched.
   if (cudadrv::cuSimEpoch() != epoch_) return;
+  module_->make_current();
   for (cudadrv::CUstream st : streams_) cudadrv::cuStreamDestroy(st);
 }
 
@@ -52,12 +63,15 @@ int OffloadQueue::pick_stream() const {
 
 TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
                              const std::vector<MapItem>& maps,
-                             const std::vector<DependItem>& depends) {
+                             const std::vector<DependItem>& depends,
+                             const EnqueueOptions& opts) {
+  module_->make_current();
   jetsim::Device& dev = cudadrv::cuSimDevice(module_->device());
 
   TaskRecord r;
-  r.id = records_.size();
+  r.id = opts.id == EnqueueOptions::kAutoId ? allocate_task_id() : opts.id;
   r.kernel = spec.kernel_name;
+  r.device = module_->device();
   r.queued_at = dev.now();
 
   // Phase 1 — loading stays host-synchronous (JIT / module caching is
@@ -69,7 +83,7 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
 
   // Resolve explicit dependence edges against the table: in waits on the
   // last writer; out/inout additionally wait on every reader since.
-  std::vector<cudadrv::CUevent> waits;
+  std::vector<cudadrv::CUevent> waits = opts.waits;
   for (const DependItem& d : depends) {
     auto it = table_.find(d.addr);
     if (it == table_.end()) continue;
@@ -104,6 +118,7 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   cudadrv::CUevent done = nullptr;
   check("cuEventCreate", cudadrv::cuEventCreate(&done, 0));
   check("cuEventRecord", cudadrv::cuEventRecord(done, st));
+  r.done = done;
 
   // Fold the stream's work log into the record.
   const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
@@ -118,6 +133,7 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
     double dur = op.end_s - op.start_s;
     switch (op.kind) {
       case cudadrv::StreamOp::Kind::H2D:
+      case cudadrv::StreamOp::Kind::P2P:
         r.stats.h2d_s += dur;
         break;
       case cudadrv::StreamOp::Kind::D2H:
@@ -167,11 +183,26 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
     }
   }
 
+  // Fold the task into the queue's running totals (scheduler load metric).
+  totals_.load_s += r.stats.load_s;
+  totals_.prepare_s += r.stats.prepare_s;
+  totals_.exec_s += r.stats.exec_s;
+  totals_.queued_s += r.stats.queued_s;
+  totals_.h2d_s += r.stats.h2d_s;
+  totals_.d2h_s += r.stats.d2h_s;
+  totals_.alloc_cache_hits += r.stats.alloc_cache_hits;
+  totals_.alloc_cache_misses += r.stats.alloc_cache_misses;
+  totals_.coalesced_transfers += r.stats.coalesced_transfers;
+  totals_.bytes_staged += r.stats.bytes_staged;
+
+  index_[r.id] = records_.size();
   records_.push_back(std::move(r));
   return records_.back().id;
 }
 
 void OffloadQueue::sync() {
+  // Context currency decides whose clock the synchronization advances.
+  module_->make_current();
   for (cudadrv::CUstream st : streams_)
     check("cuStreamSynchronize", cudadrv::cuStreamSynchronize(st));
 }
@@ -179,6 +210,7 @@ void OffloadQueue::sync() {
 void OffloadQueue::quiesce(const void* host) {
   auto it = table_.find(host);
   if (it == table_.end()) return;
+  module_->make_current();
   if (it->second.last_writer)
     check("cuEventSynchronize",
           cudadrv::cuEventSynchronize(it->second.last_writer));
@@ -187,9 +219,24 @@ void OffloadQueue::quiesce(const void* host) {
 }
 
 const TaskRecord& OffloadQueue::record(TaskId id) const {
-  if (id >= records_.size())
+  auto it = index_.find(id);
+  if (it == index_.end())
     throw std::out_of_range("offload queue: unknown task id");
-  return records_[id];
+  return records_[it->second];
+}
+
+double OffloadQueue::earliest_free() const {
+  double best = cudadrv::cuSimStreamReady(streams_[0]);
+  for (std::size_t i = 1; i < streams_.size(); ++i)
+    best = std::min(best, cudadrv::cuSimStreamReady(streams_[i]));
+  return best;
+}
+
+double OffloadQueue::horizon() const {
+  double worst = cudadrv::cuSimStreamReady(streams_[0]);
+  for (std::size_t i = 1; i < streams_.size(); ++i)
+    worst = std::max(worst, cudadrv::cuSimStreamReady(streams_[i]));
+  return worst;
 }
 
 std::size_t OffloadQueue::in_flight() const {

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cudadrv/cuda.h"
@@ -41,10 +42,18 @@ struct DependItem {
 
 using TaskId = std::size_t;
 
+/// Process-wide task id allocator. Ids are unique across every queue so
+/// the multi-device scheduler can hand out one id space; a lone queue
+/// still sees small consecutive ids. reset_task_ids() restores 0 for
+/// deterministic tests (the runtime calls it from reset()).
+TaskId allocate_task_id();
+void reset_task_ids();
+
 /// Everything observed about one queued offload, in modeled seconds.
 struct TaskRecord {
   TaskId id = 0;
   std::string kernel;
+  int device = 0;         // device ordinal the task ran on
   int stream = -1;        // stream-pool slot the task ran on
   double queued_at = 0;   // host clock when the task was enqueued
   double ready_at = 0;    // dependence edges satisfied on the stream
@@ -52,7 +61,19 @@ struct TaskRecord {
   double exec_start_s = 0;  // kernel began occupying the SM engine
   double exec_end_s = 0;    // kernel left the SM engine
   double end_s = 0;       // last op (D2H) completed: the task is done
+  cudadrv::CUevent done = nullptr;  // completion event (driver-owned)
   OffloadStats stats;
+};
+
+/// Optional knobs for OffloadQueue::enqueue, used by the scheduler.
+struct EnqueueOptions {
+  static constexpr TaskId kAutoId = static_cast<TaskId>(-1);
+  /// Task id to record under; kAutoId draws from allocate_task_id().
+  TaskId id = kAutoId;
+  /// Extra completion events the task must wait on before it starts, in
+  /// addition to the locally resolved depend edges (cross-device depend
+  /// edges and migration transfers).
+  std::vector<cudadrv::CUevent> waits;
 };
 
 /// Per-device task queue over a fixed pool of CUDA streams.
@@ -76,7 +97,8 @@ class OffloadQueue {
   /// accesses (map items, mapped kernel arguments and depend items) are
   /// recorded for later tasks and for quiesce().
   TaskId enqueue(const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
-                 const std::vector<DependItem>& depends = {});
+                 const std::vector<DependItem>& depends = {},
+                 const EnqueueOptions& opts = {});
 
   /// taskwait: advances the host clock past the completion of every
   /// queued task.
@@ -92,6 +114,20 @@ class OffloadQueue {
   int stream_count() const { return static_cast<int>(streams_.size()); }
   /// Tasks enqueued and not yet folded into the host clock by sync().
   std::size_t in_flight() const;
+
+  /// Running sum of every task's stats — the scheduler's load metric.
+  const OffloadStats& totals() const { return totals_; }
+  std::size_t task_count() const { return records_.size(); }
+
+  /// Completion time of the least-loaded stream: when this queue could
+  /// begin a new task with no pool contention.
+  double earliest_free() const;
+  /// Completion time of the most-loaded stream: the queue's drain point.
+  double horizon() const;
+
+  /// The queue's device module (for context currency and residency).
+  CudadevModule& module() { return *module_; }
+  DataEnv& env() { return *env_; }
 
  private:
   // Per-address access history: the completion event of the last task
@@ -109,6 +145,8 @@ class OffloadQueue {
   std::vector<cudadrv::CUstream> streams_;
   std::map<const void*, Access> table_;
   std::vector<TaskRecord> records_;
+  std::unordered_map<TaskId, std::size_t> index_;  // task id -> records_ slot
+  OffloadStats totals_;
 };
 
 }  // namespace hostrt

@@ -19,6 +19,7 @@ std::unique_ptr<Runtime>& runtime_holder() {
   return p;
 }
 bool g_opencl_enabled = false;
+int g_num_devices = 0;  // 0 = unset: OMPI_NUM_DEVICES or board default
 }  // namespace
 
 Runtime& Runtime::instance() {
@@ -32,10 +33,24 @@ void Runtime::reset() {
   // queues synchronizes and frees their stream pools, so no modeled
   // timeline or handle can leak into the next scenario's cold board.
   std::unique_ptr<Runtime>& r = runtime_holder();
-  if (r)
+  if (r) {
+    r->scheduler_.reset();
     for (DeviceSlot& s : r->slots_) s.queue.reset();
+  }
   r.reset();
   cudadrv::cuSimReset();
+  reset_task_ids();
+  // The next runtime starts from the board default again (tests stay
+  // hermetic); OMPI_NUM_DEVICES is re-read at construction.
+  g_num_devices = 0;
+}
+
+void Runtime::set_num_devices(int n) {
+  if (n < 1 || n > kMaxDevices)
+    throw std::invalid_argument("num_devices must be in [1, " +
+                                std::to_string(kMaxDevices) + "], got " +
+                                std::to_string(n));
+  g_num_devices = n;
 }
 
 void Runtime::set_opencl_enabled(bool enabled) {
@@ -51,22 +66,39 @@ Runtime::Runtime() {
     if (end && *end == '\0' && end != v && n >= 1 && n <= kMaxStreams)
       num_streams_ = static_cast<int>(n);
   }
+  // Simulated GPU count: the programmatic setting wins, then the
+  // environment; malformed or out-of-range values keep the board default
+  // so all seed behavior is unchanged.
+  int want_devices = g_num_devices;
+  if (want_devices == 0) {
+    if (const char* v = std::getenv("OMPI_NUM_DEVICES")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end && *end == '\0' && end != v && n >= 1 && n <= kMaxDevices)
+        want_devices = static_cast<int>(n);
+    }
+  }
+  if (want_devices > 0) cudadrv::cuSimSetDeviceCount(want_devices);
+  if (const char* v = std::getenv("OMPI_SCHEDULE_DEVICES")) {
+    schedule_auto_ = std::string(v) == "auto";
+  }
   // Application startup: discover all devices of every module. Only the
   // cudadev module exists on the Jetson Nano board.
-  auto cudadev = std::make_unique<CudadevModule>();
+  auto cudadev = std::make_unique<CudadevModule>(0);
   int n = cudadev->device_count();
   for (int i = 0; i < n; ++i) {
     DeviceSlot s;
-    // One module instance per device of the class would also be valid;
-    // the Nano exposes exactly one GPU, so slot 0 owns the module.
+    // One module instance per device ordinal: each owns the context of
+    // its own simulated GPU. Slot 0 reuses the discovery module.
     if (i == 0) {
       s.module = std::move(cudadev);
     } else {
-      s.module = std::make_unique<CudadevModule>();
+      s.module = std::make_unique<CudadevModule>(i);
     }
     s.env = std::make_unique<DataEnv>(*s.module);
     slots_.push_back(std::move(s));
   }
+  cudadev_count_ = n;
   if (g_opencl_enabled) {
     DeviceSlot s;
     s.module = std::make_unique<OpenclDevModule>();
@@ -91,6 +123,27 @@ void Runtime::ensure_ready(int dev) {
     if (auto* cuda = dynamic_cast<CudadevModule*>(s.module.get()))
       s.queue = std::make_unique<OffloadQueue>(*cuda, *s.env, num_streams_);
   }
+}
+
+WorkStealingScheduler& Runtime::scheduler() {
+  if (!scheduler_) {
+    std::vector<OffloadQueue*> queues;
+    for (int i = 0; i < cudadev_count_; ++i) {
+      ensure_ready(i);
+      queues.push_back(slot(i).queue.get());
+    }
+    scheduler_ = std::make_unique<WorkStealingScheduler>(std::move(queues));
+  }
+  return *scheduler_;
+}
+
+bool Runtime::route_auto(int& dev) {
+  if (dev == kDeviceAuto) {
+    dev = default_device_;
+    return cudadev_count_ > 0;
+  }
+  if (dev == -1) dev = default_device_;
+  return schedule_auto_ && dev == default_device_ && dev < cudadev_count_;
 }
 
 void Runtime::set_num_streams(int n) {
@@ -120,6 +173,12 @@ DataEnv& Runtime::env(int dev) { return *slot(dev).env; }
 
 OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
                              const std::vector<MapItem>& maps) {
+  if (route_auto(dev)) {
+    WorkStealingScheduler& sched = scheduler();
+    TaskId id = sched.submit(spec, maps);
+    sched.wait(id);
+    return sched.record(id).stats;
+  }
   // Lazy full initialization: happens right before the first kernel is
   // offloaded to this device (paper §4.2.1).
   ensure_ready(dev);
@@ -141,6 +200,7 @@ OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
 TaskId Runtime::target_nowait(int dev, const KernelLaunchSpec& spec,
                               const std::vector<MapItem>& maps,
                               const std::vector<DependItem>& depends) {
+  if (route_auto(dev)) return scheduler().submit(spec, maps, depends);
   ensure_ready(dev);
   DeviceSlot& s = slot(dev);
   if (!s.queue)
@@ -151,6 +211,16 @@ TaskId Runtime::target_nowait(int dev, const KernelLaunchSpec& spec,
 void Runtime::sync(int dev) {
   if (dev >= 0) {
     if (OffloadQueue* q = slot(dev).queue.get()) q->sync();
+    if (scheduler_) scheduler_->align_clocks();
+    return;
+  }
+  // taskwait(-1): the scheduler's sync drains every cudadev queue and
+  // realigns the per-device clocks into one host clock.
+  if (scheduler_) {
+    scheduler_->sync();
+    for (DeviceSlot& s : slots_)
+      if (s.queue) s.queue->sync();
+    scheduler_->align_clocks();
     return;
   }
   for (DeviceSlot& s : slots_)
@@ -160,11 +230,19 @@ void Runtime::sync(int dev) {
 OffloadQueue* Runtime::queue(int dev) { return slot(dev).queue.get(); }
 
 void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
+  if (route_auto(dev)) {
+    scheduler().enter_data(maps);
+    return;
+  }
   ensure_ready(dev);
   slot(dev).env->map_batch(maps);
 }
 
 void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
+  if (route_auto(dev)) {
+    scheduler().exit_data({maps.rbegin(), maps.rend()});
+    return;
+  }
   DeviceSlot& s = slot(dev);
   // A copy-back (and release into the block cache) must not race a
   // queued task still using a buffer: drain every in-flight writer AND
@@ -177,11 +255,19 @@ void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
+  if (route_auto(dev)) {
+    scheduler().enter_data(maps);
+    return;
+  }
   ensure_ready(dev);
   slot(dev).env->map_batch(maps);
 }
 
 void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
+  if (route_auto(dev)) {
+    scheduler().exit_data(maps);
+    return;
+  }
   DeviceSlot& s = slot(dev);
   // Same hazard as target_data_end: quiesce before copy-back + release.
   if (s.queue)
@@ -190,6 +276,10 @@ void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
+  if (route_auto(dev)) {
+    scheduler().update_to(host, size);
+    return;
+  }
   ensure_ready(dev);
   DeviceSlot& s = slot(dev);
   if (s.queue) s.queue->quiesce(host);
@@ -197,6 +287,10 @@ void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
 }
 
 void Runtime::target_update_from(int dev, void* host, std::size_t size) {
+  if (route_auto(dev)) {
+    scheduler().update_from(host, size);
+    return;
+  }
   ensure_ready(dev);
   DeviceSlot& s = slot(dev);
   if (s.queue) s.queue->quiesce(host);

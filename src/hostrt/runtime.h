@@ -11,6 +11,7 @@
 #include "hostrt/map_env.h"
 #include "hostrt/module.h"
 #include "hostrt/offload_queue.h"
+#include "hostrt/scheduler.h"
 
 namespace hostrt {
 
@@ -25,6 +26,16 @@ class Runtime {
   /// runtimes (paper §6: OpenCL support is in progress). The OpenCL
   /// accelerator appears after the cudadev GPU in the device numbering.
   static void set_opencl_enabled(bool enabled);
+
+  /// Simulated GPU count for subsequently created runtimes (the
+  /// OMPI_NUM_DEVICES environment variable seeds the initial value).
+  /// Throws std::invalid_argument outside [1, kMaxDevices].
+  static void set_num_devices(int n);
+  static constexpr int kMaxDevices = 16;
+
+  /// Device argument meaning "let the work-stealing scheduler place the
+  /// task" (the compiler emits it for `device(auto)` as ORT_DEV_AUTO).
+  static constexpr int kDeviceAuto = -2;
 
   Runtime();
   ~Runtime() = default;
@@ -76,6 +87,18 @@ class Runtime {
   int num_streams() const { return num_streams_; }
   static constexpr int kMaxStreams = 32;
 
+  // --- multi-device work stealing --------------------------------------
+  /// When enabled, tasks aimed at the default device are routed through
+  /// the work-stealing scheduler (OMPI_SCHEDULE_DEVICES=auto seeds it).
+  /// Tasks with dev == kDeviceAuto always are.
+  void set_schedule_devices_auto(bool enabled) { schedule_auto_ = enabled; }
+  bool schedule_devices_auto() const { return schedule_auto_; }
+  /// The scheduler over every cudadev queue; created (and all cudadev
+  /// devices initialized) on first use.
+  WorkStealingScheduler& scheduler();
+  /// Device the scheduler placed a submitted task on.
+  int task_device(TaskId id) { return scheduler().device_of(id); }
+
   // --- data directives -----------------------------------------------------
   void target_data_begin(int dev, const std::vector<MapItem>& maps);
   void target_data_end(int dev, const std::vector<MapItem>& maps);
@@ -95,11 +118,19 @@ class Runtime {
 
   DeviceSlot& slot(int dev);
   void ensure_ready(int dev);
+  /// Resolves -1 to the default device; true if the call should route
+  /// through the work-stealing scheduler.
+  bool route_auto(int& dev);
 
   std::vector<DeviceSlot> slots_;
   int device_count_ = 0;
+  int cudadev_count_ = 0;  // cudadev devices (ordinals 0..n-1)
   int default_device_ = 0;
   int num_streams_ = OffloadQueue::kDefaultStreams;
+  bool schedule_auto_ = false;
+  // Declared after slots_: destroyed first, so migration streams drain
+  // while the device contexts are still alive.
+  std::unique_ptr<WorkStealingScheduler> scheduler_;
 };
 
 // --- host-side OpenMP API (the omp.h surface the paper's users see) -----

@@ -1,0 +1,406 @@
+#include "hostrt/scheduler.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/timing.h"
+
+namespace hostrt {
+
+namespace {
+
+void check(const char* op, cudadrv::CUresult r) {
+  if (r != cudadrv::CUDA_SUCCESS)
+    throw std::runtime_error(std::string("scheduler: ") + op +
+                             " failed: " + cudadrv::cuResultName(r));
+}
+
+}  // namespace
+
+WorkStealingScheduler::WorkStealingScheduler(std::vector<OffloadQueue*> queues)
+    : queues_(std::move(queues)), epoch_(cudadrv::cuSimEpoch()) {
+  if (queues_.empty())
+    throw std::runtime_error("scheduler over zero device queues");
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    if (!queues_[i] ||
+        queues_[i]->module().device() != static_cast<int>(i))
+      throw std::runtime_error(
+          "scheduler queues must be indexed by device ordinal");
+  }
+  mig_streams_.assign(queues_.size(), nullptr);
+}
+
+WorkStealingScheduler::~WorkStealingScheduler() {
+  if (cudadrv::cuSimEpoch() != epoch_) return;
+  for (std::size_t i = 0; i < mig_streams_.size(); ++i) {
+    if (!mig_streams_[i]) continue;
+    queues_[i]->module().make_current();
+    cudadrv::cuStreamDestroy(mig_streams_[i]);
+  }
+}
+
+jetsim::Device& WorkStealingScheduler::sim(int dev) const {
+  return cudadrv::cuSimDevice(queues_[static_cast<std::size_t>(dev)]
+                                  ->module()
+                                  .device());
+}
+
+double WorkStealingScheduler::host_now() const {
+  double t = 0;
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    t = std::max(t, sim(static_cast<int>(i)).now());
+  return t;
+}
+
+void WorkStealingScheduler::align_clocks() {
+  double t = host_now();
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    sim(static_cast<int>(i)).sync_to(t);
+}
+
+cudadrv::CUstream WorkStealingScheduler::migration_stream(int dev) {
+  cudadrv::CUstream& st = mig_streams_[static_cast<std::size_t>(dev)];
+  if (!st) {
+    queues_[static_cast<std::size_t>(dev)]->module().make_current();
+    check("cuStreamCreate", cudadrv::cuStreamCreate(&st, 0));
+  }
+  return st;
+}
+
+std::map<const void*, bool> WorkStealingScheduler::accesses_of(
+    const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
+    const std::vector<DependItem>& depends) {
+  std::map<const void*, bool> accesses;
+  for (const MapItem& m : maps) accesses[m.host] |= m.type != MapType::To;
+  for (const KernelArg& a : spec.args)
+    if (a.kind == KernelArg::Kind::MappedPtr) accesses[a.host_ptr] |= true;
+  for (const DependItem& d : depends)
+    accesses[d.addr] |= d.kind != DependKind::In;
+  return accesses;
+}
+
+std::vector<const void*> WorkStealingScheduler::foreign_residents(
+    const std::vector<MapItem>& maps, int dev) const {
+  std::vector<const void*> bases;
+  for (const MapItem& m : maps) {
+    auto addr = reinterpret_cast<uintptr_t>(m.host);
+    auto it = residency_.upper_bound(addr);
+    if (it == residency_.begin()) continue;
+    --it;
+    if (addr >= it->first + it->second.size) continue;
+    if (it->second.dev == dev) continue;
+    const void* base = reinterpret_cast<const void*>(it->first);
+    if (std::find(bases.begin(), bases.end(), base) == bases.end())
+      bases.push_back(base);
+  }
+  return bases;
+}
+
+std::size_t WorkStealingScheduler::resident_bytes_on(
+    const std::vector<MapItem>& maps, int dev) const {
+  std::size_t total = 0;
+  std::vector<uintptr_t> seen;
+  for (const MapItem& m : maps) {
+    auto addr = reinterpret_cast<uintptr_t>(m.host);
+    auto it = residency_.upper_bound(addr);
+    if (it == residency_.begin()) continue;
+    --it;
+    if (addr >= it->first + it->second.size) continue;
+    if (it->second.dev != dev) continue;
+    if (std::find(seen.begin(), seen.end(), it->first) != seen.end()) continue;
+    seen.push_back(it->first);
+    total += it->second.size;
+  }
+  return total;
+}
+
+int WorkStealingScheduler::resident_device(const void* host) const {
+  auto addr = reinterpret_cast<uintptr_t>(host);
+  auto it = residency_.upper_bound(addr);
+  if (it == residency_.begin()) return -1;
+  --it;
+  if (addr >= it->first + it->second.size) return -1;
+  return it->second.dev;
+}
+
+cudadrv::CUevent WorkStealingScheduler::migrate(const void* base, int dev) {
+  int victim = resident_device(base);
+  OffloadQueue& vq = *queues_[static_cast<std::size_t>(victim)];
+  OffloadQueue& tq = *queues_[static_cast<std::size_t>(dev)];
+
+  MapItem whole;
+  int refcount = 0;
+  if (!vq.env().mapping_info(base, &whole, &refcount))
+    throw std::runtime_error("scheduler: residency table out of sync");
+  uint64_t src = vq.env().lookup(whole.host);
+
+  // The thief's copy of the storage; no host transfer — the bytes arrive
+  // over the peer link below.
+  tq.module().make_current();
+  uint64_t dst = tq.env().adopt(whole, refcount);
+
+  // The peer copy reads the victim's buffer: it must not start before
+  // every queued task that touches any tracked address inside the
+  // mapping has finished with it.
+  cudadrv::CUstream mig = migration_stream(dev);
+  auto lo = reinterpret_cast<uintptr_t>(whole.host);
+  for (const auto& [addr, acc] : table_) {
+    auto a = reinterpret_cast<uintptr_t>(addr);
+    if (a < lo || a >= lo + whole.size) continue;
+    if (acc.writer.event)
+      check("cuStreamWaitEvent",
+            cudadrv::cuStreamWaitEvent(mig, acc.writer.event, 0));
+    for (const Ev& r : acc.readers)
+      if (r.event)
+        check("cuStreamWaitEvent", cudadrv::cuStreamWaitEvent(mig, r.event, 0));
+  }
+
+  check("cuMemcpyPeerAsync",
+        cudadrv::cuMemcpyPeerAsync(dst, tq.module().device(), src,
+                                   vq.module().device(), whole.size, mig));
+
+  // The victim's storage goes back to its allocator. The bytes are
+  // already correct everywhere (eager data execution); returning the
+  // block early is a modeled-time approximation only (DESIGN.md §5d).
+  vq.env().evict(whole.host);
+  residency_[lo] = {whole.size, dev};
+
+  stats_.peer_copies += 1;
+  stats_.migrated_bytes += whole.size;
+
+  cudadrv::CUevent moved = nullptr;
+  check("cuEventCreate", cudadrv::cuEventCreate(&moved, 0));
+  check("cuEventRecord", cudadrv::cuEventRecord(moved, mig));
+  return moved;
+}
+
+TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
+                                     const std::vector<MapItem>& maps,
+                                     const std::vector<DependItem>& depends) {
+  stats_.tasks += 1;
+  double now = host_now();
+
+  // Resolve every access globally: a predecessor may have run anywhere.
+  std::map<const void*, bool> accesses = accesses_of(spec, maps, depends);
+  EnqueueOptions opts;
+  double dep_ready = 0;
+  int pred_dev = -1;
+  double pred_end = -1;
+  for (const auto& [addr, writes] : accesses) {
+    auto it = table_.find(addr);
+    if (it == table_.end()) continue;
+    const Access& acc = it->second;
+    if (acc.writer.event) {
+      opts.waits.push_back(acc.writer.event);
+      dep_ready = std::max(dep_ready, acc.writer.end_s);
+      if (acc.writer.end_s > pred_end) {
+        pred_end = acc.writer.end_s;
+        pred_dev = acc.writer.dev;
+      }
+    }
+    if (writes) {
+      for (const Ev& r : acc.readers) {
+        opts.waits.push_back(r.event);
+        dep_ready = std::max(dep_ready, r.end_s);
+      }
+    }
+  }
+
+  // Victim selection: earliest modeled start, with the migration bill on
+  // the candidate's side of the ledger. Ties go to data locality (the
+  // device holding the largest share of the task's footprint), then to
+  // the smaller drain point — a stream pool hides queue depth from
+  // earliest_free() until every slot is busy, and the horizon tie-break
+  // is what spreads homogeneous independent chains round-robin
+  // ("steal-half") across an idle pool instead of pooling them on the
+  // lowest ordinal.
+  const jetsim::DriverCosts& costs = cudadrv::cuSimDriverCosts();
+  int chosen = 0;
+  double chosen_cost = 0;
+  std::size_t chosen_resident = 0;
+  double chosen_horizon = 0;
+  for (int d = 0; d < device_count(); ++d) {
+    const OffloadQueue& q = *queues_[static_cast<std::size_t>(d)];
+    double mig_s = 0;
+    for (const void* base : foreign_residents(maps, d)) {
+      auto it = residency_.find(reinterpret_cast<uintptr_t>(base));
+      mig_s += jetsim::peer_copy_seconds(costs, it->second.size);
+    }
+    double start = std::max({q.earliest_free(), now, dep_ready});
+    double cost = start + mig_s;
+    std::size_t res = resident_bytes_on(maps, d);
+    double hor = q.horizon();
+    bool better = d == 0 || cost < chosen_cost ||
+                  (cost == chosen_cost &&
+                   (res > chosen_resident ||
+                    (res == chosen_resident && hor < chosen_horizon)));
+    if (better) {
+      chosen = d;
+      chosen_cost = cost;
+      chosen_resident = res;
+      chosen_horizon = hor;
+    }
+  }
+
+  // The task's home: where its data lives; failing that, where its
+  // latest predecessor ran; failing that, device 0. Landing anywhere
+  // else is a steal.
+  int home = 0;
+  std::size_t home_bytes = 0;
+  for (int d = 0; d < device_count(); ++d) {
+    std::size_t res = resident_bytes_on(maps, d);
+    if (res > home_bytes) {
+      home = d;
+      home_bytes = res;
+    }
+  }
+  if (home_bytes == 0 && pred_dev >= 0) home = pred_dev;
+  if (chosen != home) stats_.steals += 1;
+
+  // Data-environment migration: persistent mappings the task needs that
+  // live on another device move over the peer link first.
+  std::vector<const void*> moving = foreign_residents(maps, chosen);
+  if (!moving.empty()) {
+    stats_.migrations += 1;
+    for (const void* base : moving) opts.waits.push_back(migrate(base, chosen));
+  }
+
+  // The chosen device's clock carries the host-side enqueue work (module
+  // load, parameter prep); the single host thread is at host_now().
+  sim(chosen).sync_to(now);
+
+  opts.id = allocate_task_id();
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(chosen)];
+  TaskId id = q.enqueue(spec, maps, depends, opts);
+  placement_[id] = chosen;
+
+  // Publish the task's accesses for later submits and quiesce().
+  const TaskRecord& rec = q.record(id);
+  for (const auto& [addr, writes] : accesses) {
+    Access& acc = table_[addr];
+    if (writes) {
+      acc.writer = {rec.done, rec.end_s, chosen};
+      acc.readers.clear();
+    } else {
+      acc.readers.push_back({rec.done, rec.end_s, chosen});
+    }
+  }
+  return id;
+}
+
+int WorkStealingScheduler::device_of(TaskId id) const {
+  auto it = placement_.find(id);
+  if (it == placement_.end())
+    throw std::out_of_range("scheduler: unknown task id");
+  return it->second;
+}
+
+const TaskRecord& WorkStealingScheduler::record(TaskId id) const {
+  return queues_[static_cast<std::size_t>(device_of(id))]->record(id);
+}
+
+void WorkStealingScheduler::sync() {
+  for (OffloadQueue* q : queues_) q->sync();
+  align_clocks();
+}
+
+void WorkStealingScheduler::wait(TaskId id) {
+  int dev = device_of(id);
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
+  q.module().make_current();
+  if (cudadrv::CUevent done = q.record(id).done)
+    check("cuEventSynchronize", cudadrv::cuEventSynchronize(done));
+  align_clocks();
+}
+
+void WorkStealingScheduler::quiesce(const void* host) {
+  // The address may have been touched from any device (a stolen task's
+  // copy-back runs on the thief): fold in every queue's view.
+  for (OffloadQueue* q : queues_) q->quiesce(host);
+  align_clocks();
+}
+
+int WorkStealingScheduler::enter_data(const std::vector<MapItem>& maps) {
+  // Reuse an existing placement when one exists; otherwise pick the
+  // device whose queue drains first.
+  int chosen = -1;
+  for (const MapItem& m : maps) {
+    int d = resident_device(m.host);
+    if (d >= 0) {
+      chosen = d;
+      break;
+    }
+  }
+  if (chosen < 0) {
+    chosen = 0;
+    double best = queues_[0]->horizon();
+    for (int d = 1; d < device_count(); ++d) {
+      double h = queues_[static_cast<std::size_t>(d)]->horizon();
+      if (h < best) {
+        best = h;
+        chosen = d;
+      }
+    }
+  }
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(chosen)];
+  sim(chosen).sync_to(host_now());
+  q.module().make_current();
+  q.env().map_batch(maps);
+  for (const MapItem& m : maps) {
+    MapItem whole;
+    if (q.env().mapping_info(m.host, &whole, nullptr))
+      residency_[reinterpret_cast<uintptr_t>(whole.host)] = {whole.size,
+                                                             chosen};
+  }
+  align_clocks();
+  return chosen;
+}
+
+void WorkStealingScheduler::exit_data(const std::vector<MapItem>& maps) {
+  if (maps.empty()) return;
+  int dev = resident_device(maps.front().host);
+  if (dev < 0)
+    throw MapError("target exit data of a range the scheduler never placed");
+  for (const MapItem& m : maps) quiesce(m.host);
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
+  sim(dev).sync_to(host_now());
+  q.module().make_current();
+  std::vector<uintptr_t> bases;
+  for (const MapItem& m : maps) {
+    MapItem whole;
+    if (q.env().mapping_info(m.host, &whole, nullptr))
+      bases.push_back(reinterpret_cast<uintptr_t>(whole.host));
+  }
+  q.env().unmap_batch(maps);
+  for (uintptr_t b : bases)
+    if (!q.env().is_present(reinterpret_cast<const void*>(b)))
+      residency_.erase(b);
+  align_clocks();
+}
+
+void WorkStealingScheduler::update_to(const void* host, std::size_t size) {
+  int dev = resident_device(host);
+  if (dev < 0)
+    throw MapError("target update to(...) of a range the scheduler never placed");
+  quiesce(host);
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
+  sim(dev).sync_to(host_now());
+  q.module().make_current();
+  q.env().update_to(host, size);
+  align_clocks();
+}
+
+void WorkStealingScheduler::update_from(void* host, std::size_t size) {
+  int dev = resident_device(host);
+  if (dev < 0)
+    throw MapError(
+        "target update from(...) of a range the scheduler never placed");
+  quiesce(host);
+  OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
+  sim(dev).sync_to(host_now());
+  q.module().make_current();
+  q.env().update_from(host, size);
+  align_clocks();
+}
+
+}  // namespace hostrt

@@ -1,0 +1,135 @@
+// Multi-device work-stealing scheduler (DESIGN.md §5d): sits above the
+// per-device OffloadQueues and places `target nowait` tasks submitted in
+// device(auto) mode onto whichever device can start them earliest,
+// migrating their persistent data environments between devices when the
+// locality math says stealing still wins.
+//
+// The simulator executes data eagerly in enqueue order, so a task's
+// placement is decided at submit time: the central "ready-set" of the
+// classic work-stealing formulation degenerates into online list
+// scheduling against the devices' modeled `ready_at` horizons. A task
+// whose dependence edges resolve later is placed where
+// max(earliest_free(dev), dep_ready) + migration_cost(dev) is smallest —
+// an idle device with the data resident wins outright; an idle device
+// without it wins only when the peer-copy cost is below the queueing
+// delay it avoids, which is exactly the steal condition.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "hostrt/offload_queue.h"
+
+namespace hostrt {
+
+/// Scheduler-level counters (exposed to benches and tests).
+struct StealStats {
+  std::size_t tasks = 0;        // tasks routed through the scheduler
+  std::size_t steals = 0;       // tasks placed off their home device
+  std::size_t migrations = 0;   // tasks that moved >=1 resident mapping
+  std::size_t peer_copies = 0;  // cuMemcpyPeerAsync transfers issued
+  std::size_t migrated_bytes = 0;
+};
+
+class WorkStealingScheduler {
+ public:
+  /// `queues[i]` must drive device ordinal i (the runtime guarantees the
+  /// cudadev devices are numbered contiguously from 0).
+  explicit WorkStealingScheduler(std::vector<OffloadQueue*> queues);
+  ~WorkStealingScheduler();
+
+  WorkStealingScheduler(const WorkStealingScheduler&) = delete;
+  WorkStealingScheduler& operator=(const WorkStealingScheduler&) = delete;
+
+  /// Places one target region on the best device and enqueues it there.
+  /// Dependence edges are resolved globally (a predecessor may have run
+  /// on any device); persistent mappings the task needs are migrated to
+  /// the chosen device first.
+  TaskId submit(const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
+                const std::vector<DependItem>& depends = {});
+
+  /// Device ordinal a submitted task ran on.
+  int device_of(TaskId id) const;
+  const TaskRecord& record(TaskId id) const;
+
+  /// taskwait: drains every device queue, then realigns the clocks.
+  void sync();
+  /// Advances the host clock past one task's completion.
+  void wait(TaskId id);
+  /// Host access to `host`: folds in the tasks of *every* queue that
+  /// touched the address (a stolen task's copy-backs live on the thief).
+  void quiesce(const void* host);
+
+  // --- data directives in auto mode ------------------------------------
+  /// target (enter) data: places the environment on the device where the
+  /// items are already resident, else on the least-loaded device.
+  /// Returns the chosen device ordinal.
+  int enter_data(const std::vector<MapItem>& maps);
+  /// target exit data / end of target data: quiesces across all queues,
+  /// then unmaps on the owning device.
+  void exit_data(const std::vector<MapItem>& maps);
+  void update_to(const void* host, std::size_t size);
+  void update_from(void* host, std::size_t size);
+  /// Device ordinal owning the mapping containing `host`; -1 if none.
+  int resident_device(const void* host) const;
+
+  const StealStats& stats() const { return stats_; }
+  int device_count() const { return static_cast<int>(queues_.size()); }
+
+  /// The single host thread's clock is the max over the per-device sim
+  /// clocks (host work may have advanced any one of them last).
+  double host_now() const;
+  /// Folds every device clock up to host_now() (after a synchronizing
+  /// operation the host has observed all of them).
+  void align_clocks();
+
+ private:
+  // Cross-device access history per host address: completion event, end
+  // time and device of the last writer, and of every reader since.
+  struct Ev {
+    cudadrv::CUevent event = nullptr;
+    double end_s = 0;
+    int dev = -1;
+  };
+  struct Access {
+    Ev writer;
+    std::vector<Ev> readers;
+  };
+
+  // One persistent mapping the scheduler knows the location of.
+  struct Resident {
+    std::size_t size = 0;
+    int dev = -1;
+  };
+
+  // addr -> writes, in deterministic order (same extraction rule as the
+  // queue's local table: map items write unless To, mapped kernel args
+  // are conservatively read-write, depend items write unless In).
+  static std::map<const void*, bool> accesses_of(
+      const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
+      const std::vector<DependItem>& depends);
+
+  // Distinct resident mappings among `maps` NOT on `dev`, by base.
+  std::vector<const void*> foreign_residents(const std::vector<MapItem>& maps,
+                                             int dev) const;
+  std::size_t resident_bytes_on(const std::vector<MapItem>& maps,
+                                int dev) const;
+
+  // Moves the mapping containing `base` to `dev` with a peer copy on the
+  // migration stream; returns the transfer's completion event.
+  cudadrv::CUevent migrate(const void* base, int dev);
+
+  cudadrv::CUstream migration_stream(int dev);
+  jetsim::Device& sim(int dev) const;
+
+  std::vector<OffloadQueue*> queues_;
+  std::vector<cudadrv::CUstream> mig_streams_;  // lazily created, per device
+  uint64_t epoch_ = 0;
+  std::map<const void*, Access> table_;
+  std::map<uintptr_t, Resident> residency_;  // mapping base -> location
+  std::map<TaskId, int> placement_;          // task -> device ordinal
+  StealStats stats_;
+};
+
+}  // namespace hostrt

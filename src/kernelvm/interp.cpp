@@ -316,8 +316,11 @@ void Interp::exec_offload(const Stmt* s, Env& env) {
   const KernelInfo& k = prog_.kernels[static_cast<size_t>(s->kernel_index)];
   hostrt::Runtime& rt = hostrt::Runtime::instance();
 
-  int dev = k.device ? static_cast<int>(eval(k.device, env).as_int())
-                     : rt.default_device();
+  // device(auto) regions carry no expression: the scheduler sentinel
+  // hands placement to the runtime's work-stealing scheduler.
+  int dev = k.device_auto ? hostrt::Runtime::kDeviceAuto
+            : k.device    ? static_cast<int>(eval(k.device, env).as_int())
+                          : rt.default_device();
 
   long long threads = k.num_threads
                           ? eval(k.num_threads, env).as_int()

@@ -5,6 +5,11 @@
 
 namespace jetsim {
 
+double peer_copy_seconds(const DriverCosts& costs, std::size_t bytes) {
+  return costs.memcpy_peer_overhead_s +
+         static_cast<double>(bytes) / costs.memcpy_peer_bandwidth;
+}
+
 int TimingModel::occupancy_blocks(unsigned threads_per_block,
                                   std::size_t shared_mem_per_block) const {
   if (threads_per_block == 0) return 1;

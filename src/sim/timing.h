@@ -72,7 +72,17 @@ struct DriverCosts {
   double module_load_cubin_s_per_kb = 3e-6;
   double jit_compile_s_per_kb = 450e-6;  // PTX JIT at first load
   double jit_cache_hit_s_per_kb = 8e-6;  // warm JIT disk cache
+  // Device-to-device peer transfers (cuMemcpyPeerAsync): both devices'
+  // DMA engines participate and the payload crosses the shared
+  // interconnect once, so the rate sits between the pageable and pinned
+  // host paths; the overhead is higher than a plain memcpy because two
+  // driver contexts are involved.
+  double memcpy_peer_overhead_s = 8e-6;
+  double memcpy_peer_bandwidth = 18e9;
 };
+
+/// Modeled duration of one device-to-device peer copy of `bytes`.
+double peer_copy_seconds(const DriverCosts& costs, std::size_t bytes);
 
 /// Aggregated accounting for one block after it retires.
 struct BlockAccount {

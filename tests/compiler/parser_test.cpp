@@ -339,5 +339,30 @@ TEST(Parser, NowaitAcceptedOnWorksharingLoop) {
   EXPECT_TRUE(omp->omp_nowait);
 }
 
+TEST(Parser, DeviceClauseAcceptsAutoAndExpressions) {
+  // device(auto) is the scheduler sentinel, not an expression; `auto` is
+  // an ordinary identifier elsewhere so only this exact form triggers it.
+  auto p = parse(R"(
+    void f(float y[], int n) {
+      #pragma omp target device(auto) map(tofrom: y[0:n])
+      { y[0] = 1.0f; }
+      #pragma omp target device(n - 1) map(tofrom: y[0:n])
+      { y[0] = 2.0f; }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const Stmt* body = p->unit->functions[0]->body;
+
+  const OmpClause* c0 = body->body[0]->find_clause(OmpClause::Kind::Device);
+  ASSERT_NE(c0, nullptr);
+  EXPECT_TRUE(c0->device_auto);
+  EXPECT_EQ(c0->arg, nullptr);
+
+  const OmpClause* c1 = body->body[1]->find_clause(OmpClause::Kind::Device);
+  ASSERT_NE(c1, nullptr);
+  EXPECT_FALSE(c1->device_auto);
+  ASSERT_NE(c1->arg, nullptr);
+  EXPECT_EQ(c1->arg->kind, Expr::Kind::Binary);
+}
+
 }  // namespace
 }  // namespace ompi

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
+
+#include "sim/timing.h"
 
 namespace cudadrv {
 namespace {
@@ -259,6 +262,117 @@ TEST_F(DriverApi, EventQueryReportsPendingStreamWork) {
       << "the stream's queued copy has not completed in modeled time";
   ASSERT_EQ(cuStreamSynchronize(s), CUDA_SUCCESS);
   EXPECT_EQ(cuEventQuery(ev), CUDA_SUCCESS);
+}
+
+TEST_F(DriverApi, SimDeviceCountConfiguresNextInit) {
+  cuSimSetDeviceCount(3);
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  int n = 0;
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  EXPECT_EQ(n, 3);
+  EXPECT_EQ(cuSimDeviceCount(), 3);
+
+  // Every ordinal is a full device with its own timeline and memory.
+  CUdevice dev = -1;
+  ASSERT_EQ(cuDeviceGet(&dev, 2), CUDA_SUCCESS);
+  EXPECT_EQ(cuDeviceGet(&dev, 3), CUDA_ERROR_INVALID_DEVICE);
+
+  // Changing the count while initialized has no effect on this board.
+  cuSimSetDeviceCount(5);
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  EXPECT_EQ(n, 3);
+
+  // Reset restores the single-GPU board default.
+  cuSimReset();
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(DriverApi, SimDeviceCountClampsOutOfRangeValues) {
+  cuSimSetDeviceCount(0);
+  EXPECT_EQ(cuSimDeviceCount(), 1);
+  cuSimSetDeviceCount(99);
+  EXPECT_EQ(cuSimDeviceCount(), 16);
+  cuSimSetDeviceCount(-4);
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  int n = 0;
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  EXPECT_EQ(n, 1);
+}
+
+TEST_F(DriverApi, MemcpyPeerAsyncMovesDataAndChargesPeerModel) {
+  cuSimSetDeviceCount(2);
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+
+  CUcontext ctx0, ctx1;
+  ASSERT_EQ(cuCtxCreate(&ctx0, 0, 0), CUDA_SUCCESS);
+  const std::size_t bytes = 1 << 20;
+  std::vector<char> src_host(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    src_host[i] = static_cast<char>(i * 31 + 7);
+  CUdeviceptr src = 0;
+  ASSERT_EQ(cuMemAlloc(&src, bytes), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(src, src_host.data(), bytes), CUDA_SUCCESS);
+
+  ASSERT_EQ(cuCtxCreate(&ctx1, 0, 1), CUDA_SUCCESS);
+  CUdeviceptr dst = 0;
+  ASSERT_EQ(cuMemAlloc(&dst, bytes), CUDA_SUCCESS);
+  CUstream s;
+  ASSERT_EQ(cuStreamCreate(&s, 0), CUDA_SUCCESS);
+
+  // The transfer can start no earlier than the destination device's
+  // clock (cuMemAlloc above already advanced it past the stream's ready).
+  double base = std::max(cuSimStreamReady(s), cuSimDevice(1).now());
+  ASSERT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, bytes, s), CUDA_SUCCESS);
+  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  double expect = jetsim::peer_copy_seconds(c, bytes);
+  EXPECT_NEAR(cuSimStreamReady(s) - base, expect, expect * 1e-9)
+      << "the peer copy is charged on the destination stream";
+
+  // The work log records the transfer as a P2P op of the right size.
+  const std::vector<StreamOp>& ops = cuSimStreamOps(s);
+  ASSERT_FALSE(ops.empty());
+  EXPECT_EQ(ops.back().kind, StreamOp::Kind::P2P);
+  EXPECT_EQ(ops.back().bytes, bytes);
+
+  // Data is already on device 1 (eager execution, modeled time aside).
+  ASSERT_EQ(cuStreamSynchronize(s), CUDA_SUCCESS);
+  std::vector<char> back(bytes);
+  ASSERT_EQ(cuMemcpyDtoH(back.data(), dst, bytes), CUDA_SUCCESS);
+  EXPECT_EQ(std::memcmp(back.data(), src_host.data(), bytes), 0);
+}
+
+TEST_F(DriverApi, MemcpyPeerAsyncValidatesDevicesAndNullStreamIsSync) {
+  cuSimSetDeviceCount(2);
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx0, ctx1;
+  ASSERT_EQ(cuCtxCreate(&ctx0, 0, 0), CUDA_SUCCESS);
+  const std::size_t bytes = 64 * 1024;
+  std::vector<char> host(bytes, 42);
+  CUdeviceptr src = 0;
+  ASSERT_EQ(cuMemAlloc(&src, bytes), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(src, host.data(), bytes), CUDA_SUCCESS);
+  ASSERT_EQ(cuCtxCreate(&ctx1, 0, 1), CUDA_SUCCESS);
+  CUdeviceptr dst = 0;
+  ASSERT_EQ(cuMemAlloc(&dst, bytes), CUDA_SUCCESS);
+
+  EXPECT_EQ(cuMemcpyPeerAsync(dst, 1, src, 5, bytes, nullptr),
+            CUDA_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(cuMemcpyPeerAsync(dst, -1, src, 0, bytes, nullptr),
+            CUDA_ERROR_INVALID_DEVICE);
+  EXPECT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, 0, nullptr),
+            CUDA_ERROR_INVALID_VALUE);
+
+  // A null stream performs the copy host-synchronously: the current
+  // context's clock advances past the transfer.
+  double t0 = cuSimDevice(1).now();
+  ASSERT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, bytes, nullptr), CUDA_SUCCESS);
+  double expect = jetsim::peer_copy_seconds(cuSimDriverCosts(), bytes);
+  EXPECT_GE(cuSimDevice(1).now() - t0, expect * (1 - 1e-9));
+  std::vector<char> back(bytes);
+  ASSERT_EQ(cuMemcpyDtoH(back.data(), dst, bytes), CUDA_SUCCESS);
+  EXPECT_EQ(back, host);
 }
 
 TEST_F(DriverApi, ErrorNamesAreStable) {

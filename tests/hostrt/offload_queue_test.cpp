@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "cudadrv/cuda.h"
@@ -384,6 +385,63 @@ TEST_F(OffloadQueueTest, NowaitWithoutDependsStillQuiescesByAccess) {
                                maps);
   rt.queue(0)->quiesce(y.data());
   EXPECT_GE(now(), rt.queue(0)->record(id).end_s);
+}
+
+TEST_F(OffloadQueueTest, TotalsAggregateEveryTasksStats) {
+  // The queue's running totals are the scheduler's load metric: they
+  // must equal the field-wise sum over the individual task records.
+  const int n = 4096;
+  Runtime& rt = Runtime::instance();
+  std::vector<AtaxTask> tasks;
+  for (int i = 0; i < 3; ++i) tasks.emplace_back(n / 4);
+  std::vector<TaskId> ids;
+  for (AtaxTask& t : tasks)
+    ids.push_back(rt.target_nowait(
+        0, atax_spec(t.a.data(), t.x.data(), t.y.data(), n / 4), t.maps()));
+  rt.sync(0);
+
+  OffloadQueue& q = *rt.queue(0);
+  EXPECT_EQ(q.task_count(), ids.size());
+  double exec = 0, h2d = 0, d2h = 0;
+  for (TaskId id : ids) {
+    exec += q.record(id).stats.exec_s;
+    h2d += q.record(id).stats.h2d_s;
+    d2h += q.record(id).stats.d2h_s;
+  }
+  EXPECT_DOUBLE_EQ(q.totals().exec_s, exec);
+  EXPECT_DOUBLE_EQ(q.totals().h2d_s, h2d);
+  EXPECT_DOUBLE_EQ(q.totals().d2h_s, d2h);
+  EXPECT_GT(q.totals().exec_s, 0.0);
+  EXPECT_GT(q.totals().h2d_s, 0.0);
+}
+
+TEST_F(OffloadQueueTest, RecordLooksUpNonContiguousTaskIds) {
+  // With the process-wide id allocator the ids a queue stores need not
+  // be dense or start at zero; lookup goes through the id index, and a
+  // foreign id reports out_of_range instead of scanning garbage.
+  const int n = 2048;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  Runtime& rt = Runtime::instance();
+  std::vector<MapItem> maps = {
+      {x.data(), n * sizeof(float), MapType::To},
+      {y.data(), n * sizeof(float), MapType::ToFrom},
+  };
+  rt.target_nowait(0, saxpy_spec(1.0f, x.data(), y.data(), n), maps);
+  // Explicit sparse ids, as the scheduler would hand out.
+  EnqueueOptions a, b;
+  a.id = 41;
+  b.id = 1007;
+  OffloadQueue& q = *rt.queue(0);
+  TaskId ia = q.enqueue(saxpy_spec(1.0f, x.data(), y.data(), n), maps, {}, a);
+  TaskId ib = q.enqueue(saxpy_spec(1.0f, x.data(), y.data(), n), maps, {}, b);
+  q.sync();
+
+  EXPECT_EQ(ia, 41u);
+  EXPECT_EQ(ib, 1007u);
+  EXPECT_EQ(q.record(41).id, 41u);
+  EXPECT_EQ(q.record(1007).id, 1007u);
+  EXPECT_GE(q.record(1007).start_s, q.record(41).queued_at);
+  EXPECT_THROW(q.record(7), std::out_of_range);
 }
 
 }  // namespace

@@ -127,6 +127,71 @@ TEST(Pipeline, DeviceClauseSelectsTheOnlyGpu) {
   EXPECT_EQ(p->vm->call_host("main").as_int(), 7);
 }
 
+TEST(Pipeline, DeviceAutoSpreadsIndependentRegionsAcrossTwoGpus) {
+  // Full pipeline of the work-stealing scheduler: four independent
+  // `target nowait device(auto)` regions on a two-GPU board must all
+  // compute correctly while the scheduler spreads them over the pool.
+  auto p = make_vm(R"(
+    float r0[256]; float r1[256]; float r2[256]; float r3[256];
+    int main(void) {
+      int n = 256;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(from: r0[0:n])
+      for (int i = 0; i < n; i++) r0[i] = i + 0;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(from: r1[0:n])
+      for (int i = 0; i < n; i++) r1[i] = i + 1;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(from: r2[0:n])
+      for (int i = 0; i < n; i++) r2[i] = i + 2;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(from: r3[0:n])
+      for (int i = 0; i < n; i++) r3[i] = i + 3;
+      #pragma omp taskwait
+      for (int i = 0; i < n; i++) {
+        if (r0[i] != i + 0.0f) return 1;
+        if (r1[i] != i + 1.0f) return 2;
+        if (r2[i] != i + 2.0f) return 3;
+        if (r3[i] != i + 3.0f) return 4;
+      }
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  hostrt::Runtime::set_num_devices(2);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  const hostrt::StealStats& st =
+      hostrt::Runtime::instance().scheduler().stats();
+  EXPECT_EQ(st.tasks, 4u);
+  EXPECT_GE(st.steals, 1u);  // at least one region left device 0
+  hostrt::Runtime::reset();
+}
+
+TEST(Pipeline, DeviceAutoDependChainStaysOrderedAcrossGpus) {
+  // A producer/consumer pair under device(auto): wherever the scheduler
+  // places the two regions, the depend(in/out) edge must serialize them
+  // and the consumer must see the producer's output.
+  auto p = make_vm(R"(
+    float x[256]; float y[256];
+    int main(void) {
+      int n = 256;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(from: x[0:n]) depend(out: x)
+      for (int i = 0; i < n; i++) x[i] = i;
+      #pragma omp target teams distribute parallel for nowait \
+              device(auto) map(to: x[0:n]) map(from: y[0:n]) depend(in: x)
+      for (int i = 0; i < n; i++) y[i] = 2.0f * x[i];
+      #pragma omp taskwait
+      for (int i = 0; i < n; i++)
+        if (y[i] != 2.0f * i) return i + 1;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  hostrt::Runtime::set_num_devices(2);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+  EXPECT_EQ(hostrt::Runtime::instance().scheduler().stats().tasks, 2u);
+  hostrt::Runtime::reset();
+}
+
 TEST(Pipeline, LargeProgramManyKernels) {
   // Eight distinct target constructs in one unit: each gets its own
   // kernel file (paper §3.3) and its own module load.
