@@ -146,6 +146,14 @@ void AppHarness::target(const std::string& kernel, unsigned teams_x,
         kernel.c_str(), stats.stream, stats.total(), stats.load_s,
         stats.prepare_s, stats.exec_s, stats.queued_s, stats.h2d_s,
         stats.d2h_s);
+    if (stats.red_global_atomics)
+      std::printf(
+          "[offload] %-24s reduction combines: warp=%llu smem=%llu "
+          "global_atomics=%llu\n",
+          kernel.c_str(),
+          static_cast<unsigned long long>(stats.red_warp_combines),
+          static_cast<unsigned long long>(stats.red_smem_combines),
+          static_cast<unsigned long long>(stats.red_global_atomics));
   }
 }
 

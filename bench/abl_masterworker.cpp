@@ -73,6 +73,88 @@ double run_masterworker(long long n, int regions) {
   return acc.time_s * 1e3;
 }
 
+// --- reduction epilogue ablation ---------------------------------------
+// The same reduction loop with the seed epilogue (every thread RMWs the
+// result address; the RMWs drain through the device's atomic unit) vs
+// the hierarchical engine (warp shuffle tree -> shared slots -> one
+// atomic per team), in both lowering modes.
+
+double run_combined_reduce(long long n, bool hier) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {8};
+  cfg.block = {128};
+  cfg.shared_mem = devrt::reserved_shmem();
+  cfg.kernel_name = hier ? "combined_red_hier" : "combined_red_naive";
+  cfg.model_only = true;
+  long long target = 0;
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    devrt::combined_init(ctx);
+    long long partial = 0;
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    devrt::Chunk mine;
+    if (team.valid) mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_cycles(4);
+      ++partial;
+    }
+    if (hier) {
+      devrt::red_begin(ctx);
+      devrt::red_contrib(ctx, &target, partial, devrt::RedOp::Sum);
+      devrt::red_end(ctx);
+    } else {
+      ctx.atomic_add(&target, partial);
+    }
+  });
+  return acc.time_s * 1e3;
+}
+
+struct ReduceArgs {
+  long long n;
+  long long* target;
+  bool hier;
+};
+
+void reduce_region_fn(KernelCtx& ctx, void* vp) {
+  auto* a = static_cast<ReduceArgs*>(vp);
+  long long partial = 0;
+  devrt::Chunk mine = devrt::get_static_chunk(ctx, 0, a->n);
+  for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+    ctx.charge_cycles(4);
+    ++partial;
+  }
+  if (a->hier) {
+    devrt::red_begin(ctx);
+    devrt::red_contrib(ctx, a->target, partial, devrt::RedOp::Sum);
+    devrt::red_end(ctx);
+  } else {
+    ctx.atomic_add(a->target, partial);
+  }
+}
+
+double run_masterworker_reduce(long long n, bool hier) {
+  jetsim::Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(devrt::kMWBlockThreads)};
+  cfg.shared_mem = devrt::reserved_shmem();
+  cfg.kernel_name = hier ? "mw_red_hier" : "mw_red_naive";
+  cfg.model_only = true;
+  long long target = 0;
+  auto acc = dev.launch(cfg, [&](KernelCtx& ctx) {
+    devrt::target_init(ctx);
+    if (devrt::in_masterwarp(ctx)) {
+      if (!devrt::is_masterthr(ctx)) return;
+      ReduceArgs args{n, &target, hier};
+      devrt::register_parallel(ctx, &reduce_region_fn, &args, 96);
+      devrt::exit_target(ctx);
+    } else {
+      devrt::workerfunc(ctx);
+    }
+  });
+  return acc.time_s * 1e3;
+}
+
 }  // namespace
 
 int main() {
@@ -91,5 +173,24 @@ int main() {
   std::printf("\nThe master/worker scheme amortizes its barrier protocol "
               "over large loops but loses 25%% of the launched threads "
               "(the masked master warp) and serializes master code.\n");
+
+  std::printf("\nReduction epilogue — per-thread global atomics vs the "
+              "hierarchical engine (modeled ms)\n");
+  std::printf("%12s  %14s  %10s  %12s  %12s\n", "iterations", "mode", "naive",
+              "hierarchical", "naive/hier");
+  for (long long n : {16384LL, 262144LL}) {
+    double cn = run_combined_reduce(n, /*hier=*/false);
+    double ch = run_combined_reduce(n, /*hier=*/true);
+    std::printf("%12lld  %14s  %10.4f  %12.4f  %11.2fx\n", n, "combined", cn,
+                ch, cn / ch);
+    double mn = run_masterworker_reduce(n, /*hier=*/false);
+    double mh = run_masterworker_reduce(n, /*hier=*/true);
+    std::printf("%12lld  %14s  %10.4f  %12.4f  %11.2fx\n", n, "master/worker",
+                mn, mh, mn / mh);
+  }
+  std::printf("\nCombined runs 8 teams whose 1024 same-address RMWs drain "
+              "through the device's atomic unit; the engine leaves one "
+              "atomic per team. The single-block master/worker region "
+              "contends less, so the engine's margin is thinner there.\n");
   return 0;
 }

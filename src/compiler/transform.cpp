@@ -45,6 +45,137 @@ bool in_string_list(const std::vector<std::string>& list,
   return false;
 }
 
+/// Collects the variables of every reduction clause nested anywhere in
+/// `s` (e.g. on a `parallel for` inside a plain target). Target-level
+/// passes use the set to keep reduction variables out of the scalar
+/// deref rewrite: their body uses are renamed to private accumulators by
+/// the loop lowering, and a (*x) wrapper would survive that rename.
+void collect_reduction_vars(const Stmt* s, std::vector<std::string>& out) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (const Stmt* c : s->body) collect_reduction_vars(c, out);
+      return;
+    case Stmt::Kind::If:
+      collect_reduction_vars(s->then_stmt, out);
+      collect_reduction_vars(s->else_stmt, out);
+      return;
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      collect_reduction_vars(s->then_stmt, out);
+      return;
+    case Stmt::Kind::Omp:
+      for (const OmpClause& c : s->omp_clauses)
+        if (c.kind == OmpClause::Kind::Reduction)
+          for (const std::string& v : c.vars)
+            if (!in_string_list(out, v)) out.push_back(v);
+      collect_reduction_vars(s->omp_body, out);
+      return;
+    default:
+      return;
+  }
+}
+
+// Numeric combiner codes embedded in generated cudadev_red_contrib
+// calls; the values mirror devrt::RedOp (asserted by transform tests).
+enum : int {
+  kRedSum = 0,
+  kRedProd = 1,
+  kRedMin = 2,
+  kRedMax = 3,
+  kRedBitAnd = 4,
+  kRedBitOr = 5,
+  kRedBitXor = 6,
+  kRedLogAnd = 7,
+  kRedLogOr = 8,
+};
+
+/// Combiner code for a reduction-clause operator spelling, or -1.
+/// OpenMP defines `-` to combine as a sum.
+int reduction_op_code(const std::string& op) {
+  if (op == "+" || op == "-") return kRedSum;
+  if (op == "*") return kRedProd;
+  if (op == "min") return kRedMin;
+  if (op == "max") return kRedMax;
+  if (op == "&") return kRedBitAnd;
+  if (op == "|") return kRedBitOr;
+  if (op == "^") return kRedBitXor;
+  if (op == "&&") return kRedLogAnd;
+  if (op == "||") return kRedLogOr;
+  return -1;
+}
+
+bool is_floating_kind(Type::Kind k) {
+  return k == Type::Kind::Float || k == Type::Kind::Double;
+}
+
+/// Identity value of a combiner for an accumulator of type `vt`, as a
+/// literal expression. Literal text is set explicitly so the generated C
+/// keeps full precision and stays a valid constant (e.g. INT_MIN cannot
+/// be spelled as a single negative literal).
+Expr* reduction_identity(AstBuilder& b, int op_code, const Type* vt) {
+  const bool flt = is_floating_kind(vt->kind);
+  auto float_lit = [&](double v, const char* text) {
+    Expr* e = b.expr(Expr::Kind::FloatLit);
+    e->float_value = v;
+    e->text = text;
+    return e;
+  };
+  auto int_text = [&](long long v, const char* text) {
+    Expr* e = b.int_lit(v);
+    e->text = text;
+    return e;
+  };
+  switch (op_code) {
+    case kRedSum:
+    case kRedBitOr:
+    case kRedBitXor:
+    case kRedLogOr:
+      return flt ? float_lit(0.0, "0.0") : b.int_lit(0);
+    case kRedProd:
+    case kRedLogAnd:
+      return flt ? float_lit(1.0, "1.0") : b.int_lit(1);
+    case kRedBitAnd:
+      return b.int_lit(-1);  // all ones at any width
+    case kRedMin:
+      switch (vt->kind) {
+        case Type::Kind::Char:
+          return b.int_lit(127);
+        case Type::Kind::Short:
+          return b.int_lit(32767);
+        case Type::Kind::Int:
+          return b.int_lit(2147483647);
+        case Type::Kind::Float:
+          return float_lit(3.402823466e38, "3.402823466e38F");
+        case Type::Kind::Double:
+          return float_lit(1.7976931348623157e308,
+                           "1.7976931348623157e308");
+        default:
+          return int_text(9223372036854775807LL, "9223372036854775807LL");
+      }
+    case kRedMax:
+      switch (vt->kind) {
+        case Type::Kind::Char:
+          return b.int_lit(-128);
+        case Type::Kind::Short:
+          return b.int_lit(-32768);
+        case Type::Kind::Int:
+          return int_text(-2147483647 - 1, "(-2147483647 - 1)");
+        case Type::Kind::Float:
+          return float_lit(-3.402823466e38, "-3.402823466e38F");
+        case Type::Kind::Double:
+          return float_lit(-1.7976931348623157e308,
+                           "-1.7976931348623157e308");
+        default:
+          return int_text(-9223372036854775807LL - 1,
+                          "(-9223372036854775807LL - 1)");
+      }
+    default:
+      return b.int_lit(0);
+  }
+}
+
 }  // namespace
 
 GpuTransform::GpuTransform(TranslationUnit& unit, Sema& sema,
@@ -108,6 +239,15 @@ void GpuTransform::build_params(KernelInfo& k, Stmt* target,
     return nullptr;
   };
 
+  // Scalars reduced anywhere inside the region default to map(tofrom):
+  // the reduced value must round-trip (OpenMP's implicit data-sharing
+  // rule for reduction symbols on target constructs).
+  std::vector<std::string> reduction_vars;
+  if (const OmpClause* r =
+          find_clause(target->omp_clauses, OmpClause::Kind::Reduction))
+    for (const std::string& v : r->vars) reduction_vars.push_back(v);
+  collect_reduction_vars(target->omp_body, reduction_vars);
+
   for (const VarDecl* var : captured) {
     KernelParam p;
     p.name = var->name;
@@ -135,7 +275,10 @@ void GpuTransform::build_params(KernelInfo& k, Stmt* target,
     } else {
       // Scalar: to/alloc (or unmapped) travels by value; from/tofrom
       // must round-trip, so it becomes a one-element mapping.
-      OmpMapType mt = m ? m->map_type : OmpMapType::To;
+      OmpMapType mt = m ? m->map_type
+                        : in_string_list(reduction_vars, var->name)
+                              ? OmpMapType::ToFrom
+                              : OmpMapType::To;
       if (mt == OmpMapType::From || mt == OmpMapType::ToFrom) {
         p.is_pointer = true;
         p.deref_in_body = true;
@@ -335,15 +478,22 @@ void GpuTransform::transform_target(Stmt* target, FuncDecl& host_fn) {
   fn->return_type = b_.basic(Type::Kind::Void);
   fn->loc = target->loc;
   RewriteMap rewrites;
-  const OmpClause* reduction =
-      find_clause(target->omp_clauses, OmpClause::Kind::Reduction);
+  // Reduction variables at any level — the target's own clause (combined
+  // constructs merge inner clauses up) or one on a nested worksharing
+  // construct in master/worker mode — skip the deref rewrite: the loop
+  // lowering renames their body uses to private accumulators, and a
+  // (*x) wrapper would survive that rename as a stray dereference.
+  std::vector<std::string> reduction_vars;
+  if (const OmpClause* reduction =
+          find_clause(target->omp_clauses, OmpClause::Kind::Reduction))
+    for (const std::string& v : reduction->vars) reduction_vars.push_back(v);
+  collect_reduction_vars(target->omp_body, reduction_vars);
   for (const KernelParam& p : k.params) {
     const Type* pt;
     if (p.is_pointer) {
       pt = p.host_type->is_pointerish() ? b_.ptr_to(p.host_type->elem)
                                         : b_.ptr_to(p.host_type);
-      bool is_reduction_var =
-          reduction && in_string_list(reduction->vars, p.name);
+      bool is_reduction_var = in_string_list(reduction_vars, p.name);
       if (p.deref_in_body && !is_reduction_var)
         rewrites[p.decl] = {RewriteAction::Kind::DerefAs, p.name};
     } else {
@@ -488,18 +638,22 @@ Stmt* GpuTransform::lower_loop(KernelInfo& k, Stmt* loop,
         b_.decl_stmt(b_.var(ll, hi_name, b_.ident(total_name))));
   }
 
-  // Reduction handling: local accumulators replace the shared variable
-  // inside the loop body; atomics merge them afterwards.
+  // Reduction handling: private accumulators initialized to the
+  // combiner's identity replace the shared variable inside the loop
+  // body; the epilogue funnels them through the hierarchical engine
+  // (warp shuffle -> shared slots -> one global atomic per team).
   const OmpClause* reduction =
       find_clause(clauses, OmpClause::Kind::Reduction);
   std::vector<Stmt*> reduction_epilogue;
   if (reduction) {
-    if (reduction->reduction_op != "+") {
-      diags_.error(reduction->loc,
-                   "only reduction(+) is supported in device regions");
-    }
+    const int op_code = reduction_op_code(reduction->reduction_op);
+    if (op_code < 0)
+      diags_.error(reduction->loc, "unsupported reduction operator '" +
+                                       reduction->reduction_op + "'");
     RewriteMap red_map;
-    for (const std::string& var : reduction->vars) {
+    std::vector<Stmt*> contribs;
+    for (const std::string& var :
+         op_code < 0 ? std::vector<std::string>{} : reduction->vars) {
       const KernelParam* param = nullptr;
       for (const KernelParam& p : k.params)
         if (p.name == var) param = &p;
@@ -509,17 +663,31 @@ Stmt* GpuTransform::lower_loop(KernelInfo& k, Stmt* loop,
                          "' must be a mapped tofrom/from scalar");
         continue;
       }
-      std::string local = "__red_" + var;
       const Type* vt = param->host_type;
-      out.push_back(b_.decl_stmt(b_.var(vt, local, b_.int_lit(0))));
+      if (is_floating_kind(vt->kind) &&
+          (op_code == kRedBitAnd || op_code == kRedBitOr ||
+           op_code == kRedBitXor)) {
+        diags_.error(reduction->loc,
+                     "bitwise reduction operator '" +
+                         reduction->reduction_op +
+                         "' is invalid for floating-point variable '" + var +
+                         "'");
+        continue;
+      }
+      std::string local = "__red_" + var;
+      out.push_back(b_.decl_stmt(
+          b_.var(vt, local, reduction_identity(b_, op_code, vt))));
       red_map[param->decl] = {RewriteAction::Kind::RenameTo, local};
-      const char* add_fn = vt->kind == Type::Kind::Float
-                               ? "cudadev_atomic_add_float"
-                           : vt->kind == Type::Kind::Double
-                               ? "cudadev_atomic_add_double"
-                               : "cudadev_atomic_add_int";
-      reduction_epilogue.push_back(b_.expr_stmt(
-          b_.call(add_fn, {b_.ident(var), b_.ident(local)})));
+      contribs.push_back(b_.expr_stmt(
+          b_.call("cudadev_red_contrib",
+                  {b_.ident(var), b_.ident(local), b_.int_lit(op_code)})));
+    }
+    if (!contribs.empty()) {
+      reduction_epilogue.push_back(
+          b_.expr_stmt(b_.call("cudadev_red_begin", {})));
+      for (Stmt* s : contribs) reduction_epilogue.push_back(s);
+      reduction_epilogue.push_back(
+          b_.expr_stmt(b_.call("cudadev_red_end", {})));
     }
     rewrite_idents(innermost_body, red_map);
   }

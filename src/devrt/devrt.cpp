@@ -3,6 +3,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <type_traits>
 
 #include "sim/block.h"
 #include "sim/types.h"
@@ -281,21 +282,38 @@ Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk) {
   if (min_chunk <= 0) min_chunk = 1;
   BlockCtl& c = ctl(ctx);
   long long nthr = omp_num_threads(ctx);
-
-  lock_acquire(ctx, &c.ws_lock);
   Chunk out;
-  long long remaining = c.ws_ub - c.ws_next;
-  if (remaining > 0) {
+
+  // Lock-free guided grab: size a take from a snapshot of ws_next and
+  // publish it with one CAS. A failed CAS means another thread advanced
+  // the loop, so the take is recomputed from the fresh value — the
+  // divergence cost is the atomic unit's serialization, not a lock
+  // convoy. The loop is bounded: after a few failed rounds fall back to
+  // fetch-adding min_chunk (the dynamic-schedule primitive, which cannot
+  // fail), so every thread makes progress under any contention.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    long long seen = c.ws_next;
+    ctx.charge_smem(2);  // 8-byte snapshot of the shared loop state
+    long long remaining = c.ws_ub - seen;
+    if (remaining <= 0) return out;
     long long take = remaining / (2 * nthr);
     if (take < min_chunk) take = min_chunk;
     if (take > remaining) take = remaining;
-    out.lb = c.ws_next;
-    out.ub = c.ws_next + take;
-    out.valid = true;
-    c.ws_next += take;
+    if (ctx.atomic_cas(&c.ws_next, seen, seen + take) == seen) {
+      out.lb = seen;
+      out.ub = seen + take;
+      out.valid = true;
+      ctx.spin_yield();  // interleave grabs (see dynamic)
+      return out;
+    }
+    ctx.spin_yield();
   }
-  lock_release(ctx, &c.ws_lock);
-  if (out.valid) ctx.spin_yield();  // interleave grabs (see dynamic)
+  long long v = ctx.atomic_add(&c.ws_next, min_chunk);
+  if (v >= c.ws_ub) return out;
+  out.lb = v;
+  out.ub = v + min_chunk < c.ws_ub ? v + min_chunk : c.ws_ub;
+  out.valid = true;
+  ctx.spin_yield();
   return out;
 }
 
@@ -376,6 +394,204 @@ void single_end(KernelCtx& ctx, bool nowait) {
 }
 
 // ---------------------------------------------------------------------
+// Hierarchical reductions (DESIGN.md §5e)
+// ---------------------------------------------------------------------
+
+namespace {
+
+RedCounters g_red_counters;
+
+int ceil_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <class T>
+T red_combine(KernelCtx& ctx, RedOp op, T a, T b) {
+  switch (op) {
+    case RedOp::Sum:
+      return a + b;
+    case RedOp::Prod:
+      return a * b;
+    case RedOp::Min:
+      return b < a ? b : a;
+    case RedOp::Max:
+      return a < b ? b : a;
+    case RedOp::LogAnd:
+      return (a != T(0) && b != T(0)) ? T(1) : T(0);
+    case RedOp::LogOr:
+      return (a != T(0) || b != T(0)) ? T(1) : T(0);
+    case RedOp::BitAnd:
+    case RedOp::BitOr:
+    case RedOp::BitXor:
+      if constexpr (std::is_integral_v<T>) {
+        if (op == RedOp::BitAnd) return a & b;
+        if (op == RedOp::BitOr) return a | b;
+        return a ^ b;
+      } else {
+        (void)ctx;
+        throw jetsim::SimError(
+            "devrt: bitwise reduction on a floating-point value");
+      }
+  }
+  throw jetsim::SimError("devrt: unknown reduction operator");
+}
+
+/// Where this thread sits in the reduction hierarchy, by mode: position
+/// among the region's participants, its warp's shared slot, and how many
+/// lanes of its warp are active (partial trailing warps shuffle over a
+/// narrower width).
+struct RedShape {
+  int participants = 1;
+  int my_pos = 0;    // 0 .. participants-1; 0 performs the global atomic
+  int lane = 0;      // position within the warp's active lanes
+  int warp_slot = 0; // index into BlockCtl::red_slot
+  int width = 1;     // active lanes of this thread's warp
+  int nwarps = 1;
+};
+
+RedShape red_shape(KernelCtx& ctx, BlockCtl& c) {
+  RedShape s;
+  switch (mode_of(c)) {
+    case Mode::Seq:
+      return s;
+    case Mode::Combined:
+      s.participants = static_cast<int>(ctx.block_dim().count());
+      s.my_pos = static_cast<int>(ctx.linear_tid());
+      break;
+    case Mode::MWRegion:
+      // Workers occupy warps 1.. and keep their lane alignment
+      // (worker_index = linear_tid - 32), so warp-relative positions
+      // equal hardware lanes and the shuffle tree applies unchanged.
+      s.participants = c.thr_nthreads;
+      s.my_pos = worker_index(ctx);
+      break;
+  }
+  s.warp_slot = s.my_pos / 32;
+  s.nwarps = (s.participants + 31) / 32;
+  s.lane = s.my_pos % 32;
+  s.width = s.participants - s.warp_slot * 32;
+  if (s.width > 32) s.width = 32;
+  return s;
+}
+
+template <class Acc>
+Acc shfl_down_acc(KernelCtx& ctx, Acc v, int delta, int width) {
+  return ctx.shfl_down(v, delta, width);
+}
+
+/// Levels 1 and 2 of the engine: warp shuffle tree, then one shared slot
+/// per warp combined by a lane-0 tree. Returns the team total (valid on
+/// the thread with my_pos == 0) and sets `*leader` there. Slots live in
+/// the BlockCtl (shared memory), which is also how master/worker regions
+/// funnel worker contributions: the slot array is the reduction frame of
+/// the team's shared-memory area (Fig. 3 stack discipline).
+template <class Acc>
+Acc hierarchical_reduce(KernelCtx& ctx, Acc v, RedOp op, bool* leader) {
+  BlockCtl& c = ctl(ctx);
+  const RedShape s = red_shape(ctx, c);
+  *leader = s.my_pos == 0;
+  if (s.participants <= 1) return v;
+
+  // Level 1: shuffle tree over the warp's active lanes. For a partial
+  // warp the first offset is the next power of two, and a lane combines
+  // only when its source lane is active (out-of-range shuffles return the
+  // caller's own value, which must not be double-counted).
+  for (int off = ceil_pow2(s.width) / 2; off >= 1; off >>= 1) {
+    Acc other = shfl_down_acc(ctx, v, off, s.width);
+    if (s.lane + off < s.width) {
+      v = red_combine(ctx, op, v, other);
+      ++g_red_counters.warp_combines;
+    }
+  }
+  if (s.nwarps == 1) return v;  // lane 0 already holds the team total
+
+  // Level 2: lane 0 of each warp parks its warp total in the warp's
+  // shared slot; a cross-warp tree halves the live slots per step.
+  static_assert(sizeof(Acc) == sizeof(unsigned long long));
+  if (s.lane == 0) {
+    std::memcpy(&c.red_slot[s.warp_slot], &v, sizeof v);
+    ctx.charge_smem(2);  // 8-byte store = two 4-byte transactions
+  }
+  barrier(ctx);
+  for (int step = 1; step < s.nwarps; step <<= 1) {
+    if (s.lane == 0 && s.warp_slot % (2 * step) == 0 &&
+        s.warp_slot + step < s.nwarps) {
+      Acc other;
+      std::memcpy(&other, &c.red_slot[s.warp_slot + step], sizeof other);
+      ctx.charge_smem(2);
+      v = red_combine(ctx, op, v, other);
+      ++g_red_counters.smem_combines;
+      std::memcpy(&c.red_slot[s.warp_slot], &v, sizeof v);
+      ctx.charge_smem(2);
+    }
+    barrier(ctx);
+  }
+  return v;
+}
+
+}  // namespace
+
+const RedCounters& red_counters() { return g_red_counters; }
+
+void red_begin(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  (void)ctl(ctx);
+}
+
+void red_contrib(KernelCtx& ctx, int* target, long long v, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  bool leader = false;
+  long long total = hierarchical_reduce(ctx, v, op, &leader);
+  if (leader) {
+    ctx.charge_atomic(target);
+    *target = static_cast<int>(
+        red_combine(ctx, op, static_cast<long long>(*target), total));
+    ++g_red_counters.global_atomics;
+  }
+}
+
+void red_contrib(KernelCtx& ctx, long long* target, long long v, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  bool leader = false;
+  long long total = hierarchical_reduce(ctx, v, op, &leader);
+  if (leader) {
+    ctx.charge_atomic(target);
+    *target = red_combine(ctx, op, *target, total);
+    ++g_red_counters.global_atomics;
+  }
+}
+
+void red_contrib(KernelCtx& ctx, float* target, double v, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  bool leader = false;
+  double total = hierarchical_reduce(ctx, v, op, &leader);
+  if (leader) {
+    ctx.charge_atomic(target);
+    *target = static_cast<float>(
+        red_combine(ctx, op, static_cast<double>(*target), total));
+    ++g_red_counters.global_atomics;
+  }
+}
+
+void red_contrib(KernelCtx& ctx, double* target, double v, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  bool leader = false;
+  double total = hierarchical_reduce(ctx, v, op, &leader);
+  if (leader) {
+    ctx.charge_atomic(target);
+    *target = red_combine(ctx, op, *target, total);
+    ++g_red_counters.global_atomics;
+  }
+}
+
+void red_end(KernelCtx& ctx) {
+  ctx.charge_cycles(kCallCost);
+  barrier(ctx);
+}
+
+// ---------------------------------------------------------------------
 // Synchronization
 // ---------------------------------------------------------------------
 
@@ -425,6 +641,9 @@ void critical_exit(KernelCtx& ctx, const char* name) {
   lock_release(ctx, &word);
 }
 
-void reset_globals() { critical_locks().clear(); }
+void reset_globals() {
+  critical_locks().clear();
+  g_red_counters = RedCounters{};
+}
 
 }  // namespace devrt

@@ -54,7 +54,11 @@ struct BlockCtl {
   // Worksharing state (one active dynamic/guided loop per team).
   long long ws_next = 0;
   long long ws_ub = 0;
-  int ws_lock = 0;
+
+  // Hierarchical reduction engine (§5e): one 8-byte slot per warp, written
+  // by each warp's lane 0 after the shuffle tree and combined by a lane-0
+  // tree before the single per-team global atomic.
+  unsigned long long red_slot[32] = {};
 
   // sections support
   int sections_remaining = 0;
@@ -143,6 +147,8 @@ void ws_loop_init(KernelCtx& ctx, long long lb, long long ub);
 Chunk get_dynamic_chunk(KernelCtx& ctx, long long chunk);
 
 /// Grabs the next guided piece: max(remaining/(2*nthr), min_chunk).
+/// Lock-free: a bounded-CAS loop on `ws_next`, so contention cost comes
+/// from the atomic unit's serialization instead of lock convoying.
 Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk);
 
 /// End-of-worksharing synchronization (no-op when nowait was given).
@@ -162,6 +168,51 @@ void sections_end(KernelCtx& ctx, bool nowait);
 bool single_begin(KernelCtx& ctx);
 void single_end(KernelCtx& ctx, bool nowait);
 
+// --- reductions (hierarchical engine, DESIGN.md §5e) -----------------------
+/// Combiner of a `reduction` clause. Values match the integer codes the
+/// compiler embeds in generated cudadev_red_contrib calls; `-` lowers to
+/// Sum (OpenMP defines the subtraction reduction to combine as a sum).
+enum class RedOp : int {
+  Sum = 0,
+  Prod = 1,
+  Min = 2,
+  Max = 3,
+  BitAnd = 4,
+  BitOr = 5,
+  BitXor = 6,
+  LogAnd = 7,
+  LogOr = 8,
+};
+
+/// Per-level combine counts, process-global and monotonic; the host
+/// runtime samples them around a launch to fill OffloadStats.
+struct RedCounters {
+  unsigned long long warp_combines = 0;   // shuffle-tree combines
+  unsigned long long smem_combines = 0;   // shared-slot tree combines
+  unsigned long long global_atomics = 0;  // one per team per variable
+};
+const RedCounters& red_counters();
+
+/// Opens the reduction epilogue of a worksharing construct. Every
+/// participant of the current region calls begin/contrib.../end in the
+/// same order.
+void red_begin(KernelCtx& ctx);
+
+/// Contributes this thread's private partial value for one reduction
+/// variable and folds the team's total into `*target` with a single
+/// global atomic (performed by the region's thread 0). Three levels:
+/// warp shuffle tree -> one shared slot per warp combined by lane 0 ->
+/// one global atomic per team. Integer variants accumulate in long long,
+/// floating variants in double.
+void red_contrib(KernelCtx& ctx, int* target, long long v, RedOp op);
+void red_contrib(KernelCtx& ctx, long long* target, long long v, RedOp op);
+void red_contrib(KernelCtx& ctx, float* target, double v, RedOp op);
+void red_contrib(KernelCtx& ctx, double* target, double v, RedOp op);
+
+/// Closes the epilogue: a region barrier so every participant observes
+/// the reduced value afterwards.
+void red_end(KernelCtx& ctx);
+
 // --- synchronization -------------------------------------------------------
 /// OpenMP barrier among the threads of the current parallel region:
 /// B2 with the X = W*ceil(N/W) rounding rule in master/worker mode,
@@ -177,8 +228,8 @@ void lock_release(KernelCtx& ctx, int* word);
 void critical_enter(KernelCtx& ctx, const char* name);
 void critical_exit(KernelCtx& ctx, const char* name);
 
-/// Resets process-global runtime tables (critical-section locks).
-/// Tests call this between scenarios.
+/// Resets process-global runtime tables (critical-section locks,
+/// reduction counters). Tests call this between scenarios.
 void reset_globals();
 
 }  // namespace devrt

@@ -398,10 +398,16 @@ OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
   const LaunchGeometry& g = spec.geometry;
   unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
                                           spec.dyn_shared_mem);
+  const devrt::RedCounters red_before = devrt::red_counters();
   check("cuLaunchKernel",
         cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
                                 g.threads_x, g.threads_y, g.threads_z, shared,
                                 nullptr, params.data(), nullptr));
+  const devrt::RedCounters red_after = devrt::red_counters();
+  stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
+  stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
+  stats.red_global_atomics =
+      red_after.global_atomics - red_before.global_atomics;
   stats.exec_s = sim.now() - t0;
   return stats;
 }
@@ -446,10 +452,18 @@ OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
   const LaunchGeometry& g = spec.geometry;
   unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
                                           spec.dyn_shared_mem);
+  // The simulated grid executes inside the call (only its timeline is
+  // deferred to the stream), so the counter delta is this kernel's.
+  const devrt::RedCounters red_before = devrt::red_counters();
   check("cuLaunchKernel",
         cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
                                 g.threads_x, g.threads_y, g.threads_z, shared,
                                 stream, params.data(), nullptr));
+  const devrt::RedCounters red_after = devrt::red_counters();
+  stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
+  stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
+  stats.red_global_atomics =
+      red_after.global_atomics - red_before.global_atomics;
   return stats;
 }
 

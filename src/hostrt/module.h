@@ -71,6 +71,12 @@ struct OffloadStats {
   uint64_t alloc_cache_misses = 0;  // device blocks that hit the driver
   uint64_t coalesced_transfers = 0; // merged H2D/D2H transfers issued
   std::size_t bytes_staged = 0;     // payload routed via pinned staging
+  // Hierarchical-reduction engine activity of this offload's kernel:
+  // combines per level, sampled around the launch (all zero when the
+  // kernel performs no reductions).
+  uint64_t red_warp_combines = 0;   // level 1: warp shuffle tree
+  uint64_t red_smem_combines = 0;   // level 2: shared-slot tree
+  uint64_t red_global_atomics = 0;  // level 3: one per team per variable
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }

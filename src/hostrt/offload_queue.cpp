@@ -108,6 +108,9 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
 
   OffloadStats launch_stats = module_->launch_async(spec, *env_, st);
   r.stats.prepare_s = launch_stats.prepare_s;
+  r.stats.red_warp_combines = launch_stats.red_warp_combines;
+  r.stats.red_smem_combines = launch_stats.red_smem_combines;
+  r.stats.red_global_atomics = launch_stats.red_global_atomics;
 
   module_->bind_stream(st);
   env_->unmap_batch({maps.rbegin(), maps.rend()});
@@ -194,6 +197,9 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   totals_.alloc_cache_misses += r.stats.alloc_cache_misses;
   totals_.coalesced_transfers += r.stats.coalesced_transfers;
   totals_.bytes_staged += r.stats.bytes_staged;
+  totals_.red_warp_combines += r.stats.red_warp_combines;
+  totals_.red_smem_combines += r.stats.red_smem_combines;
+  totals_.red_global_atomics += r.stats.red_global_atomics;
 
   index_[r.id] = records_.size();
   records_.push_back(std::move(r));

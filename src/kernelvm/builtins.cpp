@@ -190,11 +190,46 @@ Value Interp::device_builtin(const std::string& name, const Expr* call_expr,
     return Value::void_value();
   }
   if (name == "cudadev_atomic_add_double") {
-    // Emulated CAS loop on hardware; cooperative scheduling makes the
-    // plain update atomic here. Charge the atomic cost.
-    c.charge_cycles(30);
-    double* p = static_cast<double*>(argv.at(0).p);
-    *p += argv.at(1).as_float();
+    c.atomic_add(static_cast<double*>(argv.at(0).p), argv.at(1).as_float());
+    return Value::void_value();
+  }
+
+  if (name == "cudadev_red_begin") {
+    devrt::red_begin(c);
+    return Value::void_value();
+  }
+  if (name == "cudadev_red_contrib") {
+    // (target, partial, op): the target's pointee type selects the
+    // accumulator width — integers fold in long long, floats in double.
+    const Value& target = argv.at(0);
+    if (target.kind != Value::Kind::Ptr || !target.pointee)
+      throw VmError("cudadev_red_contrib: target must be a typed pointer");
+    auto op = static_cast<devrt::RedOp>(argv.at(2).as_int());
+    switch (target.pointee->kind) {
+      case Type::Kind::Float:
+        devrt::red_contrib(c, static_cast<float*>(target.p),
+                           argv.at(1).as_float(), op);
+        break;
+      case Type::Kind::Double:
+        devrt::red_contrib(c, static_cast<double*>(target.p),
+                           argv.at(1).as_float(), op);
+        break;
+      case Type::Kind::Long:
+      case Type::Kind::LongLong:
+        devrt::red_contrib(c, static_cast<long long*>(target.p),
+                           argv.at(1).as_int(), op);
+        break;
+      case Type::Kind::Int:
+        devrt::red_contrib(c, static_cast<int*>(target.p),
+                           argv.at(1).as_int(), op);
+        break;
+      default:
+        throw VmError("cudadev_red_contrib: unsupported reduction type");
+    }
+    return Value::void_value();
+  }
+  if (name == "cudadev_red_end") {
+    devrt::red_end(c);
     return Value::void_value();
   }
 

@@ -1,6 +1,7 @@
 #include "sim/block.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 #include "sim/device.h"
@@ -48,53 +49,109 @@ void KernelCtx::reconverge(int nthreads) { block_.reconverge(*this, nthreads); }
 
 void KernelCtx::spin_yield() { block_.spin_yield(*this); }
 
+void KernelCtx::charge_atomic(const void* addr) {
+  const double cost = block_.costs().atomic;
+  issue_cycles_ += cost;
+  timeline_cycles_ =
+      block_.atomic_serialize(addr, timeline_cycles_, cost) + cost;
+}
+
 int KernelCtx::atomic_cas(int* addr, int compare, int val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   int old = *addr;
   if (old == compare) *addr = val;
   return old;
 }
 
+long long KernelCtx::atomic_cas(long long* addr, long long compare,
+                                long long val) {
+  charge_atomic(addr);
+  long long old = *addr;
+  if (old == compare) *addr = val;
+  return old;
+}
+
 int KernelCtx::atomic_add(int* addr, int val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   int old = *addr;
   *addr = old + val;
   return old;
 }
 
 unsigned KernelCtx::atomic_add(unsigned* addr, unsigned val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   unsigned old = *addr;
   *addr = old + val;
   return old;
 }
 
 long long KernelCtx::atomic_add(long long* addr, long long val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   long long old = *addr;
   *addr = old + val;
   return old;
 }
 
 float KernelCtx::atomic_add(float* addr, float val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   float old = *addr;
   *addr = old + val;
   return old;
 }
 
+double KernelCtx::atomic_add(double* addr, double val) {
+  charge_atomic(addr);
+  double old = *addr;
+  *addr = old + val;
+  return old;
+}
+
 int KernelCtx::atomic_exch(int* addr, int val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   int old = *addr;
   *addr = val;
   return old;
 }
 
 int KernelCtx::atomic_max(int* addr, int val) {
-  charge_cycles(block_.costs().atomic);
+  charge_atomic(addr);
   int old = *addr;
   *addr = std::max(old, val);
   return old;
+}
+
+unsigned long long KernelCtx::shfl_down_bits(unsigned long long bits,
+                                             int delta, int width) {
+  charge_cycles(block_.costs().shfl);
+  return block_.shfl_down(*this, bits, delta, width);
+}
+
+namespace {
+template <typename T>
+unsigned long long to_bits(T v) {
+  unsigned long long bits = 0;
+  std::memcpy(&bits, &v, sizeof v);
+  return bits;
+}
+template <typename T>
+T from_bits(unsigned long long bits) {
+  T v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+}  // namespace
+
+int KernelCtx::shfl_down(int v, int delta, int width) {
+  return from_bits<int>(shfl_down_bits(to_bits(v), delta, width));
+}
+long long KernelCtx::shfl_down(long long v, int delta, int width) {
+  return from_bits<long long>(shfl_down_bits(to_bits(v), delta, width));
+}
+float KernelCtx::shfl_down(float v, int delta, int width) {
+  return from_bits<float>(shfl_down_bits(to_bits(v), delta, width));
+}
+double KernelCtx::shfl_down(double v, int delta, int width) {
+  return from_bits<double>(shfl_down_bits(to_bits(v), delta, width));
 }
 
 std::byte* KernelCtx::shmem() const { return block_.shmem(); }
@@ -109,6 +166,8 @@ BlockExec::BlockExec(Device& device, const LaunchConfig& cfg, Dim3 block_idx,
     : device_(device), cfg_(cfg), block_idx_(block_idx), fn_(&fn) {
   shmem_.assign(cfg.shared_mem, std::byte{0});
   named_.resize(static_cast<size_t>(device.props().max_named_barriers));
+  shfl_.resize((cfg.block.count() + 31) / 32);
+  shfl_out_.assign(cfg.block.count(), 0);
 
   const Dim3 bd = cfg_.block;
   unsigned linear = 0;
@@ -166,6 +225,8 @@ void BlockExec::schedule() {
     for (auto& b : named_)
       if (b.release_pending) release_named(b);
     if (reconv_.release_pending) release_reconv();
+    for (auto& s : shfl_)
+      if (s.release_pending) release_shfl(s);
     maybe_release_sync();
 
     if (!any_alive) return;
@@ -191,6 +252,12 @@ void BlockExec::report_deadlock() const {
     if (!b.waiting.empty())
       os << " bar[" << id << "]: " << b.arrived_warps.size() * 32
          << " arrived of " << b.required_threads << " required.";
+  }
+  for (size_t w = 0; w < shfl_.size(); ++w) {
+    const auto& s = shfl_[w];
+    if (!s.waiting.empty())
+      os << " shfl[warp " << w << "]: " << s.arrived_count << " arrived of "
+         << s.width << " lanes.";
   }
   throw SimError(os.str());
 }
@@ -308,6 +375,82 @@ void BlockExec::spin_yield(KernelCtx& t) {
   Fiber* f = &threads_[t.linear_tid()].fiber;
   f->set_state(Fiber::State::Ready);
   f->suspend();
+}
+
+unsigned long long BlockExec::shfl_down(KernelCtx& t, unsigned long long bits,
+                                        int delta, int width) {
+  if (width < 1 || width > 32)
+    throw SimError("shfl width out of range: " + std::to_string(width));
+  if (delta < 0 || delta >= 32)
+    throw SimError("shfl delta out of range: " + std::to_string(delta));
+  const int lane = t.lane();
+  if (lane >= width)
+    throw SimError("shfl lane " + std::to_string(lane) +
+                   " outside the exchange width " + std::to_string(width));
+
+  ShflExchange& s = shfl_[static_cast<size_t>(t.warp_id())];
+  if (s.width == 0) {
+    s.width = width;
+  } else if (s.width != width) {
+    throw SimError("shfl width mismatch in warp " +
+                   std::to_string(t.warp_id()) + ": exchange opened with " +
+                   std::to_string(s.width) + ", got " + std::to_string(width));
+  }
+  if (s.arrived[lane])
+    throw SimError("lane " + std::to_string(lane) +
+                   " joined the same shfl exchange twice (missing lanes in "
+                   "warp " +
+                   std::to_string(t.warp_id()) + "?)");
+  s.arrived[lane] = true;
+  s.bits[lane] = bits;
+  s.delta[lane] = delta;
+  s.waiting.push_back(t.linear_tid());
+  if (++s.arrived_count >= s.width)
+    s.release_pending = true;  // released at the end of the scheduler pass
+
+  Fiber* f = &threads_[t.linear_tid()].fiber;
+  f->set_state(Fiber::State::Blocked);
+  f->suspend();
+  return shfl_out_[t.linear_tid()];
+}
+
+void BlockExec::release_shfl(ShflExchange& s) {
+  // The shuffle executes warp-synchronously: every participating lane
+  // leaves at the timeline of the slowest one.
+  double max_cycles = 0;
+  for (unsigned tid : s.waiting)
+    max_cycles = std::max(max_cycles, threads_[tid].ctx.timeline_cycles());
+  for (unsigned tid : s.waiting) {
+    KernelCtx& ctx = threads_[tid].ctx;
+    const int lane = ctx.lane();
+    const int src = lane + s.delta[lane];
+    // CUDA semantics: an out-of-range source returns the caller's own
+    // value.
+    shfl_out_[tid] = src < s.width ? s.bits[src] : s.bits[lane];
+    ctx.align_cycles(max_cycles);
+    threads_[tid].fiber.set_state(Fiber::State::Ready);
+  }
+  s.waiting.clear();
+  std::fill(std::begin(s.arrived), std::end(s.arrived), false);
+  s.width = 0;
+  s.arrived_count = 0;
+  s.release_pending = false;
+}
+
+double BlockExec::atomic_serialize(const void* addr, double now, double cost) {
+  // Global-memory atomics additionally occupy the device's single atomic
+  // unit: same-address RMWs from *every* block of the launch drain
+  // through it one at a time, which run_grid() folds into the launch's
+  // critical path. Shared-memory atomics resolve in the SM's own banks —
+  // and the shmem heap buffer address is reused by the sequentially
+  // simulated blocks — so they stay block-local.
+  const std::byte* p = static_cast<const std::byte*>(addr);
+  if (shmem_.empty() || p < shmem_.data() || p >= shmem_.data() + shmem_.size())
+    device_.note_global_atomic(addr, cost);
+  double& free_at = atomic_free_[addr];
+  const double start = std::max(now, free_at);
+  free_at = start + cost;
+  return start;
 }
 
 }  // namespace jetsim

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -46,6 +48,17 @@ class BlockExec {
   void named_barrier(KernelCtx& t, int id, int nthreads);
   void reconverge(KernelCtx& t, int nthreads);
   void spin_yield(KernelCtx& t);
+
+  /// Warp-synchronous shuffle rendezvous: blocks until all `width` lanes
+  /// of the caller's warp have arrived, then hands every lane the bits of
+  /// lane (pos + its delta), or its own bits when out of range.
+  unsigned long long shfl_down(KernelCtx& t, unsigned long long bits,
+                               int delta, int width);
+
+  /// Serialization point of the per-address atomic unit: returns the
+  /// earliest start cycle for an atomic on `addr` given the caller is at
+  /// `now`, and advances the address's release point by `cost`.
+  double atomic_serialize(const void* addr, double now, double cost);
 
   const Dim3& block_idx() const { return block_idx_; }
   const Dim3& block_dim() const { return cfg_.block; }
@@ -89,9 +102,24 @@ class BlockExec {
     bool release_pending = false;
   };
 
+  // One in-flight shuffle exchange per warp. Lanes arrive one by one
+  // (fibers); results are computed and handed out when lane `width - 1`
+  // completes the set, released at the end of the scheduler pass like the
+  // other warp-synchronous primitives.
+  struct ShflExchange {
+    std::vector<unsigned> waiting;       // linear tids, arrival order
+    unsigned long long bits[32] = {};    // value of lane i
+    int delta[32] = {};                  // delta passed by lane i
+    bool arrived[32] = {};
+    int width = 0;                       // 0 = no open exchange
+    int arrived_count = 0;
+    bool release_pending = false;
+  };
+
   void schedule();
   void release_named(NamedBarrier& b);
   void release_reconv();
+  void release_shfl(ShflExchange& s);
   void maybe_release_sync();
   unsigned alive_count() const;
   [[noreturn]] void report_deadlock() const;
@@ -105,6 +133,9 @@ class BlockExec {
   std::vector<NamedBarrier> named_;
   SyncBarrier sync_;
   ReconvBarrier reconv_;
+  std::vector<ShflExchange> shfl_;          // one per warp of the block
+  std::vector<unsigned long long> shfl_out_;  // per-thread shuffle result
+  std::map<const void*, double> atomic_free_;  // per-address release cycle
 };
 
 }  // namespace jetsim

@@ -109,6 +109,7 @@ LaunchAccount Device::run_grid(const LaunchConfig& cfg, const KernelFn& fn) {
   acc.kernel_name = cfg.kernel_name;
   acc.threads_per_block = cfg.block.count();
   acc.shared_mem_per_block = cfg.shared_mem;
+  atomic_busy_.clear();  // atomic-unit contention is per launch
 
   const Dim3 g = cfg.grid;
   const unsigned nblocks = g.count();
@@ -141,9 +142,12 @@ LaunchAccount Device::run_grid(const LaunchConfig& cfg, const KernelFn& fn) {
     acc.total_dram_bytes *= scale;
     acc.sum_wave_critical_cycles *= scale;
     acc.blocks = nblocks;
+    for (auto& [addr, busy] : atomic_busy_) busy *= scale;
   } else {
     for (unsigned linear = 0; linear < nblocks; ++linear) run_block(linear);
   }
+  for (const auto& [addr, busy] : atomic_busy_)
+    acc.atomic_serial_cycles = std::max(acc.atomic_serial_cycles, busy);
 
   timing_.finalize(acc);
   ++stats_.launches;

@@ -72,6 +72,15 @@ class Device {
                          double ready_s, double overhead_s,
                          double* start_s = nullptr);
 
+  /// Records one global-memory atomic against the device's atomic unit.
+  /// Same-address RMWs from every block of a launch funnel through the
+  /// unit, so their costs accumulate per address; run_grid() folds the
+  /// busiest address into the launch's critical path and resets the
+  /// accounting. Called by BlockExec for non-shared-memory atomics.
+  void note_global_atomic(const void* addr, double cost) {
+    atomic_busy_[addr] += cost;
+  }
+
   // --- modeled time -----------------------------------------------------
   double now() const { return clock_s_; }
   void advance_time(double seconds) { clock_s_ += seconds; }
@@ -108,6 +117,9 @@ class Device {
   // blocked on a kernel does not stall later independent transfers:
   // schedule_copy() backfills into gaps.
   std::vector<std::pair<double, double>> copy_busy_;
+  // Per-launch atomic-unit occupancy, keyed by global address; cleared at
+  // the start of each run_grid() so launches never see stale contention.
+  std::map<const void*, double> atomic_busy_;
   DeviceStats stats_;
   std::vector<LaunchAccount> launch_log_;
 

@@ -77,13 +77,39 @@ class KernelCtx {
   void spin_yield();
 
   // --- atomics (global or shared address space) ----------------------
+  // Atomic units serialize same-address RMWs: the charge raises this
+  // thread's timeline to the address's release point before adding the
+  // atomic latency, so N contending threads of a block pay ~N*atomic on
+  // the critical path while N disjoint addresses pay ~atomic each.
+  // (Blocks run sequentially on the single SM; cross-block contention is
+  // not modeled.)
   int atomic_cas(int* addr, int compare, int val);
+  long long atomic_cas(long long* addr, long long compare, long long val);
   int atomic_add(int* addr, int val);
   unsigned atomic_add(unsigned* addr, unsigned val);
   long long atomic_add(long long* addr, long long val);
   float atomic_add(float* addr, float val);
+  double atomic_add(double* addr, double val);
   int atomic_exch(int* addr, int val);
   int atomic_max(int* addr, int val);
+
+  /// Charges one contention-serialized atomic RMW on `addr` without
+  /// performing an operation. Runtimes use it to price read-modify-write
+  /// sequences they apply themselves (fibers never preempt between plain
+  /// statements, so the caller's update is already race-free).
+  void charge_atomic(const void* addr);
+
+  // --- warp shuffle ---------------------------------------------------
+  /// __shfl_down_sync over the warp's lanes 0..width-1: returns the value
+  /// `delta` lanes above the caller, or the caller's own value when the
+  /// source lane falls outside `width` (CUDA out-of-range semantics).
+  /// All `width` lanes of the warp must call it (warp-synchronous
+  /// rendezvous); a lane >= width calling, or a width disagreement within
+  /// one exchange, throws SimError. Charges the `shfl` cost.
+  int shfl_down(int v, int delta, int width = 32);
+  long long shfl_down(long long v, int delta, int width = 32);
+  float shfl_down(float v, int delta, int width = 32);
+  double shfl_down(double v, int delta, int width = 32);
 
   // --- shared memory --------------------------------------------------
   /// Base of this block's shared memory (static + dynamic region).
@@ -93,6 +119,10 @@ class KernelCtx {
   BlockExec& block() { return block_; }
 
  private:
+  /// Bit-pattern core of the typed shfl_down overloads.
+  unsigned long long shfl_down_bits(unsigned long long bits, int delta,
+                                    int width);
+
   BlockExec& block_;
   Dim3 thread_idx_;
   unsigned linear_tid_;

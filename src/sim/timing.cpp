@@ -53,6 +53,10 @@ void TimingModel::finalize(LaunchAccount& acc) const {
       acc.blocks == 0 ? 0
                       : acc.sum_wave_critical_cycles * acc.waves / acc.blocks;
   critical_cycles = std::max(critical_cycles, acc.max_block_critical_cycles);
+  // Same-address global atomics serialize at the device's single atomic
+  // unit across the whole launch; no amount of block-level overlap can
+  // retire the kernel before the busiest address drains.
+  critical_cycles = std::max(critical_cycles, acc.atomic_serial_cycles);
   double compute_cycles = std::max(throughput_cycles, critical_cycles);
   acc.compute_s = cycles_to_seconds(compute_cycles);
 

@@ -25,6 +25,7 @@ struct CostModel {
   double gmem_issue = 4.0;       // issue+AGU cost of any global access
   double smem_issue = 2.0;       // shared memory access
   double atomic = 30.0;          // global atomic (CAS/add/exch)
+  double shfl = 2.0;             // warp shuffle (shfl.down.sync)
   double barrier = 32.0;         // bar.sync convergence cost
   double branch = 1.0;           // compare + branch
   double call = 4.0;             // device function call overhead
@@ -102,6 +103,13 @@ struct LaunchAccount {
   double total_dram_bytes = 0;
   double sum_wave_critical_cycles = 0;
   double max_block_critical_cycles = 0;
+  // Busiest single global address at the device's atomic unit: the sum of
+  // atomic costs issued to it by every block of the launch. Same-address
+  // global RMWs all funnel through one unit on a 1-SM device, so this is
+  // a lower bound on the launch's critical path no matter how many blocks
+  // are resident. Shared-memory atomics resolve in the SM's banks and do
+  // not contribute (their contention is block-local).
+  double atomic_serial_cycles = 0;
   int occupancy_blocks = 0;   // resident blocks per wave
   int waves = 0;
   double compute_s = 0;

@@ -8,6 +8,7 @@
 
 #include "common/str_util.h"
 #include "compiler/compiler.h"
+#include "devrt/devrt.h"
 
 namespace ompi {
 namespace {
@@ -313,6 +314,135 @@ TEST(Transform, NonCanonicalLoopRejected) {
     })");
   EXPECT_FALSE(c->out.ok);
   EXPECT_NE(c->out.diagnostics.find("unit increment"), std::string::npos);
+}
+
+// --- reduction lowering ----------------------------------------------------
+
+// The numeric combiner codes the lowering embeds in cudadev_red_contrib
+// calls are the devrt::RedOp values; a drift here would silently change
+// the combiner every generated kernel uses.
+static_assert(static_cast<int>(devrt::RedOp::Sum) == 0);
+static_assert(static_cast<int>(devrt::RedOp::Prod) == 1);
+static_assert(static_cast<int>(devrt::RedOp::Min) == 2);
+static_assert(static_cast<int>(devrt::RedOp::Max) == 3);
+static_assert(static_cast<int>(devrt::RedOp::BitAnd) == 4);
+static_assert(static_cast<int>(devrt::RedOp::BitOr) == 5);
+static_assert(static_cast<int>(devrt::RedOp::BitXor) == 6);
+static_assert(static_cast<int>(devrt::RedOp::LogAnd) == 7);
+static_assert(static_cast<int>(devrt::RedOp::LogOr) == 8);
+
+std::string reduction_src(const std::string& op, const std::string& type) {
+  return replace_all(replace_all(R"(
+    void f(TYPE x[], int n) {
+      TYPE s = 0;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s) reduction(OP: s)
+      for (int i = 0; i < n; i++)
+        s += x[i];
+    })",
+                                 "OP", op),
+                     "TYPE", type);
+}
+
+TEST(Transform, ReductionLowersToHierarchicalEpilogue) {
+  auto c = compile_src(reduction_src("+", "float"));
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  // Identity-initialized private accumulator, loop rewritten onto it,
+  // then the begin/contrib/end protocol of the device engine.
+  EXPECT_NE(code.find("float __red_s = 0.0;"), std::string::npos);
+  EXPECT_NE(code.find("__red_s += x[i];"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_begin();"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_contrib(s, __red_s, 0);"),
+            std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_end();"), std::string::npos);
+}
+
+TEST(Transform, ReductionOperatorEmitsMatchingCombinerCode) {
+  const std::pair<const char*, int> ops[] = {
+      {"+", 0}, {"-", 0},  {"*", 1},  {"min", 2}, {"max", 3},
+      {"&", 4}, {"|", 5},  {"^", 6},  {"&&", 7},  {"||", 8},
+  };
+  for (const auto& [op, code_num] : ops) {
+    auto c = compile_src(reduction_src(op, "int"));
+    ASSERT_TRUE(c->out.ok) << "op " << op << ": " << c->out.diagnostics;
+    std::string expect =
+        "cudadev_red_contrib(s, __red_s, " + std::to_string(code_num) + ");";
+    EXPECT_NE(c->out.kernel_files[0].code.find(expect), std::string::npos)
+        << "op " << op;
+  }
+}
+
+TEST(Transform, ReductionIdentityMatchesOperatorAndType) {
+  const std::tuple<const char*, const char*, const char*> cases[] = {
+      {"*", "int", "int __red_s = 1;"},
+      {"min", "int", "int __red_s = 2147483647;"},
+      {"max", "int", "int __red_s = (-2147483647 - 1);"},
+      {"&", "int", "int __red_s = -1;"},
+      {"min", "float", "float __red_s = 3.402823466e38F;"},
+      {"max", "double", "double __red_s = -1.7976931348623157e308;"},
+  };
+  for (const auto& [op, type, expect] : cases) {
+    auto c = compile_src(reduction_src(op, type));
+    ASSERT_TRUE(c->out.ok) << "op " << op << ": " << c->out.diagnostics;
+    EXPECT_NE(c->out.kernel_files[0].code.find(expect), std::string::npos)
+        << "op " << op << " type " << type;
+  }
+}
+
+TEST(Transform, ReductionMinusCombinesAsSum) {
+  // OpenMP defines `-` to combine contributions additively.
+  auto c = compile_src(reduction_src("-", "float"));
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_NE(c->out.kernel_files[0].code.find(
+                "cudadev_red_contrib(s, __red_s, 0);"),
+            std::string::npos);
+}
+
+TEST(Transform, BitwiseReductionOnFloatRejected) {
+  auto c = compile_src(reduction_src("&", "float"));
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("reduction"), std::string::npos);
+}
+
+TEST(Transform, MasterWorkerReductionKeepsPointerTarget) {
+  // In the master/worker scheme the reduction variable is a mapped
+  // pointer shared through __vars; the lowering must not wrap it in the
+  // target-level deref rewrite (which would rename the private copy).
+  auto c = compile_src(R"(
+    void f(float x[], int n) {
+      float s = 0.0f;
+      #pragma omp target map(to: x[0:n]) map(tofrom: s)
+      {
+        #pragma omp parallel for reduction(+: s)
+        for (int i = 0; i < n; i++)
+          s += x[i];
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  EXPECT_NE(code.find("float __red_s = 0.0;"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_contrib(s, __red_s, 0);"),
+            std::string::npos);
+  EXPECT_EQ(code.find("(*__red_s)"), std::string::npos);
+  EXPECT_EQ(code.find("(*s)"), std::string::npos)
+      << "the contrib call takes the mapped pointer itself";
+}
+
+TEST(Transform, UnmappedReductionScalarDefaultsToTofrom) {
+  // Without an explicit map clause the reduction target must still be
+  // addressable on the device (implicit tofrom, not firstprivate).
+  auto c = compile_src(R"(
+    void f(int x[], int n) {
+      int s = 0;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) reduction(+: s)
+      for (int i = 0; i < n; i++)
+        s += x[i];
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_NE(c->out.kernel_files[0].code.find("cudadev_red_contrib(s,"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+// The hierarchical reduction engine (DESIGN.md §5e): warp shuffle tree,
+// shared-slot tree, one global atomic per team — across operators,
+// accumulator types and execution modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig combined_config(unsigned teams, unsigned threads) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {threads};
+  cfg.shared_mem = reserved_shmem();
+  return cfg;
+}
+
+class ReductionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_globals(); }
+};
+
+// Each thread contributes under the compiler's epilogue protocol:
+// red_begin, one contrib per reduction variable, red_end.
+template <typename Body>
+void run_combined(unsigned teams, unsigned threads, Body body) {
+  jetsim::Device dev;
+  dev.launch(combined_config(teams, threads), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    red_begin(ctx);
+    body(ctx);
+    red_end(ctx);
+  });
+}
+
+// --- operators, combined mode -----------------------------------------
+
+TEST_F(ReductionTest, SumIntAcrossTeams) {
+  int target = 10;
+  run_combined(4, 128, [&](KernelCtx& ctx) {
+    long long v = static_cast<long long>(ctx.linear_tid()) + 1;  // 1..128
+    red_contrib(ctx, &target, v, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 10 + 4 * (128 * 129 / 2));
+}
+
+TEST_F(ReductionTest, ProdInt) {
+  int target = 3;
+  run_combined(1, 64, [&](KernelCtx& ctx) {
+    long long v = ctx.linear_tid() < 3 ? 2 : 1;
+    red_contrib(ctx, &target, v, RedOp::Prod);
+  });
+  EXPECT_EQ(target, 3 * 8);
+}
+
+TEST_F(ReductionTest, MinInt) {
+  int target = 900;  // original value participates in the reduction
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    long long v = 1000 - static_cast<long long>(ctx.linear_tid());
+    red_contrib(ctx, &target, v, RedOp::Min);
+  });
+  EXPECT_EQ(target, 873);
+}
+
+TEST_F(ReductionTest, MaxInt) {
+  int target = 50;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, static_cast<long long>(ctx.linear_tid()),
+                RedOp::Max);
+  });
+  EXPECT_EQ(target, 127);
+}
+
+TEST_F(ReductionTest, BitAnd) {
+  int target = -1;
+  run_combined(1, 32, [&](KernelCtx& ctx) {
+    long long v = ~(1LL << (ctx.linear_tid() % 4));
+    red_contrib(ctx, &target, v, RedOp::BitAnd);
+  });
+  EXPECT_EQ(target, ~15);
+}
+
+TEST_F(ReductionTest, BitOr) {
+  int target = 0;
+  run_combined(1, 32, [&](KernelCtx& ctx) {
+    long long v = 1LL << (ctx.linear_tid() % 5);
+    red_contrib(ctx, &target, v, RedOp::BitOr);
+  });
+  EXPECT_EQ(target, 31);
+}
+
+TEST_F(ReductionTest, BitXorOnPartialWarp) {
+  int target = 0;
+  // 8 threads: a single warp narrower than 32 lanes.
+  run_combined(1, 8, [&](KernelCtx& ctx) {
+    long long v = static_cast<long long>(ctx.linear_tid()) + 1;  // 1..8
+    red_contrib(ctx, &target, v, RedOp::BitXor);
+  });
+  EXPECT_EQ(target, 1 ^ 2 ^ 3 ^ 4 ^ 5 ^ 6 ^ 7 ^ 8);
+}
+
+TEST_F(ReductionTest, LogAndDropsOnSingleZero) {
+  int target = 1;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    long long v = ctx.linear_tid() == 77 ? 0 : 5;
+    red_contrib(ctx, &target, v, RedOp::LogAnd);
+  });
+  EXPECT_EQ(target, 0);
+}
+
+TEST_F(ReductionTest, LogOrCatchesSingleNonzero) {
+  int target = 0;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    long long v = ctx.linear_tid() == 77 ? 9 : 0;
+    red_contrib(ctx, &target, v, RedOp::LogOr);
+  });
+  EXPECT_EQ(target, 1);
+}
+
+TEST_F(ReductionTest, LongLongSumExceedsIntRange) {
+  long long target = 0;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1LL << 32, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 128LL << 32);
+}
+
+TEST_F(ReductionTest, FloatSum) {
+  float target = 0.5f;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    // Multiples of 0.25 are exact in binary; the double accumulator
+    // keeps the tree result bit-identical to the serial sum.
+    red_contrib(ctx, &target, 0.25 * ctx.linear_tid(), RedOp::Sum);
+  });
+  EXPECT_FLOAT_EQ(target, 0.5f + 0.25f * (127 * 128 / 2));
+}
+
+TEST_F(ReductionTest, DoubleMin) {
+  double target = 0.0;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    double v = ctx.linear_tid() == 31 ? -2.5 : 1.0 * ctx.linear_tid();
+    red_contrib(ctx, &target, v, RedOp::Min);
+  });
+  EXPECT_DOUBLE_EQ(target, -2.5);
+}
+
+TEST_F(ReductionTest, BitwiseOnFloatIsAnError) {
+  jetsim::Device dev;
+  float target = 0;
+  EXPECT_THROW(dev.launch(combined_config(1, 32),
+                          [&](KernelCtx& ctx) {
+                            combined_init(ctx);
+                            red_begin(ctx);
+                            red_contrib(ctx, &target, 1.0, RedOp::BitAnd);
+                            red_end(ctx);
+                          }),
+               jetsim::SimError);
+}
+
+TEST_F(ReductionTest, ConsecutiveContribsReuseTheSlots) {
+  // Two reduction variables in one epilogue: the barrier closing each
+  // shared-slot tree makes back-to-back contribs safe on the same slots.
+  int sum = 0;
+  int max = -1;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    long long v = static_cast<long long>(ctx.linear_tid());
+    red_contrib(ctx, &sum, v, RedOp::Sum);
+    red_contrib(ctx, &max, v, RedOp::Max);
+  });
+  EXPECT_EQ(sum, 127 * 128 / 2);
+  EXPECT_EQ(max, 127);
+}
+
+// --- execution modes --------------------------------------------------
+
+TEST_F(ReductionTest, SeqModeFallsThroughToOneAtomic) {
+  jetsim::Device dev;
+  int target = 7;
+  LaunchConfig cfg = combined_config(1, 1);
+  // No *_init call: BlockCtl zero-init is Mode::Seq (a team of one).
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    red_begin(ctx);
+    red_contrib(ctx, &target, 5, RedOp::Sum);
+    red_end(ctx);
+  });
+  EXPECT_EQ(target, 12);
+  EXPECT_EQ(red_counters().warp_combines, 0u);
+  EXPECT_EQ(red_counters().smem_combines, 0u);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+struct MWRedVars {
+  int* target;
+};
+
+TEST_F(ReductionTest, MWRegionAllWorkers) {
+  jetsim::Device dev;
+  int target = 0;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  MWRedVars vars{&target};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* v = static_cast<MWRedVars*>(vp);
+            red_begin(c);
+            red_contrib(c, v->target,
+                        static_cast<long long>(omp_thread_num(c)) + 1,
+                        RedOp::Sum);
+            red_end(c);
+          },
+          &vars, 96);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(target, 96 * 97 / 2);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+TEST_F(ReductionTest, MWRegionPartialTrailingWarp) {
+  // 40 participants: one full warp plus 8 lanes of the next. Workers keep
+  // hardware lane alignment, so the trailing warp shuffles at width 8.
+  jetsim::Device dev;
+  int target = 0;
+  LaunchConfig cfg;
+  cfg.grid = {1};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  MWRedVars vars{&target};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* v = static_cast<MWRedVars*>(vp);
+            red_begin(c);
+            red_contrib(c, v->target, 1, RedOp::Sum);
+            red_end(c);
+          },
+          &vars, 40);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(target, 40);
+  // Full warp: 16+24+28+30+31 = 129 combines; width-8 warp: 4+6+7 = 17.
+  EXPECT_EQ(red_counters().warp_combines, 129u + 17u);
+  EXPECT_EQ(red_counters().smem_combines, 1u);  // two slots, one step
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+// --- per-level counters -----------------------------------------------
+
+TEST_F(ReductionTest, CombinedCountersPerLevel) {
+  int target = 0;
+  run_combined(1, 128, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 128);
+  // Per 32-wide warp the tree combines 16+24+28+30+31 = 129 times.
+  EXPECT_EQ(red_counters().warp_combines, 4u * 129u);
+  // Four slots: step 1 combines slots 0 and 2, step 2 combines slot 0.
+  EXPECT_EQ(red_counters().smem_combines, 3u);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+TEST_F(ReductionTest, SingleWarpSkipsTheSharedLevel) {
+  int target = 0;
+  run_combined(1, 32, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 32);
+  EXPECT_EQ(red_counters().warp_combines, 129u);
+  EXPECT_EQ(red_counters().smem_combines, 0u);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+TEST_F(ReductionTest, AtomicsScaleWithTeamsNotThreads) {
+  int target = 0;
+  run_combined(6, 128, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 6 * 128);
+  EXPECT_EQ(red_counters().global_atomics, 6u);
+}
+
+// --- modeled cost ------------------------------------------------------
+
+TEST_F(ReductionTest, HierarchyBeatsPerThreadAtomicsOnTheCriticalPath) {
+  // The engine's reason to exist: 128 same-address atomics serialize to
+  // ~128×atomic cycles, while the tree pays 5 shuffles, a few shared
+  // slots and ONE atomic.
+  jetsim::Device dev;
+  int naive_target = 0;
+  jetsim::LaunchAccount naive =
+      dev.launch(combined_config(1, 128), [&](KernelCtx& ctx) {
+        combined_init(ctx);
+        ctx.atomic_add(&naive_target, 1);
+      });
+
+  int hier_target = 0;
+  jetsim::LaunchAccount hier =
+      dev.launch(combined_config(1, 128), [&](KernelCtx& ctx) {
+        combined_init(ctx);
+        red_begin(ctx);
+        red_contrib(ctx, &hier_target, 1, RedOp::Sum);
+        red_end(ctx);
+      });
+
+  EXPECT_EQ(naive_target, 128);
+  EXPECT_EQ(hier_target, 128);
+  EXPECT_LT(hier.max_block_critical_cycles * 3,
+            naive.max_block_critical_cycles);
+}
+
+}  // namespace
+}  // namespace devrt

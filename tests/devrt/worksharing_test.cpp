@@ -238,6 +238,119 @@ TEST(GuidedSchedule, ChunksShrinkMonotonically) {
   EXPECT_GT(sizes.front(), sizes.back());
 }
 
+// --- edge cases shared by all schedules -----------------------------------
+
+TEST(WorksharingEdge, EmptyRangeStaticYieldsNothing) {
+  jetsim::Device dev;
+  int valid_count = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    // lb == ub and lb > ub are both empty spaces, not errors.
+    if (get_static_chunk(ctx, 5, 5).valid) ++valid_count;
+    if (get_static_chunk(ctx, 9, 2).valid) ++valid_count;
+    if (get_static_chunk_k(ctx, 7, 7, 4, 0).valid) ++valid_count;
+  });
+  EXPECT_EQ(valid_count, 0);
+}
+
+TEST(WorksharingEdge, EmptyRangeDynamicYieldsNothing) {
+  jetsim::Device dev;
+  int valid_count = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 12, 12);
+    if (get_dynamic_chunk(ctx, 4).valid) ++valid_count;
+    ws_loop_end(ctx, false);
+  });
+  EXPECT_EQ(valid_count, 0);
+}
+
+TEST(WorksharingEdge, EmptyRangeGuidedYieldsNothing) {
+  jetsim::Device dev;
+  int valid_count = 0;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 30, 20);  // inverted bounds
+    if (get_guided_chunk(ctx, 4).valid) ++valid_count;
+    ws_loop_end(ctx, false);
+  });
+  EXPECT_EQ(valid_count, 0);
+}
+
+TEST(WorksharingEdge, ChunkLargerThanRange) {
+  // One thread takes the whole (clamped) range in one chunk; everyone
+  // else gets nothing — for each schedule kind.
+  jetsim::Device dev;
+  std::vector<int> visits(10, 0);
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    for (long long k = 0;; ++k) {
+      Chunk c = get_static_chunk_k(ctx, 0, 10, 1000, k);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+    ws_loop_init(ctx, 0, 10);
+    for (;;) {
+      Chunk c = get_dynamic_chunk(ctx, 1000);
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 10;
+    }
+    ws_loop_end(ctx, false);
+    ws_loop_init(ctx, 0, 10);
+    for (;;) {
+      Chunk c = get_guided_chunk(ctx, 1000);  // min_chunk > remaining
+      if (!c.valid) break;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 100;
+    }
+    ws_loop_end(ctx, false);
+  });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(visits[i], 111) << "i=" << i;
+}
+
+TEST(WorksharingEdge, StaticKNonDividingChunkKeepsPartialTail) {
+  // static,16 over 100 iterations with 64 threads: six full chunks and a
+  // trailing chunk of 4, round-robined in order.
+  jetsim::Device dev;
+  std::vector<int> visits(100, 0);
+  std::vector<long long> sizes;
+  dev.launch(combined_config(1, 64), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    for (long long k = 0;; ++k) {
+      Chunk c = get_static_chunk_k(ctx, 0, 100, 16, k);
+      if (!c.valid) break;
+      if (ctx.linear_tid() < 7) sizes.push_back(c.size());
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+  ASSERT_EQ(sizes.size(), 7u);
+  for (size_t t = 0; t < 6; ++t) EXPECT_EQ(sizes[t], 16) << "t=" << t;
+  EXPECT_EQ(sizes[6], 4);  // thread 6's chunk is the non-dividing tail
+}
+
+TEST(WorksharingEdge, GuidedMinChunkAboveRemainingTakesTheRest) {
+  // Single consumer: once remaining < min_chunk, exactly one final chunk
+  // covers the tail and the next request is invalid.
+  jetsim::Device dev;
+  std::vector<long long> sizes;
+  dev.launch(combined_config(1, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, 100);
+    if (ctx.linear_tid() == 0) {
+      for (;;) {
+        Chunk c = get_guided_chunk(ctx, 64);
+        if (!c.valid) break;
+        sizes.push_back(c.size());
+      }
+    }
+    ws_loop_end(ctx, false);
+  });
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 64);
+  EXPECT_EQ(sizes[1], 36);
+  EXPECT_EQ(sizes[0] + sizes[1], 100);
+}
+
 // --- master/worker regions can workshare too ------------------------------
 
 TEST(Worksharing, StaticChunkInsideMWRegion) {

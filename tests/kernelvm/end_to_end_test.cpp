@@ -4,6 +4,7 @@
 // the device runtime.
 #include <gtest/gtest.h>
 
+#include "devrt/devrt.h"
 #include "hostrt/runtime.h"
 #include "kernelvm/interp.h"
 
@@ -266,6 +267,156 @@ TEST(EndToEnd, ReductionSum) {
     })");
   ASSERT_TRUE(p->vm);
   EXPECT_EQ(p->vm->call_host("main").as_int(), 1024);
+}
+
+TEST(EndToEnd, ReductionRunsOneGlobalAtomicPerTeam) {
+  const devrt::RedCounters before = devrt::red_counters();
+  auto p = make_vm(R"(
+    int x[1024];
+    int main(void)
+    {
+      int n = 1024;
+      for (int i = 0; i < n; i++) x[i] = 2;
+      int s = 0;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s) reduction(+: s) \
+              num_teams(8) num_threads(128)
+      for (int i = 0; i < n; i++)
+        s += x[i];
+      return s;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 2048);
+  const devrt::RedCounters& after = devrt::red_counters();
+  EXPECT_EQ(after.global_atomics - before.global_atomics, 8u)
+      << "one per team, not one per thread";
+  EXPECT_GT(after.warp_combines, before.warp_combines);
+  EXPECT_GT(after.smem_combines, before.smem_combines);
+}
+
+TEST(EndToEnd, ReductionMinusAndProd) {
+  auto p = make_vm(R"(
+    int x[256];
+    int main(void)
+    {
+      int n = 256;
+      for (int i = 0; i < n; i++) x[i] = 1;
+      x[100] = 2; x[200] = 3;
+      int d = 1000;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: d) reduction(-: d) num_threads(64)
+      for (int i = 0; i < n; i++)
+        d -= x[i];
+      int prod = 1;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: prod) reduction(*: prod) \
+              num_teams(2) num_threads(64)
+      for (int i = 0; i < n; i++)
+        prod *= x[i];
+      if (d != 1000 - 259) return 1;
+      if (prod != 6) return 2;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+TEST(EndToEnd, ReductionMinMax) {
+  auto p = make_vm(R"(
+    int x[2000];
+    int main(void)
+    {
+      int n = 2000;
+      for (int i = 0; i < n; i++) x[i] = (i * 37) % 1999;
+      int lo = 5000;
+      int hi = -5000;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: lo) reduction(min: lo) \
+              num_teams(4) num_threads(128)
+      for (int i = 0; i < n; i++)
+        if (x[i] < lo) lo = x[i];
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: hi) reduction(max: hi) \
+              num_teams(4) num_threads(128)
+      for (int i = 0; i < n; i++)
+        if (x[i] > hi) hi = x[i];
+      if (lo != 0) return 1;
+      if (hi != 1998) return 2;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+TEST(EndToEnd, ReductionBitwiseAndLogical) {
+  auto p = make_vm(R"(
+    int x[96];
+    int main(void)
+    {
+      int n = 96;
+      for (int i = 0; i < n; i++) x[i] = 1 << (i % 5);
+      int any_bits = 0;
+      int all_bits = -1;
+      int parity = 0;
+      int all_set = 1;
+      int any_big = 0;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: any_bits) reduction(|: any_bits) \
+              num_threads(32)
+      for (int i = 0; i < n; i++)
+        any_bits |= x[i];
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: all_bits) reduction(&: all_bits) \
+              num_threads(32)
+      for (int i = 0; i < n; i++)
+        all_bits &= (x[i] | 16);
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: parity) reduction(^: parity) \
+              num_threads(32)
+      for (int i = 0; i < n; i++)
+        parity ^= x[i];
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: all_set) reduction(&&: all_set) \
+              num_threads(32)
+      for (int i = 0; i < n; i++)
+        all_set = all_set && x[i];
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: any_big) reduction(||: any_big) \
+              num_threads(32)
+      for (int i = 0; i < n; i++)
+        any_big = any_big || (x[i] > 8);
+      if (any_bits != 31) return 1;
+      if (all_bits != 16) return 2;
+      if (parity != 30) return 3;  /* 1 appears 20 times (cancels);
+                                      2,4,8,16 appear 19 times each */
+      if (!all_set) return 4;
+      if (!any_big) return 5;
+      return 0;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
+}
+
+TEST(EndToEnd, ReductionInsideMasterWorkerTarget) {
+  // Plain target with an inner parallel for: the reduction runs in
+  // master/worker mode over the 96 workers.
+  auto p = make_vm(R"(
+    int x[960];
+    int main(void)
+    {
+      int n = 960;
+      for (int i = 0; i < n; i++) x[i] = i;
+      int s = 0;
+      #pragma omp target map(to: x[0:n]) map(tofrom: s)
+      {
+        #pragma omp parallel for reduction(+: s)
+        for (int i = 0; i < n; i++)
+          s += x[i];
+      }
+      return s == (n - 1) * n / 2 ? 0 : 1;
+    })");
+  ASSERT_TRUE(p->vm);
+  EXPECT_EQ(p->vm->call_host("main").as_int(), 0);
 }
 
 // --- in-kernel worksharing & synchronization ------------------------------
