@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -68,7 +69,9 @@ struct Scanner {
   }
 
   /// {"key": <value>, ...} with all-string or all-number values.
-  bool flat_object(bool numeric, int* count) {
+  bool flat_object(bool numeric, int* count,
+                   std::vector<std::pair<std::string, double>>* values =
+                       nullptr) {
     if (!expect('{')) return false;
     skip_ws();
     if (p < end && *p == '}') {
@@ -81,7 +84,9 @@ struct Scanner {
       if (key.empty()) return fail("empty key");
       if (!expect(':')) return false;
       if (numeric) {
-        if (!number(nullptr)) return fail("metric '" + key + "' not numeric");
+        double v = 0;
+        if (!number(&v)) return fail("metric '" + key + "' not numeric");
+        if (values) values->emplace_back(key, v);
       } else {
         if (!string(nullptr)) return fail("config '" + key + "' not a string");
       }
@@ -96,9 +101,16 @@ struct Scanner {
   }
 };
 
+/// A `--metric-ge metric threshold` acceptance gate applied to every
+/// checked file: the named metric must exist and be >= the threshold.
+struct MetricGate {
+  std::string metric;
+  double threshold = 0;
+};
+
 /// One BENCH_*.json file against the bench_json.h shape. The stem of
 /// the filename must match the embedded "name" field.
-bool check_file(const char* path) {
+bool check_file(const char* path, const std::vector<MetricGate>& gates) {
   std::FILE* f = std::fopen(path, "rb");
   if (!f) {
     std::fprintf(stderr, "bench_check: cannot open %s\n", path);
@@ -113,18 +125,36 @@ bool check_file(const char* path) {
   Scanner s(text);
   std::string name;
   int metrics = 0;
+  std::vector<std::pair<std::string, double>> values;
   bool ok = s.expect('{') &&
             s.string(nullptr) /* "name" */ && s.expect(':') &&
             s.string(&name) && s.expect(',') &&
             s.string(nullptr) /* "config" */ && s.expect(':') &&
             s.flat_object(false, nullptr) && s.expect(',') &&
             s.string(nullptr) /* "metrics" */ && s.expect(':') &&
-            s.flat_object(true, &metrics) && s.expect('}');
+            s.flat_object(true, &metrics, &values) && s.expect('}');
   if (ok) {
     s.skip_ws();
     if (s.p != s.end) ok = s.fail("trailing content after the object");
   }
   if (ok && metrics == 0) ok = s.fail("no metrics reported");
+  if (ok) {
+    for (const MetricGate& g : gates) {
+      const std::pair<std::string, double>* found = nullptr;
+      for (const auto& kv : values)
+        if (kv.first == g.metric) found = &kv;
+      if (!found) {
+        ok = s.fail("gated metric '" + g.metric + "' not reported");
+        break;
+      }
+      if (found->second < g.threshold) {
+        ok = s.fail("metric '" + g.metric + "' = " +
+                    std::to_string(found->second) + " below the gate " +
+                    std::to_string(g.threshold));
+        break;
+      }
+    }
+  }
   if (ok) {
     const char* base = std::strrchr(path, '/');
     std::string stem = base ? base + 1 : path;
@@ -144,11 +174,37 @@ bool check_file(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_check BENCH_<name>.json...\n");
+  std::vector<MetricGate> gates;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metric-ge") == 0) {
+      if (i + 2 >= argc) {
+        std::fprintf(stderr,
+                     "bench_check: --metric-ge needs <metric> <threshold>\n");
+        return 2;
+      }
+      MetricGate g;
+      g.metric = argv[i + 1];
+      char* num_end = nullptr;
+      g.threshold = std::strtod(argv[i + 2], &num_end);
+      if (num_end == argv[i + 2] || *num_end != '\0') {
+        std::fprintf(stderr, "bench_check: bad --metric-ge threshold '%s'\n",
+                     argv[i + 2]);
+        return 2;
+      }
+      gates.push_back(std::move(g));
+      i += 2;
+      continue;
+    }
+    files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_check [--metric-ge <metric> <threshold>]... "
+                 "BENCH_<name>.json...\n");
     return 2;
   }
   bool all_ok = true;
-  for (int i = 1; i < argc; ++i) all_ok &= check_file(argv[i]);
+  for (const char* f : files) all_ok &= check_file(f, gates);
   return all_ok ? 0 : 1;
 }

@@ -68,11 +68,17 @@ struct DriverState {
   std::map<std::uintptr_t, PinnedAlloc> pinned;  // keyed by base address
   CUcontext current = nullptr;
   std::set<std::string> jit_cache;  // simulated on-disk JIT cache
-  jetsim::DriverCosts costs;
+  // Per-ordinal profile and driver cost table of every created device
+  // (there is no board-wide cost singleton: a heterogeneous board
+  // prices each device's transfers and launches from its own table).
+  std::vector<jetsim::DeviceProfile> profiles;
+  std::vector<jetsim::DriverCosts> device_costs;
   bool model_only = false;
   bool block_sampling = false;
   uint64_t epoch = 0;  // bumped by cuSimReset; see cuSimEpoch()
-  int pending_device_count = 1;  // devices created by the next cuInit
+  // Profiles of the devices created by the next cuInit; one default
+  // ("nano") entry models the paper's single-GPU board.
+  std::vector<jetsim::DeviceProfile> pending_profiles{jetsim::DeviceProfile{}};
 };
 
 DriverState& state() {
@@ -87,6 +93,14 @@ bool valid_device(CUdevice dev) {
 
 jetsim::Device& dev_of_current() {
   return *state().devices[static_cast<std::size_t>(state().current->device)];
+}
+
+jetsim::DriverCosts& costs_of(CUdevice dev) {
+  return state().device_costs[static_cast<std::size_t>(dev)];
+}
+
+jetsim::DriverCosts& costs_of_current() {
+  return costs_of(state().current->device);
 }
 
 CUresult require_ctx() {
@@ -148,11 +162,17 @@ CUresult cuInit(unsigned flags) {
   if (flags != 0) return CUDA_ERROR_INVALID_VALUE;
   DriverState& s = state();
   if (!s.initialized) {
-    // The board exposes a single Maxwell GPU by default; multi-GPU
-    // simulations configure the count with cuSimSetDeviceCount before
-    // the first cuInit.
-    for (int i = 0; i < s.pending_device_count; ++i)
-      s.devices.push_back(std::make_unique<jetsim::Device>());
+    // The board exposes a single Maxwell GPU by default; heterogeneous
+    // or multi-device boards configure the per-ordinal profiles with
+    // cuSimSetDeviceProfiles / cuSimSetDeviceCount before the first
+    // cuInit. Each device is built from its own profile: hardware
+    // properties and kernel cost table go into the simulator, the
+    // driver-side cost table stays here, keyed by ordinal.
+    for (const jetsim::DeviceProfile& p : s.pending_profiles) {
+      s.devices.push_back(std::make_unique<jetsim::Device>(p.props, p.costs));
+      s.device_costs.push_back(p.driver);
+      s.profiles.push_back(p);
+    }
     s.initialized = true;
   }
   return CUDA_SUCCESS;
@@ -283,19 +303,20 @@ CUresult cuModuleLoad(CUmodule* module, const char* fname) {
 
   DriverState& s = state();
   jetsim::Device& dev = dev_of_current();
+  const jetsim::DriverCosts& costs = costs_of_current();
   double kb = static_cast<double>(image->code_size) / 1024.0;
   if (image->kind == BinaryKind::Ptx) {
     // JIT compilation + link against the device library, with disk cache
     // (paper §3.3: "utilizes disk caching ... to eliminate repetitive
     // compilations of the same kernels").
     if (s.jit_cache.contains(image->path)) {
-      dev.advance_time(kb * s.costs.jit_cache_hit_s_per_kb);
+      dev.advance_time(kb * costs.jit_cache_hit_s_per_kb);
     } else {
-      dev.advance_time(kb * s.costs.jit_compile_s_per_kb);
+      dev.advance_time(kb * costs.jit_compile_s_per_kb);
       s.jit_cache.insert(image->path);
     }
   } else {
-    dev.advance_time(kb * s.costs.module_load_cubin_s_per_kb);
+    dev.advance_time(kb * costs.module_load_cubin_s_per_kb);
   }
 
   auto m = std::make_unique<CUmod_st>();
@@ -335,7 +356,7 @@ CUresult cuMemAlloc(CUdeviceptr* dptr, std::size_t bytes) {
   jetsim::Device& dev = dev_of_current();
   // Each trap into the driver's kernel allocator costs host time, even
   // when the allocation fails — the lock is taken either way.
-  dev.advance_time(state().costs.alloc_overhead_s);
+  dev.advance_time(costs_of_current().alloc_overhead_s);
   uint64_t addr = dev.malloc(bytes);
   if (addr == 0) return CUDA_ERROR_OUT_OF_MEMORY;
   *dptr = addr;
@@ -347,7 +368,7 @@ CUresult cuMemFree(CUdeviceptr dptr) {
   try {
     jetsim::Device& dev = dev_of_current();
     dev.free(dptr);
-    dev.advance_time(state().costs.free_overhead_s);
+    dev.advance_time(costs_of_current().free_overhead_s);
   } catch (const jetsim::SimError&) {
     return CUDA_ERROR_INVALID_VALUE;
   }
@@ -364,7 +385,7 @@ CUresult cuMemAllocHost(void** pp, std::size_t bytes) {
   state().pinned.emplace(reinterpret_cast<std::uintptr_t>(p),
                          std::move(alloc));
   // Pinning pages is an order of magnitude slower than cuMemAlloc.
-  dev_of_current().advance_time(state().costs.pinned_alloc_overhead_s);
+  dev_of_current().advance_time(costs_of_current().pinned_alloc_overhead_s);
   *pp = p;
   return CUDA_SUCCESS;
 }
@@ -374,7 +395,7 @@ CUresult cuMemFreeHost(void* p) {
   auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
   if (it == state().pinned.end()) return CUDA_ERROR_INVALID_VALUE;
   state().pinned.erase(it);
-  dev_of_current().advance_time(state().costs.pinned_free_overhead_s);
+  dev_of_current().advance_time(costs_of_current().pinned_free_overhead_s);
   return CUDA_SUCCESS;
 }
 
@@ -400,12 +421,14 @@ bool pinned_range(const void* p, std::size_t bytes) {
 
 // `host_ptr` is the host-side endpoint of the transfer (null for DtoD):
 // a pinned host buffer skips the driver's internal staging pass and gets
-// the DMA engine's full rate.
-double copy_seconds(std::size_t bytes, const void* host_ptr) {
-  DriverState& s = state();
-  double bw = pinned_range(host_ptr, bytes) ? s.costs.memcpy_pinned_bandwidth
-                                            : s.costs.memcpy_bandwidth;
-  return s.costs.memcpy_overhead_s + static_cast<double>(bytes) / bw;
+// the DMA engine's full rate. Prices from the cost table of the device
+// that owns the transfer — heterogeneous boards charge each device's
+// own overheads and bandwidths.
+double copy_seconds(const jetsim::DriverCosts& costs, std::size_t bytes,
+                    const void* host_ptr) {
+  double bw = pinned_range(host_ptr, bytes) ? costs.memcpy_pinned_bandwidth
+                                            : costs.memcpy_bandwidth;
+  return costs.memcpy_overhead_s + static_cast<double>(bytes) / bw;
 }
 
 CUresult checked_copy(void* dst, const void* src, std::size_t bytes,
@@ -415,7 +438,8 @@ CUresult checked_copy(void* dst, const void* src, std::size_t bytes,
   // done; with no asynchronous work in flight this degenerates to the
   // plain clock advance the seed model used.
   jetsim::Device& dev = dev_of_current();
-  dev.sync_to(dev.schedule_copy(dev.now(), copy_seconds(bytes, host_ptr)));
+  dev.sync_to(dev.schedule_copy(
+      dev.now(), copy_seconds(costs_of_current(), bytes, host_ptr)));
   return CUDA_SUCCESS;
 }
 
@@ -429,7 +453,7 @@ CUresult stream_copy(void* dst, const void* src, std::size_t bytes,
   std::memcpy(dst, src, bytes);
   jetsim::Device& dev =
       *state().devices[static_cast<std::size_t>(stream->device)];
-  double seconds = copy_seconds(bytes, host_ptr);
+  double seconds = copy_seconds(costs_of(stream->device), bytes, host_ptr);
   double end = dev.schedule_copy(stream->ready, seconds);
   stream->ops.push_back({kind, end - seconds, end, bytes, {}});
   stream->ready = end;
@@ -528,7 +552,8 @@ CUresult cuMemcpyPeerAsync(CUdeviceptr dst, CUdevice dst_dev, CUdeviceptr src,
     // the peer model and occupies both DMA engines over one interval.
     std::memcpy(ddev.translate(dst, bytes), sdev.translate(src, bytes),
                 bytes);
-    double seconds = jetsim::peer_copy_seconds(s.costs, bytes);
+    double seconds =
+        jetsim::peer_copy_seconds(costs_of(src_dev), costs_of(dst_dev), bytes);
     if (!stream) {
       jetsim::Device& host = dev_of_current();
       double end = ddev.schedule_copy(host.now(), seconds);
@@ -571,9 +596,10 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
 
   // Phase overheads of a launch: dispatch plus parameter marshalling
   // (the paper's "parameter preparation phase" lives in the host runtime;
-  // this is the driver-side share).
-  double overhead = s.costs.launch_overhead_s +
-                    image.param_count * s.costs.param_prep_per_arg_s;
+  // this is the driver-side share), priced by the launching device.
+  const jetsim::DriverCosts& launch_costs = costs_of_current();
+  double overhead = launch_costs.launch_overhead_s +
+                    image.param_count * launch_costs.param_prep_per_arg_s;
 
   jetsim::LaunchConfig cfg;
   cfg.grid = {grid_x, grid_y, grid_z};
@@ -733,7 +759,17 @@ void cuSimSetBlockSampling(bool enabled) {
   state().block_sampling = enabled;
 }
 
-jetsim::DriverCosts& cuSimDriverCosts() { return state().costs; }
+jetsim::DriverCosts& cuSimDriverCosts(CUdevice dev) {
+  if (!valid_device(dev))
+    throw jetsim::SimError("cuSimDriverCosts: invalid device ordinal");
+  return costs_of(dev);
+}
+
+const jetsim::DeviceProfile& cuSimDeviceProfile(CUdevice dev) {
+  if (!valid_device(dev))
+    throw jetsim::SimError("cuSimDeviceProfile: invalid device ordinal");
+  return state().profiles[static_cast<std::size_t>(dev)];
+}
 
 bool cuSimIsPinned(const void* p, std::size_t bytes) {
   return pinned_range(p, bytes);
@@ -742,13 +778,22 @@ bool cuSimIsPinned(const void* p, std::size_t bytes) {
 void cuSimClearJitCache() { state().jit_cache.clear(); }
 
 void cuSimSetDeviceCount(int n) {
-  state().pending_device_count = std::clamp(n, 1, 16);
+  // Resizing keeps the profiles already configured for surviving
+  // ordinals; new ordinals boot with the board default.
+  state().pending_profiles.resize(
+      static_cast<std::size_t>(std::clamp(n, 1, 16)));
+}
+
+void cuSimSetDeviceProfiles(std::vector<jetsim::DeviceProfile> profiles) {
+  if (profiles.empty()) profiles.push_back(jetsim::DeviceProfile{});
+  if (profiles.size() > 16) profiles.resize(16);
+  state().pending_profiles = std::move(profiles);
 }
 
 int cuSimDeviceCount() {
   DriverState& s = state();
   return s.initialized ? static_cast<int>(s.devices.size())
-                       : s.pending_device_count;
+                       : static_cast<int>(s.pending_profiles.size());
 }
 
 double cuSimStreamReady(CUstream stream) {
@@ -774,10 +819,11 @@ void cuSimReset() {
   s.jit_cache.clear();
   s.current = nullptr;
   s.initialized = false;
-  s.pending_device_count = 1;
+  s.profiles.clear();
+  s.device_costs.clear();
+  s.pending_profiles = {jetsim::DeviceProfile{}};
   s.model_only = false;
   s.block_sampling = false;
-  s.costs = jetsim::DriverCosts{};
   ++s.epoch;
 }
 

@@ -17,6 +17,7 @@
 
 #include "cudadrv/registry.h"
 #include "sim/device.h"
+#include "sim/profile.h"
 
 namespace cudadrv {
 
@@ -158,19 +159,32 @@ bool cuSimModelOnly();
 /// block sample and scale the accounts (kernels must have no cross-block
 /// state; see DESIGN.md §5).
 void cuSimSetBlockSampling(bool enabled);
-/// Driver-level cost knobs (launch overhead, memcpy bandwidth, JIT).
-jetsim::DriverCosts& cuSimDriverCosts();
+/// Driver-level cost knobs (launch overhead, memcpy bandwidth, JIT) of
+/// one device ordinal. Every device carries its own table, seeded from
+/// its DeviceProfile at initialization — there is no board-wide cost
+/// singleton. Throws jetsim::SimError for an invalid ordinal.
+jetsim::DriverCosts& cuSimDriverCosts(CUdevice dev);
+/// Profile the device was created from (name, props, cost tables).
+const jetsim::DeviceProfile& cuSimDeviceProfile(CUdevice dev);
 /// True when [p, p+bytes) lies entirely inside one cuMemAllocHost
 /// allocation (used by transfer-cost modeling and by tests).
 bool cuSimIsPinned(const void* p, std::size_t bytes);
 /// Clears the simulated JIT disk cache (e.g. to model a cold boot).
 void cuSimClearJitCache();
-/// Number of simulated GPUs created by the next (re)initialization of
-/// the driver (cuInit after a cold start or a cuSimReset). The board
+/// Number of simulated devices created by the next (re)initialization
+/// of the driver (cuInit after a cold start or a cuSimReset). The board
 /// default is 1; cuSimReset restores it. Out-of-range values are
 /// clamped to [1, 16]. Has no effect on an already-initialized driver.
+/// Every device gets the default ("nano") profile; existing pending
+/// profiles are kept for the ordinals that remain.
 void cuSimSetDeviceCount(int n);
 int cuSimDeviceCount();
+/// Per-ordinal profiles for the devices created by the next
+/// (re)initialization: a heterogeneous board boots one device per
+/// entry. The list is clamped to [1, 16] entries; an empty list resets
+/// to the single-device board default. Has no effect on an
+/// already-initialized driver.
+void cuSimSetDeviceProfiles(std::vector<jetsim::DeviceProfile> profiles);
 /// One modeled operation on a stream's work queue.
 struct StreamOp {
   enum class Kind { H2D, D2H, P2P, Kernel, Wait };

@@ -272,7 +272,7 @@ void CudadevModule::write_segments(const std::vector<Segment>& segs) {
     }
     cudadrv::cuSimDevice(device_).advance_time(
         static_cast<double>(payload) /
-        cudadrv::cuSimDriverCosts().host_memcpy_bandwidth);
+        cudadrv::cuSimDriverCosts(device_).host_memcpy_bandwidth);
     write(first, buf, span);
     bytes_staged_ += payload;
     ++coalesced_transfers_;
@@ -307,7 +307,7 @@ void CudadevModule::read_segments(const std::vector<Segment>& segs) {
     }
     cudadrv::cuSimDevice(device_).advance_time(
         static_cast<double>(payload) /
-        cudadrv::cuSimDriverCosts().host_memcpy_bandwidth);
+        cudadrv::cuSimDriverCosts(device_).host_memcpy_bandwidth);
     bytes_staged_ += payload;
     ++coalesced_transfers_;
     i = j;
@@ -389,7 +389,7 @@ OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
   }
   // Host-side marshalling cost, modeled per argument.
   sim.advance_time(static_cast<double>(spec.args.size()) *
-                   cudadrv::cuSimDriverCosts().param_prep_per_arg_s);
+                   cudadrv::cuSimDriverCosts(device_).param_prep_per_arg_s);
   stats.prepare_s = sim.now() - t0;
 
   // Phase 3 — launch: set grid/block dimensions and call cuLaunchKernel.
@@ -446,7 +446,7 @@ OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
     }
   }
   sim.advance_time(static_cast<double>(spec.args.size()) *
-                   cudadrv::cuSimDriverCosts().param_prep_per_arg_s);
+                   cudadrv::cuSimDriverCosts(device_).param_prep_per_arg_s);
   stats.prepare_s = sim.now() - t0;
 
   const LaunchGeometry& g = spec.geometry;

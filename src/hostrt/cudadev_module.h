@@ -15,7 +15,7 @@
 
 namespace hostrt {
 
-class CudadevModule : public DeviceModule {
+class CudadevModule : public QueueableModule {
  public:
   /// `ordinal` selects which simulated GPU this module drives; each
   /// module owns a context for its own device only.
@@ -43,30 +43,33 @@ class CudadevModule : public DeviceModule {
 
   OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
 
-  // --- asynchronous path (driven by the OffloadQueue) -------------------
+  // --- asynchronous path (QueueableModule, driven by the OffloadQueue) --
   /// Phase 1 alone: ensures the kernel's module is loaded (host-
   /// synchronous); returns the modeled seconds spent.
-  double load(const std::string& module_path, const std::string& kernel_name);
+  double load(const std::string& module_path,
+              const std::string& kernel_name) override;
   /// Phases 2+3 on a stream: parameter preparation stays host-side, the
   /// kernel itself is queued on `stream`'s timeline. load_s is zero (the
   /// queue performs the load phase up front); exec_s is filled by the
   /// caller from the stream's work log.
   OffloadStats launch_async(const KernelLaunchSpec& spec, DataEnv& env,
-                            cudadrv::CUstream stream);
+                            cudadrv::CUstream stream) override;
   /// While a stream is bound, MapBackend write/read issue asynchronous
   /// copies on it (the OffloadQueue binds the task's stream around
   /// map/unmap so transfers land on the task's timeline).
-  void bind_stream(cudadrv::CUstream stream) { bound_stream_ = stream; }
-  cudadrv::CUstream bound_stream() const { return bound_stream_; }
+  void bind_stream(cudadrv::CUstream stream) override {
+    bound_stream_ = stream;
+  }
+  cudadrv::CUstream bound_stream() const override { return bound_stream_; }
 
-  cudadrv::CUdevice device() const { return device_; }
+  cudadrv::CUdevice device() const override { return device_; }
 
   /// Restores this module's context as the driver's current context.
   /// Context-sensitive driver calls (sync copies, event/stream sync,
   /// pinned allocation) act on the current context's device, so anything
   /// that interleaves modules must re-establish currency first; every
   /// device operation on this module does so via require_initialized().
-  void make_current();
+  void make_current() override;
 
   std::string device_info() override;
 

@@ -13,6 +13,12 @@
 
 #include "hostrt/map_env.h"
 
+namespace cudadrv {
+struct CUstream_st;
+using CUstream = CUstream_st*;
+using CUdevice = int;
+}  // namespace cudadrv
+
 namespace hostrt {
 
 /// Grid/block geometry of an offloaded kernel in OpenMP vocabulary.
@@ -112,6 +118,34 @@ class DeviceModule : public MapBackend {
 
   /// Human-readable description of the managed hardware.
   virtual std::string device_info() = 0;
+};
+
+/// A DeviceModule that the OffloadQueue (and through it the
+/// work-stealing scheduler) can drive asynchronously. Its device is a
+/// driver ordinal whose streams and events tick on the shared modeled
+/// clock, so completion times are comparable across modules — a CUDA
+/// GPU and an OpenCL accelerator on the same board order correctly
+/// against each other.
+class QueueableModule : public DeviceModule {
+ public:
+  /// Driver ordinal of the device this module drives.
+  virtual cudadrv::CUdevice device() const = 0;
+  /// Restores this module's context as the driver's current context.
+  virtual void make_current() = 0;
+  /// Phase 1 alone: ensures the kernel's binary is loaded
+  /// (host-synchronous); returns the modeled seconds spent.
+  virtual double load(const std::string& module_path,
+                      const std::string& kernel_name) = 0;
+  /// Phases 2+3 on a stream: parameter preparation stays host-side, the
+  /// kernel itself is queued on `stream`'s timeline.
+  virtual OffloadStats launch_async(const KernelLaunchSpec& spec,
+                                    DataEnv& env,
+                                    cudadrv::CUstream stream) = 0;
+  /// While a stream is bound, MapBackend write/read issue asynchronous
+  /// copies on it (the OffloadQueue binds the task's stream around
+  /// map/unmap so transfers land on the task's timeline).
+  virtual void bind_stream(cudadrv::CUstream stream) = 0;
+  virtual cudadrv::CUstream bound_stream() const = 0;
 };
 
 }  // namespace hostrt

@@ -23,7 +23,7 @@ TaskId& task_id_counter() {
 TaskId allocate_task_id() { return task_id_counter()++; }
 void reset_task_ids() { task_id_counter() = 0; }
 
-OffloadQueue::OffloadQueue(CudadevModule& module, DataEnv& env, int streams)
+OffloadQueue::OffloadQueue(QueueableModule& module, DataEnv& env, int streams)
     : module_(&module), env_(&env), epoch_(cudadrv::cuSimEpoch()) {
   if (!module.initialized())
     throw std::runtime_error("offload queue over an uninitialized device");

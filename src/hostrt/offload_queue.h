@@ -21,7 +21,6 @@
 #include <vector>
 
 #include "cudadrv/cuda.h"
-#include "hostrt/cudadev_module.h"
 #include "hostrt/map_env.h"
 #include "hostrt/module.h"
 
@@ -83,7 +82,9 @@ class OffloadQueue {
 
   /// The queue drives `module`'s device; the module must already be
   /// initialized (the runtime creates the queue lazily with the device).
-  OffloadQueue(CudadevModule& module, DataEnv& env,
+  /// Any QueueableModule works — cudadev and opencldev queues share one
+  /// id space and their completion events order against each other.
+  OffloadQueue(QueueableModule& module, DataEnv& env,
                int streams = kDefaultStreams);
   /// Drains and destroys the stream pool (every stream is synchronized
   /// before its handle dies, so no timeline leaks past the queue).
@@ -126,7 +127,7 @@ class OffloadQueue {
   double horizon() const;
 
   /// The queue's device module (for context currency and residency).
-  CudadevModule& module() { return *module_; }
+  QueueableModule& module() { return *module_; }
   DataEnv& env() { return *env_; }
 
  private:
@@ -139,7 +140,7 @@ class OffloadQueue {
 
   int pick_stream() const;  // least-loaded: earliest-ready stream
 
-  CudadevModule* module_;
+  QueueableModule* module_;
   DataEnv* env_;
   uint64_t epoch_ = 0;  // driver epoch the stream pool belongs to
   std::vector<cudadrv::CUstream> streams_;

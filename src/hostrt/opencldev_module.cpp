@@ -1,86 +1,159 @@
 #include "hostrt/opencldev_module.h"
 
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
-#include "cudadrv/cuda.h"
 #include "devrt/devrt.h"
 
 namespace hostrt {
 
 namespace {
-// clBuildProgram of a kernel file, modeled per KB of source.
-constexpr double kBuildSecondsPerKb = 600e-6;
-constexpr double kNdrangeLaunchOverheadS = 14e-6;  // queues add latency
-}  // namespace
 
-OpenclDevModule::OpenclDevModule() {
-  // Platform/device discovery is cheap; the module owns its accelerator
-  // (a second simulated device, distinct from the cudadev GPU).
-  sim_ = std::make_unique<jetsim::Device>();
+// clBuildProgram of a kernel file, modeled per KB of source. Charged on
+// top of the driver's module-load cost: OpenCL compiles from source at
+// runtime where CUDA loads a binary.
+constexpr double kBuildSecondsPerKb = 600e-6;
+
+[[noreturn]] void fail(const char* op, cudadrv::CUresult r) {
+  std::ostringstream os;
+  os << "opencldev: " << op << " failed: " << cudadrv::cuResultName(r);
+  throw std::runtime_error(os.str());
 }
 
-OpenclDevModule::~OpenclDevModule() = default;
+void check(const char* op, cudadrv::CUresult r) {
+  if (r != cudadrv::CUDA_SUCCESS) fail(op, r);
+}
+
+}  // namespace
+
+OpenclDevModule::OpenclDevModule(int ordinal) : ordinal_(ordinal) {
+  // Platform/device discovery is cheap (clGetPlatformIDs /
+  // clGetDeviceIDs); full initialization is deferred.
+  check("cuInit", cudadrv::cuInit(0));
+  int count = 0;
+  check("cuDeviceGetCount", cudadrv::cuDeviceGetCount(&count));
+  if (ordinal_ < 0 || ordinal_ >= count)
+    throw std::runtime_error("opencldev: no device at ordinal " +
+                             std::to_string(ordinal_));
+}
+
+OpenclDevModule::~OpenclDevModule() {
+  // Skip the driver calls if a reset already destroyed the handles.
+  if (context_ && cudadrv::cuSimEpoch() == epoch_)
+    cudadrv::cuCtxDestroy(context_);
+}
 
 void OpenclDevModule::initialize() {
-  // clCreateContext + clCreateCommandQueue.
+  if (initialized_) return;
+  // clCreateContext + clCreateCommandQueue: the module's context on its
+  // own device ordinal.
+  check("cuDeviceGet", cudadrv::cuDeviceGet(&device_, ordinal_));
+  check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, device_));
+  epoch_ = cudadrv::cuSimEpoch();
   initialized_ = true;
+}
+
+void OpenclDevModule::make_current() {
+  if (context_ && cudadrv::cuSimEpoch() == epoch_)
+    check("cuCtxSetCurrent", cudadrv::cuCtxSetCurrent(context_));
+}
+
+void OpenclDevModule::require_initialized() {
+  if (!initialized_)
+    throw std::runtime_error(
+        "opencldev: device operation before initialization");
+  make_current();
+}
+
+jetsim::Device& OpenclDevModule::sim() {
+  initialize();
+  return cudadrv::cuSimDevice(device_);
 }
 
 uint64_t OpenclDevModule::alloc(std::size_t size) {
   if (!initialized_)
     throw std::runtime_error("opencldev: buffer created before init");
-  return sim_->malloc(size);
+  make_current();
+  cudadrv::CUdeviceptr p = 0;
+  check("cuMemAlloc", cudadrv::cuMemAlloc(&p, size));
+  return p;
 }
 
-void OpenclDevModule::free(uint64_t dev_addr) { sim_->free(dev_addr); }
+void OpenclDevModule::free(uint64_t dev_addr) {
+  require_initialized();
+  check("cuMemFree", cudadrv::cuMemFree(dev_addr));
+}
 
 void OpenclDevModule::write(uint64_t dev_addr, const void* src,
                             std::size_t size) {
-  std::memcpy(sim_->translate(dev_addr, size), src, size);
-  jetsim::DriverCosts costs;
-  sim_->advance_time(costs.memcpy_overhead_s + size / costs.memcpy_bandwidth);
+  // clEnqueueWriteBuffer: priced by the driver from this device's own
+  // cost table (a slow-profile accelerator really transfers slower).
+  require_initialized();
+  if (bound_stream_) {
+    check("cuMemcpyHtoDAsync",
+          cudadrv::cuMemcpyHtoDAsync(dev_addr, src, size, bound_stream_));
+    return;
+  }
+  check("cuMemcpyHtoD", cudadrv::cuMemcpyHtoD(dev_addr, src, size));
 }
 
 void OpenclDevModule::read(void* dst, uint64_t dev_addr, std::size_t size) {
-  std::memcpy(dst, sim_->translate(dev_addr, size), size);
-  jetsim::DriverCosts costs;
-  sim_->advance_time(costs.memcpy_overhead_s + size / costs.memcpy_bandwidth);
+  require_initialized();
+  if (bound_stream_) {
+    check("cuMemcpyDtoHAsync",
+          cudadrv::cuMemcpyDtoHAsync(dst, dev_addr, size, bound_stream_));
+    return;
+  }
+  check("cuMemcpyDtoH", cudadrv::cuMemcpyDtoH(dst, dev_addr, size));
 }
 
-OffloadStats OpenclDevModule::launch(const KernelLaunchSpec& spec,
-                                     DataEnv& env) {
-  if (!initialized_)
-    throw std::runtime_error("opencldev: launch before initialization");
-  OffloadStats stats;
+cudadrv::CUfunction OpenclDevModule::get_function(
+    const std::string& module_path, const std::string& kernel_name) {
+  std::string key = module_path + "::" + kernel_name;
+  if (auto it = function_cache_.find(key); it != function_cache_.end())
+    return it->second;
 
-  // Kernel "sources" come from the same registry the compilation chain
-  // fills; OpenCL builds them at runtime on first use.
-  const cudadrv::ModuleImage* image =
-      cudadrv::BinaryRegistry::instance().find(spec.module_path);
-  if (!image)
-    throw std::runtime_error("opencldev: no kernel source file '" +
-                             spec.module_path + "'");
-  auto kit = image->kernels.find(spec.kernel_name);
-  if (kit == image->kernels.end())
-    throw std::runtime_error("opencldev: kernel '" + spec.kernel_name +
-                             "' not in program");
-
-  double t0 = sim_->now();
-  if (!built_programs_[spec.module_path]) {
-    double build = kBuildSecondsPerKb * image->code_size / 1024.0;
-    sim_->advance_time(build);
-    build_time_s_ += build;
-    built_programs_[spec.module_path] = true;
+  cudadrv::CUmodule mod;
+  if (auto it = module_cache_.find(module_path); it != module_cache_.end()) {
+    mod = it->second;
+  } else {
+    // Kernel "sources" come from the same registry the compilation chain
+    // fills; OpenCL builds them at runtime on first use.
+    const cudadrv::ModuleImage* image =
+        cudadrv::BinaryRegistry::instance().find(module_path);
+    if (!image)
+      throw std::runtime_error("opencldev: no kernel source file '" +
+                               module_path + "'");
+    if (!built_programs_[module_path]) {
+      double build =
+          kBuildSecondsPerKb * static_cast<double>(image->code_size) / 1024.0;
+      cudadrv::cuSimDevice(device_).advance_time(build);
+      build_time_s_ += build;
+      built_programs_[module_path] = true;
+    }
+    check("cuModuleLoad", cudadrv::cuModuleLoad(&mod, module_path.c_str()));
+    module_cache_[module_path] = mod;
   }
-  stats.load_s = sim_->now() - t0;
 
-  // clSetKernelArg for every argument.
-  t0 = sim_->now();
-  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  cudadrv::CUfunction fn;
+  cudadrv::CUresult r =
+      cudadrv::cuModuleGetFunction(&fn, mod, kernel_name.c_str());
+  if (r == cudadrv::CUDA_ERROR_NOT_FOUND)
+    throw std::runtime_error("opencldev: kernel '" + kernel_name +
+                             "' not in program");
+  check("cuModuleGetFunction", r);
+  function_cache_[key] = fn;
+  return fn;
+}
+
+namespace {
+// clSetKernelArg for every argument: resolve mapped pointers through the
+// data environment, scalars pass by value.
+void prepare_args(const KernelLaunchSpec& spec, DataEnv& env,
+                  std::vector<cudadrv::CUdeviceptr>& dev_ptrs,
+                  std::vector<void*>& params) {
   dev_ptrs.reserve(spec.args.size());
-  std::vector<void*> params;
   params.reserve(spec.args.size());
   for (const KernelArg& a : spec.args) {
     if (a.kind == KernelArg::Kind::MappedPtr) {
@@ -90,34 +163,88 @@ OffloadStats OpenclDevModule::launch(const KernelLaunchSpec& spec,
       params.push_back(const_cast<std::byte*>(a.scalar.data()));
     }
   }
-  jetsim::DriverCosts costs;
-  sim_->advance_time(spec.args.size() * costs.param_prep_per_arg_s);
-  stats.prepare_s = sim_->now() - t0;
+}
+}  // namespace
 
-  // clEnqueueNDRangeKernel: global = teams*threads, local = threads.
-  t0 = sim_->now();
-  sim_->advance_time(kNdrangeLaunchOverheadS);
-  jetsim::LaunchConfig cfg;
-  cfg.grid = {spec.geometry.teams_x, spec.geometry.teams_y,
-              spec.geometry.teams_z};
-  cfg.block = {spec.geometry.threads_x, spec.geometry.threads_y,
-               spec.geometry.threads_z};
-  cfg.shared_mem = devrt::reserved_shmem() + spec.dyn_shared_mem;
-  cfg.kernel_name = spec.kernel_name;
-  cudadrv::ArgPack args(*sim_, params.data(),
-                        static_cast<int>(params.size()));
-  const cudadrv::KernelImage& k = kit->second;
-  sim_->launch(cfg, [&](jetsim::KernelCtx& ctx) { k.entry(ctx, args); });
-  stats.exec_s = sim_->now() - t0;
+OffloadStats OpenclDevModule::launch(const KernelLaunchSpec& spec,
+                                     DataEnv& env) {
+  require_initialized();
+  OffloadStats stats;
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+
+  // Phase 1 — the program builds from source on first use
+  // (clBuildProgram) and the kernel is resolved.
+  double t0 = sim.now();
+  cudadrv::CUfunction fn = get_function(spec.module_path, spec.kernel_name);
+  stats.load_s = sim.now() - t0;
+
+  // Phase 2 — clSetKernelArg for every argument.
+  t0 = sim.now();
+  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  std::vector<void*> params;
+  prepare_args(spec, env, dev_ptrs, params);
+  sim.advance_time(static_cast<double>(spec.args.size()) *
+                   cudadrv::cuSimDriverCosts(device_).param_prep_per_arg_s);
+  stats.prepare_s = sim.now() - t0;
+
+  // Phase 3 — clEnqueueNDRangeKernel: global = teams*threads, local =
+  // threads. The enqueue latency is the device profile's launch overhead.
+  t0 = sim.now();
+  const LaunchGeometry& g = spec.geometry;
+  unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
+                                          spec.dyn_shared_mem);
+  check("cuLaunchKernel",
+        cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
+                                g.threads_x, g.threads_y, g.threads_z, shared,
+                                nullptr, params.data(), nullptr));
+  stats.exec_s = sim.now() - t0;
+  return stats;
+}
+
+double OpenclDevModule::load(const std::string& module_path,
+                             const std::string& kernel_name) {
+  require_initialized();
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+  double t0 = sim.now();
+  get_function(module_path, kernel_name);
+  return sim.now() - t0;
+}
+
+OffloadStats OpenclDevModule::launch_async(const KernelLaunchSpec& spec,
+                                           DataEnv& env,
+                                           cudadrv::CUstream stream) {
+  require_initialized();
+  OffloadStats stats;
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+
+  cudadrv::CUfunction fn = get_function(spec.module_path, spec.kernel_name);
+
+  // clSetKernelArg is host work at enqueue time; it may overlap
+  // transfers already queued on the command queue.
+  double t0 = sim.now();
+  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  std::vector<void*> params;
+  prepare_args(spec, env, dev_ptrs, params);
+  sim.advance_time(static_cast<double>(spec.args.size()) *
+                   cudadrv::cuSimDriverCosts(device_).param_prep_per_arg_s);
+  stats.prepare_s = sim.now() - t0;
+
+  const LaunchGeometry& g = spec.geometry;
+  unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
+                                          spec.dyn_shared_mem);
+  check("cuLaunchKernel",
+        cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
+                                g.threads_x, g.threads_y, g.threads_z, shared,
+                                stream, params.data(), nullptr));
   return stats;
 }
 
 std::string OpenclDevModule::device_info() {
   initialize();
+  const jetsim::DeviceProps& p = cudadrv::cuSimDevice(device_).props();
   std::ostringstream os;
-  os << "Simulated OpenCL accelerator (preliminary opencldev module, "
-     << sim_->props().cores_per_sm << " PEs, "
-     << sim_->props().total_global_mem / (1024 * 1024) << " MB)";
+  os << p.name << " (OpenCL via opencldev, " << p.cores_per_sm * p.sm_count
+     << " PEs, " << p.total_global_mem / (1024 * 1024) << " MB)";
   return os.str();
 }
 

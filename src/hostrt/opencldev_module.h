@@ -1,32 +1,40 @@
-// Preliminary OpenCL device module. The paper's runtime "is organized as
-// a collection of modules, each one implementing support for a
-// particular device class" and its conclusion notes work "on further
-// extending ompi to target OpenCL devices" through a corresponding
-// OpenCL module; this is that module, at the same preliminary stage:
-// a second implementation of the DeviceModule plugin interface, driving
-// its own simulated accelerator with OpenCL-flavoured semantics
-// (runtime program building instead of binary loading, NDRange launches
-// instead of grids).
+// OpenCL device module. The paper's runtime "is organized as a
+// collection of modules, each one implementing support for a particular
+// device class" and its conclusion notes work "on further extending
+// ompi to target OpenCL devices"; this is that module. It drives a
+// driver ordinal of the simulated board — on a heterogeneous board the
+// runtime boots it over an `ocl`-profile device — with OpenCL-flavoured
+// semantics: programs build from source at runtime (clBuildProgram)
+// instead of loading precompiled binaries, and launches are NDRange
+// enqueues whose latency comes from the device's own profile.
+//
+// Because the accelerator is a driver device, the module implements the
+// full QueueableModule interface: command queues are driver streams,
+// completion events tick on the shared modeled clock, and an
+// OffloadQueue (and through it the work-stealing scheduler) can drive
+// the device exactly like a cudadev GPU.
 #pragma once
 
 #include <map>
-#include <memory>
 #include <string>
 
+#include "cudadrv/cuda.h"
 #include "hostrt/module.h"
 #include "sim/device.h"
 
 namespace hostrt {
 
-class OpenclDevModule : public DeviceModule {
+class OpenclDevModule : public QueueableModule {
  public:
-  OpenclDevModule();
+  /// `ordinal` selects which simulated device this module drives (the
+  /// runtime assigns it the board's `ocl`-profile ordinal).
+  explicit OpenclDevModule(int ordinal = 0);
   ~OpenclDevModule() override;
 
   std::string name() const override { return "opencldev"; }
   int device_count() const override { return 1; }
 
-  void initialize() override;
+  void initialize() override;  // clCreateContext + clCreateCommandQueue
   bool initialized() const override { return initialized_; }
 
   uint64_t alloc(std::size_t size) override;        // clCreateBuffer
@@ -41,15 +49,46 @@ class OpenclDevModule : public DeviceModule {
   /// (clBuildProgram) — OpenCL has no precompiled-binary default.
   OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
 
+  // --- asynchronous path (QueueableModule, driven by the OffloadQueue) --
+  cudadrv::CUdevice device() const override { return device_; }
+  void make_current() override;
+  /// Phase 1 alone: builds the program on first use and resolves the
+  /// kernel; returns the modeled seconds spent.
+  double load(const std::string& module_path,
+              const std::string& kernel_name) override;
+  /// Phases 2+3 on a command queue (driver stream): clSetKernelArg is
+  /// host work, the NDRange enqueue lands on the stream's timeline.
+  OffloadStats launch_async(const KernelLaunchSpec& spec, DataEnv& env,
+                            cudadrv::CUstream stream) override;
+  /// While a queue is bound, write/read become clEnqueueWrite/ReadBuffer
+  /// with blocking=CL_FALSE: asynchronous copies on the bound stream.
+  void bind_stream(cudadrv::CUstream stream) override {
+    bound_stream_ = stream;
+  }
+  cudadrv::CUstream bound_stream() const override { return bound_stream_; }
+
   std::string device_info() override;
 
   /// Modeled seconds spent in runtime program builds so far.
   double build_time_s() const { return build_time_s_; }
-  jetsim::Device& sim() { return *sim_; }
+  /// Underlying simulated accelerator (initializes the device lazily).
+  jetsim::Device& sim();
 
  private:
+  void require_initialized();
+  /// clBuildProgram on first use of a kernel file, then resolves the
+  /// kernel through the driver's module cache.
+  cudadrv::CUfunction get_function(const std::string& module_path,
+                                   const std::string& kernel_name);
+
   bool initialized_ = false;
-  std::unique_ptr<jetsim::Device> sim_;
+  uint64_t epoch_ = 0;  // driver epoch the context belongs to
+  int ordinal_ = 0;
+  cudadrv::CUdevice device_ = 0;
+  cudadrv::CUcontext context_ = nullptr;
+  cudadrv::CUstream bound_stream_ = nullptr;
+  std::map<std::string, cudadrv::CUmodule> module_cache_;
+  std::map<std::string, cudadrv::CUfunction> function_cache_;
   std::map<std::string, bool> built_programs_;
   double build_time_s_ = 0;
 };

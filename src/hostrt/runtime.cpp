@@ -14,12 +14,37 @@ std::unique_ptr<Runtime>& runtime_holder() {
   // reverse construction order, and the runtime's teardown (stream-pool
   // drain, context destruction) calls back into the driver — so the
   // driver state must be constructed before, and outlive, this holder.
-  cudadrv::cuSimDriverCosts();
+  cudadrv::cuSimEpoch();
   static std::unique_ptr<Runtime> p;
   return p;
 }
 bool g_opencl_enabled = false;
 int g_num_devices = 0;  // 0 = unset: OMPI_NUM_DEVICES or board default
+// Explicit per-ordinal profiles; empty = count-based nano board.
+std::vector<jetsim::DeviceProfile> g_profiles;
+
+// Strict environment parsing: a configuration variable that is set but
+// malformed or out of range aborts startup naming the variable, instead
+// of silently running on the board default (the bug class where a
+// mistyped OMPI_NUM_STREAMS=eight benchmarked the wrong machine).
+int parse_env_int(const char* name, const char* value, int lo, int hi) {
+  char* end = nullptr;
+  long n = std::strtol(value, &end, 10);
+  if (!end || end == value || *end != '\0' || n < lo || n > hi)
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is invalid: expected an integer in [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+  return static_cast<int>(n);
+}
+
+bool parse_env_schedule(const char* name, const char* value) {
+  std::string v = value;
+  if (v == "auto") return true;
+  if (v == "default") return false;
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected 'auto' or 'default'");
+}
 }  // namespace
 
 Runtime& Runtime::instance() {
@@ -41,8 +66,10 @@ void Runtime::reset() {
   cudadrv::cuSimReset();
   reset_task_ids();
   // The next runtime starts from the board default again (tests stay
-  // hermetic); OMPI_NUM_DEVICES is re-read at construction.
+  // hermetic); OMPI_NUM_DEVICES / OMPI_DEVICE_PROFILES are re-read at
+  // construction.
   g_num_devices = 0;
+  g_profiles.clear();
 }
 
 void Runtime::set_num_devices(int n) {
@@ -57,51 +84,88 @@ void Runtime::set_opencl_enabled(bool enabled) {
   g_opencl_enabled = enabled;
 }
 
+void Runtime::set_device_profiles(std::vector<jetsim::DeviceProfile> profiles) {
+  if (profiles.size() > static_cast<std::size_t>(kMaxDevices))
+    throw std::invalid_argument("at most " + std::to_string(kMaxDevices) +
+                                " device profiles, got " +
+                                std::to_string(profiles.size()));
+  g_profiles = std::move(profiles);
+}
+
 Runtime::Runtime() {
-  // Stream-pool width for the offload queues; out-of-range or malformed
-  // values fall back to the default rather than failing startup.
-  if (const char* v = std::getenv("OMPI_NUM_STREAMS")) {
-    char* end = nullptr;
-    long n = std::strtol(v, &end, 10);
-    if (end && *end == '\0' && end != v && n >= 1 && n <= kMaxStreams)
-      num_streams_ = static_cast<int>(n);
-  }
-  // Simulated GPU count: the programmatic setting wins, then the
-  // environment; malformed or out-of-range values keep the board default
-  // so all seed behavior is unchanged.
-  int want_devices = g_num_devices;
-  if (want_devices == 0) {
-    if (const char* v = std::getenv("OMPI_NUM_DEVICES")) {
-      char* end = nullptr;
-      long n = std::strtol(v, &end, 10);
-      if (end && *end == '\0' && end != v && n >= 1 && n <= kMaxDevices)
-        want_devices = static_cast<int>(n);
+  // Stream-pool width for the offload queues. A set-but-invalid
+  // variable aborts startup: silently benchmarking on the default pool
+  // is worse than failing loudly.
+  if (const char* v = std::getenv("OMPI_NUM_STREAMS"))
+    num_streams_ = parse_env_int("OMPI_NUM_STREAMS", v, 1, kMaxStreams);
+
+  // Board shape: an explicit profile list wins (programmatic, then
+  // OMPI_DEVICE_PROFILES), else a device count (programmatic, then
+  // OMPI_NUM_DEVICES) of stock nano boards; an unset board keeps the
+  // driver's pending configuration (the single-device default).
+  std::vector<jetsim::DeviceProfile> profiles = g_profiles;
+  if (profiles.empty()) {
+    if (const char* v = std::getenv("OMPI_DEVICE_PROFILES")) {
+      try {
+        profiles = jetsim::parse_profile_list(v);
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error(std::string("OMPI_DEVICE_PROFILES='") + v +
+                                 "' is invalid: " + e.what());
+      }
+      if (profiles.size() > static_cast<std::size_t>(kMaxDevices))
+        throw std::runtime_error(std::string("OMPI_DEVICE_PROFILES='") + v +
+                                 "' is invalid: at most " +
+                                 std::to_string(kMaxDevices) + " devices");
     }
   }
-  if (want_devices > 0) cudadrv::cuSimSetDeviceCount(want_devices);
-  if (const char* v = std::getenv("OMPI_SCHEDULE_DEVICES")) {
-    schedule_auto_ = std::string(v) == "auto";
+  int want_devices = g_num_devices;
+  if (want_devices == 0) {
+    if (const char* v = std::getenv("OMPI_NUM_DEVICES"))
+      want_devices = parse_env_int("OMPI_NUM_DEVICES", v, 1, kMaxDevices);
   }
-  // Application startup: discover all devices of every module. Only the
-  // cudadev module exists on the Jetson Nano board.
-  auto cudadev = std::make_unique<CudadevModule>(0);
-  int n = cudadev->device_count();
+  if (!profiles.empty()) {
+    if (want_devices > 0 &&
+        want_devices != static_cast<int>(profiles.size()))
+      throw std::runtime_error(
+          "device count " + std::to_string(want_devices) +
+          " conflicts with a profile list of " +
+          std::to_string(profiles.size()) +
+          " entries (set one of OMPI_NUM_DEVICES/OMPI_DEVICE_PROFILES)");
+  } else if (want_devices > 0) {
+    profiles.assign(static_cast<std::size_t>(want_devices),
+                    jetsim::builtin_profile("nano"));
+  }
+  // The opencldev module drives an `ocl`-profile ordinal; enabling it
+  // appends one to the board unless the list already carries one.
+  if (g_opencl_enabled) {
+    bool has_ocl = false;
+    for (const jetsim::DeviceProfile& p : profiles) has_ocl |= p.opencl;
+    if (!has_ocl) {
+      if (profiles.empty()) {
+        for (int i = 0; i < cudadrv::cuSimDeviceCount(); ++i)
+          profiles.push_back(jetsim::builtin_profile("nano"));
+      }
+      profiles.push_back(jetsim::builtin_profile("ocl"));
+    }
+  }
+  if (!profiles.empty()) cudadrv::cuSimSetDeviceProfiles(profiles);
+
+  if (const char* v = std::getenv("OMPI_SCHEDULE_DEVICES"))
+    schedule_auto_ = parse_env_schedule("OMPI_SCHEDULE_DEVICES", v);
+
+  // Application startup: boot the board and discover all devices,
+  // creating the module its profile asks for on every ordinal. One
+  // module instance per ordinal: each owns its own device's context.
+  if (cudadrv::cuInit(0) != cudadrv::CUDA_SUCCESS)
+    throw std::runtime_error("driver initialization failed");
+  int n = cudadrv::cuSimDeviceCount();
   for (int i = 0; i < n; ++i) {
     DeviceSlot s;
-    // One module instance per device ordinal: each owns the context of
-    // its own simulated GPU. Slot 0 reuses the discovery module.
-    if (i == 0) {
-      s.module = std::move(cudadev);
+    if (cudadrv::cuSimDeviceProfile(i).opencl) {
+      s.module = std::make_unique<OpenclDevModule>(i);
     } else {
       s.module = std::make_unique<CudadevModule>(i);
     }
-    s.env = std::make_unique<DataEnv>(*s.module);
-    slots_.push_back(std::move(s));
-  }
-  cudadev_count_ = n;
-  if (g_opencl_enabled) {
-    DeviceSlot s;
-    s.module = std::make_unique<OpenclDevModule>();
     s.env = std::make_unique<DataEnv>(*s.module);
     slots_.push_back(std::move(s));
   }
@@ -118,17 +182,18 @@ void Runtime::ensure_ready(int dev) {
   DeviceSlot& s = slot(dev);
   if (!s.module->initialized()) s.module->initialize();
   if (!s.queue) {
-    // The offload queue exists once the device does; only the cudadev
-    // module has a stream-capable driver behind it.
-    if (auto* cuda = dynamic_cast<CudadevModule*>(s.module.get()))
-      s.queue = std::make_unique<OffloadQueue>(*cuda, *s.env, num_streams_);
+    // The offload queue exists once the device does; every queueable
+    // module (cudadev and opencldev) has a stream-capable driver device
+    // behind it.
+    if (auto* q = dynamic_cast<QueueableModule*>(s.module.get()))
+      s.queue = std::make_unique<OffloadQueue>(*q, *s.env, num_streams_);
   }
 }
 
 WorkStealingScheduler& Runtime::scheduler() {
   if (!scheduler_) {
     std::vector<OffloadQueue*> queues;
-    for (int i = 0; i < cudadev_count_; ++i) {
+    for (int i = 0; i < device_count_; ++i) {
       ensure_ready(i);
       queues.push_back(slot(i).queue.get());
     }
@@ -140,10 +205,10 @@ WorkStealingScheduler& Runtime::scheduler() {
 bool Runtime::route_auto(int& dev) {
   if (dev == kDeviceAuto) {
     dev = default_device_;
-    return cudadev_count_ > 0;
+    return device_count_ > 0;
   }
   if (dev == -1) dev = default_device_;
-  return schedule_auto_ && dev == default_device_ && dev < cudadev_count_;
+  return schedule_auto_ && dev == default_device_ && dev < device_count_;
 }
 
 void Runtime::set_num_streams(int n) {

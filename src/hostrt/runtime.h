@@ -22,9 +22,10 @@ class Runtime {
   /// Tears down the runtime and the simulated driver; tests use this to
   /// start each scenario from a cold board.
   static void reset();
-  /// Enables the preliminary opencldev module for subsequently created
-  /// runtimes (paper §6: OpenCL support is in progress). The OpenCL
-  /// accelerator appears after the cudadev GPU in the device numbering.
+  /// Enables the opencldev module for subsequently created runtimes
+  /// (paper §6: OpenCL support is in progress). The OpenCL accelerator
+  /// boots as an extra `ocl`-profile device after the cudadev GPUs in
+  /// the device numbering (unless the profile list already carries one).
   static void set_opencl_enabled(bool enabled);
 
   /// Simulated GPU count for subsequently created runtimes (the
@@ -32,6 +33,15 @@ class Runtime {
   /// Throws std::invalid_argument outside [1, kMaxDevices].
   static void set_num_devices(int n);
   static constexpr int kMaxDevices = 16;
+
+  /// Per-ordinal device profiles for subsequently created runtimes: the
+  /// board boots one device per entry, each priced by its own profile
+  /// (the OMPI_DEVICE_PROFILES environment variable, e.g.
+  /// "nano,nano-slow,ocl", seeds the list). Entries with
+  /// profile.opencl are driven by the opencldev module, the rest by
+  /// cudadev. An empty list reverts to the count-based nano board.
+  /// Throws std::invalid_argument for more than kMaxDevices entries.
+  static void set_device_profiles(std::vector<jetsim::DeviceProfile> profiles);
 
   /// Device argument meaning "let the work-stealing scheduler place the
   /// task" (the compiler emits it for `device(auto)` as ORT_DEV_AUTO).
@@ -75,8 +85,9 @@ class Runtime {
   /// the device; -1 waits on all devices.
   void sync(int dev = -1);
 
-  /// The device's offload queue; null for modules without async support
-  /// (opencldev) or before the device's lazy initialization.
+  /// The device's offload queue (every queueable module — cudadev and
+  /// opencldev — gets one); null before the device's lazy
+  /// initialization.
   OffloadQueue* queue(int dev);
 
   // --- offload-queue configuration ------------------------------------
@@ -93,8 +104,8 @@ class Runtime {
   /// Tasks with dev == kDeviceAuto always are.
   void set_schedule_devices_auto(bool enabled) { schedule_auto_ = enabled; }
   bool schedule_devices_auto() const { return schedule_auto_; }
-  /// The scheduler over every cudadev queue; created (and all cudadev
-  /// devices initialized) on first use.
+  /// The scheduler over every device queue — cudadev and opencldev
+  /// alike; created (and all devices initialized) on first use.
   WorkStealingScheduler& scheduler();
   /// Device the scheduler placed a submitted task on.
   int task_device(TaskId id) { return scheduler().device_of(id); }
@@ -124,7 +135,6 @@ class Runtime {
 
   std::vector<DeviceSlot> slots_;
   int device_count_ = 0;
-  int cudadev_count_ = 0;  // cudadev devices (ordinals 0..n-1)
   int default_device_ = 0;
   int num_streams_ = OffloadQueue::kDefaultStreams;
   bool schedule_auto_ = false;

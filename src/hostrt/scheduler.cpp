@@ -1,6 +1,7 @@
 #include "hostrt/scheduler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "sim/timing.h"
@@ -43,6 +44,42 @@ jetsim::Device& WorkStealingScheduler::sim(int dev) const {
   return cudadrv::cuSimDevice(queues_[static_cast<std::size_t>(dev)]
                                   ->module()
                                   .device());
+}
+
+bool WorkStealingScheduler::time_eq(double a, double b) {
+  // Relative epsilon with an absolute floor: near-zero clocks would make
+  // a purely relative tolerance vanish, and modeled time below a
+  // picosecond is noise by construction.
+  double tol = 1e-9 * std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= std::max(tol, 1e-12);
+}
+
+bool WorkStealingScheduler::time_less(double a, double b) {
+  return a < b && !time_eq(a, b);
+}
+
+double WorkStealingScheduler::speed(int dev) const {
+  const jetsim::DeviceProps& p = sim(dev).props();
+  return p.clock_hz * p.sm_count * p.cores_per_sm;
+}
+
+double WorkStealingScheduler::transfer_estimate(
+    const std::vector<MapItem>& maps, int dev) const {
+  const jetsim::DriverCosts& costs = cudadrv::cuSimDriverCosts(
+      queues_[static_cast<std::size_t>(dev)]->module().device());
+  double s = 0;
+  for (const MapItem& m : maps) {
+    // Already resident somewhere: either on `dev` (no transfer) or
+    // foreign (the migration term prices the peer copy).
+    if (resident_device(m.host) >= 0) continue;
+    if (m.type == MapType::To || m.type == MapType::ToFrom)
+      s += costs.memcpy_overhead_s +
+           static_cast<double>(m.size) / costs.memcpy_bandwidth;
+    if (m.type == MapType::From || m.type == MapType::ToFrom)
+      s += costs.memcpy_overhead_s +
+           static_cast<double>(m.size) / costs.memcpy_bandwidth;
+  }
+  return s;
 }
 
 double WorkStealingScheduler::host_now() const {
@@ -206,34 +243,62 @@ TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
     }
   }
 
-  // Victim selection: earliest modeled start, with the migration bill on
-  // the candidate's side of the ledger. Ties go to data locality (the
-  // device holding the largest share of the task's footprint), then to
-  // the smaller drain point — a stream pool hides queue depth from
-  // earliest_free() until every slot is busy, and the horizon tie-break
-  // is what spreads homogeneous independent chains round-robin
-  // ("steal-half") across an idle pool instead of pooling them on the
-  // lowest ordinal.
-  const jetsim::DriverCosts& costs = cudadrv::cuSimDriverCosts();
+  // Victim selection: earliest modeled *finish*, with the migration bill
+  // on the candidate's side of the ledger. In profile-aware mode (the
+  // default) every term is priced by the candidate's own device profile:
+  // migrations over the actual peer-link pair, fresh transfers at the
+  // candidate's bandwidth, and the kernel's learned work estimate scaled
+  // by the candidate's speed — so a fast board absorbs more of a
+  // compute-bound chain than a slow companion. Ties (within a relative
+  // epsilon, so accumulated float noise cannot flap the decision) go to
+  // data locality (the device holding the largest share of the task's
+  // footprint), then to the smaller drain point — a stream pool hides
+  // queue depth from earliest_free() until every slot is busy, and the
+  // horizon tie-break is what spreads homogeneous independent chains
+  // round-robin ("steal-half") across an idle pool instead of pooling
+  // them on the lowest ordinal — then to the lowest ordinal.
   int chosen = 0;
   double chosen_cost = 0;
   std::size_t chosen_resident = 0;
   double chosen_horizon = 0;
+  double work = 0;
+  if (profile_aware_) {
+    auto it = kernel_work_.find(spec.kernel_name);
+    if (it != kernel_work_.end()) work = it->second;
+  }
   for (int d = 0; d < device_count(); ++d) {
-    const OffloadQueue& q = *queues_[static_cast<std::size_t>(d)];
+    OffloadQueue& q = *queues_[static_cast<std::size_t>(d)];
+    const jetsim::DriverCosts& d_costs =
+        cudadrv::cuSimDriverCosts(q.module().device());
     double mig_s = 0;
     for (const void* base : foreign_residents(maps, d)) {
       auto it = residency_.find(reinterpret_cast<uintptr_t>(base));
-      mig_s += jetsim::peer_copy_seconds(costs, it->second.size);
+      const jetsim::DriverCosts& v_costs = cudadrv::cuSimDriverCosts(
+          queues_[static_cast<std::size_t>(it->second.dev)]
+              ->module()
+              .device());
+      mig_s += jetsim::peer_copy_seconds(v_costs, d_costs, it->second.size);
     }
     double start = std::max({q.earliest_free(), now, dep_ready});
     double cost = start + mig_s;
+    if (profile_aware_) {
+      // The SM engine can be backed up behind other streams' kernels
+      // even while a stream slot is free.
+      start = std::max(start, sim(d).compute_engine_free());
+      cost = start + mig_s + transfer_estimate(maps, d);
+      if (work > 0) cost += work / speed(d);
+    }
     std::size_t res = resident_bytes_on(maps, d);
     double hor = q.horizon();
-    bool better = d == 0 || cost < chosen_cost ||
-                  (cost == chosen_cost &&
-                   (res > chosen_resident ||
-                    (res == chosen_resident && hor < chosen_horizon)));
+    bool better = false;
+    if (d == 0 || time_less(cost, chosen_cost)) {
+      better = true;
+    } else if (time_eq(cost, chosen_cost)) {
+      if (res > chosen_resident ||
+          (res == chosen_resident && time_less(hor, chosen_horizon)))
+        better = true;
+      // Full tie: keep the lower ordinal (deterministic fallback).
+    }
     if (better) {
       chosen = d;
       chosen_cost = cost;
@@ -276,6 +341,16 @@ TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
 
   // Publish the task's accesses for later submits and quiesce().
   const TaskRecord& rec = q.record(id);
+
+  // Learn the kernel's work from the observed execution time, in
+  // device-neutral speed units, so the next submit can price it on any
+  // candidate (EMA smooths geometry/input variation across launches).
+  if (rec.stats.exec_s > 0) {
+    double observed = rec.stats.exec_s * speed(chosen);
+    auto [it, fresh] = kernel_work_.try_emplace(spec.kernel_name, observed);
+    if (!fresh) it->second = 0.5 * it->second + 0.5 * observed;
+  }
+
   for (const auto& [addr, writes] : accesses) {
     Access& acc = table_[addr];
     if (writes) {

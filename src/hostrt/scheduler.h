@@ -34,8 +34,8 @@ struct StealStats {
 
 class WorkStealingScheduler {
  public:
-  /// `queues[i]` must drive device ordinal i (the runtime guarantees the
-  /// cudadev devices are numbered contiguously from 0).
+  /// `queues[i]` must drive device ordinal i (the runtime guarantees
+  /// devices — cudadev and opencldev alike — are numbered from 0).
   explicit WorkStealingScheduler(std::vector<OffloadQueue*> queues);
   ~WorkStealingScheduler();
 
@@ -76,6 +76,26 @@ class WorkStealingScheduler {
 
   const StealStats& stats() const { return stats_; }
   int device_count() const { return static_cast<int>(queues_.size()); }
+
+  // --- profile-aware placement ------------------------------------------
+  /// When enabled (the default), the placement estimate prices each
+  /// candidate from its own device profile: transfers at the device's
+  /// modeled bandwidth, migrations over the actual peer-link pair, and
+  /// kernel time scaled by the device's speed (clock x SMs x cores)
+  /// using a per-kernel running work estimate learned from past runs.
+  /// Disabled, the scheduler is profile-blind — earliest stream slot
+  /// plus a home-profile migration guess — which is the seed behavior
+  /// and the baseline micro_hetero benchmarks against.
+  void set_profile_aware(bool enabled) { profile_aware_ = enabled; }
+  bool profile_aware() const { return profile_aware_; }
+
+  /// Modeled-time comparison with a relative epsilon (absolute floor
+  /// 1e-12 s): two candidate costs that differ only by accumulated
+  /// floating-point noise compare equal, so ties fall through to the
+  /// locality/horizon tie-breaks and then to the lowest ordinal instead
+  /// of flapping on bit-level noise. Public for direct unit testing.
+  static bool time_eq(double a, double b);
+  static bool time_less(double a, double b);
 
   /// The single host thread's clock is the max over the per-device sim
   /// clocks (host work may have advanced any one of them last).
@@ -122,6 +142,13 @@ class WorkStealingScheduler {
 
   cudadrv::CUstream migration_stream(int dev);
   jetsim::Device& sim(int dev) const;
+  /// Device speed in issue slots per second: clock x SMs x cores. The
+  /// unit a kernel's learned work estimate is stored in.
+  double speed(int dev) const;
+  /// Modeled seconds device `dev` would spend on this task's H2D/D2H
+  /// transfers for map items not yet resident anywhere (priced from the
+  /// device's own cost table).
+  double transfer_estimate(const std::vector<MapItem>& maps, int dev) const;
 
   std::vector<OffloadQueue*> queues_;
   std::vector<cudadrv::CUstream> mig_streams_;  // lazily created, per device
@@ -129,6 +156,10 @@ class WorkStealingScheduler {
   std::map<const void*, Access> table_;
   std::map<uintptr_t, Resident> residency_;  // mapping base -> location
   std::map<TaskId, int> placement_;          // task -> device ordinal
+  // Per-kernel running work estimate in speed units (EMA over observed
+  // exec time x the executing device's speed); feeds exec estimates.
+  std::map<std::string, double> kernel_work_;
+  bool profile_aware_ = true;
   StealStats stats_;
 };
 

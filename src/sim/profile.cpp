@@ -1,0 +1,94 @@
+#include "sim/profile.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace jetsim {
+
+namespace {
+
+DeviceProfile make_nano() {
+  return DeviceProfile{};  // every default models the paper's board
+}
+
+// A Nano-class companion board on the slow end of the product line:
+// one-third GPU clock, half the DRAM and transfer bandwidth, and a
+// driver with roughly doubled per-call overheads. Placement across
+// {nano, nano-slow} is where locality- and profile-aware decisions
+// start to matter: a task that is cheap on the fast board is three
+// times as expensive here.
+DeviceProfile make_nano_slow() {
+  DeviceProfile p;
+  p.name = "nano-slow";
+  p.props.name = "Simulated slow Nano-class companion (Maxwell, sm_53)";
+  p.props.clock_hz = 307.2e6;
+  p.props.dram_bandwidth = 12.8e9;
+  p.driver.launch_overhead_s = 18e-6;
+  p.driver.memcpy_overhead_s = 8e-6;
+  p.driver.memcpy_bandwidth = 6.4e9;
+  p.driver.memcpy_pinned_bandwidth = 10.2e9;
+  p.driver.host_memcpy_bandwidth = 8e9;
+  p.driver.alloc_overhead_s = 16e-6;
+  p.driver.free_overhead_s = 8e-6;
+  p.driver.memcpy_peer_overhead_s = 12e-6;
+  p.driver.memcpy_peer_bandwidth = 9e9;
+  return p;
+}
+
+// The OpenCL accelerator the paper's conclusion targets: modest clock,
+// command queues that add launch latency, and buffer transfers through
+// a runtime that stages everything (no pinned fast path to speak of).
+DeviceProfile make_ocl() {
+  DeviceProfile p;
+  p.name = "ocl";
+  p.opencl = true;
+  p.props.name = "Simulated OpenCL accelerator (128 PEs)";
+  p.props.clock_hz = 614.4e6;
+  p.driver.launch_overhead_s = 14e-6;  // clEnqueueNDRangeKernel latency
+  p.driver.memcpy_overhead_s = 7e-6;   // clEnqueueWrite/ReadBuffer
+  p.driver.memcpy_bandwidth = 8e9;
+  p.driver.memcpy_pinned_bandwidth = 9e9;
+  p.driver.memcpy_peer_overhead_s = 10e-6;
+  p.driver.memcpy_peer_bandwidth = 12e9;
+  return p;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_profile_names() {
+  return {"nano", "nano-slow", "ocl"};
+}
+
+DeviceProfile builtin_profile(const std::string& name) {
+  if (name == "nano") return make_nano();
+  if (name == "nano-slow") return make_nano_slow();
+  if (name == "ocl") return make_ocl();
+  std::ostringstream os;
+  os << "unknown device profile '" << name << "' (known:";
+  for (const std::string& n : builtin_profile_names()) os << " " << n;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+std::vector<DeviceProfile> parse_profile_list(const std::string& spec) {
+  std::vector<DeviceProfile> profiles;
+  std::string::size_type pos = 0;
+  while (true) {
+    std::string::size_type comma = spec.find(',', pos);
+    std::string name = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    // Trim surrounding spaces so "nano, ocl" parses.
+    std::string::size_type b = name.find_first_not_of(" \t");
+    std::string::size_type e = name.find_last_not_of(" \t");
+    name = b == std::string::npos ? "" : name.substr(b, e - b + 1);
+    if (name.empty())
+      throw std::invalid_argument("empty device profile name in list '" +
+                                  spec + "'");
+    profiles.push_back(builtin_profile(name));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return profiles;
+}
+
+}  // namespace jetsim

@@ -1,0 +1,48 @@
+// Per-device profiles for heterogeneous simulated boards. The paper's
+// board carries one Maxwell GPU, but the runtime grew into a
+// multi-device system whose placement decisions only mean something
+// when each device has its own cost model: a DeviceProfile bundles the
+// hardware description (DeviceProps), the kernel-side charge table
+// (CostModel) and the driver-side overheads (DriverCosts) under one
+// name, and the driver facade instantiates one simulated device per
+// profile (DESIGN.md §5f).
+//
+// Profiles are selected by name — `OMPI_DEVICE_PROFILES=nano,nano-slow`
+// boots a two-device board with one stock Nano and one slow companion —
+// so benches, tests and applications configure heterogeneity without
+// poking individual cost fields.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/device_props.h"
+#include "sim/timing.h"
+
+namespace jetsim {
+
+struct DeviceProfile {
+  std::string name = "nano";
+  DeviceProps props;
+  CostModel costs;
+  DriverCosts driver;
+  // The device is driven by the opencldev host module (runtime program
+  // builds, NDRange launches) instead of the cudadev module.
+  bool opencl = false;
+};
+
+/// Named preset: "nano" (the paper's board), "nano-slow" (a Nano-class
+/// companion at one-third clock and half transfer bandwidth) or "ocl"
+/// (the OpenCL accelerator). Throws std::invalid_argument for any other
+/// name, listing the known ones.
+DeviceProfile builtin_profile(const std::string& name);
+
+/// The preset names, in presentation order.
+std::vector<std::string> builtin_profile_names();
+
+/// Parses a comma-separated profile list ("nano,nano-slow,ocl") into
+/// profiles. Throws std::invalid_argument on an empty list, an empty
+/// element or an unknown name.
+std::vector<DeviceProfile> parse_profile_list(const std::string& spec);
+
+}  // namespace jetsim

@@ -10,6 +10,16 @@ double peer_copy_seconds(const DriverCosts& costs, std::size_t bytes) {
          static_cast<double>(bytes) / costs.memcpy_peer_bandwidth;
 }
 
+double peer_copy_seconds(const DriverCosts& src, const DriverCosts& dst,
+                         std::size_t bytes) {
+  // Both drivers set up their side of the transfer (the slower one
+  // gates the start) and the payload moves at the rate of the slower
+  // DMA engine — a heterogeneous link is only as fast as its weak end.
+  return std::max(src.memcpy_peer_overhead_s, dst.memcpy_peer_overhead_s) +
+         static_cast<double>(bytes) /
+             std::min(src.memcpy_peer_bandwidth, dst.memcpy_peer_bandwidth);
+}
+
 int TimingModel::occupancy_blocks(unsigned threads_per_block,
                                   std::size_t shared_mem_per_block) const {
   if (threads_per_block == 0) return 1;

@@ -82,8 +82,14 @@ struct DriverCosts {
   double memcpy_peer_bandwidth = 18e9;
 };
 
-/// Modeled duration of one device-to-device peer copy of `bytes`.
+/// Modeled duration of one device-to-device peer copy of `bytes` when
+/// both ends share the same driver cost table.
 double peer_copy_seconds(const DriverCosts& costs, std::size_t bytes);
+
+/// Heterogeneous peer link: the copy pays the larger of the two
+/// endpoints' setup overheads and moves at the slower endpoint's rate.
+double peer_copy_seconds(const DriverCosts& src, const DriverCosts& dst,
+                         std::size_t bytes);
 
 /// Aggregated accounting for one block after it retires.
 struct BlockAccount {

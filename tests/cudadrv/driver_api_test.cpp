@@ -154,7 +154,7 @@ TEST_F(DriverApi, MemcpyAdvancesModeledClock) {
   double t0 = cuSimDevice().now();
   ASSERT_EQ(cuMemcpyHtoD(p, buf.data(), buf.size()), CUDA_SUCCESS);
   double dt = cuSimDevice().now() - t0;
-  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  const jetsim::DriverCosts& c = cuSimDriverCosts(0);
   double expect = c.memcpy_overhead_s + buf.size() / c.memcpy_bandwidth;
   EXPECT_NEAR(dt, expect, expect * 1e-9);
 }
@@ -212,7 +212,7 @@ TEST_F(DriverApi, PinnedTransferUsesTheFasterBandwidth) {
   void* pinned = nullptr;
   ASSERT_EQ(cuMemAllocHost(&pinned, kBytes), CUDA_SUCCESS);
 
-  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  const jetsim::DriverCosts& c = cuSimDriverCosts(0);
   double t0 = cuSimDevice().now();
   ASSERT_EQ(cuMemcpyHtoD(d, pinned, kBytes), CUDA_SUCCESS);
   double pinned_dt = cuSimDevice().now() - t0;
@@ -230,7 +230,7 @@ TEST_F(DriverApi, AllocAndFreeChargeDriverOverhead) {
   ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
   CUcontext ctx;
   ASSERT_EQ(cuCtxCreate(&ctx, 0, 0), CUDA_SUCCESS);
-  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  const jetsim::DriverCosts& c = cuSimDriverCosts(0);
   double t0 = cuSimDevice().now();
   CUdeviceptr p = 0;
   ASSERT_EQ(cuMemAlloc(&p, 4096), CUDA_SUCCESS);
@@ -325,7 +325,7 @@ TEST_F(DriverApi, MemcpyPeerAsyncMovesDataAndChargesPeerModel) {
   // clock (cuMemAlloc above already advanced it past the stream's ready).
   double base = std::max(cuSimStreamReady(s), cuSimDevice(1).now());
   ASSERT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, bytes, s), CUDA_SUCCESS);
-  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  const jetsim::DriverCosts& c = cuSimDriverCosts(0);
   double expect = jetsim::peer_copy_seconds(c, bytes);
   EXPECT_NEAR(cuSimStreamReady(s) - base, expect, expect * 1e-9)
       << "the peer copy is charged on the destination stream";
@@ -368,11 +368,85 @@ TEST_F(DriverApi, MemcpyPeerAsyncValidatesDevicesAndNullStreamIsSync) {
   // context's clock advances past the transfer.
   double t0 = cuSimDevice(1).now();
   ASSERT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, bytes, nullptr), CUDA_SUCCESS);
-  double expect = jetsim::peer_copy_seconds(cuSimDriverCosts(), bytes);
+  double expect = jetsim::peer_copy_seconds(cuSimDriverCosts(0), bytes);
   EXPECT_GE(cuSimDevice(1).now() - t0, expect * (1 - 1e-9));
   std::vector<char> back(bytes);
   ASSERT_EQ(cuMemcpyDtoH(back.data(), dst, bytes), CUDA_SUCCESS);
   EXPECT_EQ(back, host);
+}
+
+TEST_F(DriverApi, ProfilesBootAHeterogeneousBoard) {
+  cuSimSetDeviceProfiles(
+      {jetsim::builtin_profile("nano"), jetsim::builtin_profile("nano-slow")});
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  int n = 0;
+  ASSERT_EQ(cuDeviceGetCount(&n), CUDA_SUCCESS);
+  ASSERT_EQ(n, 2);
+  EXPECT_EQ(cuSimDeviceProfile(0).name, "nano");
+  EXPECT_EQ(cuSimDeviceProfile(1).name, "nano-slow");
+  EXPECT_THROW(cuSimDeviceProfile(2), jetsim::SimError);
+  EXPECT_THROW(cuSimDriverCosts(-1), jetsim::SimError);
+
+  // Each ordinal reports its own hardware: the companion runs at a
+  // third of the Nano's clock and identifies itself by name.
+  EXPECT_LT(cuSimDevice(1).props().clock_hz, cuSimDevice(0).props().clock_hz);
+  char name[128];
+  ASSERT_EQ(cuDeviceGetName(name, sizeof name, 1), CUDA_SUCCESS);
+  EXPECT_NE(std::strstr(name, "slow"), nullptr);
+}
+
+TEST_F(DriverApi, SlowProfileChargesItsOwnTransferAndLaunchCosts) {
+  // The regression the per-device tables exist for: with the old global
+  // cost singleton every device transferred at Nano speed, so a slow
+  // companion board was modeled exactly as fast as the real thing.
+  cuSimSetDeviceProfiles(
+      {jetsim::builtin_profile("nano"), jetsim::builtin_profile("nano-slow")});
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  const std::size_t bytes = 1 << 20;
+  std::vector<char> buf(bytes, 1);
+  double dt[2];
+  for (CUdevice dev = 0; dev < 2; ++dev) {
+    CUcontext ctx;
+    ASSERT_EQ(cuCtxCreate(&ctx, 0, dev), CUDA_SUCCESS);
+    CUdeviceptr p = 0;
+    ASSERT_EQ(cuMemAlloc(&p, bytes), CUDA_SUCCESS);
+    double t0 = cuSimDevice(dev).now();
+    ASSERT_EQ(cuMemcpyHtoD(p, buf.data(), bytes), CUDA_SUCCESS);
+    dt[dev] = cuSimDevice(dev).now() - t0;
+    const jetsim::DriverCosts& c = cuSimDriverCosts(dev);
+    double expect = c.memcpy_overhead_s + bytes / c.memcpy_bandwidth;
+    EXPECT_NEAR(dt[dev], expect, expect * 1e-9) << "device " << dev;
+  }
+  EXPECT_GT(dt[1], 1.5 * dt[0])
+      << "the slow companion must not transfer at Nano speed";
+}
+
+TEST_F(DriverApi, PeerCopyIsPricedOverTheActualLinkPair) {
+  cuSimSetDeviceProfiles(
+      {jetsim::builtin_profile("nano"), jetsim::builtin_profile("nano-slow")});
+  ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+  CUcontext ctx0, ctx1;
+  ASSERT_EQ(cuCtxCreate(&ctx0, 0, 0), CUDA_SUCCESS);
+  const std::size_t bytes = 2 << 20;
+  std::vector<char> host(bytes, 7);
+  CUdeviceptr src = 0;
+  ASSERT_EQ(cuMemAlloc(&src, bytes), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemcpyHtoD(src, host.data(), bytes), CUDA_SUCCESS);
+  ASSERT_EQ(cuCtxCreate(&ctx1, 0, 1), CUDA_SUCCESS);
+  CUdeviceptr dst = 0;
+  ASSERT_EQ(cuMemAlloc(&dst, bytes), CUDA_SUCCESS);
+  CUstream s;
+  ASSERT_EQ(cuStreamCreate(&s, 0), CUDA_SUCCESS);
+
+  double base = std::max(cuSimStreamReady(s), cuSimDevice(1).now());
+  ASSERT_EQ(cuMemcpyPeerAsync(dst, 1, src, 0, bytes, s), CUDA_SUCCESS);
+  // The link runs at the slower endpoint's bandwidth with the larger
+  // endpoint overhead — not at the source's (fast) solo numbers.
+  double expect = jetsim::peer_copy_seconds(cuSimDriverCosts(0),
+                                            cuSimDriverCosts(1), bytes);
+  EXPECT_NEAR(cuSimStreamReady(s) - base, expect, expect * 1e-9);
+  EXPECT_GT(expect, jetsim::peer_copy_seconds(cuSimDriverCosts(0), bytes))
+      << "pairing with a slow device must slow the link down";
 }
 
 TEST_F(DriverApi, ErrorNamesAreStable) {

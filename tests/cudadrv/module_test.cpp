@@ -101,7 +101,7 @@ TEST_F(ModuleApi, SaxpyEndToEnd) {
 
 TEST_F(ModuleApi, PtxJitIsExpensiveOnceThenCached) {
   install_saxpy("saxpy_kernels.ptx", BinaryKind::Ptx, 16 * 1024);
-  const jetsim::DriverCosts& c = cuSimDriverCosts();
+  const jetsim::DriverCosts& c = cuSimDriverCosts(0);
 
   CUmodule mod;
   double t0 = cuSimDevice().now();
@@ -125,7 +125,7 @@ TEST_F(ModuleApi, JitCacheCanBeCleared) {
   double t0 = cuSimDevice().now();
   ASSERT_EQ(cuModuleLoad(&mod, "k.ptx"), CUDA_SUCCESS);
   double dt = cuSimDevice().now() - t0;
-  EXPECT_NEAR(dt, 8.0 * cuSimDriverCosts().jit_compile_s_per_kb, 1e-12);
+  EXPECT_NEAR(dt, 8.0 * cuSimDriverCosts(0).jit_compile_s_per_kb, 1e-12);
 }
 
 TEST_F(ModuleApi, CubinLoadsFasterThanColdJit) {
@@ -187,7 +187,7 @@ TEST_F(ModuleApi, LaunchChargesOverheadAndKernelTime) {
       CUDA_SUCCESS);
   double dt = cuSimDevice().now() - t0;
   // At least the fixed launch overhead plus some kernel time.
-  EXPECT_GT(dt, cuSimDriverCosts().launch_overhead_s);
+  EXPECT_GT(dt, cuSimDriverCosts(0).launch_overhead_s);
   ASSERT_EQ(cuSimDevice().launch_log().size(), 1u);
   EXPECT_EQ(cuSimDevice().launch_log()[0].kernel_name, "saxpy");
 }

@@ -8,6 +8,7 @@
 
 #include "devrt/devrt.h"
 #include "hostrt/runtime.h"
+#include "sim/profile.h"
 
 namespace hostrt {
 namespace {
@@ -26,7 +27,11 @@ void install_scale_kernel() {
     float* v = args.pointer<float>(2, static_cast<std::size_t>(n));
     int gid = static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
                                ctx.linear_tid());
-    if (gid < n) v[gid] *= f;
+    if (gid < n) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2);
+      ctx.charge_flops(256);
+      v[gid] *= f;
+    }
   };
   img.add_kernel(std::move(k));
   cudadrv::BinaryRegistry::instance().install(std::move(img));
@@ -128,6 +133,136 @@ TEST_F(OpenclDev, BothDevicesHoldIndependentDataEnvironments) {
   EXPECT_TRUE(rt.env(1).is_present(v.data()));
   rt.target_exit_data(0, {item});
   rt.target_exit_data(1, {item});
+}
+
+TEST_F(OpenclDev, TransfersArePricedFromTheDeviceProfile) {
+  // Regression: write()/read() used to price every transfer from a
+  // default-constructed DriverCosts — Nano speed no matter how slow the
+  // actual accelerator's profile said its bus was.
+  cudadrv::cuSimSetDeviceProfiles(
+      {jetsim::builtin_profile("nano"), jetsim::builtin_profile("ocl")});
+  OpenclDevModule mod(1);
+  mod.initialize();
+  const std::size_t bytes = 1 << 20;
+  std::vector<char> host(bytes, 3);
+  uint64_t d = mod.alloc(bytes);
+
+  jetsim::Device& sim = mod.sim();
+  double t0 = sim.now();
+  mod.write(d, host.data(), bytes);
+  double write_s = sim.now() - t0;
+  const jetsim::DriverCosts& c = cudadrv::cuSimDriverCosts(1);
+  double expect = c.memcpy_overhead_s + bytes / c.memcpy_bandwidth;
+  EXPECT_NEAR(write_s, expect, expect * 1e-9);
+
+  t0 = sim.now();
+  mod.read(host.data(), d, bytes);
+  EXPECT_NEAR(sim.now() - t0, expect, expect * 1e-9);
+  mod.free(d);
+
+  jetsim::DriverCosts nano;
+  double nano_priced = nano.memcpy_overhead_s + bytes / nano.memcpy_bandwidth;
+  EXPECT_GT(write_s, 1.2 * nano_priced)
+      << "the OpenCL device must not transfer at Nano speed";
+}
+
+TEST_F(OpenclDev, OffloadQueueOrdersNowaitTasksByDependences) {
+  cudadrv::cuSimSetDeviceProfiles({jetsim::builtin_profile("ocl")});
+  OpenclDevModule mod;
+  mod.initialize();
+  DataEnv env(mod);
+  OffloadQueue queue(mod, env, 3);
+
+  const int n = 1 << 16;
+  std::vector<float> v(n, 1.0f), w(n, 1.0f);
+  std::vector<MapItem> vmaps = {{v.data(), n * sizeof(float),
+                                 MapType::ToFrom}};
+  std::vector<MapItem> wmaps = {{w.data(), n * sizeof(float),
+                                 MapType::ToFrom}};
+
+  // a -> b chain through v; c touches w only and may overlap the chain.
+  TaskId a = queue.enqueue(scale_spec(n, 2.0f, v.data()), vmaps,
+                           {DependItem::out(v.data())});
+  TaskId b = queue.enqueue(scale_spec(n, 5.0f, v.data()), vmaps,
+                           {DependItem::inout(v.data())});
+  TaskId c = queue.enqueue(scale_spec(n, 3.0f, w.data()), wmaps,
+                           {DependItem::out(w.data())});
+  queue.sync();
+
+  EXPECT_FLOAT_EQ(v[0], 10.0f);
+  EXPECT_FLOAT_EQ(w[0], 3.0f);
+  const TaskRecord& ra = queue.record(a);
+  const TaskRecord& rb = queue.record(b);
+  const TaskRecord& rc = queue.record(c);
+  EXPECT_GE(rb.ready_at, ra.end_s * (1 - 1e-9))
+      << "the dependent task waits for its producer's completion event";
+  EXPECT_LT(rc.start_s, ra.end_s)
+      << "the independent task overlaps the chain on the second queue "
+         "stream";
+  EXPECT_GT(ra.stats.exec_s, 0.0);
+}
+
+TEST_F(OpenclDev, SchedulerPlacesAutoTasksAcrossBothModules) {
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  rt.set_schedule_devices_auto(true);
+  ASSERT_EQ(rt.num_devices(), 2);
+
+  const int n = 4096;
+  constexpr int kTasks = 8;
+  std::vector<std::vector<float>> bufs(kTasks,
+                                       std::vector<float>(n, 1.0f));
+  std::vector<TaskId> ids;
+  for (int i = 0; i < kTasks; ++i) {
+    std::vector<MapItem> maps = {{bufs[i].data(), n * sizeof(float),
+                                  MapType::ToFrom}};
+    ids.push_back(rt.target_nowait(Runtime::kDeviceAuto,
+                                   scale_spec(n, 2.0f, bufs[i].data()),
+                                   maps));
+  }
+  rt.sync();
+
+  bool used[2] = {false, false};
+  for (TaskId id : ids) {
+    int dev = rt.task_device(id);
+    ASSERT_TRUE(dev == 0 || dev == 1);
+    used[dev] = true;
+  }
+  EXPECT_TRUE(used[0] && used[1])
+      << "device(auto) must spread load onto the opencldev queue too";
+  for (int i = 0; i < kTasks; ++i)
+    ASSERT_FLOAT_EQ(bufs[i][0], 2.0f) << "task " << i;
+}
+
+TEST_F(OpenclDev, CrossDeviceDependsOrderAgainstOpenclEvents) {
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  rt.set_schedule_devices_auto(true);
+
+  const int n = 1024;
+  std::vector<float> v(n, 1.0f);
+  std::vector<MapItem> maps = {{v.data(), n * sizeof(float),
+                                MapType::ToFrom}};
+  // A chain of writers to one buffer: wherever each link is placed —
+  // cudadev or opencldev — its completion event must gate the next.
+  TaskId prev = rt.target_nowait(Runtime::kDeviceAuto,
+                                 scale_spec(n, 2.0f, v.data()), maps,
+                                 {DependItem::out(v.data())});
+  std::vector<TaskId> chain = {prev};
+  for (int i = 0; i < 3; ++i) {
+    chain.push_back(rt.target_nowait(Runtime::kDeviceAuto,
+                                     scale_spec(n, 2.0f, v.data()), maps,
+                                     {DependItem::inout(v.data())}));
+  }
+  rt.sync();
+  EXPECT_FLOAT_EQ(v[0], 16.0f) << "2^4: every link ran exactly once";
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const TaskRecord& p = rt.scheduler().record(chain[i - 1]);
+    const TaskRecord& s = rt.scheduler().record(chain[i]);
+    EXPECT_GE(s.exec_start_s, p.exec_end_s * (1 - 1e-9))
+        << "link " << i << " (dev " << s.device
+        << ") started before its producer (dev " << p.device << ") ended";
+  }
 }
 
 TEST_F(OpenclDev, MissingProgramReported) {

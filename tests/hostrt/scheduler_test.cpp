@@ -14,6 +14,7 @@
 #include "cudadrv/cuda.h"
 #include "devrt/devrt.h"
 #include "hostrt/runtime.h"
+#include "sim/profile.h"
 #include "sim/timing.h"
 
 namespace hostrt {
@@ -124,6 +125,19 @@ class SchedulerTest : public ::testing::Test {
   }
 
   static double now0() { return cudadrv::cuSimDevice(0).now(); }
+
+  /// Cold heterogeneous board: one device per profile entry.
+  static Runtime& boot_profiles(std::vector<jetsim::DeviceProfile> profiles,
+                                int streams = OffloadQueue::kDefaultStreams) {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_sched_binary();
+    cudadrv::cuSimSetBlockSampling(true);
+    Runtime::set_device_profiles(std::move(profiles));
+    Runtime& rt = Runtime::instance();
+    rt.set_num_streams(streams);
+    return rt;
+  }
 
   /// Makespan of `chains` independent ATAX tasks in auto mode.
   static double auto_makespan(Runtime& rt, int chains, int n) {
@@ -360,18 +374,234 @@ TEST_F(SchedulerTest, NumDevicesEnvVarSeedsTheBoard) {
   ::setenv("OMPI_NUM_DEVICES", "3", 1);
   EXPECT_EQ(Runtime::instance().num_devices(), 3);
 
-  // Malformed or out-of-range values keep the board default.
-  Runtime::reset();
-  ::setenv("OMPI_NUM_DEVICES", "banana", 1);
-  EXPECT_EQ(Runtime::instance().num_devices(), 1);
-  Runtime::reset();
-  ::setenv("OMPI_NUM_DEVICES", "99", 1);
-  EXPECT_EQ(Runtime::instance().num_devices(), 1);
+  // Malformed or out-of-range values are rejected loudly, naming the
+  // variable — a typo'd board size must not silently shrink to one GPU.
+  for (const char* bad : {"banana", "99", "0", "-1", "2gpus", ""}) {
+    Runtime::reset();
+    ::setenv("OMPI_NUM_DEVICES", bad, 1);
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_NUM_DEVICES='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_NUM_DEVICES"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
 
   // The programmatic setting wins over the environment.
+  Runtime::reset();
   ::setenv("OMPI_NUM_DEVICES", "3", 1);
   EXPECT_EQ(boot(2).num_devices(), 2);
   ::unsetenv("OMPI_NUM_DEVICES");
+}
+
+TEST_F(SchedulerTest, DeviceProfilesEnvVarBootsAHeterogeneousBoard) {
+  Runtime::reset();
+  ::setenv("OMPI_DEVICE_PROFILES", "nano, nano-slow", 1);
+  Runtime& rt = Runtime::instance();
+  ASSERT_EQ(rt.num_devices(), 2);
+  EXPECT_EQ(cudadrv::cuSimDeviceProfile(0).name, "nano");
+  EXPECT_EQ(cudadrv::cuSimDeviceProfile(1).name, "nano-slow");
+  EXPECT_LT(cudadrv::cuSimDevice(1).props().clock_hz,
+            cudadrv::cuSimDevice(0).props().clock_hz);
+
+  // Unknown names are rejected loudly, naming the variable.
+  for (const char* bad : {"xavier", "nano,,ocl", ""}) {
+    Runtime::reset();
+    ::setenv("OMPI_DEVICE_PROFILES", bad, 1);
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_DEVICE_PROFILES='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_DEVICE_PROFILES"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+
+  // A device count that contradicts the profile list is a conflict,
+  // not a silent override.
+  Runtime::reset();
+  ::setenv("OMPI_DEVICE_PROFILES", "nano,nano-slow", 1);
+  ::setenv("OMPI_NUM_DEVICES", "3", 1);
+  EXPECT_THROW(Runtime::instance(), std::runtime_error);
+  ::unsetenv("OMPI_NUM_DEVICES");
+  ::unsetenv("OMPI_DEVICE_PROFILES");
+}
+
+TEST_F(SchedulerTest, ScheduleDevicesEnvVarIsStrictlyParsed) {
+  Runtime::reset();
+  ::setenv("OMPI_SCHEDULE_DEVICES", "auto", 1);
+  EXPECT_TRUE(Runtime::instance().schedule_devices_auto());
+  Runtime::reset();
+  ::setenv("OMPI_SCHEDULE_DEVICES", "default", 1);
+  EXPECT_FALSE(Runtime::instance().schedule_devices_auto());
+
+  for (const char* bad : {"yes", "1", "Auto", "on", ""}) {
+    Runtime::reset();
+    ::setenv("OMPI_SCHEDULE_DEVICES", bad, 1);
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_SCHEDULE_DEVICES='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_SCHEDULE_DEVICES"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+  ::unsetenv("OMPI_SCHEDULE_DEVICES");
+}
+
+TEST_F(SchedulerTest, TimeComparisonUsesARelativeEpsilon) {
+  using S = WorkStealingScheduler;
+  // Bit-level noise compares equal; real differences do not.
+  EXPECT_TRUE(S::time_eq(1.0, 1.0));
+  EXPECT_TRUE(S::time_eq(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(S::time_eq(1e6, 1e6 + 1e-5));  // relative, not absolute
+  EXPECT_FALSE(S::time_eq(1.0, 1.0 + 1e-6));
+  // Near zero the absolute floor takes over (a cold board's clocks all
+  // read 0.0 plus rounding).
+  EXPECT_TRUE(S::time_eq(0.0, 0.0));
+  EXPECT_TRUE(S::time_eq(0.0, 5e-13));
+  EXPECT_FALSE(S::time_eq(0.0, 1e-9));
+
+  EXPECT_FALSE(S::time_less(1.0, 1.0 + 1e-12)) << "noise is not a win";
+  EXPECT_FALSE(S::time_less(1.0 + 1e-12, 1.0));
+  EXPECT_TRUE(S::time_less(1.0, 2.0));
+  EXPECT_FALSE(S::time_less(2.0, 1.0));
+}
+
+TEST_F(SchedulerTest, ExactCostTiesResolveToTheLowestOrdinal) {
+  // A crafted full tie: identical devices, idle queues, no resident
+  // data. Exact double equality made the winner an artifact of float
+  // rounding in the cost sums; the epsilon compare plus the ordinal
+  // fallback must pick device 0, run after run.
+  for (int run = 0; run < 2; ++run) {
+    Runtime& rt = boot(3);
+    const int n = 256;
+    std::vector<float> x(n, 1.0f), y(n, 0.0f);
+    TaskId t = rt.target_nowait(
+        Runtime::kDeviceAuto, saxpy_spec(2.0f, x.data(), y.data(), n),
+        {{x.data(), n * sizeof(float), MapType::To},
+         {y.data(), n * sizeof(float), MapType::ToFrom}});
+    EXPECT_EQ(rt.task_device(t), 0) << "run " << run;
+    rt.sync();
+    EXPECT_FLOAT_EQ(y[0], 2.0f);
+  }
+}
+
+TEST_F(SchedulerTest, ComputeBoundTasksPreferTheFastDevice) {
+  // {nano-slow, nano}: the slow companion runs a kernel three times
+  // longer. A profile-aware scheduler keeps heavy compute on the fast
+  // GPU even when that means queueing behind its previous task; the
+  // profile-blind baseline sees only stream slots and spills to the
+  // idle slow device.
+  constexpr int kN = 768;
+  Runtime& rt = boot_profiles({jetsim::builtin_profile("nano-slow"),
+                               jetsim::builtin_profile("nano")});
+  ASSERT_TRUE(rt.scheduler().profile_aware());
+
+  std::vector<AtaxTask> tasks;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 3; ++i) tasks.emplace_back(kN);
+  for (AtaxTask& t : tasks)
+    ids.push_back(rt.target_nowait(
+        Runtime::kDeviceAuto,
+        atax_spec(t.a.data(), t.x.data(), t.y.data(), kN), t.maps()));
+  rt.sync();
+  for (TaskId id : ids)
+    EXPECT_EQ(rt.task_device(id), 1)
+        << "compute-bound work belongs on the fast device";
+
+  // The blind scheduler spreads onto the slow device.
+  Runtime& rt2 = boot_profiles({jetsim::builtin_profile("nano-slow"),
+                                jetsim::builtin_profile("nano")});
+  rt2.scheduler().set_profile_aware(false);
+  std::vector<AtaxTask> tasks2;
+  std::vector<TaskId> ids2;
+  for (int i = 0; i < 3; ++i) tasks2.emplace_back(kN);
+  for (AtaxTask& t : tasks2)
+    ids2.push_back(rt2.target_nowait(
+        Runtime::kDeviceAuto,
+        atax_spec(t.a.data(), t.x.data(), t.y.data(), kN), t.maps()));
+  rt2.sync();
+  bool slow_used = false;
+  for (TaskId id : ids2) slow_used |= rt2.task_device(id) == 0;
+  EXPECT_TRUE(slow_used) << "the blind baseline sees no speed difference";
+}
+
+TEST_F(SchedulerTest, TinyTaskStaysWithItsResidentData) {
+  // Data resident on the slow device, fast device idle: a tiny kernel
+  // is not worth the peer-link migration, so it runs where the data is.
+  constexpr int kN = 128;
+  Runtime& rt = boot_profiles({jetsim::builtin_profile("nano-slow"),
+                               jetsim::builtin_profile("nano")});
+  std::vector<float> x(kN, 1.0f), y(kN, 0.0f);
+  const std::size_t bytes = kN * sizeof(float);
+  rt.target_enter_data(Runtime::kDeviceAuto, {{x.data(), bytes, MapType::To},
+                                              {y.data(), bytes, MapType::To}});
+  int home = rt.scheduler().resident_device(x.data());
+  ASSERT_GE(home, 0);
+
+  TaskId t = rt.target_nowait(Runtime::kDeviceAuto,
+                              saxpy_spec(2.0f, x.data(), y.data(), kN),
+                              {{x.data(), bytes, MapType::To},
+                               {y.data(), bytes, MapType::To}});
+  EXPECT_EQ(rt.task_device(t), home);
+  EXPECT_EQ(rt.scheduler().stats().migrations, 0u);
+  rt.target_exit_data(Runtime::kDeviceAuto, {{x.data(), bytes, MapType::To},
+                                             {y.data(), bytes, MapType::To}});
+}
+
+TEST_F(SchedulerTest, MigrationIsPricedOverTheActualPeerPair) {
+  // A steal from the Nano to the slow companion crosses a link that runs
+  // at the slow endpoint's bandwidth: the stolen task's dependence-ready
+  // point must reflect the pair price, not the Nano's solo numbers.
+  constexpr int kN = 1024;
+  Runtime& rt = boot_profiles({jetsim::builtin_profile("nano"),
+                               jetsim::builtin_profile("nano-slow")},
+                              /*streams=*/1);
+  std::vector<float> x(kN, 1.0f), y(kN, 0.0f);
+  const std::size_t bytes = kN * sizeof(float);
+  rt.target_enter_data(Runtime::kDeviceAuto,
+                       {{x.data(), bytes, MapType::To},
+                        {y.data(), bytes, MapType::To}});
+  ASSERT_EQ(rt.scheduler().resident_device(x.data()), 0);
+
+  // Device 0's only stream is busy for milliseconds; stealing the
+  // microsecond-scale environment to device 1 wins regardless of its
+  // slower profile.
+  AtaxTask filler(kN);
+  rt.target_nowait(0, atax_spec(filler.a.data(), filler.x.data(),
+                                filler.y.data(), kN),
+                   filler.maps());
+  double thief_clock = cudadrv::cuSimDevice(1).now();
+  TaskId t = rt.target_nowait(Runtime::kDeviceAuto,
+                              saxpy_spec(2.0f, x.data(), y.data(), kN),
+                              {{x.data(), bytes, MapType::To},
+                               {y.data(), bytes, MapType::To}});
+  ASSERT_EQ(rt.task_device(t), 1);
+  ASSERT_EQ(rt.scheduler().stats().peer_copies, 2u);
+
+  const TaskRecord& rec = rt.scheduler().record(t);
+  const jetsim::DriverCosts& c0 = cudadrv::cuSimDriverCosts(0);
+  const jetsim::DriverCosts& c1 = cudadrv::cuSimDriverCosts(1);
+  // Two serial transfers on the migration stream, which could begin no
+  // earlier than the thief's clock at submit: the task's dependence-
+  // ready point is bounded below by one combined transfer at the pair
+  // price...
+  double pair_floor = jetsim::peer_copy_seconds(c0, c1, 2 * bytes);
+  EXPECT_GE(rec.ready_at - thief_clock, pair_floor * (1 - 1e-9));
+  // ...and the pair price is strictly above what a Nano-only link model
+  // (the old global-singleton behaviour) would have charged.
+  EXPECT_GT(pair_floor, jetsim::peer_copy_seconds(c0, 2 * bytes));
+
+  rt.sync();
+  rt.target_update_from(Runtime::kDeviceAuto, y.data(), bytes);
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+  rt.target_exit_data(Runtime::kDeviceAuto, {{x.data(), bytes, MapType::To},
+                                             {y.data(), bytes, MapType::To}});
 }
 
 TEST_F(SchedulerTest, TaskwaitDrainsEveryDeviceQueue) {

@@ -1,0 +1,79 @@
+// Device profiles (DESIGN.md §5f): the named presets behind
+// OMPI_DEVICE_PROFILES and the list parser that turns
+// "nano,nano-slow,ocl" into a heterogeneous board description.
+#include "sim/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jetsim {
+namespace {
+
+TEST(ProfileTest, NanoIsTheDefaultBoard) {
+  DeviceProfile p = builtin_profile("nano");
+  EXPECT_EQ(p.name, "nano");
+  EXPECT_FALSE(p.opencl);
+  // The preset is the paper's board: identical to a default-constructed
+  // profile in both hardware description and driver cost table.
+  DeviceProfile d;
+  EXPECT_EQ(p.props.clock_hz, d.props.clock_hz);
+  EXPECT_EQ(p.props.sm_count, d.props.sm_count);
+  EXPECT_EQ(p.driver.launch_overhead_s, d.driver.launch_overhead_s);
+  EXPECT_EQ(p.driver.memcpy_bandwidth, d.driver.memcpy_bandwidth);
+}
+
+TEST(ProfileTest, NanoSlowIsStrictlySlowerThanNano) {
+  DeviceProfile fast = builtin_profile("nano");
+  DeviceProfile slow = builtin_profile("nano-slow");
+  EXPECT_FALSE(slow.opencl);
+  EXPECT_LT(slow.props.clock_hz, fast.props.clock_hz);
+  EXPECT_LT(slow.props.dram_bandwidth, fast.props.dram_bandwidth);
+  EXPECT_GT(slow.driver.launch_overhead_s, fast.driver.launch_overhead_s);
+  EXPECT_GT(slow.driver.memcpy_overhead_s, fast.driver.memcpy_overhead_s);
+  EXPECT_LT(slow.driver.memcpy_bandwidth, fast.driver.memcpy_bandwidth);
+  EXPECT_LT(slow.driver.memcpy_pinned_bandwidth,
+            fast.driver.memcpy_pinned_bandwidth);
+  EXPECT_LT(slow.driver.memcpy_peer_bandwidth,
+            fast.driver.memcpy_peer_bandwidth);
+}
+
+TEST(ProfileTest, OclProfileIsMarkedForTheOpenclModule) {
+  DeviceProfile p = builtin_profile("ocl");
+  EXPECT_TRUE(p.opencl);
+  EXPECT_NE(std::string(p.props.name).find("OpenCL"), std::string::npos);
+  // Command queues add enqueue latency over the CUDA driver's launch.
+  EXPECT_GT(p.driver.launch_overhead_s,
+            builtin_profile("nano").driver.launch_overhead_s);
+}
+
+TEST(ProfileTest, UnknownNameListsTheKnownOnes) {
+  try {
+    builtin_profile("xavier");
+    FAIL() << "unknown profile accepted";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("xavier"), std::string::npos);
+    for (const std::string& n : builtin_profile_names())
+      EXPECT_NE(msg.find(n), std::string::npos) << "missing " << n;
+  }
+}
+
+TEST(ProfileTest, ParseListHandlesSpacesAndOrder) {
+  std::vector<DeviceProfile> ps = parse_profile_list("nano, nano-slow ,ocl");
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0].name, "nano");
+  EXPECT_EQ(ps[1].name, "nano-slow");
+  EXPECT_EQ(ps[2].name, "ocl");
+  ASSERT_EQ(parse_profile_list("nano").size(), 1u);
+}
+
+TEST(ProfileTest, ParseListRejectsEmptyAndUnknownElements) {
+  EXPECT_THROW(parse_profile_list(""), std::invalid_argument);
+  EXPECT_THROW(parse_profile_list("nano,,ocl"), std::invalid_argument);
+  EXPECT_THROW(parse_profile_list("nano,"), std::invalid_argument);
+  EXPECT_THROW(parse_profile_list("nano,tx2"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jetsim
