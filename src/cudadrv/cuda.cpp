@@ -578,11 +578,17 @@ CUresult cuMemcpyPeerAsync(CUdeviceptr dst, CUdevice dst_dev, CUdeviceptr src,
 // Launch
 // ---------------------------------------------------------------------
 
-CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
-                        unsigned grid_z, unsigned block_x, unsigned block_y,
-                        unsigned block_z, unsigned shared_mem_bytes,
-                        CUstream stream, void** kernel_params,
-                        void** extra) {
+namespace {
+// Shared body of cuLaunchKernel and cuLaunchKernelGraph: identical
+// execution, different per-call overhead. A plain launch pays dispatch
+// plus the driver-side share of parameter marshalling; a graph replay
+// pays only the baked-descriptor dispatch floor (the marshalling was
+// done once at instantiation).
+CUresult launch_kernel_impl(CUfunction fn, unsigned grid_x, unsigned grid_y,
+                            unsigned grid_z, unsigned block_x,
+                            unsigned block_y, unsigned block_z,
+                            unsigned shared_mem_bytes, CUstream stream,
+                            void** kernel_params, void** extra, bool graph) {
   if (!fn || extra != nullptr) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (grid_x == 0 || grid_y == 0 || grid_z == 0 || block_x == 0 ||
@@ -598,8 +604,10 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
   // (the paper's "parameter preparation phase" lives in the host runtime;
   // this is the driver-side share), priced by the launching device.
   const jetsim::DriverCosts& launch_costs = costs_of_current();
-  double overhead = launch_costs.launch_overhead_s +
-                    image.param_count * launch_costs.param_prep_per_arg_s;
+  double overhead =
+      graph ? launch_costs.graph_launch_overhead_s
+            : launch_costs.launch_overhead_s +
+                  image.param_count * launch_costs.param_prep_per_arg_s;
 
   jetsim::LaunchConfig cfg;
   cfg.grid = {grid_x, grid_y, grid_z};
@@ -620,7 +628,7 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
       double end = dev.schedule_launch(cfg, body, stream->ready, overhead,
                                        &start);
       stream->ops.push_back(
-          {StreamOp::Kind::Kernel, start, end, 0, image.name});
+          {StreamOp::Kind::Kernel, start, end, 0, image.name, graph});
       stream->ready = end;
     } else {
       dev.advance_time(overhead);
@@ -630,6 +638,27 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
     throw;  // device fault: surface loudly, as a real launch failure would
   }
   return CUDA_SUCCESS;
+}
+}  // namespace
+
+CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
+                        unsigned grid_z, unsigned block_x, unsigned block_y,
+                        unsigned block_z, unsigned shared_mem_bytes,
+                        CUstream stream, void** kernel_params,
+                        void** extra) {
+  return launch_kernel_impl(fn, grid_x, grid_y, grid_z, block_x, block_y,
+                            block_z, shared_mem_bytes, stream, kernel_params,
+                            extra, /*graph=*/false);
+}
+
+CUresult cuLaunchKernelGraph(CUfunction fn, unsigned grid_x, unsigned grid_y,
+                             unsigned grid_z, unsigned block_x,
+                             unsigned block_y, unsigned block_z,
+                             unsigned shared_mem_bytes, CUstream stream,
+                             void** kernel_params, void** extra) {
+  return launch_kernel_impl(fn, grid_x, grid_y, grid_z, block_x, block_y,
+                            block_z, shared_mem_bytes, stream, kernel_params,
+                            extra, /*graph=*/true);
 }
 
 // ---------------------------------------------------------------------

@@ -125,6 +125,19 @@ CUresult cuLaunchKernel(CUfunction fn, unsigned grid_x, unsigned grid_y,
                         unsigned block_z, unsigned shared_mem_bytes,
                         CUstream stream, void** kernel_params, void** extra);
 
+/// Replayed dispatch of a graph-instantiated launch node (the modeled
+/// CUDA-Graphs path, DESIGN.md §5g): identical execution semantics to
+/// cuLaunchKernel, but the per-call overhead is the device's
+/// `graph_launch_overhead_s` — the descriptor was baked at instantiation
+/// time, so the driver skips launch validation and parameter
+/// marshalling. The instantiation cost itself is charged by the host
+/// runtime when a graph is captured.
+CUresult cuLaunchKernelGraph(CUfunction fn, unsigned grid_x, unsigned grid_y,
+                             unsigned grid_z, unsigned block_x,
+                             unsigned block_y, unsigned block_z,
+                             unsigned shared_mem_bytes, CUstream stream,
+                             void** kernel_params, void** extra);
+
 // --- streams & events ------------------------------------------------------
 CUresult cuStreamCreate(CUstream* stream, unsigned flags);
 /// Drains the stream's pending modeled work, then destroys the handle.
@@ -193,6 +206,7 @@ struct StreamOp {
   double end_s = 0;    // when it completed
   std::size_t bytes = 0;     // transfers only
   std::string kernel;        // kernels only
+  bool graph = false;        // kernel dispatched via cuLaunchKernelGraph
 };
 /// Completion time of the work queued on `stream` so far.
 double cuSimStreamReady(CUstream stream);

@@ -467,6 +467,51 @@ OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
   return stats;
 }
 
+OffloadStats CudadevModule::launch_graph_async(const KernelLaunchSpec& spec,
+                                               DataEnv& env,
+                                               cudadrv::CUstream stream) {
+  require_initialized();
+  OffloadStats stats;
+  jetsim::Device& sim = cudadrv::cuSimDevice(device_);
+
+  cudadrv::CUfunction fn = get_function(spec.module_path, spec.kernel_name);
+
+  // The baked parameter block already holds every scalar; only the
+  // mapped-pointer slots are patched against the live data environment.
+  double t0 = sim.now();
+  std::vector<cudadrv::CUdeviceptr> dev_ptrs;
+  dev_ptrs.reserve(spec.args.size());
+  std::vector<void*> params;
+  params.reserve(spec.args.size());
+  for (const KernelArg& a : spec.args) {
+    if (a.kind == KernelArg::Kind::MappedPtr) {
+      dev_ptrs.push_back(env.lookup(a.host_ptr));
+      params.push_back(&dev_ptrs.back());
+    } else {
+      params.push_back(const_cast<std::byte*>(a.scalar.data()));
+    }
+  }
+  sim.advance_time(
+      static_cast<double>(spec.args.size()) *
+      cudadrv::cuSimDriverCosts(device_).graph_param_update_per_arg_s);
+  stats.prepare_s = sim.now() - t0;
+
+  const LaunchGeometry& g = spec.geometry;
+  unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
+                                          spec.dyn_shared_mem);
+  const devrt::RedCounters red_before = devrt::red_counters();
+  check("cuLaunchKernelGraph",
+        cudadrv::cuLaunchKernelGraph(fn, g.teams_x, g.teams_y, g.teams_z,
+                                     g.threads_x, g.threads_y, g.threads_z,
+                                     shared, stream, params.data(), nullptr));
+  const devrt::RedCounters red_after = devrt::red_counters();
+  stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
+  stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
+  stats.red_global_atomics =
+      red_after.global_atomics - red_before.global_atomics;
+  return stats;
+}
+
 std::string CudadevModule::device_info() {
   initialize();
   std::ostringstream os;

@@ -54,6 +54,14 @@ class CudadevModule : public QueueableModule {
   /// caller from the stream's work log.
   OffloadStats launch_async(const KernelLaunchSpec& spec, DataEnv& env,
                             cudadrv::CUstream stream) override;
+  /// Phases 2+3 of a kernel-graph replay (DESIGN.md §5g): the launch
+  /// descriptor was baked at capture time, so preparation only patches
+  /// the mapped-pointer slots (graph_param_update_per_arg_s each) and
+  /// the dispatch goes through the driver's amortized graph path
+  /// (cuLaunchKernelGraph: graph_launch_overhead_s, no per-launch
+  /// marshalling).
+  OffloadStats launch_graph_async(const KernelLaunchSpec& spec, DataEnv& env,
+                                  cudadrv::CUstream stream) override;
   /// While a stream is bound, MapBackend write/read issue asynchronous
   /// copies on it (the OffloadQueue binds the task's stream around
   /// map/unmap so transfers land on the task's timeline).

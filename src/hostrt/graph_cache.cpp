@@ -1,0 +1,15 @@
+#include "hostrt/graph_cache.h"
+
+namespace hostrt {
+
+KernelGraph* GraphCache::find(uint64_t key) {
+  auto it = graphs_.find(key);
+  return it == graphs_.end() ? nullptr : &it->second;
+}
+
+KernelGraph& GraphCache::insert(KernelGraph graph) {
+  uint64_t key = graph.key;
+  return graphs_[key] = std::move(graph);
+}
+
+}  // namespace hostrt

@@ -1,0 +1,33 @@
+// Per-runtime store of instantiated kernel graphs (DESIGN.md §5g).
+// Keys are trace shapes (see graph_key); values own the baked transfer
+// plan plus replay bookkeeping. The cache lives inside the Runtime
+// instance and Runtime::reset clears it explicitly, so back-to-back
+// benchmark scenarios in one process never replay a stale capture taken
+// under a different device set or profile.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hostrt/kernel_graph.h"
+
+namespace hostrt {
+
+class GraphCache {
+ public:
+  /// The cached graph for a trace shape, or nullptr on a cold key. The
+  /// pointer stays valid until clear() — graphs are never evicted.
+  KernelGraph* find(uint64_t key);
+
+  /// Stores a freshly baked graph under graph.key, replacing any
+  /// previous entry (re-capture after an invalidating reset).
+  KernelGraph& insert(KernelGraph graph);
+
+  std::size_t size() const { return graphs_.size(); }
+  void clear() { graphs_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, KernelGraph> graphs_;
+};
+
+}  // namespace hostrt

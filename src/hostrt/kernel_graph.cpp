@@ -1,0 +1,230 @@
+#include "hostrt/kernel_graph.h"
+
+#include <cstring>
+#include <string>
+
+namespace hostrt {
+
+namespace {
+
+/// FNV-1a, fed field by field so struct padding never leaks into keys.
+struct Hasher {
+  uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+  void value(const T& v) {
+    bytes(&v, sizeof v);
+  }
+  void str(const std::string& s) {
+    value(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+/// Canonical chain-buffer table: distinct (device, base, size) ranges in
+/// first-use order. Identity — not addresses — is what the key needs:
+/// two traces share a shape exactly when the same positional buffers
+/// alias the same map items, kernel arguments and depend edges.
+struct BufferTable {
+  struct Entry {
+    int device = 0;
+    uintptr_t base = 0;
+    std::size_t size = 0;
+  };
+  std::vector<Entry> entries;
+
+  int intern(int device, const void* host, std::size_t size) {
+    uintptr_t a = reinterpret_cast<uintptr_t>(host);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (entries[i].device == device && entries[i].base == a &&
+          entries[i].size == size)
+        return static_cast<int>(i);
+    entries.push_back({device, a, size});
+    return static_cast<int>(entries.size()) - 1;
+  }
+
+  /// Buffer containing `host` on `device`; -1 when the address points
+  /// outside every interned range (e.g. data mapped by an enclosing
+  /// `target data` rather than by the chain itself).
+  int containing(int device, const void* host) const {
+    uintptr_t a = reinterpret_cast<uintptr_t>(host);
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (entries[i].device == device && a >= entries[i].base &&
+          a < entries[i].base + entries[i].size)
+        return static_cast<int>(i);
+    return -1;
+  }
+};
+
+bool uploads(MapType t) { return t == MapType::To || t == MapType::ToFrom; }
+bool copies_back(MapType t) {
+  return t == MapType::From || t == MapType::ToFrom;
+}
+
+}  // namespace
+
+uint64_t graph_key(const GraphTrace& trace,
+                   const std::vector<std::string>& device_profiles) {
+  Hasher h;
+  BufferTable bufs;
+  h.value(trace.size());
+  for (const GraphNode& n : trace) {
+    // Intern the node's map clause first so same-node kernel arguments
+    // resolve against it.
+    for (const MapItem& m : n.maps) bufs.intern(n.device, m.host, m.size);
+
+    h.value(n.device);
+    if (n.device >= 0 &&
+        static_cast<std::size_t>(n.device) < device_profiles.size())
+      h.str(device_profiles[static_cast<std::size_t>(n.device)]);
+    h.str(n.spec.module_path);
+    h.str(n.spec.kernel_name);
+    const LaunchGeometry& g = n.spec.geometry;
+    h.value(g.teams_x);
+    h.value(g.teams_y);
+    h.value(g.teams_z);
+    h.value(g.threads_x);
+    h.value(g.threads_y);
+    h.value(g.threads_z);
+    h.value(n.spec.dyn_shared_mem);
+
+    h.value(n.spec.args.size());
+    for (const KernelArg& a : n.spec.args) {
+      h.value(static_cast<int>(a.kind));
+      if (a.kind == KernelArg::Kind::Scalar)
+        h.value(a.scalar.size());  // layout, never the value
+      else
+        h.value(bufs.containing(n.device, a.host_ptr));
+    }
+
+    h.value(n.maps.size());
+    for (const MapItem& m : n.maps) {
+      h.value(m.size);
+      h.value(static_cast<int>(m.type));
+      h.value(bufs.intern(n.device, m.host, m.size));
+    }
+
+    h.value(n.depends.size());
+    for (const DependItem& d : n.depends) {
+      h.value(static_cast<int>(d.kind));
+      h.value(bufs.containing(n.device, d.addr));
+    }
+  }
+  return h.h;
+}
+
+KernelGraph build_graph(
+    const GraphTrace& trace,
+    const std::function<bool(int, const void*)>& is_present) {
+  struct Use {
+    std::size_t node = 0;
+    std::size_t map = 0;
+    MapType type = MapType::ToFrom;
+  };
+  struct Buf {
+    int device = 0;
+    uintptr_t base = 0;
+    std::size_t size = 0;
+    std::vector<Use> uses;
+    bool aliased = false;
+  };
+
+  std::vector<Buf> bufs;  // distinct (device, base, size), first-use order
+  for (std::size_t ni = 0; ni < trace.size(); ++ni) {
+    const GraphNode& n = trace[ni];
+    for (std::size_t mi = 0; mi < n.maps.size(); ++mi) {
+      const MapItem& m = n.maps[mi];
+      uintptr_t a = reinterpret_cast<uintptr_t>(m.host);
+      Buf* found = nullptr;
+      for (Buf& b : bufs)
+        if (b.device == n.device && b.base == a && b.size == m.size)
+          found = &b;
+      if (!found) {
+        bufs.push_back({n.device, a, m.size, {}, false});
+        found = &bufs.back();
+      }
+      found->uses.push_back({ni, mi, m.type});
+    }
+  }
+
+  // Distinct ranges that overlap cannot be hoisted: in eager mode they
+  // never coexist in the data environment (each node unmaps before the
+  // next maps), but a hoist would hold one across the other's map and
+  // trip the environment's overlap detection.
+  for (std::size_t i = 0; i < bufs.size(); ++i)
+    for (std::size_t j = i + 1; j < bufs.size(); ++j) {
+      if (bufs[i].device != bufs[j].device) continue;
+      bool disjoint = bufs[i].base + bufs[i].size <= bufs[j].base ||
+                      bufs[j].base + bufs[j].size <= bufs[i].base;
+      if (!disjoint) bufs[i].aliased = bufs[j].aliased = true;
+    }
+
+  KernelGraph graph;
+  graph.node_count = trace.size();
+  for (const Buf& b : bufs) {
+    if (b.aliased || b.uses.size() < 2) continue;
+    // Already-present buffers (enter data, an enclosing target data)
+    // transfer nothing in eager mode either; hoisting them would only
+    // misreport elisions.
+    if (is_present && is_present(b.device,
+                                 reinterpret_cast<const void*>(b.base)))
+      continue;
+
+    uint64_t h2d = 0, d2h = 0;
+    for (const Use& u : b.uses) {
+      h2d += uploads(u.type) ? 1 : 0;
+      d2h += copies_back(u.type) ? 1 : 0;
+    }
+    // The live-copy-back guard: if any node copies this buffer back but
+    // the *last* use does not, the eager chain's final host snapshot is
+    // taken before later device writes — a hoisted end-of-chain
+    // copy-back would observe them. Leave such buffers fully eager.
+    if (d2h > 0 && !copies_back(b.uses.back().type)) continue;
+
+    BufferPlan bp;
+    bp.device = b.device;
+    bp.first_node = b.uses.front().node;
+    bp.first_map = b.uses.front().map;
+    bp.prologue = h2d > 0 ? MapType::To : MapType::Alloc;
+    bp.epilogue = d2h > 0 ? MapType::From : MapType::Alloc;
+    bp.elided = (h2d - (bp.prologue == MapType::To ? 1 : 0)) +
+                (d2h - (bp.epilogue == MapType::From ? 1 : 0));
+    if (bp.elided == 0) continue;  // nothing saved: keep the plan minimal
+    graph.elided_per_replay += bp.elided;
+    graph.plan.push_back(bp);
+  }
+  return graph;
+}
+
+namespace {
+std::vector<MapItem> plan_items(const KernelGraph& graph,
+                                const GraphTrace& trace, int device,
+                                bool prologue) {
+  std::vector<MapItem> items;
+  for (const BufferPlan& bp : graph.plan) {
+    if (bp.device != device) continue;
+    const MapItem& m = trace[bp.first_node].maps[bp.first_map];
+    items.push_back({m.host, m.size, prologue ? bp.prologue : bp.epilogue});
+  }
+  return items;
+}
+}  // namespace
+
+std::vector<MapItem> prologue_items(const KernelGraph& graph,
+                                    const GraphTrace& trace, int device) {
+  return plan_items(graph, trace, device, /*prologue=*/true);
+}
+
+std::vector<MapItem> epilogue_items(const KernelGraph& graph,
+                                    const GraphTrace& trace, int device) {
+  return plan_items(graph, trace, device, /*prologue=*/false);
+}
+
+}  // namespace hostrt

@@ -1,0 +1,104 @@
+// Kernel-graph capture & replay IR (DESIGN.md §5g). A repeated
+// `target nowait` chain is recorded as a trace of GraphNodes (kernel
+// launch + its map clause + its depend edges, per device), keyed by its
+// *shape* — kernel identities, launch geometry, argument layout, map
+// sizes/types, buffer-sharing topology and the device set — and baked
+// into a KernelGraph: an executable plan that re-submits the whole chain
+// with amortized dispatch and a transfer-elimination pass.
+//
+// The elimination pass is the OpenMP-legal transformation "wrap the
+// chain in an implicit `target data` region over its multi-use
+// buffers": each hoisted buffer is mapped once before the chain (To if
+// any node uploads it, else Alloc) and unmapped once after (From if any
+// node copies it back, else Alloc). Every intermediate node's map then
+// finds the buffer present, so the DataEnv reference-count semantics
+// elide the D2H→identical-H2D round-trips between adjacent kernels whose
+// producer and consumer are both on-device, and fold the redundant
+// re-uploads of unchanged (read-only) environments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hostrt/map_env.h"
+#include "hostrt/module.h"
+#include "hostrt/offload_queue.h"
+
+namespace hostrt {
+
+/// One deferred `target nowait` region of a capture trace.
+struct GraphNode {
+  int device = 0;
+  KernelLaunchSpec spec;
+  std::vector<MapItem> maps;
+  std::vector<DependItem> depends;
+  /// Task id handed to the caller at submission time; the flush enqueues
+  /// the node under this id so records stay addressable.
+  TaskId id = 0;
+};
+
+using GraphTrace = std::vector<GraphNode>;
+
+/// Shape key of a trace: FNV-1a over kernel identities, geometry,
+/// argument layout, map sizes/types, the buffer-sharing topology
+/// (which map items / mapped arguments / depend addresses alias which
+/// chain buffer) and the per-node device + its profile name. Host
+/// addresses and scalar argument *values* are excluded — a replay
+/// re-resolves pointers and re-marshals scalars from the live trace, so
+/// the same loop body keys equal across iterations even when buffers
+/// are reallocated.
+uint64_t graph_key(const GraphTrace& trace,
+                   const std::vector<std::string>& device_profiles);
+
+/// One hoisted buffer of the transfer-elimination plan. Buffers are
+/// identified positionally — by the trace slot of their first use — so
+/// the plan applies to any later trace with the same key, whatever its
+/// actual host addresses.
+struct BufferPlan {
+  int device = 0;
+  std::size_t first_node = 0;  // trace index of the buffer's first use
+  std::size_t first_map = 0;   // map-clause index within that node
+  MapType prologue = MapType::Alloc;  // To: upload once before the chain
+  MapType epilogue = MapType::Alloc;  // From: one copy-back after it
+  uint64_t elided = 0;  // transfers removed per replay vs eager
+};
+
+/// An instantiated graph: the shape key, the transfer plan and the
+/// replay bookkeeping. The graph stores no driver handles and no host
+/// addresses — replays materialize both from the live trace — so a
+/// cached graph survives buffer reallocation but is dropped wholesale by
+/// Runtime::reset (a new board invalidates every capture).
+struct KernelGraph {
+  uint64_t key = 0;
+  std::size_t node_count = 0;
+  std::vector<BufferPlan> plan;
+  uint64_t elided_per_replay = 0;  // sum over the plan
+  uint64_t replays = 0;
+};
+
+/// Builds the transfer-elimination plan for a trace. `is_present`
+/// answers whether a host range is already mapped on a device *before*
+/// the chain runs — such buffers transfer nothing in eager mode either
+/// (OpenMP presence semantics), so hoisting them would misreport
+/// elisions; they are left untouched. A buffer is hoisted only when
+///  - it appears (same host base and size) in ≥ 2 nodes on one device,
+///  - no node maps the same base with a different size (aliasing), and
+///  - its last use copies back if any use does — otherwise the eager
+///    chain's final host snapshot precedes later device writes and the
+///    hoisted copy-back would observe them (the one shape where elision
+///    could drop a live copy-back; such buffers stay eager).
+KernelGraph build_graph(const GraphTrace& trace,
+                        const std::function<bool(int, const void*)>& is_present);
+
+/// Materializes the hoisted prologue (enter) map items of one device's
+/// slice of the plan against a live trace, in first-use order.
+std::vector<MapItem> prologue_items(const KernelGraph& graph,
+                                    const GraphTrace& trace, int device);
+
+/// Materializes the hoisted epilogue (exit) map items of one device's
+/// slice, in first-use order (the queue reverses them for unmapping).
+std::vector<MapItem> epilogue_items(const KernelGraph& graph,
+                                    const GraphTrace& trace, int device);
+
+}  // namespace hostrt

@@ -83,6 +83,13 @@ struct OffloadStats {
   uint64_t red_warp_combines = 0;   // level 1: warp shuffle tree
   uint64_t red_smem_combines = 0;   // level 2: shared-slot tree
   uint64_t red_global_atomics = 0;  // level 3: one per team per variable
+  // Kernel-graph engine activity (DESIGN.md §5g). These are chain-level
+  // events folded into OffloadQueue::totals() when a `target nowait`
+  // trace is captured into or replayed from the graph cache; per-offload
+  // records keep them zero.
+  uint64_t graphs_captured = 0;   // traces baked into executable graphs
+  uint64_t graph_replays = 0;     // chains re-submitted from a graph
+  uint64_t transfers_elided = 0;  // H2D/D2H copies removed by replay
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }
@@ -146,6 +153,16 @@ class QueueableModule : public DeviceModule {
   /// map/unmap so transfers land on the task's timeline).
   virtual void bind_stream(cudadrv::CUstream stream) = 0;
   virtual cudadrv::CUstream bound_stream() const = 0;
+  /// Phases 2+3 of a graph-replayed node (DESIGN.md §5g): the launch
+  /// descriptor was baked at capture, so parameter preparation only
+  /// patches the mapped-pointer slots and the dispatch goes through the
+  /// driver's amortized graph path. Modules without a baked path (e.g.
+  /// opencldev) fall back to the plain asynchronous launch.
+  virtual OffloadStats launch_graph_async(const KernelLaunchSpec& spec,
+                                          DataEnv& env,
+                                          cudadrv::CUstream stream) {
+    return launch_async(spec, env, stream);
+  }
 };
 
 }  // namespace hostrt

@@ -106,7 +106,9 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   env_->map_batch(maps);
   module_->bind_stream(nullptr);
 
-  OffloadStats launch_stats = module_->launch_async(spec, *env_, st);
+  OffloadStats launch_stats = opts.graph_replay
+                                  ? module_->launch_graph_async(spec, *env_, st)
+                                  : module_->launch_async(spec, *env_, st);
   r.stats.prepare_s = launch_stats.prepare_s;
   r.stats.red_warp_combines = launch_stats.red_warp_combines;
   r.stats.red_smem_combines = launch_stats.red_smem_combines;
@@ -211,6 +213,57 @@ void OffloadQueue::sync() {
   module_->make_current();
   for (cudadrv::CUstream st : streams_)
     check("cuStreamSynchronize", cudadrv::cuStreamSynchronize(st));
+}
+
+cudadrv::CUevent OffloadQueue::replay_prologue(
+    const std::vector<MapItem>& items) {
+  if (items.empty()) return nullptr;
+  module_->make_current();
+  cudadrv::CUstream st = streams_[static_cast<std::size_t>(pick_stream())];
+  std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
+  module_->bind_stream(st);
+  env_->map_batch(items);
+  module_->bind_stream(nullptr);
+  const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
+  for (std::size_t i = ops_before; i < ops.size(); ++i)
+    if (ops[i].kind == cudadrv::StreamOp::Kind::H2D)
+      totals_.h2d_s += ops[i].end_s - ops[i].start_s;
+  cudadrv::CUevent ready = nullptr;
+  check("cuEventCreate", cudadrv::cuEventCreate(&ready, 0));
+  check("cuEventRecord", cudadrv::cuEventRecord(ready, st));
+  return ready;
+}
+
+void OffloadQueue::replay_epilogue(const std::vector<MapItem>& items) {
+  if (items.empty()) return;
+  module_->make_current();
+  cudadrv::CUstream st = streams_[static_cast<std::size_t>(pick_stream())];
+  // Copy-backs must observe every replayed node that touched the hoisted
+  // buffers: order the epilogue stream after their completion events.
+  for (const MapItem& m : items) {
+    auto it = table_.find(m.host);
+    if (it == table_.end()) continue;
+    if (it->second.last_writer)
+      check("cuStreamWaitEvent",
+            cudadrv::cuStreamWaitEvent(st, it->second.last_writer, 0));
+    for (cudadrv::CUevent ev : it->second.readers)
+      check("cuStreamWaitEvent", cudadrv::cuStreamWaitEvent(st, ev, 0));
+  }
+  std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
+  module_->bind_stream(st);
+  env_->unmap_batch({items.rbegin(), items.rend()});
+  module_->bind_stream(nullptr);
+  const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
+  for (std::size_t i = ops_before; i < ops.size(); ++i)
+    if (ops[i].kind == cudadrv::StreamOp::Kind::D2H)
+      totals_.d2h_s += ops[i].end_s - ops[i].start_s;
+}
+
+void OffloadQueue::note_graph_capture() { ++totals_.graphs_captured; }
+
+void OffloadQueue::note_graph_replay(uint64_t elided) {
+  ++totals_.graph_replays;
+  totals_.transfers_elided += elided;
 }
 
 void OffloadQueue::quiesce(const void* host) {

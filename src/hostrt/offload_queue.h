@@ -73,6 +73,10 @@ struct EnqueueOptions {
   /// addition to the locally resolved depend edges (cross-device depend
   /// edges and migration transfers).
   std::vector<cudadrv::CUevent> waits;
+  /// The task is a node of a kernel-graph replay (DESIGN.md §5g): the
+  /// launch goes through the module's baked graph path with amortized
+  /// dispatch overhead instead of a full per-launch submission.
+  bool graph_replay = false;
 };
 
 /// Per-device task queue over a fixed pool of CUDA streams.
@@ -109,6 +113,23 @@ class OffloadQueue {
   /// update, unmap copy-back): advances the host clock past every queued
   /// task that touched the address.
   void quiesce(const void* host);
+
+  /// Maps a replay's hoisted prologue buffers (the implicit `target
+  /// data` enter half of the transfer-elimination plan) on a pool
+  /// stream; returns an event marking their completion for the replayed
+  /// nodes to wait on, or nullptr when `items` is empty. Upload time is
+  /// folded into totals().h2d_s.
+  cudadrv::CUevent replay_prologue(const std::vector<MapItem>& items);
+
+  /// Unmaps the hoisted buffers after a replayed chain (the exit half):
+  /// copy-backs are ordered after every queued access to the buffers via
+  /// the dependence table, and their time folds into totals().d2h_s.
+  void replay_epilogue(const std::vector<MapItem>& items);
+
+  /// Folds one chain-level graph event into totals() (the per-offload
+  /// records never carry these fields).
+  void note_graph_capture();
+  void note_graph_replay(uint64_t elided);
 
   const TaskRecord& record(TaskId id) const;
   const std::vector<TaskRecord>& records() const { return records_; }

@@ -45,6 +45,17 @@ bool parse_env_schedule(const char* name, const char* value) {
   throw std::runtime_error(std::string(name) + "='" + v +
                            "' is invalid: expected 'auto' or 'default'");
 }
+
+// Pending graph mode for the next runtime; -1 = unset (read OMPI_GRAPH).
+int g_graph_mode = -1;
+
+Runtime::GraphMode parse_env_graph(const char* name, const char* value) {
+  std::string v = value;
+  if (v == "capture") return Runtime::GraphMode::Capture;
+  if (v == "off") return Runtime::GraphMode::Off;
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected 'capture' or 'off'");
+}
 }  // namespace
 
 Runtime& Runtime::instance() {
@@ -59,6 +70,13 @@ void Runtime::reset() {
   // timeline or handle can leak into the next scenario's cold board.
   std::unique_ptr<Runtime>& r = runtime_holder();
   if (r) {
+    // Drop the graph state first: un-synced capture nodes are abandoned
+    // (reset discards their modeled time like any other in-flight work)
+    // and every baked graph dies with the board it was priced on — the
+    // per-device module/function caches go down with the slots below, so
+    // a following scenario can never replay a stale capture.
+    r->pending_.clear();
+    r->graph_cache_.clear();
     r->scheduler_.reset();
     for (DeviceSlot& s : r->slots_) s.queue.reset();
   }
@@ -66,10 +84,15 @@ void Runtime::reset() {
   cudadrv::cuSimReset();
   reset_task_ids();
   // The next runtime starts from the board default again (tests stay
-  // hermetic); OMPI_NUM_DEVICES / OMPI_DEVICE_PROFILES are re-read at
-  // construction.
+  // hermetic); OMPI_NUM_DEVICES / OMPI_DEVICE_PROFILES / OMPI_GRAPH are
+  // re-read at construction.
   g_num_devices = 0;
   g_profiles.clear();
+  g_graph_mode = -1;
+}
+
+void Runtime::set_graph_mode(GraphMode mode) {
+  g_graph_mode = static_cast<int>(mode);
 }
 
 void Runtime::set_num_devices(int n) {
@@ -152,6 +175,15 @@ Runtime::Runtime() {
 
   if (const char* v = std::getenv("OMPI_SCHEDULE_DEVICES"))
     schedule_auto_ = parse_env_schedule("OMPI_SCHEDULE_DEVICES", v);
+
+  // Kernel-graph mode: a programmatic setting wins, else OMPI_GRAPH
+  // (strict — a mistyped value aborts instead of silently benchmarking
+  // the eager path).
+  if (g_graph_mode >= 0) {
+    graph_mode_ = static_cast<GraphMode>(g_graph_mode);
+  } else if (const char* v = std::getenv("OMPI_GRAPH")) {
+    graph_mode_ = parse_env_graph("OMPI_GRAPH", v);
+  }
 
   // Application startup: boot the board and discover all devices,
   // creating the module its profile asks for on every ordinal. One
@@ -238,6 +270,9 @@ DataEnv& Runtime::env(int dev) { return *slot(dev).env; }
 
 OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
                              const std::vector<MapItem>& maps) {
+  // A synchronous target is a synchronization point: deferred capture
+  // nodes must submit (and their trace resolve) before this region runs.
+  flush_pending();
   if (route_auto(dev)) {
     WorkStealingScheduler& sched = scheduler();
     TaskId id = sched.submit(spec, maps);
@@ -265,15 +300,35 @@ OffloadStats Runtime::target(int dev, const KernelLaunchSpec& spec,
 TaskId Runtime::target_nowait(int dev, const KernelLaunchSpec& spec,
                               const std::vector<MapItem>& maps,
                               const std::vector<DependItem>& depends) {
-  if (route_auto(dev)) return scheduler().submit(spec, maps, depends);
+  if (route_auto(dev)) {
+    // Scheduler-placed tasks are not capturable (their device is chosen
+    // per submission), but they must still order after deferred nodes.
+    flush_pending();
+    return scheduler().submit(spec, maps, depends);
+  }
   ensure_ready(dev);
   DeviceSlot& s = slot(dev);
   if (!s.queue)
     throw std::runtime_error("target nowait on a device without a queue");
+  if (graph_mode_ == GraphMode::Capture) {
+    // Defer into the open trace. Legal under the nowait contract: the
+    // host may not read the region's results before a synchronization
+    // point, and every such point flushes the trace first. The task id
+    // is allocated now so callers can look the record up after sync.
+    GraphNode n;
+    n.device = dev;
+    n.spec = spec;
+    n.maps = maps;
+    n.depends = depends;
+    n.id = allocate_task_id();
+    pending_.push_back(std::move(n));
+    return pending_.back().id;
+  }
   return s.queue->enqueue(spec, maps, depends);
 }
 
 void Runtime::sync(int dev) {
+  flush_pending();
   if (dev >= 0) {
     if (OffloadQueue* q = slot(dev).queue.get()) q->sync();
     if (scheduler_) scheduler_->align_clocks();
@@ -294,7 +349,91 @@ void Runtime::sync(int dev) {
 
 OffloadQueue* Runtime::queue(int dev) { return slot(dev).queue.get(); }
 
+void Runtime::flush_pending() {
+  if (pending_.empty()) return;
+  GraphTrace trace = std::move(pending_);
+  pending_.clear();
+  std::vector<std::string> profiles;
+  profiles.reserve(static_cast<std::size_t>(device_count_));
+  for (int i = 0; i < device_count_; ++i)
+    profiles.push_back(cudadrv::cuSimDeviceProfile(i).name);
+  uint64_t key = graph_key(trace, profiles);
+  if (KernelGraph* g = graph_cache_.find(key)) {
+    replay_trace(trace, *g);
+    return;
+  }
+  capture_trace(trace, key);
+}
+
+void Runtime::capture_trace(const GraphTrace& trace, uint64_t key) {
+  // The transfer-elimination pass must see pre-chain presence (a buffer
+  // the chain itself maps is absent *now* even though it will be present
+  // between nodes), so the plan is built before the eager execution.
+  for (const GraphNode& n : trace) ensure_ready(n.device);
+  KernelGraph graph = build_graph(trace, [this](int dev, const void* host) {
+    return slot(dev).env->is_present(host);
+  });
+  graph.key = key;
+
+  // First sighting executes exactly like the eager path (same maps, same
+  // depend resolution) so capture never changes results or modeled time
+  // beyond the instantiation charge below.
+  for (const GraphNode& n : trace) {
+    EnqueueOptions opts;
+    opts.id = n.id;
+    slot(n.device).queue->enqueue(n.spec, n.maps, n.depends, opts);
+  }
+
+  // Instantiation: bake one dispatch descriptor per node, priced on the
+  // node's own device (profiles may differ across the board).
+  for (const GraphNode& n : trace)
+    cudadrv::cuSimDevice(n.device).advance_time(
+        cudadrv::cuSimDriverCosts(n.device).graph_instantiate_per_node_s);
+
+  slot(trace.front().device).queue->note_graph_capture();
+  graph_cache_.insert(std::move(graph));
+}
+
+void Runtime::replay_trace(const GraphTrace& trace, KernelGraph& graph) {
+  // Devices of the chain, in first-appearance order.
+  std::vector<int> devices;
+  for (const GraphNode& n : trace) {
+    bool seen = false;
+    for (int d : devices) seen |= d == n.device;
+    if (!seen) devices.push_back(n.device);
+  }
+
+  // Prologue: hoist the plan's multi-use buffers into an implicit
+  // `target data` region (one upload instead of per-node re-uploads);
+  // every replayed node waits on its device's prologue event.
+  std::vector<cudadrv::CUevent> ready(slots_.size(), nullptr);
+  for (int d : devices) {
+    ensure_ready(d);
+    ready[static_cast<std::size_t>(d)] =
+        slot(d).queue->replay_prologue(prologue_items(graph, trace, d));
+  }
+
+  for (const GraphNode& n : trace) {
+    EnqueueOptions opts;
+    opts.id = n.id;
+    opts.graph_replay = true;
+    if (cudadrv::CUevent ev = ready[static_cast<std::size_t>(n.device)])
+      opts.waits.push_back(ev);
+    slot(n.device).queue->enqueue(n.spec, n.maps, n.depends, opts);
+  }
+
+  // Epilogue: one copy-back per hoisted buffer, ordered after every node
+  // that touched it.
+  for (int d : devices)
+    slot(d).queue->replay_epilogue(epilogue_items(graph, trace, d));
+
+  ++graph.replays;
+  slot(trace.front().device)
+      .queue->note_graph_replay(graph.elided_per_replay);
+}
+
 void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().enter_data(maps);
     return;
@@ -304,6 +443,7 @@ void Runtime::target_data_begin(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().exit_data({maps.rbegin(), maps.rend()});
     return;
@@ -320,6 +460,7 @@ void Runtime::target_data_end(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().enter_data(maps);
     return;
@@ -329,6 +470,7 @@ void Runtime::target_enter_data(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().exit_data(maps);
     return;
@@ -341,6 +483,7 @@ void Runtime::target_exit_data(int dev, const std::vector<MapItem>& maps) {
 }
 
 void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().update_to(host, size);
     return;
@@ -352,6 +495,7 @@ void Runtime::target_update_to(int dev, const void* host, std::size_t size) {
 }
 
 void Runtime::target_update_from(int dev, void* host, std::size_t size) {
+  flush_pending();
   if (route_auto(dev)) {
     scheduler().update_from(host, size);
     return;

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "hostrt/cudadev_module.h"
+#include "hostrt/graph_cache.h"
+#include "hostrt/kernel_graph.h"
 #include "hostrt/map_env.h"
 #include "hostrt/module.h"
 #include "hostrt/offload_queue.h"
@@ -46,6 +48,20 @@ class Runtime {
   /// Device argument meaning "let the work-stealing scheduler place the
   /// task" (the compiler emits it for `device(auto)` as ORT_DEV_AUTO).
   static constexpr int kDeviceAuto = -2;
+
+  // --- kernel-graph capture & replay (DESIGN.md §5g) -------------------
+  /// Off: every target region submits eagerly (the seed behavior).
+  /// Capture: direct-device `target nowait` regions are deferred into a
+  /// trace per sync window; at the next synchronization point the trace
+  /// is keyed by shape and either baked into a KernelGraph (first
+  /// sighting — the chain still executes eagerly) or replayed through
+  /// the baked graph with amortized dispatch and elided transfers.
+  enum class GraphMode { Off, Capture };
+  /// Graph mode for subsequently created runtimes (the OMPI_GRAPH
+  /// environment variable — strictly `capture` or `off` — seeds the
+  /// initial value).
+  static void set_graph_mode(GraphMode mode);
+  GraphMode graph_mode() const { return graph_mode_; }
 
   Runtime();
   ~Runtime() = default;
@@ -118,6 +134,16 @@ class Runtime {
   void target_update_to(int dev, const void* host, std::size_t size);
   void target_update_from(int dev, void* host, std::size_t size);
 
+  // --- kernel-graph observability (tests & benches) --------------------
+  /// The runtime's graph cache: captured chains keyed by shape. Cleared
+  /// by reset() together with the per-device module caches, so
+  /// back-to-back scenarios cannot replay a stale capture taken under a
+  /// different board.
+  GraphCache& graph_cache() { return graph_cache_; }
+  /// Deferred `target nowait` nodes awaiting the next synchronization
+  /// point (always 0 outside capture mode).
+  std::size_t pending_graph_nodes() const { return pending_.size(); }
+
  private:
   struct DeviceSlot {
     std::unique_ptr<DeviceModule> module;
@@ -132,12 +158,21 @@ class Runtime {
   /// Resolves -1 to the default device; true if the call should route
   /// through the work-stealing scheduler.
   bool route_auto(int& dev);
+  /// Resolves the pending capture trace at a synchronization point:
+  /// keys it, then replays a cache hit or executes eagerly while baking
+  /// a graph on a miss. No-op outside capture mode.
+  void flush_pending();
+  void capture_trace(const GraphTrace& trace, uint64_t key);
+  void replay_trace(const GraphTrace& trace, KernelGraph& graph);
 
   std::vector<DeviceSlot> slots_;
   int device_count_ = 0;
   int default_device_ = 0;
   int num_streams_ = OffloadQueue::kDefaultStreams;
   bool schedule_auto_ = false;
+  GraphMode graph_mode_ = GraphMode::Off;
+  GraphTrace pending_;      // deferred nodes of the open sync window
+  GraphCache graph_cache_;  // baked graphs, keyed by trace shape
   // Declared after slots_: destroyed first, so migration streams drain
   // while the device contexts are still alive.
   std::unique_ptr<WorkStealingScheduler> scheduler_;

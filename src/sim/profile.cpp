@@ -32,6 +32,9 @@ DeviceProfile make_nano_slow() {
   p.driver.free_overhead_s = 8e-6;
   p.driver.memcpy_peer_overhead_s = 12e-6;
   p.driver.memcpy_peer_bandwidth = 9e9;
+  p.driver.graph_instantiate_per_node_s = 10e-6;
+  p.driver.graph_launch_overhead_s = 5e-6;
+  p.driver.graph_param_update_per_arg_s = 0.06e-6;
   return p;
 }
 
@@ -50,6 +53,13 @@ DeviceProfile make_ocl() {
   p.driver.memcpy_pinned_bandwidth = 9e9;
   p.driver.memcpy_peer_overhead_s = 10e-6;
   p.driver.memcpy_peer_bandwidth = 12e9;
+  // OpenCL command queues have no baked-graph dispatch path; replays on
+  // an ocl ordinal fall back to the module's plain enqueue (the module
+  // does not override launch_graph_async), so these floors are the
+  // queue-side share only.
+  p.driver.graph_instantiate_per_node_s = 8e-6;
+  p.driver.graph_launch_overhead_s = 7e-6;
+  p.driver.graph_param_update_per_arg_s = 0.1e-6;
   return p;
 }
 

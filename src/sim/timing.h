@@ -80,6 +80,14 @@ struct DriverCosts {
   // driver contexts are involved.
   double memcpy_peer_overhead_s = 8e-6;
   double memcpy_peer_bandwidth = 18e9;
+  // Kernel-graph capture & replay (DESIGN.md §5g). Instantiation bakes
+  // one dispatch descriptor per node (paid once, at capture); a replayed
+  // launch skips the per-call driver validation and parameter
+  // marshalling and only patches the baked device-pointer slots, so its
+  // dispatch floor sits well below launch_overhead_s.
+  double graph_instantiate_per_node_s = 5e-6;   // one-time bake per node
+  double graph_launch_overhead_s = 2.5e-6;      // per replayed dispatch
+  double graph_param_update_per_arg_s = 0.03e-6;  // patch one baked slot
 };
 
 /// Modeled duration of one device-to-device peer copy of `bytes` when

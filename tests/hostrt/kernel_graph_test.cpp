@@ -1,0 +1,390 @@
+// Kernel-graph capture & replay (DESIGN.md §5g): the transfer-
+// elimination plan's safety rules, shape keying, the capture/replay
+// life cycle through the runtime, invalidation back to eager execution
+// and the strict OMPI_GRAPH parsing.
+#include "hostrt/kernel_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+#include "sim/profile.h"
+
+namespace hostrt {
+namespace {
+
+// --- build_graph / graph_key unit tests (no runtime) -------------------
+
+GraphNode node_of(int device, const std::vector<MapItem>& maps) {
+  GraphNode n;
+  n.device = device;
+  n.spec.module_path = "m.cubin";
+  n.spec.kernel_name = "_k_";
+  n.maps = maps;
+  return n;
+}
+
+const std::function<bool(int, const void*)> kNeverPresent =
+    [](int, const void*) { return false; };
+
+TEST(BuildGraphTest, HoistsMultiUseBuffersAndCountsElisions) {
+  float x[64], y[64];
+  GraphTrace t;
+  for (int i = 0; i < 3; ++i)
+    t.push_back(node_of(0, {{x, sizeof x, MapType::To},
+                            {y, sizeof y, MapType::ToFrom}}));
+  KernelGraph g = build_graph(t, kNeverPresent);
+  ASSERT_EQ(g.plan.size(), 2u);
+  // x: three uploads collapse to one prologue To; nothing copies back.
+  EXPECT_EQ(g.plan[0].prologue, MapType::To);
+  EXPECT_EQ(g.plan[0].epilogue, MapType::Alloc);
+  EXPECT_EQ(g.plan[0].elided, 2u);
+  // y: three round-trips collapse to one To + one From.
+  EXPECT_EQ(g.plan[1].prologue, MapType::To);
+  EXPECT_EQ(g.plan[1].epilogue, MapType::From);
+  EXPECT_EQ(g.plan[1].elided, 4u);
+  EXPECT_EQ(g.elided_per_replay, 6u);
+}
+
+TEST(BuildGraphTest, SkipsSingleUseAndAlreadyPresentBuffers) {
+  float once[16], shared[16];
+  GraphTrace t;
+  t.push_back(node_of(0, {{once, sizeof once, MapType::From},
+                          {shared, sizeof shared, MapType::ToFrom}}));
+  t.push_back(node_of(0, {{shared, sizeof shared, MapType::ToFrom}}));
+  KernelGraph g = build_graph(t, kNeverPresent);
+  ASSERT_EQ(g.plan.size(), 1u);  // `once` is single-use: stays eager
+
+  // A buffer mapped by an enclosing region transfers nothing in eager
+  // mode either — hoisting it would misreport elisions.
+  KernelGraph g2 =
+      build_graph(t, [&](int, const void* h) { return h == shared; });
+  EXPECT_TRUE(g2.plan.empty());
+}
+
+TEST(BuildGraphTest, NeverDropsALiveCopyBack) {
+  // y copies back mid-chain but its LAST use is upload-only: the eager
+  // chain's host snapshot precedes the final device write, so a hoisted
+  // end-of-chain copy-back would observe state the program never
+  // published. The plan must leave y fully eager.
+  float y[32];
+  GraphTrace t;
+  t.push_back(node_of(0, {{y, sizeof y, MapType::ToFrom}}));
+  t.push_back(node_of(0, {{y, sizeof y, MapType::ToFrom}}));
+  t.push_back(node_of(0, {{y, sizeof y, MapType::To}}));
+  KernelGraph g = build_graph(t, kNeverPresent);
+  EXPECT_TRUE(g.plan.empty());
+}
+
+TEST(BuildGraphTest, RejectsOverlappingRanges) {
+  float buf[64];
+  GraphTrace t;
+  t.push_back(node_of(0, {{buf, sizeof buf, MapType::ToFrom}}));
+  t.push_back(node_of(0, {{buf, sizeof buf, MapType::ToFrom}}));
+  t.push_back(node_of(0, {{buf, sizeof(float) * 8, MapType::To}}));
+  t.push_back(node_of(0, {{buf, sizeof(float) * 8, MapType::To}}));
+  KernelGraph g = build_graph(t, kNeverPresent);
+  EXPECT_TRUE(g.plan.empty()) << "aliased ranges must stay eager";
+}
+
+TEST(GraphKeyTest, IgnoresAddressesButSeesShapeAndTopology) {
+  std::vector<float> a(256), b(256), c(256);
+  auto trace_over = [](float* x, float* y, std::size_t n) {
+    GraphTrace t;
+    for (int i = 0; i < 2; ++i) {
+      GraphNode g = node_of(0, {{x, n * sizeof(float), MapType::To},
+                                {y, n * sizeof(float), MapType::ToFrom}});
+      g.spec.args = {KernelArg::mapped(x), KernelArg::mapped(y)};
+      t.push_back(g);
+    }
+    return t;
+  };
+  std::vector<std::string> profiles = {"nano"};
+  uint64_t k1 = graph_key(trace_over(a.data(), b.data(), 256), profiles);
+  // Different buffers, same shape: replay is keyed by structure.
+  uint64_t k2 = graph_key(trace_over(b.data(), c.data(), 256), profiles);
+  EXPECT_EQ(k1, k2);
+  // A size change re-keys...
+  EXPECT_NE(k1, graph_key(trace_over(a.data(), b.data(), 128), profiles));
+  // ...as does a sharing-topology change (both nodes over ONE buffer)...
+  EXPECT_NE(k1, graph_key(trace_over(a.data(), a.data(), 256), profiles));
+  // ...and a device-profile change.
+  std::vector<std::string> slow = {"nano-slow"};
+  EXPECT_NE(k1, graph_key(trace_over(a.data(), b.data(), 256), slow));
+}
+
+// --- runtime integration ----------------------------------------------
+
+constexpr int kChain = 3;
+
+void install_step_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "graph_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+  cudadrv::KernelImage k;
+  k.name = "_stepKernel_";
+  k.param_count = 3;
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(2);
+    const float* x = args.pointer<float>(0, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(1, static_cast<std::size_t>(n));
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(1);
+      y[i] += x[i];
+    }
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+class KernelGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_step_binary();
+  }
+  void TearDown() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+
+  KernelLaunchSpec step_spec(const float* x, float* y, int n) {
+    KernelLaunchSpec spec;
+    spec.module_path = "graph_kernels.cubin";
+    spec.kernel_name = "_stepKernel_";
+    spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+    spec.geometry.threads_x = 128;
+    spec.args = {KernelArg::mapped(x), KernelArg::mapped(y),
+                 KernelArg::of(n)};
+    return spec;
+  }
+
+  /// One sync window: a kChain-deep chain serialized by depend(inout: y).
+  std::vector<TaskId> run_chain(Runtime& rt, const std::vector<float>& x,
+                                std::vector<float>& y, int n) {
+    std::vector<TaskId> ids;
+    for (int k = 0; k < kChain; ++k)
+      ids.push_back(rt.target_nowait(
+          0, step_spec(x.data(), y.data(), n),
+          {{x.data(), x.size() * sizeof(float), MapType::To},
+           {y.data(), y.size() * sizeof(float), MapType::ToFrom}},
+          {DependItem::inout(y.data())}));
+    rt.sync(0);
+    return ids;
+  }
+};
+
+TEST_F(KernelGraphTest, CaptureThenReplay) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime& rt = Runtime::instance();
+  ASSERT_EQ(rt.graph_mode(), Runtime::GraphMode::Capture);
+  const int n = 256;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+
+  // Window 1: nodes defer until the taskwait, then capture + eager run.
+  for (int k = 0; k < kChain; ++k)
+    rt.target_nowait(0, step_spec(x.data(), y.data(), n),
+                     {{x.data(), x.size() * sizeof(float), MapType::To},
+                      {y.data(), y.size() * sizeof(float), MapType::ToFrom}},
+                     {DependItem::inout(y.data())});
+  EXPECT_EQ(rt.pending_graph_nodes(), static_cast<std::size_t>(kChain));
+  rt.sync(0);
+  EXPECT_EQ(rt.pending_graph_nodes(), 0u);
+  EXPECT_EQ(rt.graph_cache().size(), 1u);
+  EXPECT_EQ(rt.queue(0)->totals().graphs_captured, 1u);
+  EXPECT_EQ(rt.queue(0)->totals().graph_replays, 0u);
+
+  // Windows 2..4 replay the baked graph; every iteration still lands in
+  // host memory (the epilogue copy-back), so y keeps accumulating.
+  for (int it = 0; it < 3; ++it) {
+    std::vector<TaskId> ids = run_chain(rt, x, y, n);
+    for (TaskId id : ids) EXPECT_NO_THROW(rt.queue(0)->record(id));
+  }
+  const OffloadStats& totals = rt.queue(0)->totals();
+  EXPECT_EQ(totals.graphs_captured, 1u);
+  EXPECT_EQ(totals.graph_replays, 3u);
+  // Per replay: x (3 To -> 1) elides 2, y (3 ToFrom -> To+From) elides 4.
+  EXPECT_EQ(totals.transfers_elided, 18u);
+  for (float v : y) ASSERT_EQ(v, 4.0f * kChain);
+}
+
+TEST_F(KernelGraphTest, ReplayMatchesEagerResults) {
+  const int n = 512;
+  auto run_mode = [&](Runtime::GraphMode mode) {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+    install_step_binary();
+    Runtime::set_graph_mode(mode);
+    Runtime& rt = Runtime::instance();
+    std::vector<float> x(n, 0.5f), y(n, 1.0f);
+    for (int it = 0; it < 4; ++it) run_chain(rt, x, y, n);
+    return y;
+  };
+  std::vector<float> eager = run_mode(Runtime::GraphMode::Off);
+  std::vector<float> replayed = run_mode(Runtime::GraphMode::Capture);
+  EXPECT_EQ(eager, replayed);
+}
+
+TEST_F(KernelGraphTest, ShapeChangeFallsBackToEagerCapture) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime& rt = Runtime::instance();
+  std::vector<float> x(512, 1.0f), y(512, 0.0f);
+  run_chain(rt, x, y, 256);
+  run_chain(rt, x, y, 256);
+  EXPECT_EQ(rt.queue(0)->totals().graph_replays, 1u);
+  // A different trip count is a different shape: no replay, a second
+  // capture instead.
+  run_chain(rt, x, y, 512);
+  const OffloadStats& totals = rt.queue(0)->totals();
+  EXPECT_EQ(totals.graphs_captured, 2u);
+  EXPECT_EQ(totals.graph_replays, 1u);
+  EXPECT_EQ(rt.graph_cache().size(), 2u);
+}
+
+TEST_F(KernelGraphTest, ResetDropsCapturedGraphs) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  {
+    Runtime& rt = Runtime::instance();
+    std::vector<float> x(256, 1.0f), y(256, 0.0f);
+    run_chain(rt, x, y, 256);
+    ASSERT_EQ(rt.graph_cache().size(), 1u);
+  }
+  // Back-to-back scenarios must start cold: no stale capture (priced on
+  // the old board) may replay on the new one, and the mode itself
+  // reverts to the environment default.
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_step_binary();
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime& rt = Runtime::instance();
+  EXPECT_EQ(rt.graph_cache().size(), 0u);
+  EXPECT_EQ(rt.pending_graph_nodes(), 0u);
+  std::vector<float> x(256, 1.0f), y(256, 0.0f);
+  run_chain(rt, x, y, 256);
+  const OffloadStats& totals = rt.queue(0)->totals();
+  EXPECT_EQ(totals.graphs_captured, 1u) << "fresh capture, not a replay";
+  EXPECT_EQ(totals.graph_replays, 0u);
+}
+
+TEST_F(KernelGraphTest, ProfileChangeRecapturesAfterReset) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime::set_device_profiles({jetsim::builtin_profile("nano")});
+  std::vector<float> x(256, 1.0f), y(256, 0.0f);
+  {
+    Runtime& rt = Runtime::instance();
+    run_chain(rt, x, y, 256);
+    run_chain(rt, x, y, 256);
+    EXPECT_EQ(rt.queue(0)->totals().graph_replays, 1u);
+  }
+  // A different board (device profile) requires a reset; the cache dies
+  // with it, so the same chain recaptures under the new pricing.
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_step_binary();
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime::set_device_profiles({jetsim::builtin_profile("nano-slow")});
+  Runtime& rt = Runtime::instance();
+  run_chain(rt, x, y, 256);
+  EXPECT_EQ(rt.queue(0)->totals().graphs_captured, 1u);
+  EXPECT_EQ(rt.queue(0)->totals().graph_replays, 0u);
+}
+
+TEST_F(KernelGraphTest, DeviceCountChangeRecapturesAfterReset) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime::set_num_devices(2);
+  std::vector<float> x(256, 1.0f), y(256, 0.0f);
+  {
+    Runtime& rt = Runtime::instance();
+    run_chain(rt, x, y, 256);
+    run_chain(rt, x, y, 256);
+    EXPECT_EQ(rt.queue(0)->totals().graph_replays, 1u);
+  }
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_step_binary();
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime::set_num_devices(1);
+  Runtime& rt = Runtime::instance();
+  run_chain(rt, x, y, 256);
+  EXPECT_EQ(rt.queue(0)->totals().graphs_captured, 1u);
+  EXPECT_EQ(rt.queue(0)->totals().graph_replays, 0u);
+}
+
+TEST_F(KernelGraphTest, SingleUseFromStillCopiesBackEveryReplay) {
+  // An output buffer that appears once (From in the last node) is never
+  // hoisted — and every replay must still deliver its copy-back.
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime& rt = Runtime::instance();
+  const int n = 256;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f), out(n, -1.0f);
+  auto window = [&]() {
+    for (int k = 0; k < 2; ++k)
+      rt.target_nowait(0, step_spec(x.data(), y.data(), n),
+                       {{x.data(), x.size() * sizeof(float), MapType::To},
+                        {y.data(), y.size() * sizeof(float), MapType::ToFrom}},
+                       {DependItem::inout(y.data())});
+    rt.target_nowait(0, step_spec(y.data(), out.data(), n),
+                     {{y.data(), y.size() * sizeof(float), MapType::To},
+                      {out.data(), out.size() * sizeof(float), MapType::ToFrom}},
+                     {DependItem::inout(y.data())});
+    rt.sync(0);
+  };
+  window();  // capture (eager)
+  float after_capture = out[0];
+  window();  // replay
+  const OffloadStats& totals = rt.queue(0)->totals();
+  EXPECT_EQ(totals.graph_replays, 1u);
+  EXPECT_GT(totals.transfers_elided, 0u);
+  // y grew by 2 between the windows, so the replayed chain's copy-back
+  // must observe a strictly larger out: a dropped copy-back would leave
+  // the capture-time value in host memory.
+  EXPECT_GT(out[0], after_capture);
+  for (float v : out) ASSERT_EQ(v, out[0]);
+}
+
+TEST_F(KernelGraphTest, SyncTargetFlushesPendingChain) {
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime& rt = Runtime::instance();
+  const int n = 256;
+  std::vector<float> x(n, 1.0f), y(n, 0.0f);
+  rt.target_nowait(0, step_spec(x.data(), y.data(), n),
+                   {{x.data(), x.size() * sizeof(float), MapType::To},
+                    {y.data(), y.size() * sizeof(float), MapType::ToFrom}},
+                   {DependItem::inout(y.data())});
+  EXPECT_EQ(rt.pending_graph_nodes(), 1u);
+  // A synchronous target is a synchronization point: the deferred node
+  // must run (and its effects land) before this region.
+  rt.target(0, step_spec(x.data(), y.data(), n),
+            {{x.data(), x.size() * sizeof(float), MapType::To},
+             {y.data(), y.size() * sizeof(float), MapType::ToFrom}});
+  EXPECT_EQ(rt.pending_graph_nodes(), 0u);
+  for (float v : y) ASSERT_EQ(v, 2.0f);
+}
+
+TEST_F(KernelGraphTest, StrictEnvParse) {
+  ::setenv("OMPI_GRAPH", "bogus", 1);
+  EXPECT_THROW(Runtime::instance(), std::runtime_error);
+  Runtime::reset();
+
+  ::setenv("OMPI_GRAPH", "capture", 1);
+  EXPECT_EQ(Runtime::instance().graph_mode(), Runtime::GraphMode::Capture);
+  Runtime::reset();
+
+  ::setenv("OMPI_GRAPH", "off", 1);
+  EXPECT_EQ(Runtime::instance().graph_mode(), Runtime::GraphMode::Off);
+  ::unsetenv("OMPI_GRAPH");
+}
+
+}  // namespace
+}  // namespace hostrt
