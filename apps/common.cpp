@@ -146,6 +146,11 @@ void AppHarness::target(const std::string& kernel, unsigned teams_x,
         kernel.c_str(), stats.stream, stats.total(), stats.load_s,
         stats.prepare_s, stats.exec_s, stats.queued_s, stats.h2d_s,
         stats.d2h_s);
+    if (stats.zero_copy_maps)
+      std::printf(
+          "[offload] %-24s zero-copy: maps=%llu bytes=%zu\n", kernel.c_str(),
+          static_cast<unsigned long long>(stats.zero_copy_maps),
+          stats.zero_copy_bytes);
     if (stats.red_global_atomics)
       std::printf(
           "[offload] %-24s reduction combines: warp=%llu smem=%llu "

@@ -1,0 +1,203 @@
+// Micro A5 — zero-copy unified-memory offload (DESIGN.md §5h): a vector
+// triad on the `nano-uma` profile, whose CPU and GPU share one LPDDR4.
+// Staged mode (OMPI_ZEROCOPY=off) pays the discrete-style round-trip:
+// pageable H2D for the inputs, the kernel at the DRAM roofline, D2H for
+// the output. Zero-copy mode page-locks the host buffers once
+// (cuMemHostRegister) and the kernel reads them in place — no device
+// allocation, no transfers, each DRAM access priced at the integrated
+// premium (zero_copy_byte_factor). Three gated rows:
+//   - streaming (transfer-bound): zero-copy must win >= 1.3x;
+//   - compute-bound: both modes within 5% (the premium only touches the
+//     memory term, so flop-dominated kernels must not regress);
+//   - off-match: nano-uma under `off` reproduces the plain-nano staged
+//     run bit-for-bit (same modeled clock, same transfer stats).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+#include "sim/profile.h"
+
+namespace {
+
+using namespace hostrt;
+
+constexpr int kIters = 4;
+constexpr double kComputeFlopsPerElem = 1500.0;
+
+void install_triad_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "zero_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+
+  // Streaming triad: z[i] = x[i] + y[i]; every mapped byte is touched
+  // exactly once, so transfers dominate a staged offload.
+  cudadrv::KernelImage triad;
+  triad.name = "_triadKernel_";
+  triad.param_count = 4;
+  triad.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(1.0);
+    }
+  };
+  img.add_kernel(std::move(triad));
+
+  // Compute-bound variant: same data environment, but the flop term
+  // dwarfs both the transfers and the DRAM premium.
+  cudadrv::KernelImage dense;
+  dense.name = "_denseKernel_";
+  dense.param_count = 4;
+  dense.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3);
+      ctx.charge_flops(kComputeFlopsPerElem);
+    }
+  };
+  img.add_kernel(std::move(dense));
+
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+struct RunOut {
+  double elapsed = 0;
+  OffloadStats totals;
+};
+
+RunOut run(const char* profile, ZeroCopyMode mode, const char* kernel,
+           int n) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_triad_binary();
+  cudadrv::cuSimSetBlockSampling(true);
+  Runtime::set_device_profiles({jetsim::builtin_profile(profile)});
+  Runtime::set_zerocopy_mode(mode);
+  Runtime& rt = Runtime::instance();
+
+  std::vector<float> x(static_cast<std::size_t>(n), 1.0f);
+  std::vector<float> y(static_cast<std::size_t>(n), 2.0f);
+  std::vector<float> z(static_cast<std::size_t>(n), 0.0f);
+
+  KernelLaunchSpec spec;
+  spec.module_path = "zero_kernels.cubin";
+  spec.kernel_name = kernel;
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(x.data()), KernelArg::mapped(y.data()),
+               KernelArg::mapped(z.data()), KernelArg::of(n)};
+  std::vector<MapItem> maps = {
+      {x.data(), x.size() * sizeof(float), MapType::To},
+      {y.data(), y.size() * sizeof(float), MapType::To},
+      {z.data(), z.size() * sizeof(float), MapType::From},
+  };
+
+  // Warm the device (lazy initialization, module load, JIT) outside the
+  // timed window so both modes compare pure steady-state offloads.
+  rt.target(0, spec, maps);
+
+  double t0 = cudadrv::cuSimDevice(0).now();
+  for (int i = 0; i < kIters; ++i) rt.target(0, spec, maps);
+  RunOut out;
+  out.elapsed = cudadrv::cuSimDevice(0).now() - t0;
+  out.totals = rt.queue(0)->totals();
+  return out;
+}
+
+void print_row(const char* label, const RunOut& r) {
+  std::printf("  %-22s: %10.6f s   (zc maps %llu, staged bytes %zu)\n",
+              label, r.elapsed,
+              static_cast<unsigned long long>(r.totals.zero_copy_maps),
+              r.totals.bytes_staged);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int n_stream = smoke ? 1 << 19 : 1 << 21;
+  const int n_dense = smoke ? 1 << 17 : 1 << 18;
+  std::printf("micro_zero: vector triad on nano-uma (unified memory), "
+              "%d timed offloads per row\n\n", kIters);
+
+  // Row 1 — streaming, transfer-bound: staged vs zero-copy.
+  std::printf("streaming triad (n = %d):\n", n_stream);
+  RunOut staged = run("nano-uma", ZeroCopyMode::Off, "_triadKernel_",
+                      n_stream);
+  RunOut zc = run("nano-uma", ZeroCopyMode::On, "_triadKernel_", n_stream);
+  print_row("staged (off)", staged);
+  print_row("zero-copy (on)", zc);
+  double zc_speedup = staged.elapsed / zc.elapsed;
+  std::printf("  zero-copy speedup     : %10.2fx (target >= 1.30x)\n\n",
+              zc_speedup);
+
+  // Row 2 — compute-bound: the flop term dominates, so the DRAM premium
+  // must vanish into the roofline max() and both modes price alike.
+  std::printf("compute-bound kernel (n = %d, %.0f flops/elem):\n", n_dense,
+              kComputeFlopsPerElem);
+  RunOut dstaged = run("nano-uma", ZeroCopyMode::Off, "_denseKernel_",
+                       n_dense);
+  RunOut dzc = run("nano-uma", ZeroCopyMode::On, "_denseKernel_", n_dense);
+  print_row("staged (off)", dstaged);
+  print_row("zero-copy (on)", dzc);
+  double compute_parity =
+      dstaged.elapsed < dzc.elapsed ? dstaged.elapsed / dzc.elapsed
+                                    : dzc.elapsed / dstaged.elapsed;
+  std::printf("  compute parity        : %10.4f (target >= 0.95)\n\n",
+              compute_parity);
+
+  // Row 3 — off-match: nano-uma under `off` must reproduce the plain
+  // nano staged run exactly (same modeled elapsed, same transfer stats),
+  // so flipping a board to the integrated profile with zero-copy
+  // disabled is observationally free.
+  RunOut nano = run("nano", ZeroCopyMode::Off, "_triadKernel_", n_stream);
+  bool match = nano.elapsed == staged.elapsed &&
+               nano.totals.h2d_s == staged.totals.h2d_s &&
+               nano.totals.d2h_s == staged.totals.d2h_s &&
+               nano.totals.exec_s == staged.totals.exec_s &&
+               nano.totals.bytes_staged == staged.totals.bytes_staged &&
+               nano.totals.coalesced_transfers ==
+                   staged.totals.coalesced_transfers &&
+               staged.totals.zero_copy_maps == 0 &&
+               staged.totals.zero_copy_bytes == 0;
+  double off_match = match ? 1.0 : 0.0;
+  std::printf("off-match (nano vs nano-uma/off): %s\n\n",
+              match ? "bit-for-bit" : "MISMATCH");
+
+  bench::write_bench_json(
+      "micro_zero",
+      {{"n_stream", std::to_string(n_stream)},
+       {"n_dense", std::to_string(n_dense)},
+       {"iters", std::to_string(kIters)},
+       {"profile", "nano-uma"},
+       {"modes", "off,on"}},
+      {{"staged_s", staged.elapsed},
+       {"zc_s", zc.elapsed},
+       {"zc_speedup", zc_speedup},
+       {"dense_staged_s", dstaged.elapsed},
+       {"dense_zc_s", dzc.elapsed},
+       {"compute_parity", compute_parity},
+       {"off_match", off_match},
+       {"zc_maps", static_cast<double>(zc.totals.zero_copy_maps)},
+       {"zc_bytes", static_cast<double>(zc.totals.zero_copy_bytes)}});
+
+  Runtime::reset();
+  // All three gates hold in smoke mode too (the tier-1 bench_smoke entry
+  // enforces them on every CI run).
+  return zc_speedup >= 1.3 && compute_parity >= 0.95 && off_match == 1.0
+             ? 0
+             : 1;
+}

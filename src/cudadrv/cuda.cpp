@@ -50,12 +50,16 @@ struct CUevent_st {
 
 namespace {
 
-// One page-locked host allocation made through cuMemAllocHost. The
-// driver owns the storage; the registry is keyed by address so transfer
+// One page-locked host range: a cuMemAllocHost allocation (the driver
+// owns the storage) or a cuMemHostRegister range (storage is null, the
+// caller owns the pages). The registry is keyed by address so transfer
 // paths can classify an arbitrary host pointer as pinned or pageable.
 struct PinnedAlloc {
   std::unique_ptr<std::byte[]> storage;
   std::size_t size = 0;
+  // Devices carrying a zero-copy mapping of the range
+  // (cuMemHostGetDevicePointer); torn down when the range dies.
+  std::vector<CUdevice> mapped_on;
 };
 
 struct DriverState {
@@ -75,6 +79,10 @@ struct DriverState {
   std::vector<jetsim::DriverCosts> device_costs;
   bool model_only = false;
   bool block_sampling = false;
+  // One-shot zero-copy byte share of the next launch, set by the host
+  // runtime (cuSimSetNextLaunchZeroCopyFraction) and consumed by
+  // launch_kernel_impl.
+  double next_zero_copy_fraction = 0;
   uint64_t epoch = 0;  // bumped by cuSimReset; see cuSimEpoch()
   // Profiles of the devices created by the next cuInit; one default
   // ("nano") entry models the paper's single-GPU board.
@@ -108,6 +116,15 @@ CUresult require_ctx() {
   if (!state().current || !state().current->alive)
     return CUDA_ERROR_INVALID_CONTEXT;
   return CUDA_SUCCESS;
+}
+
+// Tears down every zero-copy device mapping of a pinned range that is
+// about to die (cuMemFreeHost / cuMemHostUnregister).
+void drop_host_mappings(std::uintptr_t base, PinnedAlloc& alloc) {
+  for (CUdevice d : alloc.mapped_on)
+    if (d >= 0 && d < static_cast<int>(state().devices.size()))
+      state().devices[static_cast<std::size_t>(d)]->unmap_host(base);
+  alloc.mapped_on.clear();
 }
 
 }  // namespace
@@ -393,9 +410,71 @@ CUresult cuMemAllocHost(void** pp, std::size_t bytes) {
 CUresult cuMemFreeHost(void* p) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
-  if (it == state().pinned.end()) return CUDA_ERROR_INVALID_VALUE;
+  if (it == state().pinned.end() || !it->second.storage)
+    return CUDA_ERROR_INVALID_VALUE;  // unknown, or a registered range
+  drop_host_mappings(it->first, it->second);
   state().pinned.erase(it);
   dev_of_current().advance_time(costs_of_current().pinned_free_overhead_s);
+  return CUDA_SUCCESS;
+}
+
+CUresult cuMemHostRegister(void* p, std::size_t bytes, unsigned flags) {
+  if (!p || bytes == 0 || flags != 0) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto& pinned = state().pinned;
+  // Reject overlap with memory that is already page-locked (the real
+  // driver reports CUDA_ERROR_HOST_MEMORY_ALREADY_REGISTERED).
+  auto next = pinned.upper_bound(addr);
+  if (next != pinned.end() && addr + bytes > next->first)
+    return CUDA_ERROR_INVALID_VALUE;
+  if (next != pinned.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > addr)
+      return CUDA_ERROR_INVALID_VALUE;
+  }
+  PinnedAlloc alloc;
+  alloc.size = bytes;  // storage stays null: the caller owns the pages
+  pinned.emplace(addr, std::move(alloc));
+  dev_of_current().advance_time(costs_of_current().host_register_overhead_s);
+  return CUDA_SUCCESS;
+}
+
+CUresult cuMemHostUnregister(void* p) {
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
+  if (it == state().pinned.end() || it->second.storage)
+    return CUDA_ERROR_INVALID_VALUE;  // unknown, or cuMemAllocHost-owned
+  drop_host_mappings(it->first, it->second);
+  state().pinned.erase(it);
+  dev_of_current().advance_time(costs_of_current().host_unregister_overhead_s);
+  return CUDA_SUCCESS;
+}
+
+CUresult cuMemHostGetDevicePointer(CUdeviceptr* dptr, void* p,
+                                   unsigned flags) {
+  if (!dptr || !p || flags != 0) return CUDA_ERROR_INVALID_VALUE;
+  if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
+  CUdevice dev = state().current->device;
+  // Only integrated-memory devices expose host memory to the GPU; a
+  // discrete part would need the payload staged across the bus anyway.
+  if (!state().profiles[static_cast<std::size_t>(dev)].integrated)
+    return CUDA_ERROR_INVALID_DEVICE;
+  auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
+  if (it == state().pinned.end()) return CUDA_ERROR_INVALID_VALUE;
+  PinnedAlloc& alloc = it->second;
+  // Idempotent per device: the mapping persists until the range dies.
+  if (std::find(alloc.mapped_on.begin(), alloc.mapped_on.end(), dev) ==
+      alloc.mapped_on.end()) {
+    try {
+      dev_of_current().map_host(p, alloc.size);
+    } catch (const jetsim::SimError&) {
+      return CUDA_ERROR_INVALID_VALUE;
+    }
+    alloc.mapped_on.push_back(dev);
+  }
+  // CPU and GPU share one DRAM: the device address is the host address.
+  *dptr = static_cast<CUdeviceptr>(it->first);
   return CUDA_SUCCESS;
 }
 
@@ -616,6 +695,10 @@ CUresult launch_kernel_impl(CUfunction fn, unsigned grid_x, unsigned grid_y,
   cfg.kernel_name = image.name;
   cfg.model_only = s.model_only;
   cfg.allow_block_sampling = s.block_sampling;
+  // One-shot: the host runtime stamps the zero-copy byte share of the
+  // launch it is about to issue; anything after runs device-resident.
+  cfg.zero_copy_fraction = s.next_zero_copy_fraction;
+  s.next_zero_copy_fraction = 0;
 
   ArgPack args(dev, kernel_params, image.param_count);
   auto body = [&](jetsim::KernelCtx& ctx) { image.entry(ctx, args); };
@@ -804,6 +887,10 @@ bool cuSimIsPinned(const void* p, std::size_t bytes) {
   return pinned_range(p, bytes);
 }
 
+void cuSimSetNextLaunchZeroCopyFraction(double fraction) {
+  state().next_zero_copy_fraction = std::clamp(fraction, 0.0, 1.0);
+}
+
 void cuSimClearJitCache() { state().jit_cache.clear(); }
 
 void cuSimSetDeviceCount(int n) {
@@ -853,6 +940,7 @@ void cuSimReset() {
   s.pending_profiles = {jetsim::DeviceProfile{}};
   s.model_only = false;
   s.block_sampling = false;
+  s.next_zero_copy_fraction = 0;
   ++s.epoch;
 }
 

@@ -95,6 +95,27 @@ CUresult cuMemFree(CUdeviceptr dptr);
 /// (`DriverCosts::memcpy_pinned_bandwidth`).
 CUresult cuMemAllocHost(void** pp, std::size_t bytes);
 CUresult cuMemFreeHost(void* p);
+/// Page-locks `bytes` of caller-owned memory at `p`, adding it to the
+/// pinned pool: transfers from the range run at the pinned rate, and on
+/// integrated-memory devices the range becomes eligible for zero-copy
+/// device mappings (cuMemHostGetDevicePointer). Returns
+/// CUDA_ERROR_INVALID_VALUE if the range overlaps memory that is
+/// already pinned.
+CUresult cuMemHostRegister(void* p, std::size_t bytes, unsigned flags);
+/// Undoes cuMemHostRegister and tears down any zero-copy device
+/// mappings of the range. `p` must be the exact registered base; ranges
+/// owned by cuMemAllocHost are rejected (they go through cuMemFreeHost).
+CUresult cuMemHostUnregister(void* p);
+/// Device pointer through which kernels access the pinned host range at
+/// `p` in place — the zero-copy path of an integrated-memory device
+/// (DESIGN.md §5h): no H2D/D2H staging, no device allocation; kernel
+/// accesses are priced per byte touched via
+/// `CostModel::zero_copy_byte_factor`. `p` must be the base of a
+/// cuMemAllocHost or cuMemHostRegister range on a device whose profile
+/// has `integrated` set. The mapping persists until the range is freed,
+/// unregistered or the driver is reset.
+CUresult cuMemHostGetDevicePointer(CUdeviceptr* dptr, void* p,
+                                   unsigned flags);
 CUresult cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes);
 CUresult cuMemcpyHtoD(CUdeviceptr dst, const void* src, std::size_t bytes);
 CUresult cuMemcpyDtoH(void* dst, CUdeviceptr src, std::size_t bytes);
@@ -180,8 +201,15 @@ jetsim::DriverCosts& cuSimDriverCosts(CUdevice dev);
 /// Profile the device was created from (name, props, cost tables).
 const jetsim::DeviceProfile& cuSimDeviceProfile(CUdevice dev);
 /// True when [p, p+bytes) lies entirely inside one cuMemAllocHost
-/// allocation (used by transfer-cost modeling and by tests).
+/// allocation or cuMemHostRegister range (used by transfer-cost
+/// modeling and by tests).
 bool cuSimIsPinned(const void* p, std::size_t bytes);
+/// Fraction of the next launch's mapped bytes reached through zero-copy
+/// host mappings; consumed (and reset to 0) by the next cuLaunchKernel
+/// or cuLaunchKernelGraph on any device. The host runtime computes it
+/// from the launch's data environment and the simulator prices the
+/// memory roofline with it (DESIGN.md §5h).
+void cuSimSetNextLaunchZeroCopyFraction(double fraction);
 /// Clears the simulated JIT disk cache (e.g. to model a cold boot).
 void cuSimClearJitCache();
 /// Number of simulated devices created by the next (re)initialization

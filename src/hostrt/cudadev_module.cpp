@@ -1,5 +1,6 @@
 #include "hostrt/cudadev_module.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -107,6 +108,7 @@ void CudadevModule::initialize() {
   // A primary context is created once the device is initialized.
   check("cuCtxCreate", cudadrv::cuCtxCreate(&context_, 0, device_));
   epoch_ = cudadrv::cuSimEpoch();
+  integrated_ = cudadrv::cuSimDeviceProfile(device_).integrated;
 
   // Data-environment tuning knobs, read once per initialization.
   if (const char* v = std::getenv("OMPI_ALLOC_CACHE")) {
@@ -114,10 +116,19 @@ void CudadevModule::initialize() {
     allocator_.set_enabled(!(s == "0" || s == "off" || s == "false"));
   }
   if (const char* v = std::getenv("OMPI_COALESCE_MAX")) {
+    // Strict, like the runtime's other numeric knobs: a plain byte count
+    // in [0, 2^30], where 0 keeps its documented meaning of disabling
+    // coalescing. Anything else is a configuration error, not a default.
     char* end = nullptr;
-    unsigned long long n = std::strtoull(v, &end, 10);
-    if (end && *end == '\0' && end != v)
-      coalesce_max_ = static_cast<std::size_t>(n);
+    errno = 0;
+    long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || n < 0 ||
+        n > (1LL << 30))
+      throw std::runtime_error(
+          std::string("OMPI_COALESCE_MAX must be a byte count in "
+                      "[0, 2^30], got \"") +
+          v + "\"");
+    coalesce_max_ = static_cast<std::size_t>(n);
   }
   initialized_ = true;
 }
@@ -314,6 +325,90 @@ void CudadevModule::read_segments(const std::vector<Segment>& segs) {
   }
 }
 
+bool CudadevModule::want_zero_copy(const MapItem& item, int reuse) const {
+  (void)item;
+  if (!integrated_ || zerocopy_mode_ == ZeroCopyMode::Off) return false;
+  if (zerocopy_mode_ == ZeroCopyMode::On) return true;
+  // Auto: zero-copy pays off while kernels stream (each mapped byte is
+  // touched about once, so the per-access premium stays below the saved
+  // round-trip) and the buffer is not remapped over and over (each
+  // staged upload would amortize across the remaps).
+  if (reuse >= kZeroCopyReuseLimit) return false;
+  return touch_density() <= kZeroCopyTouchLimit;
+}
+
+double CudadevModule::touch_density() const {
+  // Until a launch is observed assume streaming: small transfer-bound
+  // chains — exactly where zero-copy wins — are the common first case.
+  return touch_seen_ ? touch_ema_ : 1.0;
+}
+
+bool CudadevModule::zero_copy_eligible(const MapItem& item) const {
+  return want_zero_copy(item, 0);
+}
+
+uint64_t CudadevModule::map_zero_copy(const void* host, std::size_t size) {
+  require_initialized();
+  if (!integrated_) return 0;
+  void* p = const_cast<void*>(host);
+  cudadrv::CUdeviceptr dptr = 0;
+  if (cudadrv::cuMemHostGetDevicePointer(&dptr, p, 0) !=
+      cudadrv::CUDA_SUCCESS) {
+    // Not a pinned base yet: page-lock the caller's buffer ourselves.
+    // Registration fails for ranges straddling an existing pinned
+    // allocation — the caller falls back to staging on 0.
+    if (cudadrv::cuMemHostRegister(p, size, 0) != cudadrv::CUDA_SUCCESS)
+      return 0;
+    if (cudadrv::cuMemHostGetDevicePointer(&dptr, p, 0) !=
+        cudadrv::CUDA_SUCCESS) {
+      cudadrv::cuMemHostUnregister(p);
+      return 0;
+    }
+    zc_registered_.insert(host);
+  }
+  ++zero_copy_maps_;
+  zero_copy_bytes_ += size;
+  return dptr;
+}
+
+void CudadevModule::unmap_zero_copy(uint64_t dev_addr, const void* host) {
+  (void)dev_addr;  // the device address IS the host address (unified DRAM)
+  make_current();
+  // Only ranges this module pinned are unregistered; user-pinned buffers
+  // (cuMemAllocHost) keep their device mapping until they are freed.
+  auto it = zc_registered_.find(host);
+  if (it == zc_registered_.end()) return;
+  cudadrv::cuMemHostUnregister(const_cast<void*>(host));
+  zc_registered_.erase(it);
+}
+
+double CudadevModule::stamp_zero_copy_fraction(const KernelLaunchSpec& spec,
+                                               DataEnv& env) {
+  double total = 0, zc = 0;
+  std::set<const void*> seen;
+  for (const KernelArg& a : spec.args) {
+    if (a.kind != KernelArg::Kind::MappedPtr) continue;
+    MapItem whole;
+    if (!env.mapping_info(a.host_ptr, &whole, nullptr)) continue;
+    if (!seen.insert(whole.host).second) continue;
+    total += static_cast<double>(whole.size);
+    if (env.is_zero_copy(a.host_ptr)) zc += static_cast<double>(whole.size);
+  }
+  if (total > 0 && zc > 0)
+    cudadrv::cuSimSetNextLaunchZeroCopyFraction(zc / total);
+  return total;
+}
+
+void CudadevModule::note_touch_density(double footprint_bytes) {
+  if (footprint_bytes <= 0) return;
+  const auto& log = cudadrv::cuSimDevice(device_).launch_log();
+  if (log.empty()) return;
+  double density =
+      static_cast<double>(log.back().total_dram_bytes) / footprint_bytes;
+  touch_ema_ = touch_seen_ ? 0.5 * touch_ema_ + 0.5 * density : density;
+  touch_seen_ = true;
+}
+
 void CudadevModule::release_cached() {
   allocator_.release_cached();
   if (staging_) {
@@ -334,6 +429,8 @@ DeviceModule::AllocCounters CudadevModule::alloc_counters() const {
   c.cache_misses = s.cache_misses;
   c.coalesced_transfers = coalesced_transfers_;
   c.bytes_staged = bytes_staged_;
+  c.zero_copy_maps = zero_copy_maps_;
+  c.zero_copy_bytes = zero_copy_bytes_;
   return c;
 }
 
@@ -399,10 +496,12 @@ OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
   unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
                                           spec.dyn_shared_mem);
   const devrt::RedCounters red_before = devrt::red_counters();
+  double footprint = stamp_zero_copy_fraction(spec, env);
   check("cuLaunchKernel",
         cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
                                 g.threads_x, g.threads_y, g.threads_z, shared,
                                 nullptr, params.data(), nullptr));
+  note_touch_density(footprint);
   const devrt::RedCounters red_after = devrt::red_counters();
   stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
@@ -455,10 +554,12 @@ OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
   // The simulated grid executes inside the call (only its timeline is
   // deferred to the stream), so the counter delta is this kernel's.
   const devrt::RedCounters red_before = devrt::red_counters();
+  double footprint = stamp_zero_copy_fraction(spec, env);
   check("cuLaunchKernel",
         cudadrv::cuLaunchKernel(fn, g.teams_x, g.teams_y, g.teams_z,
                                 g.threads_x, g.threads_y, g.threads_z, shared,
                                 stream, params.data(), nullptr));
+  note_touch_density(footprint);
   const devrt::RedCounters red_after = devrt::red_counters();
   stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
@@ -500,10 +601,12 @@ OffloadStats CudadevModule::launch_graph_async(const KernelLaunchSpec& spec,
   unsigned shared = static_cast<unsigned>(devrt::reserved_shmem() +
                                           spec.dyn_shared_mem);
   const devrt::RedCounters red_before = devrt::red_counters();
+  double footprint = stamp_zero_copy_fraction(spec, env);
   check("cuLaunchKernelGraph",
         cudadrv::cuLaunchKernelGraph(fn, g.teams_x, g.teams_y, g.teams_z,
                                      g.threads_x, g.threads_y, g.threads_z,
                                      shared, stream, params.data(), nullptr));
+  note_touch_density(footprint);
   const devrt::RedCounters red_after = devrt::red_counters();
   stats.red_warp_combines = red_after.warp_combines - red_before.warp_combines;
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;

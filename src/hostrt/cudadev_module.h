@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,21 @@ class CudadevModule : public QueueableModule {
                    std::vector<uint64_t>* addrs) override;
   void write_segments(const std::vector<Segment>& segs) override;
   void read_segments(const std::vector<Segment>& segs) override;
+
+  // --- zero-copy mapping policy (integrated devices, DESIGN.md §5h) ----
+  /// Fresh-mapping decision: zero-copy only on an integrated-memory
+  /// device, per the module's mode. Auto favors zero-copy while the
+  /// device's kernels stream (touch density at most kZeroCopyTouchLimit)
+  /// and the buffer is not remapped often (reuse below
+  /// kZeroCopyReuseLimit — repeated remaps amortize a staged upload).
+  bool want_zero_copy(const MapItem& item, int reuse) const override;
+  /// Page-locks the host buffer if needed (cuMemHostRegister) and maps
+  /// it into the device address space (cuMemHostGetDevicePointer);
+  /// returns 0 — fall back to staged — if the device is not integrated
+  /// or the range cannot be pinned (e.g. it straddles a pinned base).
+  uint64_t map_zero_copy(const void* host, std::size_t size) override;
+  void unmap_zero_copy(uint64_t dev_addr, const void* host) override;
+  bool zero_copy_eligible(const MapItem& item) const override;
 
   OffloadStats launch(const KernelLaunchSpec& spec, DataEnv& env) override;
 
@@ -110,11 +126,28 @@ class CudadevModule : public QueueableModule {
   void set_coalesce_max(std::size_t bytes) { coalesce_max_ = bytes; }
   std::size_t coalesce_max() const { return coalesce_max_; }
 
+  /// Staged-vs-zero-copy policy (the OMPI_ZEROCOPY environment variable
+  /// seeds it through the runtime; default Auto). Only meaningful on a
+  /// device whose profile is integrated — discrete devices stage
+  /// regardless.
+  void set_zerocopy_mode(ZeroCopyMode mode) { zerocopy_mode_ = mode; }
+  ZeroCopyMode zerocopy_mode() const { return zerocopy_mode_; }
+  /// True once initialize() saw an integrated-memory device profile.
+  bool integrated() const { return integrated_; }
+  /// DRAM bytes touched per mapped byte, EMA over this device's
+  /// launches (1.0 — the streaming assumption — before any launch).
+  double touch_density() const;
+
   AllocCounters alloc_counters() const override;
 
   /// Past ~32 KB per item the bandwidth lost to the host pack/unpack
   /// pass outweighs the saved per-transfer overheads (DESIGN.md §5c).
   static constexpr std::size_t kDefaultCoalesceMax = 32 * 1024;
+  /// Auto-mode bounds: zero-copy while kernels touch each mapped byte at
+  /// most ~this many times and the buffer was remapped fewer than this
+  /// many times (DESIGN.md §5h).
+  static constexpr double kZeroCopyTouchLimit = 4.0;
+  static constexpr int kZeroCopyReuseLimit = 4;
 
  private:
   void require_initialized();
@@ -124,6 +157,14 @@ class CudadevModule : public QueueableModule {
   /// Pinned staging buffer of at least `bytes` (grows, never shrinks).
   std::byte* staging(std::size_t bytes);
   uint64_t raw_alloc(std::size_t size);
+  /// Stamps the driver's one-shot zero-copy fraction for the launch
+  /// about to be issued; returns the launch's mapped footprint in bytes
+  /// (input to the touch-density EMA).
+  double stamp_zero_copy_fraction(const KernelLaunchSpec& spec,
+                                  DataEnv& env);
+  /// Folds the just-issued launch's observed DRAM traffic over
+  /// `footprint_bytes` into the touch-density EMA.
+  void note_touch_density(double footprint_bytes);
 
   bool initialized_ = false;
   uint64_t epoch_ = 0;  // driver epoch the context belongs to
@@ -143,6 +184,15 @@ class CudadevModule : public QueueableModule {
   std::size_t staging_size_ = 0;
   uint64_t coalesced_transfers_ = 0;
   std::size_t bytes_staged_ = 0;
+
+  // Zero-copy state (DESIGN.md §5h).
+  ZeroCopyMode zerocopy_mode_ = ZeroCopyMode::Auto;
+  bool integrated_ = false;   // device profile has integrated memory
+  double touch_ema_ = 0;      // observed DRAM bytes per mapped byte
+  bool touch_seen_ = false;
+  std::set<const void*> zc_registered_;  // host ranges this module pinned
+  uint64_t zero_copy_maps_ = 0;
+  std::size_t zero_copy_bytes_ = 0;
 };
 
 }  // namespace hostrt

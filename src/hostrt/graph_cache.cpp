@@ -3,13 +3,43 @@
 namespace hostrt {
 
 KernelGraph* GraphCache::find(uint64_t key) {
-  auto it = graphs_.find(key);
-  return it == graphs_.end() ? nullptr : &it->second;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return &it->second.graph;
 }
 
 KernelGraph& GraphCache::insert(KernelGraph graph) {
   uint64_t key = graph.key;
-  return graphs_[key] = std::move(graph);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.graph = std::move(graph);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.graph;
+  }
+  while (entries_.size() >= max_entries_) evict_lru();
+  lru_.push_front(key);
+  Entry& e = entries_[key];
+  e.graph = std::move(graph);
+  e.lru_pos = lru_.begin();
+  return e.graph;
+}
+
+void GraphCache::set_max_entries(std::size_t n) {
+  max_entries_ = n < 1 ? 1 : n;
+  while (entries_.size() > max_entries_) evict_lru();
+}
+
+void GraphCache::evict_lru() {
+  entries_.erase(lru_.back());
+  lru_.pop_back();
+  ++evictions_;
+}
+
+void GraphCache::clear() {
+  entries_.clear();
+  lru_.clear();
 }
 
 }  // namespace hostrt

@@ -4,9 +4,16 @@
 // instance and Runtime::reset clears it explicitly, so back-to-back
 // benchmark scenarios in one process never replay a stale capture taken
 // under a different device set or profile.
+//
+// The cache is LRU-bounded: each baked graph pins device-side transfer
+// plans and launch descriptors, so an application cycling through many
+// distinct chain shapes would otherwise grow it without limit. When a
+// fresh insert would exceed the bound the least-recently-used entry is
+// dropped (OMPI_GRAPH_CACHE_MAX overrides the default).
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <unordered_map>
 
 #include "hostrt/kernel_graph.h"
@@ -15,19 +22,45 @@ namespace hostrt {
 
 class GraphCache {
  public:
-  /// The cached graph for a trace shape, or nullptr on a cold key. The
-  /// pointer stays valid until clear() — graphs are never evicted.
+  /// Default entry bound: generous for real programs (a capture per
+  /// distinct chain shape) while keeping a shape-churning loop from
+  /// accumulating graphs indefinitely.
+  static constexpr std::size_t kDefaultMaxEntries = 64;
+
+  /// The cached graph for a trace shape, or nullptr on a cold key. A hit
+  /// marks the entry most-recently-used; the pointer stays valid until
+  /// the entry is evicted or the cache cleared.
   KernelGraph* find(uint64_t key);
 
   /// Stores a freshly baked graph under graph.key, replacing any
-  /// previous entry (re-capture after an invalidating reset).
+  /// previous entry (re-capture after an invalidating reset) and
+  /// evicting the least-recently-used entry when the bound is exceeded.
   KernelGraph& insert(KernelGraph graph);
 
-  std::size_t size() const { return graphs_.size(); }
-  void clear() { graphs_.clear(); }
+  /// Caps the entry count (minimum 1); evicts immediately if the cache
+  /// is already over the new bound.
+  void set_max_entries(std::size_t n);
+  std::size_t max_entries() const { return max_entries_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t evictions() const { return evictions_; }
+
+  std::size_t size() const { return entries_.size(); }
+  void clear();
 
  private:
-  std::unordered_map<uint64_t, KernelGraph> graphs_;
+  struct Entry {
+    KernelGraph graph;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  void evict_lru();
+
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;  // front = most recent, back = next victim
+  std::size_t max_entries_ = kDefaultMaxEntries;
+  uint64_t hits_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace hostrt

@@ -17,7 +17,15 @@ const char* to_string(MapType t) {
 DataEnv::~DataEnv() {
   // A destroyed environment releases any leftover device storage but
   // performs no transfers: the program is past caring.
-  for (auto& [base, m] : table_) backend_->free(m.dev_addr);
+  for (auto& [base, m] : table_) release_storage(base, m);
+}
+
+void DataEnv::release_storage(uintptr_t base, const Mapping& m) {
+  if (m.zero_copy)
+    backend_->unmap_zero_copy(m.dev_addr,
+                              reinterpret_cast<const void*>(base));
+  else
+    backend_->free(m.dev_addr);
 }
 
 const DataEnv::Mapping* DataEnv::find(const void* host,
@@ -55,10 +63,20 @@ uint64_t DataEnv::map(const MapItem& item) {
   Mapping m;
   m.size = item.size;
   m.refcount = 1;
-  m.dev_addr = backend_->alloc(item.size);
-  if (m.dev_addr == 0) throw MapError("device out of memory during map");
-  if (item.type == MapType::To || item.type == MapType::ToFrom)
-    backend_->write(m.dev_addr, item.host, item.size);
+  // Staged vs zero-copy is the backend's call (integrated-memory
+  // devices only); a zero-copy mapping needs no allocation and no
+  // transfers — the host buffer is the backing store.
+  int reuse = reuse_[addr]++;
+  if (backend_->want_zero_copy(item, reuse))
+    m.dev_addr = backend_->map_zero_copy(item.host, item.size);
+  if (m.dev_addr != 0) {
+    m.zero_copy = true;
+  } else {
+    m.dev_addr = backend_->alloc(item.size);
+    if (m.dev_addr == 0) throw MapError("device out of memory during map");
+    if (item.type == MapType::To || item.type == MapType::ToFrom)
+      backend_->write(m.dev_addr, item.host, item.size);
+  }
   mapped_bytes_ += item.size;
   table_.emplace(addr, m);
   return m.dev_addr;
@@ -73,9 +91,10 @@ void DataEnv::unmap(const MapItem& item) {
   m.refcount -= 1;
   if (m.refcount > 0) return;
 
-  if (item.type == MapType::From || item.type == MapType::ToFrom)
+  if (!m.zero_copy &&
+      (item.type == MapType::From || item.type == MapType::ToFrom))
     backend_->read(const_cast<void*>(item.host), m.dev_addr, m.size);
-  backend_->free(m.dev_addr);
+  release_storage(it->first, m);
   mapped_bytes_ -= m.size;
   table_.erase(it);
 }
@@ -83,9 +102,10 @@ void DataEnv::unmap(const MapItem& item) {
 std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
   // Pass 1 — classify. Fresh items enter the table as placeholders
   // (dev_addr 0) so a duplicate later in the batch sees them as present,
-  // exactly as it would when mapping sequentially.
+  // exactly as it would when mapping sequentially. The backend decides
+  // per fresh item whether it goes zero-copy (integrated-memory path:
+  // no allocation, no transfers) or staged.
   std::vector<std::size_t> fresh;
-  std::vector<std::size_t> sizes;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const MapItem& item = items[i];
     if (!item.host || item.size == 0)
@@ -109,24 +129,45 @@ std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
     table_.emplace(addr, m);
     mapped_bytes_ += item.size;
     fresh.push_back(i);
-    sizes.push_back(item.size);
   }
 
-  // Pass 2 — one group allocation for all fresh storage, then the
-  // to-transfers as a single segment batch the backend may coalesce.
+  // Pass 2 — zero-copy mappings first (each is just an address-space
+  // insertion; a failed attempt falls back to staged), then one group
+  // allocation for all staged storage and the to-transfers as a single
+  // segment batch the backend may coalesce.
   if (!fresh.empty()) {
+    std::vector<std::size_t> staged;
+    std::vector<std::size_t> sizes;
+    for (std::size_t i : fresh) {
+      const MapItem& item = items[i];
+      auto addr = reinterpret_cast<uintptr_t>(item.host);
+      int reuse = reuse_[addr]++;
+      uint64_t dev = 0;
+      if (backend_->want_zero_copy(item, reuse))
+        dev = backend_->map_zero_copy(item.host, item.size);
+      if (dev != 0) {
+        Mapping& m = table_.find(addr)->second;
+        m.dev_addr = dev;
+        m.zero_copy = true;
+      } else {
+        staged.push_back(i);
+        sizes.push_back(item.size);
+      }
+    }
     std::vector<uint64_t> addrs;
-    if (!backend_->alloc_group(sizes, &addrs)) {
+    if (!staged.empty() && !backend_->alloc_group(sizes, &addrs)) {
+      // Roll everything of this batch back, zero-copy mappings included.
       for (std::size_t i : fresh) {
         auto it = table_.find(reinterpret_cast<uintptr_t>(items[i].host));
+        if (it->second.zero_copy) release_storage(it->first, it->second);
         mapped_bytes_ -= it->second.size;
         table_.erase(it);
       }
       throw MapError("device out of memory during map");
     }
     std::vector<Segment> segs;
-    for (std::size_t k = 0; k < fresh.size(); ++k) {
-      const MapItem& item = items[fresh[k]];
+    for (std::size_t k = 0; k < staged.size(); ++k) {
+      const MapItem& item = items[staged[k]];
       table_.find(reinterpret_cast<uintptr_t>(item.host))->second.dev_addr =
           addrs[k];
       if (item.type == MapType::To || item.type == MapType::ToFrom)
@@ -155,14 +196,17 @@ void DataEnv::unmap_batch(const std::vector<MapItem>& items) {
     Mapping& m = it->second;
     m.refcount -= 1;
     if (m.refcount > 0) continue;
-    if (item.type == MapType::From || item.type == MapType::ToFrom)
+    // Zero-copy releases need no copy-back: the host buffer was the
+    // backing store, every kernel store already landed in it.
+    if (!m.zero_copy &&
+        (item.type == MapType::From || item.type == MapType::ToFrom))
       segs.push_back({m.dev_addr, const_cast<void*>(item.host), m.size});
     dead.push_back(addr);
   }
   if (!segs.empty()) backend_->read_segments(segs);
   for (uintptr_t addr : dead) {
     auto it = table_.find(addr);
-    backend_->free(it->second.dev_addr);
+    release_storage(addr, it->second);
     mapped_bytes_ -= it->second.size;
     table_.erase(it);
   }
@@ -172,7 +216,7 @@ void DataEnv::unmap_delete(const void* host) {
   auto it = table_.find(reinterpret_cast<uintptr_t>(host));
   if (it == table_.end())
     throw MapError("delete of a range that was never mapped at this base");
-  backend_->free(it->second.dev_addr);
+  release_storage(it->first, it->second);
   mapped_bytes_ -= it->second.size;
   table_.erase(it);
 }
@@ -193,6 +237,16 @@ uint64_t DataEnv::lookup(const void* host) const {
 
 bool DataEnv::is_present(const void* host) const {
   return find(host) != nullptr;
+}
+
+bool DataEnv::is_zero_copy(const void* host) const {
+  const Mapping* m = find(host);
+  return m && m->zero_copy;
+}
+
+int DataEnv::reuse_count(const void* host) const {
+  auto it = reuse_.find(reinterpret_cast<uintptr_t>(host));
+  return it == reuse_.end() ? 0 : it->second;
 }
 
 int DataEnv::refcount(const void* host) const {
@@ -265,21 +319,25 @@ int DataEnv::evict(const void* host) {
   --it;
   if (addr < it->first || addr >= it->first + it->second.size) return 0;
   int rc = it->second.refcount;
-  backend_->free(it->second.dev_addr);
+  release_storage(it->first, it->second);
   mapped_bytes_ -= it->second.size;
   table_.erase(it);
   return rc;
 }
 
 void DataEnv::update_to(const void* host, std::size_t size) {
-  if (!find(host, size))
-    throw MapError("target update to(...) of an unmapped range");
+  const Mapping* m = find(host, size);
+  if (!m) throw MapError("target update to(...) of an unmapped range");
+  // A zero-copy mapping is always coherent: the device reads the host
+  // buffer itself, so there is nothing to refresh.
+  if (m->zero_copy) return;
   backend_->write(lookup(host), host, size);
 }
 
 void DataEnv::update_from(void* host, std::size_t size) {
-  if (!find(host, size))
-    throw MapError("target update from(...) of an unmapped range");
+  const Mapping* m = find(host, size);
+  if (!m) throw MapError("target update from(...) of an unmapped range");
+  if (m->zero_copy) return;  // coherent: kernel stores landed in place
   backend_->read(host, lookup(host), size);
 }
 

@@ -77,6 +77,26 @@ class MapBackend {
   virtual void read_segments(const std::vector<Segment>& segs) {
     for (const Segment& s : segs) read(s.host, s.dev, s.size);
   }
+
+  // --- zero-copy mappings (integrated-memory devices, DESIGN.md §5h) ---
+  /// Decision hook consulted for every fresh mapping: true if the
+  /// backend would rather map this item zero-copy (host buffer accessed
+  /// in place, no allocation and no transfers) than stage it. `reuse` is
+  /// the number of times this base address was freshly mapped before in
+  /// this environment — heavy remapping amortizes a staged upload, so
+  /// backends lean staged as it grows. The default (and any
+  /// discrete-device backend) always stages.
+  virtual bool want_zero_copy(const MapItem& /*item*/, int /*reuse*/) const {
+    return false;
+  }
+  /// Maps [host, host+size) into the device address space in place;
+  /// returns the device address, or 0 to fall back to the staged path.
+  virtual uint64_t map_zero_copy(const void* /*host*/, std::size_t /*size*/) {
+    return 0;
+  }
+  /// Tears down a map_zero_copy mapping (no copy-back: the host buffer
+  /// was the backing store all along).
+  virtual void unmap_zero_copy(uint64_t /*dev_addr*/, const void* /*host*/) {}
 };
 
 /// The per-device mapping table with OpenMP reference-count semantics:
@@ -121,6 +141,14 @@ class DataEnv {
   /// Presence test used by implicit mapping decisions.
   bool is_present(const void* host) const;
 
+  /// True when the mapping containing `host` is a zero-copy host
+  /// mapping (false if absent or staged).
+  bool is_zero_copy(const void* host) const;
+
+  /// Times the containing base address has been freshly mapped in this
+  /// environment so far (feeds the staged-vs-zero-copy decision).
+  int reuse_count(const void* host) const;
+
   /// Reference count of the containing mapping (0 if absent).
   int refcount(const void* host) const;
 
@@ -156,14 +184,23 @@ class DataEnv {
     uint64_t dev_addr = 0;
     std::size_t size = 0;
     int refcount = 0;
+    // The host buffer is the backing store (map_zero_copy): release
+    // performs no copy-back and no free, updates are coherent no-ops.
+    bool zero_copy = false;
   };
 
   /// Finds the mapping containing [host, host+len); null if none.
   const Mapping* find(const void* host, std::size_t len = 1) const;
 
+  /// Releases a mapping's device storage (or zero-copy mapping).
+  void release_storage(uintptr_t base, const Mapping& m);
+
   MapBackend* backend_;
   std::map<uintptr_t, Mapping> table_;  // keyed by host base address
   std::size_t mapped_bytes_ = 0;
+  // Fresh-map count per base address over the environment's lifetime;
+  // input to the backend's staged-vs-zero-copy decision.
+  std::map<uintptr_t, int> reuse_;
 };
 
 }  // namespace hostrt

@@ -60,6 +60,14 @@ struct KernelLaunchSpec {
   std::vector<KernelArg> args;
 };
 
+/// Staged-vs-zero-copy policy of an integrated-memory device module
+/// (DESIGN.md §5h; the OMPI_ZEROCOPY environment variable seeds it).
+/// Auto decides per mapping from the kernels' observed touch density
+/// and the mapping's reuse history; On forces every eligible mapping
+/// zero-copy; Off always stages, reproducing discrete behavior exactly.
+/// Modules driving non-integrated devices stage regardless of the mode.
+enum class ZeroCopyMode { Auto, On, Off };
+
 /// Timing observed for one offload, in modeled seconds.
 struct OffloadStats {
   double load_s = 0;     // phase 1: locate + load the kernel binary
@@ -77,6 +85,11 @@ struct OffloadStats {
   uint64_t alloc_cache_misses = 0;  // device blocks that hit the driver
   uint64_t coalesced_transfers = 0; // merged H2D/D2H transfers issued
   std::size_t bytes_staged = 0;     // payload routed via pinned staging
+  // Zero-copy mapping activity (integrated-memory devices, DESIGN.md
+  // §5h): mappings that accessed the host buffer in place, skipping
+  // device allocation and both transfer directions.
+  uint64_t zero_copy_maps = 0;      // fresh mappings taken zero-copy
+  std::size_t zero_copy_bytes = 0;  // their total footprint
   // Hierarchical-reduction engine activity of this offload's kernel:
   // combines per level, sampled around the launch (all zero when the
   // kernel performs no reductions).
@@ -90,6 +103,7 @@ struct OffloadStats {
   uint64_t graphs_captured = 0;   // traces baked into executable graphs
   uint64_t graph_replays = 0;     // chains re-submitted from a graph
   uint64_t transfers_elided = 0;  // H2D/D2H copies removed by replay
+  uint64_t graph_cache_evictions = 0;  // captures dropped by the LRU bound
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }
@@ -112,6 +126,8 @@ class DeviceModule : public MapBackend {
     uint64_t cache_misses = 0;
     uint64_t coalesced_transfers = 0;
     std::size_t bytes_staged = 0;
+    uint64_t zero_copy_maps = 0;
+    std::size_t zero_copy_bytes = 0;
   };
   virtual AllocCounters alloc_counters() const { return {}; }
 
@@ -162,6 +178,14 @@ class QueueableModule : public DeviceModule {
                                           DataEnv& env,
                                           cudadrv::CUstream stream) {
     return launch_async(spec, env, stream);
+  }
+  /// True if the module would map this (non-resident) item zero-copy
+  /// rather than stage it — the scheduler prices candidate placements
+  /// with the mode the device would actually use, so an integrated
+  /// profile can win transfer-bound work (DESIGN.md §5h). Reuse history
+  /// is unknown at placement time; modules answer for a first mapping.
+  virtual bool zero_copy_eligible(const MapItem& /*item*/) const {
+    return false;
   }
 };
 

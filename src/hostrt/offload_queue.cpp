@@ -166,6 +166,10 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   r.stats.coalesced_transfers =
       alloc_after.coalesced_transfers - alloc_before.coalesced_transfers;
   r.stats.bytes_staged = alloc_after.bytes_staged - alloc_before.bytes_staged;
+  r.stats.zero_copy_maps =
+      alloc_after.zero_copy_maps - alloc_before.zero_copy_maps;
+  r.stats.zero_copy_bytes =
+      alloc_after.zero_copy_bytes - alloc_before.zero_copy_bytes;
 
   // Record the task's accesses for later edges and quiesce(): map items,
   // mapped kernel arguments and explicit depend items. Anything the
@@ -199,6 +203,8 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   totals_.alloc_cache_misses += r.stats.alloc_cache_misses;
   totals_.coalesced_transfers += r.stats.coalesced_transfers;
   totals_.bytes_staged += r.stats.bytes_staged;
+  totals_.zero_copy_maps += r.stats.zero_copy_maps;
+  totals_.zero_copy_bytes += r.stats.zero_copy_bytes;
   totals_.red_warp_combines += r.stats.red_warp_combines;
   totals_.red_smem_combines += r.stats.red_smem_combines;
   totals_.red_global_atomics += r.stats.red_global_atomics;
@@ -264,6 +270,10 @@ void OffloadQueue::note_graph_capture() { ++totals_.graphs_captured; }
 void OffloadQueue::note_graph_replay(uint64_t elided) {
   ++totals_.graph_replays;
   totals_.transfers_elided += elided;
+}
+
+void OffloadQueue::note_graph_evictions(uint64_t count) {
+  totals_.graph_cache_evictions += count;
 }
 
 void OffloadQueue::quiesce(const void* host) {

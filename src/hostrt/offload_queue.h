@@ -130,6 +130,8 @@ class OffloadQueue {
   /// records never carry these fields).
   void note_graph_capture();
   void note_graph_replay(uint64_t elided);
+  /// Captures dropped by the graph cache's LRU bound since last noted.
+  void note_graph_evictions(uint64_t count);
 
   const TaskRecord& record(TaskId id) const;
   const std::vector<TaskRecord>& records() const { return records_; }

@@ -56,6 +56,27 @@ Runtime::GraphMode parse_env_graph(const char* name, const char* value) {
   throw std::runtime_error(std::string(name) + "='" + v +
                            "' is invalid: expected 'capture' or 'off'");
 }
+
+// Pending zero-copy mode for the next runtime; -1 = unset (OMPI_ZEROCOPY).
+int g_zerocopy_mode = -1;
+
+ZeroCopyMode parse_env_zerocopy(const char* name, const char* value) {
+  std::string v = value;
+  if (v == "auto") return ZeroCopyMode::Auto;
+  if (v == "on") return ZeroCopyMode::On;
+  if (v == "off") return ZeroCopyMode::Off;
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected 'auto', 'on' or 'off'");
+}
+
+const char* zerocopy_name(ZeroCopyMode m) {
+  switch (m) {
+    case ZeroCopyMode::Auto: return "auto";
+    case ZeroCopyMode::On: return "on";
+    case ZeroCopyMode::Off: return "off";
+  }
+  return "off";
+}
 }  // namespace
 
 Runtime& Runtime::instance() {
@@ -89,10 +110,15 @@ void Runtime::reset() {
   g_num_devices = 0;
   g_profiles.clear();
   g_graph_mode = -1;
+  g_zerocopy_mode = -1;
 }
 
 void Runtime::set_graph_mode(GraphMode mode) {
   g_graph_mode = static_cast<int>(mode);
+}
+
+void Runtime::set_zerocopy_mode(ZeroCopyMode mode) {
+  g_zerocopy_mode = static_cast<int>(mode);
 }
 
 void Runtime::set_num_devices(int n) {
@@ -185,6 +211,21 @@ Runtime::Runtime() {
     graph_mode_ = parse_env_graph("OMPI_GRAPH", v);
   }
 
+  // Graph-cache bound: captured graphs pin transfer plans, so the cache
+  // is LRU-bounded; the variable tightens or widens the default.
+  if (const char* v = std::getenv("OMPI_GRAPH_CACHE_MAX"))
+    graph_cache_.set_max_entries(static_cast<std::size_t>(
+        parse_env_int("OMPI_GRAPH_CACHE_MAX", v, 1, 4096)));
+
+  // Zero-copy policy: a programmatic setting wins, else OMPI_ZEROCOPY
+  // (strict). The mode reaches every cudadev module below; it only acts
+  // on integrated-memory profiles.
+  if (g_zerocopy_mode >= 0) {
+    zerocopy_mode_ = static_cast<ZeroCopyMode>(g_zerocopy_mode);
+  } else if (const char* v = std::getenv("OMPI_ZEROCOPY")) {
+    zerocopy_mode_ = parse_env_zerocopy("OMPI_ZEROCOPY", v);
+  }
+
   // Application startup: boot the board and discover all devices,
   // creating the module its profile asks for on every ordinal. One
   // module instance per ordinal: each owns its own device's context.
@@ -196,7 +237,9 @@ Runtime::Runtime() {
     if (cudadrv::cuSimDeviceProfile(i).opencl) {
       s.module = std::make_unique<OpenclDevModule>(i);
     } else {
-      s.module = std::make_unique<CudadevModule>(i);
+      auto m = std::make_unique<CudadevModule>(i);
+      m->set_zerocopy_mode(zerocopy_mode_);
+      s.module = std::move(m);
     }
     s.env = std::make_unique<DataEnv>(*s.module);
     slots_.push_back(std::move(s));
@@ -355,8 +398,15 @@ void Runtime::flush_pending() {
   pending_.clear();
   std::vector<std::string> profiles;
   profiles.reserve(static_cast<std::size_t>(device_count_));
-  for (int i = 0; i < device_count_; ++i)
-    profiles.push_back(cudadrv::cuSimDeviceProfile(i).name);
+  for (int i = 0; i < device_count_; ++i) {
+    std::string p = cudadrv::cuSimDeviceProfile(i).name;
+    // The staged-vs-zero-copy mode shapes a capture's transfer plan and
+    // pricing, so it is part of the shape key: a chain captured under
+    // `off` must not replay after the mode changes to `on`.
+    if (auto* c = dynamic_cast<CudadevModule*>(slot(i).module.get()))
+      p += std::string("|zc=") + zerocopy_name(c->zerocopy_mode());
+    profiles.push_back(std::move(p));
+  }
   uint64_t key = graph_key(trace, profiles);
   if (KernelGraph* g = graph_cache_.find(key)) {
     replay_trace(trace, *g);
@@ -391,7 +441,10 @@ void Runtime::capture_trace(const GraphTrace& trace, uint64_t key) {
         cudadrv::cuSimDriverCosts(n.device).graph_instantiate_per_node_s);
 
   slot(trace.front().device).queue->note_graph_capture();
+  uint64_t ev_before = graph_cache_.evictions();
   graph_cache_.insert(std::move(graph));
+  if (uint64_t dropped = graph_cache_.evictions() - ev_before)
+    slot(trace.front().device).queue->note_graph_evictions(dropped);
 }
 
 void Runtime::replay_trace(const GraphTrace& trace, KernelGraph& graph) {

@@ -63,6 +63,15 @@ class Runtime {
   static void set_graph_mode(GraphMode mode);
   GraphMode graph_mode() const { return graph_mode_; }
 
+  // --- zero-copy policy (integrated devices, DESIGN.md §5h) ------------
+  /// Staged-vs-zero-copy mode for subsequently created runtimes (the
+  /// OMPI_ZEROCOPY environment variable — strictly `auto`, `on` or
+  /// `off` — seeds the initial value). Applied to every cudadev module
+  /// at construction; only integrated-memory profiles (e.g. `nano-uma`)
+  /// ever map zero-copy, and Off reproduces staged behavior exactly.
+  static void set_zerocopy_mode(ZeroCopyMode mode);
+  ZeroCopyMode zerocopy_mode() const { return zerocopy_mode_; }
+
   Runtime();
   ~Runtime() = default;
   Runtime(const Runtime&) = delete;
@@ -171,6 +180,7 @@ class Runtime {
   int num_streams_ = OffloadQueue::kDefaultStreams;
   bool schedule_auto_ = false;
   GraphMode graph_mode_ = GraphMode::Off;
+  ZeroCopyMode zerocopy_mode_ = ZeroCopyMode::Auto;
   GraphTrace pending_;      // deferred nodes of the open sync window
   GraphCache graph_cache_;  // baked graphs, keyed by trace shape
   // Declared after slots_: destroyed first, so migration streams drain

@@ -67,11 +67,19 @@ double WorkStealingScheduler::transfer_estimate(
     const std::vector<MapItem>& maps, int dev) const {
   const jetsim::DriverCosts& costs = cudadrv::cuSimDriverCosts(
       queues_[static_cast<std::size_t>(dev)]->module().device());
+  const QueueableModule& mod = queues_[static_cast<std::size_t>(dev)]->module();
   double s = 0;
   for (const MapItem& m : maps) {
     // Already resident somewhere: either on `dev` (no transfer) or
     // foreign (the migration term prices the peer copy).
     if (resident_device(m.host) >= 0) continue;
+    // An integrated device that would take this mapping zero-copy skips
+    // both transfer directions; only the page-lock is paid (the
+    // per-access DRAM premium is part of the kernel's execution time).
+    if (mod.zero_copy_eligible(m)) {
+      s += costs.host_register_overhead_s;
+      continue;
+    }
     if (m.type == MapType::To || m.type == MapType::ToFrom)
       s += costs.memcpy_overhead_s +
            static_cast<double>(m.size) / costs.memcpy_bandwidth;

@@ -32,6 +32,10 @@ struct LaunchConfig {
   /// timing accounts (valid only for kernels without cross-block state;
   /// see Device::launch). Ignored when model_only is false.
   bool allow_block_sampling = false;
+  /// Fraction of the launch's mapped bytes reached through zero-copy
+  /// host mappings on an integrated-memory device; copied into the
+  /// LaunchAccount and priced by TimingModel::finalize (DESIGN.md §5h).
+  double zero_copy_fraction = 0;
 };
 
 class BlockExec {

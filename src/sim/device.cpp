@@ -25,9 +25,49 @@ void Device::free(uint64_t addr) {
   auto it = allocs_.find(addr);
   if (it == allocs_.end())
     throw SimError("device free of unknown address " + std::to_string(addr));
+  if (it->second.external)
+    throw SimError("device free of a zero-copy host mapping at " +
+                   std::to_string(addr) + " (use unmap_host)");
   allocated_ -= it->second.size;
   ++stats_.frees;
   allocs_.erase(it);
+}
+
+uint64_t Device::map_host(void* host, std::size_t size) {
+  if (host == nullptr || size == 0)
+    throw SimError("zero-copy host mapping of an empty range");
+  auto addr = reinterpret_cast<uint64_t>(host);
+  // The range must not collide with any live allocation or mapping: the
+  // address space is shared (device addresses are host addresses), so an
+  // overlap would make translate() ambiguous.
+  auto next = allocs_.upper_bound(addr);
+  if (next != allocs_.end() && addr + size > next->first)
+    throw SimError("zero-copy host mapping overlaps a device allocation");
+  if (next != allocs_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.size > addr)
+      throw SimError("zero-copy host mapping overlaps a device allocation");
+  }
+  Allocation a;
+  a.external = static_cast<std::byte*>(host);
+  a.size = size;
+  ++stats_.host_maps;
+  allocs_.emplace(addr, std::move(a));
+  return addr;  // no allocated_ charge: the bytes live in host DRAM
+}
+
+void Device::unmap_host(uint64_t addr) {
+  auto it = allocs_.find(addr);
+  if (it == allocs_.end() || !it->second.external)
+    throw SimError("unmap of an address that is not a zero-copy mapping: " +
+                   std::to_string(addr));
+  ++stats_.host_unmaps;
+  allocs_.erase(it);
+}
+
+bool Device::is_host_mapped(uint64_t addr) const {
+  auto it = allocs_.find(addr);
+  return it != allocs_.end() && it->second.external != nullptr;
 }
 
 void* Device::translate(uint64_t addr, std::size_t len) {
@@ -42,7 +82,7 @@ void* Device::translate(uint64_t addr, std::size_t len) {
     throw SimError("device access out of bounds: addr=" + std::to_string(addr) +
                    " len=" + std::to_string(len) +
                    " alloc_size=" + std::to_string(a.size));
-  return a.data.get() + (addr - base);
+  return a.bytes() + (addr - base);
 }
 
 const void* Device::translate(uint64_t addr, std::size_t len) const {
@@ -109,6 +149,7 @@ LaunchAccount Device::run_grid(const LaunchConfig& cfg, const KernelFn& fn) {
   acc.kernel_name = cfg.kernel_name;
   acc.threads_per_block = cfg.block.count();
   acc.shared_mem_per_block = cfg.shared_mem;
+  acc.zero_copy_fraction = cfg.zero_copy_fraction;
   atomic_busy_.clear();  // atomic-unit contention is per launch
 
   const Dim3 g = cfg.grid;

@@ -22,6 +22,8 @@ struct DeviceStats {
   uint64_t launches = 0;
   uint64_t mallocs = 0;
   uint64_t frees = 0;
+  uint64_t host_maps = 0;    // map_host (zero-copy mappings)
+  uint64_t host_unmaps = 0;  // unmap_host
   uint64_t blocks_run = 0;
   uint64_t threads_run = 0;
 };
@@ -36,6 +38,20 @@ class Device {
   /// the driver layer).
   uint64_t malloc(std::size_t size);
   void free(uint64_t addr);
+
+  /// Maps `size` bytes of host memory at `host` into the device address
+  /// space without a device-side copy (an integrated-memory zero-copy
+  /// mapping, DESIGN.md §5h): kernel accesses through the returned
+  /// address land in the caller's buffer. Consumes no device global
+  /// memory. Throws SimError if the range overlaps an existing
+  /// allocation or mapping.
+  uint64_t map_host(void* host, std::size_t size);
+  /// Tears down a map_host() mapping. Throws SimError for an address
+  /// that is not a live host mapping (device allocations included —
+  /// those go through free()).
+  void unmap_host(uint64_t addr);
+  /// True when `addr` is the base of a live map_host() mapping.
+  bool is_host_mapped(uint64_t addr) const;
 
   /// Translates a device address range to host-accessible storage,
   /// validating bounds. Throws SimError on any out-of-range access.
@@ -101,8 +117,10 @@ class Device {
 
  private:
   struct Allocation {
-    std::unique_ptr<std::byte[]> data;
+    std::unique_ptr<std::byte[]> data;  // owned device storage
+    std::byte* external = nullptr;      // zero-copy host backing (map_host)
     std::size_t size = 0;
+    std::byte* bytes() const { return data ? data.get() : external; }
   };
 
   TimingModel timing_;

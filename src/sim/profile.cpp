@@ -11,6 +11,21 @@ DeviceProfile make_nano() {
   return DeviceProfile{};  // every default models the paper's board
 }
 
+// The same silicon as "nano" with its unified-memory nature exposed:
+// the real board's CPU and GPU share one LPDDR4, so host buffers can be
+// mapped into the device address space and accessed in place. Timing
+// and transfer costs are identical to "nano" — only the zero-copy
+// mapping path is unlocked — so `OMPI_ZEROCOPY=off` on a nano-uma board
+// reproduces the staged nano behavior bit for bit.
+DeviceProfile make_nano_uma() {
+  DeviceProfile p;
+  p.name = "nano-uma";
+  p.integrated = true;
+  p.props.name =
+      "Simulated NVIDIA Jetson Nano 2GB (Maxwell, sm_53, unified memory)";
+  return p;
+}
+
 // A Nano-class companion board on the slow end of the product line:
 // one-third GPU clock, half the DRAM and transfer bandwidth, and a
 // driver with roughly doubled per-call overheads. Placement across
@@ -66,11 +81,12 @@ DeviceProfile make_ocl() {
 }  // namespace
 
 std::vector<std::string> builtin_profile_names() {
-  return {"nano", "nano-slow", "ocl"};
+  return {"nano", "nano-uma", "nano-slow", "ocl"};
 }
 
 DeviceProfile builtin_profile(const std::string& name) {
   if (name == "nano") return make_nano();
+  if (name == "nano-uma") return make_nano_uma();
   if (name == "nano-slow") return make_nano_slow();
   if (name == "ocl") return make_ocl();
   std::ostringstream os;

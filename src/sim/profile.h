@@ -29,12 +29,19 @@ struct DeviceProfile {
   // The device is driven by the opencldev host module (runtime program
   // builds, NDRange launches) instead of the cudadev module.
   bool opencl = false;
+  // CPU and GPU share one physical DRAM (the real Jetson Nano): host
+  // buffers can be mapped zero-copy into the device address space and
+  // accessed in place, skipping H2D/D2H staging entirely at the price
+  // of costs.zero_copy_byte_factor per byte touched (DESIGN.md §5h).
+  bool integrated = false;
 };
 
-/// Named preset: "nano" (the paper's board), "nano-slow" (a Nano-class
-/// companion at one-third clock and half transfer bandwidth) or "ocl"
-/// (the OpenCL accelerator). Throws std::invalid_argument for any other
-/// name, listing the known ones.
+/// Named preset: "nano" (the paper's board), "nano-uma" (the same board
+/// with its shared-DRAM nature exposed: integrated-memory zero-copy
+/// mappings enabled), "nano-slow" (a Nano-class companion at one-third
+/// clock and half transfer bandwidth) or "ocl" (the OpenCL accelerator).
+/// Throws std::invalid_argument for any other name, listing the known
+/// ones.
 DeviceProfile builtin_profile(const std::string& name);
 
 /// The preset names, in presentation order.

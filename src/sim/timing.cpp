@@ -70,7 +70,12 @@ void TimingModel::finalize(LaunchAccount& acc) const {
   double compute_cycles = std::max(throughput_cycles, critical_cycles);
   acc.compute_s = cycles_to_seconds(compute_cycles);
 
-  acc.memory_s = acc.total_dram_bytes /
+  // Bytes reached through zero-copy host mappings bypass the L2 and the
+  // memory controller's reordering; charge the zero-copy share of the
+  // traffic at the dearer per-byte rate (DESIGN.md §5h).
+  double zc_scale =
+      1.0 + acc.zero_copy_fraction * (costs_.zero_copy_byte_factor - 1.0);
+  acc.memory_s = acc.total_dram_bytes * zc_scale /
                  (props_.dram_bandwidth * props_.dram_efficiency);
 
   acc.time_s = std::max(acc.compute_s, acc.memory_s);

@@ -30,6 +30,12 @@ struct CostModel {
   double branch = 1.0;           // compare + branch
   double call = 4.0;             // device function call overhead
   double sector_bytes = 32.0;    // DRAM sector pulled by a strided lane
+  // DRAM-byte multiplier for accesses through a zero-copy host mapping
+  // on an integrated-memory device: the payload crosses the same shared
+  // LPDDR4, but bypasses the L2 and loses the GPU memory controller's
+  // request reordering, so each byte touched costs more than a byte of
+  // device-resident DRAM (DESIGN.md §5h).
+  double zero_copy_byte_factor = 1.3;
 
   /// DRAM bytes charged to one thread for one `bytes`-wide access.
   double dram_bytes_for(Access a, std::size_t bytes, int warp_size) const {
@@ -70,6 +76,10 @@ struct DriverCosts {
   double free_overhead_s = 5e-6;          // per cuMemFree
   double pinned_alloc_overhead_s = 150e-6;  // per cuMemAllocHost
   double pinned_free_overhead_s = 60e-6;    // per cuMemFreeHost
+  // cuMemHostRegister pins pages the caller already owns — the VA walk
+  // and page-locking without cuMemAllocHost's allocation work.
+  double host_register_overhead_s = 40e-6;    // per cuMemHostRegister
+  double host_unregister_overhead_s = 15e-6;  // per cuMemHostUnregister
   double module_load_cubin_s_per_kb = 3e-6;
   double jit_compile_s_per_kb = 450e-6;  // PTX JIT at first load
   double jit_cache_hit_s_per_kb = 8e-6;  // warm JIT disk cache
@@ -126,6 +136,10 @@ struct LaunchAccount {
   double atomic_serial_cycles = 0;
   int occupancy_blocks = 0;   // resident blocks per wave
   int waves = 0;
+  // Fraction of the launch's mapped bytes reached through zero-copy
+  // host mappings (0 = all device-resident). Scales the memory roofline
+  // by CostModel::zero_copy_byte_factor on the zero-copy share.
+  double zero_copy_fraction = 0;
   double compute_s = 0;
   double memory_s = 0;
   double time_s = 0;          // final modeled kernel time (excl. launch ovh)

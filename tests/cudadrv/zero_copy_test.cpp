@@ -1,0 +1,206 @@
+// Pinned host memory and zero-copy device mappings at the driver API
+// (DESIGN.md §5h): cuMemAllocHost/cuMemFreeHost lifecycle,
+// cuMemHostRegister over caller-owned pages, and
+// cuMemHostGetDevicePointer on integrated-memory profiles.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "sim/profile.h"
+
+namespace cudadrv {
+namespace {
+
+class ZeroCopyApi : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+  }
+  void TearDown() override {
+    cuSimReset();
+    BinaryRegistry::instance().clear();
+  }
+
+  /// Boots a single-device board from `profile` and opens a context.
+  void boot(const char* profile) {
+    cuSimSetDeviceProfiles({jetsim::builtin_profile(profile)});
+    ASSERT_EQ(cuInit(0), CUDA_SUCCESS);
+    ASSERT_EQ(cuCtxCreate(&ctx_, 0, 0), CUDA_SUCCESS);
+  }
+
+  CUcontext ctx_ = nullptr;
+};
+
+TEST_F(ZeroCopyApi, PinnedAllocLifecycleAndDoubleFree) {
+  boot("nano");
+  void* p = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&p, 4096), CUDA_SUCCESS);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(cuSimIsPinned(p, 4096));
+  // The storage is real host memory the CPU can use directly.
+  std::memset(p, 0x5a, 4096);
+  ASSERT_EQ(cuMemFreeHost(p), CUDA_SUCCESS);
+  EXPECT_FALSE(cuSimIsPinned(p, 4096));
+  // Double free is a caught error, not a crash.
+  EXPECT_EQ(cuMemFreeHost(p), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemAllocHost(&p, 0), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemAllocHost(nullptr, 16), CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(ZeroCopyApi, RegisterCoversTheRangeAndRejectsOverlap) {
+  boot("nano");
+  std::vector<char> buf(1 << 12);
+  ASSERT_EQ(cuMemHostRegister(buf.data(), buf.size(), 0), CUDA_SUCCESS);
+  EXPECT_TRUE(cuSimIsPinned(buf.data(), buf.size()));
+  EXPECT_TRUE(cuSimIsPinned(buf.data() + 100, 256));  // interior sub-range
+  EXPECT_FALSE(cuSimIsPinned(buf.data(), buf.size() + 1));
+
+  // Overlap with an already page-locked range is rejected, both from the
+  // base and from inside.
+  EXPECT_EQ(cuMemHostRegister(buf.data(), 16, 0), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemHostRegister(buf.data() + 64, 16, 0),
+            CUDA_ERROR_INVALID_VALUE);
+
+  ASSERT_EQ(cuMemHostUnregister(buf.data()), CUDA_SUCCESS);
+  EXPECT_FALSE(cuSimIsPinned(buf.data(), buf.size()));
+  EXPECT_EQ(cuMemHostUnregister(buf.data()), CUDA_ERROR_INVALID_VALUE);
+}
+
+TEST_F(ZeroCopyApi, TeardownPathsDoNotCross) {
+  // cuMemAllocHost ranges die through cuMemFreeHost, registered ranges
+  // through cuMemHostUnregister — mixing them up reports an error
+  // instead of silently releasing the wrong thing.
+  boot("nano");
+  void* owned = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&owned, 1024), CUDA_SUCCESS);
+  std::vector<char> mine(1024);
+  ASSERT_EQ(cuMemHostRegister(mine.data(), mine.size(), 0), CUDA_SUCCESS);
+
+  EXPECT_EQ(cuMemHostUnregister(owned), CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemFreeHost(mine.data()), CUDA_ERROR_INVALID_VALUE);
+
+  ASSERT_EQ(cuMemFreeHost(owned), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemHostUnregister(mine.data()), CUDA_SUCCESS);
+}
+
+TEST_F(ZeroCopyApi, GetDevicePointerRequiresAnIntegratedProfile) {
+  // A discrete part would need the payload staged across the bus anyway,
+  // so the plain nano profile refuses zero-copy mappings.
+  boot("nano");
+  void* p = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&p, 512), CUDA_SUCCESS);
+  CUdeviceptr dptr = 0;
+  EXPECT_EQ(cuMemHostGetDevicePointer(&dptr, p, 0),
+            CUDA_ERROR_INVALID_DEVICE);
+  ASSERT_EQ(cuMemFreeHost(p), CUDA_SUCCESS);
+}
+
+TEST_F(ZeroCopyApi, DevicePointerIsTheHostAddressAndIdempotent) {
+  boot("nano-uma");
+  void* p = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&p, 2048), CUDA_SUCCESS);
+  CUdeviceptr dptr = 0;
+  ASSERT_EQ(cuMemHostGetDevicePointer(&dptr, p, 0), CUDA_SUCCESS);
+  // CPU and GPU share one DRAM: the device address IS the host address.
+  EXPECT_EQ(dptr, reinterpret_cast<CUdeviceptr>(p));
+  EXPECT_TRUE(cuSimDevice(0).is_host_mapped(dptr));
+  EXPECT_EQ(cuSimDevice(0).stats().host_maps, 1u);
+
+  // Asking again reuses the existing mapping instead of stacking a new
+  // one (the mapping persists until the range dies).
+  CUdeviceptr again = 0;
+  ASSERT_EQ(cuMemHostGetDevicePointer(&again, p, 0), CUDA_SUCCESS);
+  EXPECT_EQ(again, dptr);
+  EXPECT_EQ(cuSimDevice(0).stats().host_maps, 1u);
+
+  // Freeing the pinned range tears the device mapping down with it.
+  ASSERT_EQ(cuMemFreeHost(p), CUDA_SUCCESS);
+  EXPECT_FALSE(cuSimDevice(0).is_host_mapped(dptr));
+  EXPECT_EQ(cuSimDevice(0).stats().host_unmaps, 1u);
+}
+
+TEST_F(ZeroCopyApi, RegisteredRangesMapAndUnregisterDropsTheMapping) {
+  boot("nano-uma");
+  std::vector<float> buf(1024, 1.0f);
+  ASSERT_EQ(cuMemHostRegister(buf.data(), buf.size() * sizeof(float), 0),
+            CUDA_SUCCESS);
+  CUdeviceptr dptr = 0;
+  ASSERT_EQ(cuMemHostGetDevicePointer(&dptr, buf.data(), 0), CUDA_SUCCESS);
+  EXPECT_EQ(dptr, reinterpret_cast<CUdeviceptr>(buf.data()));
+  EXPECT_TRUE(cuSimDevice(0).is_host_mapped(dptr));
+  ASSERT_EQ(cuMemHostUnregister(buf.data()), CUDA_SUCCESS);
+  EXPECT_FALSE(cuSimDevice(0).is_host_mapped(dptr));
+}
+
+TEST_F(ZeroCopyApi, GetDevicePointerRejectsUnpinnedAndNonBaseAddresses) {
+  boot("nano-uma");
+  std::vector<char> plain(256);
+  CUdeviceptr dptr = 0;
+  // Never pinned at all.
+  EXPECT_EQ(cuMemHostGetDevicePointer(&dptr, plain.data(), 0),
+            CUDA_ERROR_INVALID_VALUE);
+  // Pinned, but `p` must be the exact base of the range.
+  void* p = nullptr;
+  ASSERT_EQ(cuMemAllocHost(&p, 1024), CUDA_SUCCESS);
+  EXPECT_EQ(
+      cuMemHostGetDevicePointer(&dptr, static_cast<char*>(p) + 16, 0),
+      CUDA_ERROR_INVALID_VALUE);
+  EXPECT_EQ(cuMemHostGetDevicePointer(nullptr, p, 0),
+            CUDA_ERROR_INVALID_VALUE);
+  ASSERT_EQ(cuMemFreeHost(p), CUDA_SUCCESS);
+}
+
+TEST_F(ZeroCopyApi, ResetClearsThePinnedPool) {
+  boot("nano-uma");
+  std::vector<char> buf(512);
+  ASSERT_EQ(cuMemHostRegister(buf.data(), buf.size(), 0), CUDA_SUCCESS);
+  cuSimReset();
+  boot("nano-uma");
+  EXPECT_FALSE(cuSimIsPinned(buf.data(), buf.size()));
+  // The old registration did not survive the reset: unregistering it is
+  // an error, re-registering the same pages succeeds.
+  EXPECT_EQ(cuMemHostUnregister(buf.data()), CUDA_ERROR_INVALID_VALUE);
+  ASSERT_EQ(cuMemHostRegister(buf.data(), buf.size(), 0), CUDA_SUCCESS);
+  ASSERT_EQ(cuMemHostUnregister(buf.data()), CUDA_SUCCESS);
+}
+
+TEST_F(ZeroCopyApi, NextLaunchFractionIsConsumedByExactlyOneLaunch) {
+  boot("nano-uma");
+  ModuleImage img;
+  img.path = "zc_test.cubin";
+  img.kind = BinaryKind::Cubin;
+  KernelImage k;
+  k.name = "touch";
+  k.param_count = 0;
+  k.entry = [](jetsim::KernelCtx& c, const ArgPack&) {
+    c.charge_gmem(jetsim::Access::Coalesced, 4, 64);
+  };
+  img.add_kernel(std::move(k));
+  BinaryRegistry::instance().install(std::move(img));
+
+  CUmodule mod;
+  ASSERT_EQ(cuModuleLoad(&mod, "zc_test.cubin"), CUDA_SUCCESS);
+  CUfunction fn;
+  ASSERT_EQ(cuModuleGetFunction(&fn, mod, "touch"), CUDA_SUCCESS);
+
+  cuSimSetNextLaunchZeroCopyFraction(0.75);
+  ASSERT_EQ(
+      cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr, nullptr, nullptr),
+      CUDA_SUCCESS);
+  const auto& log = cuSimDevice(0).launch_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_DOUBLE_EQ(log.back().zero_copy_fraction, 0.75);
+
+  // One-shot: the very next launch reverts to fully staged pricing.
+  ASSERT_EQ(
+      cuLaunchKernel(fn, 1, 1, 1, 32, 1, 1, 0, nullptr, nullptr, nullptr),
+      CUDA_SUCCESS);
+  EXPECT_DOUBLE_EQ(cuSimDevice(0).launch_log().back().zero_copy_fraction,
+                   0.0);
+}
+
+}  // namespace
+}  // namespace cudadrv

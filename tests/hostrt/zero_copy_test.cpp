@@ -1,0 +1,461 @@
+// Zero-copy offload path at the host runtime (DESIGN.md §5h): the
+// DataEnv staged-vs-zero-copy decision, the cudadev module's policy on
+// integrated boards, the LRU-bounded graph cache and the strict
+// environment knobs (OMPI_ZEROCOPY, OMPI_GRAPH_CACHE_MAX,
+// OMPI_COALESCE_MAX).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/cudadev_module.h"
+#include "hostrt/graph_cache.h"
+#include "hostrt/map_env.h"
+#include "hostrt/runtime.h"
+#include "sim/profile.h"
+
+namespace hostrt {
+namespace {
+
+// --- DataEnv decision path over a controllable fake ------------------------
+
+/// Backend whose zero-copy policy the test scripts: accepts while
+/// `reuse < reuse_limit`, maps in place at the host address, and records
+/// every decision input for assertions.
+class ZcFakeBackend : public MapBackend {
+ public:
+  uint64_t alloc(std::size_t size) override {
+    auto buf = std::make_unique<std::byte[]>(size);
+    uint64_t addr = next_addr_;
+    next_addr_ += size + 64;
+    storage_[addr] = std::move(buf);
+    ++allocs;
+    return addr;
+  }
+  void free(uint64_t dev_addr) override {
+    storage_.erase(dev_addr);
+    ++frees;
+  }
+  void write(uint64_t, const void*, std::size_t) override { ++writes; }
+  void read(void*, uint64_t, std::size_t) override { ++reads; }
+
+  bool want_zero_copy(const MapItem& item, int reuse) const override {
+    reuse_seen.push_back(reuse);
+    if (only) return item.host == only && reuse < reuse_limit;
+    return accept && reuse < reuse_limit;
+  }
+  uint64_t map_zero_copy(const void* host, std::size_t) override {
+    if (fail_zc) return 0;
+    ++zc_maps;
+    return reinterpret_cast<uint64_t>(host);
+  }
+  void unmap_zero_copy(uint64_t, const void*) override { ++zc_unmaps; }
+
+  std::map<uint64_t, std::unique_ptr<std::byte[]>> storage_;
+  uint64_t next_addr_ = 0x1000;
+  int allocs = 0, frees = 0, writes = 0, reads = 0;
+  int zc_maps = 0, zc_unmaps = 0;
+  bool accept = true;
+  bool fail_zc = false;
+  const void* only = nullptr;  // accept only this base when set
+  int reuse_limit = 1 << 30;
+  mutable std::vector<int> reuse_seen;
+};
+
+TEST(DataEnvZc, ZeroCopyMapSkipsAllocationAndAllTransfers) {
+  ZcFakeBackend be;
+  DataEnv env(be);
+  std::vector<float> buf(64, 1.0f);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::ToFrom};
+  uint64_t d = env.map(item);
+  // The host buffer IS the device buffer: no allocation, no upload.
+  EXPECT_EQ(d, reinterpret_cast<uint64_t>(buf.data()));
+  EXPECT_TRUE(env.is_zero_copy(buf.data()));
+  EXPECT_EQ(be.allocs, 0);
+  EXPECT_EQ(be.writes, 0);
+  // target update is a coherent no-op on a zero-copy mapping.
+  env.update_to(buf.data(), 16);
+  env.update_from(buf.data(), 16);
+  EXPECT_EQ(be.writes, 0);
+  EXPECT_EQ(be.reads, 0);
+  // Release: no copy-back (kernel stores landed in place), no free.
+  env.unmap(item);
+  EXPECT_EQ(be.reads, 0);
+  EXPECT_EQ(be.frees, 0);
+  EXPECT_EQ(be.zc_unmaps, 1);
+}
+
+TEST(DataEnvZc, FallsBackToStagedWhenTheMappingFails) {
+  // want_zero_copy said yes but map_zero_copy returned 0 (e.g. the range
+  // straddles an existing pinned base): the item must stage normally.
+  ZcFakeBackend be;
+  be.fail_zc = true;
+  DataEnv env(be);
+  std::vector<int> buf(16, 3);
+  MapItem item{buf.data(), buf.size() * sizeof(int), MapType::To};
+  uint64_t d = env.map(item);
+  EXPECT_NE(d, 0u);
+  EXPECT_NE(d, reinterpret_cast<uint64_t>(buf.data()));
+  EXPECT_FALSE(env.is_zero_copy(buf.data()));
+  EXPECT_EQ(be.allocs, 1);
+  EXPECT_EQ(be.writes, 1);
+  env.unmap(item);
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(DataEnvZc, ReuseCountGrowsAndFlipsTheDecision) {
+  // Each fresh map of the same base raises the reuse count the backend
+  // sees; past its limit the backend goes staged — remapping that often
+  // would have amortized one upload.
+  ZcFakeBackend be;
+  be.reuse_limit = 2;
+  DataEnv env(be);
+  std::vector<char> buf(128);
+  MapItem item{buf.data(), buf.size(), MapType::To};
+  for (int i = 0; i < 2; ++i) {
+    env.map(item);
+    EXPECT_TRUE(env.is_zero_copy(buf.data())) << "mapping " << i;
+    env.unmap(item);
+  }
+  env.map(item);
+  EXPECT_FALSE(env.is_zero_copy(buf.data()));
+  env.unmap(item);
+  EXPECT_EQ(be.reuse_seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(env.reuse_count(buf.data()), 3);
+  // Refcounted re-entry is not a fresh map: it must not consult the
+  // policy again.
+  env.map(item);
+  std::size_t decisions = be.reuse_seen.size();
+  env.map(item);
+  EXPECT_EQ(be.reuse_seen.size(), decisions);
+  env.unmap(item);
+  env.unmap(item);
+}
+
+TEST(DataEnvZc, BatchMixesZeroCopyAndStagedItems) {
+  ZcFakeBackend be;
+  std::vector<float> a(32, 1.0f), b(32, 2.0f);
+  be.only = a.data();  // policy takes `a`, stages `b`
+  DataEnv env(be);
+  std::vector<MapItem> items = {
+      {a.data(), a.size() * sizeof(float), MapType::ToFrom},
+      {b.data(), b.size() * sizeof(float), MapType::ToFrom},
+  };
+  std::vector<uint64_t> addrs = env.map_batch(items);
+  ASSERT_EQ(addrs.size(), 2u);
+  EXPECT_EQ(addrs[0], reinterpret_cast<uint64_t>(a.data()));
+  EXPECT_TRUE(env.is_zero_copy(a.data()));
+  EXPECT_FALSE(env.is_zero_copy(b.data()));
+  EXPECT_EQ(be.allocs, 1) << "only the staged item allocates";
+  EXPECT_EQ(be.writes, 1) << "only the staged item uploads";
+  env.unmap_batch(items);
+  EXPECT_EQ(be.reads, 1) << "only the staged tofrom item copies back";
+  EXPECT_EQ(be.frees, 1);
+  EXPECT_EQ(be.zc_unmaps, 1);
+}
+
+// --- CudadevModule policy on the simulated driver ---------------------------
+
+class ZeroCopyModule : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cudadrv::cuSimReset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+  void TearDown() override {
+    cudadrv::cuSimReset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+  void boot(const char* profile) {
+    cudadrv::cuSimSetDeviceProfiles({jetsim::builtin_profile(profile)});
+  }
+};
+
+TEST_F(ZeroCopyModule, StagesOnDiscreteBoardsRegardlessOfMode) {
+  boot("nano");
+  CudadevModule mod;
+  mod.set_zerocopy_mode(ZeroCopyMode::On);
+  mod.initialize();
+  EXPECT_FALSE(mod.integrated());
+  std::vector<float> buf(64, 1.0f);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::To};
+  EXPECT_FALSE(mod.want_zero_copy(item, 0));
+  DataEnv env(mod);
+  env.map(item);
+  EXPECT_FALSE(env.is_zero_copy(buf.data()));
+  env.unmap(item);
+}
+
+TEST_F(ZeroCopyModule, MapsInPlaceOnAnIntegratedBoard) {
+  boot("nano-uma");
+  CudadevModule mod;
+  mod.set_zerocopy_mode(ZeroCopyMode::On);
+  mod.initialize();
+  EXPECT_TRUE(mod.integrated());
+  std::vector<float> buf(256, 1.0f);
+  std::size_t dev_before = cudadrv::cuSimDevice(0).bytes_allocated();
+  DataEnv env(mod);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::ToFrom};
+  uint64_t d = env.map(item);
+  EXPECT_EQ(d, reinterpret_cast<uint64_t>(buf.data()));
+  EXPECT_TRUE(env.is_zero_copy(buf.data()));
+  EXPECT_TRUE(cudadrv::cuSimDevice(0).is_host_mapped(d));
+  EXPECT_EQ(cudadrv::cuSimDevice(0).bytes_allocated(), dev_before);
+  auto c = mod.alloc_counters();
+  EXPECT_EQ(c.zero_copy_maps, 1u);
+  EXPECT_EQ(c.zero_copy_bytes, buf.size() * sizeof(float));
+  env.unmap(item);
+  EXPECT_FALSE(cudadrv::cuSimDevice(0).is_host_mapped(d));
+  // The module page-locked the range itself, so release unpins it too.
+  EXPECT_FALSE(cudadrv::cuSimIsPinned(buf.data(), buf.size() * sizeof(float)));
+}
+
+TEST_F(ZeroCopyModule, UserPinnedBuffersStayPinnedAfterUnmap) {
+  // A range the *user* registered (or cuMemAllocHost'ed) is not the
+  // module's to unpin: unmapping drops the device mapping only.
+  boot("nano-uma");
+  CudadevModule mod;
+  mod.set_zerocopy_mode(ZeroCopyMode::On);
+  mod.initialize();
+  mod.make_current();
+  std::vector<float> buf(128, 0.0f);
+  ASSERT_EQ(cudadrv::cuMemHostRegister(buf.data(),
+                                       buf.size() * sizeof(float), 0),
+            cudadrv::CUDA_SUCCESS);
+  DataEnv env(mod);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::To};
+  env.map(item);
+  EXPECT_TRUE(env.is_zero_copy(buf.data()));
+  env.unmap(item);
+  EXPECT_TRUE(cudadrv::cuSimIsPinned(buf.data(), buf.size() * sizeof(float)))
+      << "the module must not unregister a pin it does not own";
+  ASSERT_EQ(cudadrv::cuMemHostUnregister(buf.data()), cudadrv::CUDA_SUCCESS);
+}
+
+TEST_F(ZeroCopyModule, AutoBacksOffAfterRepeatedRemaps) {
+  boot("nano-uma");
+  CudadevModule mod;
+  mod.set_zerocopy_mode(ZeroCopyMode::Auto);
+  mod.initialize();
+  std::vector<float> buf(64, 0.0f);
+  DataEnv env(mod);
+  MapItem item{buf.data(), buf.size() * sizeof(float), MapType::To};
+  for (int i = 0; i < CudadevModule::kZeroCopyReuseLimit; ++i) {
+    env.map(item);
+    EXPECT_TRUE(env.is_zero_copy(buf.data())) << "mapping " << i;
+    env.unmap(item);
+  }
+  // Past the reuse limit a staged upload would have amortized: stage.
+  env.map(item);
+  EXPECT_FALSE(env.is_zero_copy(buf.data()));
+  env.unmap(item);
+}
+
+TEST_F(ZeroCopyModule, MixedZeroCopyAndStagedBuffersShareTheAllocator) {
+  // Zero-copy mappings bypass the caching allocator entirely; staged
+  // buffers keep hitting its cache while zero-copy churn goes on around
+  // them, and nothing leaks when both paths wind down.
+  boot("nano-uma");
+  CudadevModule mod;
+  mod.set_zerocopy_mode(ZeroCopyMode::On);
+  mod.initialize();
+  DataEnv env(mod);
+  std::vector<float> zc_buf(256, 1.0f), staged_buf(256, 2.0f);
+  MapItem zc_item{zc_buf.data(), zc_buf.size() * sizeof(float),
+                  MapType::ToFrom};
+  env.map(zc_item);
+  EXPECT_EQ(mod.allocator().stats().raw_allocs, 0u)
+      << "zero-copy mappings must not touch the device allocator";
+
+  mod.set_zerocopy_mode(ZeroCopyMode::Off);
+  MapItem staged_item{staged_buf.data(), staged_buf.size() * sizeof(float),
+                      MapType::To};
+  env.map(staged_item);
+  EXPECT_FALSE(env.is_zero_copy(staged_buf.data()));
+  EXPECT_EQ(mod.allocator().stats().raw_allocs, 1u);
+  env.unmap(staged_item);
+  env.map(staged_item);  // remap: served from the allocator's cache
+  EXPECT_EQ(mod.allocator().stats().cache_hits, 1u);
+  EXPECT_EQ(mod.allocator().stats().raw_allocs, 1u);
+  env.unmap(staged_item);
+  env.unmap(zc_item);
+  EXPECT_EQ(mod.allocator().stats().live_bytes, 0u) << "no leaked blocks";
+  EXPECT_EQ(mod.alloc_counters().zero_copy_maps, 1u);
+}
+
+// --- GraphCache: LRU bound, hits, evictions ---------------------------------
+
+KernelGraph make_graph(uint64_t key, std::size_t nodes = 1) {
+  KernelGraph g;
+  g.key = key;
+  g.node_count = nodes;
+  return g;
+}
+
+TEST(GraphCacheLru, BoundEvictsTheLeastRecentlyUsedEntry) {
+  GraphCache cache;
+  cache.set_max_entries(2);
+  cache.insert(make_graph(1));
+  cache.insert(make_graph(2));
+  ASSERT_NE(cache.find(1), nullptr);  // bump key 1 to most-recent
+  cache.insert(make_graph(3));        // bound hit: key 2 is the victim
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.hits(), 3u) << "the miss on key 2 must not count";
+}
+
+TEST(GraphCacheLru, ReinsertingAKeyReplacesInPlaceWithoutEviction) {
+  GraphCache cache;
+  cache.set_max_entries(1);
+  cache.insert(make_graph(7, 1));
+  cache.insert(make_graph(7, 5));  // re-capture after an invalidating reset
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  ASSERT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.find(7)->node_count, 5u);
+}
+
+TEST(GraphCacheLru, ShrinkingTheBoundEvictsDownAndClampsAtOne) {
+  GraphCache cache;
+  for (uint64_t k = 1; k <= 4; ++k) cache.insert(make_graph(k));
+  EXPECT_EQ(cache.size(), 4u);
+  cache.set_max_entries(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // The two most recently inserted entries survive.
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_NE(cache.find(4), nullptr);
+  cache.set_max_entries(0);  // clamps to 1
+  EXPECT_EQ(cache.max_entries(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- strict environment knobs -----------------------------------------------
+
+class ZcEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+  void TearDown() override {
+    unsetenv("OMPI_ZEROCOPY");
+    unsetenv("OMPI_GRAPH_CACHE_MAX");
+    unsetenv("OMPI_COALESCE_MAX");
+    Runtime::reset();
+    cudadrv::BinaryRegistry::instance().clear();
+  }
+};
+
+TEST_F(ZcEnv, ZeroCopyEnvSeedsTheRuntimeAndItsModules) {
+  setenv("OMPI_ZEROCOPY", "on", 1);
+  Runtime::reset();
+  Runtime::set_device_profiles({jetsim::builtin_profile("nano-uma")});
+  Runtime& rt = Runtime::instance();
+  EXPECT_EQ(rt.zerocopy_mode(), ZeroCopyMode::On);
+  rt.module(0).initialize();
+  EXPECT_EQ(dynamic_cast<CudadevModule&>(rt.module(0)).zerocopy_mode(),
+            ZeroCopyMode::On);
+
+  setenv("OMPI_ZEROCOPY", "off", 1);
+  Runtime::reset();
+  EXPECT_EQ(Runtime::instance().zerocopy_mode(), ZeroCopyMode::Off);
+
+  // The programmatic setting wins over the environment.
+  setenv("OMPI_ZEROCOPY", "off", 1);
+  Runtime::reset();
+  Runtime::set_zerocopy_mode(ZeroCopyMode::Auto);
+  EXPECT_EQ(Runtime::instance().zerocopy_mode(), ZeroCopyMode::Auto);
+}
+
+TEST_F(ZcEnv, MalformedZeroCopyEnvIsRejectedLoudly) {
+  for (const char* bad : {"", "1", "staged", "ON", "auto "}) {
+    setenv("OMPI_ZEROCOPY", bad, 1);
+    Runtime::reset();
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_ZEROCOPY='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_ZEROCOPY"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+}
+
+TEST_F(ZcEnv, GraphCacheMaxEnvBoundsTheCache) {
+  setenv("OMPI_GRAPH_CACHE_MAX", "2", 1);
+  Runtime::reset();
+  EXPECT_EQ(Runtime::instance().graph_cache().max_entries(), 2u);
+  for (const char* bad : {"0", "-3", "abc", "4097", ""}) {
+    setenv("OMPI_GRAPH_CACHE_MAX", bad, 1);
+    Runtime::reset();
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_GRAPH_CACHE_MAX='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_GRAPH_CACHE_MAX"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+}
+
+TEST_F(ZcEnv, MalformedCoalesceMaxIsRejectedLoudly) {
+  // Parsed at module initialization (the variable tunes the transfer
+  // coalescer); 0 stays valid — it disables coalescing outright.
+  setenv("OMPI_COALESCE_MAX", "0", 1);
+  Runtime::reset();
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  EXPECT_EQ(dynamic_cast<CudadevModule&>(rt.module(0)).coalesce_max(), 0u);
+  for (const char* bad : {"-1", "abc", "64k", ""}) {
+    setenv("OMPI_COALESCE_MAX", bad, 1);
+    Runtime::reset();
+    try {
+      Runtime::instance().module(0).initialize();
+      FAIL() << "OMPI_COALESCE_MAX='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_COALESCE_MAX"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+}
+
+TEST_F(ZcEnv, PinnedAllocationsDieWithTheDriverAcrossReset) {
+  // A pinned allocation made through one runtime's context is gone after
+  // Runtime::reset (the simulator reset reclaims host pools wholesale):
+  // freeing the stale pointer is a caught error, fresh pinning works.
+  Runtime::set_device_profiles({jetsim::builtin_profile("nano-uma")});
+  Runtime& rt = Runtime::instance();
+  rt.module(0).initialize();
+  dynamic_cast<CudadevModule&>(rt.module(0)).make_current();
+  void* p = nullptr;
+  ASSERT_EQ(cudadrv::cuMemAllocHost(&p, 4096), cudadrv::CUDA_SUCCESS);
+  EXPECT_TRUE(cudadrv::cuSimIsPinned(p, 4096));
+
+  Runtime::reset();
+  Runtime::set_device_profiles({jetsim::builtin_profile("nano-uma")});
+  Runtime& rt2 = Runtime::instance();
+  rt2.module(0).initialize();
+  dynamic_cast<CudadevModule&>(rt2.module(0)).make_current();
+  EXPECT_EQ(cudadrv::cuMemFreeHost(p), cudadrv::CUDA_ERROR_INVALID_VALUE)
+      << "stale pinned pointers must not survive a runtime reset";
+  void* q = nullptr;
+  ASSERT_EQ(cudadrv::cuMemAllocHost(&q, 4096), cudadrv::CUDA_SUCCESS);
+  ASSERT_EQ(cudadrv::cuMemFreeHost(q), cudadrv::CUDA_SUCCESS);
+}
+
+}  // namespace
+}  // namespace hostrt

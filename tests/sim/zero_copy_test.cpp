@@ -1,0 +1,144 @@
+// Zero-copy host mappings and integrated-memory pricing (DESIGN.md §5h):
+// the nano-uma profile, Device::map_host bookkeeping and the
+// zero_copy_fraction term of the roofline's memory leg.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/profile.h"
+#include "sim/timing.h"
+
+namespace jetsim {
+namespace {
+
+TEST(UmaProfile, NanoUmaIsIntegratedNanoElsewhere) {
+  DeviceProfile uma = builtin_profile("nano-uma");
+  EXPECT_TRUE(uma.integrated);
+  EXPECT_FALSE(uma.opencl);
+  EXPECT_FALSE(builtin_profile("nano").integrated);
+  EXPECT_FALSE(builtin_profile("nano-slow").integrated);
+  EXPECT_FALSE(builtin_profile("ocl").integrated);
+}
+
+TEST(UmaProfile, CostsMatchNanoExactly) {
+  // OMPI_ZEROCOPY=off on a nano-uma board must reproduce the plain nano
+  // board bit-for-bit, which requires identical hardware and cost
+  // tables — the profiles may only differ in the integrated flag (and
+  // the display name).
+  DeviceProfile uma = builtin_profile("nano-uma");
+  DeviceProfile nano = builtin_profile("nano");
+  EXPECT_EQ(uma.props.clock_hz, nano.props.clock_hz);
+  EXPECT_EQ(uma.props.sm_count, nano.props.sm_count);
+  EXPECT_EQ(uma.props.dram_bandwidth, nano.props.dram_bandwidth);
+  EXPECT_EQ(uma.props.dram_efficiency, nano.props.dram_efficiency);
+  EXPECT_EQ(uma.costs.zero_copy_byte_factor, nano.costs.zero_copy_byte_factor);
+  EXPECT_EQ(uma.driver.memcpy_bandwidth, nano.driver.memcpy_bandwidth);
+  EXPECT_EQ(uma.driver.memcpy_pinned_bandwidth,
+            nano.driver.memcpy_pinned_bandwidth);
+  EXPECT_EQ(uma.driver.launch_overhead_s, nano.driver.launch_overhead_s);
+  EXPECT_EQ(uma.driver.host_register_overhead_s,
+            nano.driver.host_register_overhead_s);
+  EXPECT_NE(std::string(uma.props.name).find("unified"), std::string::npos);
+}
+
+TEST(MapHost, MappingIsTheHostAddressAndCostsNoDeviceMemory) {
+  Device dev;
+  std::vector<float> buf(256, 1.0f);
+  std::size_t before = dev.bytes_allocated();
+  uint64_t addr = dev.map_host(buf.data(), buf.size() * sizeof(float));
+  EXPECT_EQ(addr, reinterpret_cast<uint64_t>(buf.data()));
+  EXPECT_TRUE(dev.is_host_mapped(addr));
+  // Zero-copy mappings borrow host DRAM; the device allocation budget
+  // is untouched.
+  EXPECT_EQ(dev.bytes_allocated(), before);
+  EXPECT_EQ(dev.stats().host_maps, 1u);
+  dev.unmap_host(addr);
+  EXPECT_FALSE(dev.is_host_mapped(addr));
+  EXPECT_EQ(dev.stats().host_unmaps, 1u);
+}
+
+TEST(MapHost, RejectsOverlapEmptyAndDoubleUnmap) {
+  Device dev;
+  std::vector<float> buf(256, 0.0f);
+  uint64_t addr = dev.map_host(buf.data(), buf.size() * sizeof(float));
+  // Overlapping second mapping (same range, and a range starting inside).
+  EXPECT_THROW(dev.map_host(buf.data(), 16), SimError);
+  EXPECT_THROW(dev.map_host(buf.data() + 8, 16), SimError);
+  EXPECT_THROW(dev.map_host(nullptr, 16), SimError);
+  EXPECT_THROW(dev.map_host(buf.data(), 0), SimError);
+  dev.unmap_host(addr);
+  EXPECT_THROW(dev.unmap_host(addr), SimError);
+}
+
+TEST(MapHost, FreeRefusesZeroCopyMappings) {
+  // free() is for owned device allocations; a zero-copy mapping must go
+  // through unmap_host (and vice versa), so mixing the teardown paths is
+  // a caught bug, not a silent double-release.
+  Device dev;
+  std::vector<float> buf(64, 0.0f);
+  uint64_t addr = dev.map_host(buf.data(), buf.size() * sizeof(float));
+  EXPECT_THROW(dev.free(addr), SimError);
+  uint64_t owned = dev.malloc(1024);
+  EXPECT_THROW(dev.unmap_host(owned), SimError);
+  dev.free(owned);
+  dev.unmap_host(addr);
+}
+
+TEST(ZeroCopyPricing, FullFractionScalesMemoryByTheByteFactor) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {64};
+  cfg.block = {128};
+  auto staged = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 1000);
+  });
+  cfg.zero_copy_fraction = 1.0;
+  auto zc = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 1000);
+  });
+  CostModel costs;
+  EXPECT_NEAR(zc.memory_s, staged.memory_s * costs.zero_copy_byte_factor,
+              staged.memory_s * 1e-9);
+  EXPECT_DOUBLE_EQ(zc.zero_copy_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(staged.zero_copy_fraction, 0.0);
+}
+
+TEST(ZeroCopyPricing, PartialFractionInterpolatesLinearly) {
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {64};
+  cfg.block = {128};
+  auto staged = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 1000);
+  });
+  cfg.zero_copy_fraction = 0.5;
+  auto half = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_gmem(Access::Coalesced, 4, 1000);
+  });
+  CostModel costs;
+  double scale = 1.0 + 0.5 * (costs.zero_copy_byte_factor - 1.0);
+  EXPECT_NEAR(half.memory_s, staged.memory_s * scale, staged.memory_s * 1e-9);
+}
+
+TEST(ZeroCopyPricing, ComputeBoundKernelIsUnaffected) {
+  // The premium only touches the memory leg of the roofline: a kernel
+  // whose compute term dominates prices identically in both modes.
+  Device dev;
+  LaunchConfig cfg;
+  cfg.grid = {8};
+  cfg.block = {128};
+  auto staged = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_flops(1e6);
+    ctx.charge_gmem(Access::Coalesced, 4, 1);
+  });
+  cfg.zero_copy_fraction = 1.0;
+  auto zc = dev.launch(cfg, [](KernelCtx& ctx) {
+    ctx.charge_flops(1e6);
+    ctx.charge_gmem(Access::Coalesced, 4, 1);
+  });
+  EXPECT_DOUBLE_EQ(zc.time_s, staged.time_s);
+}
+
+}  // namespace
+}  // namespace jetsim
