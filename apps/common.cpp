@@ -159,6 +159,12 @@ void AppHarness::target(const std::string& kernel, unsigned teams_x,
           static_cast<unsigned long long>(stats.red_warp_combines),
           static_cast<unsigned long long>(stats.red_smem_combines),
           static_cast<unsigned long long>(stats.red_global_atomics));
+    if (stats.maps_downgraded || stats.maps_elided)
+      std::printf(
+          "[offload] %-24s map inference: downgraded=%llu elided=%llu\n",
+          kernel.c_str(),
+          static_cast<unsigned long long>(stats.maps_downgraded),
+          static_cast<unsigned long long>(stats.maps_elided));
   }
 }
 

@@ -1,0 +1,316 @@
+// Micro A5 — dataflow-driven map inference (DESIGN.md §5i). Two rows:
+//
+// Row 1 (downgrade): a BiCG-shaped round trip on one device whose
+// buffers are all declared tofrom — the way a naive porting pass maps
+// everything — but annotated the way the compiler's use/def analysis
+// classifies them (A, p, r read-only; q, s write-only; a matrix-sized
+// scratch buffer untouched). With OMPI_MAPINFER on, the dead half of
+// every round trip is pruned (no copy-back of inputs, no upload of
+// outputs, nothing at all for the untouched map); off moves the full
+// declared set. The results must match bit for bit — inference only
+// removes transfers whose payload is never observed.
+//
+// Row 2 (replication): two task chains on a two-device board, each
+// anchored to its own device by a persistent accumulator, sharing one
+// read-only matrix. With replication on, the scheduler broadcasts the
+// matrix to the second device once and both chains run from a local
+// copy; with replication off the matrix ping-pong migrates across the
+// peer link on every alternation. The gate is the modeled peer-traffic
+// ratio between the two policies.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+void install_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "maps_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+
+  // q = A p, s = A^T r: both matrix passes of one BiCG iteration.
+  cudadrv::KernelImage bicg;
+  bicg.name = "_bicgKernel_";
+  bicg.param_count = 6;
+  bicg.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(5);
+    auto sz = static_cast<std::size_t>(n);
+    const float* a = args.pointer<float>(0, sz * sz);
+    const float* p = args.pointer<float>(1, sz);
+    const float* r = args.pointer<float>(2, sz);
+    float* q = args.pointer<float>(3, sz);
+    float* s = args.pointer<float>(4, sz);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      float qi = 0.0f, si = 0.0f;
+      for (int j = 0; j < n; ++j) {
+        qi += a[static_cast<std::size_t>(i) * sz + static_cast<std::size_t>(j)] *
+              p[j];
+        si += a[static_cast<std::size_t>(j) * sz + static_cast<std::size_t>(i)] *
+              r[j];
+      }
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2 * n + 2);
+      ctx.charge_flops(4.0 * n);
+      q[i] = qi;
+      s[i] = si;
+    }
+  };
+  img.add_kernel(std::move(bicg));
+
+  // y += A elementwise: reads the shared matrix, accumulates into the
+  // chain's own matrix-sized state.
+  cudadrv::KernelImage accum;
+  accum.name = "_accumKernel_";
+  accum.param_count = 3;
+  accum.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(2);
+    auto sz = static_cast<std::size_t>(n);
+    const float* a = args.pointer<float>(0, sz * sz);
+    float* y = args.pointer<float>(1, sz * sz);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      for (int j = 0; j < n; ++j) {
+        auto at = static_cast<std::size_t>(i) * sz + static_cast<std::size_t>(j);
+        y[at] = y[at] + a[at];
+      }
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 3 * n);
+      ctx.charge_flops(static_cast<double>(n));
+    }
+  };
+  img.add_kernel(std::move(accum));
+
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+MapItem annotated(const void* host, std::size_t size, MapType type,
+                  AccessMode access) {
+  MapItem m{host, size, type};
+  m.access = access;
+  return m;
+}
+
+void boot(bool infer, int devices) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_binary();
+  cudadrv::cuSimSetBlockSampling(true);
+  Runtime::set_mapinfer(infer);
+  if (devices > 1) Runtime::set_num_devices(devices);
+}
+
+// --- row 1: tofrom downgrade on a round-trip chain ---------------------------
+
+struct BicgResult {
+  double elapsed = 0;
+  std::vector<float> q, s;
+  OffloadStats totals;
+};
+
+BicgResult run_bicg(bool infer, int n, int iters) {
+  boot(infer, 1);
+  Runtime& rt = Runtime::instance();
+  auto sz = static_cast<std::size_t>(n);
+
+  std::vector<float> a(sz * sz), p(sz), r(sz), scratch(sz * sz, 0.0f);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>((i % 7) + 1) * 0.25f;
+  for (std::size_t i = 0; i < sz; ++i) {
+    p[i] = static_cast<float>(i % 5) * 0.5f;
+    r[i] = static_cast<float>(i % 3) * 0.125f;
+  }
+  BicgResult out;
+  out.q.assign(sz, 0.0f);
+  out.s.assign(sz, 0.0f);
+
+  KernelLaunchSpec spec;
+  spec.module_path = "maps_kernels.cubin";
+  spec.kernel_name = "_bicgKernel_";
+  spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+  spec.geometry.threads_x = 128;
+  spec.args = {KernelArg::mapped(a.data()),     KernelArg::mapped(p.data()),
+               KernelArg::mapped(r.data()),     KernelArg::mapped(out.q.data()),
+               KernelArg::mapped(out.s.data()), KernelArg::of(n)};
+
+  // Everything declared tofrom (the naive porting map), annotated the
+  // way the compiler classifies the kernel body. The round trip re-maps
+  // per target region, so each iteration pays the full declared set
+  // when inference is off — including both legs of the matrix-sized
+  // scratch buffer the region never touches.
+  std::vector<MapItem> maps = {
+      annotated(a.data(), a.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::ReadOnly),
+      annotated(p.data(), p.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::ReadOnly),
+      annotated(r.data(), r.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::ReadOnly),
+      annotated(out.q.data(), out.q.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::WriteOnly),
+      annotated(out.s.data(), out.s.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::WriteOnly),
+      annotated(scratch.data(), scratch.size() * sizeof(float),
+                MapType::ToFrom, AccessMode::Untouched),
+  };
+
+  double t0 = cudadrv::cuSimDevice(0).now();
+  for (int it = 0; it < iters; ++it) rt.target(0, spec, maps);
+  out.elapsed = cudadrv::cuSimDevice(0).now() - t0;
+  out.totals = rt.queue(0)->totals();
+  return out;
+}
+
+// --- row 2: read-only replication across two devices -------------------------
+
+struct ChainsResult {
+  double elapsed = 0;
+  StealStats stats;
+  std::vector<float> y0, y1;
+};
+
+ChainsResult run_chains(bool infer, bool replicate, int n, int iters) {
+  boot(infer, 2);
+  Runtime& rt = Runtime::instance();
+  auto sz = static_cast<std::size_t>(n);
+
+  std::vector<float> a(sz * sz);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<float>((i % 11) + 1) * 0.0625f;
+  ChainsResult out;
+  out.y0.assign(sz * sz, 0.0f);
+  out.y1.assign(sz * sz, 0.0f);
+  const std::size_t mat_bytes = sz * sz * sizeof(float);
+
+  // Isolate the placement policy: inference stays as booted, only the
+  // scheduler's broadcast-vs-migrate decision flips.
+  rt.scheduler().set_replication(replicate);
+
+  // The shared input is persistent and read-only — the annotation the
+  // compiler attaches to a `map(to:)` whose regions never write it.
+  MapItem shared =
+      annotated(a.data(), mat_bytes, MapType::To, AccessMode::ReadOnly);
+  rt.target_enter_data(Runtime::kDeviceAuto, {shared});
+
+  MapItem env0{out.y0.data(), mat_bytes, MapType::ToFrom};
+  MapItem env1{out.y1.data(), mat_bytes, MapType::ToFrom};
+
+  auto spec_for = [&](std::vector<float>& y) {
+    KernelLaunchSpec spec;
+    spec.module_path = "maps_kernels.cubin";
+    spec.kernel_name = "_accumKernel_";
+    spec.geometry.teams_x = static_cast<unsigned>((n + 127) / 128);
+    spec.geometry.threads_x = 128;
+    spec.args = {KernelArg::mapped(a.data()), KernelArg::mapped(y.data()),
+                 KernelArg::of(n)};
+    return spec;
+  };
+
+  WorkStealingScheduler& sched = rt.scheduler();
+  double t0 = sched.host_now();
+  // Chain 0's environment and first task land together, so chain 1's
+  // environment goes to the other (less loaded) device: each chain is
+  // anchored by its matrix-sized accumulator, and only the shared
+  // read-only input ever crosses the peer link.
+  rt.target_enter_data(Runtime::kDeviceAuto, {env0});
+  rt.target_nowait(Runtime::kDeviceAuto, spec_for(out.y0),
+                   {shared, env0});
+  rt.target_enter_data(Runtime::kDeviceAuto, {env1});
+  rt.target_nowait(Runtime::kDeviceAuto, spec_for(out.y1),
+                   {shared, env1});
+  for (int it = 1; it < iters; ++it) {
+    rt.target_nowait(Runtime::kDeviceAuto, spec_for(out.y0), {shared, env0});
+    rt.target_nowait(Runtime::kDeviceAuto, spec_for(out.y1), {shared, env1});
+  }
+  rt.sync();
+  out.elapsed = sched.host_now() - t0;
+  out.stats = sched.stats();
+  rt.target_exit_data(Runtime::kDeviceAuto, {env1});
+  rt.target_exit_data(Runtime::kDeviceAuto, {env0});
+  rt.target_exit_data(Runtime::kDeviceAuto, {shared});
+  return out;
+}
+
+bool bitwise_eq(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int n = smoke ? 256 : 1024;
+  const int iters = smoke ? 4 : 8;
+  std::printf(
+      "micro_maps: dataflow map inference, BiCG round trip (%dx%d, %d "
+      "iters) + replicated read-only environment (2 devices)\n\n",
+      n, n, iters);
+
+  BicgResult on = run_bicg(/*infer=*/true, n, iters);
+  BicgResult off = run_bicg(/*infer=*/false, n, iters);
+  double downgrade_speedup = off.elapsed / on.elapsed;
+  bool bicg_match = bitwise_eq(on.q, off.q) && bitwise_eq(on.s, off.s);
+  std::printf("  round trip  infer=auto: %10.6f s   (downgraded=%llu "
+              "elided=%llu)\n",
+              on.elapsed,
+              static_cast<unsigned long long>(on.totals.maps_downgraded),
+              static_cast<unsigned long long>(on.totals.maps_elided));
+  std::printf("  round trip  infer=off : %10.6f s\n", off.elapsed);
+  std::printf("  downgrade speedup     : %10.2fx (target >= 1.40x)\n\n",
+              downgrade_speedup);
+
+  ChainsResult rep = run_chains(/*infer=*/true, /*replicate=*/true, n, iters);
+  ChainsResult mig = run_chains(/*infer=*/true, /*replicate=*/false, n, iters);
+  ChainsResult base = run_chains(/*infer=*/false, /*replicate=*/false, n,
+                                 iters);
+  auto peer_bytes = [](const StealStats& st) {
+    return static_cast<double>(st.migrated_bytes + st.replicated_bytes);
+  };
+  double peer_ratio = peer_bytes(mig.stats) / peer_bytes(rep.stats);
+  bool chains_match = bitwise_eq(rep.y0, mig.y0) &&
+                      bitwise_eq(rep.y1, mig.y1) &&
+                      bitwise_eq(rep.y0, base.y0) &&
+                      bitwise_eq(rep.y1, base.y1);
+  std::printf("  chains  replicate : %10.6f s   (%zu replications, %zu "
+              "migrations, %.0f peer bytes)\n",
+              rep.elapsed, rep.stats.replications, rep.stats.migrations,
+              peer_bytes(rep.stats));
+  std::printf("  chains  migrate   : %10.6f s   (%zu migrations, %.0f peer "
+              "bytes)\n",
+              mig.elapsed, mig.stats.migrations, peer_bytes(mig.stats));
+  std::printf("  peer-byte ratio   : %10.2fx (target >= 2.00x)\n", peer_ratio);
+
+  bool off_match = bicg_match && chains_match;
+  std::printf("\n  parity with OMPI_MAPINFER=off: %s\n",
+              off_match ? "bit-for-bit" : "MISMATCH");
+
+  bench::write_bench_json(
+      "micro_maps",
+      {{"n", std::to_string(n)}, {"iters", std::to_string(iters)}},
+      {{"infer_on_s", on.elapsed},
+       {"infer_off_s", off.elapsed},
+       {"downgrade_speedup", downgrade_speedup},
+       {"maps_downgraded", static_cast<double>(on.totals.maps_downgraded)},
+       {"maps_elided", static_cast<double>(on.totals.maps_elided)},
+       {"replications", static_cast<double>(rep.stats.replications)},
+       {"peer_bytes_replicate", peer_bytes(rep.stats)},
+       {"peer_bytes_migrate", peer_bytes(mig.stats)},
+       {"peer_ratio", peer_ratio},
+       {"off_match", off_match ? 1.0 : 0.0}});
+
+  hostrt::Runtime::reset();
+  if (smoke) return 0;
+  return downgrade_speedup >= 1.4 && peer_ratio >= 2.0 && off_match ? 0 : 1;
+}

@@ -1,0 +1,253 @@
+#include "compiler/analysis.h"
+
+namespace ompi {
+
+namespace {
+
+/// Strips parens, casts, index chains, derefs and pointer arithmetic down
+/// to the underlying identifier, if one exists.
+const VarDecl* pointer_base(const Expr* e) {
+  while (e) {
+    switch (e->kind) {
+      case Expr::Kind::Ident:
+        return e->decl;
+      case Expr::Kind::Paren:
+      case Expr::Kind::Cast:
+      case Expr::Kind::Index:
+        e = e->lhs;
+        break;
+      case Expr::Kind::Unary:
+        if (e->un_op != UnOp::Deref && e->un_op != UnOp::AddrOf)
+          return nullptr;
+        e = e->lhs;
+        break;
+      case Expr::Kind::Binary:
+        if (e->bin_op != BinOp::Add && e->bin_op != BinOp::Sub)
+          return nullptr;
+        // Pointer arithmetic: follow whichever side names a pointer.
+        if (const VarDecl* d = pointer_base(e->lhs))
+          if (d->type && d->type->is_pointerish()) return d;
+        e = e->rhs;
+        break;
+      default:
+        return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+bool pointerish_decl(const VarDecl* d) {
+  return d && d->type && d->type->is_pointerish();
+}
+
+}  // namespace
+
+std::map<const VarDecl*, VarAccess> AccessAnalysis::run(
+    const Stmt* body, const std::set<std::string>& reduction_vars) {
+  table_.clear();
+  reduction_vars_ = reduction_vars;
+  cond_depth_ = 0;
+  walk_stmt(body);
+  for (auto& [decl, access] : table_)
+    if (reduction_vars_.count(decl->name)) access.forced_rw = true;
+  return table_;
+}
+
+void AccessAnalysis::note_write(const VarDecl* d) {
+  if (!d) return;
+  if (cond_depth_ > 0)
+    slot(d).cond_write = true;
+  else
+    slot(d).uncond_write = true;
+}
+
+void AccessAnalysis::walk_stmt(const Stmt* s) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (const Stmt* c : s->body) walk_stmt(c);
+      break;
+    case Stmt::Kind::Decl:
+      if (s->decl && s->decl->init) walk_expr(s->decl->init, false);
+      break;
+    case Stmt::Kind::ExprStmt:
+    case Stmt::Kind::Return:
+      walk_expr(s->expr, false);
+      break;
+    case Stmt::Kind::If:
+      walk_expr(s->expr, false);
+      ++cond_depth_;
+      walk_stmt(s->then_stmt);
+      walk_stmt(s->else_stmt);
+      --cond_depth_;
+      break;
+    case Stmt::Kind::For:
+      // Loop bodies count as unconditional defs: a worksharing loop is
+      // assumed to cover its mapped section (DESIGN.md §5i), which is what
+      // lets the paper kernels' output arrays downgrade tofrom -> from.
+      walk_stmt(s->for_init);
+      walk_expr(s->for_cond, false);
+      walk_expr(s->for_step, false);
+      walk_stmt(s->then_stmt);
+      break;
+    case Stmt::Kind::While:
+      walk_expr(s->expr, false);
+      ++cond_depth_;
+      walk_stmt(s->then_stmt);
+      --cond_depth_;
+      break;
+    case Stmt::Kind::DoWhile:
+      // The body runs at least once; its defs are unconditional.
+      walk_stmt(s->then_stmt);
+      walk_expr(s->expr, false);
+      break;
+    case Stmt::Kind::Omp:
+      for (const OmpClause& c : s->omp_clauses) {
+        if (c.arg) walk_expr(c.arg, false);
+        if (c.schedule_chunk) walk_expr(c.schedule_chunk, false);
+        for (const OmpMapItem& m : c.items) {
+          if (m.section_lb) walk_expr(m.section_lb, false);
+          if (m.section_len) walk_expr(m.section_len, false);
+        }
+      }
+      walk_stmt(s->omp_body);
+      break;
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Empty:
+      break;
+  }
+}
+
+// Walks an lvalue path: the terminal identifier is the def/use target and
+// is never an escape, while embedded index expressions are plain reads.
+void AccessAnalysis::walk_base(const Expr* e, bool writing) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::Ident:
+      if (!e->decl) return;
+      if (writing)
+        note_write(e->decl);
+      else
+        slot(e->decl).read = true;
+      break;
+    case Expr::Kind::Paren:
+    case Expr::Kind::Cast:
+      walk_base(e->lhs, writing);
+      break;
+    case Expr::Kind::Index:
+      walk_base(e->lhs, writing);
+      walk_expr(e->rhs, false);
+      break;
+    case Expr::Kind::Unary:
+      if (e->un_op == UnOp::Deref) {
+        walk_base(e->lhs, writing);
+      } else {
+        walk_expr(e, writing);
+      }
+      break;
+    case Expr::Kind::Binary:
+      if (e->bin_op == BinOp::Add || e->bin_op == BinOp::Sub) {
+        // *(p + i): the pointer side carries the access, the rest is read.
+        const VarDecl* l = pointer_base(e->lhs);
+        if (pointerish_decl(l)) {
+          walk_base(e->lhs, writing);
+          walk_expr(e->rhs, false);
+          return;
+        }
+        const VarDecl* r = pointer_base(e->rhs);
+        if (pointerish_decl(r)) {
+          walk_base(e->rhs, writing);
+          walk_expr(e->lhs, false);
+          return;
+        }
+      }
+      walk_expr(e, false);
+      break;
+    default:
+      walk_expr(e, false);
+      break;
+  }
+}
+
+void AccessAnalysis::walk_expr(const Expr* e, bool writing) {
+  if (!e) return;
+  switch (e->kind) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::StrLit:
+    case Expr::Kind::Sizeof:  // unevaluated operand
+      break;
+    case Expr::Kind::Ident:
+      if (!e->decl) return;
+      if (writing) {
+        note_write(e->decl);
+        return;
+      }
+      slot(e->decl).read = true;
+      // A pointer or array read as a *value* (not as an index/deref base)
+      // creates an alias the analysis cannot track.
+      if (pointerish_decl(e->decl)) slot(e->decl).escaped = true;
+      break;
+    case Expr::Kind::Paren:
+    case Expr::Kind::Cast:
+      walk_expr(e->lhs, writing);
+      break;
+    case Expr::Kind::Index:
+      walk_base(e->lhs, writing);
+      walk_expr(e->rhs, false);
+      break;
+    case Expr::Kind::Unary:
+      switch (e->un_op) {
+        case UnOp::Deref:
+          walk_base(e->lhs, writing);
+          break;
+        case UnOp::AddrOf:
+          if (const VarDecl* d = pointer_base(e->lhs))
+            slot(d).escaped = true;
+          walk_base(e->lhs, false);
+          break;
+        case UnOp::PreInc:
+        case UnOp::PreDec:
+        case UnOp::PostInc:
+        case UnOp::PostDec:
+          walk_base(e->lhs, true);
+          walk_base(e->lhs, false);
+          break;
+        default:
+          walk_expr(e->lhs, false);
+          break;
+      }
+      break;
+    case Expr::Kind::Binary:
+      walk_expr(e->lhs, false);
+      if (e->bin_op == BinOp::LogAnd || e->bin_op == BinOp::LogOr) {
+        ++cond_depth_;
+        walk_expr(e->rhs, false);
+        --cond_depth_;
+      } else {
+        walk_expr(e->rhs, false);
+      }
+      break;
+    case Expr::Kind::Assign:
+      walk_base(e->lhs, true);
+      if (!e->plain_assign) walk_base(e->lhs, false);
+      walk_expr(e->rhs, false);
+      break;
+    case Expr::Kind::Cond:
+      walk_expr(e->cond, false);
+      ++cond_depth_;
+      walk_expr(e->lhs, false);
+      walk_expr(e->rhs, false);
+      --cond_depth_;
+      break;
+    case Expr::Kind::Call:
+      // Bare pointer arguments escape through the Ident rule; element
+      // reads like f(a[i]) stay precise.
+      if (e->lhs) walk_expr(e->lhs, false);
+      for (const Expr* a : e->args) walk_expr(a, false);
+      break;
+  }
+}
+
+}  // namespace ompi

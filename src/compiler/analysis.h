@@ -1,0 +1,68 @@
+// Use/def dataflow analysis over outlined target-region bodies: classifies
+// every captured variable as read-only / write-only / read-write /
+// untouched so the transform can downgrade declared `tofrom` maps and the
+// runtime can prune the corresponding transfers (DESIGN.md §5i).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/ast.h"
+
+namespace ompi {
+
+/// Accumulated evidence for one variable. classify() folds the bits into
+/// the four-point access lattice, conservatively: an escaped address or a
+/// variable whose only defs are conditional stays ReadWrite.
+struct VarAccess {
+  bool read = false;         // value observed anywhere in the body
+  bool uncond_write = false; // def on a path that always executes
+  bool cond_write = false;   // def under if/while/?:/&&/|| control
+  bool escaped = false;      // address taken or passed to a user call
+  bool forced_rw = false;    // reduction list item: always read-modify-write
+
+  OmpAccess classify() const {
+    if (forced_rw || escaped) return OmpAccess::ReadWrite;
+    bool written = uncond_write || cond_write;
+    if (read && written) return OmpAccess::ReadWrite;
+    if (read) return OmpAccess::ReadOnly;
+    if (!written) return OmpAccess::Untouched;
+    // Write-only: safe to skip the upload only when at least one def is
+    // unconditional (the copy-back would otherwise round-trip garbage for
+    // elements whose guard never fired).
+    return uncond_write ? OmpAccess::WriteOnly : OmpAccess::ReadWrite;
+  }
+};
+
+/// Walks a (pre-lowering) target-region body and classifies accesses per
+/// declaration. Identifiers are matched by their sema-resolved VarDecl, so
+/// shadowing redeclarations inside the body never alias an outer mapping.
+class AccessAnalysis {
+ public:
+  /// `reduction_vars` are reduction list items of the region (forced
+  /// read-write regardless of syntactic uses).
+  std::map<const VarDecl*, VarAccess> run(
+      const Stmt* body, const std::set<std::string>& reduction_vars);
+
+ private:
+  void walk_stmt(const Stmt* s);
+  // `writing`: e is the target of an assignment or ++/--.
+  void walk_expr(const Expr* e, bool writing);
+  // Lvalue-path walk: terminal identifier is the def/use target (never an
+  // escape), embedded subscripts are reads.
+  void walk_base(const Expr* e, bool writing);
+  void note_write(const VarDecl* d);
+  VarAccess& slot(const VarDecl* d) { return table_[d]; }
+
+  std::map<const VarDecl*, VarAccess> table_;
+  std::set<std::string> reduction_vars_;
+  // Nesting depth of conditional control (if/while/do-while bodies,
+  // ternary arms, short-circuit right operands). For-loop bodies count as
+  // unconditional: worksharing loops are assumed to cover their mapped
+  // section, the documented tradeoff that lets output arrays downgrade.
+  int cond_depth_ = 0;
+};
+
+}  // namespace ompi

@@ -105,6 +105,11 @@ enum class OmpMapType { Alloc, To, From, ToFrom };
 enum class OmpSchedule { Static, Dynamic, Guided };
 enum class OmpDependKind { In, Out, Inout };
 
+/// How the kernel body actually touches a mapped variable, as inferred by
+/// the use/def analysis (analysis.h). Unknown means the analysis did not
+/// run (standalone data directives, OMPI_MAPINFER=off at compile time).
+enum class OmpAccess { Unknown, ReadOnly, WriteOnly, ReadWrite, Untouched };
+
 /// One item of a map/to/from clause: variable with optional array
 /// section `name[lb:len]`.
 struct OmpMapItem {
@@ -112,7 +117,31 @@ struct OmpMapItem {
   Expr* section_lb = nullptr;   // null: whole object
   Expr* section_len = nullptr;
   OmpMapType map_type = OmpMapType::ToFrom;
+  // Annotated by GpuTransform; the declared map_type is kept intact so a
+  // single compiled artifact serves both OMPI_MAPINFER modes.
+  OmpAccess access = OmpAccess::Unknown;
 };
+
+/// The transfer set actually required once the inferred access mode is
+/// applied. Downgrades are relaxations only: a read-only tofrom drops the
+/// copy-back, a write-only tofrom (unconditional defs) drops the upload,
+/// and untouched maps keep presence but move no bytes.
+inline OmpMapType effective_map_type(const OmpMapItem& m) {
+  switch (m.access) {
+    case OmpAccess::ReadOnly:
+      return m.map_type == OmpMapType::ToFrom ? OmpMapType::To : m.map_type;
+    case OmpAccess::WriteOnly:
+      if (m.map_type == OmpMapType::ToFrom) return OmpMapType::From;
+      if (m.map_type == OmpMapType::To) return OmpMapType::Alloc;
+      return m.map_type;
+    case OmpAccess::Untouched:
+      return OmpMapType::Alloc;
+    case OmpAccess::ReadWrite:
+    case OmpAccess::Unknown:
+      break;
+  }
+  return m.map_type;
+}
 
 struct OmpClause {
   enum class Kind { Map, NumTeams, NumThreads, ThreadLimit, Schedule,

@@ -317,10 +317,13 @@ std::string generate_host_file(const TranslationUnit& unit,
               ? "(" + expr_to_c(p.map.section_len) + ") * sizeof(*" + p.name +
                     ")"
               : "sizeof(" + p.name + ")";
-      const char* mt = p.map.map_type == OmpMapType::To       ? "ORT_MAP_TO"
-                       : p.map.map_type == OmpMapType::From   ? "ORT_MAP_FROM"
-                       : p.map.map_type == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
-                                                             : "ORT_MAP_TOFROM";
+      // The inferred access mode downgrades declared tofrom transfers
+      // (DESIGN.md §5i); without the analysis this is the declared type.
+      OmpMapType emt = effective_map_type(p.map);
+      const char* mt = emt == OmpMapType::To      ? "ORT_MAP_TO"
+                       : emt == OmpMapType::From  ? "ORT_MAP_FROM"
+                       : emt == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
+                                                  : "ORT_MAP_TOFROM";
       o << indent(n + 2) << "{ " << base << ", " << len << ", " << mt
         << " },\n";
     }
@@ -404,11 +407,14 @@ std::string generate_host_file(const TranslationUnit& unit,
                     m.section_len ? "(" + expr_to_c(m.section_len) +
                                         ") * sizeof(*" + m.name + ")"
                                   : "sizeof(" + m.name + ")";
+                // Standalone data directives have no kernel body to
+                // analyze, so access stays Unknown and this is a no-op.
+                OmpMapType emt = effective_map_type(m);
                 const char* mt =
-                    m.map_type == OmpMapType::To      ? "ORT_MAP_TO"
-                    : m.map_type == OmpMapType::From  ? "ORT_MAP_FROM"
-                    : m.map_type == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
-                                                      : "ORT_MAP_TOFROM";
+                    emt == OmpMapType::To      ? "ORT_MAP_TO"
+                    : emt == OmpMapType::From  ? "ORT_MAP_FROM"
+                    : emt == OmpMapType::Alloc ? "ORT_MAP_ALLOC"
+                                               : "ORT_MAP_TOFROM";
                 oo << indent(nn + 1) << "{ " << base << ", " << len << ", "
                    << mt << " },\n";
               }

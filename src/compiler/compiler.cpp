@@ -27,6 +27,7 @@ CompileOutput compile(std::string_view source, const CompileOptions& options,
   }
 
   GpuTransform transform(*unit, sema, diags);
+  transform.set_map_infer(options.map_infer);
   transform.run();
   if (!diags.ok()) {
     out.diagnostics = diags.render_all();

@@ -21,6 +21,10 @@ struct CompileOptions {
   /// false: cubin mode (OMPi's default, paper §3.3); true: ptx mode with
   /// runtime JIT.
   bool ptx_mode = false;
+  /// Use/def map inference (DESIGN.md §5i): annotate every map item with
+  /// the kernel's inferred access mode so declared tofrom transfers can
+  /// be downgraded. Off leaves all items at OmpAccess::Unknown.
+  bool map_infer = true;
 };
 
 struct KernelFileText {

@@ -1,5 +1,7 @@
 #include "compiler/transform.h"
 
+#include "compiler/analysis.h"
+
 namespace ompi {
 
 namespace {
@@ -295,6 +297,53 @@ void GpuTransform::build_params(KernelInfo& k, Stmt* target,
 }
 
 // ---------------------------------------------------------------------
+// Map inference (DESIGN.md §5i)
+// ---------------------------------------------------------------------
+
+// Classifies every mapped variable by its uses in the (pre-lowering)
+// kernel body and annotates the access mode onto the kernel params and
+// the explicit map-clause items. The declared map_type stays intact: the
+// downgrade is applied where transfers are decided (codegen's ORT_MAP_*
+// emission, hostrt's DataEnv), so one artifact serves both OMPI_MAPINFER
+// modes.
+void GpuTransform::annotate_accesses(
+    KernelInfo& k, Stmt* target,
+    const std::vector<std::string>& reduction_vars) {
+  if (!map_infer_) return;
+
+  std::set<std::string> reduced(reduction_vars.begin(), reduction_vars.end());
+  AccessAnalysis analysis;
+  std::map<const VarDecl*, VarAccess> table =
+      analysis.run(target->omp_body, reduced);
+
+  auto access_for = [&](const VarDecl* decl,
+                        const std::string& name) -> OmpAccess {
+    if (reduced.count(name)) return OmpAccess::ReadWrite;
+    auto it = decl ? table.find(decl) : table.end();
+    if (it == table.end()) return OmpAccess::Untouched;
+    return it->second.classify();
+  };
+
+  for (KernelParam& p : k.params) p.map.access = access_for(p.decl, p.name);
+
+  // Explicit clause items mirror the param annotation; an item naming a
+  // variable the body never captures is untouched by definition.
+  for (OmpClause& c : target->omp_clauses) {
+    if (c.kind != OmpClause::Kind::Map) continue;
+    for (OmpMapItem& m : c.items) {
+      const VarDecl* decl = nullptr;
+      for (const KernelParam& p : k.params)
+        if (p.name == m.name) decl = p.decl;
+      m.access = access_for(decl, m.name);
+      if (m.access == OmpAccess::Untouched)
+        diags_.warning(c.loc, "[-Wunused-map] variable '" + m.name +
+                                  "' is mapped but never used in the target "
+                                  "region; its transfers are elided");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Loop normalization
 // ---------------------------------------------------------------------
 
@@ -503,6 +552,10 @@ void GpuTransform::transform_target(Stmt* target, FuncDecl& host_fn) {
     pd->is_param = true;
     fn->params.push_back(pd);
   }
+
+  // Use/def map inference runs on the original body, before the deref
+  // rewrite and the lowerings mutate it (DESIGN.md §5i).
+  annotate_accesses(k, target, reduction_vars);
 
   if (k.combined) {
     rewrite_idents(loop_node, rewrites);

@@ -70,6 +70,11 @@ class GpuTransform {
 
   void run();
 
+  /// Enables/disables the use/def map-inference pass (CompileOptions::
+  /// map_infer). When off, map items keep OmpAccess::Unknown and the
+  /// runtime behaves exactly as declared.
+  void set_map_infer(bool enabled) { map_infer_ = enabled; }
+
   std::vector<KernelInfo>& kernels() { return kernels_; }
   const std::vector<KernelInfo>& kernels() const { return kernels_; }
 
@@ -79,6 +84,9 @@ class GpuTransform {
 
   void build_params(KernelInfo& k, Stmt* target,
                     const std::vector<const VarDecl*>& captured);
+
+  void annotate_accesses(KernelInfo& k, Stmt* target,
+                         const std::vector<std::string>& reduction_vars);
 
   // Lowerings. `clauses` are the construct's clauses (already merged for
   // combined forms).
@@ -113,6 +121,7 @@ class GpuTransform {
   std::vector<KernelInfo> kernels_;
   int name_counter_ = 0;
   bool in_parallel_region_ = false;
+  bool map_infer_ = true;
 };
 
 }  // namespace ompi

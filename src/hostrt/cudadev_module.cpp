@@ -112,8 +112,20 @@ void CudadevModule::initialize() {
 
   // Data-environment tuning knobs, read once per initialization.
   if (const char* v = std::getenv("OMPI_ALLOC_CACHE")) {
+    // Strict, like every other OMPI_* knob: only the documented boolean
+    // spellings are accepted. The old lenient reader treated any unknown
+    // value (OMPI_ALLOC_CACHE=offf) as "on" and benchmarked the wrong
+    // configuration silently.
     std::string s = v;
-    allocator_.set_enabled(!(s == "0" || s == "off" || s == "false"));
+    if (s == "1" || s == "on" || s == "true") {
+      allocator_.set_enabled(true);
+    } else if (s == "0" || s == "off" || s == "false") {
+      allocator_.set_enabled(false);
+    } else {
+      throw std::runtime_error(
+          std::string("OMPI_ALLOC_CACHE='") + v +
+          "' is invalid: expected 'on', 'off', '1', '0', 'true' or 'false'");
+    }
   }
   if (const char* v = std::getenv("OMPI_COALESCE_MAX")) {
     // Strict, like the runtime's other numeric knobs: a plain byte count

@@ -74,7 +74,8 @@ uint64_t DataEnv::map(const MapItem& item) {
   } else {
     m.dev_addr = backend_->alloc(item.size);
     if (m.dev_addr == 0) throw MapError("device out of memory during map");
-    if (item.type == MapType::To || item.type == MapType::ToFrom)
+    MapType mt = effective_map_type(item, infer_);
+    if (mt == MapType::To || mt == MapType::ToFrom)
       backend_->write(m.dev_addr, item.host, item.size);
   }
   mapped_bytes_ += item.size;
@@ -91,8 +92,8 @@ void DataEnv::unmap(const MapItem& item) {
   m.refcount -= 1;
   if (m.refcount > 0) return;
 
-  if (!m.zero_copy &&
-      (item.type == MapType::From || item.type == MapType::ToFrom))
+  MapType mt = effective_map_type(item, infer_);
+  if (!m.zero_copy && (mt == MapType::From || mt == MapType::ToFrom))
     backend_->read(const_cast<void*>(item.host), m.dev_addr, m.size);
   release_storage(it->first, m);
   mapped_bytes_ -= m.size;
@@ -170,7 +171,8 @@ std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
       const MapItem& item = items[staged[k]];
       table_.find(reinterpret_cast<uintptr_t>(item.host))->second.dev_addr =
           addrs[k];
-      if (item.type == MapType::To || item.type == MapType::ToFrom)
+      MapType mt = effective_map_type(item, infer_);
+      if (mt == MapType::To || mt == MapType::ToFrom)
         segs.push_back({addrs[k], const_cast<void*>(item.host), item.size});
     }
     if (!segs.empty()) backend_->write_segments(segs);
@@ -198,8 +200,8 @@ void DataEnv::unmap_batch(const std::vector<MapItem>& items) {
     if (m.refcount > 0) continue;
     // Zero-copy releases need no copy-back: the host buffer was the
     // backing store, every kernel store already landed in it.
-    if (!m.zero_copy &&
-        (item.type == MapType::From || item.type == MapType::ToFrom))
+    MapType mt = effective_map_type(item, infer_);
+    if (!m.zero_copy && (mt == MapType::From || mt == MapType::ToFrom))
       segs.push_back({m.dev_addr, const_cast<void*>(item.host), m.size});
     dead.push_back(addr);
   }

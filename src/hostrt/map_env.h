@@ -17,12 +17,62 @@ enum class MapType { Alloc, To, From, ToFrom };
 
 const char* to_string(MapType t);
 
+/// Compiler-inferred access mode of the kernel over a mapped range
+/// (DESIGN.md §5i). Unknown (the default, and everything hand-written
+/// before the analysis existed) keeps declared semantics.
+enum class AccessMode { Unknown, ReadOnly, WriteOnly, ReadWrite, Untouched };
+
 /// One item of a map clause: a host address range and its map type.
 struct MapItem {
   const void* host = nullptr;
   std::size_t size = 0;
   MapType type = MapType::ToFrom;
+  AccessMode access = AccessMode::Unknown;
 };
+
+/// The transfer set the runtime actually honors once inference is
+/// applied: downgrades are relaxations only (never add a transfer).
+/// With `infer` false the declared type is returned unchanged — that is
+/// the whole OMPI_MAPINFER=off path.
+inline MapType effective_map_type(const MapItem& item, bool infer) {
+  if (!infer) return item.type;
+  switch (item.access) {
+    case AccessMode::ReadOnly:
+      return item.type == MapType::ToFrom ? MapType::To : item.type;
+    case AccessMode::WriteOnly:
+      if (item.type == MapType::ToFrom) return MapType::From;
+      if (item.type == MapType::To) return MapType::Alloc;
+      return item.type;
+    case AccessMode::Untouched:
+      return MapType::Alloc;
+    case AccessMode::ReadWrite:
+    case AccessMode::Unknown:
+      break;
+  }
+  return item.type;
+}
+
+/// True when the kernel may write through the mapping `item` describes —
+/// the dependence/ownership test the offload queue and the scheduler
+/// share. Inference refines a declared tofrom whose body only reads into
+/// a reader, which is what enables read-only replication.
+inline bool map_item_writes(const MapItem& item, bool infer) {
+  if (infer && (item.access == AccessMode::ReadOnly ||
+                item.access == AccessMode::Untouched))
+    return false;
+  return item.type != MapType::To;
+}
+
+/// True when the task may write the DEVICE copy of the mapping — the
+/// exclusivity test behind read-only replication. The declared transfer
+/// direction says nothing about kernel writes (a `map(to:)` buffer is
+/// routinely written on device and read back later), so without an
+/// inferred read-only/untouched annotation the answer is a conservative
+/// yes.
+inline bool map_item_device_writes(const MapItem& item, bool infer) {
+  return !(infer && (item.access == AccessMode::ReadOnly ||
+                     item.access == AccessMode::Untouched));
+}
 
 /// Error in the user's mapping discipline (unmapping something never
 /// mapped, updating an absent variable, overlapping ranges).
@@ -111,6 +161,11 @@ class DataEnv {
   DataEnv(const DataEnv&) = delete;
   DataEnv& operator=(const DataEnv&) = delete;
 
+  /// Honor inferred access modes when deciding transfers (OMPI_MAPINFER).
+  /// Items at AccessMode::Unknown always behave as declared.
+  void set_infer(bool enabled) { infer_ = enabled; }
+  bool infer() const { return infer_; }
+
   /// Maps one item (enter semantics). Returns the device address
   /// corresponding to item.host.
   uint64_t map(const MapItem& item);
@@ -196,6 +251,7 @@ class DataEnv {
   void release_storage(uintptr_t base, const Mapping& m);
 
   MapBackend* backend_;
+  bool infer_ = true;
   std::map<uintptr_t, Mapping> table_;  // keyed by host base address
   std::size_t mapped_bytes_ = 0;
   // Fresh-map count per base address over the environment's lifetime;

@@ -104,6 +104,12 @@ struct OffloadStats {
   uint64_t graph_replays = 0;     // chains re-submitted from a graph
   uint64_t transfers_elided = 0;  // H2D/D2H copies removed by replay
   uint64_t graph_cache_evictions = 0;  // captures dropped by the LRU bound
+  // Map-inference activity (DESIGN.md §5i): declared map types relaxed
+  // by the compiler's use/def analysis. `replicated_envs` is chain-level
+  // (scheduler read-only broadcasts, folded into totals() only).
+  uint64_t maps_downgraded = 0;  // tofrom -> to/from (one transfer pruned)
+  uint64_t maps_elided = 0;      // untouched maps demoted to alloc
+  uint64_t replicated_envs = 0;  // read-only envs broadcast to peers
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }

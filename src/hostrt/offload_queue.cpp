@@ -171,15 +171,40 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   r.stats.zero_copy_bytes =
       alloc_after.zero_copy_bytes - alloc_before.zero_copy_bytes;
 
+  // Map-inference accounting: transfers the inferred access mode pruned
+  // from the declared map types (DESIGN.md §5i).
+  for (const MapItem& m : maps) {
+    MapType eff = effective_map_type(m, env_->infer());
+    if (eff == m.type) continue;
+    if (m.access == AccessMode::Untouched)
+      ++r.stats.maps_elided;
+    else
+      ++r.stats.maps_downgraded;
+  }
+
   // Record the task's accesses for later edges and quiesce(): map items,
   // mapped kernel arguments and explicit depend items. Anything the
   // kernel may write replaces the writer event and clears the readers.
+  // Inference refines declared-tofrom read-only items into readers, so a
+  // chain of consumers of the same buffer no longer serializes on it.
   std::map<const void*, bool> accesses;  // addr -> writes
   for (const MapItem& m : maps)
-    accesses[m.host] |= m.type != MapType::To;
-  for (const KernelArg& a : spec.args)
-    if (a.kind == KernelArg::Kind::MappedPtr)
-      accesses[a.host_ptr] |= true;  // conservatively read-write
+    accesses[m.host] |= map_item_writes(m, env_->infer());
+  for (const KernelArg& a : spec.args) {
+    if (a.kind != KernelArg::Kind::MappedPtr) continue;
+    // Conservatively read-write unless the covering map item says the
+    // kernel only reads the range.
+    bool writes = true;
+    auto arg_addr = reinterpret_cast<uintptr_t>(a.host_ptr);
+    for (const MapItem& m : maps) {
+      auto base = reinterpret_cast<uintptr_t>(m.host);
+      if (arg_addr >= base && arg_addr < base + m.size) {
+        writes = map_item_device_writes(m, env_->infer());
+        break;
+      }
+    }
+    accesses[a.host_ptr] |= writes;
+  }
   for (const DependItem& d : depends)
     accesses[d.addr] |= d.kind != DependKind::In;
   for (const auto& [addr, writes] : accesses) {
@@ -208,6 +233,8 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   totals_.red_warp_combines += r.stats.red_warp_combines;
   totals_.red_smem_combines += r.stats.red_smem_combines;
   totals_.red_global_atomics += r.stats.red_global_atomics;
+  totals_.maps_downgraded += r.stats.maps_downgraded;
+  totals_.maps_elided += r.stats.maps_elided;
 
   index_[r.id] = records_.size();
   records_.push_back(std::move(r));
@@ -275,6 +302,8 @@ void OffloadQueue::note_graph_replay(uint64_t elided) {
 void OffloadQueue::note_graph_evictions(uint64_t count) {
   totals_.graph_cache_evictions += count;
 }
+
+void OffloadQueue::note_replication() { ++totals_.replicated_envs; }
 
 void OffloadQueue::quiesce(const void* host) {
   auto it = table_.find(host);

@@ -132,6 +132,9 @@ class OffloadQueue {
   void note_graph_replay(uint64_t elided);
   /// Captures dropped by the graph cache's LRU bound since last noted.
   void note_graph_evictions(uint64_t count);
+  /// One read-only environment broadcast to this queue's device by the
+  /// scheduler instead of migrating it (DESIGN.md §5i).
+  void note_replication();
 
   const TaskRecord& record(TaskId id) const;
   const std::vector<TaskRecord>& records() const { return records_; }

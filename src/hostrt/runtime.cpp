@@ -69,6 +69,18 @@ ZeroCopyMode parse_env_zerocopy(const char* name, const char* value) {
                            "' is invalid: expected 'auto', 'on' or 'off'");
 }
 
+// Pending map-inference mode for the next runtime; -1 = unset
+// (OMPI_MAPINFER).
+int g_mapinfer = -1;
+
+bool parse_env_mapinfer(const char* name, const char* value) {
+  std::string v = value;
+  if (v == "auto") return true;
+  if (v == "off") return false;
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected 'auto' or 'off'");
+}
+
 const char* zerocopy_name(ZeroCopyMode m) {
   switch (m) {
     case ZeroCopyMode::Auto: return "auto";
@@ -111,6 +123,7 @@ void Runtime::reset() {
   g_profiles.clear();
   g_graph_mode = -1;
   g_zerocopy_mode = -1;
+  g_mapinfer = -1;
 }
 
 void Runtime::set_graph_mode(GraphMode mode) {
@@ -120,6 +133,8 @@ void Runtime::set_graph_mode(GraphMode mode) {
 void Runtime::set_zerocopy_mode(ZeroCopyMode mode) {
   g_zerocopy_mode = static_cast<int>(mode);
 }
+
+void Runtime::set_mapinfer(bool enabled) { g_mapinfer = enabled ? 1 : 0; }
 
 void Runtime::set_num_devices(int n) {
   if (n < 1 || n > kMaxDevices)
@@ -226,6 +241,15 @@ Runtime::Runtime() {
     zerocopy_mode_ = parse_env_zerocopy("OMPI_ZEROCOPY", v);
   }
 
+  // Map inference: a programmatic setting wins, else OMPI_MAPINFER
+  // (strict). Seeds every data environment below and the scheduler's
+  // read-only replication; `off` moves exactly the declared map types.
+  if (g_mapinfer >= 0) {
+    map_infer_ = g_mapinfer != 0;
+  } else if (const char* v = std::getenv("OMPI_MAPINFER")) {
+    map_infer_ = parse_env_mapinfer("OMPI_MAPINFER", v);
+  }
+
   // Application startup: boot the board and discover all devices,
   // creating the module its profile asks for on every ordinal. One
   // module instance per ordinal: each owns its own device's context.
@@ -242,6 +266,7 @@ Runtime::Runtime() {
       s.module = std::move(m);
     }
     s.env = std::make_unique<DataEnv>(*s.module);
+    s.env->set_infer(map_infer_);
     slots_.push_back(std::move(s));
   }
   device_count_ = static_cast<int>(slots_.size());
@@ -273,6 +298,9 @@ WorkStealingScheduler& Runtime::scheduler() {
       queues.push_back(slot(i).queue.get());
     }
     scheduler_ = std::make_unique<WorkStealingScheduler>(std::move(queues));
+    // Read-only replication only helps when the access annotations are
+    // honored; with inference off the parity baseline migrates instead.
+    scheduler_->set_replication(map_infer_);
   }
   return *scheduler_;
 }

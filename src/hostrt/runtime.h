@@ -72,6 +72,16 @@ class Runtime {
   static void set_zerocopy_mode(ZeroCopyMode mode);
   ZeroCopyMode zerocopy_mode() const { return zerocopy_mode_; }
 
+  // --- compiler map inference (DESIGN.md §5i) ---------------------------
+  /// Whether subsequently created runtimes honor the compiler's inferred
+  /// access annotations (the OMPI_MAPINFER environment variable —
+  /// strictly `auto` or `off` — seeds the initial value). On (`auto`),
+  /// every data environment downgrades declared tofrom maps per the
+  /// annotation and the scheduler replicates read-only environments; off
+  /// moves exactly the declared map types — the parity baseline.
+  static void set_mapinfer(bool enabled);
+  bool map_infer() const { return map_infer_; }
+
   Runtime();
   ~Runtime() = default;
   Runtime(const Runtime&) = delete;
@@ -181,6 +191,7 @@ class Runtime {
   bool schedule_auto_ = false;
   GraphMode graph_mode_ = GraphMode::Off;
   ZeroCopyMode zerocopy_mode_ = ZeroCopyMode::Auto;
+  bool map_infer_ = true;
   GraphTrace pending_;      // deferred nodes of the open sync window
   GraphCache graph_cache_;  // baked graphs, keyed by trace shape
   // Declared after slots_: destroyed first, so migration streams drain

@@ -80,10 +80,13 @@ double WorkStealingScheduler::transfer_estimate(
       s += costs.host_register_overhead_s;
       continue;
     }
-    if (m.type == MapType::To || m.type == MapType::ToFrom)
+    // Price the transfers the runtime will actually issue: inferred
+    // access modes may have pruned a direction (DESIGN.md §5i).
+    MapType mt = effective_map_type(m, infer());
+    if (mt == MapType::To || mt == MapType::ToFrom)
       s += costs.memcpy_overhead_s +
            static_cast<double>(m.size) / costs.memcpy_bandwidth;
-    if (m.type == MapType::From || m.type == MapType::ToFrom)
+    if (mt == MapType::From || mt == MapType::ToFrom)
       s += costs.memcpy_overhead_s +
            static_cast<double>(m.size) / costs.memcpy_bandwidth;
   }
@@ -114,31 +117,48 @@ cudadrv::CUstream WorkStealingScheduler::migration_stream(int dev) {
 
 std::map<const void*, bool> WorkStealingScheduler::accesses_of(
     const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
-    const std::vector<DependItem>& depends) {
+    const std::vector<DependItem>& depends) const {
   std::map<const void*, bool> accesses;
-  for (const MapItem& m : maps) accesses[m.host] |= m.type != MapType::To;
-  for (const KernelArg& a : spec.args)
-    if (a.kind == KernelArg::Kind::MappedPtr) accesses[a.host_ptr] |= true;
+  for (const MapItem& m : maps)
+    accesses[m.host] |= map_item_writes(m, infer());
+  for (const KernelArg& a : spec.args) {
+    if (a.kind != KernelArg::Kind::MappedPtr) continue;
+    bool writes = true;
+    auto arg_addr = reinterpret_cast<uintptr_t>(a.host_ptr);
+    for (const MapItem& m : maps) {
+      auto base = reinterpret_cast<uintptr_t>(m.host);
+      if (arg_addr >= base && arg_addr < base + m.size) {
+        writes = map_item_device_writes(m, infer());
+        break;
+      }
+    }
+    accesses[a.host_ptr] |= writes;
+  }
   for (const DependItem& d : depends)
     accesses[d.addr] |= d.kind != DependKind::In;
   return accesses;
 }
 
-std::vector<const void*> WorkStealingScheduler::foreign_residents(
-    const std::vector<MapItem>& maps, int dev) const {
-  std::vector<const void*> bases;
+std::vector<std::pair<uintptr_t, bool>>
+WorkStealingScheduler::touched_residents(
+    const std::vector<MapItem>& maps) const {
+  std::vector<std::pair<uintptr_t, bool>> touched;
   for (const MapItem& m : maps) {
     auto addr = reinterpret_cast<uintptr_t>(m.host);
     auto it = residency_.upper_bound(addr);
     if (it == residency_.begin()) continue;
     --it;
     if (addr >= it->first + it->second.size) continue;
-    if (it->second.dev == dev) continue;
-    const void* base = reinterpret_cast<const void*>(it->first);
-    if (std::find(bases.begin(), bases.end(), base) == bases.end())
-      bases.push_back(base);
+    bool writes = map_item_device_writes(m, infer());
+    auto found =
+        std::find_if(touched.begin(), touched.end(),
+                     [&](const auto& p) { return p.first == it->first; });
+    if (found == touched.end())
+      touched.emplace_back(it->first, writes);
+    else
+      found->second |= writes;
   }
-  return bases;
+  return touched;
 }
 
 std::size_t WorkStealingScheduler::resident_bytes_on(
@@ -151,7 +171,8 @@ std::size_t WorkStealingScheduler::resident_bytes_on(
     if (it == residency_.begin()) continue;
     --it;
     if (addr >= it->first + it->second.size) continue;
-    if (it->second.dev != dev) continue;
+    // A replica counts as locality too: the bytes are on `dev`.
+    if (!it->second.on(dev)) continue;
     if (std::find(seen.begin(), seen.end(), it->first) != seen.end()) continue;
     seen.push_back(it->first);
     total += it->second.size;
@@ -207,8 +228,10 @@ cudadrv::CUevent WorkStealingScheduler::migrate(const void* base, int dev) {
   // The victim's storage goes back to its allocator. The bytes are
   // already correct everywhere (eager data execution); returning the
   // block early is a modeled-time approximation only (DESIGN.md §5d).
+  // A migrating task may write, so stale replicas are dropped too.
+  invalidate_replicas(lo);
   vq.env().evict(whole.host);
-  residency_[lo] = {whole.size, dev};
+  residency_[lo] = {whole.size, dev, {}};
 
   stats_.peer_copies += 1;
   stats_.migrated_bytes += whole.size;
@@ -217,6 +240,71 @@ cudadrv::CUevent WorkStealingScheduler::migrate(const void* base, int dev) {
   check("cuEventCreate", cudadrv::cuEventCreate(&moved, 0));
   check("cuEventRecord", cudadrv::cuEventRecord(moved, mig));
   return moved;
+}
+
+cudadrv::CUevent WorkStealingScheduler::replicate(const void* base, int dev) {
+  auto lo = reinterpret_cast<uintptr_t>(base);
+  Resident& res = residency_.find(lo)->second;
+  OffloadQueue& pq = *queues_[static_cast<std::size_t>(res.dev)];
+  OffloadQueue& tq = *queues_[static_cast<std::size_t>(dev)];
+
+  MapItem whole;
+  int refcount = 0;
+  if (!pq.env().mapping_info(base, &whole, &refcount))
+    throw std::runtime_error("scheduler: residency table out of sync");
+  uint64_t src = pq.env().lookup(whole.host);
+
+  tq.module().make_current();
+  uint64_t dst = tq.env().adopt(whole, refcount);
+
+  // The broadcast reads the primary copy: it must not start before every
+  // queued writer of the mapping has finished. Readers don't disturb the
+  // bytes, so they impose no ordering.
+  cudadrv::CUstream mig = migration_stream(dev);
+  for (const auto& [addr, acc] : table_) {
+    auto a = reinterpret_cast<uintptr_t>(addr);
+    if (a < lo || a >= lo + whole.size) continue;
+    if (acc.writer.event)
+      check("cuStreamWaitEvent",
+            cudadrv::cuStreamWaitEvent(mig, acc.writer.event, 0));
+  }
+
+  check("cuMemcpyPeerAsync",
+        cudadrv::cuMemcpyPeerAsync(dst, tq.module().device(), src,
+                                   pq.module().device(), whole.size, mig));
+
+  res.replicas.push_back(dev);
+  stats_.peer_copies += 1;
+  stats_.replications += 1;
+  stats_.replicated_bytes += whole.size;
+  tq.note_replication();
+
+  cudadrv::CUevent copied = nullptr;
+  check("cuEventCreate", cudadrv::cuEventCreate(&copied, 0));
+  check("cuEventRecord", cudadrv::cuEventRecord(copied, mig));
+  return copied;
+}
+
+void WorkStealingScheduler::invalidate_replicas(uintptr_t base) {
+  auto it = residency_.find(base);
+  if (it == residency_.end()) return;
+  // Freeing a replica while earlier readers are still queued on it is
+  // the same modeled-time approximation migrate() makes: data executes
+  // eagerly, so the bytes were consumed at enqueue time.
+  for (int d : it->second.replicas)
+    queues_[static_cast<std::size_t>(d)]->env().evict(
+        reinterpret_cast<const void*>(base));
+  it->second.replicas.clear();
+}
+
+void WorkStealingScheduler::promote_replica(uintptr_t base, int chosen) {
+  Resident& res = residency_.find(base)->second;
+  const void* host = reinterpret_cast<const void*>(base);
+  queues_[static_cast<std::size_t>(res.dev)]->env().evict(host);
+  for (int d : res.replicas)
+    if (d != chosen) queues_[static_cast<std::size_t>(d)]->env().evict(host);
+  res.replicas.clear();
+  res.dev = chosen;
 }
 
 TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
@@ -274,18 +362,25 @@ TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
     auto it = kernel_work_.find(spec.kernel_name);
     if (it != kernel_work_.end()) work = it->second;
   }
+  std::vector<std::pair<uintptr_t, bool>> touched = touched_residents(maps);
   for (int d = 0; d < device_count(); ++d) {
     OffloadQueue& q = *queues_[static_cast<std::size_t>(d)];
     const jetsim::DriverCosts& d_costs =
         cudadrv::cuSimDriverCosts(q.module().device());
     double mig_s = 0;
-    for (const void* base : foreign_residents(maps, d)) {
-      auto it = residency_.find(reinterpret_cast<uintptr_t>(base));
+    for (const auto& [base, writes] : touched) {
+      const Resident& res = residency_.find(base)->second;
+      // Bytes already on the candidate (primary or replica): free.
+      // Replica promotion and invalidation move no bytes either.
+      if (res.on(d)) continue;
       const jetsim::DriverCosts& v_costs = cudadrv::cuSimDriverCosts(
-          queues_[static_cast<std::size_t>(it->second.dev)]
-              ->module()
-              .device());
-      mig_s += jetsim::peer_copy_seconds(v_costs, d_costs, it->second.size);
+          queues_[static_cast<std::size_t>(res.dev)]->module().device());
+      if (!writes && replication_)
+        // A read-only replication is priced as a one-time broadcast
+        // (overhead paid once, one payload leg per destination).
+        mig_s += jetsim::broadcast_seconds(v_costs, {&d_costs}, res.size);
+      else
+        mig_s += jetsim::peer_copy_seconds(v_costs, d_costs, res.size);
     }
     double start = std::max({q.earliest_free(), now, dep_ready});
     double cost = start + mig_s;
@@ -330,13 +425,33 @@ TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
   if (home_bytes == 0 && pred_dev >= 0) home = pred_dev;
   if (chosen != home) stats_.steals += 1;
 
-  // Data-environment migration: persistent mappings the task needs that
-  // live on another device move over the peer link first.
-  std::vector<const void*> moving = foreign_residents(maps, chosen);
-  if (!moving.empty()) {
-    stats_.migrations += 1;
-    for (const void* base : moving) opts.waits.push_back(migrate(base, chosen));
+  // Data-environment placement: a writer needs an exclusive copy on the
+  // chosen device (promote a replica, invalidate the rest, or migrate);
+  // a reader reuses any present copy, else replicates — the primary
+  // stays put and only a broadcast copy crosses the peer link.
+  bool migrated = false;
+  for (const auto& [base, writes] : touched) {
+    Resident& res = residency_.find(base)->second;
+    const void* host = reinterpret_cast<const void*>(base);
+    if (writes) {
+      if (res.dev == chosen) {
+        invalidate_replicas(base);
+      } else if (res.on(chosen)) {
+        promote_replica(base, chosen);
+      } else {
+        opts.waits.push_back(migrate(host, chosen));
+        migrated = true;
+      }
+    } else if (!res.on(chosen)) {
+      if (replication_) {
+        opts.waits.push_back(replicate(host, chosen));
+      } else {
+        opts.waits.push_back(migrate(host, chosen));
+        migrated = true;
+      }
+    }
   }
+  if (migrated) stats_.migrations += 1;
 
   // The chosen device's clock carries the host-side enqueue work (module
   // load, parameter prep); the single host thread is at host_now().
@@ -431,9 +546,16 @@ int WorkStealingScheduler::enter_data(const std::vector<MapItem>& maps) {
   q.env().map_batch(maps);
   for (const MapItem& m : maps) {
     MapItem whole;
-    if (q.env().mapping_info(m.host, &whole, nullptr))
-      residency_[reinterpret_cast<uintptr_t>(whole.host)] = {whole.size,
-                                                             chosen};
+    if (!q.env().mapping_info(m.host, &whole, nullptr)) continue;
+    auto key = reinterpret_cast<uintptr_t>(whole.host);
+    auto it = residency_.find(key);
+    if (it != residency_.end()) {
+      // Re-entering an already-placed range: keep its replica set alive.
+      it->second.size = whole.size;
+      it->second.dev = chosen;
+    } else {
+      residency_[key] = {whole.size, chosen, {}};
+    }
   }
   align_clocks();
   return chosen;
@@ -454,6 +576,9 @@ void WorkStealingScheduler::exit_data(const std::vector<MapItem>& maps) {
     if (q.env().mapping_info(m.host, &whole, nullptr))
       bases.push_back(reinterpret_cast<uintptr_t>(whole.host));
   }
+  // Replica copies never copy back (the primary holds the refcount and
+  // the authoritative bytes — replicas are read-only by construction).
+  for (uintptr_t b : bases) invalidate_replicas(b);
   q.env().unmap_batch(maps);
   for (uintptr_t b : bases)
     if (!q.env().is_present(reinterpret_cast<const void*>(b)))
@@ -469,6 +594,11 @@ void WorkStealingScheduler::update_to(const void* host, std::size_t size) {
   OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
   sim(dev).sync_to(host_now());
   q.module().make_current();
+  // The host refresh lands on the primary; any broadcast copies are now
+  // stale and must be dropped.
+  MapItem whole;
+  if (q.env().mapping_info(host, &whole, nullptr))
+    invalidate_replicas(reinterpret_cast<uintptr_t>(whole.host));
   q.env().update_to(host, size);
   align_clocks();
 }

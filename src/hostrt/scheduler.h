@@ -30,6 +30,10 @@ struct StealStats {
   std::size_t migrations = 0;   // tasks that moved >=1 resident mapping
   std::size_t peer_copies = 0;  // cuMemcpyPeerAsync transfers issued
   std::size_t migrated_bytes = 0;
+  // Read-only replication (DESIGN.md §5i): environments broadcast to a
+  // second device instead of ping-pong migrating them.
+  std::size_t replications = 0;
+  std::size_t replicated_bytes = 0;
 };
 
 class WorkStealingScheduler {
@@ -89,6 +93,15 @@ class WorkStealingScheduler {
   void set_profile_aware(bool enabled) { profile_aware_ = enabled; }
   bool profile_aware() const { return profile_aware_; }
 
+  // --- read-only replication (DESIGN.md §5i) ----------------------------
+  /// When enabled (the default; the runtime ties it to OMPI_MAPINFER), a
+  /// task that only READS a persistent mapping resident on another
+  /// device gets a broadcast copy of it — the primary stays put — so
+  /// producer/consumer chains on two devices stop ping-pong migrating
+  /// shared inputs. Any write invalidates the replicas again.
+  void set_replication(bool enabled) { replication_ = enabled; }
+  bool replication() const { return replication_; }
+
   /// Modeled-time comparison with a relative epsilon (absolute floor
   /// 1e-12 s): two candidate costs that differ only by accumulated
   /// floating-point noise compare equal, so ties fall through to the
@@ -117,28 +130,56 @@ class WorkStealingScheduler {
     std::vector<Ev> readers;
   };
 
-  // One persistent mapping the scheduler knows the location of.
+  // One persistent mapping the scheduler knows the location of. The
+  // primary (`dev`) owns the refcount truth; `replicas` hold read-only
+  // broadcast copies that writes invalidate.
   struct Resident {
     std::size_t size = 0;
     int dev = -1;
+    std::vector<int> replicas;
+
+    bool on(int d) const {
+      if (dev == d) return true;
+      for (int r : replicas)
+        if (r == d) return true;
+      return false;
+    }
   };
 
   // addr -> writes, in deterministic order (same extraction rule as the
-  // queue's local table: map items write unless To, mapped kernel args
-  // are conservatively read-write, depend items write unless In).
-  static std::map<const void*, bool> accesses_of(
+  // queue's local table: map items write per map_item_writes(), mapped
+  // kernel args default to read-write unless their covering map item
+  // says read-only, depend items write unless In).
+  std::map<const void*, bool> accesses_of(
       const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
-      const std::vector<DependItem>& depends);
+      const std::vector<DependItem>& depends) const;
 
-  // Distinct resident mappings among `maps` NOT on `dev`, by base.
-  std::vector<const void*> foreign_residents(const std::vector<MapItem>& maps,
-                                             int dev) const;
+  // Distinct resident mappings `maps` touches, with whether the task
+  // writes them (by base address, deterministic order).
+  std::vector<std::pair<uintptr_t, bool>> touched_residents(
+      const std::vector<MapItem>& maps) const;
   std::size_t resident_bytes_on(const std::vector<MapItem>& maps,
                                 int dev) const;
 
   // Moves the mapping containing `base` to `dev` with a peer copy on the
-  // migration stream; returns the transfer's completion event.
+  // migration stream; returns the transfer's completion event. Any
+  // replicas are dropped (the mover may write).
   cudadrv::CUevent migrate(const void* base, int dev);
+
+  // Broadcasts the mapping containing `base` to `dev` without disturbing
+  // the primary; returns the transfer's completion event.
+  cudadrv::CUevent replicate(const void* base, int dev);
+
+  // Frees every replica copy of `base` (writes make them stale).
+  void invalidate_replicas(uintptr_t base);
+
+  // `chosen` holds a replica and is about to write: the replica becomes
+  // the primary, every other copy is freed. No peer traffic.
+  void promote_replica(uintptr_t base, int chosen);
+
+  /// Inferred-access refinement follows the data environments' setting
+  /// (the runtime seeds every env from OMPI_MAPINFER).
+  bool infer() const { return queues_[0]->env().infer(); }
 
   cudadrv::CUstream migration_stream(int dev);
   jetsim::Device& sim(int dev) const;
@@ -160,6 +201,7 @@ class WorkStealingScheduler {
   // exec time x the executing device's speed); feeds exec estimates.
   std::map<std::string, double> kernel_work_;
   bool profile_aware_ = true;
+  bool replication_ = true;
   StealStats stats_;
 };
 

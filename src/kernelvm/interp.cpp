@@ -13,6 +13,7 @@ namespace kernelvm {
 using ompi::BinOp;
 using ompi::OmpClause;
 using ompi::OmpDir;
+using ompi::OmpAccess;
 using ompi::OmpMapItem;
 using ompi::OmpMapType;
 using ompi::UnOp;
@@ -42,6 +43,17 @@ hostrt::MapType to_hostrt(OmpMapType t) {
     case OmpMapType::ToFrom: return hostrt::MapType::ToFrom;
   }
   return hostrt::MapType::ToFrom;
+}
+
+hostrt::AccessMode to_hostrt(OmpAccess a) {
+  switch (a) {
+    case OmpAccess::Unknown: return hostrt::AccessMode::Unknown;
+    case OmpAccess::ReadOnly: return hostrt::AccessMode::ReadOnly;
+    case OmpAccess::WriteOnly: return hostrt::AccessMode::WriteOnly;
+    case OmpAccess::ReadWrite: return hostrt::AccessMode::ReadWrite;
+    case OmpAccess::Untouched: return hostrt::AccessMode::Untouched;
+  }
+  return hostrt::AccessMode::Unknown;
 }
 
 }  // namespace
@@ -257,6 +269,7 @@ std::vector<MapEval> Interp::eval_maps(const Stmt* s, Env& env) {
     if (!b) throw VmError("map item '" + m.name + "' is not in scope");
     MapEval me;
     me.item.type = to_hostrt(m.map_type);
+    me.item.access = to_hostrt(m.access);
     if (b->type->kind == Type::Kind::Array ||
         b->type->kind == Type::Kind::Ptr) {
       const Type* elem = b->type->elem;

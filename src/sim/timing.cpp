@@ -20,6 +20,21 @@ double peer_copy_seconds(const DriverCosts& src, const DriverCosts& dst,
              std::min(src.memcpy_peer_bandwidth, dst.memcpy_peer_bandwidth);
 }
 
+double broadcast_seconds(const DriverCosts& src,
+                         const std::vector<const DriverCosts*>& dsts,
+                         std::size_t bytes) {
+  // The source driver sets the transfer up once; every destination does
+  // its side concurrently, so the slowest endpoint gates the start.
+  double overhead = src.memcpy_peer_overhead_s;
+  double payload = 0;
+  for (const DriverCosts* dst : dsts) {
+    overhead = std::max(overhead, dst->memcpy_peer_overhead_s);
+    payload += static_cast<double>(bytes) /
+               std::min(src.memcpy_peer_bandwidth, dst->memcpy_peer_bandwidth);
+  }
+  return overhead + payload;
+}
+
 int TimingModel::occupancy_blocks(unsigned threads_per_block,
                                   std::size_t shared_mem_per_block) const {
   if (threads_per_block == 0) return 1;

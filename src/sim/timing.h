@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/device_props.h"
 #include "sim/types.h"
@@ -107,6 +108,14 @@ double peer_copy_seconds(const DriverCosts& costs, std::size_t bytes);
 /// Heterogeneous peer link: the copy pays the larger of the two
 /// endpoints' setup overheads and moves at the slower endpoint's rate.
 double peer_copy_seconds(const DriverCosts& src, const DriverCosts& dst,
+                         std::size_t bytes);
+
+/// One-time broadcast of `bytes` from `src` to every destination: the
+/// setup overhead is paid once (the slowest endpoint gates the start),
+/// then one payload leg per destination at that pair's link rate. With a
+/// single destination this equals peer_copy_seconds(src, dst, bytes).
+double broadcast_seconds(const DriverCosts& src,
+                         const std::vector<const DriverCosts*>& dsts,
                          std::size_t bytes);
 
 /// Aggregated accounting for one block after it retires.

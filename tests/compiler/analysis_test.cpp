@@ -1,0 +1,243 @@
+// Use/def map inference (DESIGN.md §5i): the access classifier behind
+// the automatic tofrom downgrade. Tests drive the full pipeline and
+// inspect the access annotation left on kernel params and map-clause
+// items — the declared map_type must never be mutated.
+#include "compiler/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/compiler.h"
+
+namespace ompi {
+namespace {
+
+struct Compiled {
+  Arena arena;
+  CompileOutput out;
+};
+
+std::unique_ptr<Compiled> compile_src(std::string_view src,
+                                      CompileOptions opts = {}) {
+  auto c = std::make_unique<Compiled>();
+  c->out = compile(src, opts, c->arena);
+  return c;
+}
+
+// Access annotation of kernel param `name` of the first kernel.
+OmpAccess param_access(const CompileOutput& out, const std::string& name) {
+  for (const KernelParam& p : out.kernels.at(0).params)
+    if (p.name == name) return p.map.access;
+  ADD_FAILURE() << "no kernel param named " << name;
+  return OmpAccess::Unknown;
+}
+
+TEST(Analysis, SaxpyClassifiesInputsAndOutput) {
+  auto c = compile_src(R"(
+    void saxpy(float a, float x[], float y[], int size) {
+      #pragma omp target map(to: a, size, x[0:size]) map(tofrom: y[0:size])
+      {
+        #pragma omp parallel for
+        for (int i = 0; i < size; i++)
+          y[i] = a * x[i] + y[i];
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "a"), OmpAccess::ReadOnly);
+  EXPECT_EQ(param_access(c->out, "x"), OmpAccess::ReadOnly);
+  EXPECT_EQ(param_access(c->out, "size"), OmpAccess::ReadOnly);
+  // y is read and written: the declared tofrom stays a tofrom.
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::ReadWrite);
+  const KernelParam* y = nullptr;
+  for (const KernelParam& p : c->out.kernels[0].params)
+    if (p.name == "y") y = &p;
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->map.map_type, OmpMapType::ToFrom);  // declared type intact
+  EXPECT_EQ(effective_map_type(y->map), OmpMapType::ToFrom);
+}
+
+TEST(Analysis, WriteOnlyOutputDowngradesToFrom) {
+  auto c = compile_src(R"(
+    void copy(float x[], float y[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] = x[i];
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::WriteOnly);
+  const KernelParam* y = nullptr;
+  for (const KernelParam& p : c->out.kernels[0].params)
+    if (p.name == "y") y = &p;
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->map.map_type, OmpMapType::ToFrom);
+  EXPECT_EQ(effective_map_type(y->map), OmpMapType::From);  // upload pruned
+}
+
+TEST(Analysis, ConditionalWriteStaysReadWrite) {
+  // A guarded write may leave part of the section untouched; copying a
+  // partially-written device buffer back without the initial upload
+  // would return garbage, so the declared tofrom must survive.
+  auto c = compile_src(R"(
+    void clamp(float x[], float y[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        if (x[i] > 0.0f) y[i] = 0.0f;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::ReadWrite);
+}
+
+TEST(Analysis, CompoundAssignmentReadsAndWrites) {
+  auto c = compile_src(R"(
+    void bump(float y[], int n) {
+      #pragma omp target teams distribute parallel for map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] += 1.0f;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::ReadWrite);
+}
+
+TEST(Analysis, ReductionListItemIsReadWrite) {
+  // Reduction items are initialized and combined by the runtime: even
+  // though the body looks write-ish, the item must stay read-write.
+  auto c = compile_src(R"(
+    void total(float x[], int n, float s) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s) reduction(+: s)
+      for (int i = 0; i < n; i++)
+        s += x[i];
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "s"), OmpAccess::ReadWrite);
+}
+
+TEST(Analysis, UntouchedMapWarnsAndElides) {
+  auto c = compile_src(R"(
+    void f(float y[], float z[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) map(tofrom: z[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] = 1.0f;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  // z never appears in the body: the clause item is annotated untouched
+  // (effective alloc — no transfer either way) and the front end says so.
+  const OmpMapItem* z = nullptr;
+  const Stmt* target = c->out.unit->functions[0]->body->body[0];
+  for (const OmpClause& cl : target->omp_clauses)
+    for (const OmpMapItem& m : cl.items)
+      if (m.name == "z") z = &m;
+  ASSERT_NE(z, nullptr);
+  EXPECT_EQ(z->access, OmpAccess::Untouched);
+  EXPECT_EQ(z->map_type, OmpMapType::ToFrom);
+  EXPECT_EQ(effective_map_type(*z), OmpMapType::Alloc);
+  EXPECT_NE(c->out.diagnostics.find("-Wunused-map"), std::string::npos);
+  EXPECT_NE(c->out.diagnostics.find("'z'"), std::string::npos);
+}
+
+TEST(Analysis, ShadowedNameDoesNotCountAgainstMappedVar) {
+  // The body declares its own t: accesses bind to the local decl, so
+  // the mapped t is untouched (classification is per-decl, not by name).
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      int t = 7;
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: y[0:n]) map(tofrom: t)
+      for (int i = 0; i < n; i++) {
+        int t = i;
+        y[i] = t * 2.0f;
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  const Stmt* target = c->out.unit->functions[0]->body->body[1];
+  const OmpMapItem* t = nullptr;
+  for (const OmpClause& cl : target->omp_clauses)
+    for (const OmpMapItem& m : cl.items)
+      if (m.name == "t") t = &m;
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->access, OmpAccess::Untouched);
+  EXPECT_NE(c->out.diagnostics.find("-Wunused-map"), std::string::npos);
+}
+
+TEST(Analysis, EscapedPointerForcesReadWrite) {
+  // Taking the buffer's address (or passing the bare pointer on) makes
+  // every later access invisible to the walker: conservative tofrom.
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      #pragma omp target map(tofrom: y[0:n])
+      {
+        float* p = &y[0];
+        p[0] = 1.0f;
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::ReadWrite);
+}
+
+TEST(Analysis, WriteThenReadIsReadWrite) {
+  // The read of y[0] may see stale device data if the upload is pruned
+  // (another thread's element, a different iteration): read + write.
+  auto c = compile_src(R"(
+    void f(float y[], int n) {
+      #pragma omp target map(tofrom: y[0:n])
+      {
+        #pragma omp parallel for
+        for (int i = 0; i < n; i++)
+          y[i] = 2.0f;
+        float head = y[0];
+        y[0] = head + 1.0f;
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_EQ(param_access(c->out, "y"), OmpAccess::ReadWrite);
+}
+
+TEST(Analysis, MapInferOffLeavesAccessUnknown) {
+  CompileOptions opts;
+  opts.map_infer = false;
+  auto c = compile_src(R"(
+    void copy(float x[], float y[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: y[0:n])
+      for (int i = 0; i < n; i++)
+        y[i] = x[i];
+    })",
+                       opts);
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  // No annotation: every effective type is the declared one.
+  const KernelParam* y = nullptr;
+  for (const KernelParam& p : c->out.kernels[0].params)
+    if (p.name == "y") y = &p;
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->map.access, OmpAccess::Unknown);
+  EXPECT_EQ(effective_map_type(y->map), OmpMapType::ToFrom);
+}
+
+TEST(Analysis, ClassifierLatticeDirectly) {
+  VarAccess a;
+  EXPECT_EQ(a.classify(), OmpAccess::Untouched);
+  a.read = true;
+  EXPECT_EQ(a.classify(), OmpAccess::ReadOnly);
+  a.uncond_write = true;
+  EXPECT_EQ(a.classify(), OmpAccess::ReadWrite);
+  VarAccess w;
+  w.uncond_write = true;
+  EXPECT_EQ(w.classify(), OmpAccess::WriteOnly);
+  VarAccess cw;
+  cw.cond_write = true;  // partial write: must keep the upload
+  EXPECT_EQ(cw.classify(), OmpAccess::ReadWrite);
+  VarAccess esc;
+  esc.escaped = true;
+  EXPECT_EQ(esc.classify(), OmpAccess::ReadWrite);
+  VarAccess red;
+  red.read = true;
+  red.forced_rw = true;
+  EXPECT_EQ(red.classify(), OmpAccess::ReadWrite);
+}
+
+}  // namespace
+}  // namespace ompi

@@ -1,0 +1,301 @@
+// Runtime half of map inference (DESIGN.md §5i): the data environment
+// honors the compiler's access annotations — pruned uploads, pruned
+// copy-backs, elided untouched maps — and OMPI_MAPINFER=off restores
+// the declared transfer set exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "hostrt/cudadev_module.h"
+#include "hostrt/map_env.h"
+#include "hostrt/runtime.h"
+
+namespace hostrt {
+namespace {
+
+/// Host-memory backend that records every transfer for assertions.
+class FakeBackend : public MapBackend {
+ public:
+  uint64_t alloc(std::size_t size) override {
+    auto buf = std::make_unique<std::byte[]>(size);
+    uint64_t addr = next_addr_;
+    next_addr_ += size + 64;
+    storage_[addr] = {std::move(buf), size};
+    ++allocs;
+    return addr;
+  }
+  void free(uint64_t dev_addr) override {
+    ASSERT_TRUE(storage_.count(dev_addr)) << "free of unknown device addr";
+    storage_.erase(dev_addr);
+    ++frees;
+  }
+  void write(uint64_t dev_addr, const void* src, std::size_t size) override {
+    auto [base, slot] = locate(dev_addr, size);
+    std::memcpy(slot, src, size);
+    writes += 1;
+    h2d_bytes += size;
+  }
+  void read(void* dst, uint64_t dev_addr, std::size_t size) override {
+    auto [base, slot] = locate(dev_addr, size);
+    std::memcpy(dst, slot, size);
+    reads += 1;
+    d2h_bytes += size;
+  }
+
+  std::pair<uint64_t, std::byte*> locate(uint64_t addr, std::size_t size) {
+    auto it = storage_.upper_bound(addr);
+    EXPECT_NE(it, storage_.begin());
+    --it;
+    EXPECT_LE(addr + size, it->first + it->second.size);
+    return {it->first, it->second.data.get() + (addr - it->first)};
+  }
+
+  struct Slot {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+  std::map<uint64_t, Slot> storage_;
+  uint64_t next_addr_ = 0x1000;
+  int allocs = 0, frees = 0, writes = 0, reads = 0;
+  std::size_t h2d_bytes = 0, d2h_bytes = 0;
+};
+
+MapItem item_with(const void* host, std::size_t size, MapType type,
+                  AccessMode access) {
+  MapItem m{host, size, type};
+  m.access = access;
+  return m;
+}
+
+TEST(MapInfer, ReadOnlyToFromSkipsCopyBack) {
+  FakeBackend be;
+  DataEnv env(be);
+  ASSERT_TRUE(env.infer());  // on by default
+  std::vector<float> x(16, 3.0f);
+  MapItem m = item_with(x.data(), x.size() * sizeof(float), MapType::ToFrom,
+                        AccessMode::ReadOnly);
+  env.map(m);
+  EXPECT_EQ(be.writes, 1);  // the upload stays (the kernel reads x)
+  env.unmap(m);
+  // Inferred-to: zero D2H traffic for a declared tofrom.
+  EXPECT_EQ(be.reads, 0);
+  EXPECT_EQ(be.d2h_bytes, 0u);
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(MapInfer, WriteOnlyToFromSkipsUpload) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> y(16, 0.0f);
+  MapItem m = item_with(y.data(), y.size() * sizeof(float), MapType::ToFrom,
+                        AccessMode::WriteOnly);
+  uint64_t d = env.map(m);
+  EXPECT_EQ(be.writes, 0);  // inferred-from: no upload
+  EXPECT_EQ(be.h2d_bytes, 0u);
+  float vals[16];
+  for (float& v : vals) v = 5.0f;  // simulate the kernel writing y
+  be.write(d, vals, sizeof vals);
+  be.writes = 0;
+  env.unmap(m);
+  EXPECT_EQ(be.reads, 1);  // the copy-back stays
+  for (float v : y) EXPECT_EQ(v, 5.0f);
+}
+
+TEST(MapInfer, UntouchedMapMovesNothing) {
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> z(16, 1.0f);
+  MapItem m = item_with(z.data(), z.size() * sizeof(float), MapType::ToFrom,
+                        AccessMode::Untouched);
+  env.map(m);
+  env.unmap(m);
+  EXPECT_EQ(be.writes, 0);
+  EXPECT_EQ(be.reads, 0);
+  // The environment entry itself still exists while mapped (presence,
+  // refcounts) — only the transfers are gone.
+  EXPECT_EQ(be.allocs, 1);
+  EXPECT_EQ(be.frees, 1);
+}
+
+TEST(MapInfer, WriteOnlyDeclaredToSkipsUpload) {
+  // to + write-only: the kernel overwrites the buffer, so even the
+  // upload is dead (effective alloc).
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> t(8, 2.0f);
+  MapItem m = item_with(t.data(), t.size() * sizeof(float), MapType::To,
+                        AccessMode::WriteOnly);
+  env.map(m);
+  env.unmap(m);
+  EXPECT_EQ(be.writes, 0);
+  EXPECT_EQ(be.reads, 0);
+}
+
+TEST(MapInfer, OffRestoresDeclaredTransfers) {
+  FakeBackend be;
+  DataEnv env(be);
+  env.set_infer(false);  // OMPI_MAPINFER=off
+  std::vector<float> x(16, 3.0f);
+  MapItem m = item_with(x.data(), x.size() * sizeof(float), MapType::ToFrom,
+                        AccessMode::ReadOnly);
+  env.map(m);
+  EXPECT_EQ(be.writes, 1);
+  env.unmap(m);
+  EXPECT_EQ(be.reads, 1);  // declared tofrom: the copy-back happens
+  EXPECT_EQ(be.d2h_bytes, x.size() * sizeof(float));
+}
+
+TEST(MapInfer, UnknownAccessKeepsDeclaredSemantics) {
+  // Hand-built maps (benches, the C API) carry no annotation: nothing
+  // changes for them even with inference on.
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> y(4, 1.0f);
+  MapItem m{y.data(), y.size() * sizeof(float), MapType::ToFrom};
+  ASSERT_EQ(m.access, AccessMode::Unknown);
+  env.map(m);
+  EXPECT_EQ(be.writes, 1);
+  env.unmap(m);
+  EXPECT_EQ(be.reads, 1);
+}
+
+TEST(MapInfer, BatchTransfersFollowEffectiveTypes) {
+  // map_batch/unmap_batch route through the same effective-type logic
+  // as the scalar paths (they build coalescable segment lists).
+  FakeBackend be;
+  DataEnv env(be);
+  std::vector<float> a(8, 1.0f), b(8, 2.0f);
+  std::vector<MapItem> maps = {
+      item_with(a.data(), a.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::ReadOnly),
+      item_with(b.data(), b.size() * sizeof(float), MapType::ToFrom,
+                AccessMode::WriteOnly),
+  };
+  env.map_batch(maps);
+  EXPECT_EQ(be.h2d_bytes, a.size() * sizeof(float));  // only a uploads
+  env.unmap_batch({maps.rbegin(), maps.rend()});
+  EXPECT_EQ(be.d2h_bytes, b.size() * sizeof(float));  // only b copies back
+}
+
+TEST(MapInfer, EffectiveTypeTable) {
+  MapItem m{nullptr, 4, MapType::ToFrom};
+  m.access = AccessMode::ReadOnly;
+  EXPECT_EQ(effective_map_type(m, true), MapType::To);
+  m.access = AccessMode::WriteOnly;
+  EXPECT_EQ(effective_map_type(m, true), MapType::From);
+  m.access = AccessMode::Untouched;
+  EXPECT_EQ(effective_map_type(m, true), MapType::Alloc);
+  m.access = AccessMode::ReadWrite;
+  EXPECT_EQ(effective_map_type(m, true), MapType::ToFrom);
+  m.type = MapType::To;
+  m.access = AccessMode::WriteOnly;
+  EXPECT_EQ(effective_map_type(m, true), MapType::Alloc);
+  // From never loses its copy-back: inference only prunes, and a
+  // write-only from is exactly the declared intent.
+  m.type = MapType::From;
+  EXPECT_EQ(effective_map_type(m, true), MapType::From);
+  // The ownership tests behind dependence edges and replication.
+  m.type = MapType::ToFrom;
+  m.access = AccessMode::ReadOnly;
+  EXPECT_FALSE(map_item_writes(m, true));
+  EXPECT_FALSE(map_item_device_writes(m, true));
+  EXPECT_TRUE(map_item_writes(m, false));
+  EXPECT_TRUE(map_item_device_writes(m, false));
+  m.access = AccessMode::Unknown;
+  m.type = MapType::To;
+  EXPECT_FALSE(map_item_writes(m, true));        // no copy-back to host
+  EXPECT_TRUE(map_item_device_writes(m, true));  // kernel may still write
+}
+
+// --- strict environment knobs -----------------------------------------------
+
+class MapInferEnv : public ::testing::Test {
+ protected:
+  void SetUp() override { Runtime::reset(); }
+  void TearDown() override {
+    unsetenv("OMPI_MAPINFER");
+    unsetenv("OMPI_ALLOC_CACHE");
+    Runtime::reset();
+  }
+};
+
+TEST_F(MapInferEnv, MapInferEnvSeedsEnvsAndScheduler) {
+  setenv("OMPI_MAPINFER", "off", 1);
+  Runtime::reset();
+  Runtime& rt = Runtime::instance();
+  EXPECT_FALSE(rt.map_infer());
+  EXPECT_FALSE(rt.env(0).infer());
+  EXPECT_FALSE(rt.scheduler().replication());
+
+  setenv("OMPI_MAPINFER", "auto", 1);
+  Runtime::reset();
+  Runtime& rt2 = Runtime::instance();
+  EXPECT_TRUE(rt2.map_infer());
+  EXPECT_TRUE(rt2.env(0).infer());
+  EXPECT_TRUE(rt2.scheduler().replication());
+
+  // The programmatic setting wins over the environment.
+  setenv("OMPI_MAPINFER", "off", 1);
+  Runtime::reset();
+  Runtime::set_mapinfer(true);
+  EXPECT_TRUE(Runtime::instance().map_infer());
+}
+
+TEST_F(MapInferEnv, MalformedMapInferIsRejectedLoudly) {
+  for (const char* bad : {"", "1", "on", "AUTO", "auto ", "none"}) {
+    setenv("OMPI_MAPINFER", bad, 1);
+    Runtime::reset();
+    try {
+      Runtime::instance();
+      FAIL() << "OMPI_MAPINFER='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_MAPINFER"), std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+}
+
+TEST_F(MapInferEnv, AllocCacheAcceptsOnlyBooleanSpellings) {
+  for (const char* on : {"on", "1", "true"}) {
+    setenv("OMPI_ALLOC_CACHE", on, 1);
+    Runtime::reset();
+    Runtime& rt = Runtime::instance();
+    rt.module(0).initialize();
+    EXPECT_TRUE(
+        dynamic_cast<CudadevModule&>(rt.module(0)).allocator().enabled())
+        << "OMPI_ALLOC_CACHE='" << on << "'";
+  }
+  for (const char* off : {"off", "0", "false"}) {
+    setenv("OMPI_ALLOC_CACHE", off, 1);
+    Runtime::reset();
+    Runtime& rt = Runtime::instance();
+    rt.module(0).initialize();
+    EXPECT_FALSE(
+        dynamic_cast<CudadevModule&>(rt.module(0)).allocator().enabled())
+        << "OMPI_ALLOC_CACHE='" << off << "'";
+  }
+}
+
+TEST_F(MapInferEnv, MalformedAllocCacheIsRejectedLoudly) {
+  // The old reader defaulted anything unrecognized to "on"; a mistyped
+  // OMPI_ALLOC_CACHE=offf silently benchmarked the cached configuration.
+  for (const char* bad : {"", "offf", "ON", "yes", "2", "true "}) {
+    setenv("OMPI_ALLOC_CACHE", bad, 1);
+    Runtime::reset();
+    try {
+      Runtime::instance().module(0).initialize();
+      FAIL() << "OMPI_ALLOC_CACHE='" << bad << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("OMPI_ALLOC_CACHE"),
+                std::string::npos)
+          << "error must name the variable: " << e.what();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hostrt

@@ -623,5 +623,59 @@ TEST_F(SchedulerTest, TaskwaitDrainsEveryDeviceQueue) {
   EXPECT_DOUBLE_EQ(cudadrv::cuSimDevice(0).now(), cudadrv::cuSimDevice(1).now());
 }
 
+TEST_F(SchedulerTest, ReadOnlyEnvironmentReplicatesInsteadOfMigrating) {
+  // Map inference's scheduler half (DESIGN.md §5i): a stolen task that
+  // only READS a persistent mapping gets a broadcast replica — the
+  // primary stays put — instead of ping-pong migrating the environment.
+  constexpr int kN = 1024;
+  Runtime& rt = boot(2, /*streams=*/1);
+  const std::size_t bytes = kN * sizeof(float);
+
+  std::vector<float> x(kN, 1.0f);
+  MapItem shared{x.data(), bytes, MapType::To};
+  shared.access = AccessMode::ReadOnly;  // the compiler's annotation
+  rt.target_enter_data(Runtime::kDeviceAuto, {shared});
+  WorkStealingScheduler& sched = rt.scheduler();
+  ASSERT_EQ(sched.resident_device(x.data()), 0);
+
+  // Busy device 0 so the next reader steals to device 1.
+  AtaxTask filler(kN);
+  rt.target_nowait(0, atax_spec(filler.a.data(), filler.x.data(),
+                                filler.y.data(), kN),
+                   filler.maps());
+
+  std::vector<float> y(kN, 0.0f);
+  TaskId t = rt.target_nowait(Runtime::kDeviceAuto,
+                              saxpy_spec(2.0f, x.data(), y.data(), kN),
+                              {shared, {y.data(), bytes, MapType::ToFrom}});
+  EXPECT_EQ(rt.task_device(t), 1);
+  rt.sync();
+
+  const StealStats& st = sched.stats();
+  EXPECT_EQ(st.migrations, 0u);  // the environment never moved
+  EXPECT_GE(st.replications, 1u);
+  EXPECT_EQ(st.replicated_bytes, bytes);
+  EXPECT_EQ(sched.resident_device(x.data()), 0);  // primary untouched
+  EXPECT_TRUE(rt.env(0).is_present(x.data()));
+  EXPECT_TRUE(rt.env(1).is_present(x.data()));  // the replica
+  for (int i = 0; i < kN; ++i)
+    ASSERT_FLOAT_EQ(y[static_cast<std::size_t>(i)], 2.0f);  // 2*1 + 0
+
+  // A writer invalidates the replicas again: after this task exactly
+  // one device holds x. (Unannotated maps are conservative writers.)
+  rt.target_nowait(Runtime::kDeviceAuto,
+                   saxpy_spec(0.5f, x.data(), x.data(), kN),
+                   {{x.data(), bytes, MapType::To}});
+  rt.sync();
+  int owner = sched.resident_device(x.data());
+  ASSERT_NE(owner, -1);
+  EXPECT_NE(rt.env(0).is_present(x.data()),
+            rt.env(1).is_present(x.data()));  // exactly one copy left
+  EXPECT_TRUE(rt.env(owner).is_present(x.data()));
+
+  rt.target_exit_data(Runtime::kDeviceAuto, {shared});
+  EXPECT_EQ(sched.resident_device(x.data()), -1);
+}
+
 }  // namespace
 }  // namespace hostrt
