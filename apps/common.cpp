@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "hostrt/env.h"
 
 namespace apps {
 
@@ -22,6 +25,11 @@ AppHarness::AppHarness(Variant variant, const RunOptions& options)
     : variant_(variant), options_(options) {
   hostrt::Runtime::reset();
   cudadrv::BinaryRegistry::instance().clear();
+  // OMPI_VERBOSE turns on per-phase reporting without recompiling. Same
+  // strict contract as every other OMPI_* knob (hostrt/env.h): a set but
+  // misspelled value aborts instead of silently staying quiet.
+  if (const char* v = std::getenv("OMPI_VERBOSE"))
+    options_.verbose = hostrt::parse_env_flag("OMPI_VERBOSE", v);
   module_path_ = variant_ == Variant::Cuda ? "app_kernels.cubin"
                                            : "app__kernelFuncs_.cubin";
   image_.path = module_path_;

@@ -4,9 +4,11 @@
 // NaN metric, a missing section) fails tier 1 instead of silently
 // breaking the CI trajectory plots. The grammar is the fixed shape of
 // bench_json.h — one object with "name" (string), "config" (object of
-// string values) and "metrics" (object of finite numbers) — so a tiny
-// recursive-descent scanner is enough; no JSON library exists in the
-// container and none is needed.
+// string values), "metrics" (object of finite numbers) and an optional
+// "latency" section (one object of finite numbers per tenant, which
+// must carry p50 and p99 with p50 <= p99) — so a tiny recursive-descent
+// scanner is enough; no JSON library exists in the container and none
+// is needed.
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -99,6 +101,46 @@ struct Scanner {
       return expect('}');
     }
   }
+
+  /// The latency-distribution section: {"tenant": {"p50": s, ...}, ...}.
+  /// Each tenant's quantile set is a flat numeric object that must carry
+  /// p50 and p99 in order (a distribution whose median exceeds its tail
+  /// is a benchmark bug worth failing tier 1 over).
+  bool latency_object(int* tenants) {
+    if (!expect('{')) return false;
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      std::string tenant;
+      if (!string(&tenant)) return false;
+      if (tenant.empty()) return fail("empty latency tenant key");
+      if (!expect(':')) return false;
+      std::vector<std::pair<std::string, double>> qs;
+      if (!flat_object(true, nullptr, &qs))
+        return fail("latency '" + tenant + "' is not an object of numbers");
+      double p50 = 0, p99 = 0;
+      bool has50 = false, has99 = false;
+      for (const auto& kv : qs) {
+        if (kv.first == "p50") p50 = kv.second, has50 = true;
+        if (kv.first == "p99") p99 = kv.second, has99 = true;
+      }
+      if (!has50 || !has99)
+        return fail("latency '" + tenant + "' must report p50 and p99");
+      if (p50 > p99)
+        return fail("latency '" + tenant + "': p50 " + std::to_string(p50) +
+                    " exceeds p99 " + std::to_string(p99));
+      if (tenants) ++*tenants;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      return expect('}');
+    }
+  }
 };
 
 /// A `--metric-ge metric threshold` acceptance gate applied to every
@@ -125,6 +167,7 @@ bool check_file(const char* path, const std::vector<MetricGate>& gates) {
   Scanner s(text);
   std::string name;
   int metrics = 0;
+  int tenants = 0;
   std::vector<std::pair<std::string, double>> values;
   bool ok = s.expect('{') &&
             s.string(nullptr) /* "name" */ && s.expect(':') &&
@@ -132,7 +175,22 @@ bool check_file(const char* path, const std::vector<MetricGate>& gates) {
             s.string(nullptr) /* "config" */ && s.expect(':') &&
             s.flat_object(false, nullptr) && s.expect(',') &&
             s.string(nullptr) /* "metrics" */ && s.expect(':') &&
-            s.flat_object(true, &metrics, &values) && s.expect('}');
+            s.flat_object(true, &metrics, &values);
+  if (ok) {
+    // Optional latency-distribution section after the metrics.
+    s.skip_ws();
+    if (s.p < s.end && *s.p == ',') {
+      ++s.p;
+      std::string section;
+      ok = s.string(&section) && s.expect(':');
+      if (ok && section != "latency")
+        ok = s.fail("unexpected section '" + section + "' after metrics");
+      ok = ok && s.latency_object(&tenants);
+      if (ok && tenants == 0)
+        ok = s.fail("latency section reports no tenants");
+    }
+  }
+  ok = ok && s.expect('}');
   if (ok) {
     s.skip_ws();
     if (s.p != s.end) ok = s.fail("trailing content after the object");
@@ -166,8 +224,12 @@ bool check_file(const char* path, const std::vector<MetricGate>& gates) {
                  s.error.c_str(), s.p - text.data());
     return false;
   }
-  std::printf("bench_check: %s ok (%s, %d metrics)\n", path, name.c_str(),
-              metrics);
+  if (tenants)
+    std::printf("bench_check: %s ok (%s, %d metrics, %d latency tenants)\n",
+                path, name.c_str(), metrics, tenants);
+  else
+    std::printf("bench_check: %s ok (%s, %d metrics)\n", path, name.c_str(),
+                metrics);
   return true;
 }
 

@@ -10,14 +10,23 @@
 
 namespace bench {
 
+/// One latency-distribution row: a tenant (or scenario) name and its
+/// quantile set. By convention the set carries at least "p50" and "p99"
+/// (modeled seconds); bench_check enforces both and p50 <= p99.
+using LatencyRow =
+    std::pair<std::string, std::vector<std::pair<std::string, double>>>;
+
 /// Writes BENCH_<name>.json in the working directory:
 ///   {"name": ..., "config": {k: v, ...}, "metrics": {k: number, ...}}
-/// Returns false (after a stderr note) if the file cannot be written —
-/// benchmarks still report on stdout in that case.
+/// with an optional trailing latency-distribution section
+///   , "latency": {tenant: {"p50": s, "p99": s, ...}, ...}
+/// when `latency` is non-empty. Returns false (after a stderr note) if
+/// the file cannot be written — benchmarks still report on stdout then.
 inline bool write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& config,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<LatencyRow>& latency = {}) {
   std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -32,7 +41,21 @@ inline bool write_bench_json(
   for (std::size_t i = 0; i < metrics.size(); ++i)
     std::fprintf(f, "%s\"%s\": %.9g", i ? ", " : "",
                  metrics[i].first.c_str(), metrics[i].second);
-  std::fprintf(f, "}\n}\n");
+  std::fprintf(f, "}");
+  if (!latency.empty()) {
+    std::fprintf(f, ",\n  \"latency\": {");
+    for (std::size_t i = 0; i < latency.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": {", i ? ", " : "",
+                   latency[i].first.c_str());
+      const auto& qs = latency[i].second;
+      for (std::size_t j = 0; j < qs.size(); ++j)
+        std::fprintf(f, "%s\"%s\": %.9g", j ? ", " : "", qs[j].first.c_str(),
+                     qs[j].second);
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("  wrote %s\n", path.c_str());
   return true;

@@ -1,0 +1,433 @@
+// Micro A6 — the multi-tenant offload server (DESIGN.md §5j). Two
+// experiments drive thousands of mixed gemm/bicg/atax-shaped requests
+// through OffloadServer:
+//
+//  Throughput — four tenants on four devices, one client thread each,
+//  open-loop bursts with the default in-flight window. The baseline is
+//  the classic serialized client: one request in flight at a time,
+//  submit-and-wait. Aggregate modeled throughput must reach >= 2x the
+//  serial baseline (it lands near device_count x pipeline depth).
+//
+//  Fairness — one device shared by a light interactive tenant
+//  (closed-loop: each request arrives when the previous one completed)
+//  and a heavy batch tenant (a deep arrival-0 backlog of the same small
+//  shape — the skew is request COUNT, not size). With a 4-deep in-flight
+//  window and OMPI_SERVER_FAIRNESS=drr the light tenant's p99 must stay
+//  within 3x of its solo p99: DRR alternates the lanes, so one heavy
+//  service time of interference per request. The same trace under fifo
+//  is the ablation row: global arrival order refills the heavy window
+//  before every light dispatch, so the light tenant pays the whole
+//  window (~window+1 x solo) on every request.
+//
+// Latencies are modeled per-request (completion minus arrival), so the
+// distributions are deterministic: the server dispatches on modeled
+// state only, never on OS thread timing. The per-tenant p50/p99 rows
+// land in the BENCH json's "latency" section for bench_check.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/offload_server.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+// Writer-buffer rotation depth; deeper than any in-flight window so
+// concurrent requests of one tenant never serialize on an output edge.
+constexpr int kRotate = 16;
+
+// Per-tenant in-flight window of the fairness experiment. Deep enough
+// that a fifo dispatcher lets the heavy backlog book the engine a full
+// window ahead of the light tenant (the ablation), small enough that
+// DRR's alternation keeps the light tenant's interference near one
+// heavy service time.
+constexpr int kFairnessWindow = 4;
+
+// The request kernels charge the analytic cost model and touch no data:
+// the benchmark measures scheduling and arbitration, not numerics.
+void install_request_kernels() {
+  cudadrv::ModuleImage img;
+  img.path = "server_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+
+  cudadrv::KernelImage gemm;
+  gemm.name = "_gemmKernel_";
+  gemm.param_count = 4;  // A, B, C, n
+  gemm.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n * n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2.0 * n);  // one dot row
+      ctx.charge_flops(2.0 * n);
+    }
+  };
+  img.add_kernel(std::move(gemm));
+
+  cudadrv::KernelImage bicg;
+  bicg.name = "_bicgKernel_";
+  bicg.param_count = 4;  // A, p, q, n
+  bicg.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, n + 1.0);  // one matvec row
+      ctx.charge_flops(2.0 * n);
+    }
+  };
+  img.add_kernel(std::move(bicg));
+
+  cudadrv::KernelImage atax;
+  atax.name = "_ataxKernel_";
+  atax.param_count = 4;  // A, x, y, n
+  atax.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    devrt::combined_init(ctx);
+    int n = args.value<int>(3);
+    devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+    for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+      ctx.charge_gmem(jetsim::Access::Coalesced, 4, 2.0 * n);  // A row twice
+      ctx.charge_flops(4.0 * n);
+    }
+  };
+  img.add_kernel(std::move(atax));
+
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+// One tenant's working set: shared read-only inputs plus rotating
+// output buffers per shape.
+struct TenantBufs {
+  int n = 0;
+  std::vector<float> A, B, p, x;
+  std::vector<std::vector<float>> out_c, out_q, out_y;
+
+  explicit TenantBufs(int size)
+      : n(size),
+        A(static_cast<std::size_t>(size) * size, 1.0f),
+        B(static_cast<std::size_t>(size) * size, 2.0f),
+        p(static_cast<std::size_t>(size), 1.0f),
+        x(static_cast<std::size_t>(size), 1.0f) {
+    for (int r = 0; r < kRotate; ++r) {
+      out_c.emplace_back(static_cast<std::size_t>(size) * size, 0.0f);
+      out_q.emplace_back(static_cast<std::size_t>(size), 0.0f);
+      out_y.emplace_back(static_cast<std::size_t>(size), 0.0f);
+    }
+  }
+};
+
+KernelLaunchSpec spec_1d(const char* kernel, std::size_t elems) {
+  KernelLaunchSpec spec;
+  spec.module_path = "server_kernels.cubin";
+  spec.kernel_name = kernel;
+  spec.geometry.teams_x = static_cast<unsigned>((elems + 127) / 128);
+  spec.geometry.threads_x = 128;
+  return spec;
+}
+
+MapItem to_map(const std::vector<float>& v) {
+  return {v.data(), v.size() * sizeof(float), MapType::To};
+}
+MapItem from_map(std::vector<float>& v) {
+  return {v.data(), v.size() * sizeof(float), MapType::From};
+}
+
+// Request i of the mixed gemm/bicg/atax trace.
+ServerRequest make_request(TenantBufs& b, int i) {
+  ServerRequest req;
+  const int n = b.n;
+  const int slot = (i / 3) % kRotate;
+  switch (i % 3) {
+    case 0: {  // C = A x B
+      std::vector<float>& C = b.out_c[static_cast<std::size_t>(slot)];
+      req.spec = spec_1d("_gemmKernel_",
+                         static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+      req.spec.args = {KernelArg::mapped(b.A.data()),
+                       KernelArg::mapped(b.B.data()),
+                       KernelArg::mapped(C.data()), KernelArg::of(n)};
+      req.maps = {to_map(b.A), to_map(b.B), from_map(C)};
+      break;
+    }
+    case 1: {  // q = A p
+      std::vector<float>& q = b.out_q[static_cast<std::size_t>(slot)];
+      req.spec = spec_1d("_bicgKernel_", static_cast<std::size_t>(n));
+      req.spec.args = {KernelArg::mapped(b.A.data()),
+                       KernelArg::mapped(b.p.data()),
+                       KernelArg::mapped(q.data()), KernelArg::of(n)};
+      req.maps = {to_map(b.A), to_map(b.p), from_map(q)};
+      break;
+    }
+    default: {  // y = At (A x)
+      std::vector<float>& y = b.out_y[static_cast<std::size_t>(slot)];
+      req.spec = spec_1d("_ataxKernel_", static_cast<std::size_t>(n));
+      req.spec.args = {KernelArg::mapped(b.A.data()),
+                       KernelArg::mapped(b.x.data()),
+                       KernelArg::mapped(y.data()), KernelArg::of(n)};
+      req.maps = {to_map(b.A), to_map(b.x), from_map(y)};
+      break;
+    }
+  }
+  return req;
+}
+
+void fresh_board(int devices) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_request_kernels();
+  cudadrv::cuSimSetBlockSampling(true);
+  Runtime::set_num_devices(devices);
+}
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = static_cast<std::size_t>(
+      std::llround(q * static_cast<double>(v.size() - 1)));
+  return v[idx];
+}
+
+struct LatencyStats {
+  double p50 = 0;
+  double p99 = 0;
+  std::size_t count = 0;
+};
+
+LatencyStats stats_of(const std::vector<double>& lat) {
+  return {quantile(lat, 0.50), quantile(lat, 0.99), lat.size()};
+}
+
+// --- experiment 1: aggregate throughput ------------------------------
+
+// The serialized single-client baseline: submit-and-wait, one request
+// in flight at a time.
+double run_serial_rps(int requests, int n) {
+  fresh_board(1);
+  ServerOptions so;
+  so.max_inflight = 1;
+  so.fairness = ServerOptions::Fairness::Fifo;
+  OffloadServer srv(so);
+  srv.register_tenant("serial", 0);
+  TenantBufs bufs(n);
+  double last_end = 0;
+  for (int i = 0; i < requests; ++i)
+    last_end = srv.submit("serial", make_request(bufs, i)).end_s;
+  srv.close("serial");
+  srv.drain();
+  std::printf("  serial : %6d requests, makespan %10.6f s, %10.0f req/s\n",
+              requests, last_end, requests / last_end);
+  return requests / last_end;
+}
+
+// Four tenants on four devices, one client thread each: the tsan tier-1
+// entry runs exactly this concurrent submit path.
+double run_server_rps(int devices, int per_tenant, int n) {
+  fresh_board(devices);
+  ServerOptions so;  // default window (8), drr
+  so.streams_per_tenant = OffloadQueue::kDefaultStreams;
+  OffloadServer srv(so);
+  std::vector<std::string> tenants;
+  std::vector<TenantBufs> bufs;
+  bufs.reserve(static_cast<std::size_t>(devices));
+  for (int d = 0; d < devices; ++d) {
+    tenants.push_back("tenant" + std::to_string(d));
+    bufs.emplace_back(n);
+    srv.register_tenant(tenants.back(), d);
+  }
+  std::vector<double> makespan(static_cast<std::size_t>(devices), 0.0);
+  std::vector<std::thread> clients;
+  for (int d = 0; d < devices; ++d) {
+    clients.emplace_back([&, d] {
+      std::vector<Ticket> tickets;
+      tickets.reserve(static_cast<std::size_t>(per_tenant));
+      for (int i = 0; i < per_tenant; ++i) {
+        ServerRequest req = make_request(bufs[static_cast<std::size_t>(d)], i);
+        req.arrival_s = 0;  // open-loop burst
+        tickets.push_back(srv.submit_async(tenants[static_cast<std::size_t>(d)],
+                                           std::move(req)));
+      }
+      srv.close(tenants[static_cast<std::size_t>(d)]);
+      double end = 0;
+      for (Ticket t : tickets) end = std::max(end, srv.wait(t).end_s);
+      makespan[static_cast<std::size_t>(d)] = end;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  srv.drain();
+  double span = *std::max_element(makespan.begin(), makespan.end());
+  int total = per_tenant * devices;
+  std::printf("  server : %6d requests on %d devices, makespan %10.6f s, "
+              "%10.0f req/s\n",
+              total, devices, span, total / span);
+  return total / span;
+}
+
+// --- experiment 2: tail latency under a heavy co-tenant --------------
+
+// The light tenant alone on the device: its solo latency distribution.
+LatencyStats run_light_solo(int requests, int warmup, int n) {
+  fresh_board(1);
+  ServerOptions so;
+  so.max_inflight = kFairnessWindow;
+  OffloadServer srv(so);
+  srv.register_tenant("light", 0);
+  TenantBufs bufs(n);
+  std::vector<double> lat;
+  for (int i = 0; i < requests; ++i) {
+    ServerResult r = srv.submit("light", make_request(bufs, 3 * i));  // gemm
+    if (i >= warmup) lat.push_back(r.latency_s);
+  }
+  srv.close("light");
+  srv.drain();
+  return stats_of(lat);
+}
+
+struct ContendedResult {
+  LatencyStats light;
+  LatencyStats heavy;
+  std::uint64_t light_completed = 0;
+  std::uint64_t heavy_completed = 0;
+};
+
+// Light closed-loop vs a deep heavy backlog of the same small shape.
+ContendedResult run_contended(ServerOptions::Fairness mode, int light_requests,
+                              int warmup, int heavy_requests, int n) {
+  fresh_board(1);
+  ServerOptions so;
+  so.max_inflight = kFairnessWindow;
+  so.fairness = mode;
+  OffloadServer srv(so);
+  srv.register_tenant("light", 0);
+  srv.register_tenant("heavy", 0);
+  TenantBufs light_bufs(n), heavy_bufs(n);
+
+  std::vector<double> light_lat, heavy_lat;
+  std::thread heavy([&] {
+    std::vector<Ticket> tickets;
+    tickets.reserve(static_cast<std::size_t>(heavy_requests));
+    for (int i = 0; i < heavy_requests; ++i) {
+      ServerRequest req = make_request(heavy_bufs, 3 * i);  // gemm
+      req.arrival_s = 0;  // the whole backlog is present from the start
+      tickets.push_back(srv.submit_async("heavy", std::move(req)));
+    }
+    srv.close("heavy");
+    for (Ticket t : tickets) heavy_lat.push_back(srv.wait(t).latency_s);
+  });
+  std::thread light([&] {
+    for (int i = 0; i < light_requests; ++i) {
+      ServerResult r = srv.submit("light", make_request(light_bufs, 3 * i));
+      if (i >= warmup) light_lat.push_back(r.latency_s);
+    }
+    srv.close("light");
+  });
+  heavy.join();
+  light.join();
+  srv.drain();
+
+  ContendedResult out;
+  out.light = stats_of(light_lat);
+  out.heavy = stats_of(heavy_lat);
+  out.light_completed = srv.tenant_stats("light").completed;
+  out.heavy_completed = srv.tenant_stats("heavy").completed;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int devices = 4;
+  const int n_mixed = 64;                      // gemm/bicg/atax size (mixed trace)
+  const int n_small = 32;                      // the fairness tenants' shape
+  const int per_tenant = smoke ? 96 : 512;     // per tenant, throughput run
+  const int serial_requests = smoke ? 96 : 256;
+  const int light_requests = smoke ? 48 : 120;
+  const int heavy_requests = 3 * light_requests;
+  const int warmup = 4;
+
+  std::printf("micro_server: %d tenants x %d mixed requests on %d devices "
+              "vs a serialized client; light-vs-heavy tail latency under "
+              "drr and fifo\n\n",
+              devices, per_tenant, devices);
+
+  double serial_rps = run_serial_rps(serial_requests, n_mixed);
+  double server_rps = run_server_rps(devices, per_tenant, n_mixed);
+  double speedup = server_rps / serial_rps;
+  std::printf("  throughput speedup: %.2fx (target >= 2.00x)\n\n", speedup);
+
+  LatencyStats solo = run_light_solo(light_requests, warmup, n_small);
+  ContendedResult drr = run_contended(ServerOptions::Fairness::Drr,
+                                      light_requests, warmup, heavy_requests,
+                                      n_small);
+  ContendedResult fifo = run_contended(ServerOptions::Fairness::Fifo,
+                                       light_requests, warmup, heavy_requests,
+                                       n_small);
+  double drr_p50_ratio = drr.light.p50 / solo.p50;
+  double drr_p99_ratio = drr.light.p99 / solo.p99;
+  double fifo_p50_ratio = fifo.light.p50 / solo.p50;
+  double fifo_p99_ratio = fifo.light.p99 / solo.p99;
+  bool fairness_ok = drr_p99_ratio <= 3.0;
+
+  std::printf("  light tenant latency (%d closed-loop requests vs %d-deep "
+              "heavy backlog, max_inflight=%d):\n",
+              light_requests, heavy_requests, kFairnessWindow);
+  std::printf("    %-6s p50 %12.9f s   p99 %12.9f s\n", "solo", solo.p50,
+              solo.p99);
+  std::printf("    %-6s p50 %12.9f s   p99 %12.9f s   (p99 ratio %8.2fx, "
+              "target <= 3.00x)\n",
+              "drr", drr.light.p50, drr.light.p99, drr_p99_ratio);
+  std::printf("    %-6s p50 %12.9f s   p99 %12.9f s   (p99 ratio %8.2fx, "
+              "ablation: fifo starves)\n",
+              "fifo", fifo.light.p50, fifo.light.p99, fifo_p99_ratio);
+
+  bool completed_ok =
+      drr.light_completed == static_cast<std::uint64_t>(light_requests) &&
+      drr.heavy_completed == static_cast<std::uint64_t>(heavy_requests) &&
+      fifo.light_completed == static_cast<std::uint64_t>(light_requests) &&
+      fifo.heavy_completed == static_cast<std::uint64_t>(heavy_requests);
+
+  bench::write_bench_json(
+      "micro_server",
+      {{"devices", std::to_string(devices)},
+       {"per_tenant", std::to_string(per_tenant)},
+       {"serial_requests", std::to_string(serial_requests)},
+       {"light_requests", std::to_string(light_requests)},
+       {"heavy_requests", std::to_string(heavy_requests)},
+       {"n_mixed", std::to_string(n_mixed)},
+       {"n_small", std::to_string(n_small)},
+       {"fairness_max_inflight", std::to_string(kFairnessWindow)}},
+      {{"serial_rps", serial_rps},
+       {"server_rps", server_rps},
+       {"throughput_speedup", speedup},
+       {"drr_p50_ratio", drr_p50_ratio},
+       {"drr_p99_ratio", drr_p99_ratio},
+       {"fifo_p50_ratio", fifo_p50_ratio},
+       {"fifo_p99_ratio", fifo_p99_ratio},
+       {"fairness_ok", fairness_ok ? 1.0 : 0.0},
+       {"all_requests_completed", completed_ok ? 1.0 : 0.0}},
+      {{"light_solo", {{"p50", solo.p50}, {"p99", solo.p99}}},
+       {"light_drr", {{"p50", drr.light.p50}, {"p99", drr.light.p99}}},
+       {"heavy_drr", {{"p50", drr.heavy.p50}, {"p99", drr.heavy.p99}}},
+       {"light_fifo", {{"p50", fifo.light.p50}, {"p99", fifo.light.p99}}},
+       {"heavy_fifo", {{"p50", fifo.heavy.p50}, {"p99", fifo.heavy.p99}}}});
+
+  Runtime::reset();
+  // The gates hold in smoke mode too: the tier-1 bench_smoke entry
+  // enforces the acceptance thresholds on every CI run.
+  bool ok = speedup >= 2.0 && fairness_ok && completed_ok && solo.p99 > 0;
+  return ok ? 0 : 1;
+}

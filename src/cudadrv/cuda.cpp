@@ -1,10 +1,12 @@
 #include "cudadrv/cuda.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -17,7 +19,7 @@ namespace cudadrv {
 
 struct CUctx_st {
   CUdevice device = 0;
-  bool alive = true;
+  std::atomic<bool> alive{true};
 };
 
 struct CUfunc_st {
@@ -28,12 +30,12 @@ struct CUfunc_st {
 struct CUmod_st {
   const ModuleImage* image = nullptr;
   std::vector<std::unique_ptr<CUfunc_st>> functions;
-  bool alive = true;
+  std::atomic<bool> alive{true};
 };
 
 struct CUstream_st {
   CUdevice device = 0;
-  bool alive = true;
+  std::atomic<bool> alive{true};
   double ready = 0;           // completion time of the last queued op
   std::vector<StreamOp> ops;  // modeled work queue, enqueue order
 };
@@ -63,27 +65,31 @@ struct PinnedAlloc {
 };
 
 struct DriverState {
-  bool initialized = false;
+  std::atomic<bool> initialized{false};
+  // Guards the handle tables (contexts/modules/streams/events), the
+  // pinned-range registry, the JIT cache and the pending profiles. Held
+  // only for handle bookkeeping — never across modeled device work — so
+  // concurrent submitters on different devices do not serialize here.
+  // The per-device timeline state (jetsim::Device, each stream's
+  // ready/ops) is NOT covered: the host runtime serializes all work on
+  // one device behind its OffloadQueue mutex, exactly like the real
+  // driver requires external synchronization per context.
+  std::mutex mu;
   std::vector<std::unique_ptr<jetsim::Device>> devices;
   std::vector<std::unique_ptr<CUctx_st>> contexts;
   std::vector<std::unique_ptr<CUmod_st>> modules;
   std::vector<std::unique_ptr<CUstream_st>> streams;
   std::vector<std::unique_ptr<CUevent_st>> events;
   std::map<std::uintptr_t, PinnedAlloc> pinned;  // keyed by base address
-  CUcontext current = nullptr;
   std::set<std::string> jit_cache;  // simulated on-disk JIT cache
   // Per-ordinal profile and driver cost table of every created device
   // (there is no board-wide cost singleton: a heterogeneous board
   // prices each device's transfers and launches from its own table).
   std::vector<jetsim::DeviceProfile> profiles;
   std::vector<jetsim::DriverCosts> device_costs;
-  bool model_only = false;
-  bool block_sampling = false;
-  // One-shot zero-copy byte share of the next launch, set by the host
-  // runtime (cuSimSetNextLaunchZeroCopyFraction) and consumed by
-  // launch_kernel_impl.
-  double next_zero_copy_fraction = 0;
-  uint64_t epoch = 0;  // bumped by cuSimReset; see cuSimEpoch()
+  std::atomic<bool> model_only{false};
+  std::atomic<bool> block_sampling{false};
+  std::atomic<uint64_t> epoch{0};  // bumped by cuSimReset; see cuSimEpoch()
   // Profiles of the devices created by the next cuInit; one default
   // ("nano") entry models the paper's single-GPU board.
   std::vector<jetsim::DeviceProfile> pending_profiles{jetsim::DeviceProfile{}};
@@ -94,13 +100,40 @@ DriverState& state() {
   return s;
 }
 
+// Context currency is a per-thread property (real driver semantics):
+// every server client binds its own device's context without disturbing
+// the other threads'. The epoch stamp invalidates the cached pointer
+// after cuSimReset — a reset cannot reach other threads' TLS slots, so
+// the bare pointer would dangle.
+thread_local CUcontext tl_current = nullptr;
+thread_local uint64_t tl_current_epoch = 0;
+
+// One-shot zero-copy byte share of this thread's next launch, set by
+// the host runtime (cuSimSetNextLaunchZeroCopyFraction) and consumed by
+// launch_kernel_impl. Thread-local for the same reason as currency: the
+// stamp belongs to the launch the calling thread is about to issue.
+thread_local double tl_next_zero_copy_fraction = 0;
+thread_local uint64_t tl_next_zero_copy_epoch = 0;
+
+CUcontext current_ctx() {
+  return tl_current_epoch ==
+                 state().epoch.load(std::memory_order_acquire)
+             ? tl_current
+             : nullptr;
+}
+
+void set_current_ctx(CUcontext ctx) {
+  tl_current = ctx;
+  tl_current_epoch = state().epoch.load(std::memory_order_acquire);
+}
+
 bool valid_device(CUdevice dev) {
-  return state().initialized && dev >= 0 &&
+  return state().initialized.load(std::memory_order_acquire) && dev >= 0 &&
          dev < static_cast<int>(state().devices.size());
 }
 
 jetsim::Device& dev_of_current() {
-  return *state().devices[static_cast<std::size_t>(state().current->device)];
+  return *state().devices[static_cast<std::size_t>(current_ctx()->device)];
 }
 
 jetsim::DriverCosts& costs_of(CUdevice dev) {
@@ -108,18 +141,20 @@ jetsim::DriverCosts& costs_of(CUdevice dev) {
 }
 
 jetsim::DriverCosts& costs_of_current() {
-  return costs_of(state().current->device);
+  return costs_of(current_ctx()->device);
 }
 
 CUresult require_ctx() {
-  if (!state().initialized) return CUDA_ERROR_NOT_INITIALIZED;
-  if (!state().current || !state().current->alive)
+  if (!state().initialized.load(std::memory_order_acquire))
+    return CUDA_ERROR_NOT_INITIALIZED;
+  CUcontext c = current_ctx();
+  if (!c || !c->alive.load(std::memory_order_acquire))
     return CUDA_ERROR_INVALID_CONTEXT;
   return CUDA_SUCCESS;
 }
 
 // Tears down every zero-copy device mapping of a pinned range that is
-// about to die (cuMemFreeHost / cuMemHostUnregister).
+// about to die (cuMemFreeHost / cuMemHostUnregister). Caller holds mu.
 void drop_host_mappings(std::uintptr_t base, PinnedAlloc& alloc) {
   for (CUdevice d : alloc.mapped_on)
     if (d >= 0 && d < static_cast<int>(state().devices.size()))
@@ -157,19 +192,25 @@ BinaryRegistry& BinaryRegistry::instance() {
 }
 
 void BinaryRegistry::install(ModuleImage img) {
+  std::lock_guard<std::mutex> lk(mu_);
   images_[img.path] = std::move(img);
 }
 
 const ModuleImage* BinaryRegistry::find(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = images_.find(path);
   return it == images_.end() ? nullptr : &it->second;
 }
 
 bool BinaryRegistry::erase(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
   return images_.erase(path) > 0;
 }
 
-void BinaryRegistry::clear() { images_.clear(); }
+void BinaryRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  images_.clear();
+}
 
 // ---------------------------------------------------------------------
 // Init & device discovery
@@ -178,7 +219,8 @@ void BinaryRegistry::clear() { images_.clear(); }
 CUresult cuInit(unsigned flags) {
   if (flags != 0) return CUDA_ERROR_INVALID_VALUE;
   DriverState& s = state();
-  if (!s.initialized) {
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (!s.initialized.load(std::memory_order_relaxed)) {
     // The board exposes a single Maxwell GPU by default; heterogeneous
     // or multi-device boards configure the per-ordinal profiles with
     // cuSimSetDeviceProfiles / cuSimSetDeviceCount before the first
@@ -190,7 +232,7 @@ CUresult cuInit(unsigned flags) {
       s.device_costs.push_back(p.driver);
       s.profiles.push_back(p);
     }
-    s.initialized = true;
+    s.initialized.store(true, std::memory_order_release);
   }
   return CUDA_SUCCESS;
 }
@@ -273,37 +315,50 @@ CUresult cuCtxCreate(CUcontext* ctx, unsigned /*flags*/, CUdevice dev) {
   auto c = std::make_unique<CUctx_st>();
   c->device = dev;
   *ctx = c.get();
-  state().contexts.push_back(std::move(c));
-  state().current = *ctx;
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    state().contexts.push_back(std::move(c));
+  }
+  set_current_ctx(*ctx);
   return CUDA_SUCCESS;
 }
 
 CUresult cuCtxDestroy(CUcontext ctx) {
-  if (!ctx || !ctx->alive) return CUDA_ERROR_INVALID_CONTEXT;
-  ctx->alive = false;
-  if (state().current == ctx) state().current = nullptr;
+  if (!ctx || !ctx->alive.load(std::memory_order_acquire))
+    return CUDA_ERROR_INVALID_CONTEXT;
+  ctx->alive.store(false, std::memory_order_release);
+  if (current_ctx() == ctx) set_current_ctx(nullptr);
   return CUDA_SUCCESS;
 }
 
 CUresult cuCtxSetCurrent(CUcontext ctx) {
-  if (ctx && !ctx->alive) return CUDA_ERROR_INVALID_CONTEXT;
-  state().current = ctx;
+  if (ctx && !ctx->alive.load(std::memory_order_acquire))
+    return CUDA_ERROR_INVALID_CONTEXT;
+  set_current_ctx(ctx);
   return CUDA_SUCCESS;
 }
 
 CUresult cuCtxGetCurrent(CUcontext* ctx) {
   if (!ctx) return CUDA_ERROR_INVALID_VALUE;
-  *ctx = state().current;
+  *ctx = current_ctx();
   return CUDA_SUCCESS;
 }
 
 CUresult cuCtxSynchronize() {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   // Default-stream work is host-synchronous; pending modeled work lives
-  // only on explicit streams, so drain every stream of this device.
-  CUdevice dev = state().current->device;
-  for (const auto& st : state().streams)
-    if (st->alive && st->device == dev) dev_of_current().sync_to(st->ready);
+  // only on explicit streams, so drain every stream of this device. The
+  // snapshot keeps the handle lock short: only same-device streams are
+  // touched (their timelines are serialized by this device's caller).
+  CUdevice dev = current_ctx()->device;
+  std::vector<double> readys;
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    for (const auto& st : state().streams)
+      if (st->device == dev && st->alive.load(std::memory_order_acquire))
+        readys.push_back(st->ready);
+  }
+  for (double r : readys) dev_of_current().sync_to(r);
   return CUDA_SUCCESS;
 }
 
@@ -325,13 +380,17 @@ CUresult cuModuleLoad(CUmodule* module, const char* fname) {
   if (image->kind == BinaryKind::Ptx) {
     // JIT compilation + link against the device library, with disk cache
     // (paper §3.3: "utilizes disk caching ... to eliminate repetitive
-    // compilations of the same kernels").
-    if (s.jit_cache.contains(image->path)) {
-      dev.advance_time(kb * costs.jit_cache_hit_s_per_kb);
-    } else {
-      dev.advance_time(kb * costs.jit_compile_s_per_kb);
-      s.jit_cache.insert(image->path);
+    // compilations of the same kernels"). The cache probe-and-fill is one
+    // critical section so two threads JITting the same image race cleanly
+    // (first one pays compile, the loser a cache hit — like the real
+    // on-disk cache's file lock).
+    bool hit;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      hit = !s.jit_cache.insert(image->path).second;
     }
+    dev.advance_time(kb * (hit ? costs.jit_cache_hit_s_per_kb
+                               : costs.jit_compile_s_per_kb));
   } else {
     dev.advance_time(kb * costs.module_load_cubin_s_per_kb);
   }
@@ -339,6 +398,7 @@ CUresult cuModuleLoad(CUmodule* module, const char* fname) {
   auto m = std::make_unique<CUmod_st>();
   m->image = image;
   *module = m.get();
+  std::lock_guard<std::mutex> lk(s.mu);
   s.modules.push_back(std::move(m));
   return CUDA_SUCCESS;
 }
@@ -353,6 +413,7 @@ CUresult cuModuleGetFunction(CUfunction* fn, CUmodule module,
   f->image = &it->second;
   f->module = module;
   *fn = f.get();
+  std::lock_guard<std::mutex> lk(state().mu);
   module->functions.push_back(std::move(f));
   return CUDA_SUCCESS;
 }
@@ -399,8 +460,11 @@ CUresult cuMemAllocHost(void** pp, std::size_t bytes) {
   alloc.storage = std::make_unique<std::byte[]>(bytes);
   alloc.size = bytes;
   void* p = alloc.storage.get();
-  state().pinned.emplace(reinterpret_cast<std::uintptr_t>(p),
-                         std::move(alloc));
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    state().pinned.emplace(reinterpret_cast<std::uintptr_t>(p),
+                           std::move(alloc));
+  }
   // Pinning pages is an order of magnitude slower than cuMemAlloc.
   dev_of_current().advance_time(costs_of_current().pinned_alloc_overhead_s);
   *pp = p;
@@ -409,11 +473,14 @@ CUresult cuMemAllocHost(void** pp, std::size_t bytes) {
 
 CUresult cuMemFreeHost(void* p) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
-  auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
-  if (it == state().pinned.end() || !it->second.storage)
-    return CUDA_ERROR_INVALID_VALUE;  // unknown, or a registered range
-  drop_host_mappings(it->first, it->second);
-  state().pinned.erase(it);
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
+    if (it == state().pinned.end() || !it->second.storage)
+      return CUDA_ERROR_INVALID_VALUE;  // unknown, or a registered range
+    drop_host_mappings(it->first, it->second);
+    state().pinned.erase(it);
+  }
   dev_of_current().advance_time(costs_of_current().pinned_free_overhead_s);
   return CUDA_SUCCESS;
 }
@@ -422,32 +489,39 @@ CUresult cuMemHostRegister(void* p, std::size_t bytes, unsigned flags) {
   if (!p || bytes == 0 || flags != 0) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   auto addr = reinterpret_cast<std::uintptr_t>(p);
-  auto& pinned = state().pinned;
-  // Reject overlap with memory that is already page-locked (the real
-  // driver reports CUDA_ERROR_HOST_MEMORY_ALREADY_REGISTERED).
-  auto next = pinned.upper_bound(addr);
-  if (next != pinned.end() && addr + bytes > next->first)
-    return CUDA_ERROR_INVALID_VALUE;
-  if (next != pinned.begin()) {
-    auto prev = std::prev(next);
-    if (prev->first + prev->second.size > addr)
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    auto& pinned = state().pinned;
+    // Reject overlap with memory that is already page-locked (the real
+    // driver reports CUDA_ERROR_HOST_MEMORY_ALREADY_REGISTERED).
+    auto next = pinned.upper_bound(addr);
+    if (next != pinned.end() && addr + bytes > next->first)
       return CUDA_ERROR_INVALID_VALUE;
+    if (next != pinned.begin()) {
+      auto prev = std::prev(next);
+      if (prev->first + prev->second.size > addr)
+        return CUDA_ERROR_INVALID_VALUE;
+    }
+    PinnedAlloc alloc;
+    alloc.size = bytes;  // storage stays null: the caller owns the pages
+    pinned.emplace(addr, std::move(alloc));
   }
-  PinnedAlloc alloc;
-  alloc.size = bytes;  // storage stays null: the caller owns the pages
-  pinned.emplace(addr, std::move(alloc));
   dev_of_current().advance_time(costs_of_current().host_register_overhead_s);
   return CUDA_SUCCESS;
 }
 
 CUresult cuMemHostUnregister(void* p) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
-  auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
-  if (it == state().pinned.end() || it->second.storage)
-    return CUDA_ERROR_INVALID_VALUE;  // unknown, or cuMemAllocHost-owned
-  drop_host_mappings(it->first, it->second);
-  state().pinned.erase(it);
-  dev_of_current().advance_time(costs_of_current().host_unregister_overhead_s);
+  {
+    std::lock_guard<std::mutex> lk(state().mu);
+    auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
+    if (it == state().pinned.end() || it->second.storage)
+      return CUDA_ERROR_INVALID_VALUE;  // unknown, or cuMemAllocHost-owned
+    drop_host_mappings(it->first, it->second);
+    state().pinned.erase(it);
+  }
+  dev_of_current().advance_time(
+      costs_of_current().host_unregister_overhead_s);
   return CUDA_SUCCESS;
 }
 
@@ -455,11 +529,12 @@ CUresult cuMemHostGetDevicePointer(CUdeviceptr* dptr, void* p,
                                    unsigned flags) {
   if (!dptr || !p || flags != 0) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
-  CUdevice dev = state().current->device;
+  CUdevice dev = current_ctx()->device;
   // Only integrated-memory devices expose host memory to the GPU; a
   // discrete part would need the payload staged across the bus anyway.
   if (!state().profiles[static_cast<std::size_t>(dev)].integrated)
     return CUDA_ERROR_INVALID_DEVICE;
+  std::lock_guard<std::mutex> lk(state().mu);
   auto it = state().pinned.find(reinterpret_cast<std::uintptr_t>(p));
   if (it == state().pinned.end()) return CUDA_ERROR_INVALID_VALUE;
   PinnedAlloc& alloc = it->second;
@@ -490,6 +565,7 @@ CUresult cuMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
 namespace {
 bool pinned_range(const void* p, std::size_t bytes) {
   if (!p) return false;
+  std::lock_guard<std::mutex> lk(state().mu);
   auto& pinned = state().pinned;
   auto addr = reinterpret_cast<std::uintptr_t>(p);
   auto it = pinned.upper_bound(addr);
@@ -673,7 +749,8 @@ CUresult launch_kernel_impl(CUfunction fn, unsigned grid_x, unsigned grid_y,
   if (grid_x == 0 || grid_y == 0 || grid_z == 0 || block_x == 0 ||
       block_y == 0 || block_z == 0)
     return CUDA_ERROR_INVALID_VALUE;
-  if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  if (stream && !stream->alive.load(std::memory_order_acquire))
+    return CUDA_ERROR_INVALID_HANDLE;
 
   DriverState& s = state();
   jetsim::Device& dev = dev_of_current();
@@ -693,12 +770,16 @@ CUresult launch_kernel_impl(CUfunction fn, unsigned grid_x, unsigned grid_y,
   cfg.block = {block_x, block_y, block_z};
   cfg.shared_mem = shared_mem_bytes + image.static_shared_mem;
   cfg.kernel_name = image.name;
-  cfg.model_only = s.model_only;
-  cfg.allow_block_sampling = s.block_sampling;
+  cfg.model_only = s.model_only.load(std::memory_order_relaxed);
+  cfg.allow_block_sampling = s.block_sampling.load(std::memory_order_relaxed);
   // One-shot: the host runtime stamps the zero-copy byte share of the
-  // launch it is about to issue; anything after runs device-resident.
-  cfg.zero_copy_fraction = s.next_zero_copy_fraction;
-  s.next_zero_copy_fraction = 0;
+  // launch it is about to issue (on this same thread); anything after
+  // runs device-resident. Stale stamps from before a reset are dropped.
+  cfg.zero_copy_fraction =
+      tl_next_zero_copy_epoch == s.epoch.load(std::memory_order_acquire)
+          ? tl_next_zero_copy_fraction
+          : 0;
+  tl_next_zero_copy_fraction = 0;
 
   ArgPack args(dev, kernel_params, image.param_count);
   auto body = [&](jetsim::KernelCtx& ctx) { image.entry(ctx, args); };
@@ -752,21 +833,23 @@ CUresult cuStreamCreate(CUstream* stream, unsigned /*flags*/) {
   if (!stream) return CUDA_ERROR_INVALID_VALUE;
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   auto st = std::make_unique<CUstream_st>();
-  st->device = state().current->device;
+  st->device = current_ctx()->device;
   *stream = st.get();
+  std::lock_guard<std::mutex> lk(state().mu);
   state().streams.push_back(std::move(st));
   return CUDA_SUCCESS;
 }
 
 CUresult cuStreamDestroy(CUstream stream) {
-  if (!stream || !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  if (!stream || !stream->alive.load(std::memory_order_acquire))
+    return CUDA_ERROR_INVALID_HANDLE;
   // Destruction drains the stream: the host waits for pending modeled
   // work so no timeline survives the handle.
   DriverState& s = state();
   if (stream->device < static_cast<int>(s.devices.size()))
     s.devices[static_cast<std::size_t>(stream->device)]->sync_to(
         stream->ready);
-  stream->alive = false;
+  stream->alive.store(false, std::memory_order_release);
   return CUDA_SUCCESS;
 }
 
@@ -774,13 +857,21 @@ CUresult cuStreamSynchronize(CUstream stream) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (!stream) {
     // Legacy default stream: wait for everything queued on the current
-    // context's device.
-    CUdevice dev = state().current->device;
-    for (const auto& st : state().streams)
-      if (st->alive && st->device == dev) dev_of_current().sync_to(st->ready);
+    // context's device. Snapshot under the handle lock; only same-device
+    // timelines are read (serialized by this device's caller).
+    CUdevice dev = current_ctx()->device;
+    std::vector<double> readys;
+    {
+      std::lock_guard<std::mutex> lk(state().mu);
+      for (const auto& st : state().streams)
+        if (st->device == dev && st->alive.load(std::memory_order_acquire))
+          readys.push_back(st->ready);
+    }
+    for (double r : readys) dev_of_current().sync_to(r);
     return CUDA_SUCCESS;
   }
-  if (!stream->alive) return CUDA_ERROR_INVALID_HANDLE;
+  if (!stream->alive.load(std::memory_order_acquire))
+    return CUDA_ERROR_INVALID_HANDLE;
   state()
       .devices[static_cast<std::size_t>(stream->device)]
       ->sync_to(stream->ready);
@@ -811,6 +902,7 @@ CUresult cuEventCreate(CUevent* event, unsigned /*flags*/) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   auto ev = std::make_unique<CUevent_st>();
   *event = ev.get();
+  std::lock_guard<std::mutex> lk(state().mu);
   state().events.push_back(std::move(ev));
   return CUDA_SUCCESS;
 }
@@ -825,7 +917,7 @@ CUresult cuEventRecord(CUevent event, CUstream stream) {
   if (CUresult r = require_ctx(); r != CUDA_SUCCESS) return r;
   if (stream && !stream->alive) return CUDA_ERROR_INVALID_HANDLE;
   event->when = stream ? stream->ready : dev_of_current().now();
-  event->device = stream ? stream->device : state().current->device;
+  event->device = stream ? stream->device : current_ctx()->device;
   event->recorded = true;
   return CUDA_SUCCESS;
 }
@@ -865,10 +957,14 @@ jetsim::Device& cuSimDevice(CUdevice dev) {
   return *state().devices[static_cast<std::size_t>(dev)];
 }
 
-void cuSimSetModelOnly(bool enabled) { state().model_only = enabled; }
-bool cuSimModelOnly() { return state().model_only; }
+void cuSimSetModelOnly(bool enabled) {
+  state().model_only.store(enabled, std::memory_order_relaxed);
+}
+bool cuSimModelOnly() {
+  return state().model_only.load(std::memory_order_relaxed);
+}
 void cuSimSetBlockSampling(bool enabled) {
-  state().block_sampling = enabled;
+  state().block_sampling.store(enabled, std::memory_order_relaxed);
 }
 
 jetsim::DriverCosts& cuSimDriverCosts(CUdevice dev) {
@@ -888,14 +984,19 @@ bool cuSimIsPinned(const void* p, std::size_t bytes) {
 }
 
 void cuSimSetNextLaunchZeroCopyFraction(double fraction) {
-  state().next_zero_copy_fraction = std::clamp(fraction, 0.0, 1.0);
+  tl_next_zero_copy_fraction = std::clamp(fraction, 0.0, 1.0);
+  tl_next_zero_copy_epoch = state().epoch.load(std::memory_order_acquire);
 }
 
-void cuSimClearJitCache() { state().jit_cache.clear(); }
+void cuSimClearJitCache() {
+  std::lock_guard<std::mutex> lk(state().mu);
+  state().jit_cache.clear();
+}
 
 void cuSimSetDeviceCount(int n) {
   // Resizing keeps the profiles already configured for surviving
   // ordinals; new ordinals boot with the board default.
+  std::lock_guard<std::mutex> lk(state().mu);
   state().pending_profiles.resize(
       static_cast<std::size_t>(std::clamp(n, 1, 16)));
 }
@@ -903,13 +1004,16 @@ void cuSimSetDeviceCount(int n) {
 void cuSimSetDeviceProfiles(std::vector<jetsim::DeviceProfile> profiles) {
   if (profiles.empty()) profiles.push_back(jetsim::DeviceProfile{});
   if (profiles.size() > 16) profiles.resize(16);
+  std::lock_guard<std::mutex> lk(state().mu);
   state().pending_profiles = std::move(profiles);
 }
 
 int cuSimDeviceCount() {
   DriverState& s = state();
-  return s.initialized ? static_cast<int>(s.devices.size())
-                       : static_cast<int>(s.pending_profiles.size());
+  if (s.initialized.load(std::memory_order_acquire))
+    return static_cast<int>(s.devices.size());
+  std::lock_guard<std::mutex> lk(s.mu);
+  return static_cast<int>(s.pending_profiles.size());
 }
 
 double cuSimStreamReady(CUstream stream) {
@@ -925,7 +1029,12 @@ const std::vector<StreamOp>& cuSimStreamOps(CUstream stream) {
 }
 
 void cuSimReset() {
+  // Single-threaded by contract: a reset while other threads still hold
+  // driver handles is a caller bug (the server drains its clients
+  // first). Other threads' cached TLS currency is invalidated by the
+  // epoch bump — a reset cannot reach their TLS slots directly.
   DriverState& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
   s.contexts.clear();
   s.modules.clear();
   s.streams.clear();
@@ -933,17 +1042,21 @@ void cuSimReset() {
   s.devices.clear();
   s.pinned.clear();
   s.jit_cache.clear();
-  s.current = nullptr;
-  s.initialized = false;
+  s.initialized.store(false, std::memory_order_release);
   s.profiles.clear();
   s.device_costs.clear();
   s.pending_profiles = {jetsim::DeviceProfile{}};
-  s.model_only = false;
-  s.block_sampling = false;
-  s.next_zero_copy_fraction = 0;
-  ++s.epoch;
+  s.model_only.store(false, std::memory_order_relaxed);
+  s.block_sampling.store(false, std::memory_order_relaxed);
+  s.epoch.fetch_add(1, std::memory_order_acq_rel);
+  tl_current = nullptr;
+  tl_current_epoch = 0;
+  tl_next_zero_copy_fraction = 0;
+  tl_next_zero_copy_epoch = 0;
 }
 
-uint64_t cuSimEpoch() { return state().epoch; }
+uint64_t cuSimEpoch() {
+  return state().epoch.load(std::memory_order_acquire);
+}
 
 }  // namespace cudadrv

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "sim/device.h"
@@ -91,7 +92,11 @@ struct ModuleImage {
 };
 
 /// Global registry standing in for the directory of kernel binaries that
-/// ompicc places next to the host executable.
+/// ompicc places next to the host executable. Thread-safe: concurrent
+/// server clients resolve kernels through here while other threads keep
+/// installing images. `find` hands out a stable pointer (std::map nodes
+/// never move); erasing an image another thread still launches from is a
+/// caller bug, exactly like deleting a binary out from under dlopen.
 class BinaryRegistry {
  public:
   static BinaryRegistry& instance();
@@ -100,9 +105,13 @@ class BinaryRegistry {
   const ModuleImage* find(const std::string& path) const;
   bool erase(const std::string& path);
   void clear();
-  std::size_t size() const { return images_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return images_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, ModuleImage> images_;
 };
 

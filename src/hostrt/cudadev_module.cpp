@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "devrt/devrt.h"
+#include "hostrt/env.h"
 
 namespace hostrt {
 
@@ -110,37 +111,17 @@ void CudadevModule::initialize() {
   epoch_ = cudadrv::cuSimEpoch();
   integrated_ = cudadrv::cuSimDeviceProfile(device_).integrated;
 
-  // Data-environment tuning knobs, read once per initialization.
-  if (const char* v = std::getenv("OMPI_ALLOC_CACHE")) {
-    // Strict, like every other OMPI_* knob: only the documented boolean
-    // spellings are accepted. The old lenient reader treated any unknown
-    // value (OMPI_ALLOC_CACHE=offf) as "on" and benchmarked the wrong
-    // configuration silently.
-    std::string s = v;
-    if (s == "1" || s == "on" || s == "true") {
-      allocator_.set_enabled(true);
-    } else if (s == "0" || s == "off" || s == "false") {
-      allocator_.set_enabled(false);
-    } else {
-      throw std::runtime_error(
-          std::string("OMPI_ALLOC_CACHE='") + v +
-          "' is invalid: expected 'on', 'off', '1', '0', 'true' or 'false'");
-    }
-  }
+  // Data-environment tuning knobs, read once per initialization; both
+  // strict (hostrt/env.h). The old lenient reader treated any unknown
+  // value (OMPI_ALLOC_CACHE=offf) as "on" and benchmarked the wrong
+  // configuration silently.
+  if (const char* v = std::getenv("OMPI_ALLOC_CACHE"))
+    allocator_.set_enabled(parse_env_flag("OMPI_ALLOC_CACHE", v));
   if (const char* v = std::getenv("OMPI_COALESCE_MAX")) {
-    // Strict, like the runtime's other numeric knobs: a plain byte count
-    // in [0, 2^30], where 0 keeps its documented meaning of disabling
-    // coalescing. Anything else is a configuration error, not a default.
-    char* end = nullptr;
-    errno = 0;
-    long long n = std::strtoll(v, &end, 10);
-    if (end == v || *end != '\0' || errno == ERANGE || n < 0 ||
-        n > (1LL << 30))
-      throw std::runtime_error(
-          std::string("OMPI_COALESCE_MAX must be a byte count in "
-                      "[0, 2^30], got \"") +
-          v + "\"");
-    coalesce_max_ = static_cast<std::size_t>(n);
+    // A byte count in [0, 2^30]; 0 keeps its documented meaning of
+    // disabling coalescing.
+    coalesce_max_ = static_cast<std::size_t>(
+        parse_env_int("OMPI_COALESCE_MAX", v, 0, 1 << 30));
   }
   initialized_ = true;
 }

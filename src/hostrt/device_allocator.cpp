@@ -19,6 +19,7 @@ std::size_t DeviceAllocator::round_size(std::size_t bytes) {
 }
 
 void DeviceAllocator::set_enabled(bool enabled) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (enabled_ && !enabled) release_cached();
   enabled_ = enabled;
 }
@@ -68,6 +69,7 @@ uint64_t DeviceAllocator::raw_alloc_with_pressure(std::size_t rounded) {
 }
 
 uint64_t DeviceAllocator::alloc(std::size_t bytes) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (bytes == 0) return 0;
   std::size_t rounded = round_size(bytes);
   if (!enabled_) {
@@ -96,6 +98,7 @@ uint64_t DeviceAllocator::alloc(std::size_t bytes) {
 
 uint64_t DeviceAllocator::alloc_group(const std::vector<std::size_t>& sizes,
                                       std::vector<uint64_t>* addrs) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   addrs->clear();
   if (sizes.empty()) return 0;
   std::size_t total = 0;
@@ -127,6 +130,7 @@ uint64_t DeviceAllocator::alloc_group(const std::vector<std::size_t>& sizes,
 }
 
 uint64_t DeviceAllocator::region_of(uint64_t addr) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = live_.find(addr);
   if (it == live_.end()) return 0;
   return it->second.slab ? it->second.slab : addr;
@@ -143,6 +147,7 @@ void DeviceAllocator::insert_cached(uint64_t addr, std::size_t rounded) {
 }
 
 void DeviceAllocator::free(uint64_t addr) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = live_.find(addr);
   if (it == live_.end()) {
     // Not ours (mapped before the allocator was installed, or a direct
@@ -180,6 +185,7 @@ void DeviceAllocator::free(uint64_t addr) {
 }
 
 void DeviceAllocator::release_cached() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   for (auto& [size, list] : cache_) {
     for (CachedBlock& b : list) {
       // Freeing a block the device may still touch is a use-after-free:
@@ -196,6 +202,7 @@ void DeviceAllocator::release_cached() {
 }
 
 void DeviceAllocator::abandon() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   cache_.clear();
   live_.clear();
   slabs_.clear();

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 namespace hostrt {
@@ -66,7 +67,10 @@ class DeviceAllocator {
   /// When disabled, alloc/free pass straight through to the driver (the
   /// seed behavior); the cache is flushed on the transition.
   void set_enabled(bool enabled);
-  bool enabled() const { return enabled_; }
+  bool enabled() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return enabled_;
+  }
 
   /// Allocates `bytes` (rounded to its size class). Returns 0 on OOM
   /// after trimming the cache.
@@ -97,7 +101,12 @@ class DeviceAllocator {
   /// simulator reset already reclaimed device memory wholesale.
   void abandon();
 
-  const Stats& stats() const { return stats_; }
+  /// Counter snapshot, by value: the struct is mutated under the
+  /// allocator's lock, so handing out a reference would hand out a race.
+  Stats stats() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return stats_;
+  }
 
   /// Size class of a request: pow2 up to 1 MB, then 1 MB multiples.
   static std::size_t round_size(std::size_t bytes);
@@ -130,6 +139,10 @@ class DeviceAllocator {
   void note_high_water();
 
   AllocatorOps ops_;
+  // Recursive: the pressure path inside alloc reuses the public
+  // release_cached. Leaf-level in the lock order (DESIGN.md §5j) — the
+  // ops_ hooks call into the driver but never back into the allocator.
+  mutable std::recursive_mutex mu_;
   bool enabled_ = true;
   std::map<std::size_t, std::vector<CachedBlock>> cache_;
   std::map<uint64_t, LiveBlock> live_;

@@ -1,0 +1,42 @@
+#include "hostrt/env.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hostrt {
+
+int parse_env_int(const char* name, const char* value, int lo, int hi) {
+  char* end = nullptr;
+  long n = std::strtol(value, &end, 10);
+  if (!end || end == value || *end != '\0' || n < lo || n > hi)
+    throw std::runtime_error(std::string(name) + "='" + value +
+                             "' is invalid: expected an integer in [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "]");
+  return static_cast<int>(n);
+}
+
+bool parse_env_flag(const char* name, const char* value) {
+  std::string v = value;
+  if (v == "1" || v == "on" || v == "true") return true;
+  if (v == "0" || v == "off" || v == "false") return false;
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected one of "
+                           "1/on/true or 0/off/false");
+}
+
+std::size_t parse_env_choice(const char* name, const char* value,
+                             const std::vector<std::string>& choices) {
+  std::string v = value;
+  for (std::size_t i = 0; i < choices.size(); ++i)
+    if (v == choices[i]) return i;
+  std::string domain;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i) domain += i + 1 == choices.size() ? "' or '" : "', '";
+    domain += choices[i];
+  }
+  throw std::runtime_error(std::string(name) + "='" + v +
+                           "' is invalid: expected '" + domain + "'");
+}
+
+}  // namespace hostrt

@@ -1,0 +1,29 @@
+// Strict environment-variable parsing, shared by every OMPI_* consumer
+// (runtime, device modules, apps, offload server). The contract: a
+// variable that is SET but malformed or out of range aborts startup with
+// a message naming the variable, the offending value and the accepted
+// domain — never a silent fall-through to the default. That is the bug
+// class where a mistyped OMPI_NUM_STREAMS=eight benchmarked the wrong
+// machine; unset variables keep the caller's default as usual.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hostrt {
+
+/// Integer in [lo, hi]. Rejects trailing junk ("8x"), empty values and
+/// anything strtol would sign-extend past the range.
+int parse_env_int(const char* name, const char* value, int lo, int hi);
+
+/// Boolean flag: 1|on|true -> true, 0|off|false -> false (lowercase
+/// only, like the rest of the OMPI_* vocabulary).
+bool parse_env_flag(const char* name, const char* value);
+
+/// One of an explicit vocabulary; returns the index of the match in
+/// `choices`. The error message lists the full vocabulary.
+std::size_t parse_env_choice(const char* name, const char* value,
+                             const std::vector<std::string>& choices);
+
+}  // namespace hostrt

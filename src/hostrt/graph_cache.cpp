@@ -3,6 +3,7 @@
 namespace hostrt {
 
 KernelGraph* GraphCache::find(uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
   ++hits_;
@@ -11,7 +12,9 @@ KernelGraph* GraphCache::find(uint64_t key) {
 }
 
 KernelGraph& GraphCache::insert(KernelGraph graph) {
+  std::lock_guard<std::mutex> lk(mu_);
   uint64_t key = graph.key;
+  claimed_.erase(key);  // the bake this insert concludes, if claimed
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.graph = std::move(graph);
@@ -26,7 +29,19 @@ KernelGraph& GraphCache::insert(KernelGraph graph) {
   return e.graph;
 }
 
+bool GraphCache::claim(uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.count(key)) return false;
+  return claimed_.insert(key).second;
+}
+
+void GraphCache::unclaim(uint64_t key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  claimed_.erase(key);
+}
+
 void GraphCache::set_max_entries(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
   max_entries_ = n < 1 ? 1 : n;
   while (entries_.size() > max_entries_) evict_lru();
 }
@@ -38,8 +53,10 @@ void GraphCache::evict_lru() {
 }
 
 void GraphCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   entries_.clear();
   lru_.clear();
+  claimed_.clear();
 }
 
 }  // namespace hostrt

@@ -10,11 +10,23 @@
 // distinct chain shapes would otherwise grow it without limit. When a
 // fresh insert would exceed the bound the least-recently-used entry is
 // dropped (OMPI_GRAPH_CACHE_MAX overrides the default).
+//
+// Thread safety (DESIGN.md §5j): all methods lock the cache's own
+// mutex. Baking a graph is expensive and happens *outside* the lock, so
+// two threads missing on the same cold key would otherwise both bake
+// it; claim()/unclaim() arbitrate — the thread whose claim() returns
+// true bakes and insert()s (fulfilling the claim), everyone else
+// re-polls find(). A pointer returned by find() stays valid until that
+// entry is evicted or the cache cleared; callers replaying from it must
+// serialize against eviction externally (the Runtime's graph mutex
+// does) or copy what they need while the entry is hot.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "hostrt/kernel_graph.h"
 
@@ -35,17 +47,39 @@ class GraphCache {
   /// Stores a freshly baked graph under graph.key, replacing any
   /// previous entry (re-capture after an invalidating reset) and
   /// evicting the least-recently-used entry when the bound is exceeded.
+  /// Fulfills (clears) any outstanding claim on the key.
   KernelGraph& insert(KernelGraph graph);
+
+  /// Reserves a cold key for baking: true exactly once per missing key —
+  /// the winner bakes and insert()s, losers re-poll find(). Returns
+  /// false when the key is already cached or already claimed.
+  bool claim(uint64_t key);
+
+  /// Releases a claim whose bake failed or was abandoned, so another
+  /// thread may try again.
+  void unclaim(uint64_t key);
 
   /// Caps the entry count (minimum 1); evicts immediately if the cache
   /// is already over the new bound.
   void set_max_entries(std::size_t n);
-  std::size_t max_entries() const { return max_entries_; }
+  std::size_t max_entries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return max_entries_;
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return evictions_;
+  }
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
   void clear();
 
  private:
@@ -54,10 +88,12 @@ class GraphCache {
     std::list<uint64_t>::iterator lru_pos;
   };
 
-  void evict_lru();
+  void evict_lru();  // callers hold mu_
 
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> entries_;
   std::list<uint64_t> lru_;  // front = most recent, back = next victim
+  std::unordered_set<uint64_t> claimed_;  // keys being baked right now
   std::size_t max_entries_ = kDefaultMaxEntries;
   uint64_t hits_ = 0;
   uint64_t evictions_ = 0;

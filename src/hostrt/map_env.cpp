@@ -40,6 +40,7 @@ const DataEnv::Mapping* DataEnv::find(const void* host,
 }
 
 uint64_t DataEnv::map(const MapItem& item) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (!item.host || item.size == 0)
     throw MapError("map of null or empty range");
   auto addr = reinterpret_cast<uintptr_t>(item.host);
@@ -84,6 +85,7 @@ uint64_t DataEnv::map(const MapItem& item) {
 }
 
 void DataEnv::unmap(const MapItem& item) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto addr = reinterpret_cast<uintptr_t>(item.host);
   auto it = table_.find(addr);
   if (it == table_.end())
@@ -101,6 +103,7 @@ void DataEnv::unmap(const MapItem& item) {
 }
 
 std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   // Pass 1 — classify. Fresh items enter the table as placeholders
   // (dev_addr 0) so a duplicate later in the batch sees them as present,
   // exactly as it would when mapping sequentially. The backend decides
@@ -185,6 +188,7 @@ std::vector<uint64_t> DataEnv::map_batch(const std::vector<MapItem>& items) {
 }
 
 void DataEnv::unmap_batch(const std::vector<MapItem>& items) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   // All copy-backs are issued (as one coalescable batch) before any
   // storage is released: a pooled block must not be reusable while a
   // read of it is still outstanding.
@@ -215,6 +219,7 @@ void DataEnv::unmap_batch(const std::vector<MapItem>& items) {
 }
 
 void DataEnv::unmap_delete(const void* host) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = table_.find(reinterpret_cast<uintptr_t>(host));
   if (it == table_.end())
     throw MapError("delete of a range that was never mapped at this base");
@@ -224,6 +229,7 @@ void DataEnv::unmap_delete(const void* host) {
 }
 
 uint64_t DataEnv::lookup(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto addr = reinterpret_cast<uintptr_t>(host);
   auto it = table_.upper_bound(addr);
   if (it != table_.begin()) {
@@ -238,26 +244,31 @@ uint64_t DataEnv::lookup(const void* host) const {
 }
 
 bool DataEnv::is_present(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   return find(host) != nullptr;
 }
 
 bool DataEnv::is_zero_copy(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   const Mapping* m = find(host);
   return m && m->zero_copy;
 }
 
 int DataEnv::reuse_count(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = reuse_.find(reinterpret_cast<uintptr_t>(host));
   return it == reuse_.end() ? 0 : it->second;
 }
 
 int DataEnv::refcount(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   const Mapping* m = find(host);
   return m ? m->refcount : 0;
 }
 
 bool DataEnv::mapping_info(const void* host, MapItem* out,
                            int* refcount) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto addr = reinterpret_cast<uintptr_t>(host);
   auto it = table_.upper_bound(addr);
   if (it == table_.begin()) return false;
@@ -273,6 +284,7 @@ bool DataEnv::mapping_info(const void* host, MapItem* out,
 }
 
 std::size_t DataEnv::resident_bytes(const std::vector<MapItem>& items) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   // Count each containing mapping once even when several items fall
   // inside it (the footprint is what would migrate, not the clause).
   std::size_t total = 0;
@@ -291,6 +303,7 @@ std::size_t DataEnv::resident_bytes(const std::vector<MapItem>& items) const {
 }
 
 uint64_t DataEnv::adopt(const MapItem& item, int refcount) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (!item.host || item.size == 0 || refcount <= 0)
     throw MapError("adopt of null, empty or unreferenced range");
   auto addr = reinterpret_cast<uintptr_t>(item.host);
@@ -315,6 +328,7 @@ uint64_t DataEnv::adopt(const MapItem& item, int refcount) {
 }
 
 int DataEnv::evict(const void* host) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto addr = reinterpret_cast<uintptr_t>(host);
   auto it = table_.upper_bound(addr);
   if (it == table_.begin()) return 0;
@@ -328,6 +342,7 @@ int DataEnv::evict(const void* host) {
 }
 
 void DataEnv::update_to(const void* host, std::size_t size) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   const Mapping* m = find(host, size);
   if (!m) throw MapError("target update to(...) of an unmapped range");
   // A zero-copy mapping is always coherent: the device reads the host
@@ -337,6 +352,7 @@ void DataEnv::update_to(const void* host, std::size_t size) {
 }
 
 void DataEnv::update_from(void* host, std::size_t size) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   const Mapping* m = find(host, size);
   if (!m) throw MapError("target update from(...) of an unmapped range");
   if (m->zero_copy) return;  // coherent: kernel stores landed in place

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -153,6 +154,11 @@ class MapBackend {
 ///  - mapping an already-present range only increments its count;
 ///  - unmapping decrements; the last unmap transfers back (from/tofrom)
 ///    and releases the device storage.
+///
+/// Thread safety (DESIGN.md §5j): every method locks the environment's
+/// recursive mutex, so concurrent data directives over one device see a
+/// sequentially consistent table. Recursive because the entry points
+/// call each other (map_batch and the updates resolve through lookup).
 class DataEnv {
  public:
   explicit DataEnv(MapBackend& backend) : backend_(&backend) {}
@@ -163,8 +169,21 @@ class DataEnv {
 
   /// Honor inferred access modes when deciding transfers (OMPI_MAPINFER).
   /// Items at AccessMode::Unknown always behave as declared.
-  void set_infer(bool enabled) { infer_ = enabled; }
-  bool infer() const { return infer_; }
+  void set_infer(bool enabled) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    infer_ = enabled;
+  }
+  bool infer() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return infer_;
+  }
+
+  /// The environment's lock, exposed so the OffloadQueue can hold the
+  /// table steady across a whole bind_stream → map → launch → unmap
+  /// span (the module's bound stream must not change underneath a task;
+  /// see OffloadQueue::enqueue). Recursive, so the entry points still
+  /// lock normally while the caller holds it.
+  std::recursive_mutex& mutex() const { return mu_; }
 
   /// Maps one item (enter semantics). Returns the device address
   /// corresponding to item.host.
@@ -212,8 +231,14 @@ class DataEnv {
   /// target update from(...) — device-to-host refresh; must be present.
   void update_from(void* host, std::size_t size);
 
-  std::size_t mapped_ranges() const { return table_.size(); }
-  std::size_t mapped_bytes() const { return mapped_bytes_; }
+  std::size_t mapped_ranges() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return table_.size();
+  }
+  std::size_t mapped_bytes() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return mapped_bytes_;
+  }
 
   // --- residency queries & migration (work-stealing scheduler) ----------
   /// Base, size and refcount of the mapping containing `host`; returns
@@ -251,6 +276,7 @@ class DataEnv {
   void release_storage(uintptr_t base, const Mapping& m);
 
   MapBackend* backend_;
+  mutable std::recursive_mutex mu_;
   bool infer_ = true;
   std::map<uintptr_t, Mapping> table_;  // keyed by host base address
   std::size_t mapped_bytes_ = 0;

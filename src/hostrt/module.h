@@ -113,6 +113,35 @@ struct OffloadStats {
   /// The three-phase launch time. Transfers and queueing are reported
   /// separately so the sum stays comparable across sync and async paths.
   double total() const { return load_s + prepare_s + exec_s; }
+
+  /// Field-wise accumulation, used by OffloadQueue::totals() to fold the
+  /// per-task stats together. `stream` is an identity, not a quantity,
+  /// and keeps its aggregate default of -1.
+  OffloadStats& operator+=(const OffloadStats& o) {
+    load_s += o.load_s;
+    prepare_s += o.prepare_s;
+    exec_s += o.exec_s;
+    queued_s += o.queued_s;
+    h2d_s += o.h2d_s;
+    d2h_s += o.d2h_s;
+    alloc_cache_hits += o.alloc_cache_hits;
+    alloc_cache_misses += o.alloc_cache_misses;
+    coalesced_transfers += o.coalesced_transfers;
+    bytes_staged += o.bytes_staged;
+    zero_copy_maps += o.zero_copy_maps;
+    zero_copy_bytes += o.zero_copy_bytes;
+    red_warp_combines += o.red_warp_combines;
+    red_smem_combines += o.red_smem_combines;
+    red_global_atomics += o.red_global_atomics;
+    graphs_captured += o.graphs_captured;
+    graph_replays += o.graph_replays;
+    transfers_elided += o.transfers_elided;
+    graph_cache_evictions += o.graph_cache_evictions;
+    maps_downgraded += o.maps_downgraded;
+    maps_elided += o.maps_elided;
+    replicated_envs += o.replicated_envs;
+    return *this;
+  }
 };
 
 /// Host part of a device module.
@@ -178,8 +207,9 @@ class QueueableModule : public DeviceModule {
   /// Phases 2+3 of a graph-replayed node (DESIGN.md §5g): the launch
   /// descriptor was baked at capture, so parameter preparation only
   /// patches the mapped-pointer slots and the dispatch goes through the
-  /// driver's amortized graph path. Modules without a baked path (e.g.
-  /// opencldev) fall back to the plain asynchronous launch.
+  /// driver's amortized graph path. Both cudadev and opencldev override
+  /// this; a module without a baked path falls back to the plain
+  /// asynchronous launch.
   virtual OffloadStats launch_graph_async(const KernelLaunchSpec& spec,
                                           DataEnv& env,
                                           cudadrv::CUstream stream) {

@@ -13,15 +13,19 @@ void check(const char* op, cudadrv::CUresult r) {
                              " failed: " + cudadrv::cuResultName(r));
 }
 
-TaskId& task_id_counter() {
-  static TaskId next = 0;
+std::atomic<TaskId>& task_id_counter() {
+  static std::atomic<TaskId> next{0};
   return next;
 }
 
 }  // namespace
 
-TaskId allocate_task_id() { return task_id_counter()++; }
-void reset_task_ids() { task_id_counter() = 0; }
+TaskId allocate_task_id() {
+  return task_id_counter().fetch_add(1, std::memory_order_relaxed);
+}
+void reset_task_ids() {
+  task_id_counter().store(0, std::memory_order_relaxed);
+}
 
 OffloadQueue::OffloadQueue(QueueableModule& module, DataEnv& env, int streams)
     : module_(&module), env_(&env), epoch_(cudadrv::cuSimEpoch()) {
@@ -65,6 +69,12 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
                              const std::vector<MapItem>& maps,
                              const std::vector<DependItem>& depends,
                              const EnqueueOptions& opts) {
+  // One submission at a time per device: the queue mutex covers the
+  // dependence-table read-modify-write, the device timeline (streams,
+  // clock, engines) and the record bookkeeping. make_current() only
+  // stamps thread-local driver state, so it goes under the lock too —
+  // it must stay paired with the stream operations that rely on it.
+  std::lock_guard<std::mutex> lk(mu_);
   module_->make_current();
   jetsim::Device& dev = cudadrv::cuSimDevice(module_->device());
 
@@ -78,7 +88,9 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   // host work and a process-wide side effect).
   r.stats.load_s = module_->load(spec.module_path, spec.kernel_name);
 
-  r.stream = pick_stream();
+  r.stream = opts.stream >= 0 && opts.stream < stream_count()
+                 ? opts.stream
+                 : pick_stream();
   cudadrv::CUstream st = streams_[static_cast<std::size_t>(r.stream)];
 
   // Resolve explicit dependence edges against the table: in waits on the
@@ -102,21 +114,28 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
   // through the bound stream, the kernel through cuLaunchKernel(st).
   // The whole map clause goes through the batch entry points so the
   // module can group-allocate the items and coalesce their transfers.
-  module_->bind_stream(st);
-  env_->map_batch(maps);
-  module_->bind_stream(nullptr);
+  // The data environment's own mutex is held across the full bound-stream
+  // span: the module's bound_stream is shared module state, and a data
+  // directive (target enter/exit/update) racing in from another thread
+  // must not see — or clobber — this task's binding mid-flight.
+  {
+    std::lock_guard<std::recursive_mutex> env_lk(env_->mutex());
+    module_->bind_stream(st);
+    env_->map_batch(maps);
+    module_->bind_stream(nullptr);
 
-  OffloadStats launch_stats = opts.graph_replay
-                                  ? module_->launch_graph_async(spec, *env_, st)
-                                  : module_->launch_async(spec, *env_, st);
-  r.stats.prepare_s = launch_stats.prepare_s;
-  r.stats.red_warp_combines = launch_stats.red_warp_combines;
-  r.stats.red_smem_combines = launch_stats.red_smem_combines;
-  r.stats.red_global_atomics = launch_stats.red_global_atomics;
+    OffloadStats launch_stats =
+        opts.graph_replay ? module_->launch_graph_async(spec, *env_, st)
+                          : module_->launch_async(spec, *env_, st);
+    r.stats.prepare_s = launch_stats.prepare_s;
+    r.stats.red_warp_combines = launch_stats.red_warp_combines;
+    r.stats.red_smem_combines = launch_stats.red_smem_combines;
+    r.stats.red_global_atomics = launch_stats.red_global_atomics;
 
-  module_->bind_stream(st);
-  env_->unmap_batch({maps.rbegin(), maps.rend()});
-  module_->bind_stream(nullptr);
+    module_->bind_stream(st);
+    env_->unmap_batch({maps.rbegin(), maps.rend()});
+    module_->bind_stream(nullptr);
+  }
 
   // The task's completion event: recorded after the last queued op, it
   // is what later tasks (and quiesce) wait on.
@@ -217,24 +236,10 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
     }
   }
 
-  // Fold the task into the queue's running totals (scheduler load metric).
-  totals_.load_s += r.stats.load_s;
-  totals_.prepare_s += r.stats.prepare_s;
-  totals_.exec_s += r.stats.exec_s;
-  totals_.queued_s += r.stats.queued_s;
-  totals_.h2d_s += r.stats.h2d_s;
-  totals_.d2h_s += r.stats.d2h_s;
-  totals_.alloc_cache_hits += r.stats.alloc_cache_hits;
-  totals_.alloc_cache_misses += r.stats.alloc_cache_misses;
-  totals_.coalesced_transfers += r.stats.coalesced_transfers;
-  totals_.bytes_staged += r.stats.bytes_staged;
-  totals_.zero_copy_maps += r.stats.zero_copy_maps;
-  totals_.zero_copy_bytes += r.stats.zero_copy_bytes;
-  totals_.red_warp_combines += r.stats.red_warp_combines;
-  totals_.red_smem_combines += r.stats.red_smem_combines;
-  totals_.red_global_atomics += r.stats.red_global_atomics;
-  totals_.maps_downgraded += r.stats.maps_downgraded;
-  totals_.maps_elided += r.stats.maps_elided;
+  // Fold the task into the queue's running totals (scheduler load
+  // metric) via the caller thread's stats shard.
+  const OffloadStats& ts = r.stats;
+  shards_.apply([&ts](OffloadStats& s) { s += ts; });
 
   index_[r.id] = records_.size();
   records_.push_back(std::move(r));
@@ -242,6 +247,7 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
 }
 
 void OffloadQueue::sync() {
+  std::lock_guard<std::mutex> lk(mu_);
   // Context currency decides whose clock the synchronization advances.
   module_->make_current();
   for (cudadrv::CUstream st : streams_)
@@ -251,16 +257,22 @@ void OffloadQueue::sync() {
 cudadrv::CUevent OffloadQueue::replay_prologue(
     const std::vector<MapItem>& items) {
   if (items.empty()) return nullptr;
+  std::lock_guard<std::mutex> lk(mu_);
   module_->make_current();
   cudadrv::CUstream st = streams_[static_cast<std::size_t>(pick_stream())];
   std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
-  module_->bind_stream(st);
-  env_->map_batch(items);
-  module_->bind_stream(nullptr);
+  double h2d = 0;
+  {
+    std::lock_guard<std::recursive_mutex> env_lk(env_->mutex());
+    module_->bind_stream(st);
+    env_->map_batch(items);
+    module_->bind_stream(nullptr);
+  }
   const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
   for (std::size_t i = ops_before; i < ops.size(); ++i)
     if (ops[i].kind == cudadrv::StreamOp::Kind::H2D)
-      totals_.h2d_s += ops[i].end_s - ops[i].start_s;
+      h2d += ops[i].end_s - ops[i].start_s;
+  shards_.apply([h2d](OffloadStats& s) { s.h2d_s += h2d; });
   cudadrv::CUevent ready = nullptr;
   check("cuEventCreate", cudadrv::cuEventCreate(&ready, 0));
   check("cuEventRecord", cudadrv::cuEventRecord(ready, st));
@@ -269,6 +281,7 @@ cudadrv::CUevent OffloadQueue::replay_prologue(
 
 void OffloadQueue::replay_epilogue(const std::vector<MapItem>& items) {
   if (items.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
   module_->make_current();
   cudadrv::CUstream st = streams_[static_cast<std::size_t>(pick_stream())];
   // Copy-backs must observe every replayed node that touched the hoisted
@@ -283,29 +296,41 @@ void OffloadQueue::replay_epilogue(const std::vector<MapItem>& items) {
       check("cuStreamWaitEvent", cudadrv::cuStreamWaitEvent(st, ev, 0));
   }
   std::size_t ops_before = cudadrv::cuSimStreamOps(st).size();
-  module_->bind_stream(st);
-  env_->unmap_batch({items.rbegin(), items.rend()});
-  module_->bind_stream(nullptr);
+  double d2h = 0;
+  {
+    std::lock_guard<std::recursive_mutex> env_lk(env_->mutex());
+    module_->bind_stream(st);
+    env_->unmap_batch({items.rbegin(), items.rend()});
+    module_->bind_stream(nullptr);
+  }
   const std::vector<cudadrv::StreamOp>& ops = cudadrv::cuSimStreamOps(st);
   for (std::size_t i = ops_before; i < ops.size(); ++i)
     if (ops[i].kind == cudadrv::StreamOp::Kind::D2H)
-      totals_.d2h_s += ops[i].end_s - ops[i].start_s;
+      d2h += ops[i].end_s - ops[i].start_s;
+  shards_.apply([d2h](OffloadStats& s) { s.d2h_s += d2h; });
 }
 
-void OffloadQueue::note_graph_capture() { ++totals_.graphs_captured; }
+void OffloadQueue::note_graph_capture() {
+  shards_.apply([](OffloadStats& s) { ++s.graphs_captured; });
+}
 
 void OffloadQueue::note_graph_replay(uint64_t elided) {
-  ++totals_.graph_replays;
-  totals_.transfers_elided += elided;
+  shards_.apply([elided](OffloadStats& s) {
+    ++s.graph_replays;
+    s.transfers_elided += elided;
+  });
 }
 
 void OffloadQueue::note_graph_evictions(uint64_t count) {
-  totals_.graph_cache_evictions += count;
+  shards_.apply([count](OffloadStats& s) { s.graph_cache_evictions += count; });
 }
 
-void OffloadQueue::note_replication() { ++totals_.replicated_envs; }
+void OffloadQueue::note_replication() {
+  shards_.apply([](OffloadStats& s) { ++s.replicated_envs; });
+}
 
 void OffloadQueue::quiesce(const void* host) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = table_.find(host);
   if (it == table_.end()) return;
   module_->make_current();
@@ -317,13 +342,21 @@ void OffloadQueue::quiesce(const void* host) {
 }
 
 const TaskRecord& OffloadQueue::record(TaskId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = index_.find(id);
   if (it == index_.end())
     throw std::out_of_range("offload queue: unknown task id");
+  // Deque references are push_back-stable: safe to hand out past the lock.
   return records_[it->second];
 }
 
+std::size_t OffloadQueue::task_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
 double OffloadQueue::earliest_free() const {
+  std::lock_guard<std::mutex> lk(mu_);
   double best = cudadrv::cuSimStreamReady(streams_[0]);
   for (std::size_t i = 1; i < streams_.size(); ++i)
     best = std::min(best, cudadrv::cuSimStreamReady(streams_[i]));
@@ -331,6 +364,7 @@ double OffloadQueue::earliest_free() const {
 }
 
 double OffloadQueue::horizon() const {
+  std::lock_guard<std::mutex> lk(mu_);
   double worst = cudadrv::cuSimStreamReady(streams_[0]);
   for (std::size_t i = 1; i < streams_.size(); ++i)
     worst = std::max(worst, cudadrv::cuSimStreamReady(streams_[i]));
@@ -338,6 +372,7 @@ double OffloadQueue::horizon() const {
 }
 
 std::size_t OffloadQueue::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
   jetsim::Device& dev = cudadrv::cuSimDevice(module_->device());
   std::size_t n = 0;
   for (const TaskRecord& r : records_)

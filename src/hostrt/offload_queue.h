@@ -12,11 +12,22 @@
 // cross-task ordering is expressed with events (cuEventRecord on the
 // producer's stream, cuStreamWaitEvent on the consumer's), and overlap
 // or serialization shows up in the task records.
+//
+// Thread safety (DESIGN.md §5j): every public method is safe to call
+// from any thread. One mutex per queue serializes that device's
+// submissions — concurrent clients on *different* devices never contend
+// — and the per-task stats fold into per-thread shards so totals() can
+// aggregate without stalling submitters.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -43,8 +54,9 @@ using TaskId = std::size_t;
 
 /// Process-wide task id allocator. Ids are unique across every queue so
 /// the multi-device scheduler can hand out one id space; a lone queue
-/// still sees small consecutive ids. reset_task_ids() restores 0 for
-/// deterministic tests (the runtime calls it from reset()).
+/// still sees small consecutive ids. The counter is atomic — concurrent
+/// server clients draw ids without a lock. reset_task_ids() restores 0
+/// for deterministic tests (the runtime calls it from reset()).
 TaskId allocate_task_id();
 void reset_task_ids();
 
@@ -64,7 +76,8 @@ struct TaskRecord {
   OffloadStats stats;
 };
 
-/// Optional knobs for OffloadQueue::enqueue, used by the scheduler.
+/// Optional knobs for OffloadQueue::enqueue, used by the scheduler and
+/// the offload server.
 struct EnqueueOptions {
   static constexpr TaskId kAutoId = static_cast<TaskId>(-1);
   /// Task id to record under; kAutoId draws from allocate_task_id().
@@ -77,6 +90,51 @@ struct EnqueueOptions {
   /// launch goes through the module's baked graph path with amortized
   /// dispatch overhead instead of a full per-launch submission.
   bool graph_replay = false;
+  /// Stream-pool slot to run on (the server pins each tenant to its own
+  /// slice of the pool); outside [0, stream_count) the queue picks the
+  /// least-loaded stream as before.
+  int stream = -1;
+};
+
+/// Per-thread sharded accumulator for OffloadStats (DESIGN.md §5j).
+/// Writers fold into the shard their thread id hashes to — its own
+/// mutex on its own cache line, so a handful of client threads almost
+/// never contend — and totals() sums every shard under the shard locks.
+class StatsShards {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  /// Runs `f(OffloadStats&)` against the calling thread's shard.
+  template <typename F>
+  void apply(F&& f) {
+    Shard& sh = shard();
+    std::lock_guard<std::mutex> lk(sh.mu);
+    f(sh.stats);
+  }
+
+  /// Sum over all shards (a consistent per-shard snapshot; shards
+  /// written mid-aggregation land in the next read, like any counter).
+  OffloadStats total() const {
+    OffloadStats out;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      out += sh.stats;
+    }
+    return out;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    OffloadStats stats;
+  };
+
+  Shard& shard() {
+    std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+  }
+
+  std::array<Shard, kShards> shards_;
 };
 
 /// Per-device task queue over a fixed pool of CUDA streams.
@@ -100,7 +158,8 @@ class OffloadQueue {
   /// Enqueues one target region as a task. Dependence edges are the
   /// explicit `depends` items resolved against the table; the task's own
   /// accesses (map items, mapped kernel arguments and depend items) are
-  /// recorded for later tasks and for quiesce().
+  /// recorded for later tasks and for quiesce(). Safe from any thread;
+  /// submissions to one device serialize on the queue's mutex.
   TaskId enqueue(const KernelLaunchSpec& spec, const std::vector<MapItem>& maps,
                  const std::vector<DependItem>& depends = {},
                  const EnqueueOptions& opts = {});
@@ -137,14 +196,24 @@ class OffloadQueue {
   void note_replication();
 
   const TaskRecord& record(TaskId id) const;
-  const std::vector<TaskRecord>& records() const { return records_; }
+  /// Task records in enqueue order. The deque gives stable references
+  /// under concurrent push_back, but iterating while other threads still
+  /// submit is inherently racy — snapshot after a sync/drain instead.
+  const std::deque<TaskRecord>& records() const { return records_; }
   int stream_count() const { return static_cast<int>(streams_.size()); }
+  /// Driver handle of a stream-pool slot (tests inspect its op log via
+  /// cuSimStreamOps). The pool is immutable after construction.
+  cudadrv::CUstream stream_handle(int slot) const {
+    return streams_.at(static_cast<std::size_t>(slot));
+  }
   /// Tasks enqueued and not yet folded into the host clock by sync().
   std::size_t in_flight() const;
 
   /// Running sum of every task's stats — the scheduler's load metric.
-  const OffloadStats& totals() const { return totals_; }
-  std::size_t task_count() const { return records_.size(); }
+  /// Aggregated from the per-thread shards; returns by value (there is
+  /// no single object to point at).
+  OffloadStats totals() const { return shards_.total(); }
+  std::size_t task_count() const;
 
   /// Completion time of the least-loaded stream: when this queue could
   /// begin a new task with no pool contention.
@@ -169,11 +238,19 @@ class OffloadQueue {
   QueueableModule* module_;
   DataEnv* env_;
   uint64_t epoch_ = 0;  // driver epoch the stream pool belongs to
-  std::vector<cudadrv::CUstream> streams_;
+  // Serializes this device's submissions, its dependence table and the
+  // record bookkeeping. Never held while another queue's mutex is (no
+  // queue calls into another queue), so cross-device submissions run
+  // fully in parallel. Lock order: queue mutex > DataEnv mutex > driver
+  // handle mutex.
+  mutable std::mutex mu_;
+  std::vector<cudadrv::CUstream> streams_;  // immutable after the ctor
   std::map<const void*, Access> table_;
-  std::vector<TaskRecord> records_;
+  // Deque: push_back never moves existing records, so record(id)
+  // references stay valid while other threads keep enqueueing.
+  std::deque<TaskRecord> records_;
   std::unordered_map<TaskId, std::size_t> index_;  // task id -> records_ slot
-  OffloadStats totals_;
+  StatsShards shards_;
 };
 
 }  // namespace hostrt

@@ -1,0 +1,352 @@
+#include "hostrt/offload_server.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "cudadrv/cuda.h"
+#include "hostrt/env.h"
+#include "hostrt/runtime.h"
+#include "hostrt/scheduler.h"
+
+namespace hostrt {
+
+namespace {
+
+// Min-heap order for the retire heap: std::push_heap/pop_heap build a
+// max-heap, so compare greater-than to surface the earliest end time.
+struct RetireLater {
+  bool operator()(const std::pair<double, std::size_t>& a,
+                  const std::pair<double, std::size_t>& b) const {
+    return a.first > b.first;
+  }
+};
+
+}  // namespace
+
+ServerOptions ServerOptions::from_env() {
+  ServerOptions o;
+  if (const char* v = std::getenv("OMPI_SERVER_MAX_INFLIGHT"))
+    o.max_inflight = parse_env_int("OMPI_SERVER_MAX_INFLIGHT", v, 1, 256);
+  if (const char* v = std::getenv("OMPI_SERVER_FAIRNESS"))
+    o.fairness = parse_env_choice("OMPI_SERVER_FAIRNESS", v, {"drr", "fifo"}) == 0
+                     ? Fairness::Drr
+                     : Fairness::Fifo;
+  if (const char* v = std::getenv("OMPI_SERVER_STREAMS_PER_TENANT"))
+    o.streams_per_tenant =
+        parse_env_int("OMPI_SERVER_STREAMS_PER_TENANT", v, 1, 32);
+  return o;
+}
+
+OffloadServer::OffloadServer(const ServerOptions& opts) : opts_(opts) {}
+
+void OffloadServer::register_tenant(const std::string& tenant, int device) {
+  // Initialize the device outside reg_mu_ — ensure_ready takes the
+  // runtime's init lock and a first touch builds the whole device stack.
+  Runtime::instance().prepare_device(device);
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  if (lane_index_.count(tenant))
+    throw std::logic_error("OffloadServer: tenant '" + tenant +
+                           "' registered twice");
+  std::unique_ptr<DeviceState>& st = states_[device];
+  if (!st) st = std::make_unique<DeviceState>();
+  Lane lane;
+  lane.name = tenant;
+  lane.device = device;
+  lane.stream_width = opts_.streams_per_tenant;
+  lane.stream_base = st->next_stream_base;
+  st->next_stream_base += opts_.streams_per_tenant;
+  std::size_t idx = lanes_.size();
+  lanes_.push_back(std::move(lane));
+  lane_index_[tenant] = idx;
+  st->ring.push_back(idx);
+}
+
+OffloadServer::Lane& OffloadServer::lane_of(const std::string& tenant) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  auto it = lane_index_.find(tenant);
+  if (it == lane_index_.end())
+    throw std::out_of_range("OffloadServer: unknown tenant '" + tenant + "'");
+  return lanes_[it->second];
+}
+
+const OffloadServer::Lane& OffloadServer::lane_of(
+    const std::string& tenant) const {
+  return const_cast<OffloadServer*>(this)->lane_of(tenant);
+}
+
+OffloadServer::DeviceState& OffloadServer::state_of(int device) {
+  std::lock_guard<std::mutex> lk(reg_mu_);
+  return *states_.at(device);
+}
+
+Ticket OffloadServer::submit_async(const std::string& tenant,
+                                   ServerRequest req) {
+  Lane& l = lane_of(tenant);
+  DeviceState& ds = state_of(l.device);
+  std::unique_lock<std::mutex> lk(ds.mu);
+  if (!l.open)
+    throw std::logic_error("OffloadServer: tenant '" + tenant +
+                           "' submitted after close()");
+  Ticket t = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  Pending p;
+  p.ticket = t;
+  p.arrival = req.arrival_s >= 0 ? req.arrival_s : l.last_end;
+  p.req = std::move(req);
+  {
+    std::lock_guard<std::mutex> tl(tickets_mu_);
+    ticket_device_[t] = l.device;
+  }
+  l.pending.push_back(std::move(p));
+  l.stats.submitted++;
+  ds.cv.notify_all();
+  // Admission backpressure: a tenant whose backlog hit the in-flight
+  // bound pumps the dispatch loop (serving everyone's work) instead of
+  // queueing deeper.
+  while (l.pending.size() > static_cast<std::size_t>(opts_.max_inflight)) {
+    if (!dispatch_step_locked(ds)) ds.cv.wait(lk);
+  }
+  return t;
+}
+
+ServerResult OffloadServer::wait(Ticket ticket) {
+  int device = -1;
+  {
+    std::lock_guard<std::mutex> tl(tickets_mu_);
+    auto it = ticket_device_.find(ticket);
+    if (it == ticket_device_.end())
+      throw std::out_of_range("OffloadServer: unknown or already-waited "
+                              "ticket " +
+                              std::to_string(ticket));
+    device = it->second;
+  }
+  DeviceState& ds = state_of(device);
+  std::unique_lock<std::mutex> lk(ds.mu);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> tl(tickets_mu_);
+      auto it = done_.find(ticket);
+      if (it != done_.end()) {
+        ServerResult res = it->second;
+        done_.erase(it);
+        ticket_device_.erase(ticket);
+        return res;
+      }
+    }
+    // Not served yet: this thread drives the device's dispatch loop.
+    if (!dispatch_step_locked(ds)) ds.cv.wait(lk);
+  }
+}
+
+ServerResult OffloadServer::submit(const std::string& tenant,
+                                   ServerRequest req) {
+  return wait(submit_async(tenant, std::move(req)));
+}
+
+void OffloadServer::close(const std::string& tenant) {
+  Lane& l = lane_of(tenant);
+  DeviceState& ds = state_of(l.device);
+  std::lock_guard<std::mutex> lk(ds.mu);
+  l.open = false;
+  ds.cv.notify_all();
+}
+
+void OffloadServer::drain() {
+  std::vector<DeviceState*> states;
+  {
+    std::lock_guard<std::mutex> lk(reg_mu_);
+    for (auto& [dev, st] : states_) states.push_back(st.get());
+  }
+  for (DeviceState* ds : states) {
+    std::unique_lock<std::mutex> lk(ds->mu);
+    for (;;) {
+      bool pending_left = false;
+      for (std::size_t idx : ds->ring)
+        if (!lanes_[idx].pending.empty()) pending_left = true;
+      if (!pending_left) break;
+      if (!dispatch_step_locked(*ds)) ds->cv.wait(lk);
+    }
+  }
+}
+
+OffloadServer::TenantStats OffloadServer::tenant_stats(
+    const std::string& tenant) const {
+  const Lane& l = lane_of(tenant);
+  DeviceState& ds = const_cast<OffloadServer*>(this)->state_of(l.device);
+  std::lock_guard<std::mutex> lk(ds.mu);
+  return l.stats;
+}
+
+bool OffloadServer::lane_eligible(const DeviceState& ds, const Lane& l) const {
+  // Eligible: something queued, arrived by the frontier (epsilon
+  // comparisons keep float noise from reordering ties), and the tenant
+  // under its in-flight bound.
+  return !l.pending.empty() &&
+         !WorkStealingScheduler::time_less(ds.frontier,
+                                           l.pending.front().arrival) &&
+         l.inflight < opts_.max_inflight;
+}
+
+std::size_t OffloadServer::pick_fifo(const DeviceState& ds) const {
+  // Global arrival order, tickets breaking modeled-time ties: the
+  // classic shared queue a backlogged tenant monopolizes.
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (std::size_t idx : ds.ring) {
+    const Lane& l = lanes_[idx];
+    if (!lane_eligible(ds, l)) continue;
+    if (best == static_cast<std::size_t>(-1)) {
+      best = idx;
+      continue;
+    }
+    const Pending& f = l.pending.front();
+    const Pending& b = lanes_[best].pending.front();
+    if (WorkStealingScheduler::time_less(f.arrival, b.arrival) ||
+        (WorkStealingScheduler::time_eq(f.arrival, b.arrival) &&
+         f.ticket < b.ticket))
+      best = idx;
+  }
+  return best;
+}
+
+std::size_t OffloadServer::pick_drr(DeviceState& ds) {
+  // Deficit round robin: sweep the ring from rr_pos, crediting one
+  // quantum (the running mean service time) per visit; the first lane
+  // whose credit covers its estimated cost wins the slot. A cold lane's
+  // estimate is 0, so it dispatches on its first turn; an idle lane's
+  // credit resets, so a tenant cannot bank service while away.
+  double quantum = ds.service_n > 0
+                       ? ds.service_sum / static_cast<double>(ds.service_n)
+                       : 1.0;
+  for (int sweep = 0;; ++sweep) {
+    for (std::size_t k = 0; k < ds.ring.size(); ++k) {
+      std::size_t idx = ds.ring[ds.rr_pos];
+      ds.rr_pos = (ds.rr_pos + 1) % ds.ring.size();
+      Lane& l = lanes_[idx];
+      if (lane_eligible(ds, l)) {
+        l.deficit += quantum;
+        if (l.deficit >= l.est_cost || sweep >= 64) return idx;
+      } else if (l.pending.empty()) {
+        l.deficit = 0;
+      }
+    }
+  }
+}
+
+bool OffloadServer::dispatch_step_locked(DeviceState& ds) {
+  // A still-open lane with nothing queued and no work beyond the
+  // frontier may yet submit a request that deserves the next slot
+  // (a closed-loop client between requests): hold the slot for it so
+  // the dispatch order — and every latency percentile — depends only on
+  // modeled time, not on how the OS scheduled the client threads.
+  bool straggler = false;
+  bool any_eligible = false;
+  int competing = 0;  // lanes that hold or may still produce work
+  for (std::size_t idx : ds.ring) {
+    const Lane& l = lanes_[idx];
+    if (l.open && l.pending.empty() &&
+        !WorkStealingScheduler::time_less(ds.frontier, l.last_end))
+      straggler = true;
+    if (lane_eligible(ds, l)) any_eligible = true;
+    if (l.open || !l.pending.empty() || l.inflight > 0) competing++;
+  }
+  if (any_eligible) {
+    // DRR paces a *shared* device to its consumption rate: booked work
+    // retires before the next dispatch, so the policy re-decides every
+    // engine slot at the frontier with every arrival that has landed by
+    // then. Greedy booking would let a backlogged tenant reserve the
+    // engine a full admission window ahead of a light tenant's next
+    // arrival — making the window depth, not the policy, set the light
+    // tenant's latency (exactly the fifo behavior DRR exists to avoid).
+    // A sole tenant still pipelines to its full window: with nothing to
+    // arbitrate, pacing would only cost utilization.
+    if (opts_.fairness == ServerOptions::Fairness::Drr && competing >= 2 &&
+        !ds.retire.empty()) {
+      std::pop_heap(ds.retire.begin(), ds.retire.end(), RetireLater{});
+      auto [end_s, idx] = ds.retire.back();
+      ds.retire.pop_back();
+      ds.frontier = std::max(ds.frontier, end_s);
+      lanes_[idx].inflight--;
+      return true;
+    }
+    if (straggler) return false;  // wait for it to submit or close
+    std::size_t idx = opts_.fairness == ServerOptions::Fairness::Fifo
+                          ? pick_fifo(ds)
+                          : pick_drr(ds);
+    dispatch_locked(ds, idx);
+    return true;
+  }
+  // Nothing dispatchable at this frontier: advance modeled time, first
+  // by retiring the earliest-completing in-flight request...
+  if (!ds.retire.empty()) {
+    std::pop_heap(ds.retire.begin(), ds.retire.end(), RetireLater{});
+    auto [end_s, idx] = ds.retire.back();
+    ds.retire.pop_back();
+    ds.frontier = std::max(ds.frontier, end_s);
+    lanes_[idx].inflight--;
+    return true;
+  }
+  // ...then by jumping to the next arrival if the device went idle.
+  double next_arrival = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : ds.ring) {
+    const Lane& l = lanes_[idx];
+    if (!l.pending.empty())
+      next_arrival = std::min(next_arrival, l.pending.front().arrival);
+  }
+  if (next_arrival != std::numeric_limits<double>::infinity() &&
+      WorkStealingScheduler::time_less(ds.frontier, next_arrival)) {
+    ds.frontier = next_arrival;
+    return true;
+  }
+  return false;  // nothing queued (or only stragglers): caller waits
+}
+
+void OffloadServer::dispatch_locked(DeviceState& ds, std::size_t lane_idx) {
+  Lane& l = lanes_[lane_idx];
+  Pending p = std::move(l.pending.front());
+  l.pending.pop_front();
+
+  Runtime& rt = Runtime::instance();
+  OffloadQueue* q = rt.queue(l.device);
+  // The request must not start before its modeled arrival: pull the
+  // device clock up (sync_to is monotonic) so the submission prices
+  // from the arrival, not from wherever the previous dispatch left it.
+  cudadrv::cuSimDevice(l.device).sync_to(p.arrival);
+
+  EnqueueOptions eo;
+  eo.stream = (l.stream_base + l.next_stream) % q->stream_count();
+  l.next_stream = (l.next_stream + 1) % l.stream_width;
+  TaskId id = q->enqueue(p.req.spec, p.req.maps, {}, eo);
+  const TaskRecord& rec = q->record(id);
+
+  ServerResult res;
+  res.task = id;
+  res.device = l.device;
+  res.stream = rec.stream;
+  res.arrival_s = p.arrival;
+  res.start_s = rec.start_s;
+  res.end_s = rec.end_s;
+  res.latency_s = rec.end_s - p.arrival;
+
+  double service = rec.end_s - rec.start_s;
+  l.inflight++;
+  l.horizon = std::max(l.horizon, rec.end_s);
+  l.last_end = rec.end_s;
+  l.est_cost = l.est_cost == 0 ? service : 0.875 * l.est_cost + 0.125 * service;
+  l.deficit -= service;
+  l.stats.completed++;
+  l.stats.service_s += service;
+  ds.service_sum += service;
+  ds.service_n++;
+  ds.retire.emplace_back(rec.end_s, lane_idx);
+  std::push_heap(ds.retire.begin(), ds.retire.end(), RetireLater{});
+
+  {
+    std::lock_guard<std::mutex> tl(tickets_mu_);
+    done_[p.ticket] = res;
+  }
+  ds.cv.notify_all();
+}
+
+}  // namespace hostrt

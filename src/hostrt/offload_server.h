@@ -1,0 +1,215 @@
+// Multi-tenant offload server (DESIGN.md §5j): N client threads submit
+// independent target streams and the server arbitrates the shared
+// devices between them. Each tenant gets its own lane — a FIFO of
+// pending requests pinned to a private slice of the device's stream
+// pool — and a per-device dispatcher decides, in *modeled* time, which
+// lane's request reaches the device next:
+//
+//  - admission control: at most OMPI_SERVER_MAX_INFLIGHT requests per
+//    tenant may occupy the device at once, so one tenant can never book
+//    the engines arbitrarily far ahead of everyone else's arrivals;
+//  - fairness policy (OMPI_SERVER_FAIRNESS): `drr` runs deficit round
+//    robin over the lanes — every lane earns service credit each pass,
+//    so a tenant with a deep backlog cannot starve a light interactive
+//    tenant. On a device shared by several tenants DRR also paces
+//    dispatch to the engine's consumption rate (booked work retires
+//    before the next slot is granted), so the policy re-decides every
+//    slot with current arrivals instead of letting a backlog book the
+//    engine its whole admission window ahead; a sole tenant pipelines
+//    to its full window. `fifo` dispatches greedily in global arrival
+//    order — the classic shared-queue behavior DRR is benchmarked
+//    against: a backlogged tenant's early arrivals keep the engine
+//    booked a full window ahead of everyone else.
+//
+// The simulator executes data eagerly on the submitting thread, so the
+// server is a discrete-event scheduler over modeled time rather than a
+// thread pool: requests become eligible when their modeled arrival falls
+// behind the device's dispatch frontier, and the frontier advances by
+// retiring the earliest-completing in-flight request. Dispatch decisions
+// therefore depend only on modeled state, never on OS thread timing —
+// the same client program yields the same latency distribution on every
+// run. There is no dispatcher thread: whichever client thread blocks in
+// wait()/submit()/drain() drives the dispatch loop for its device.
+//
+// Determinism has one rule the caller must follow: register every
+// tenant before the clients start, and close(tenant) when a client is
+// done. An open lane with nothing pending and no modeled work beyond
+// the frontier could still submit a request that deserves the next
+// slot, so the dispatcher waits for it — a tenant that never submits
+// nor closes would stall its device's other tenants, exactly like a
+// socket a peer never shuts down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hostrt/offload_queue.h"
+
+namespace hostrt {
+
+/// One offload request as a tenant submits it.
+struct ServerRequest {
+  KernelLaunchSpec spec;
+  std::vector<MapItem> maps;
+  /// Modeled arrival time. Negative (the default) means closed-loop:
+  /// the request arrives when the tenant's previous request completed —
+  /// the think-time-free interactive client. An explicit value models
+  /// an open-loop trace (0 = a burst present from the start).
+  double arrival_s = -1;
+};
+
+/// Completion record of one served request, in modeled seconds.
+struct ServerResult {
+  TaskId task = 0;
+  int device = -1;
+  int stream = -1;
+  double arrival_s = 0;  // when the request entered the server
+  double start_s = 0;    // first engine op on the device
+  double end_s = 0;      // last op complete
+  double latency_s = 0;  // end_s - arrival_s: what the tenant saw
+};
+
+struct ServerOptions {
+  enum class Fairness { Drr, Fifo };
+
+  /// Per-tenant in-flight bound (admission control), [1, 256]. Smaller
+  /// values trade aggregate pipelining for tail latency: a tenant may
+  /// book the device at most this many requests beyond the frontier.
+  int max_inflight = 8;
+  Fairness fairness = Fairness::Drr;
+  /// Stream-pool slots per tenant lane (wrapped onto the queue's pool).
+  int streams_per_tenant = 1;
+
+  /// Seeds from OMPI_SERVER_MAX_INFLIGHT, OMPI_SERVER_FAIRNESS and
+  /// OMPI_SERVER_STREAMS_PER_TENANT — all strict (hostrt/env.h): a set
+  /// but malformed value aborts instead of silently serving with the
+  /// default policy.
+  static ServerOptions from_env();
+};
+
+using Ticket = std::uint64_t;
+
+class OffloadServer {
+ public:
+  explicit OffloadServer(const ServerOptions& opts = ServerOptions::from_env());
+  ~OffloadServer() = default;
+
+  OffloadServer(const OffloadServer&) = delete;
+  OffloadServer& operator=(const OffloadServer&) = delete;
+
+  /// Creates the tenant's lane on `device` (initializing the device if
+  /// needed) and pins it to the next slice of the device's stream pool.
+  /// Call for every tenant BEFORE the client threads start: the
+  /// dispatcher holds a device's slot open for every registered-and-open
+  /// lane, so late registration would miss that guarantee.
+  void register_tenant(const std::string& tenant, int device);
+
+  /// Queues one request on the tenant's lane and returns its ticket.
+  /// Blocks (serving other work meanwhile) while the lane's backlog is
+  /// at the in-flight bound — the admission-control backpressure.
+  Ticket submit_async(const std::string& tenant, ServerRequest req);
+
+  /// Blocks until the ticket's request has been served; the calling
+  /// thread drives its device's dispatch loop while it waits.
+  ServerResult wait(Ticket ticket);
+
+  /// submit_async + wait.
+  ServerResult submit(const std::string& tenant, ServerRequest req);
+
+  /// Declares the tenant done submitting. Mandatory: an open idle lane
+  /// blocks its device's dispatcher (see the determinism rule above).
+  void close(const std::string& tenant);
+
+  /// Serves every queued request on all devices. Tenants left open and
+  /// idle are waited for, so close them first (or keep their clients
+  /// submitting).
+  void drain();
+
+  const ServerOptions& options() const { return opts_; }
+
+  /// Per-tenant accounting, readable once the tenant's work is done.
+  struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    double service_s = 0;  // summed device occupancy of its requests
+  };
+  TenantStats tenant_stats(const std::string& tenant) const;
+
+ private:
+  struct Pending {
+    Ticket ticket = 0;
+    ServerRequest req;
+    double arrival = 0;
+  };
+
+  // One tenant's lane. Mutable state is guarded by the owning device's
+  // mutex; the identity fields (name, device, stream slice) are fixed
+  // at registration.
+  struct Lane {
+    std::string name;
+    int device = -1;
+    int stream_base = 0;
+    int stream_width = 1;
+    int next_stream = 0;
+    bool open = true;
+    std::deque<Pending> pending;
+    int inflight = 0;      // dispatched, modeled-end beyond the frontier
+    double deficit = 0;    // DRR credit, in modeled service seconds
+    double est_cost = 0;   // EMA of this lane's measured service time
+    double horizon = 0;    // latest modeled end this lane dispatched
+    double last_end = 0;   // end of the lane's most recent request
+    TenantStats stats;
+  };
+
+  // Per-device dispatcher state: its own mutex and condition variable,
+  // so tenants on different devices never contend (DESIGN.md §5j).
+  struct DeviceState {
+    std::mutex mu;
+    std::condition_variable cv;
+    double frontier = 0;  // modeled time dispatch decisions are made at
+    // In-flight requests by modeled end time; retiring the earliest
+    // advances the frontier. Pairs are (end_s, lane index).
+    std::vector<std::pair<double, std::size_t>> retire;  // min-heap
+    std::vector<std::size_t> ring;  // lane indices, DRR visit order
+    std::size_t rr_pos = 0;
+    int next_stream_base = 0;
+    double service_sum = 0;  // measured service over all lanes...
+    std::uint64_t service_n = 0;  // ...feeding the DRR quantum
+  };
+
+  Lane& lane_of(const std::string& tenant);
+  const Lane& lane_of(const std::string& tenant) const;
+  DeviceState& state_of(int device);
+
+  // All four run with ds.mu held.
+  bool lane_eligible(const DeviceState& ds, const Lane& l) const;
+  bool dispatch_step_locked(DeviceState& ds);
+  std::size_t pick_fifo(const DeviceState& ds) const;
+  std::size_t pick_drr(DeviceState& ds);
+  void dispatch_locked(DeviceState& ds, std::size_t lane_idx);
+
+  ServerOptions opts_;
+  // Registration-time structures. The deques give stable references, so
+  // after registration lanes/states are reached without reg_mu_.
+  mutable std::mutex reg_mu_;
+  std::deque<Lane> lanes_;
+  std::map<std::string, std::size_t> lane_index_;
+  std::map<int, std::unique_ptr<DeviceState>> states_;
+  // Completed tickets, handed to wait(); the ticket->device map lets a
+  // waiter find the dispatch loop it must drive. Acquired after a device
+  // mutex, never before.
+  mutable std::mutex tickets_mu_;
+  std::unordered_map<Ticket, ServerResult> done_;
+  std::unordered_map<Ticket, int> ticket_device_;
+  std::atomic<Ticket> next_ticket_{1};
+};
+
+}  // namespace hostrt

@@ -60,6 +60,13 @@ class OpenclDevModule : public QueueableModule {
   /// host work, the NDRange enqueue lands on the stream's timeline.
   OffloadStats launch_async(const KernelLaunchSpec& spec, DataEnv& env,
                             cudadrv::CUstream stream) override;
+  /// Graph-replayed node on a command queue: the enqueue descriptor was
+  /// baked at capture (OpenCL 2.1+ command-buffer style), so argument
+  /// preparation only patches the mapped-pointer slots at the cheaper
+  /// graph-update rate and the dispatch goes through the driver's
+  /// amortized graph path instead of a full NDRange validation.
+  OffloadStats launch_graph_async(const KernelLaunchSpec& spec, DataEnv& env,
+                                  cudadrv::CUstream stream) override;
   /// While a queue is bound, write/read become clEnqueueWrite/ReadBuffer
   /// with blocking=CL_FALSE: asynchronous copies on the bound stream.
   void bind_stream(cudadrv::CUstream stream) override {

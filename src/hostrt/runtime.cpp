@@ -1,14 +1,26 @@
 #include "hostrt/runtime.h"
 
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 #include "cudadrv/cuda.h"
+#include "hostrt/env.h"
 #include "hostrt/opencldev_module.h"
 
 namespace hostrt {
 
 namespace {
+// Guards the process-wide holder: concurrent first-touch instance()
+// calls must build exactly one Runtime. reset() takes it too, but
+// resetting while other threads still submit is a caller bug no lock
+// can fix (their queue pointers die) — the lock only keeps the holder
+// itself coherent.
+std::mutex& instance_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
 std::unique_ptr<Runtime>& runtime_holder() {
   // Touch the driver's state first: function-local statics die in
   // reverse construction order, and the runtime's teardown (stream-pool
@@ -23,50 +35,31 @@ int g_num_devices = 0;  // 0 = unset: OMPI_NUM_DEVICES or board default
 // Explicit per-ordinal profiles; empty = count-based nano board.
 std::vector<jetsim::DeviceProfile> g_profiles;
 
-// Strict environment parsing: a configuration variable that is set but
-// malformed or out of range aborts startup naming the variable, instead
-// of silently running on the board default (the bug class where a
-// mistyped OMPI_NUM_STREAMS=eight benchmarked the wrong machine).
-int parse_env_int(const char* name, const char* value, int lo, int hi) {
-  char* end = nullptr;
-  long n = std::strtol(value, &end, 10);
-  if (!end || end == value || *end != '\0' || n < lo || n > hi)
-    throw std::runtime_error(std::string(name) + "='" + value +
-                             "' is invalid: expected an integer in [" +
-                             std::to_string(lo) + ", " + std::to_string(hi) +
-                             "]");
-  return static_cast<int>(n);
-}
-
+// Strict environment parsing (hostrt/env.h): a configuration variable
+// that is set but malformed or out of range aborts startup naming the
+// variable, instead of silently running on the board default.
 bool parse_env_schedule(const char* name, const char* value) {
-  std::string v = value;
-  if (v == "auto") return true;
-  if (v == "default") return false;
-  throw std::runtime_error(std::string(name) + "='" + v +
-                           "' is invalid: expected 'auto' or 'default'");
+  return parse_env_choice(name, value, {"auto", "default"}) == 0;
 }
 
 // Pending graph mode for the next runtime; -1 = unset (read OMPI_GRAPH).
 int g_graph_mode = -1;
 
 Runtime::GraphMode parse_env_graph(const char* name, const char* value) {
-  std::string v = value;
-  if (v == "capture") return Runtime::GraphMode::Capture;
-  if (v == "off") return Runtime::GraphMode::Off;
-  throw std::runtime_error(std::string(name) + "='" + v +
-                           "' is invalid: expected 'capture' or 'off'");
+  return parse_env_choice(name, value, {"capture", "off"}) == 0
+             ? Runtime::GraphMode::Capture
+             : Runtime::GraphMode::Off;
 }
 
 // Pending zero-copy mode for the next runtime; -1 = unset (OMPI_ZEROCOPY).
 int g_zerocopy_mode = -1;
 
 ZeroCopyMode parse_env_zerocopy(const char* name, const char* value) {
-  std::string v = value;
-  if (v == "auto") return ZeroCopyMode::Auto;
-  if (v == "on") return ZeroCopyMode::On;
-  if (v == "off") return ZeroCopyMode::Off;
-  throw std::runtime_error(std::string(name) + "='" + v +
-                           "' is invalid: expected 'auto', 'on' or 'off'");
+  switch (parse_env_choice(name, value, {"auto", "on", "off"})) {
+    case 0: return ZeroCopyMode::Auto;
+    case 1: return ZeroCopyMode::On;
+    default: return ZeroCopyMode::Off;
+  }
 }
 
 // Pending map-inference mode for the next runtime; -1 = unset
@@ -74,11 +67,7 @@ ZeroCopyMode parse_env_zerocopy(const char* name, const char* value) {
 int g_mapinfer = -1;
 
 bool parse_env_mapinfer(const char* name, const char* value) {
-  std::string v = value;
-  if (v == "auto") return true;
-  if (v == "off") return false;
-  throw std::runtime_error(std::string(name) + "='" + v +
-                           "' is invalid: expected 'auto' or 'off'");
+  return parse_env_choice(name, value, {"auto", "off"}) == 0;
 }
 
 const char* zerocopy_name(ZeroCopyMode m) {
@@ -92,6 +81,7 @@ const char* zerocopy_name(ZeroCopyMode m) {
 }  // namespace
 
 Runtime& Runtime::instance() {
+  std::lock_guard<std::mutex> lk(instance_mutex());
   std::unique_ptr<Runtime>& r = runtime_holder();
   if (!r) r = std::make_unique<Runtime>();
   return *r;
@@ -101,6 +91,7 @@ void Runtime::reset() {
   // Drain in-flight streams while the driver is still alive: destroying
   // queues synchronizes and frees their stream pools, so no modeled
   // timeline or handle can leak into the next scenario's cold board.
+  std::lock_guard<std::mutex> lk(instance_mutex());
   std::unique_ptr<Runtime>& r = runtime_holder();
   if (r) {
     // Drop the graph state first: un-synced capture nodes are abandoned
@@ -279,6 +270,10 @@ Runtime::DeviceSlot& Runtime::slot(int dev) {
 }
 
 void Runtime::ensure_ready(int dev) {
+  // Two server clients racing to first-touch one device must produce
+  // exactly one initialization and one queue; later calls see the fast
+  // path (a lock acquisition and two pointer checks).
+  std::lock_guard<std::recursive_mutex> lk(init_mu_);
   DeviceSlot& s = slot(dev);
   if (!s.module->initialized()) s.module->initialize();
   if (!s.queue) {
@@ -291,6 +286,9 @@ void Runtime::ensure_ready(int dev) {
 }
 
 WorkStealingScheduler& Runtime::scheduler() {
+  // Recursive with ensure_ready's lock: building the scheduler
+  // first-touches every device.
+  std::lock_guard<std::recursive_mutex> lk(init_mu_);
   if (!scheduler_) {
     std::vector<OffloadQueue*> queues;
     for (int i = 0; i < device_count_; ++i) {
@@ -386,6 +384,7 @@ TaskId Runtime::target_nowait(int dev, const KernelLaunchSpec& spec,
     // host may not read the region's results before a synchronization
     // point, and every such point flushes the trace first. The task id
     // is allocated now so callers can look the record up after sync.
+    std::lock_guard<std::mutex> lk(graph_mu_);
     GraphNode n;
     n.device = dev;
     n.spec = spec;
@@ -421,6 +420,11 @@ void Runtime::sync(int dev) {
 OffloadQueue* Runtime::queue(int dev) { return slot(dev).queue.get(); }
 
 void Runtime::flush_pending() {
+  // The whole resolution — steal the window, key it, replay or bake —
+  // is one critical section: a second thread hitting a sync point while
+  // this one resolves must wait, or the two interleave half-submitted
+  // chains. GraphCache::claim would only cover the bake, not the window.
+  std::lock_guard<std::mutex> lk(graph_mu_);
   if (pending_.empty()) return;
   GraphTrace trace = std::move(pending_);
   pending_.clear();

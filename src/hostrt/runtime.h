@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,10 @@ class Runtime {
   /// opencldev — gets one); null before the device's lazy
   /// initialization.
   OffloadQueue* queue(int dev);
+  /// Forces the device's lazy initialization (module + queue) now. The
+  /// offload server registers tenants through this so every lane's queue
+  /// and stream pool exist before client threads start submitting.
+  void prepare_device(int dev) { ensure_ready(dev); }
 
   // --- offload-queue configuration ------------------------------------
   /// Streams per device queue for queues created after this call (the
@@ -161,7 +166,10 @@ class Runtime {
   GraphCache& graph_cache() { return graph_cache_; }
   /// Deferred `target nowait` nodes awaiting the next synchronization
   /// point (always 0 outside capture mode).
-  std::size_t pending_graph_nodes() const { return pending_.size(); }
+  std::size_t pending_graph_nodes() const {
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    return pending_.size();
+  }
 
  private:
   struct DeviceSlot {
@@ -184,6 +192,19 @@ class Runtime {
   void capture_trace(const GraphTrace& trace, uint64_t key);
   void replay_trace(const GraphTrace& trace, KernelGraph& graph);
 
+  // Thread-safety model (DESIGN.md §5j). Board-shape knobs (device
+  // count, profiles, stream width, graph/zerocopy/mapinfer modes) are
+  // configuration: set them before spawning clients. The locks below
+  // protect what concurrent *submission* touches:
+  //  - init_mu_ makes lazy device initialization (ensure_ready, the
+  //    scheduler's first touch) happen exactly once; recursive because
+  //    scheduler() first-touches every device through ensure_ready.
+  //  - graph_mu_ serializes the capture window (pending_) and its
+  //    resolution in flush_pending — two threads syncing at once must
+  //    not both resolve, and a capture push must not interleave with a
+  //    flush. The GraphCache carries its own lock for claim/find.
+  mutable std::recursive_mutex init_mu_;
+  mutable std::mutex graph_mu_;
   std::vector<DeviceSlot> slots_;
   int device_count_ = 0;
   int default_device_ = 0;

@@ -94,6 +94,7 @@ double WorkStealingScheduler::transfer_estimate(
 }
 
 double WorkStealingScheduler::host_now() const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   double t = 0;
   for (std::size_t i = 0; i < queues_.size(); ++i)
     t = std::max(t, sim(static_cast<int>(i)).now());
@@ -101,6 +102,7 @@ double WorkStealingScheduler::host_now() const {
 }
 
 void WorkStealingScheduler::align_clocks() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   double t = host_now();
   for (std::size_t i = 0; i < queues_.size(); ++i)
     sim(static_cast<int>(i)).sync_to(t);
@@ -181,6 +183,7 @@ std::size_t WorkStealingScheduler::resident_bytes_on(
 }
 
 int WorkStealingScheduler::resident_device(const void* host) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto addr = reinterpret_cast<uintptr_t>(host);
   auto it = residency_.upper_bound(addr);
   if (it == residency_.begin()) return -1;
@@ -310,6 +313,7 @@ void WorkStealingScheduler::promote_replica(uintptr_t base, int chosen) {
 TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
                                      const std::vector<MapItem>& maps,
                                      const std::vector<DependItem>& depends) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   stats_.tasks += 1;
   double now = host_now();
 
@@ -487,6 +491,7 @@ TaskId WorkStealingScheduler::submit(const KernelLaunchSpec& spec,
 }
 
 int WorkStealingScheduler::device_of(TaskId id) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = placement_.find(id);
   if (it == placement_.end())
     throw std::out_of_range("scheduler: unknown task id");
@@ -494,15 +499,18 @@ int WorkStealingScheduler::device_of(TaskId id) const {
 }
 
 const TaskRecord& WorkStealingScheduler::record(TaskId id) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   return queues_[static_cast<std::size_t>(device_of(id))]->record(id);
 }
 
 void WorkStealingScheduler::sync() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   for (OffloadQueue* q : queues_) q->sync();
   align_clocks();
 }
 
 void WorkStealingScheduler::wait(TaskId id) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   int dev = device_of(id);
   OffloadQueue& q = *queues_[static_cast<std::size_t>(dev)];
   q.module().make_current();
@@ -512,6 +520,7 @@ void WorkStealingScheduler::wait(TaskId id) {
 }
 
 void WorkStealingScheduler::quiesce(const void* host) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   // The address may have been touched from any device (a stolen task's
   // copy-back runs on the thief): fold in every queue's view.
   for (OffloadQueue* q : queues_) q->quiesce(host);
@@ -519,6 +528,7 @@ void WorkStealingScheduler::quiesce(const void* host) {
 }
 
 int WorkStealingScheduler::enter_data(const std::vector<MapItem>& maps) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   // Reuse an existing placement when one exists; otherwise pick the
   // device whose queue drains first.
   int chosen = -1;
@@ -562,6 +572,7 @@ int WorkStealingScheduler::enter_data(const std::vector<MapItem>& maps) {
 }
 
 void WorkStealingScheduler::exit_data(const std::vector<MapItem>& maps) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (maps.empty()) return;
   int dev = resident_device(maps.front().host);
   if (dev < 0)
@@ -587,6 +598,7 @@ void WorkStealingScheduler::exit_data(const std::vector<MapItem>& maps) {
 }
 
 void WorkStealingScheduler::update_to(const void* host, std::size_t size) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   int dev = resident_device(host);
   if (dev < 0)
     throw MapError("target update to(...) of a range the scheduler never placed");
@@ -604,6 +616,7 @@ void WorkStealingScheduler::update_to(const void* host, std::size_t size) {
 }
 
 void WorkStealingScheduler::update_from(void* host, std::size_t size) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   int dev = resident_device(host);
   if (dev < 0)
     throw MapError(

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "hostrt/offload_queue.h"
@@ -78,7 +79,11 @@ class WorkStealingScheduler {
   /// Device ordinal owning the mapping containing `host`; -1 if none.
   int resident_device(const void* host) const;
 
-  const StealStats& stats() const { return stats_; }
+  /// Counter snapshot, by value (mutated under the scheduler's lock).
+  StealStats stats() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return stats_;
+  }
   int device_count() const { return static_cast<int>(queues_.size()); }
 
   // --- profile-aware placement ------------------------------------------
@@ -90,8 +95,14 @@ class WorkStealingScheduler {
   /// Disabled, the scheduler is profile-blind — earliest stream slot
   /// plus a home-profile migration guess — which is the seed behavior
   /// and the baseline micro_hetero benchmarks against.
-  void set_profile_aware(bool enabled) { profile_aware_ = enabled; }
-  bool profile_aware() const { return profile_aware_; }
+  void set_profile_aware(bool enabled) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    profile_aware_ = enabled;
+  }
+  bool profile_aware() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return profile_aware_;
+  }
 
   // --- read-only replication (DESIGN.md §5i) ----------------------------
   /// When enabled (the default; the runtime ties it to OMPI_MAPINFER), a
@@ -99,8 +110,14 @@ class WorkStealingScheduler {
   /// device gets a broadcast copy of it — the primary stays put — so
   /// producer/consumer chains on two devices stop ping-pong migrating
   /// shared inputs. Any write invalidates the replicas again.
-  void set_replication(bool enabled) { replication_ = enabled; }
-  bool replication() const { return replication_; }
+  void set_replication(bool enabled) {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    replication_ = enabled;
+  }
+  bool replication() const {
+    std::lock_guard<std::recursive_mutex> lk(mu_);
+    return replication_;
+  }
 
   /// Modeled-time comparison with a relative epsilon (absolute floor
   /// 1e-12 s): two candidate costs that differ only by accumulated
@@ -191,6 +208,16 @@ class WorkStealingScheduler {
   /// device's own cost table).
   double transfer_estimate(const std::vector<MapItem>& maps, int dev) const;
 
+  // One coarse lock over all scheduler state (DESIGN.md §5j): placement
+  // reads every device's horizon and the global residency/access tables
+  // together, so finer sharding would buy nothing but torn decisions.
+  // Multi-tenant throughput traffic bypasses the scheduler entirely (the
+  // offload server talks to the per-device queues), so this lock is not
+  // on the server's submit fast path. Recursive: sync() realigns clocks
+  // and exit_data() quiesces through the public entry points. Ordered
+  // above the queue mutexes — the scheduler calls into queues, never the
+  // reverse.
+  mutable std::recursive_mutex mu_;
   std::vector<OffloadQueue*> queues_;
   std::vector<cudadrv::CUstream> mig_streams_;  // lazily created, per device
   uint64_t epoch_ = 0;

@@ -1,0 +1,135 @@
+// Strict OMPI_* environment parsing (hostrt/env.h): a variable that is
+// set but malformed aborts startup naming the variable, the offending
+// value and the accepted domain — never a silent fall-through to the
+// default. These are the unit tests of the shared parsers plus the
+// offload server's from_env() seeding.
+#include "hostrt/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "hostrt/offload_server.h"
+
+namespace hostrt {
+namespace {
+
+/// Scoped setenv: restores (unsets) the variable on destruction so one
+/// test's environment never leaks into the next.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string thrown_message(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(EnvParse, IntAcceptsTheWholeDomain) {
+  EXPECT_EQ(parse_env_int("OMPI_X", "1", 1, 256), 1);
+  EXPECT_EQ(parse_env_int("OMPI_X", "8", 1, 256), 8);
+  EXPECT_EQ(parse_env_int("OMPI_X", "256", 1, 256), 256);
+  EXPECT_EQ(parse_env_int("OMPI_X", "-4", -8, 8), -4);
+}
+
+TEST(EnvParse, IntRejectsJunkAndOutOfRange) {
+  EXPECT_THROW(parse_env_int("OMPI_X", "eight", 1, 256), std::runtime_error);
+  EXPECT_THROW(parse_env_int("OMPI_X", "8x", 1, 256), std::runtime_error);
+  EXPECT_THROW(parse_env_int("OMPI_X", "", 1, 256), std::runtime_error);
+  EXPECT_THROW(parse_env_int("OMPI_X", "0", 1, 256), std::runtime_error);
+  EXPECT_THROW(parse_env_int("OMPI_X", "257", 1, 256), std::runtime_error);
+  EXPECT_THROW(parse_env_int("OMPI_X", "99999999999999999999", 1, 256),
+               std::runtime_error);
+}
+
+TEST(EnvParse, IntErrorNamesVariableValueAndDomain) {
+  std::string msg =
+      thrown_message([] { parse_env_int("OMPI_NUM_STREAMS", "eight", 1, 64); });
+  EXPECT_NE(msg.find("OMPI_NUM_STREAMS"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("eight"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[1, 64]"), std::string::npos) << msg;
+}
+
+TEST(EnvParse, FlagAcceptsTheLowercaseVocabularyOnly) {
+  EXPECT_TRUE(parse_env_flag("OMPI_VERBOSE", "1"));
+  EXPECT_TRUE(parse_env_flag("OMPI_VERBOSE", "on"));
+  EXPECT_TRUE(parse_env_flag("OMPI_VERBOSE", "true"));
+  EXPECT_FALSE(parse_env_flag("OMPI_VERBOSE", "0"));
+  EXPECT_FALSE(parse_env_flag("OMPI_VERBOSE", "off"));
+  EXPECT_FALSE(parse_env_flag("OMPI_VERBOSE", "false"));
+  // The classic near-misses stay rejections, not silent defaults.
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", "yes"), std::runtime_error);
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", "no"), std::runtime_error);
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", "ON"), std::runtime_error);
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", "TRUE"), std::runtime_error);
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", "2"), std::runtime_error);
+  EXPECT_THROW(parse_env_flag("OMPI_VERBOSE", ""), std::runtime_error);
+}
+
+TEST(EnvParse, ChoiceReturnsTheIndexAndListsTheDomainOnError) {
+  EXPECT_EQ(parse_env_choice("OMPI_SERVER_FAIRNESS", "drr", {"drr", "fifo"}),
+            0u);
+  EXPECT_EQ(parse_env_choice("OMPI_SERVER_FAIRNESS", "fifo", {"drr", "fifo"}),
+            1u);
+  std::string msg = thrown_message([] {
+    parse_env_choice("OMPI_SERVER_FAIRNESS", "fair", {"drr", "fifo"});
+  });
+  EXPECT_NE(msg.find("OMPI_SERVER_FAIRNESS"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fair"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("drr"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fifo"), std::string::npos) << msg;
+}
+
+TEST(EnvParse, ServerOptionsSeedFromTheEnvironment) {
+  ScopedEnv inflight("OMPI_SERVER_MAX_INFLIGHT", "16");
+  ScopedEnv fairness("OMPI_SERVER_FAIRNESS", "fifo");
+  ScopedEnv streams("OMPI_SERVER_STREAMS_PER_TENANT", "2");
+  ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.max_inflight, 16);
+  EXPECT_EQ(o.fairness, ServerOptions::Fairness::Fifo);
+  EXPECT_EQ(o.streams_per_tenant, 2);
+}
+
+TEST(EnvParse, ServerOptionsDefaultWhenUnset) {
+  ServerOptions o = ServerOptions::from_env();
+  EXPECT_EQ(o.max_inflight, 8);
+  EXPECT_EQ(o.fairness, ServerOptions::Fairness::Drr);
+  EXPECT_EQ(o.streams_per_tenant, 1);
+}
+
+TEST(EnvParse, MalformedServerKnobsAbortLoudly) {
+  {
+    ScopedEnv bad("OMPI_SERVER_MAX_INFLIGHT", "lots");
+    EXPECT_THROW(ServerOptions::from_env(), std::runtime_error);
+  }
+  {
+    ScopedEnv bad("OMPI_SERVER_MAX_INFLIGHT", "0");
+    EXPECT_THROW(ServerOptions::from_env(), std::runtime_error);
+  }
+  {
+    ScopedEnv bad("OMPI_SERVER_FAIRNESS", "fair");
+    std::string msg = thrown_message([] { ServerOptions::from_env(); });
+    EXPECT_NE(msg.find("OMPI_SERVER_FAIRNESS"), std::string::npos) << msg;
+  }
+  {
+    ScopedEnv bad("OMPI_SERVER_STREAMS_PER_TENANT", "33");
+    EXPECT_THROW(ServerOptions::from_env(), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace hostrt

@@ -265,6 +265,81 @@ TEST_F(OpenclDev, CrossDeviceDependsOrderAgainstOpenclEvents) {
   }
 }
 
+TEST_F(OpenclDev, GraphDispatchGoesThroughTheBakedPath) {
+  // Satellite of DESIGN.md §5g on the OpenCL module: a graph-replayed
+  // node must dispatch via cuLaunchKernelGraph (the driver marks the op)
+  // with the cheaper per-arg update cost, not re-enqueue a full NDRange.
+  OpenclDevModule mod;
+  mod.initialize();
+  DataEnv env(mod);
+  cudadrv::CUstream st = nullptr;
+  ASSERT_EQ(cudadrv::cuStreamCreate(&st, 0), cudadrv::CUDA_SUCCESS);
+
+  const int n = 512;
+  std::vector<float> v(n, 1.0f);
+  MapItem item{v.data(), n * sizeof(float), MapType::To};
+  env.map(item);
+
+  OffloadStats plain = mod.launch_async(scale_spec(n, 2.0f, v.data()), env, st);
+  OffloadStats baked =
+      mod.launch_graph_async(scale_spec(n, 2.0f, v.data()), env, st);
+  env.unmap_delete(item.host);
+
+  const auto& ops = cudadrv::cuSimStreamOps(st);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, cudadrv::StreamOp::Kind::Kernel);
+  EXPECT_FALSE(ops[0].graph) << "plain NDRange enqueue";
+  EXPECT_EQ(ops[1].kind, cudadrv::StreamOp::Kind::Kernel);
+  EXPECT_TRUE(ops[1].graph) << "replayed node must use the graph path";
+  EXPECT_LT(baked.prepare_s, plain.prepare_s)
+      << "patching baked args must beat full clSetKernelArg preparation";
+  cudadrv::cuStreamDestroy(st);
+}
+
+TEST_F(OpenclDev, CaptureThenReplayOnTheOclDevice) {
+  // End to end through the runtime: a repeated chain on the ocl-profile
+  // device captures once, then replays — and the replayed kernels reach
+  // the driver through cuLaunchKernelGraph, not the eager launch path.
+  Runtime::set_graph_mode(Runtime::GraphMode::Capture);
+  Runtime::set_opencl_enabled(true);
+  Runtime& rt = Runtime::instance();
+  ASSERT_EQ(rt.module(1).name(), "opencldev");
+
+  const int n = 256;
+  constexpr int kChain = 3;
+  std::vector<float> v(n, 1.0f);
+  std::vector<MapItem> maps = {{v.data(), n * sizeof(float),
+                                MapType::ToFrom}};
+  auto run_window = [&] {
+    for (int k = 0; k < kChain; ++k)
+      rt.target_nowait(1, scale_spec(n, 2.0f, v.data()), maps,
+                       {DependItem::inout(v.data())});
+    rt.sync(1);
+  };
+
+  run_window();  // first sighting: eager execution + capture
+  EXPECT_EQ(rt.queue(1)->totals().graphs_captured, 1u);
+  EXPECT_EQ(rt.queue(1)->totals().graph_replays, 0u);
+
+  run_window();  // same shape: replays the baked graph
+  OffloadStats totals = rt.queue(1)->totals();
+  EXPECT_EQ(totals.graphs_captured, 1u);
+  EXPECT_EQ(totals.graph_replays, 1u);
+  EXPECT_GT(totals.transfers_elided, 0u);
+
+  std::size_t graph_dispatches = 0;
+  for (int s = 0; s < rt.queue(1)->stream_count(); ++s)
+    for (const auto& op : cudadrv::cuSimStreamOps(rt.queue(1)->stream_handle(s)))
+      if (op.kind == cudadrv::StreamOp::Kind::Kernel && op.graph)
+        ++graph_dispatches;
+  EXPECT_EQ(graph_dispatches, static_cast<std::size_t>(kChain))
+      << "every node of the replayed window must dispatch via "
+         "cuLaunchKernelGraph";
+
+  for (float x : v)
+    ASSERT_FLOAT_EQ(x, 64.0f) << "2^6: both windows ran every link once";
+}
+
 TEST_F(OpenclDev, MissingProgramReported) {
   OpenclDevModule mod;
   mod.initialize();
