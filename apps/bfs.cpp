@@ -1,0 +1,178 @@
+// Level-synchronous BFS over an irregular adjacency structure: one
+// kernel launch per level scans the vertices, expands the frontier and
+// counts the newly-visited vertices — the count that tells the host
+// loop when to stop. The Ompi variant folds the count through the
+// reduction engine under a dynamic schedule (frontier vertices cluster,
+// so static chunks go idle); the Cuda variant bumps a global counter
+// with one atomic per discovered vertex. The traversal itself is cheap
+// integer work and runs identically in model-only mode, keeping the
+// data-dependent level structure (and therefore the charges) exact.
+#include "apps/irregular.h"
+
+namespace apps {
+
+namespace {
+
+jetsim::Cost bfs_vertex_cost() {  // dist[v] check + row_ptr pair
+  return gmem_cost(jetsim::Access::Coalesced, 4) * 3 + loop_cost();
+}
+
+jetsim::Cost bfs_edge_cost() {  // neighbor id + dist gather + mark
+  return gmem_cost(jetsim::Access::Strided, 4) * 3 + flops_cost(1) +
+         loop_cost();
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+// Expands one frontier vertex; returns how many neighbors it visited.
+// Blocks run sequentially and fibers only yield at synchronization
+// points, so the discovered-vertex writes never race in the simulator.
+long long bfs_vertex(jetsim::KernelCtx& ctx, int v, int level,
+                     const int* row_ptr, const int* col, int* dist) {
+  ctx.charge(bfs_vertex_cost());
+  if (dist[v] != level) return 0;
+  long long found = 0;
+  for (int k = row_ptr[v]; k < row_ptr[v + 1]; ++k) {
+    ctx.charge(bfs_edge_cost());
+    int u = col[k];
+    if (dist[u] < 0) {
+      dist[u] = level + 1;
+      ++found;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+RunResult run_bfs(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  Csr g = make_irregular_csr(n, n, /*max_row=*/8, /*seed=*/501,
+                             /*weighted=*/false);
+  const std::size_t ptr_bytes = (static_cast<std::size_t>(n) + 1) * sizeof(int);
+  const std::size_t col_bytes = static_cast<std::size_t>(g.nnz()) * sizeof(int);
+  const std::size_t dist_bytes = static_cast<std::size_t>(n) * sizeof(int);
+
+  auto kernel = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                   bool ompi) {
+    if (ompi) devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    int level = args.value<int>(1);
+    const int* row_ptr =
+        args.pointer<int>(2, static_cast<std::size_t>(n) + 1);
+    const int* col =
+        args.pointer<int>(3, static_cast<std::size_t>(row_ptr[n]));
+    int* dist = args.pointer<int>(4, static_cast<std::size_t>(n));
+    int* next = args.pointer<int>(5, 1);
+    if (ompi) {
+      long long local = 0;
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (team.valid) {
+        devrt::ws_loop_init(ctx, team.lb, team.ub);
+        for (;;) {
+          devrt::Chunk c = devrt::get_dynamic_chunk(ctx, 16);
+          if (!c.valid) break;
+          for (long long i = c.lb; i < c.ub; ++i)
+            local += bfs_vertex(ctx, static_cast<int>(i), level, row_ptr,
+                                col, dist);
+        }
+        devrt::ws_loop_end(ctx, false);
+      }
+      devrt::red_begin(ctx);
+      devrt::red_contrib(ctx, next, local, devrt::RedOp::Sum);
+      devrt::red_end(ctx);
+    } else {
+      int i = linear_gid(ctx);
+      if (i < n) {
+        long long found = bfs_vertex(ctx, i, level, row_ptr, col, dist);
+        if (found > 0)
+          ctx.atomic_add(next, static_cast<int>(found));
+      }
+    }
+  };
+
+  bool ompi = v == Variant::Ompi;
+  h.add_kernel(ompi ? "_kernelFunc0_" : "bfs_kernel", 6,
+               [kernel, ompi](jetsim::KernelCtx& c,
+                              const cudadrv::ArgPack& a) {
+                 kernel(c, a, ompi);
+               });
+  h.install();
+  // The frontier expansion and the reduction tree both carry cross-block
+  // state, so model-only block sampling would corrupt the traversal.
+  cudadrv::cuSimSetBlockSampling(false);
+
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  dist[0] = 0;
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  h.mark_start();
+  if (v == Variant::Cuda) {
+    cudadrv::CUdeviceptr dp = h.dev_alloc(ptr_bytes),
+                         dc = h.dev_alloc(col_bytes),
+                         dd = h.dev_alloc(dist_bytes),
+                         dn = h.dev_alloc(sizeof(int));
+    h.to_device(dp, g.row_ptr.data(), ptr_bytes);
+    h.to_device(dc, g.col.data(), col_bytes);
+    h.to_device(dd, dist.data(), dist_bytes);
+    for (int level = 0; level < n; ++level) {
+      int zero = 0, next = 0;
+      h.to_device(dn, &zero, sizeof(int));
+      h.launch("bfs_kernel", blocks, 1, 32, 8,
+               {&np, &level, &dp, &dc, &dd, &dn});
+      h.from_device(&next, dn, sizeof(int));
+      if (next == 0) break;
+    }
+    h.from_device(dist.data(), dd, dist_bytes);
+  } else {
+    std::vector<hostrt::MapItem> data_maps = {
+        {g.row_ptr.data(), ptr_bytes, hostrt::MapType::To},
+        {g.col.data(), col_bytes, hostrt::MapType::To},
+        {dist.data(), dist_bytes, hostrt::MapType::ToFrom},
+    };
+    h.target_data_begin(data_maps);
+    for (int level = 0; level < n; ++level) {
+      int next = 0;
+      h.target("_kernelFunc0_", blocks, 1, 32, 8,
+               {{g.row_ptr.data(), ptr_bytes, hostrt::MapType::To},
+                {g.col.data(), col_bytes, hostrt::MapType::To},
+                {dist.data(), dist_bytes, hostrt::MapType::ToFrom},
+                {&next, sizeof(int), hostrt::MapType::ToFrom}},
+               {hostrt::KernelArg::of(np), hostrt::KernelArg::of(level),
+                hostrt::KernelArg::mapped(g.row_ptr.data()),
+                hostrt::KernelArg::mapped(g.col.data()),
+                hostrt::KernelArg::mapped(dist.data()),
+                hostrt::KernelArg::mapped(&next)});
+      if (next == 0) break;
+    }
+    h.target_data_end(data_maps);
+  }
+
+  if (options.verify) {
+    std::vector<int> ref(static_cast<std::size_t>(n), -1);
+    std::vector<int> frontier = {0};
+    ref[0] = 0;
+    for (int level = 0; !frontier.empty(); ++level) {
+      std::vector<int> nf;
+      for (int vtx : frontier)
+        for (int k = g.row_ptr[static_cast<std::size_t>(vtx)];
+             k < g.row_ptr[static_cast<std::size_t>(vtx) + 1]; ++k) {
+          int u = g.col[static_cast<std::size_t>(k)];
+          if (ref[static_cast<std::size_t>(u)] < 0) {
+            ref[static_cast<std::size_t>(u)] = level + 1;
+            nf.push_back(u);
+          }
+        }
+      frontier = std::move(nf);
+    }
+    verified = dist == ref;
+  }
+  return h.finish(verified);
+}
+
+}  // namespace apps

@@ -1,0 +1,113 @@
+// 256-bin histogram over n samples. The Ompi variant reduces an array
+// section — every thread accumulates a private row of bins and the
+// engine combines rows element-wise, so the contended traffic on the
+// shared bins is 256 atomics total under the tree finish. The Cuda
+// variant is the naive kernel: one global atomic per sample, which the
+// atomic unit serializes per bin. Bins are unsigned, exercising the
+// zero-extended accumulator path.
+#include "apps/irregular.h"
+
+namespace apps {
+
+namespace {
+
+inline constexpr int kBins = 256;
+
+jetsim::Cost hist_iter_cost() {  // sample read + bin index arithmetic
+  return gmem_cost(jetsim::Access::Coalesced, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+}  // namespace
+
+RunResult run_histogram(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  const std::size_t data_bytes = static_cast<std::size_t>(n) * sizeof(int);
+  const std::size_t bins_bytes = kBins * sizeof(unsigned);
+
+  auto kernel = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                   bool ompi) {
+    if (ompi) devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    const int* data = args.pointer<int>(1, static_cast<std::size_t>(n));
+    unsigned* bins = args.pointer<unsigned>(2, kBins);
+    if (ompi) {
+      long long priv[kBins] = {};
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (team.valid) {
+        devrt::Chunk mine = devrt::get_static_chunk(ctx, team.lb, team.ub);
+        for (long long i = mine.lb; mine.valid && i < mine.ub; ++i) {
+          ctx.charge(hist_iter_cost());
+          ++priv[data[i] & (kBins - 1)];
+        }
+      }
+      devrt::red_begin(ctx);
+      devrt::red_contrib_arr(ctx, bins, priv, kBins, devrt::RedOp::Sum);
+      devrt::red_end(ctx);
+    } else {
+      int i = linear_gid(ctx);
+      if (i < n) {
+        ctx.charge(hist_iter_cost());
+        ctx.atomic_add(&bins[data[i] & (kBins - 1)], 1u);
+      }
+    }
+  };
+
+  bool ompi = v == Variant::Ompi;
+  h.add_kernel(ompi ? "_kernelFunc0_" : "histogram_kernel", 3,
+               [kernel, ompi](jetsim::KernelCtx& c,
+                              const cudadrv::ArgPack& a) {
+                 kernel(c, a, ompi);
+               });
+  h.install();
+  // Cross-block reduction state (and the Cuda variant's contended bin
+  // atomics) make model-only block sampling invalid here.
+  cudadrv::cuSimSetBlockSampling(false);
+
+  // Skewed samples: half the stream lands in one hot bin, the rest
+  // spreads — the worst case for the naive per-sample atomic.
+  std::vector<int> data(static_cast<std::size_t>(n));
+  uint32_t s = 401;
+  for (int i = 0; i < n; ++i) {
+    s = s * 1664525u + 1013904223u;
+    data[static_cast<std::size_t>(i)] =
+        (s >> 12) % 2 == 0 ? 7 : static_cast<int>((s >> 13) % kBins);
+  }
+  std::vector<unsigned> bins(kBins, 0u);
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  h.mark_start();
+  if (v == Variant::Cuda) {
+    cudadrv::CUdeviceptr dd = h.dev_alloc(data_bytes),
+                         db = h.dev_alloc(bins_bytes);
+    h.to_device(dd, data.data(), data_bytes);
+    h.to_device(db, bins.data(), bins_bytes);
+    h.launch("histogram_kernel", blocks, 1, 32, 8, {&np, &dd, &db});
+    h.from_device(bins.data(), db, bins_bytes);
+  } else {
+    h.target("_kernelFunc0_", blocks, 1, 32, 8,
+             {{data.data(), data_bytes, hostrt::MapType::To},
+              {bins.data(), bins_bytes, hostrt::MapType::ToFrom}},
+             {hostrt::KernelArg::of(np),
+              hostrt::KernelArg::mapped(data.data()),
+              hostrt::KernelArg::mapped(bins.data())});
+  }
+
+  if (options.verify) {
+    std::vector<unsigned> ref(kBins, 0u);
+    for (int i = 0; i < n; ++i)
+      ++ref[static_cast<std::size_t>(data[static_cast<std::size_t>(i)] &
+                                     (kBins - 1))];
+    verified = bins == ref;
+  }
+  return h.finish(verified);
+}
+
+}  // namespace apps

@@ -1,0 +1,38 @@
+// Deterministic irregular-structure generator shared by the sparse
+// workloads (spmv, bfs).
+#include "apps/irregular.h"
+
+namespace apps {
+
+Csr make_irregular_csr(int rows, int cols, int max_row, uint32_t seed,
+                       bool weighted) {
+  Csr m;
+  m.row_ptr.resize(static_cast<std::size_t>(rows) + 1, 0);
+  uint32_t s = seed | 1u;
+  auto next = [&s] {
+    s = s * 1664525u + 1013904223u;
+    return s;
+  };
+  for (int i = 0; i < rows; ++i) {
+    int len = static_cast<int>((next() >> 8) %
+                               static_cast<uint32_t>(max_row + 1));
+    // Every 16th row is twice the nominal maximum: the skew that makes
+    // static schedules strand whole teams behind the heavy rows.
+    if (i % 16 == 0) len = 2 * max_row;
+    m.row_ptr[static_cast<std::size_t>(i) + 1] =
+        m.row_ptr[static_cast<std::size_t>(i)] + len;
+  }
+  const int nnz = m.row_ptr[static_cast<std::size_t>(rows)];
+  m.col.resize(static_cast<std::size_t>(nnz));
+  if (weighted) m.val.resize(static_cast<std::size_t>(nnz));
+  for (int k = 0; k < nnz; ++k) {
+    m.col[static_cast<std::size_t>(k)] =
+        static_cast<int>(next() % static_cast<uint32_t>(cols));
+    if (weighted)
+      m.val[static_cast<std::size_t>(k)] =
+          static_cast<float>((next() >> 16) % 1000u) / 1000.0f;
+  }
+  return m;
+}
+
+}  // namespace apps

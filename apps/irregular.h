@@ -1,0 +1,40 @@
+// Irregular workloads (DESIGN.md §5k): sparse and data-dependent kernels
+// whose per-iteration work varies, exercising the dynamic worksharing
+// path and the device-wide reduction tree that the regular Fig. 4
+// kernels never stress.
+//
+//   app        pattern                       reduction
+//   spmv       CSR y = A x, skewed rows      scalar + (float checksum)
+//   histogram  data-dependent bin counts     array section [0:256], unsigned
+//   bfs        level-synchronous frontier    scalar + (next-frontier count)
+//
+// Each app follows the Fig. 4 two-variant contract (apps/common.h): the
+// Cuda variant is the hand-written kernel (naive atomics where the OMPi
+// variant reduces), the Ompi variant is the materialized output of the
+// combined-construct transformation using the cudadev device library.
+#pragma once
+
+#include "apps/common.h"
+
+namespace apps {
+
+/// A CSR matrix / adjacency structure with deterministic, skewed row
+/// lengths: most rows hold up to `max_row` entries, every 16th row is
+/// twice that, so static schedules suffer real imbalance.
+struct Csr {
+  std::vector<int> row_ptr;  // rows + 1 offsets
+  std::vector<int> col;      // column / neighbor indices, unsorted
+  std::vector<float> val;    // weights; empty when built unweighted
+
+  int rows() const { return static_cast<int>(row_ptr.size()) - 1; }
+  int nnz() const { return row_ptr.back(); }
+};
+
+Csr make_irregular_csr(int rows, int cols, int max_row, uint32_t seed,
+                       bool weighted);
+
+RunResult run_spmv(Variant v, int n, const RunOptions& options);
+RunResult run_histogram(Variant v, int n, const RunOptions& options);
+RunResult run_bfs(Variant v, int n, const RunOptions& options);
+
+}  // namespace apps

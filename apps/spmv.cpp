@@ -1,0 +1,163 @@
+// Sparse matrix-vector product over a CSR matrix with skewed row
+// lengths: y = A x plus a float checksum s = sum(y). The Ompi variant
+// runs the rows under a dynamic schedule (the static distribute of the
+// regular kernels would strand whole teams behind the heavy rows) and
+// folds the checksum through the reduction engine; the Cuda variant is
+// the classic row-per-thread kernel with the checksum left to the host.
+#include <cmath>
+
+#include "apps/irregular.h"
+
+namespace apps {
+
+namespace {
+
+jetsim::Cost spmv_nz_cost() {  // per nonzero: col + val streams, x gather
+  return gmem_cost(jetsim::Access::Strided, 4) * 2 +
+         gmem_cost(jetsim::Access::Broadcast, 4) + flops_cost(1) +
+         loop_cost();
+}
+
+jetsim::Cost spmv_row_cost() {  // per row: two row_ptr reads, y write
+  return gmem_cost(jetsim::Access::Coalesced, 4) * 3 + loop_cost();
+}
+
+int linear_gid(jetsim::KernelCtx& ctx) {
+  return static_cast<int>(ctx.block_idx().x * ctx.block_dim().count() +
+                          ctx.linear_tid());
+}
+
+// One row's dot product. The row walk is charged from the actual row
+// length (read from row_ptr either way), so the model-only path charges
+// exactly like real execution while skipping the float gather.
+double spmv_row(jetsim::KernelCtx& ctx, int i, const int* row_ptr,
+                const int* col, const float* val, const float* x, float* y) {
+  ctx.charge(spmv_row_cost());
+  const int lo = row_ptr[i], hi = row_ptr[i + 1];
+  ctx.charge(spmv_nz_cost() * (hi - lo));
+  if (ctx.model_only()) return 0.0;
+  float acc = 0.0f;
+  for (int k = lo; k < hi; ++k) acc += val[k] * x[col[k]];
+  y[i] = acc;
+  return acc;
+}
+
+}  // namespace
+
+RunResult run_spmv(Variant v, int n, const RunOptions& options) {
+  AppHarness h(v, options);
+  Csr m = make_irregular_csr(n, n, /*max_row=*/32, /*seed=*/301,
+                             /*weighted=*/true);
+  const std::size_t ptr_bytes = (static_cast<std::size_t>(n) + 1) * sizeof(int);
+  const std::size_t col_bytes = static_cast<std::size_t>(m.nnz()) * sizeof(int);
+  const std::size_t val_bytes =
+      static_cast<std::size_t>(m.nnz()) * sizeof(float);
+  const std::size_t vec_bytes = static_cast<std::size_t>(n) * sizeof(float);
+
+  auto kernel = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args,
+                   bool ompi) {
+    if (ompi) devrt::combined_init(ctx);
+    int n = args.value<int>(0);
+    const int* row_ptr =
+        args.pointer<int>(1, static_cast<std::size_t>(n) + 1);
+    std::size_t nnz = static_cast<std::size_t>(row_ptr[n]);
+    const int* col = args.pointer<int>(2, nnz);
+    const float* val = args.pointer<float>(3, nnz);
+    const float* x = args.pointer<float>(4, static_cast<std::size_t>(n));
+    float* y = args.pointer<float>(5, static_cast<std::size_t>(n));
+    if (ompi) {
+      float* s = args.pointer<float>(6, 1);
+      double local = 0.0;
+      devrt::Chunk team = devrt::get_distribute_chunk(ctx, 0, n);
+      if (team.valid) {
+        devrt::ws_loop_init(ctx, team.lb, team.ub);
+        for (;;) {
+          devrt::Chunk c = devrt::get_dynamic_chunk(ctx, 8);
+          if (!c.valid) break;
+          for (long long i = c.lb; i < c.ub; ++i)
+            local += spmv_row(ctx, static_cast<int>(i), row_ptr, col, val,
+                              x, y);
+        }
+        devrt::ws_loop_end(ctx, false);
+      }
+      devrt::red_begin(ctx);
+      devrt::red_contrib(ctx, s, local, devrt::RedOp::Sum);
+      devrt::red_end(ctx);
+    } else {
+      int i = linear_gid(ctx);
+      if (i < n) spmv_row(ctx, i, row_ptr, col, val, x, y);
+    }
+  };
+
+  bool ompi = v == Variant::Ompi;
+  h.add_kernel(ompi ? "_kernelFunc0_" : "spmv_kernel", ompi ? 7 : 6,
+               [kernel, ompi](jetsim::KernelCtx& c,
+                              const cudadrv::ArgPack& a) {
+                 kernel(c, a, ompi);
+               });
+  h.install();
+  // The device-wide reduction tree keeps cross-block state (scratch
+  // slots, arrival tickets), so model-only block sampling would break
+  // the folder election. Run every block.
+  cudadrv::cuSimSetBlockSampling(false);
+
+  std::vector<float> x(static_cast<std::size_t>(n)),
+      y(static_cast<std::size_t>(n), 0.0f);
+  fill_vector(x, 302);
+  float s = 0.0f;
+  int np = n;
+  unsigned blocks = (static_cast<unsigned>(n) + 255) / 256;
+
+  bool verified = true;
+  h.mark_start();
+  if (v == Variant::Cuda) {
+    cudadrv::CUdeviceptr dp = h.dev_alloc(ptr_bytes),
+                         dc = h.dev_alloc(col_bytes),
+                         dv = h.dev_alloc(val_bytes),
+                         dx = h.dev_alloc(vec_bytes),
+                         dy = h.dev_alloc(vec_bytes);
+    h.to_device(dp, m.row_ptr.data(), ptr_bytes);
+    h.to_device(dc, m.col.data(), col_bytes);
+    h.to_device(dv, m.val.data(), val_bytes);
+    h.to_device(dx, x.data(), vec_bytes);
+    h.launch("spmv_kernel", blocks, 1, 32, 8, {&np, &dp, &dc, &dv, &dx, &dy});
+    h.from_device(y.data(), dy, vec_bytes);
+  } else {
+    h.target("_kernelFunc0_", blocks, 1, 32, 8,
+             {{m.row_ptr.data(), ptr_bytes, hostrt::MapType::To},
+              {m.col.data(), col_bytes, hostrt::MapType::To},
+              {m.val.data(), val_bytes, hostrt::MapType::To},
+              {x.data(), vec_bytes, hostrt::MapType::To},
+              {y.data(), vec_bytes, hostrt::MapType::From},
+              {&s, sizeof(float), hostrt::MapType::ToFrom}},
+             {hostrt::KernelArg::of(np),
+              hostrt::KernelArg::mapped(m.row_ptr.data()),
+              hostrt::KernelArg::mapped(m.col.data()),
+              hostrt::KernelArg::mapped(m.val.data()),
+              hostrt::KernelArg::mapped(x.data()),
+              hostrt::KernelArg::mapped(y.data()),
+              hostrt::KernelArg::mapped(&s)});
+  }
+
+  if (options.verify) {
+    std::vector<float> y_ref(static_cast<std::size_t>(n), 0.0f);
+    double s_ref = 0.0;
+    for (int i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      for (int k = m.row_ptr[static_cast<std::size_t>(i)];
+           k < m.row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        acc += m.val[static_cast<std::size_t>(k)] *
+               x[static_cast<std::size_t>(m.col[static_cast<std::size_t>(k)])];
+      y_ref[static_cast<std::size_t>(i)] = acc;
+      s_ref += acc;
+    }
+    verified = nearly_equal(y, y_ref);
+    if (v == Variant::Ompi) {
+      float tol = 1e-3f * (std::fabs(static_cast<float>(s_ref)) + 1.0f);
+      verified = verified && std::fabs(s - static_cast<float>(s_ref)) <= tol;
+    }
+  }
+  return h.finish(verified);
+}
+
+}  // namespace apps

@@ -1,0 +1,181 @@
+// Micro A5 — the device-wide reduction tree on irregular workloads
+// (DESIGN.md §5k). Two parts:
+//
+//  1. Correctness rows: the irregular apps (CSR SpMV with a reduced
+//     checksum, the 256-bin array-section histogram) run both variants
+//     with real math against their references — the tree finish and the
+//     array protocol produce exact results, not just fast ones.
+//
+//  2. The contention gate: a reduction-only kernel at 1024 teams x 8
+//     threads, where the epilogue IS the workload. The legacy finish
+//     (OMPI_REDTREE=atomic) lands 1024 contended RMWs on one address and
+//     the atomic unit serializes them into the critical path; the tree
+//     publishes partials to scratch slots, elects one folder through
+//     segmented tickets and lands ONE contended RMW. Gate: tree >= 2x,
+//     with the tree run's contended-atomic count O(1) in the team count.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/irregular.h"
+#include "bench/bench_json.h"
+#include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
+#include "hostrt/runtime.h"
+
+namespace {
+
+using namespace hostrt;
+
+constexpr int kGateTeams = 1024;
+constexpr int kGateThreads = 8;
+int kAppN = 2048;
+
+void install_binary() {
+  cudadrv::ModuleImage img;
+  img.path = "spmv_kernels.cubin";
+  img.kind = cudadrv::BinaryKind::Cubin;
+
+  cudadrv::KernelImage k;
+  k.name = "_redOnly_";
+  k.param_count = 1;
+  // The epilogue-only kernel: every thread contributes 1, so the target
+  // counts the grid's threads and any dropped contribution is visible.
+  k.entry = [](jetsim::KernelCtx& ctx, const cudadrv::ArgPack& args) {
+    long long* tgt = args.pointer<long long>(0);
+    devrt::combined_init(ctx);
+    devrt::red_begin(ctx);
+    devrt::red_contrib(ctx, tgt, 1, devrt::RedOp::Sum);
+    devrt::red_end(ctx);
+  };
+  img.add_kernel(std::move(k));
+  cudadrv::BinaryRegistry::instance().install(std::move(img));
+}
+
+struct GateRun {
+  OffloadStats stats;
+  long long value = 0;
+};
+
+GateRun run_gate(devrt::RedFinish finish) {
+  Runtime::reset();
+  cudadrv::BinaryRegistry::instance().clear();
+  install_binary();
+  devrt::set_red_finish(finish);
+
+  long long target = 0;
+  KernelLaunchSpec spec;
+  spec.module_path = "spmv_kernels.cubin";
+  spec.kernel_name = "_redOnly_";
+  spec.geometry.teams_x = kGateTeams;
+  spec.geometry.threads_x = kGateThreads;
+  spec.args = {KernelArg::mapped(&target)};
+  std::vector<MapItem> maps = {
+      {&target, sizeof(long long), MapType::ToFrom},
+  };
+
+  GateRun r;
+  r.stats = Runtime::instance().target(0, spec, maps);
+  r.value = target;
+  Runtime::reset();
+  devrt::set_red_finish(devrt::RedFinish::Tree);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) kAppN = 512;  // the gate keeps its 1024-team shape either way
+
+  std::printf("micro_spmv: irregular workloads + device-wide reduction "
+              "tree\n\n");
+
+  // --- correctness rows -------------------------------------------------
+  apps::RunOptions verify_opt;
+  verify_opt.model_only = false;
+  verify_opt.verify = true;
+  bool ok = true;
+  double spmv_s = 0, hist_s = 0;
+  for (apps::Variant v : {apps::Variant::Cuda, apps::Variant::Ompi}) {
+    apps::RunResult spmv = apps::run_spmv(v, kAppN, verify_opt);
+    apps::RunResult hist = apps::run_histogram(v, kAppN, verify_opt);
+    std::printf("  %-6s spmv %s (%.6fs)   histogram %s (%.6fs)\n",
+                apps::to_string(v), spmv.verified ? "ok" : "FAIL",
+                spmv.seconds, hist.verified ? "ok" : "FAIL", hist.seconds);
+    ok = ok && spmv.verified && hist.verified;
+    if (v == apps::Variant::Ompi) {
+      spmv_s = spmv.seconds;
+      hist_s = hist.seconds;
+    }
+  }
+
+  // --- the contention gate ----------------------------------------------
+  GateRun atomic = run_gate(devrt::RedFinish::Atomic);
+  GateRun tree = run_gate(devrt::RedFinish::Tree);
+  const long long expect =
+      static_cast<long long>(kGateTeams) * kGateThreads;
+  if (atomic.value != expect || tree.value != expect) {
+    std::printf("  FAIL: gate sums %lld / %lld != %lld\n", atomic.value,
+                tree.value, expect);
+    ok = false;
+  }
+
+  double tree_speedup = atomic.stats.exec_s / tree.stats.exec_s;
+  // O(1) check: the tree run's contended RMWs on the target must not
+  // scale with the team count — exactly one for this single reduction.
+  double red_o1 = tree.stats.red_global_atomics == 1 ? 1 : 0;
+
+  std::printf("\n  epilogue-only kernel, %d teams x %d threads\n",
+              kGateTeams, kGateThreads);
+  std::printf("  %-10s %12s %16s %14s\n", "finish", "exec (s)",
+              "global_atomics", "tickets");
+  std::printf("  %-10s %12.6f %16llu %14llu\n", "atomic",
+              atomic.stats.exec_s,
+              static_cast<unsigned long long>(
+                  atomic.stats.red_global_atomics),
+              static_cast<unsigned long long>(
+                  atomic.stats.red_ticket_atomics));
+  std::printf("  %-10s %12.6f %16llu %14llu\n", "tree", tree.stats.exec_s,
+              static_cast<unsigned long long>(tree.stats.red_global_atomics),
+              static_cast<unsigned long long>(
+                  tree.stats.red_ticket_atomics));
+  std::printf("  speedup %.2fx (gate >= 2.0x), grid_combines=%llu\n",
+              tree_speedup,
+              static_cast<unsigned long long>(tree.stats.red_grid_combines));
+
+  bench::write_bench_json(
+      "micro_spmv",
+      {{"app_n", std::to_string(kAppN)},
+       {"gate_teams", std::to_string(kGateTeams)},
+       {"gate_threads", std::to_string(kGateThreads)}},
+      {{"verify_ok", ok ? 1.0 : 0.0},
+       {"spmv_ompi_s", spmv_s},
+       {"histogram_ompi_s", hist_s},
+       {"atomic_exec_s", atomic.stats.exec_s},
+       {"tree_exec_s", tree.stats.exec_s},
+       {"tree_speedup", tree_speedup},
+       {"red_o1", red_o1},
+       {"tree_global_atomics",
+        static_cast<double>(tree.stats.red_global_atomics)},
+       {"atomic_global_atomics",
+        static_cast<double>(atomic.stats.red_global_atomics)},
+       {"ticket_atomics",
+        static_cast<double>(tree.stats.red_ticket_atomics)},
+       {"grid_combines",
+        static_cast<double>(tree.stats.red_grid_combines)}});
+
+  if (!ok) return 1;
+  if (tree_speedup < 2.0) {
+    std::printf("\n  GATE FAILED: %.2fx < 2.0x\n", tree_speedup);
+    return 1;
+  }
+  if (red_o1 != 1) {
+    std::printf("\n  GATE FAILED: tree ran %llu contended atomics, not 1\n",
+                static_cast<unsigned long long>(
+                    tree.stats.red_global_atomics));
+    return 1;
+  }
+  return 0;
+}

@@ -1000,8 +1000,15 @@ OmpClause Parser::parse_omp_clause() {
       default: error_here("expected a reduction operator");
     }
     expect(Tok::Colon, "after reduction operator");
+    // List items are plain scalars or array sections (`hist[0:256]`);
+    // sections reuse the map-item grammar and land in c.items so the
+    // lowering can size the private row.
     do {
-      c.vars.push_back(expect(Tok::Ident, "in reduction list").text);
+      OmpMapItem item = parse_omp_map_item(OmpMapType::ToFrom);
+      if (item.section_len)
+        c.items.push_back(std::move(item));
+      else
+        c.vars.push_back(std::move(item.name));
     } while (accept(Tok::Comma));
     expect(Tok::RParen, "after reduction list");
   } else {

@@ -108,6 +108,28 @@ void Sema::resolve_stmt(Stmt* s) {
             diags_.error(c.loc, "clause variable '" + v +
                                     "' does not name a visible variable");
         }
+        // Bitwise reduction operators have no meaning over floating
+        // types; reject at the front end with the operator and variable
+        // named, instead of letting the lowering trip over it later.
+        if (c.kind == OmpClause::Kind::Reduction &&
+            (c.reduction_op == "&" || c.reduction_op == "|" ||
+             c.reduction_op == "^")) {
+          auto scalar_of = [](const Type* t) {
+            while (t && t->is_pointerish()) t = t->elem;
+            return t;
+          };
+          auto reject_float = [&](const std::string& name) {
+            const VarDecl* d = lookup(name);
+            const Type* t = d ? scalar_of(d->type) : nullptr;
+            if (t && t->is_floating())
+              diags_.error(c.loc,
+                           "bitwise reduction operator '" + c.reduction_op +
+                               "' cannot apply to floating-point variable '" +
+                               name + "' — use +, *, min or max instead");
+          };
+          for (const OmpMapItem& item : c.items) reject_float(item.name);
+          for (const std::string& v : c.vars) reject_float(v);
+        }
       }
       resolve_stmt(s->omp_body);
       break;

@@ -69,10 +69,43 @@ void collect_reduction_vars(const Stmt* s, std::vector<std::string>& out) {
       return;
     case Stmt::Kind::Omp:
       for (const OmpClause& c : s->omp_clauses)
-        if (c.kind == OmpClause::Kind::Reduction)
+        if (c.kind == OmpClause::Kind::Reduction) {
           for (const std::string& v : c.vars)
             if (!in_string_list(out, v)) out.push_back(v);
+          for (const OmpMapItem& m : c.items)
+            if (!in_string_list(out, m.name)) out.push_back(m.name);
+        }
       collect_reduction_vars(s->omp_body, out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Collects the array-section items of every reduction clause on `s` or
+/// nested inside it; build_params synthesizes round-trip maps for
+/// reduced sections that carry no explicit map clause.
+void collect_reduction_items(const Stmt* s,
+                             std::vector<const OmpMapItem*>& out) {
+  if (!s) return;
+  switch (s->kind) {
+    case Stmt::Kind::Compound:
+      for (const Stmt* c : s->body) collect_reduction_items(c, out);
+      return;
+    case Stmt::Kind::If:
+      collect_reduction_items(s->then_stmt, out);
+      collect_reduction_items(s->else_stmt, out);
+      return;
+    case Stmt::Kind::For:
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      collect_reduction_items(s->then_stmt, out);
+      return;
+    case Stmt::Kind::Omp:
+      for (const OmpClause& c : s->omp_clauses)
+        if (c.kind == OmpClause::Kind::Reduction)
+          for (const OmpMapItem& m : c.items) out.push_back(&m);
+      collect_reduction_items(s->omp_body, out);
       return;
     default:
       return;
@@ -141,6 +174,24 @@ Expr* reduction_identity(AstBuilder& b, int op_code, const Type* vt) {
     case kRedBitAnd:
       return b.int_lit(-1);  // all ones at any width
     case kRedMin:
+      // min's identity is the type's maximum; the unsigned maxima differ
+      // from the signed ones (an unsigned accumulator seeded with
+      // INT_MAX would lose any contribution above 2^31).
+      if (vt->is_unsigned) {
+        switch (vt->kind) {
+          case Type::Kind::Char:
+            return b.int_lit(255);
+          case Type::Kind::Short:
+            return b.int_lit(65535);
+          case Type::Kind::Int:
+            return int_text(4294967295LL, "4294967295u");
+          default:
+            // 64-bit unsigned reductions accumulate through the engine's
+            // 8-byte signed domain (values above 2^63 are unsupported),
+            // so the identity is that domain's maximum.
+            return int_text(9223372036854775807LL, "9223372036854775807ULL");
+        }
+      }
       switch (vt->kind) {
         case Type::Kind::Char:
           return b.int_lit(127);
@@ -157,6 +208,9 @@ Expr* reduction_identity(AstBuilder& b, int op_code, const Type* vt) {
           return int_text(9223372036854775807LL, "9223372036854775807LL");
       }
     case kRedMax:
+      // max's identity is the type's minimum: 0 for every unsigned
+      // width, not the (negative) signed minimum.
+      if (vt->is_unsigned) return b.int_lit(0);
       switch (vt->kind) {
         case Type::Kind::Char:
           return b.int_lit(-128);
@@ -241,14 +295,24 @@ void GpuTransform::build_params(KernelInfo& k, Stmt* target,
     return nullptr;
   };
 
-  // Scalars reduced anywhere inside the region default to map(tofrom):
+  // Variables reduced anywhere inside the region default to map(tofrom):
   // the reduced value must round-trip (OpenMP's implicit data-sharing
-  // rule for reduction symbols on target constructs).
+  // rule for reduction symbols on target constructs). Every reduction
+  // clause counts, both scalar list items and array sections.
   std::vector<std::string> reduction_vars;
-  if (const OmpClause* r =
-          find_clause(target->omp_clauses, OmpClause::Kind::Reduction))
-    for (const std::string& v : r->vars) reduction_vars.push_back(v);
+  for (const OmpClause& c : target->omp_clauses)
+    if (c.kind == OmpClause::Kind::Reduction)
+      for (const std::string& v : c.vars) reduction_vars.push_back(v);
   collect_reduction_vars(target->omp_body, reduction_vars);
+
+  std::vector<const OmpMapItem*> reduction_items;
+  collect_reduction_items(target, reduction_items);
+  auto find_reduction_item = [&](const std::string& name)
+      -> const OmpMapItem* {
+    for (const OmpMapItem* m : reduction_items)
+      if (m->name == name) return m;
+    return nullptr;
+  };
 
   for (const VarDecl* var : captured) {
     KernelParam p;
@@ -265,6 +329,13 @@ void GpuTransform::build_params(KernelInfo& k, Stmt* target,
                  var->type->array_size > 0) {
         // Implicit map: the whole array, tofrom (OpenMP default).
         p.map.name = var->name;
+        p.map.map_type = OmpMapType::ToFrom;
+        p.implicit = true;
+      } else if (const OmpMapItem* r = find_reduction_item(var->name);
+                 r && r->section_len) {
+        // A reduced array section with no explicit map clause: the
+        // section round-trips (implicit tofrom, like reduced scalars).
+        p.map = *r;
         p.map.map_type = OmpMapType::ToFrom;
         p.implicit = true;
       } else {
@@ -694,46 +765,111 @@ Stmt* GpuTransform::lower_loop(KernelInfo& k, Stmt* loop,
   // Reduction handling: private accumulators initialized to the
   // combiner's identity replace the shared variable inside the loop
   // body; the epilogue funnels them through the hierarchical engine
-  // (warp shuffle -> shared slots -> one global atomic per team).
-  const OmpClause* reduction =
-      find_clause(clauses, OmpClause::Kind::Reduction);
+  // (warp shuffle -> shared slots -> the device-wide tree finish).
+  // Every reduction clause contributes: a construct may carry several
+  // clauses with different operators, each listing plain scalars and/or
+  // array sections (`reduction(+: hist[0:256])`, lowered onto a private
+  // row and an element-wise cudadev_red_contrib_arr epilogue).
   std::vector<Stmt*> reduction_epilogue;
-  if (reduction) {
-    const int op_code = reduction_op_code(reduction->reduction_op);
-    if (op_code < 0)
-      diags_.error(reduction->loc, "unsupported reduction operator '" +
-                                       reduction->reduction_op + "'");
+  {
     RewriteMap red_map;
     std::vector<Stmt*> contribs;
-    for (const std::string& var :
-         op_code < 0 ? std::vector<std::string>{} : reduction->vars) {
-      const KernelParam* param = nullptr;
+    auto find_param = [&](const std::string& name) -> const KernelParam* {
       for (const KernelParam& p : k.params)
-        if (p.name == var) param = &p;
-      if (!param || !param->is_pointer) {
-        diags_.error(reduction->loc,
-                     "reduction variable '" + var +
-                         "' must be a mapped tofrom/from scalar");
+        if (p.name == name) return &p;
+      return nullptr;
+    };
+    for (const OmpClause& clause : clauses) {
+      if (clause.kind != OmpClause::Kind::Reduction) continue;
+      const OmpClause* reduction = &clause;
+      const int op_code = reduction_op_code(reduction->reduction_op);
+      if (op_code < 0) {
+        diags_.error(reduction->loc, "unsupported reduction operator '" +
+                                         reduction->reduction_op + "'");
         continue;
       }
-      const Type* vt = param->host_type;
-      if (is_floating_kind(vt->kind) &&
-          (op_code == kRedBitAnd || op_code == kRedBitOr ||
-           op_code == kRedBitXor)) {
-        diags_.error(reduction->loc,
-                     "bitwise reduction operator '" +
-                         reduction->reduction_op +
-                         "' is invalid for floating-point variable '" + var +
-                         "'");
-        continue;
+      const bool bitwise = op_code == kRedBitAnd || op_code == kRedBitOr ||
+                           op_code == kRedBitXor;
+      for (const std::string& var : reduction->vars) {
+        const KernelParam* param = find_param(var);
+        if (!param || !param->is_pointer) {
+          diags_.error(reduction->loc,
+                       "reduction variable '" + var +
+                           "' must be a mapped tofrom/from scalar");
+          continue;
+        }
+        const Type* vt = param->host_type;
+        if (is_floating_kind(vt->kind) && bitwise) {
+          diags_.error(reduction->loc,
+                       "bitwise reduction operator '" +
+                           reduction->reduction_op +
+                           "' is invalid for floating-point variable '" +
+                           var + "'");
+          continue;
+        }
+        std::string local = "__red_" + var;
+        out.push_back(b_.decl_stmt(
+            b_.var(vt, local, reduction_identity(b_, op_code, vt))));
+        red_map[param->decl] = {RewriteAction::Kind::RenameTo, local};
+        contribs.push_back(b_.expr_stmt(
+            b_.call("cudadev_red_contrib",
+                    {b_.ident(var), b_.ident(local), b_.int_lit(op_code)})));
       }
-      std::string local = "__red_" + var;
-      out.push_back(b_.decl_stmt(
-          b_.var(vt, local, reduction_identity(b_, op_code, vt))));
-      red_map[param->decl] = {RewriteAction::Kind::RenameTo, local};
-      contribs.push_back(b_.expr_stmt(
-          b_.call("cudadev_red_contrib",
-                  {b_.ident(var), b_.ident(local), b_.int_lit(op_code)})));
+      for (const OmpMapItem& item : reduction->items) {
+        const std::string& var = item.name;
+        const KernelParam* param = find_param(var);
+        if (!param || !param->is_pointer || !param->host_type->elem) {
+          diags_.error(reduction->loc,
+                       "array-section reduction item '" + var +
+                           "' must name a mapped array");
+          continue;
+        }
+        if (item.section_lb &&
+            !(item.section_lb->kind == Expr::Kind::IntLit &&
+              item.section_lb->int_value == 0)) {
+          diags_.error(reduction->loc,
+                       "array-section reduction on '" + var +
+                           "' must cover the section [0:len] — a nonzero "
+                           "lower bound is not supported");
+          continue;
+        }
+        if (!item.section_len ||
+            item.section_len->kind != Expr::Kind::IntLit ||
+            item.section_len->int_value <= 0) {
+          diags_.error(reduction->loc,
+                       "array-section reduction on '" + var +
+                           "' needs a positive integer-literal length (the "
+                           "private row is statically sized)");
+          continue;
+        }
+        const long long len = item.section_len->int_value;
+        const Type* et = param->host_type->elem;
+        if (is_floating_kind(et->kind) && bitwise) {
+          diags_.error(reduction->loc,
+                       "bitwise reduction operator '" +
+                           reduction->reduction_op +
+                           "' is invalid for floating-point array '" + var +
+                           "'");
+          continue;
+        }
+        std::string local = "__red_" + var;
+        out.push_back(
+            b_.decl_stmt(b_.var(b_.array_of(et, len), local, nullptr)));
+        std::string iv = fresh("__ri");
+        Stmt* init = b_.stmt(Stmt::Kind::For);
+        init->for_init = b_.decl_stmt(b_.var(ll, iv, b_.int_lit(0)));
+        init->for_cond = b_.binary(BinOp::Lt, b_.ident(iv), b_.int_lit(len));
+        init->for_step = b_.unary(UnOp::PostInc, b_.ident(iv));
+        init->then_stmt = b_.expr_stmt(
+            b_.assign(b_.index(b_.ident(local), b_.ident(iv)),
+                      reduction_identity(b_, op_code, et)));
+        out.push_back(init);
+        red_map[param->decl] = {RewriteAction::Kind::RenameTo, local};
+        contribs.push_back(b_.expr_stmt(b_.call(
+            "cudadev_red_contrib_arr",
+            {b_.ident(var), b_.ident(local), b_.int_lit(len),
+             b_.int_lit(op_code)})));
+      }
     }
     if (!contribs.empty()) {
       reduction_epilogue.push_back(

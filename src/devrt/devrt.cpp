@@ -1,11 +1,16 @@
 #include "devrt/devrt.h"
 
 #include <cstring>
+#include <limits>
 #include <map>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <type_traits>
+#include <vector>
 
 #include "sim/block.h"
+#include "sim/device.h"
 #include "sim/types.h"
 
 namespace devrt {
@@ -268,8 +273,11 @@ Chunk get_dynamic_chunk(KernelCtx& ctx, long long chunk) {
   long long v = ctx.atomic_add(&c.ws_next, chunk);
   if (v >= c.ws_ub) return out;
   out.lb = v;
+  // Clamp the last chunk: when the trip count is not divisible by the
+  // chunk size, the final grab must stop at ub rather than hand the
+  // thread iterations past the loop's end.
   out.ub = v + chunk < c.ws_ub ? v + chunk : c.ws_ub;
-  out.valid = true;
+  out.valid = out.lb < out.ub;
   // Concurrent threads interleave their grabs on hardware; yield so the
   // cooperative scheduler reproduces that interleaving instead of
   // letting one fiber drain the loop.
@@ -301,8 +309,8 @@ Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk) {
     if (take > remaining) take = remaining;
     if (ctx.atomic_cas(&c.ws_next, seen, seen + take) == seen) {
       out.lb = seen;
-      out.ub = seen + take;
-      out.valid = true;
+      out.ub = seen + take < c.ws_ub ? seen + take : c.ws_ub;
+      out.valid = out.lb < out.ub;
       ctx.spin_yield();  // interleave grabs (see dynamic)
       return out;
     }
@@ -312,7 +320,7 @@ Chunk get_guided_chunk(KernelCtx& ctx, long long min_chunk) {
   if (v >= c.ws_ub) return out;
   out.lb = v;
   out.ub = v + min_chunk < c.ws_ub ? v + min_chunk : c.ws_ub;
-  out.valid = true;
+  out.valid = out.lb < out.ub;
   ctx.spin_yield();
   return out;
 }
@@ -531,7 +539,280 @@ Acc hierarchical_reduce(KernelCtx& ctx, Acc v, RedOp op, bool* leader) {
   return v;
 }
 
+// --- device-wide tree finish (DESIGN.md §5k) --------------------------
+
+RedFinish g_red_finish = RedFinish::Tree;
+
+// Segment size of the arrival-ticket fan-in: team leaders ticket a
+// per-segment counter and only the last leader of a segment touches the
+// segs_done counter, so no single ticket word ever serializes more than
+// kGridRedFanIn contended atomics.
+constexpr int kGridRedFanIn = 32;
+
+/// Typed identity of a combiner over the 8-byte accumulator domain.
+/// Signedness of the reduced variable needs no identity distinction
+/// here: 32-bit unsigned payloads arrive zero-extended, so the long
+/// long extrema still bound every representable value.
+template <class Acc>
+Acc red_identity(RedOp op) {
+  switch (op) {
+    case RedOp::Sum:
+      return Acc(0);
+    case RedOp::Prod:
+      return Acc(1);
+    case RedOp::Min:
+      if constexpr (std::is_floating_point_v<Acc>)
+        return std::numeric_limits<Acc>::infinity();
+      else
+        return std::numeric_limits<Acc>::max();
+    case RedOp::Max:
+      if constexpr (std::is_floating_point_v<Acc>)
+        return -std::numeric_limits<Acc>::infinity();
+      else
+        return std::numeric_limits<Acc>::lowest();
+    case RedOp::BitAnd:
+      if constexpr (std::is_integral_v<Acc>) return Acc(-1);
+      throw jetsim::SimError(
+          "devrt: bitwise reduction on a floating-point value");
+    case RedOp::BitOr:
+    case RedOp::BitXor:
+      if constexpr (std::is_integral_v<Acc>) return Acc(0);
+      throw jetsim::SimError(
+          "devrt: bitwise reduction on a floating-point value");
+    case RedOp::LogAnd:
+      return Acc(1);
+    case RedOp::LogOr:
+      return Acc(0);
+  }
+  throw jetsim::SimError("devrt: unknown reduction operator");
+}
+
+template <class Acc>
+unsigned long long acc_bits(Acc v) {
+  static_assert(sizeof(Acc) == sizeof(unsigned long long));
+  unsigned long long b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+template <class Acc>
+Acc bits_acc(unsigned long long b) {
+  Acc v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+/// Scratch state of one in-flight grid-level reduction: a slots row per
+/// team plus the segmented arrival tickets. States are keyed by (device,
+/// target, construct ordinal) and self-clean — the elected folder (or
+/// the last team of the Atomic baseline) erases the entry — so nothing
+/// leaks across launches.
+struct GridRedState {
+  int teams = 0;
+  int len = 0;  // elements per team row (1 for a scalar reduction)
+  std::vector<unsigned long long> slots;  // teams x len partial bit patterns
+  std::vector<long long> seg_arrived;     // per-segment arrival tickets
+  long long segs_done = 0;                // fully-arrived segments
+  long long finished = 0;                 // Atomic-baseline cleanup count
+};
+
+using GridRedKey = std::tuple<const void*, const void*, int>;
+
+std::mutex g_grid_red_mu;
+
+std::map<GridRedKey, GridRedState>& grid_red_states() {
+  static std::map<GridRedKey, GridRedState> states;
+  return states;
+}
+
+/// Finds or creates the scratch state of one reduction construct. The
+/// mutex guards the map itself (devices on different host threads);
+/// node-based storage keeps returned references stable until the
+/// construct's own folder erases them.
+GridRedState& grid_red_state(KernelCtx& ctx, const void* target, int seq,
+                             int len) {
+  const int teams = static_cast<int>(ctx.grid_dim().count());
+  std::lock_guard<std::mutex> lk(g_grid_red_mu);
+  GridRedKey key{&ctx.block().device(), target, seq};
+  auto [it, fresh] = grid_red_states().try_emplace(key);
+  GridRedState& st = it->second;
+  if (fresh) {
+    st.teams = teams;
+    st.len = len;
+    st.slots.assign(static_cast<std::size_t>(teams) * len, 0);
+    st.seg_arrived.assign((teams + kGridRedFanIn - 1) / kGridRedFanIn, 0);
+  } else if (st.teams != teams || st.len != len) {
+    throw jetsim::SimError(
+        "devrt: grid reduction scratch reused with a different shape "
+        "(teams/len mismatch across participants)");
+  }
+  return st;
+}
+
+void grid_red_erase(KernelCtx& ctx, const void* target, int seq) {
+  std::lock_guard<std::mutex> lk(g_grid_red_mu);
+  grid_red_states().erase(GridRedKey{&ctx.block().device(), target, seq});
+}
+
+/// Arrival ticket of one team leader. Returns true for exactly one
+/// leader per construct — the last team in — which becomes the folder.
+bool grid_red_ticket(KernelCtx& ctx, GridRedState& st) {
+  const int team = static_cast<int>(ctx.grid_dim().linear(ctx.block_idx()));
+  const int seg = team / kGridRedFanIn;
+  const int seg_lo = seg * kGridRedFanIn;
+  int seg_size = st.teams - seg_lo;
+  if (seg_size > kGridRedFanIn) seg_size = kGridRedFanIn;
+  long long before = ctx.atomic_add(&st.seg_arrived[seg], 1);
+  ++g_red_counters.ticket_atomics;
+  if (before + 1 != seg_size) return false;
+  long long done = ctx.atomic_add(&st.segs_done, 1);
+  ++g_red_counters.ticket_atomics;
+  return done + 1 == static_cast<long long>(st.seg_arrived.size());
+}
+
+/// One contention-priced RMW of the reduction target. `Acc` round-trips
+/// the stored value so 32-bit unsigned targets stay zero-extended.
+template <class Target, class Acc>
+void global_rmw(KernelCtx& ctx, Target* target, Acc total, RedOp op) {
+  ctx.charge_atomic(target);
+  *target = static_cast<Target>(
+      red_combine(ctx, op, static_cast<Acc>(*target), total));
+  ++g_red_counters.global_atomics;
+}
+
+/// Scalar contribution, all five target types. The in-team part is the
+/// PR-4 hierarchy; the cross-team finish either RMWs the target per team
+/// (Atomic baseline, also taken for single-team grids) or publishes the
+/// team total into the scratch row and lets the last team in fold
+/// cooperatively: each folder thread gathers a stride of the slots, the
+/// strided partials collapse through the same warp/slot tree (log
+/// depth), and one thread applies the single contended atomic.
+template <class Target, class Acc>
+void red_contrib_impl(KernelCtx& ctx, Target* target, Acc v, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  BlockCtl& c = ctl(ctx);
+  const int seq = c.red_seq;  // read before any leader can bump it
+  bool leader = false;
+  Acc total = hierarchical_reduce(ctx, v, op, &leader);
+  const int teams = static_cast<int>(ctx.grid_dim().count());
+  if (g_red_finish == RedFinish::Atomic || teams <= 1) {
+    if (leader) global_rmw(ctx, target, total, op);
+    return;
+  }
+
+  const RedShape s = red_shape(ctx, c);
+  if (leader) {
+    GridRedState& st = grid_red_state(ctx, target, seq, 1);
+    c.red_seq = seq + 1;
+    const int team = static_cast<int>(ctx.grid_dim().linear(ctx.block_idx()));
+    st.slots[team] = acc_bits(total);
+    ctx.charge_gmem(jetsim::Access::Strided, 8);
+    c.red_fold = grid_red_ticket(ctx, st) ? 1 : 0;
+  }
+  barrier(ctx);
+  if (c.red_fold) {
+    GridRedState& st = grid_red_state(ctx, target, seq, 1);
+    Acc part = red_identity<Acc>(op);
+    for (int t = s.my_pos; t < teams; t += s.participants) {
+      ctx.charge_gmem(jetsim::Access::Strided, 8);
+      part = red_combine(ctx, op, part, bits_acc<Acc>(st.slots[t]));
+      ctx.charge_cycles(1);
+      ++g_red_counters.grid_combines;
+    }
+    bool fold_leader = false;
+    Acc grand = hierarchical_reduce(ctx, part, op, &fold_leader);
+    if (fold_leader) {
+      global_rmw(ctx, target, grand, op);
+      grid_red_erase(ctx, target, seq);
+    }
+  }
+}
+
+/// Array-section contribution: every participant owns a private row of
+/// `len` partials. The team accumulates element-wise into its scratch
+/// row (fibers never preempt between plain statements, so the RMW is
+/// race-free; the charge prices it as global traffic), then the finish
+/// policy applies per element — the Tree path's folder team performs
+/// exactly `len` contended atomics however many teams ran.
+template <class Target, class Acc>
+void red_contrib_arr_impl(KernelCtx& ctx, Target* target, const Acc* vals,
+                          int len, RedOp op) {
+  ctx.charge_cycles(kCallCost);
+  if (len <= 0)
+    throw jetsim::SimError("devrt: array reduction length must be positive");
+  BlockCtl& c = ctl(ctx);
+  const RedShape s = red_shape(ctx, c);
+  const bool leader = s.my_pos == 0;
+  const int seq = c.red_seq;  // read before any leader can bump it
+  const int teams = static_cast<int>(ctx.grid_dim().count());
+  const int team = static_cast<int>(ctx.grid_dim().linear(ctx.block_idx()));
+  const bool baseline = g_red_finish == RedFinish::Atomic || teams <= 1;
+
+  GridRedState& st = grid_red_state(ctx, target, seq, len);
+  unsigned long long* row = &st.slots[static_cast<std::size_t>(team) * len];
+
+  // Identity-initialize this team's row, striding cooperatively.
+  for (int i = s.my_pos; i < len; i += s.participants) {
+    row[i] = acc_bits(red_identity<Acc>(op));
+    ctx.charge_gmem(jetsim::Access::Strided, 8);
+  }
+  barrier(ctx);
+
+  // Element-wise accumulation of this thread's private row.
+  for (int i = 0; i < len; ++i) {
+    Acc cur = bits_acc<Acc>(row[i]);
+    row[i] = acc_bits(red_combine(ctx, op, cur, vals[i]));
+    ctx.charge_gmem(jetsim::Access::Strided, 8, 2);
+    ctx.charge_cycles(1);
+  }
+  barrier(ctx);
+
+  if (baseline) {
+    // Per-team finish: `len` contended atomics from every team's leader,
+    // the scaling wall the tree removes.
+    if (leader) {
+      for (int i = 0; i < len; ++i) {
+        ctx.charge_gmem(jetsim::Access::Strided, 8);
+        global_rmw(ctx, &target[i], bits_acc<Acc>(row[i]), op);
+      }
+      c.red_seq = seq + 1;
+      long long done = ctx.atomic_add(&st.finished, 1);
+      if (done + 1 == teams) grid_red_erase(ctx, target, seq);
+    }
+    barrier(ctx);
+    return;
+  }
+
+  if (leader) {
+    c.red_seq = seq + 1;
+    c.red_fold = grid_red_ticket(ctx, st) ? 1 : 0;
+  }
+  barrier(ctx);
+  if (c.red_fold) {
+    // Cooperative fold: each thread of the folder team owns a stride of
+    // the elements and walks every team's row for them.
+    for (int i = s.my_pos; i < len; i += s.participants) {
+      Acc acc = red_identity<Acc>(op);
+      for (int t = 0; t < teams; ++t) {
+        ctx.charge_gmem(jetsim::Access::Strided, 8);
+        acc = red_combine(
+            ctx, op, acc,
+            bits_acc<Acc>(st.slots[static_cast<std::size_t>(t) * len + i]));
+        ctx.charge_cycles(1);
+        ++g_red_counters.grid_combines;
+      }
+      global_rmw(ctx, &target[i], acc, op);
+    }
+    barrier(ctx);
+    if (leader) grid_red_erase(ctx, target, seq);
+  }
+  barrier(ctx);
+}
+
 }  // namespace
+
+void set_red_finish(RedFinish f) { g_red_finish = f; }
+RedFinish red_finish() { return g_red_finish; }
 
 const RedCounters& red_counters() { return g_red_counters; }
 
@@ -541,49 +822,48 @@ void red_begin(KernelCtx& ctx) {
 }
 
 void red_contrib(KernelCtx& ctx, int* target, long long v, RedOp op) {
-  ctx.charge_cycles(kCallCost);
-  bool leader = false;
-  long long total = hierarchical_reduce(ctx, v, op, &leader);
-  if (leader) {
-    ctx.charge_atomic(target);
-    *target = static_cast<int>(
-        red_combine(ctx, op, static_cast<long long>(*target), total));
-    ++g_red_counters.global_atomics;
-  }
+  red_contrib_impl(ctx, target, v, op);
+}
+
+void red_contrib(KernelCtx& ctx, unsigned* target, long long v, RedOp op) {
+  red_contrib_impl(ctx, target, v, op);
 }
 
 void red_contrib(KernelCtx& ctx, long long* target, long long v, RedOp op) {
-  ctx.charge_cycles(kCallCost);
-  bool leader = false;
-  long long total = hierarchical_reduce(ctx, v, op, &leader);
-  if (leader) {
-    ctx.charge_atomic(target);
-    *target = red_combine(ctx, op, *target, total);
-    ++g_red_counters.global_atomics;
-  }
+  red_contrib_impl(ctx, target, v, op);
 }
 
 void red_contrib(KernelCtx& ctx, float* target, double v, RedOp op) {
-  ctx.charge_cycles(kCallCost);
-  bool leader = false;
-  double total = hierarchical_reduce(ctx, v, op, &leader);
-  if (leader) {
-    ctx.charge_atomic(target);
-    *target = static_cast<float>(
-        red_combine(ctx, op, static_cast<double>(*target), total));
-    ++g_red_counters.global_atomics;
-  }
+  red_contrib_impl(ctx, target, v, op);
 }
 
 void red_contrib(KernelCtx& ctx, double* target, double v, RedOp op) {
-  ctx.charge_cycles(kCallCost);
-  bool leader = false;
-  double total = hierarchical_reduce(ctx, v, op, &leader);
-  if (leader) {
-    ctx.charge_atomic(target);
-    *target = red_combine(ctx, op, *target, total);
-    ++g_red_counters.global_atomics;
-  }
+  red_contrib_impl(ctx, target, v, op);
+}
+
+void red_contrib_arr(KernelCtx& ctx, int* target, const long long* vals,
+                     int len, RedOp op) {
+  red_contrib_arr_impl(ctx, target, vals, len, op);
+}
+
+void red_contrib_arr(KernelCtx& ctx, unsigned* target, const long long* vals,
+                     int len, RedOp op) {
+  red_contrib_arr_impl(ctx, target, vals, len, op);
+}
+
+void red_contrib_arr(KernelCtx& ctx, long long* target, const long long* vals,
+                     int len, RedOp op) {
+  red_contrib_arr_impl(ctx, target, vals, len, op);
+}
+
+void red_contrib_arr(KernelCtx& ctx, float* target, const double* vals,
+                     int len, RedOp op) {
+  red_contrib_arr_impl(ctx, target, vals, len, op);
+}
+
+void red_contrib_arr(KernelCtx& ctx, double* target, const double* vals,
+                     int len, RedOp op) {
+  red_contrib_arr_impl(ctx, target, vals, len, op);
 }
 
 void red_end(KernelCtx& ctx) {
@@ -610,12 +890,32 @@ void barrier(KernelCtx& ctx) {
   }
 }
 
+namespace {
+// Spin bound of lock_acquire. Cooperative fibers release a held lock
+// within ~participants yields, so a contended-but-live lock resolves in
+// far fewer attempts; only a modeled deadlock (a holder that never
+// releases) can exhaust the bound.
+constexpr int kLockAttemptBound = 4096;
+constexpr int kLockBackoffCap = 64;
+}  // namespace
+
 void lock_acquire(KernelCtx& ctx, int* word) {
   ctx.charge_cycles(kCallCost);
-  // Busy-spin on atomic CAS; the value 1 marks the lock as held
+  // Bounded busy-spin on atomic CAS; the value 1 marks the lock as held
   // (paper §4.2.2). Divergence cost is reflected by the atomic charge
-  // accumulating on every retry.
-  while (ctx.atomic_cas(word, 0, 1) != 0) ctx.spin_yield();
+  // accumulating on every retry; failed attempts back off exponentially
+  // (capped) like the ws_next bounded-CAS, and a spin that survives the
+  // bound aborts the simulation instead of hanging it.
+  int backoff = 1;
+  for (int attempt = 0; attempt < kLockAttemptBound; ++attempt) {
+    if (ctx.atomic_cas(word, 0, 1) == 0) return;
+    for (int i = 0; i < backoff; ++i) ctx.spin_yield();
+    if (backoff < kLockBackoffCap) backoff <<= 1;
+  }
+  throw jetsim::SimError(
+      "devrt: lock_acquire spun past its bound (" +
+      std::to_string(kLockAttemptBound) +
+      " CAS attempts) — the lock word is held and never released");
 }
 
 void lock_release(KernelCtx& ctx, int* word) {
@@ -644,6 +944,9 @@ void critical_exit(KernelCtx& ctx, const char* name) {
 void reset_globals() {
   critical_locks().clear();
   g_red_counters = RedCounters{};
+  g_red_finish = RedFinish::Tree;
+  std::lock_guard<std::mutex> lk(g_grid_red_mu);
+  grid_red_states().clear();
 }
 
 }  // namespace devrt

@@ -60,6 +60,15 @@ struct BlockCtl {
   // tree before the single per-team global atomic.
   unsigned long long red_slot[32] = {};
 
+  // Device-wide reduction tree (§5k). `red_seq` is the team's reduction
+  // construct ordinal within the launch — identical across teams because
+  // every team runs the same program — and keys the grid-level scratch
+  // state so two reductions in one kernel never alias. `red_fold` is set
+  // by the team leader when the ticket protocol elected this team the
+  // grid folder, so all participants join the cooperative fold.
+  int red_seq = 0;
+  int red_fold = 0;
+
   // sections support
   int sections_remaining = 0;
   int sections_total = 0;
@@ -184,12 +193,25 @@ enum class RedOp : int {
   LogOr = 8,
 };
 
+/// Finish policy for the cross-team leg of a reduction (DESIGN.md §5k).
+/// Tree (the default) has teams publish partials to a per-reduction
+/// scratch array and elects a single folder via segmented ticket
+/// atomics, so contended global atomics stay O(1) in the team count.
+/// Atomic reproduces the pre-tree behavior — one contended global
+/// atomic per team — and is the measured baseline of the bench gates.
+/// Seeded from OMPI_REDTREE=tree|atomic.
+enum class RedFinish : int { Tree = 0, Atomic = 1 };
+void set_red_finish(RedFinish f);
+RedFinish red_finish();
+
 /// Per-level combine counts, process-global and monotonic; the host
 /// runtime samples them around a launch to fill OffloadStats.
 struct RedCounters {
   unsigned long long warp_combines = 0;   // shuffle-tree combines
   unsigned long long smem_combines = 0;   // shared-slot tree combines
-  unsigned long long global_atomics = 0;  // one per team per variable
+  unsigned long long global_atomics = 0;  // contended RMWs on the target
+  unsigned long long ticket_atomics = 0;  // segmented arrival tickets (§5k)
+  unsigned long long grid_combines = 0;   // scratch-slot folds by the folder
 };
 const RedCounters& red_counters();
 
@@ -199,15 +221,37 @@ const RedCounters& red_counters();
 void red_begin(KernelCtx& ctx);
 
 /// Contributes this thread's private partial value for one reduction
-/// variable and folds the team's total into `*target` with a single
-/// global atomic (performed by the region's thread 0). Three levels:
-/// warp shuffle tree -> one shared slot per warp combined by lane 0 ->
-/// one global atomic per team. Integer variants accumulate in long long,
-/// floating variants in double.
+/// variable and folds the team's total into `*target`. Three levels
+/// inside the team: warp shuffle tree -> one shared slot per warp
+/// combined by lane 0 -> the team leader. Across teams the finish policy
+/// decides: Tree publishes the team total to a scratch slot and a single
+/// elected folder applies one contended atomic per variable; Atomic has
+/// every team leader RMW the target directly. Integer variants
+/// accumulate in long long, floating variants in double; the unsigned
+/// variant keeps 32-bit targets zero-extended through the accumulator
+/// (values above 2^63 in an unsigned long long target are unsupported).
 void red_contrib(KernelCtx& ctx, int* target, long long v, RedOp op);
+void red_contrib(KernelCtx& ctx, unsigned* target, long long v, RedOp op);
 void red_contrib(KernelCtx& ctx, long long* target, long long v, RedOp op);
 void red_contrib(KernelCtx& ctx, float* target, double v, RedOp op);
 void red_contrib(KernelCtx& ctx, double* target, double v, RedOp op);
+
+/// Array-section reduction (`reduction(op: x[0:len])`): every participant
+/// contributes a private row of `len` partials which are combined
+/// element-wise into `target[0..len)`. Within the team the row lives in
+/// the reduction's scratch state and threads accumulate cooperatively;
+/// across teams the finish policy applies per element, so the Tree path
+/// performs exactly `len` contended atomics regardless of team count.
+void red_contrib_arr(KernelCtx& ctx, int* target, const long long* vals,
+                     int len, RedOp op);
+void red_contrib_arr(KernelCtx& ctx, unsigned* target, const long long* vals,
+                     int len, RedOp op);
+void red_contrib_arr(KernelCtx& ctx, long long* target, const long long* vals,
+                     int len, RedOp op);
+void red_contrib_arr(KernelCtx& ctx, float* target, const double* vals,
+                     int len, RedOp op);
+void red_contrib_arr(KernelCtx& ctx, double* target, const double* vals,
+                     int len, RedOp op);
 
 /// Closes the epilogue: a region barrier so every participant observes
 /// the reduced value afterwards.
@@ -219,7 +263,11 @@ void red_end(KernelCtx& ctx);
 /// a block-wide barrier in combined mode, a no-op in sequential mode.
 void barrier(KernelCtx& ctx);
 
-/// Busy-spin CAS lock on a global control word (paper §4.2.2).
+/// Busy-spin CAS lock on a global control word (paper §4.2.2). The spin
+/// is bounded: attempts back off exponentially (capped) and a lock that
+/// stays contended past the bound raises SimError instead of spinning
+/// the simulation loop forever — cooperative fibers release a held lock
+/// within a few yields, so only a modeled deadlock can trip the bound.
 void lock_acquire(KernelCtx& ctx, int* word);
 void lock_release(KernelCtx& ctx, int* word);
 
@@ -229,7 +277,8 @@ void critical_enter(KernelCtx& ctx, const char* name);
 void critical_exit(KernelCtx& ctx, const char* name);
 
 /// Resets process-global runtime tables (critical-section locks,
-/// reduction counters). Tests call this between scenarios.
+/// reduction counters, grid-reduction scratch states and the finish
+/// policy). Tests call this between scenarios.
 void reset_globals();
 
 }  // namespace devrt

@@ -500,6 +500,10 @@ OffloadStats CudadevModule::launch(const KernelLaunchSpec& spec,
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
   stats.red_global_atomics =
       red_after.global_atomics - red_before.global_atomics;
+  stats.red_ticket_atomics =
+      red_after.ticket_atomics - red_before.ticket_atomics;
+  stats.red_grid_combines =
+      red_after.grid_combines - red_before.grid_combines;
   stats.exec_s = sim.now() - t0;
   return stats;
 }
@@ -558,6 +562,10 @@ OffloadStats CudadevModule::launch_async(const KernelLaunchSpec& spec,
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
   stats.red_global_atomics =
       red_after.global_atomics - red_before.global_atomics;
+  stats.red_ticket_atomics =
+      red_after.ticket_atomics - red_before.ticket_atomics;
+  stats.red_grid_combines =
+      red_after.grid_combines - red_before.grid_combines;
   return stats;
 }
 
@@ -605,6 +613,10 @@ OffloadStats CudadevModule::launch_graph_async(const KernelLaunchSpec& spec,
   stats.red_smem_combines = red_after.smem_combines - red_before.smem_combines;
   stats.red_global_atomics =
       red_after.global_atomics - red_before.global_atomics;
+  stats.red_ticket_atomics =
+      red_after.ticket_atomics - red_before.ticket_atomics;
+  stats.red_grid_combines =
+      red_after.grid_combines - red_before.grid_combines;
   return stats;
 }
 

@@ -95,7 +95,12 @@ struct OffloadStats {
   // kernel performs no reductions).
   uint64_t red_warp_combines = 0;   // level 1: warp shuffle tree
   uint64_t red_smem_combines = 0;   // level 2: shared-slot tree
-  uint64_t red_global_atomics = 0;  // level 3: one per team per variable
+  uint64_t red_global_atomics = 0;  // contended RMWs on the target
+  // Device-wide tree finish (DESIGN.md §5k): arrival tickets and
+  // scratch-slot folds performed by the elected folder team. Both zero
+  // when OMPI_REDTREE=atomic or the grid has a single team.
+  uint64_t red_ticket_atomics = 0;
+  uint64_t red_grid_combines = 0;
   // Kernel-graph engine activity (DESIGN.md §5g). These are chain-level
   // events folded into OffloadQueue::totals() when a `target nowait`
   // trace is captured into or replayed from the graph cache; per-offload
@@ -133,6 +138,8 @@ struct OffloadStats {
     red_warp_combines += o.red_warp_combines;
     red_smem_combines += o.red_smem_combines;
     red_global_atomics += o.red_global_atomics;
+    red_ticket_atomics += o.red_ticket_atomics;
+    red_grid_combines += o.red_grid_combines;
     graphs_captured += o.graphs_captured;
     graph_replays += o.graph_replays;
     transfers_elided += o.transfers_elided;

@@ -131,6 +131,8 @@ TaskId OffloadQueue::enqueue(const KernelLaunchSpec& spec,
     r.stats.red_warp_combines = launch_stats.red_warp_combines;
     r.stats.red_smem_combines = launch_stats.red_smem_combines;
     r.stats.red_global_atomics = launch_stats.red_global_atomics;
+    r.stats.red_ticket_atomics = launch_stats.red_ticket_atomics;
+    r.stats.red_grid_combines = launch_stats.red_grid_combines;
 
     module_->bind_stream(st);
     env_->unmap_batch({maps.rbegin(), maps.rend()});

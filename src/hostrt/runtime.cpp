@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "cudadrv/cuda.h"
+#include "devrt/devrt.h"
 #include "hostrt/env.h"
 #include "hostrt/opencldev_module.h"
 
@@ -68,6 +69,12 @@ int g_mapinfer = -1;
 
 bool parse_env_mapinfer(const char* name, const char* value) {
   return parse_env_choice(name, value, {"auto", "off"}) == 0;
+}
+
+devrt::RedFinish parse_env_redtree(const char* name, const char* value) {
+  return parse_env_choice(name, value, {"tree", "atomic"}) == 0
+             ? devrt::RedFinish::Tree
+             : devrt::RedFinish::Atomic;
 }
 
 const char* zerocopy_name(ZeroCopyMode m) {
@@ -240,6 +247,12 @@ Runtime::Runtime() {
   } else if (const char* v = std::getenv("OMPI_MAPINFER")) {
     map_infer_ = parse_env_mapinfer("OMPI_MAPINFER", v);
   }
+
+  // Reduction-finish policy (strict; DESIGN.md §5k): `tree` (default)
+  // elects a folder team to combine per-team partials device-wide;
+  // `atomic` keeps the legacy one-contended-RMW-per-team finish.
+  if (const char* v = std::getenv("OMPI_REDTREE"))
+    devrt::set_red_finish(parse_env_redtree("OMPI_REDTREE", v));
 
   // Application startup: boot the board and discover all devices,
   // creating the module its profile asks for on every ordinal. One

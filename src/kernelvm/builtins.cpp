@@ -220,11 +220,77 @@ Value Interp::device_builtin(const std::string& name, const Expr* call_expr,
                            argv.at(1).as_int(), op);
         break;
       case Type::Kind::Int:
-        devrt::red_contrib(c, static_cast<int*>(target.p),
-                           argv.at(1).as_int(), op);
+        // The unsigned overload keeps the stored value zero-extended
+        // through the 8-byte accumulator; the int* path would
+        // sign-extend values above 2^31.
+        if (target.pointee->is_unsigned)
+          devrt::red_contrib(c, static_cast<unsigned*>(target.p),
+                             argv.at(1).as_int(), op);
+        else
+          devrt::red_contrib(c, static_cast<int*>(target.p),
+                             argv.at(1).as_int(), op);
         break;
       default:
         throw VmError("cudadev_red_contrib: unsupported reduction type");
+    }
+    return Value::void_value();
+  }
+  if (name == "cudadev_red_contrib_arr") {
+    // (target, vals, len, op): element-wise array-section reduction. The
+    // private row `vals` is marshaled into the accumulator domain the
+    // target's pointee selects (long long for integers, double for
+    // floats) before the device engine combines it.
+    const Value& target = argv.at(0);
+    const Value& vals = argv.at(1);
+    if (target.kind != Value::Kind::Ptr || !target.pointee)
+      throw VmError("cudadev_red_contrib_arr: target must be a typed pointer");
+    if (vals.kind != Value::Kind::Ptr || !vals.pointee)
+      throw VmError("cudadev_red_contrib_arr: vals must be a typed pointer");
+    const int len = static_cast<int>(argv.at(2).as_int());
+    if (len <= 0)
+      throw VmError("cudadev_red_contrib_arr: length must be positive");
+    auto op = static_cast<devrt::RedOp>(argv.at(3).as_int());
+    const std::size_t esz = type_size(vals.pointee);
+    auto elem = [&](int i) {
+      return load_typed(
+          static_cast<const std::byte*>(vals.p) + i * esz, vals.pointee);
+    };
+    switch (target.pointee->kind) {
+      case Type::Kind::Float: {
+        std::vector<double> row(static_cast<std::size_t>(len));
+        for (int i = 0; i < len; ++i) row[i] = elem(i).as_float();
+        devrt::red_contrib_arr(c, static_cast<float*>(target.p), row.data(),
+                               len, op);
+        break;
+      }
+      case Type::Kind::Double: {
+        std::vector<double> row(static_cast<std::size_t>(len));
+        for (int i = 0; i < len; ++i) row[i] = elem(i).as_float();
+        devrt::red_contrib_arr(c, static_cast<double*>(target.p), row.data(),
+                               len, op);
+        break;
+      }
+      case Type::Kind::Long:
+      case Type::Kind::LongLong: {
+        std::vector<long long> row(static_cast<std::size_t>(len));
+        for (int i = 0; i < len; ++i) row[i] = elem(i).as_int();
+        devrt::red_contrib_arr(c, static_cast<long long*>(target.p),
+                               row.data(), len, op);
+        break;
+      }
+      case Type::Kind::Int: {
+        std::vector<long long> row(static_cast<std::size_t>(len));
+        for (int i = 0; i < len; ++i) row[i] = elem(i).as_int();
+        if (target.pointee->is_unsigned)
+          devrt::red_contrib_arr(c, static_cast<unsigned*>(target.p),
+                                 row.data(), len, op);
+        else
+          devrt::red_contrib_arr(c, static_cast<int*>(target.p), row.data(),
+                                 len, op);
+        break;
+      }
+      default:
+        throw VmError("cudadev_red_contrib_arr: unsupported reduction type");
     }
     return Value::void_value();
   }

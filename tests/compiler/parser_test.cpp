@@ -226,6 +226,31 @@ TEST(Parser, ReductionClause) {
   EXPECT_EQ(r->vars[0], "s");
 }
 
+TEST(Parser, ReductionClauseArraySectionAndMixedList) {
+  // An array-section list item lands in `items` with its bounds; the
+  // plain scalar in the same list stays in `vars`.
+  auto p = parse(R"(
+    void f(int x[], unsigned hist[], int n, int s) {
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) reduction(+: hist[0:256], s)
+      for (int i = 0; i < n; i++) {
+        hist[x[i]] += 1;
+        s += 1;
+      }
+    })");
+  ASSERT_TRUE(p->diags.ok()) << p->diags.render_all();
+  const OmpClause* r = p->unit->functions[0]->body->body[0]->find_clause(
+      OmpClause::Kind::Reduction);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->reduction_op, "+");
+  ASSERT_EQ(r->items.size(), 1u);
+  EXPECT_EQ(r->items[0].name, "hist");
+  ASSERT_NE(r->items[0].section_len, nullptr);
+  EXPECT_EQ(r->items[0].section_len->int_value, 256);
+  ASSERT_EQ(r->vars.size(), 1u);
+  EXPECT_EQ(r->vars[0], "s");
+}
+
 TEST(Parser, ErrorsRecoverAndReport) {
   auto p = parse("int f() { int x = ; } int g(void) { return 1; }");
   EXPECT_FALSE(p->diags.ok());

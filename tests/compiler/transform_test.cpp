@@ -445,5 +445,135 @@ TEST(Transform, UnmappedReductionScalarDefaultsToTofrom) {
             std::string::npos);
 }
 
+// --- array-section and multi-item reductions -------------------------------
+
+constexpr const char* kHistSrc = R"(
+    void f(unsigned hist[], int data[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(to: data[0:n]) map(tofrom: hist[0:256]) \
+              reduction(SECTION)
+      for (int i = 0; i < n; i++)
+        hist[data[i]] += 1;
+    })";
+
+TEST(Transform, ReductionArraySectionLowersToPrivateRow) {
+  auto c =
+      compile_src(replace_all(kHistSrc, "SECTION", "+: hist[0:256]"));
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  // A statically-sized private row, identity-initialized by loop, the
+  // hot loop rewritten onto it, and the element-wise contrib epilogue.
+  EXPECT_NE(code.find("unsigned int __red_hist[256];"), std::string::npos)
+      << code;
+  EXPECT_NE(code.find("__red_hist[data[i]] += 1;"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_contrib_arr(hist, __red_hist, 256, 0);"),
+            std::string::npos)
+      << code;
+  EXPECT_NE(code.find("cudadev_red_begin();"), std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_end();"), std::string::npos);
+}
+
+TEST(Transform, ReductionArraySectionWithoutMapRoundTrips) {
+  // A reduced section with no explicit map clause is still addressable
+  // on the device (implicit tofrom), mirroring the scalar rule.
+  auto c = compile_src(R"(
+    void f(unsigned hist[], int data[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(to: data[0:n]) reduction(+: hist[0:256])
+      for (int i = 0; i < n; i++)
+        hist[data[i]] += 1;
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  EXPECT_NE(c->out.kernel_files[0].code.find(
+                "cudadev_red_contrib_arr(hist, __red_hist, 256, 0);"),
+            std::string::npos);
+}
+
+TEST(Transform, ReductionArraySectionNonZeroLowerBoundRejected) {
+  auto c =
+      compile_src(replace_all(kHistSrc, "SECTION", "+: hist[4:8]"));
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("must cover the section [0:len]"),
+            std::string::npos)
+      << c->out.diagnostics;
+}
+
+TEST(Transform, ReductionArraySectionNonLiteralLengthRejected) {
+  // The private row is statically sized; a runtime length cannot be.
+  auto c = compile_src(replace_all(kHistSrc, "SECTION", "+: hist[0:n]"));
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("positive integer-literal length"),
+            std::string::npos)
+      << c->out.diagnostics;
+}
+
+TEST(Transform, ReductionMultipleItemsAndClausesEachContribute) {
+  auto c = compile_src(R"(
+    void f(int x[], unsigned hist[], int n) {
+      int s = 0;
+      int m = 0;
+      #pragma omp target teams distribute parallel for \
+              map(to: x[0:n]) map(tofrom: s, m, hist[0:8]) \
+              reduction(+: s, hist[0:8]) reduction(max: m)
+      for (int i = 0; i < n; i++) {
+        s += x[i];
+        hist[x[i] & 7] += 1;
+        if (x[i] > m) m = x[i];
+      }
+    })");
+  ASSERT_TRUE(c->out.ok) << c->out.diagnostics;
+  std::string code = c->out.kernel_files[0].code;
+  EXPECT_NE(code.find("cudadev_red_contrib(s, __red_s, 0);"),
+            std::string::npos)
+      << code;
+  EXPECT_NE(code.find("cudadev_red_contrib(m, __red_m, 3);"),
+            std::string::npos);
+  EXPECT_NE(code.find("cudadev_red_contrib_arr(hist, __red_hist, 8, 0);"),
+            std::string::npos);
+  // One shared begin/end bracket around all three contributions.
+  auto count = [&](const char* needle) {
+    size_t n = 0;
+    for (size_t p = code.find(needle); p != std::string::npos;
+         p = code.find(needle, p + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("cudadev_red_begin();"), 1u);
+  EXPECT_EQ(count("cudadev_red_end();"), 1u);
+}
+
+TEST(Transform, ReductionUnsignedIdentityMatchesDomain) {
+  // Signed identities would corrupt unsigned min/max: INT_MAX loses
+  // contributions above 2^31 and INT_MIN is not an unsigned value.
+  const std::tuple<const char*, const char*, const char*> cases[] = {
+      {"min", "unsigned int", "unsigned int __red_s = 4294967295u;"},
+      {"max", "unsigned int", "unsigned int __red_s = 0;"},
+      {"min", "unsigned long long",
+       "unsigned long long __red_s = 9223372036854775807ULL;"},
+      {"max", "unsigned long long", "unsigned long long __red_s = 0;"},
+  };
+  for (const auto& [op, type, expect] : cases) {
+    auto c = compile_src(reduction_src(op, type));
+    ASSERT_TRUE(c->out.ok) << "op " << op << ": " << c->out.diagnostics;
+    EXPECT_NE(c->out.kernel_files[0].code.find(expect), std::string::npos)
+        << "op " << op << " type " << type << "\n"
+        << c->out.kernel_files[0].code;
+  }
+}
+
+TEST(Transform, BitwiseReductionOnFloatArrayRejected) {
+  auto c = compile_src(R"(
+    void f(float acc[], int n) {
+      #pragma omp target teams distribute parallel for \
+              map(tofrom: acc[0:4]) reduction(&: acc[0:4])
+      for (int i = 0; i < n; i++)
+        acc[i & 3] += 1.0f;
+    })");
+  EXPECT_FALSE(c->out.ok);
+  EXPECT_NE(c->out.diagnostics.find("cannot apply to floating-point"),
+            std::string::npos)
+      << c->out.diagnostics;
+}
+
 }  // namespace
 }  // namespace ompi

@@ -1,0 +1,302 @@
+// The device-wide reduction tree (DESIGN.md §5k): teams publish partials
+// to per-reduction scratch slots, segmented arrival tickets elect one
+// folder team, and the folder's cooperative log-depth fold lands O(1)
+// contended atomics on the target — across team counts, execution modes,
+// accumulator types and array sections.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "devrt/devrt.h"
+#include "sim/device.h"
+
+namespace devrt {
+namespace {
+
+using jetsim::KernelCtx;
+using jetsim::LaunchConfig;
+
+LaunchConfig combined_config(unsigned teams, unsigned threads) {
+  LaunchConfig cfg;
+  cfg.grid = {teams};
+  cfg.block = {threads};
+  cfg.shared_mem = reserved_shmem();
+  return cfg;
+}
+
+class GridRedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_globals(); }
+};
+
+template <typename Body>
+void run_combined(unsigned teams, unsigned threads, Body body) {
+  jetsim::Device dev;
+  dev.launch(combined_config(teams, threads), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    red_begin(ctx);
+    body(ctx);
+    red_end(ctx);
+  });
+}
+
+// --- O(1) contended atomics across team counts ------------------------
+
+class GridRedTeams : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { reset_globals(); }
+};
+
+TEST_P(GridRedTeams, TreeMatchesAtomicWithOneContendedRmw) {
+  const unsigned teams = GetParam();
+  const unsigned threads = 8;
+
+  long long tree_target = 0;
+  run_combined(teams, threads, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &tree_target, 1, RedOp::Sum);
+  });
+  const RedCounters tree = red_counters();
+
+  reset_globals();
+  set_red_finish(RedFinish::Atomic);
+  long long atomic_target = 0;
+  run_combined(teams, threads, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &atomic_target, 1, RedOp::Sum);
+  });
+  const RedCounters atomic = red_counters();
+
+  const long long expect = static_cast<long long>(teams) * threads;
+  EXPECT_EQ(tree_target, expect);
+  EXPECT_EQ(atomic_target, expect);
+
+  // The tentpole property: contended RMWs on the target drop from one
+  // per team to exactly one, independent of the team count.
+  EXPECT_EQ(tree.global_atomics, 1u);
+  EXPECT_EQ(atomic.global_atomics, teams);
+  // Tickets: one arrival per team plus one completion per 32-team
+  // segment; the folder combines one scratch slot per team.
+  EXPECT_EQ(tree.ticket_atomics, teams + (teams + 31) / 32);
+  EXPECT_EQ(tree.grid_combines, teams);
+  EXPECT_EQ(atomic.ticket_atomics, 0u);
+  EXPECT_EQ(atomic.grid_combines, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamCounts, GridRedTeams,
+                         ::testing::Values(512u, 1024u, 4096u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return std::to_string(info.param) + "teams";
+                         });
+
+// --- construct sequencing and cleanup ---------------------------------
+
+TEST_F(GridRedTest, TwoReductionsInOneKernelKeySeparately) {
+  // Both constructs run before any team finishes the first fold; the
+  // red_seq ordinal keys their scratch states apart.
+  long long a = 0, b = 100;
+  run_combined(64, 32, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &a, 1, RedOp::Sum);
+    red_contrib(ctx, &b, 2, RedOp::Sum);
+  });
+  EXPECT_EQ(a, 64 * 32);
+  EXPECT_EQ(b, 100 + 2 * 64 * 32);
+  EXPECT_EQ(red_counters().global_atomics, 2u);
+}
+
+TEST_F(GridRedTest, ScratchStateSelfCleansAcrossLaunches) {
+  // Same target, three launches: a leaked scratch state from launch k
+  // would collide with launch k+1's construct 0 and corrupt the sum.
+  long long target = 0;
+  for (int k = 0; k < 3; ++k)
+    run_combined(32, 16, [&](KernelCtx& ctx) {
+      red_contrib(ctx, &target, 1, RedOp::Sum);
+    });
+  EXPECT_EQ(target, 3 * 32 * 16);
+  EXPECT_EQ(red_counters().global_atomics, 3u);
+}
+
+TEST_F(GridRedTest, SingleTeamSkipsTheTree) {
+  long long target = 0;
+  run_combined(1, 64, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 64);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+  EXPECT_EQ(red_counters().ticket_atomics, 0u);
+}
+
+// --- operators and accumulator domains --------------------------------
+
+TEST_F(GridRedTest, FloatSumFoldsInDoubleDomain) {
+  float target = 0.5f;
+  run_combined(128, 32, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 0.25, RedOp::Sum);
+  });
+  EXPECT_FLOAT_EQ(target, 0.5f + 0.25f * 128 * 32);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+}
+
+TEST_F(GridRedTest, MinMaxProdAcrossTeams) {
+  long long mn = 1'000'000, mx = -5, pr = 1;
+  run_combined(96, 32, [&](KernelCtx& ctx) {
+    long long gid =
+        static_cast<long long>(ctx.grid_dim().linear(ctx.block_idx())) * 32 +
+        ctx.linear_tid();
+    red_contrib(ctx, &mn, 10 + gid, RedOp::Min);
+    red_contrib(ctx, &mx, gid, RedOp::Max);
+    red_contrib(ctx, &pr, gid == 7 ? 3 : 1, RedOp::Prod);
+  });
+  EXPECT_EQ(mn, 10);
+  EXPECT_EQ(mx, 96 * 32 - 1);
+  EXPECT_EQ(pr, 3);
+}
+
+TEST_F(GridRedTest, UnsignedMinZeroExtendsAboveIntMax) {
+  // 2415919104 > 2^31: a sign-extending accumulator would make it
+  // negative and always win the min; zero-extension keeps it ordered
+  // above small values.
+  unsigned target = 4294967295u;
+  run_combined(16, 32, [&](KernelCtx& ctx) {
+    long long v = ctx.linear_tid() == 0 ? 2415919104LL : 4000000000LL;
+    red_contrib(ctx, &target, v, RedOp::Min);
+  });
+  EXPECT_EQ(target, 2415919104u);
+}
+
+// --- array sections ---------------------------------------------------
+
+TEST_F(GridRedTest, ArraySectionCombinesElementwise) {
+  constexpr int kLen = 16;
+  std::vector<long long> bins(kLen, 0);
+  run_combined(32, 32, [&](KernelCtx& ctx) {
+    long long row[kLen] = {};
+    row[ctx.linear_tid() % kLen] = 1;  // two threads per bin per team
+    red_contrib_arr(ctx, bins.data(), row, kLen, RedOp::Sum);
+  });
+  for (int i = 0; i < kLen; ++i)
+    EXPECT_EQ(bins[static_cast<std::size_t>(i)], 32 * 2) << "bin " << i;
+  // Tree finish: exactly len contended atomics, independent of teams.
+  EXPECT_EQ(red_counters().global_atomics, static_cast<unsigned>(kLen));
+}
+
+TEST_F(GridRedTest, ArraySectionAtomicBaselinePaysPerTeam) {
+  constexpr int kLen = 8;
+  set_red_finish(RedFinish::Atomic);
+  std::vector<int> bins(kLen, 0);
+  run_combined(16, 16, [&](KernelCtx& ctx) {
+    long long row[kLen] = {};
+    row[ctx.linear_tid() % kLen] = 1;
+    red_contrib_arr(ctx, bins.data(), row, kLen, RedOp::Sum);
+  });
+  for (int i = 0; i < kLen; ++i)
+    EXPECT_EQ(bins[static_cast<std::size_t>(i)], 16 * 2) << "bin " << i;
+  EXPECT_EQ(red_counters().global_atomics,
+            static_cast<unsigned>(16 * kLen));
+}
+
+TEST_F(GridRedTest, ArraySectionUnsignedBins) {
+  constexpr int kLen = 4;
+  std::vector<unsigned> bins(kLen, 1u);  // initial values participate
+  run_combined(8, 32, [&](KernelCtx& ctx) {
+    long long row[kLen] = {1, 2, 3, 4};
+    red_contrib_arr(ctx, bins.data(), row, kLen, RedOp::Sum);
+  });
+  for (int i = 0; i < kLen; ++i)
+    EXPECT_EQ(bins[static_cast<std::size_t>(i)],
+              1u + static_cast<unsigned>((i + 1) * 8 * 32))
+        << "bin " << i;
+}
+
+TEST_F(GridRedTest, ArraySectionDoubleMax) {
+  constexpr int kLen = 4;
+  std::vector<double> mx(kLen, -1.0);
+  run_combined(16, 16, [&](KernelCtx& ctx) {
+    int gid =
+        static_cast<int>(ctx.grid_dim().linear(ctx.block_idx())) * 16 +
+        static_cast<int>(ctx.linear_tid());
+    double row[kLen];
+    for (int i = 0; i < kLen; ++i) row[i] = gid * 0.5 + i;
+    red_contrib_arr(ctx, mx.data(), row, kLen, RedOp::Max);
+  });
+  const double top = (16 * 16 - 1) * 0.5;
+  for (int i = 0; i < kLen; ++i)
+    EXPECT_DOUBLE_EQ(mx[static_cast<std::size_t>(i)], top + i);
+}
+
+// --- master/worker mode -----------------------------------------------
+
+struct MWVars {
+  long long* target;
+};
+
+TEST_F(GridRedTest, MasterWorkerTreeAcrossTeams) {
+  jetsim::Device dev;
+  long long target = 0;
+  LaunchConfig cfg;
+  cfg.grid = {64};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  MWVars vars{&target};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* v = static_cast<MWVars*>(vp);
+            red_begin(c);
+            red_contrib(c, v->target, 1, RedOp::Sum);
+            red_end(c);
+          },
+          &vars, 96);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  EXPECT_EQ(target, 64 * 96);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+  EXPECT_EQ(red_counters().ticket_atomics, 64u + 2u);  // 64 arrivals, 2 segs
+  EXPECT_EQ(red_counters().grid_combines, 64u);
+}
+
+TEST_F(GridRedTest, MasterWorkerArraySectionAcrossTeams) {
+  constexpr int kLen = 8;
+  struct ArrVars {
+    int* bins;
+  };
+  jetsim::Device dev;
+  std::vector<int> bins(kLen, 0);
+  LaunchConfig cfg;
+  cfg.grid = {16};
+  cfg.block = {static_cast<unsigned>(kMWBlockThreads)};
+  cfg.shared_mem = reserved_shmem();
+  ArrVars vars{bins.data()};
+  dev.launch(cfg, [&](KernelCtx& ctx) {
+    target_init(ctx);
+    if (in_masterwarp(ctx)) {
+      if (!is_masterthr(ctx)) return;
+      register_parallel(
+          ctx,
+          [](KernelCtx& c, void* vp) {
+            auto* v = static_cast<ArrVars*>(vp);
+            long long row[kLen] = {};
+            row[omp_thread_num(c) % kLen] = 1;
+            red_begin(c);
+            red_contrib_arr(c, v->bins, row, kLen, RedOp::Sum);
+            red_end(c);
+          },
+          &vars, 96);
+      exit_target(ctx);
+    } else {
+      workerfunc(ctx);
+    }
+  });
+  for (int i = 0; i < kLen; ++i)
+    EXPECT_EQ(bins[static_cast<std::size_t>(i)], 16 * (96 / kLen))
+        << "bin " << i;
+  EXPECT_EQ(red_counters().global_atomics, static_cast<unsigned>(kLen));
+}
+
+}  // namespace
+}  // namespace devrt

@@ -294,12 +294,28 @@ TEST_F(ReductionTest, SingleWarpSkipsTheSharedLevel) {
 }
 
 TEST_F(ReductionTest, AtomicsScaleWithTeamsNotThreads) {
+  // Legacy finish (OMPI_REDTREE=atomic): one contended RMW per team.
+  set_red_finish(RedFinish::Atomic);
   int target = 0;
   run_combined(6, 128, [&](KernelCtx& ctx) {
     red_contrib(ctx, &target, 1, RedOp::Sum);
   });
   EXPECT_EQ(target, 6 * 128);
   EXPECT_EQ(red_counters().global_atomics, 6u);
+}
+
+TEST_F(ReductionTest, TreeFinishRunsOneGlobalAtomicRegardlessOfTeams) {
+  // Default finish (DESIGN.md §5k): teams publish partials to scratch
+  // slots; an elected folder team combines them and lands ONE contended
+  // RMW on the target, however many teams ran.
+  int target = 0;
+  run_combined(6, 128, [&](KernelCtx& ctx) {
+    red_contrib(ctx, &target, 1, RedOp::Sum);
+  });
+  EXPECT_EQ(target, 6 * 128);
+  EXPECT_EQ(red_counters().global_atomics, 1u);
+  EXPECT_GT(red_counters().ticket_atomics, 0u);
+  EXPECT_EQ(red_counters().grid_combines, 6u);  // folder reads 6 slots
 }
 
 // --- modeled cost ------------------------------------------------------

@@ -195,6 +195,23 @@ TEST_F(SyncTest, RawLockWords) {
   dev.free(dword);
 }
 
+TEST_F(SyncTest, LockHeldForeverTripsTheSpinBound) {
+  // The word is pre-held and nobody ever releases it: the bounded CAS
+  // spin must surface a SimError instead of spinning the cooperative
+  // scheduler forever (the same hardening ws_next's CAS loop received).
+  jetsim::Device dev;
+  uint64_t dword = dev.malloc(sizeof(int));
+  int* word = dev.ptr<int>(dword);
+  *word = 1;
+  EXPECT_THROW(dev.launch(combined_config(1, 1),
+                          [&](KernelCtx& ctx) {
+                            combined_init(ctx);
+                            lock_acquire(ctx, word);
+                          }),
+               jetsim::SimError);
+  dev.free(dword);
+}
+
 // --- region barrier ---------------------------------------------------------------
 
 TEST_F(SyncTest, BarrierInCombinedModeSyncsWholeBlock) {

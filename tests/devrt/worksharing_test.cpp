@@ -351,6 +351,88 @@ TEST(WorksharingEdge, GuidedMinChunkAboveRemainingTakesTheRest) {
   EXPECT_EQ(sizes[0] + sizes[1], 100);
 }
 
+// --- off-by-chunk regression (contention-path hardening) -------------------
+
+TEST(WorksharingEdge, DynamicChunksNeverPassTheUpperBound) {
+  // Non-divisible trip count under contention: 4 teams x 32 threads pull
+  // 7-wide chunks out of 1001 iterations. Every handed-out chunk must
+  // stay inside the team's range, be non-empty, and the union must cover
+  // each iteration exactly once — a clamp bug shows as either a visit
+  // past ub or a double visit at the chunk seams.
+  jetsim::Device dev;
+  const long long n = 1001;
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  bool out_of_range = false, empty_valid = false;
+  dev.launch(combined_config(4, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    Chunk team = get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    ws_loop_init(ctx, team.lb, team.ub);
+    for (;;) {
+      Chunk c = get_dynamic_chunk(ctx, 7);
+      if (!c.valid) break;
+      if (c.lb < team.lb || c.ub > team.ub) out_of_range = true;
+      if (c.lb >= c.ub) empty_valid = true;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+    ws_loop_end(ctx, false);
+  });
+  EXPECT_FALSE(out_of_range) << "a chunk crossed its team's bounds";
+  EXPECT_FALSE(empty_valid) << "a valid chunk was empty";
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+TEST(WorksharingEdge, GuidedChunksNeverPassTheUpperBound) {
+  // Same property for the guided schedule's CAS path: the taken range
+  // [seen, seen+take) must clamp at ub even when the shrinking formula
+  // and a racing grab both target the tail.
+  jetsim::Device dev;
+  const long long n = 997;  // prime: nothing divides evenly
+  std::vector<int> visits(static_cast<size_t>(n), 0);
+  bool out_of_range = false, empty_valid = false;
+  dev.launch(combined_config(4, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    Chunk team = get_distribute_chunk(ctx, 0, n);
+    if (!team.valid) return;
+    ws_loop_init(ctx, team.lb, team.ub);
+    for (;;) {
+      Chunk c = get_guided_chunk(ctx, 3);
+      if (!c.valid) break;
+      if (c.lb < team.lb || c.ub > team.ub) out_of_range = true;
+      if (c.lb >= c.ub) empty_valid = true;
+      for (long long i = c.lb; i < c.ub; ++i) visits[i] += 1;
+    }
+    ws_loop_end(ctx, false);
+  });
+  EXPECT_FALSE(out_of_range) << "a chunk crossed its team's bounds";
+  EXPECT_FALSE(empty_valid) << "a valid chunk was empty";
+  for (long long i = 0; i < n; ++i) EXPECT_EQ(visits[i], 1) << "i=" << i;
+}
+
+TEST(WorksharingEdge, DynamicFinalChunkClampsExactly) {
+  // Single consumer, 10 iterations in 7-wide chunks: the second grab
+  // must be exactly [7, 10), not [7, 14).
+  jetsim::Device dev;
+  std::vector<Chunk> got;
+  dev.launch(combined_config(1, 32), [&](KernelCtx& ctx) {
+    combined_init(ctx);
+    ws_loop_init(ctx, 0, 10);
+    if (ctx.linear_tid() == 0) {
+      for (;;) {
+        Chunk c = get_dynamic_chunk(ctx, 7);
+        if (!c.valid) break;
+        got.push_back(c);
+      }
+    }
+    ws_loop_end(ctx, false);
+  });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].lb, 0);
+  EXPECT_EQ(got[0].ub, 7);
+  EXPECT_EQ(got[1].lb, 7);
+  EXPECT_EQ(got[1].ub, 10);
+}
+
 // --- master/worker regions can workshare too ------------------------------
 
 TEST(Worksharing, StaticChunkInsideMWRegion) {

@@ -6,6 +6,7 @@
 
 #include <tuple>
 
+#include "apps/irregular.h"
 #include "apps/polybench.h"
 
 namespace apps {
@@ -63,6 +64,55 @@ INSTANTIATE_TEST_SUITE_P(
                       Param{"mvt", 64}, Param{"mvt", 130},
                       Param{"gemm", 32}, Param{"gemm", 48},
                       Param{"gramschmidt", 16}, Param{"gramschmidt", 24}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- irregular workloads (DESIGN.md §5k) ------------------------------
+
+AppFn irregular_by_name(const char* name) {
+  if (std::string(name) == "spmv") return run_spmv;
+  if (std::string(name) == "histogram") return run_histogram;
+  if (std::string(name) == "bfs") return run_bfs;
+  throw std::logic_error("unknown irregular app");
+}
+
+class IrregularAppCorrectness : public ::testing::TestWithParam<Param> {};
+
+TEST_P(IrregularAppCorrectness, BothVariantsMatchReference) {
+  auto [name, n] = GetParam();
+  RunOptions opt;
+  opt.model_only = false;
+  opt.verify = true;
+  for (Variant v : {Variant::Cuda, Variant::Ompi}) {
+    RunResult r = irregular_by_name(name)(v, n, opt);
+    EXPECT_TRUE(r.verified) << name << " variant " << to_string(v);
+    EXPECT_GT(r.seconds, 0);
+  }
+}
+
+TEST_P(IrregularAppCorrectness, ModelOnlyChargesExactlyLikeRealExecution) {
+  // The irregular kernels read their index structures either way, so the
+  // data-dependent trip counts — and therefore the charges — are exact
+  // even when the model-only path skips the float math.
+  auto [name, n] = GetParam();
+  RunOptions model;  // defaults: model_only, no verify
+  RunOptions real;
+  real.model_only = false;
+  for (Variant v : {Variant::Cuda, Variant::Ompi}) {
+    RunResult m = irregular_by_name(name)(v, n, model);
+    RunResult r = irregular_by_name(name)(v, n, real);
+    EXPECT_NEAR(m.seconds, r.seconds, r.seconds * 1e-9)
+        << name << " variant " << to_string(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSizes, IrregularAppCorrectness,
+    ::testing::Values(Param{"spmv", 256}, Param{"spmv", 333},
+                      Param{"histogram", 512}, Param{"histogram", 1000},
+                      Param{"bfs", 256}, Param{"bfs", 300}),
     [](const ::testing::TestParamInfo<Param>& info) {
       return std::string(std::get<0>(info.param)) + "_" +
              std::to_string(std::get<1>(info.param));

@@ -269,7 +269,7 @@ TEST(EndToEnd, ReductionSum) {
   EXPECT_EQ(p->vm->call_host("main").as_int(), 1024);
 }
 
-TEST(EndToEnd, ReductionRunsOneGlobalAtomicPerTeam) {
+TEST(EndToEnd, ReductionTreeFinishRunsOneGlobalAtomicTotal) {
   const devrt::RedCounters before = devrt::red_counters();
   auto p = make_vm(R"(
     int x[1024];
@@ -288,8 +288,12 @@ TEST(EndToEnd, ReductionRunsOneGlobalAtomicPerTeam) {
   ASSERT_TRUE(p->vm);
   EXPECT_EQ(p->vm->call_host("main").as_int(), 2048);
   const devrt::RedCounters& after = devrt::red_counters();
-  EXPECT_EQ(after.global_atomics - before.global_atomics, 8u)
-      << "one per team, not one per thread";
+  // Default tree finish (DESIGN.md §5k): the 8 teams publish partials
+  // to scratch slots and an elected folder lands ONE contended RMW.
+  EXPECT_EQ(after.global_atomics - before.global_atomics, 1u)
+      << "one per grid, not one per team or thread";
+  EXPECT_EQ(after.grid_combines - before.grid_combines, 8u)
+      << "the folder combines one scratch slot per team";
   EXPECT_GT(after.warp_combines, before.warp_combines);
   EXPECT_GT(after.smem_combines, before.smem_combines);
 }
